@@ -1,0 +1,107 @@
+//! Ablation timings: the incremental cost of each pipeline stage
+//! (detection alone vs detection + partitioning + SCP), pairing-policy
+//! impact, and instrumentation overhead (tracing sinks vs the null
+//! sink).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_bench::sc_run;
+use wmrd_core::{
+    detect_races, estimate_scp, partition_races, AugmentedGraph, HbGraph, PairingPolicy,
+    PostMortem,
+};
+use wmrd_progs::generate;
+use wmrd_sim::{run_sc, RandomSched, RunConfig};
+use wmrd_trace::{NullSink, TraceBuilder};
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let cfg = generate::GenConfig {
+        procs: 4,
+        shared_locations: 16,
+        sections_per_proc: 20,
+        ops_per_section: 6,
+        rogue_fraction: 0.4,
+        seed: 21,
+    };
+    let run = sc_run(&generate::racy(&cfg), 9);
+    let hb = HbGraph::build(&run.events, PairingPolicy::ByRole).unwrap();
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("detect_only", |b| b.iter(|| detect_races(&run.events, &hb)));
+    let races = detect_races(&run.events, &hb);
+    group.bench_function("augment_partition", |b| {
+        b.iter(|| {
+            let aug = AugmentedGraph::build(&hb, &races);
+            partition_races(&aug, &races)
+        })
+    });
+    group.bench_function("augment_partition_scp", |b| {
+        b.iter(|| {
+            let aug = AugmentedGraph::build(&hb, &races);
+            let parts = partition_races(&aug, &races);
+            let scp = estimate_scp(&run.events, &aug, &races);
+            (parts, scp)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pairing_policies(c: &mut Criterion) {
+    let cfg = generate::GenConfig {
+        procs: 4,
+        sections_per_proc: 30,
+        ..generate::GenConfig::default().with_seed(4)
+    };
+    let run = sc_run(&generate::locked(&cfg), 2);
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for policy in [PairingPolicy::ByRole, PairingPolicy::AllSync] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| PostMortem::new(&run.events).pairing(policy).analyze().unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let program = generate::sectioned(&generate::GenConfig {
+        procs: 4,
+        sections_per_proc: 8,
+        ops_per_section: 16,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("instrumentation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut sink = NullSink::new();
+            run_sc(&program, &mut RandomSched::new(1), &mut sink, RunConfig::default()).unwrap()
+        })
+    });
+    group.bench_function("event_tracing", |b| {
+        b.iter(|| {
+            let mut sink = TraceBuilder::new(program.num_procs());
+            run_sc(&program, &mut RandomSched::new(1), &mut sink, RunConfig::default()).unwrap();
+            sink.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_stages,
+    bench_pairing_policies,
+    bench_instrumentation_overhead
+);
+criterion_main!(benches);

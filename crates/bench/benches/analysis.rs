@@ -1,0 +1,93 @@
+//! Post-mortem analysis cost: hb1 construction, race detection, and
+//! partitioning as the trace grows, plus SCC-condensation reachability
+//! against the naive per-pair DFS baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_bench::sc_run;
+use wmrd_core::{detect_races, DataRace, HbGraph, PairingPolicy, PostMortem};
+use wmrd_progs::generate;
+use wmrd_trace::{EventId, TraceSet};
+
+fn workload(sections: usize) -> TraceSet {
+    let cfg = generate::GenConfig {
+        procs: 4,
+        shared_locations: 16,
+        sections_per_proc: sections,
+        ops_per_section: 6,
+        rogue_fraction: 0.4,
+        seed: 42,
+    };
+    sc_run(&generate::racy(&cfg), 7).events
+}
+
+/// Race detection by naive DFS per conflicting pair — the baseline the
+/// SCC+bitset reachability index replaces.
+fn detect_races_naive(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
+    let events: Vec<EventId> = hb.events().to_vec();
+    let mut races = Vec::new();
+    for (i, &a) in events.iter().enumerate() {
+        for &b in &events[i + 1..] {
+            if a.proc == b.proc {
+                continue;
+            }
+            let (ea, eb) = (trace.event(a).unwrap(), trace.event(b).unwrap());
+            if !ea.conflicts_with(eb) {
+                continue;
+            }
+            let (na, nb) = (hb.node_of(a).unwrap(), hb.node_of(b).unwrap());
+            if hb.graph().has_path(na, nb) || hb.graph().has_path(nb, na) {
+                continue;
+            }
+            let locations = ea.conflict_locations(eb);
+            races.push(DataRace { a, b, locations, kind: wmrd_core::RaceKind::DataData });
+        }
+    }
+    races
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postmortem");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for sections in [5usize, 15, 45] {
+        let trace = workload(sections);
+        group.bench_with_input(
+            BenchmarkId::new("analyze", trace.num_events()),
+            &trace,
+            |b, t| b.iter(|| PostMortem::new(t).analyze().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hb_build", trace.num_events()),
+            &trace,
+            |b, t| b.iter(|| HbGraph::build(t, PairingPolicy::ByRole).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for sections in [5usize, 15] {
+        let trace = workload(sections);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("scc_bitset", trace.num_events()),
+            &trace,
+            |b, t| b.iter(|| detect_races(t, &hb)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_dfs", trace.num_events()),
+            &trace,
+            |b, t| b.iter(|| detect_races_naive(t, &hb)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_reachability);
+criterion_main!(benches);

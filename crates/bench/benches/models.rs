@@ -1,0 +1,52 @@
+//! E10 timing side: simulator throughput per memory model (the cycle
+//! *counts* come from the `experiments` binary; this measures the
+//! simulation itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_progs::generate;
+use wmrd_sim::{run_sc, run_weak, Fidelity, MemoryModel, RoundRobin, RunConfig, WeakRoundRobin};
+use wmrd_trace::NullSink;
+
+fn bench_models(c: &mut Criterion) {
+    let program = generate::overlap(&generate::GenConfig {
+        procs: 4,
+        sections_per_proc: 8,
+        ops_per_section: 12,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("sc_machine", |b| {
+        b.iter(|| {
+            let mut sink = NullSink::new();
+            run_sc(&program, &mut RoundRobin::new(), &mut sink, RunConfig::default()).unwrap()
+        })
+    });
+    for model in MemoryModel::WEAK {
+        group.bench_with_input(
+            BenchmarkId::new("weak_machine", model.to_string()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let mut sink = NullSink::new();
+                    run_weak(
+                        &program,
+                        model,
+                        Fidelity::Conditioned,
+                        &mut WeakRoundRobin::new(),
+                        &mut sink,
+                        RunConfig::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

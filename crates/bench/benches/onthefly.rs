@@ -1,0 +1,58 @@
+//! E9 timing side: on-the-fly detection (various history bounds) vs
+//! post-mortem analysis of the same execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_bench::sc_run;
+use wmrd_core::{OnTheFly, OnTheFlyConfig, PostMortem};
+use wmrd_progs::generate;
+use wmrd_trace::{OpClass, OpTrace, TraceSink};
+
+fn replay(ops: &OpTrace, sink: &mut dyn TraceSink) {
+    for op in ops.iter_issue_order() {
+        match op.class {
+            OpClass::Data => {
+                sink.data_access(op.id.proc, op.loc, op.kind, op.value, op.observed_write);
+            }
+            OpClass::Sync(role) => {
+                sink.sync_access(op.id.proc, op.loc, op.kind, role, op.value, op.observed_write);
+            }
+        }
+    }
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let cfg = generate::GenConfig {
+        procs: 4,
+        shared_locations: 8,
+        sections_per_proc: 12,
+        ops_per_section: 8,
+        rogue_fraction: 0.5,
+        seed: 11,
+    };
+    let run = sc_run(&generate::racy(&cfg), 5);
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("postmortem", |b| {
+        b.iter(|| PostMortem::new(&run.events).analyze().unwrap())
+    });
+    for limit in [None, Some(4), Some(1)] {
+        let label = limit.map_or_else(|| "otf_unbounded".into(), |l| format!("otf_limit{l}"));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &limit, |b, &limit| {
+            b.iter(|| {
+                let mut d = OnTheFly::new(
+                    run.ops.num_procs(),
+                    OnTheFlyConfig { read_history_limit: limit, ..OnTheFlyConfig::default() },
+                );
+                replay(&run.ops, &mut d);
+                d.finish()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

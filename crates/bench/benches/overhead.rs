@@ -1,0 +1,59 @@
+//! E8 timing side: trace serialization cost and analysis cost on SC vs
+//! weak traces of the same workload — Section 5's claim that the
+//! post-mortem method on weak hardware costs the same as on SC hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_bench::{sc_run, weak_run, TracedRun};
+use wmrd_core::PostMortem;
+use wmrd_progs::generate;
+use wmrd_sim::{Fidelity, MemoryModel};
+
+fn workload() -> wmrd_sim::Program {
+    generate::sectioned(&generate::GenConfig {
+        procs: 4,
+        shared_locations: 12,
+        sections_per_proc: 8,
+        ops_per_section: 16,
+        ..Default::default()
+    })
+}
+
+fn fast(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let run = sc_run(&workload(), 3);
+    let mut group = c.benchmark_group("trace_serialization");
+    fast(&mut group);
+    group.bench_function("to_binary", |b| b.iter(|| run.events.to_binary()));
+    group.bench_function("to_json", |b| b.iter(|| run.events.to_json().unwrap()));
+    let binary = run.events.to_binary();
+    group.bench_function("from_binary", |b| {
+        b.iter(|| wmrd_trace::TraceSet::from_binary(&binary).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_analysis_sc_vs_weak(c: &mut Criterion) {
+    let program = workload();
+    let runs: Vec<(&str, TracedRun)> = vec![
+        ("SC", sc_run(&program, 3)),
+        ("WO", weak_run(&program, MemoryModel::Wo, Fidelity::Conditioned, 3)),
+        ("RCsc", weak_run(&program, MemoryModel::RCsc, Fidelity::Conditioned, 3)),
+    ];
+    let mut group = c.benchmark_group("analysis_by_model");
+    fast(&mut group);
+    for (name, run) in &runs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), run, |b, r| {
+            b.iter(|| PostMortem::new(&r.events).analyze().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization, bench_analysis_sc_vs_weak);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Shared helpers for the benchmarks and the `experiments` binary.
+//!
+//! Everything here is a thin convenience over the public APIs of the
+//! other crates: run a program under a given model, collect both trace
+//! granularities, and hand back the pieces the experiment tables need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wmrd_progs::catalog;
+use wmrd_sim::{
+    run_sc, run_weak, Fidelity, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
+    RunOutcome, WeakRoundRobin, WeakScript,
+};
+use wmrd_trace::{MultiSink, OpRecorder, OpTrace, TraceBuilder, TraceSet};
+
+/// A fully traced run: both trace granularities plus the outcome.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Event-level trace (the post-mortem input).
+    pub events: TraceSet,
+    /// Operation-level trace (the exact baseline).
+    pub ops: OpTrace,
+    /// Run outcome (cycles, final memory).
+    pub outcome: RunOutcome,
+}
+
+fn dual_sink(n: usize) -> MultiSink<TraceBuilder, OpRecorder> {
+    MultiSink::new(TraceBuilder::new(n), OpRecorder::new(n))
+}
+
+fn finish(
+    sink: MultiSink<TraceBuilder, OpRecorder>,
+    outcome: RunOutcome,
+    program: &Program,
+    model: &str,
+    seed: Option<u64>,
+) -> TracedRun {
+    let (builder, recorder) = sink.into_inner();
+    let mut events = builder.finish();
+    events.meta.program = Some(program.name().to_string());
+    events.meta.model = Some(model.to_string());
+    events.meta.seed = seed;
+    TracedRun { events, ops: recorder.finish(), outcome }
+}
+
+/// Runs `program` on the SC machine with a seeded random scheduler.
+///
+/// # Panics
+///
+/// Panics if the program fails to run (experiment inputs are known-good).
+pub fn sc_run(program: &Program, seed: u64) -> TracedRun {
+    let mut sink = dual_sink(program.num_procs());
+    let outcome = run_sc(program, &mut RandomSched::new(seed), &mut sink, RunConfig::default())
+        .expect("experiment programs run to completion");
+    finish(sink, outcome, program, "SC", Some(seed))
+}
+
+/// Runs `program` on a weak machine with a seeded random scheduler.
+///
+/// # Panics
+///
+/// Panics if the program fails to run.
+pub fn weak_run(program: &Program, model: MemoryModel, fidelity: Fidelity, seed: u64) -> TracedRun {
+    let mut sink = dual_sink(program.num_procs());
+    let mut sched = RandomWeakSched::new(seed, 0.3);
+    let outcome = run_weak(program, model, fidelity, &mut sched, &mut sink, RunConfig::default())
+        .expect("experiment programs run to completion");
+    finish(sink, outcome, program, &model.to_string(), Some(seed))
+}
+
+/// Runs the Figure 2 buggy work queue on WO with the scripted schedule
+/// that reproduces the paper's Figure 2b (stale dequeue).
+///
+/// # Panics
+///
+/// Panics if the scripted run fails.
+pub fn fig2_weak_run() -> TracedRun {
+    let entry = catalog::work_queue_buggy();
+    let mut sink = dual_sink(entry.program.num_procs());
+    let mut sched = WeakScript::new(catalog::work_queue_weak_script());
+    let outcome = run_weak(
+        &entry.program,
+        MemoryModel::Wo,
+        Fidelity::Conditioned,
+        &mut sched,
+        &mut sink,
+        RunConfig::default(),
+    )
+    .expect("scripted figure 2 run completes");
+    finish(sink, outcome, &entry.program, "WO", None)
+}
+
+/// Deterministic cycle count of `program` under `model` (fair weak
+/// round-robin schedule, default timing).
+///
+/// # Panics
+///
+/// Panics if the program fails to run.
+pub fn model_cycles(program: &Program, model: MemoryModel) -> u64 {
+    let mut sink = wmrd_trace::NullSink::new();
+    run_weak(
+        program,
+        model,
+        Fidelity::Conditioned,
+        &mut WeakRoundRobin::new(),
+        &mut sink,
+        RunConfig::default(),
+    )
+    .expect("experiment programs run to completion")
+    .total_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_core::PostMortem;
+
+    #[test]
+    fn sc_run_produces_consistent_traces() {
+        let entry = catalog::fig1a();
+        let run = sc_run(&entry.program, 1);
+        assert!(run.outcome.halted);
+        assert_eq!(run.events.meta.model.as_deref(), Some("SC"));
+        assert!(run.events.validate().is_ok());
+        assert!(run.ops.num_ops() >= run.events.num_events());
+    }
+
+    #[test]
+    fn fig2_run_shows_the_stale_read() {
+        let run = fig2_weak_run();
+        let report = PostMortem::new(&run.events).analyze().unwrap();
+        assert!(!report.is_race_free());
+        assert!(report.withheld_races().len() > 0, "non-first partitions exist:\n{report}");
+    }
+
+    #[test]
+    fn model_cycles_ranks_models() {
+        let entry = catalog::counter_locked(2, 3);
+        let sc = model_cycles(&entry.program, MemoryModel::Sc);
+        let wo = model_cycles(&entry.program, MemoryModel::Wo);
+        assert!(wo <= sc, "WO ({wo}) should not exceed SC ({sc})");
+    }
+}

@@ -1,0 +1,373 @@
+//! Argument parsing (hand-rolled; the CLI surface is small).
+
+use wmrd_core::PairingPolicy;
+use wmrd_sim::{Fidelity, HwImpl, MemoryModel};
+
+use crate::CliError;
+
+/// Options for `wmrd run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Catalog name or path to a program JSON file.
+    pub program: String,
+    /// Memory model to execute under.
+    pub model: MemoryModel,
+    /// Conditioned (default) or raw hardware.
+    pub fidelity: Fidelity,
+    /// Weak-hardware implementation style.
+    pub hw: HwImpl,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Where to write the event trace (JSON unless `--binary`).
+    pub trace_out: Option<String>,
+    /// Write the trace in the compact binary format.
+    pub binary: bool,
+    /// Where to write the operation-level trace (JSON).
+    pub ops_out: Option<String>,
+}
+
+/// Options for `wmrd analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeOpts {
+    /// Trace file (`.json` or binary).
+    pub trace: String,
+    /// Pairing policy.
+    pub pairing: PairingPolicy,
+    /// Also list withheld (non-first) races.
+    pub show_all: bool,
+    /// Render a per-processor timeline.
+    pub timeline: bool,
+    /// Write a Graphviz DOT rendering here.
+    pub dot_out: Option<String>,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+}
+
+/// Options for `wmrd check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOpts {
+    /// Catalog name or path to a program JSON file.
+    pub program: String,
+    /// Memory model to check.
+    pub model: MemoryModel,
+    /// Conditioned (default) or raw hardware.
+    pub fidelity: Fidelity,
+    /// Weak-hardware implementation style.
+    pub hw: HwImpl,
+    /// Number of seeded executions to check.
+    pub seeds: u64,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List catalog workloads.
+    Catalog,
+    /// Disassemble a workload.
+    Show(String),
+    /// Export a workload as program JSON.
+    Export {
+        /// Catalog name.
+        name: String,
+        /// Output path.
+        path: String,
+    },
+    /// Run a program and optionally record traces.
+    Run(RunOpts),
+    /// Analyze a recorded trace.
+    Analyze(AnalyzeOpts),
+    /// Check Condition 3.4 on seeded executions.
+    Check(CheckOpts),
+    /// The Figure 2/3 walkthrough.
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+fn parse_model(s: &str) -> Result<MemoryModel, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "sc" => Ok(MemoryModel::Sc),
+        "wo" => Ok(MemoryModel::Wo),
+        "rcsc" => Ok(MemoryModel::RCsc),
+        "drf0" => Ok(MemoryModel::Drf0),
+        "drf1" => Ok(MemoryModel::Drf1),
+        other => Err(CliError::Usage(format!(
+            "unknown model `{other}` (expected sc|wo|rcsc|drf0|drf1)"
+        ))),
+    }
+}
+
+fn parse_fidelity(s: &str) -> Result<Fidelity, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "conditioned" => Ok(Fidelity::Conditioned),
+        "raw" => Ok(Fidelity::Raw),
+        other => Err(CliError::Usage(format!(
+            "unknown fidelity `{other}` (expected conditioned|raw)"
+        ))),
+    }
+}
+
+fn parse_hw(s: &str) -> Result<HwImpl, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "store-buffer" => Ok(HwImpl::StoreBuffer),
+        "inval-queue" => Ok(HwImpl::InvalQueue),
+        other => Err(CliError::Usage(format!(
+            "unknown hardware `{other}` (expected store-buffer|inval-queue)"
+        ))),
+    }
+}
+
+fn parse_pairing(s: &str) -> Result<PairingPolicy, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "by-role" => Ok(PairingPolicy::ByRole),
+        "all-sync" => Ok(PairingPolicy::AllSync),
+        other => Err(CliError::Usage(format!(
+            "unknown pairing `{other}` (expected by-role|all-sync)"
+        ))),
+    }
+}
+
+struct Cursor<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let v = self.args.get(self.pos).map(|s| s.as_str());
+        if v.is_some() {
+            self.pos += 1;
+        }
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+    }
+}
+
+/// Parses a full argument list (excluding the binary name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the problem.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut cur = Cursor { args, pos: 0 };
+    let Some(cmd) = cur.next() else { return Ok(Command::Help) };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "catalog" => Ok(Command::Catalog),
+        "demo" => Ok(Command::Demo),
+        "show" => {
+            let name = cur.value_for("show")?.to_string();
+            Ok(Command::Show(name))
+        }
+        "export" => {
+            let name = cur.value_for("export")?.to_string();
+            let path = cur.value_for("export <name>")?.to_string();
+            Ok(Command::Export { name, path })
+        }
+        "run" => {
+            let program = cur.value_for("run")?.to_string();
+            let mut opts = RunOpts {
+                program,
+                model: MemoryModel::Sc,
+                fidelity: Fidelity::Conditioned,
+                hw: HwImpl::StoreBuffer,
+                seed: 0,
+                trace_out: None,
+                binary: false,
+                ops_out: None,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--model" => opts.model = parse_model(cur.value_for(flag)?)?,
+                    "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
+                    "--hw" => opts.hw = parse_hw(cur.value_for(flag)?)?,
+                    "--seed" => {
+                        opts.seed = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed wants an integer".into()))?
+                    }
+                    "--trace" => opts.trace_out = Some(cur.value_for(flag)?.to_string()),
+                    "--ops" => opts.ops_out = Some(cur.value_for(flag)?.to_string()),
+                    "--binary" => opts.binary = true,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for run")))
+                    }
+                }
+            }
+            Ok(Command::Run(opts))
+        }
+        "analyze" => {
+            let trace = cur.value_for("analyze")?.to_string();
+            let mut opts = AnalyzeOpts {
+                trace,
+                pairing: PairingPolicy::ByRole,
+                show_all: false,
+                timeline: false,
+                dot_out: None,
+                json: false,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
+                    "--all" => opts.show_all = true,
+                    "--timeline" => opts.timeline = true,
+                    "--dot" => opts.dot_out = Some(cur.value_for(flag)?.to_string()),
+                    "--json" => opts.json = true,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown flag `{other}` for analyze"
+                        )))
+                    }
+                }
+            }
+            Ok(Command::Analyze(opts))
+        }
+        "check" => {
+            let program = cur.value_for("check")?.to_string();
+            let mut opts = CheckOpts {
+                program,
+                model: MemoryModel::Wo,
+                fidelity: Fidelity::Conditioned,
+                hw: HwImpl::StoreBuffer,
+                seeds: 5,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--model" => opts.model = parse_model(cur.value_for(flag)?)?,
+                    "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
+                    "--hw" => opts.hw = parse_hw(cur.value_for(flag)?)?,
+                    "--seeds" => {
+                        opts.seeds = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seeds wants an integer".into()))?
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for check")))
+                    }
+                }
+            }
+            Ok(Command::Check(opts))
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}` (try `wmrd help`)"))),
+    }
+}
+
+/// The usage text.
+pub(crate) const USAGE: &str = "\
+wmrd — data-race detection on simulated weak memory systems
+
+USAGE:
+  wmrd catalog                         list built-in workloads
+  wmrd show <name>                     disassemble a workload
+  wmrd export <name> <file.json>       write a workload as program JSON
+  wmrd run <name|file.json> [flags]    execute and optionally record traces
+      --model sc|wo|rcsc|drf0|drf1       memory model (default sc)
+      --fidelity conditioned|raw         honour Condition 3.4 (default) or not
+      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --seed <n>                         scheduler seed (default 0)
+      --trace <file>                     write the event trace (JSON)
+      --binary                           ...in the compact binary format
+      --ops <file>                       write the operation trace (JSON)
+  wmrd analyze <trace-file> [flags]    post-mortem race analysis
+      --pairing by-role|all-sync         so1 pairing policy (default by-role)
+      --all                              also list withheld races
+      --timeline                         per-processor timeline
+      --dot <file>                       write a Graphviz rendering
+      --json                             machine-readable report
+  wmrd check <name|file.json> [flags]  check Condition 3.4 empirically
+      --model, --fidelity, --hw, --seeds <n>
+  wmrd demo                            the paper's Figure 2/3 walkthrough
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&argv("catalog")).unwrap(), Command::Catalog);
+        assert_eq!(parse(&argv("demo")).unwrap(), Command::Demo);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("show fig1a")).unwrap(), Command::Show("fig1a".into()));
+        assert_eq!(
+            parse(&argv("export fig1b out.json")).unwrap(),
+            Command::Export { name: "fig1b".into(), path: "out.json".into() }
+        );
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cmd = parse(&argv(
+            "run fig1a --model wo --fidelity raw --hw inval-queue --seed 9 --trace t.json \
+             --binary --ops o.json",
+        ))
+        .unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.program, "fig1a");
+        assert_eq!(opts.model, MemoryModel::Wo);
+        assert_eq!(opts.fidelity, Fidelity::Raw);
+        assert_eq!(opts.hw, HwImpl::InvalQueue);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert!(opts.binary);
+        assert_eq!(opts.ops_out.as_deref(), Some("o.json"));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(opts) = parse(&argv("run fig1b")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.model, MemoryModel::Sc);
+        assert_eq!(opts.fidelity, Fidelity::Conditioned);
+        assert_eq!(opts.hw, HwImpl::StoreBuffer);
+        assert_eq!(opts.seed, 0);
+        assert!(opts.trace_out.is_none());
+    }
+
+    #[test]
+    fn parses_analyze_flags() {
+        let cmd =
+            parse(&argv("analyze t.json --pairing all-sync --all --timeline --dot g.dot --json"))
+                .unwrap();
+        let Command::Analyze(opts) = cmd else { panic!("expected analyze") };
+        assert_eq!(opts.pairing, PairingPolicy::AllSync);
+        assert!(opts.show_all && opts.timeline && opts.json);
+        assert_eq!(opts.dot_out.as_deref(), Some("g.dot"));
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let Command::Check(opts) =
+            parse(&argv("check fig1a --model rcsc --seeds 12")).unwrap()
+        else {
+            panic!("expected check")
+        };
+        assert_eq!(opts.model, MemoryModel::RCsc);
+        assert_eq!(opts.seeds, 12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run x --model tso")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run x --seed banana")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run x --bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("analyze t --pairing weird")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("show")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run x --fidelity maybe")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("run x --hw tso")), Err(CliError::Usage(_))));
+    }
+}

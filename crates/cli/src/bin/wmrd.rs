@@ -1,0 +1,17 @@
+//! The `wmrd` binary: parse, execute, print.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match wmrd_cli::run_cli(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wmrd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Command implementations. Each returns its output as a `String` so the
+//! whole CLI is unit-testable; `main` just prints.
+
+use std::fmt::Write as _;
+
+use wmrd_core::{render, PairingPolicy, PostMortem};
+use wmrd_progs::catalog;
+use wmrd_sim::{
+    run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
+    WeakScript,
+};
+use wmrd_trace::{MultiSink, OpRecorder, TraceBuilder, TraceSet};
+use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
+use wmrd_verify::sample_sc;
+
+use crate::args::{parse, AnalyzeOpts, CheckOpts, Command, RunOpts, USAGE};
+use crate::CliError;
+
+fn file_err(path: &str) -> impl FnOnce(std::io::Error) -> CliError + '_ {
+    move |source| CliError::File { path: path.to_string(), source }
+}
+
+/// Executes one CLI invocation (arguments exclude the binary name) and
+/// returns its output.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing parse or execution failures.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    match parse(args)? {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Catalog => cmd_catalog(),
+        Command::Show(name) => cmd_show(&name),
+        Command::Export { name, path } => cmd_export(&name, &path),
+        Command::Run(opts) => cmd_run(&opts),
+        Command::Analyze(opts) => cmd_analyze(&opts),
+        Command::Check(opts) => cmd_check(&opts),
+        Command::Demo => cmd_demo(),
+    }
+}
+
+fn load_program(name_or_path: &str) -> Result<Program, CliError> {
+    if let Some(entry) = catalog::all().into_iter().find(|e| e.name == name_or_path) {
+        return Ok(entry.program);
+    }
+    if std::path::Path::new(name_or_path).exists() {
+        let text = std::fs::read_to_string(name_or_path).map_err(file_err(name_or_path))?;
+        let program: Program = serde_json::from_str(&text)?;
+        program.validate()?;
+        return Ok(program);
+    }
+    Err(CliError::NotFound(format!(
+        "`{name_or_path}` is neither a catalog workload (see `wmrd catalog`) nor a file"
+    )))
+}
+
+fn cmd_catalog() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<26} {:>5} {:>6}  description", "name", "procs", "racy");
+    for entry in catalog::all() {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>5} {:>6}  {}",
+            entry.name,
+            entry.program.num_procs(),
+            if entry.racy { "yes" } else { "no" },
+            entry.description
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_show(name: &str) -> Result<String, CliError> {
+    let program = load_program(name)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program {} ({} processors, {} memory words)",
+        program.name(),
+        program.num_procs(),
+        program.num_locations()
+    );
+    for (loc, value) in program.init() {
+        let _ = writeln!(out, "  init {loc} = {value}");
+    }
+    for (pi, code) in program.procs().iter().enumerate() {
+        let _ = writeln!(out, "P{pi}:");
+        for (i, instr) in code.iter().enumerate() {
+            let _ = writeln!(out, "  {i:>3}: {instr}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_export(name: &str, path: &str) -> Result<String, CliError> {
+    let program = load_program(name)?;
+    std::fs::write(path, serde_json::to_string_pretty(&program)?).map_err(file_err(path))?;
+    Ok(format!("wrote {} to {path}\n", program.name()))
+}
+
+fn cmd_run(opts: &RunOpts) -> Result<String, CliError> {
+    let program = load_program(&opts.program)?;
+    let mut sink = MultiSink::new(
+        TraceBuilder::new(program.num_procs()),
+        OpRecorder::new(program.num_procs()),
+    );
+    let outcome = if opts.model == MemoryModel::Sc {
+        run_sc(&program, &mut RandomSched::new(opts.seed), &mut sink, RunConfig::default())?
+    } else {
+        let mut sched = RandomWeakSched::new(opts.seed, 0.3);
+        run_weak_hw(
+            opts.hw,
+            &program,
+            opts.model,
+            opts.fidelity,
+            &mut sched,
+            &mut sink,
+            RunConfig::default(),
+        )?
+    };
+    let (builder, recorder) = sink.into_inner();
+    let mut trace = builder.finish();
+    trace.meta.program = Some(program.name().to_string());
+    trace.meta.model = Some(opts.model.to_string());
+    trace.meta.seed = Some(opts.seed);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ran {} on {} (fidelity {}, seed {}): {} steps, {} cycles, {} events",
+        program.name(),
+        opts.model,
+        opts.fidelity,
+        opts.seed,
+        outcome.steps,
+        outcome.total_cycles(),
+        trace.num_events()
+    );
+    if let Some(path) = &opts.trace_out {
+        if opts.binary {
+            std::fs::write(path, trace.to_binary()).map_err(file_err(path))?;
+        } else {
+            trace.write_json_file(path)?;
+        }
+        let _ = writeln!(out, "event trace written to {path}");
+    }
+    if let Some(path) = &opts.ops_out {
+        std::fs::write(path, serde_json::to_string_pretty(&recorder.finish())?)
+            .map_err(file_err(path))?;
+        let _ = writeln!(out, "operation trace written to {path}");
+    }
+    if opts.trace_out.is_none() {
+        // No file requested: analyze inline for convenience.
+        let report = PostMortem::new(&trace).analyze()?;
+        let _ = writeln!(out, "{report}");
+    }
+    Ok(out)
+}
+
+fn load_trace(path: &str) -> Result<TraceSet, CliError> {
+    let bytes = std::fs::read(path).map_err(file_err(path))?;
+    if bytes.starts_with(b"WMRD") {
+        return Ok(TraceSet::from_binary(&bytes)?);
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::Usage(format!("{path} is neither binary nor UTF-8 JSON")))?;
+    Ok(TraceSet::from_json(&text)?)
+}
+
+fn cmd_analyze(opts: &AnalyzeOpts) -> Result<String, CliError> {
+    let trace = load_trace(&opts.trace)?;
+    let report = PostMortem::new(&trace).pairing(opts.pairing).analyze()?;
+    let mut out = String::new();
+    if opts.json {
+        let _ = writeln!(out, "{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        let _ = write!(out, "{report}");
+        if opts.show_all && !report.withheld_races().is_empty() {
+            let _ = writeln!(out, "withheld (potentially non-SC / artifact) races:");
+            for race in report.withheld_races() {
+                let _ = writeln!(out, "  {race}");
+            }
+        }
+    }
+    if opts.timeline {
+        let _ = writeln!(out, "\n{}", render::to_timeline(&trace, &report));
+    }
+    if let Some(path) = &opts.dot_out {
+        std::fs::write(path, render::to_dot(&trace, &report)?).map_err(file_err(path))?;
+        let _ = writeln!(out, "dot graph written to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
+    let program = load_program(&opts.program)?;
+    // Build the SC-race oracle by sampling.
+    let samples = sample_sc(&program, 0..60, RunConfig::default())?;
+    let sigs = sc_race_signatures(&samples, PairingPolicy::ByRole)?;
+    let sc_racy = !sigs.is_empty();
+    let outcomes = check_condition_3_4_hw(
+        opts.hw,
+        &program,
+        opts.model,
+        opts.fidelity,
+        0..opts.seeds,
+        &sigs,
+        PairingPolicy::ByRole,
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Condition 3.4 check: {} on {} ({}, {}), {} seeded executions",
+        program.name(),
+        opts.model,
+        opts.fidelity,
+        opts.hw,
+        outcomes.len()
+    );
+    let _ = writeln!(
+        out,
+        "sampled SC executions: {} ({} race signature(s); program looks {})",
+        samples.len(),
+        sigs.len(),
+        if sc_racy { "racy" } else { "data-race-free" }
+    );
+    let mut all_ok = true;
+    for o in &outcomes {
+        let verdict = if o.holds() { "ok" } else { "VIOLATED" };
+        all_ok &= o.holds();
+        let detail = if o.race_free {
+            format!("race-free, SC={}", o.part1_sc.map_or("-".into(), |b| b.to_string()))
+        } else {
+            let t = o.part2.expect("racy executions carry a 4.2 outcome");
+            format!(
+                "racy, first partitions confirmed {}/{}",
+                t.partitions_confirmed, t.partitions_checked
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  seed {:>3}: {verdict}  ({detail}, scp-linearizes={})",
+            o.seed, o.scp_linearizes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        if all_ok {
+            "every execution satisfied Condition 3.4"
+        } else {
+            "CONDITION 3.4 VIOLATED — this hardware cannot support sound dynamic race detection"
+        }
+    );
+    Ok(out)
+}
+
+fn cmd_demo() -> Result<String, CliError> {
+    let entry = catalog::work_queue_buggy();
+    let mut sink = TraceBuilder::new(entry.program.num_procs());
+    let mut sched = WeakScript::new(catalog::work_queue_weak_script());
+    run_weak(
+        &entry.program,
+        MemoryModel::Wo,
+        wmrd_sim::Fidelity::Conditioned,
+        &mut sched,
+        &mut sink,
+        RunConfig::default(),
+    )?;
+    let mut trace = sink.finish();
+    trace.meta.program = Some(entry.name.into());
+    trace.meta.model = Some("WO".into());
+    let report = PostMortem::new(&trace).analyze()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "the paper's Figure 2 work queue, on weakly ordered hardware:\n");
+    let _ = write!(out, "{report}");
+    let _ = writeln!(out, "\ntimeline:\n{}", render::to_timeline(&trace, &report));
+    let _ = writeln!(
+        out,
+        "the FIRST partition is the missing-Test&Set bug; the withheld races are\n\
+         the stale-region collisions that no sequentially consistent execution\n\
+         could produce. Run `wmrd analyze --dot` on your own traces for pictures."
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("wmrd-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_catalog() {
+        assert!(run_cli(&argv("help")).unwrap().contains("USAGE"));
+        let listing = run_cli(&argv("catalog")).unwrap();
+        assert!(listing.contains("fig1a"));
+        assert!(listing.contains("work-queue-buggy"));
+        assert!(listing.contains("ticket-lock"));
+    }
+
+    #[test]
+    fn show_disassembles() {
+        let text = run_cli(&argv("show fig1b")).unwrap();
+        assert!(text.contains("unset"), "{text}");
+        assert!(text.contains("test&set"), "{text}");
+        assert!(text.contains("init m[2] = 1"), "{text}");
+    }
+
+    #[test]
+    fn export_then_run_from_file() {
+        let path = tmp("exported.json");
+        run_cli(&argv(&format!("export fig1a {path}"))).unwrap();
+        let out = run_cli(&argv(&format!("run {path} --model wo --seed 2"))).unwrap();
+        assert!(out.contains("ran fig1a on WO"), "{out}");
+        assert!(out.contains("data race"), "inline analysis expected:\n{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_records_and_analyze_reads_both_formats() {
+        let json_path = tmp("t.json");
+        let bin_path = tmp("t.bin");
+        run_cli(&argv(&format!("run fig1a --trace {json_path}"))).unwrap();
+        run_cli(&argv(&format!("run fig1a --trace {bin_path} --binary"))).unwrap();
+        let from_json = run_cli(&argv(&format!("analyze {json_path}"))).unwrap();
+        let from_bin = run_cli(&argv(&format!("analyze {bin_path}"))).unwrap();
+        assert!(from_json.contains("1 data race(s)"), "{from_json}");
+        assert_eq!(from_json, from_bin);
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn analyze_flags() {
+        let path = tmp("t2.json");
+        let dot = tmp("g.dot");
+        run_cli(&argv(&format!("run work-queue-buggy --model wo --seed 4 --trace {path}")))
+            .unwrap();
+        let out = run_cli(&argv(&format!(
+            "analyze {path} --all --timeline --dot {dot} --pairing by-role"
+        )))
+        .unwrap();
+        assert!(out.contains("verdict"), "{out}");
+        assert!(out.contains("dot graph written"), "{out}");
+        let dot_text = std::fs::read_to_string(&dot).unwrap();
+        assert!(dot_text.starts_with("digraph"));
+        let json_out = run_cli(&argv(&format!("analyze {path} --json"))).unwrap();
+        assert!(json_out.trim_start().starts_with('{'));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&dot).ok();
+    }
+
+    #[test]
+    fn ops_trace_export() {
+        let path = tmp("ops.json");
+        let out = run_cli(&argv(&format!("run fig1b --ops {path}"))).unwrap();
+        assert!(out.contains("operation trace written"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ops: wmrd_trace::OpTrace = serde_json::from_str(&text).unwrap();
+        assert!(ops.num_ops() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_reports_condition_3_4() {
+        let ok = run_cli(&argv("check producer-consumer --model rcsc --seeds 3")).unwrap();
+        assert!(ok.contains("every execution satisfied Condition 3.4"), "{ok}");
+        assert!(ok.contains("data-race-free"), "{ok}");
+        let racy = run_cli(&argv("check fig1a --model wo --seeds 3")).unwrap();
+        assert!(racy.contains("racy"), "{racy}");
+        assert!(racy.contains("every execution satisfied Condition 3.4"), "{racy}");
+    }
+
+    #[test]
+    fn demo_tells_the_story() {
+        let out = run_cli(&argv("demo")).unwrap();
+        assert!(out.contains("FIRST"), "{out}");
+        assert!(out.contains("end of estimated SCP"), "{out}");
+    }
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let err = run_cli(&argv("analyze /nonexistent/trace.json")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/trace.json"), "{err}");
+        let err = run_cli(&argv("export fig1a /nonexistent/dir/out.json")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/dir/out.json"), "{err}");
+    }
+
+    #[test]
+    fn missing_program_is_not_found() {
+        assert!(matches!(run_cli(&argv("run no-such-thing")), Err(CliError::NotFound(_))));
+        assert!(matches!(run_cli(&argv("show nope")), Err(CliError::NotFound(_))));
+    }
+}

@@ -1,0 +1,126 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Errors produced by argument parsing or command execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The invocation could not be parsed; the message is user-facing.
+    Usage(String),
+    /// A named workload or file could not be found.
+    NotFound(String),
+    /// The simulator failed.
+    Sim(wmrd_sim::SimError),
+    /// Trace reading/writing failed.
+    Trace(wmrd_trace::TraceError),
+    /// Analysis failed.
+    Analysis(wmrd_core::AnalysisError),
+    /// Verification failed.
+    Verify(wmrd_verify::VerifyError),
+    /// An I/O error.
+    Io(std::io::Error),
+    /// An I/O error on a specific file (named so the user knows which
+    /// path failed).
+    File {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::NotFound(m) => write!(f, "not found: {m}"),
+            CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            CliError::Verify(e) => write!(f, "verification failed: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::File { path, source } => write!(f, "{path}: {source}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Sim(e) => Some(e),
+            CliError::Trace(e) => Some(e),
+            CliError::Analysis(e) => Some(e),
+            CliError::Verify(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            CliError::File { source, .. } => Some(source),
+            CliError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wmrd_sim::SimError> for CliError {
+    fn from(e: wmrd_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<wmrd_trace::TraceError> for CliError {
+    fn from(e: wmrd_trace::TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+impl From<wmrd_core::AnalysisError> for CliError {
+    fn from(e: wmrd_core::AnalysisError) -> Self {
+        CliError::Analysis(e)
+    }
+}
+
+impl From<wmrd_verify::VerifyError> for CliError {
+    fn from(e: wmrd_verify::VerifyError) -> Self {
+        CliError::Verify(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_errors_name_the_path() {
+        let e = CliError::File {
+            path: "/tmp/x.json".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.to_string().contains("/tmp/x.json"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("bad flag".into()).to_string().contains("bad flag"));
+        assert!(CliError::NotFound("nope".into()).to_string().contains("nope"));
+        let e = CliError::from(wmrd_sim::SimError::StepLimit(3));
+        assert!(e.to_string().contains("simulation failed"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,31 @@
+//! The `wmrd` command-line tool.
+//!
+//! A thin, scriptable front end over the workspace: run catalog or
+//! user-supplied programs on the simulated SC/weak machines, record
+//! trace files, analyze them post-mortem, render graphs, and check the
+//! paper's hardware condition — all without writing Rust.
+//!
+//! ```text
+//! wmrd catalog                                  # list built-in workloads
+//! wmrd show fig1b                               # disassemble one
+//! wmrd export work-queue-buggy prog.json        # write it as JSON
+//! wmrd run fig1a --model wo --seed 3 --trace t.json
+//! wmrd analyze t.json --timeline --dot g.dot
+//! wmrd check producer-consumer --model rcsc --seeds 8
+//! wmrd demo                                     # the Figure 2/3 story
+//! ```
+//!
+//! The crate root exposes [`run_cli`], which executes a full invocation
+//! and returns its output as a string — `main` only prints it, so every
+//! command is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::{parse, AnalyzeOpts, CheckOpts, Command, RunOpts};
+pub use commands::run_cli;
+pub use error::CliError;

@@ -1,0 +1,165 @@
+//! The *affects* relation (Definition 3.3).
+//!
+//! A race `⟨x,y⟩` affects a memory operation (here: event) `z` iff `z` is
+//! `x` or `y`, or `x` or `y` happens-before `z`, or the effect chains
+//! through another race. The paper observes (Section 4.2) that with the
+//! doubly-directed race edges of G′, "a path exists in G′ from A (or B)
+//! to C (or D) iff ⟨A,B⟩ affects ⟨C,D⟩" — so the whole relation is G′
+//! reachability.
+
+use wmrd_trace::EventId;
+
+use crate::{AugmentedGraph, DataRace};
+
+/// Answers *affects* queries over one execution's augmented graph.
+#[derive(Debug)]
+pub struct AffectsOracle<'a> {
+    aug: &'a AugmentedGraph<'a>,
+    races: &'a [DataRace],
+}
+
+impl<'a> AffectsOracle<'a> {
+    /// Creates an oracle. `races` must be the slice the augmented graph
+    /// was built from.
+    pub fn new(aug: &'a AugmentedGraph<'a>, races: &'a [DataRace]) -> Self {
+        AffectsOracle { aug, races }
+    }
+
+    /// `true` iff race `race_index` affects `event` (Definition 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `race_index` is out of range.
+    pub fn affects_event(&self, race_index: usize, event: EventId) -> bool {
+        let race = &self.races[race_index];
+        if race.involves(event) {
+            return true;
+        }
+        self.aug.path(race.a, event) || self.aug.path(race.b, event)
+    }
+
+    /// `true` iff race `i` affects race `j` (affects either endpoint).
+    ///
+    /// Every race affects itself (clause (1) of the definition).
+    pub fn affects_race(&self, i: usize, j: usize) -> bool {
+        let rj = &self.races[j];
+        self.affects_event(i, rj.a) || self.affects_event(i, rj.b)
+    }
+
+    /// Indices of the data races not affected by any *other* data race —
+    /// the paper's "first data races", which Condition 3.4(2) guarantees
+    /// occur in the sequentially consistent prefix.
+    pub fn unaffected_data_races(&self) -> Vec<usize> {
+        let data: Vec<usize> = self.aug.data_race_indices().to_vec();
+        data.iter()
+            .copied()
+            .filter(|&j| data.iter().all(|&i| i == j || !self.affects_race(i, j)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect_races, HbGraph, PairingPolicy};
+    use wmrd_trace::{
+        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSink, TraceSet, Value,
+    };
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn e(proc: u16, index: u32) -> EventId {
+        EventId::new(p(proc), index)
+    }
+
+    fn two_phase_trace() -> TraceSet {
+        // Phase 1: race on x between P0.e0 and P1.e0.
+        // Phase 2 (po-after): race on y between P0.e2 and P1.e2.
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        b.sync_access(p(0), l(8), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Read, Value::ZERO, None);
+        b.finish()
+    }
+
+    #[test]
+    fn race_affects_itself_and_successors() {
+        let t = two_phase_trace();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 2);
+        let aug = AugmentedGraph::build(&hb, &races);
+        let oracle = AffectsOracle::new(&aug, &races);
+
+        // Race 0 is on x (events P0.e0, P1.e0); race 1 on y.
+        assert!(oracle.affects_event(0, e(0, 0)), "involves");
+        assert!(oracle.affects_event(0, e(0, 2)), "po successor of endpoint");
+        assert!(oracle.affects_event(0, e(1, 2)), "cross-processor through race edge + po");
+        assert!(oracle.affects_race(0, 0), "affects itself");
+        assert!(oracle.affects_race(0, 1), "first race affects the later one");
+        assert!(!oracle.affects_race(1, 0), "later race does not affect the earlier one");
+        assert!(!oracle.affects_event(1, e(0, 0)));
+    }
+
+    #[test]
+    fn unaffected_races_are_the_first_ones() {
+        let t = two_phase_trace();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        let aug = AugmentedGraph::build(&hb, &races);
+        let oracle = AffectsOracle::new(&aug, &races);
+        let unaffected = oracle.unaffected_data_races();
+        assert_eq!(unaffected.len(), 1);
+        assert!(races[unaffected[0]].locations.contains(l(0)), "the x race is first");
+    }
+
+    #[test]
+    fn mutually_affecting_races_yield_no_unaffected_race() {
+        // Same shape as partition.rs's cyclic test: two races on a G′
+        // cycle affect each other, so *neither* is unaffected — which is
+        // exactly why the paper reports partitions rather than individual
+        // races.
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.sync_access(p(0), l(8), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Write, Value::new(2), None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.data_access(p(1), l(0), AccessKind::Write, Value::new(2), None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 2);
+        let aug = AugmentedGraph::build(&hb, &races);
+        let oracle = AffectsOracle::new(&aug, &races);
+        assert!(oracle.affects_race(0, 1));
+        assert!(oracle.affects_race(1, 0));
+        assert!(oracle.unaffected_data_races().is_empty());
+    }
+
+    #[test]
+    fn independent_races_are_all_unaffected() {
+        let mut b = TraceBuilder::new(4);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        b.data_access(p(2), l(5), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(3), l(5), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        let aug = AugmentedGraph::build(&hb, &races);
+        let oracle = AffectsOracle::new(&aug, &races);
+        assert_eq!(oracle.unaffected_data_races().len(), 2);
+        assert!(!oracle.affects_race(0, 1));
+        assert!(!oracle.affects_race(1, 0));
+    }
+}

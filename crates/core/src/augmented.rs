@@ -1,0 +1,184 @@
+//! The augmented happens-before-1 graph G′ (Section 4.2).
+//!
+//! G′ is the hb1 graph plus, for each **data** race, a doubly-directed
+//! edge between the two events involved. A path in G′ from one race's
+//! events to another's exists iff the first race *affects* the second
+//! (Definition 3.3) — so the strongly connected components of G′ group
+//! mutually-affecting races, and reachability between components orders
+//! the groups.
+
+use wmrd_trace::EventId;
+
+use crate::{DataRace, DiGraph, HbGraph, Reachability};
+
+/// The augmented graph G′ of one execution.
+#[derive(Debug)]
+pub struct AugmentedGraph<'a> {
+    hb: &'a HbGraph,
+    graph: DiGraph,
+    reach: Reachability,
+    /// Indices (into the race slice used at construction) of the *data*
+    /// races whose edges were added.
+    data_race_indices: Vec<usize>,
+}
+
+impl<'a> AugmentedGraph<'a> {
+    /// Builds G′ from the hb1 graph and the detected races.
+    ///
+    /// Only data races add edges (`SyncSync` races are not part of the
+    /// paper's construction); the indices of the races used are
+    /// remembered and exposed via
+    /// [`data_race_indices`](Self::data_race_indices).
+    pub fn build(hb: &'a HbGraph, races: &[DataRace]) -> Self {
+        let mut graph = DiGraph::new(hb.num_events());
+        for node in 0..hb.num_events() as u32 {
+            for &succ in hb.graph().successors(node) {
+                graph.add_edge(node, succ);
+            }
+        }
+        let mut data_race_indices = Vec::new();
+        for (i, race) in races.iter().enumerate() {
+            if !race.is_data_race() {
+                continue;
+            }
+            let (Some(na), Some(nb)) = (hb.node_of(race.a), hb.node_of(race.b)) else {
+                continue;
+            };
+            graph.add_edge(na, nb);
+            graph.add_edge(nb, na);
+            data_race_indices.push(i);
+        }
+        let reach = Reachability::compute(&graph);
+        AugmentedGraph { hb, graph, reach, data_race_indices }
+    }
+
+    /// The underlying hb1 graph.
+    pub fn hb(&self) -> &HbGraph {
+        self.hb
+    }
+
+    /// The G′ edge structure.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Reachability over G′.
+    pub fn reach(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// Indices of the data races that contributed edges.
+    pub fn data_race_indices(&self) -> &[usize] {
+        &self.data_race_indices
+    }
+
+    /// The G′ strongly-connected component of an event.
+    pub fn component_of(&self, event: EventId) -> Option<u32> {
+        Some(self.reach.scc().component_of(self.hb.node_of(event)?))
+    }
+
+    /// `true` iff a path of length ≥ 1 exists from `a` to `b` in G′.
+    pub fn path(&self, a: EventId, b: EventId) -> bool {
+        match (self.hb.node_of(a), self.hb.node_of(b)) {
+            (Some(na), Some(nb)) => self.reach.query(na, nb),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect_races, PairingPolicy};
+    use wmrd_trace::{AccessKind, Location, ProcId, TraceBuilder, TraceSink, TraceSet, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn e(proc: u16, index: u32) -> EventId {
+        EventId::new(p(proc), index)
+    }
+
+    fn racy_trace() -> TraceSet {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        b.finish()
+    }
+
+    #[test]
+    fn race_edges_create_a_two_cycle() {
+        let t = racy_trace();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        let aug = AugmentedGraph::build(&hb, &races);
+        assert_eq!(aug.data_race_indices(), &[0]);
+        // The two race endpoints are mutually reachable in G′ ...
+        assert!(aug.path(e(0, 0), e(1, 0)));
+        assert!(aug.path(e(1, 0), e(0, 0)));
+        // ... and share a component.
+        assert_eq!(aug.component_of(e(0, 0)), aug.component_of(e(1, 0)));
+        // While in plain hb1 they are concurrent.
+        assert!(hb.concurrent(e(0, 0), e(1, 0)));
+    }
+
+    #[test]
+    fn sync_sync_races_add_no_edges() {
+        use wmrd_trace::SyncRole;
+        let mut b = TraceBuilder::new(2);
+        b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::new(1), None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 1);
+        let aug = AugmentedGraph::build(&hb, &races);
+        assert!(aug.data_race_indices().is_empty());
+        assert!(!aug.path(e(0, 0), e(1, 0)));
+        assert_eq!(aug.graph().num_edges(), hb.graph().num_edges());
+    }
+
+    #[test]
+    fn race_affects_po_successors() {
+        // P0: racy write, then more work. The race affects P0's later
+        // event through G′.
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.sync_access(
+            p(0),
+            l(9),
+            AccessKind::Write,
+            wmrd_trace::SyncRole::Release,
+            Value::ZERO,
+            None,
+        );
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(2), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 1);
+        let aug = AugmentedGraph::build(&hb, &races);
+        // From the race endpoint on P1 there is a G′ path to P0's third
+        // event (via the race edge and P0's po).
+        assert!(aug.path(e(1, 0), e(0, 2)));
+        // But not in plain hb1.
+        assert!(!hb.ordered(e(1, 0), e(0, 2)));
+    }
+
+    #[test]
+    fn hb_accessor() {
+        let t = racy_trace();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        let aug = AugmentedGraph::build(&hb, &races);
+        assert_eq!(aug.hb().num_events(), 2);
+        assert!(aug.component_of(e(9, 0)).is_none());
+        assert!(!aug.path(e(9, 0), e(0, 0)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the analysis pipeline.
+
+use std::fmt;
+
+use wmrd_trace::{EventId, OpId, TraceError};
+
+/// Errors produced by race analysis.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The input trace failed validation.
+    Trace(TraceError),
+    /// A sync read's `observed_release` referenced an operation that is
+    /// not a recorded synchronization write.
+    DanglingRelease {
+        /// The reading sync event.
+        reader: EventId,
+        /// The unresolvable release operation id.
+        release: OpId,
+    },
+    /// The analysis hit an internal inconsistency (message explains).
+    Internal(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Trace(e) => write!(f, "invalid trace: {e}"),
+            AnalysisError::DanglingRelease { reader, release } => {
+                write!(f, "sync read {reader} observed unknown release {release}")
+            }
+            AnalysisError::Internal(m) => write!(f, "internal analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for AnalysisError {
+    fn from(e: TraceError) -> Self {
+        AnalysisError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+    use wmrd_trace::ProcId;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnalysisError::from(TraceError::Malformed("x".into()));
+        assert!(e.to_string().contains("invalid trace"));
+        assert!(e.source().is_some());
+        let d = AnalysisError::DanglingRelease {
+            reader: EventId::new(ProcId::new(0), 1),
+            release: OpId::new(ProcId::new(1), 2),
+        };
+        assert!(d.to_string().contains("P0.e1"));
+        assert!(d.source().is_none());
+        assert!(AnalysisError::Internal("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

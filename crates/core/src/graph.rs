@@ -1,0 +1,484 @@
+//! Directed-graph machinery: adjacency lists, Tarjan's strongly connected
+//! components, condensation, and bitset reachability.
+//!
+//! The paper's analysis needs three graph operations: path existence in
+//! the (possibly cyclic) happens-before-1 graph of a weak execution, the
+//! strongly connected components of the augmented graph G′ (Section 4.2),
+//! and the partial order `P` between components. All three reduce to SCC
+//! condensation plus reachability over the (acyclic) condensation, which
+//! a topological sweep of bitsets computes in `O(V·E/64)`.
+
+use std::fmt;
+
+/// A directed graph over dense node indices `0..n`.
+#[derive(Clone, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (parallel edges counted).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32) {
+        assert!((to as usize) < self.adj.len(), "edge target out of range");
+        self.adj[from as usize].push(to);
+        self.num_edges += 1;
+    }
+
+    /// The successors of a node.
+    pub fn successors(&self, node: u32) -> &[u32] {
+        &self.adj[node as usize]
+    }
+
+    /// `true` iff a path of length ≥ 1 exists from `from` to `to`
+    /// (iterative DFS — the "naive" reachability used as an ablation
+    /// baseline; prefer [`Reachability`] for repeated queries).
+    pub fn has_path(&self, from: u32, to: u32) -> bool {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack: Vec<u32> = self.successors(from).to_vec();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !std::mem::replace(&mut seen[n as usize], true) {
+                stack.extend_from_slice(self.successors(n));
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiGraph({} nodes, {} edges)", self.num_nodes(), self.num_edges())
+    }
+}
+
+/// Strongly connected components of a [`DiGraph`], from Tarjan's
+/// algorithm (implemented iteratively to cope with deep graphs).
+///
+/// Components are numbered in **reverse topological order**: if an edge
+/// leads from component `a` to component `b ≠ a`, then `a > b`.
+#[derive(Debug, Clone)]
+pub struct SccInfo {
+    comp_of: Vec<u32>,
+    comp_members: Vec<Vec<u32>>,
+}
+
+impl SccInfo {
+    /// Computes the SCCs of `g`.
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_nodes();
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_of = vec![u32::MAX; n];
+        let mut comp_members: Vec<Vec<u32>> = Vec::new();
+        let mut next_index = 0u32;
+
+        // Explicit DFS frames: (node, next-successor position).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start as usize] = next_index;
+            low[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                let succs = g.successors(v);
+                if *pos < succs.len() {
+                    let w = succs[*pos];
+                    *pos += 1;
+                    if index[w as usize] == u32::MAX {
+                        index[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        let comp_id = comp_members.len() as u32;
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp_id;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        comp_members.push(members);
+                    }
+                }
+            }
+        }
+        SccInfo { comp_of, comp_members }
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.comp_members.len()
+    }
+
+    /// The component a node belongs to.
+    pub fn component_of(&self, node: u32) -> u32 {
+        self.comp_of[node as usize]
+    }
+
+    /// The members of a component, ascending.
+    pub fn members(&self, comp: u32) -> &[u32] {
+        &self.comp_members[comp as usize]
+    }
+
+    /// `true` iff the component contains more than one node (every pair of
+    /// its nodes lies on a cycle). Single nodes with a self-loop are not
+    /// produced by the analyses here (hb and race edges never self-loop).
+    pub fn is_nontrivial(&self, comp: u32) -> bool {
+        self.comp_members[comp as usize].len() > 1
+    }
+}
+
+/// The condensation of a graph: one node per SCC, deduplicated edges,
+/// acyclic by construction.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The condensed (acyclic) graph; node `c` is SCC `c` of the input.
+    pub graph: DiGraph,
+    /// Components in topological order (sources first).
+    pub topo: Vec<u32>,
+}
+
+impl Condensation {
+    /// Builds the condensation from a graph and its SCCs.
+    pub fn compute(g: &DiGraph, scc: &SccInfo) -> Self {
+        let nc = scc.num_components();
+        let mut cg = DiGraph::new(nc);
+        let mut seen: Vec<u32> = vec![u32::MAX; nc];
+        for v in 0..g.num_nodes() as u32 {
+            let cv = scc.component_of(v);
+            for &w in g.successors(v) {
+                let cw = scc.component_of(w);
+                if cv != cw && seen[cw as usize] != v {
+                    seen[cw as usize] = v;
+                    cg.add_edge(cv, cw);
+                }
+            }
+        }
+        // Tarjan numbers components in reverse topological order, so the
+        // topological order is descending component ids.
+        let topo: Vec<u32> = (0..nc as u32).rev().collect();
+        Condensation { graph: cg, topo }
+    }
+}
+
+/// All-pairs reachability over a condensation, as bitsets.
+///
+/// `query(a, b)` answers "is there a path of length ≥ 1 from node `a` to
+/// node `b` in the *original* graph": `true` if both map to the same
+/// nontrivial SCC, or if `b`'s SCC is reachable from `a`'s SCC.
+#[derive(Clone)]
+pub struct Reachability {
+    scc: SccInfo,
+    /// `bits[c]` = set of components reachable from component `c`
+    /// (excluding `c` itself).
+    bits: Vec<u64>,
+    stride: usize,
+    /// Components containing a self-loop edge (a singleton SCC with a
+    /// self-loop still "reaches itself").
+    self_loops: Vec<bool>,
+}
+
+impl Reachability {
+    /// Computes reachability for `g`.
+    pub fn compute(g: &DiGraph) -> Self {
+        let scc = SccInfo::compute(g);
+        let cond = Condensation::compute(g, &scc);
+        Self::from_parts(g, scc, &cond)
+    }
+
+    /// Computes reachability from precomputed SCC + condensation.
+    pub fn from_parts(g: &DiGraph, scc: SccInfo, cond: &Condensation) -> Self {
+        let mut self_loops = vec![false; scc.num_components()];
+        for v in 0..g.num_nodes() as u32 {
+            if g.successors(v).contains(&v) {
+                self_loops[scc.component_of(v) as usize] = true;
+            }
+        }
+        let nc = scc.num_components();
+        let stride = nc.div_ceil(64);
+        let mut bits = vec![0u64; nc * stride];
+        // Sweep in reverse topological order (sinks first): reach(c) =
+        // ∪ over successors s of ({s} ∪ reach(s)).
+        for &c in cond.topo.iter().rev() {
+            let ci = c as usize;
+            // Collect into a scratch row to appease the borrow checker.
+            let mut row = vec![0u64; stride];
+            for &s in cond.graph.successors(c) {
+                let si = s as usize;
+                row[si / 64] |= 1 << (si % 64);
+                let src = &bits[si * stride..(si + 1) * stride];
+                for (r, v) in row.iter_mut().zip(src) {
+                    *r |= v;
+                }
+            }
+            bits[ci * stride..(ci + 1) * stride].copy_from_slice(&row);
+        }
+        Reachability { scc, bits, stride, self_loops }
+    }
+
+    /// The SCC structure underlying this reachability index.
+    pub fn scc(&self) -> &SccInfo {
+        &self.scc
+    }
+
+    /// `true` iff a path of length ≥ 1 exists from `a` to `b` in the
+    /// original graph.
+    pub fn query(&self, a: u32, b: u32) -> bool {
+        let ca = self.scc.component_of(a);
+        let cb = self.scc.component_of(b);
+        if ca == cb {
+            return self.scc.is_nontrivial(ca) || self.self_loops[ca as usize];
+        }
+        self.comp_query(ca, cb)
+    }
+
+    /// `true` iff component `cb` is reachable from component `ca`
+    /// (`ca != cb`; a component never "reaches itself" here).
+    pub fn comp_query(&self, ca: u32, cb: u32) -> bool {
+        let (ca, cb) = (ca as usize, cb as usize);
+        self.bits[ca * self.stride + cb / 64] & (1 << (cb % 64)) != 0
+    }
+
+    /// `true` iff `a` and `b` are mutually unreachable (the "not ordered
+    /// by hb1" half of the race definition).
+    pub fn concurrent(&self, a: u32, b: u32) -> bool {
+        !self.query(a, b) && !self.query(b, a)
+    }
+}
+
+impl fmt::Debug for Reachability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reachability({} components)", self.scc.num_components())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    /// Two 2-cycles joined: 0 <-> 1 -> 2 <-> 3.
+    fn two_cycles() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        g
+    }
+
+    #[test]
+    fn digraph_basics() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert!(g.successors(3).is_empty());
+        assert!(format!("{g:?}").contains("4 nodes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge target out of range")]
+    fn add_edge_checks_range() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn has_path_dfs() {
+        let g = diamond();
+        assert!(g.has_path(0, 3));
+        assert!(g.has_path(1, 3));
+        assert!(!g.has_path(3, 0));
+        assert!(!g.has_path(1, 2));
+        assert!(!g.has_path(0, 0), "no self-path without a cycle");
+        let c = two_cycles();
+        assert!(c.has_path(0, 0), "cycle gives a self-path");
+        assert!(c.has_path(0, 3));
+        assert!(!c.has_path(2, 1));
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let g = diamond();
+        let scc = SccInfo::compute(&g);
+        assert_eq!(scc.num_components(), 4);
+        for v in 0..4 {
+            assert!(!scc.is_nontrivial(scc.component_of(v)));
+            assert_eq!(scc.members(scc.component_of(v)), &[v]);
+        }
+    }
+
+    #[test]
+    fn scc_finds_cycles() {
+        let g = two_cycles();
+        let scc = SccInfo::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        assert_ne!(scc.component_of(0), scc.component_of(2));
+        assert!(scc.is_nontrivial(scc.component_of(0)));
+        assert_eq!(scc.members(scc.component_of(0)), &[0, 1]);
+    }
+
+    #[test]
+    fn scc_component_numbering_is_reverse_topological() {
+        let g = two_cycles();
+        let scc = SccInfo::compute(&g);
+        // Edge {0,1} -> {2,3}: source component id must be greater.
+        assert!(scc.component_of(0) > scc.component_of(2));
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_deduped() {
+        let g = two_cycles();
+        let scc = SccInfo::compute(&g);
+        let cond = Condensation::compute(&g, &scc);
+        assert_eq!(cond.graph.num_nodes(), 2);
+        assert_eq!(cond.graph.num_edges(), 1, "parallel condensed edges deduplicated");
+        assert_eq!(cond.topo.len(), 2);
+        // topo: source before sink
+        let src = scc.component_of(0);
+        let sink = scc.component_of(2);
+        let pos = |c: u32| cond.topo.iter().position(|&x| x == c).unwrap();
+        assert!(pos(src) < pos(sink));
+    }
+
+    #[test]
+    fn reachability_on_dag() {
+        let r = Reachability::compute(&diamond());
+        assert!(r.query(0, 3));
+        assert!(r.query(0, 1));
+        assert!(!r.query(3, 0));
+        assert!(!r.query(1, 2));
+        assert!(!r.query(0, 0));
+        assert!(r.concurrent(1, 2));
+        assert!(!r.concurrent(0, 3));
+    }
+
+    #[test]
+    fn reachability_with_cycles() {
+        let r = Reachability::compute(&two_cycles());
+        assert!(r.query(0, 1) && r.query(1, 0), "same nontrivial SCC is mutually reachable");
+        assert!(r.query(0, 0), "on a cycle, a node reaches itself");
+        assert!(r.query(0, 3));
+        assert!(!r.query(2, 0));
+        assert!(!r.concurrent(0, 1));
+    }
+
+    #[test]
+    fn reachability_matches_dfs_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..30);
+            let mut g = DiGraph::new(n);
+            let edges = rng.gen_range(0..n * 3);
+            for _ in 0..edges {
+                g.add_edge(rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            }
+            let r = Reachability::compute(&g);
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    assert_eq!(
+                        r.query(a, b),
+                        g.has_path(a, b),
+                        "disagree on {a}->{b} in graph with {n} nodes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_large_stride() {
+        // More than 64 components exercises multi-word bitset rows.
+        let n = 200;
+        let mut g = DiGraph::new(n);
+        for i in 0..(n as u32 - 1) {
+            g.add_edge(i, i + 1);
+        }
+        let r = Reachability::compute(&g);
+        assert!(r.query(0, 199));
+        assert!(r.query(100, 150));
+        assert!(!r.query(150, 100));
+        assert!(!r.query(0, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        let scc = SccInfo::compute(&g);
+        assert_eq!(scc.num_components(), 0);
+        let r = Reachability::compute(&g);
+        assert_eq!(r.scc().num_components(), 0);
+    }
+
+    #[test]
+    fn self_loop_node() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        let scc = SccInfo::compute(&g);
+        // A self-loop makes a singleton SCC, which `is_nontrivial`
+        // reports as trivial — the analyses never create self-loops, but
+        // has_path still answers correctly.
+        assert_eq!(scc.num_components(), 2);
+        assert!(g.has_path(0, 0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Release/acquire pairing: the `so1` relation (Definitions 2.1–2.2).
+//!
+//! Two synchronization operations are *paired* when the first is a
+//! release write, the second an acquire read of the same location, and
+//! the read **returns the value written by** the release
+//! (Definition 2.1(3)). Traces record exactly which synchronization write
+//! each synchronization read observed, so pairing is a lookup, not a
+//! heuristic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::{AccessKind, EventId, Location, OpId, SyncRole, TraceSet};
+
+use crate::AnalysisError;
+
+/// Which synchronization operations may pair into `so1` edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairingPolicy {
+    /// Pair only release writes with acquire reads (Definition 2.1; the
+    /// semantics WO, RCsc and DRF1 analyses use). The write half of a
+    /// `Test&Set` is *not* a release and creates no edge.
+    #[default]
+    ByRole,
+    /// Pair every synchronization write with every synchronization read
+    /// that returned its value — the DRF0 view, which "does not
+    /// distinguish between acquire and release operations" (Section 2.2).
+    AllSync,
+}
+
+impl fmt::Display for PairingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PairingPolicy::ByRole => "by-role",
+            PairingPolicy::AllSync => "all-sync",
+        })
+    }
+}
+
+/// One `so1` edge: a release paired with an acquire that returned its
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct So1Edge {
+    /// The releasing (writing) synchronization event.
+    pub release: EventId,
+    /// The acquiring (reading) synchronization event.
+    pub acquire: EventId,
+    /// The synchronization location.
+    pub loc: Location,
+}
+
+/// Computes the `so1` edges of a trace under a pairing policy.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::DanglingRelease`] if a synchronization read
+/// claims to have observed a write that is not a recorded synchronization
+/// write — a corrupt trace.
+pub fn so1_edges(
+    trace: &TraceSet,
+    policy: PairingPolicy,
+) -> Result<Vec<So1Edge>, AnalysisError> {
+    // Index sync writes by operation id.
+    let mut sync_writes: HashMap<OpId, (EventId, SyncRole, Location)> = HashMap::new();
+    for event in trace.events() {
+        if let Some(s) = event.as_sync() {
+            if s.kind == AccessKind::Write {
+                sync_writes.insert(s.op, (event.id, s.role, s.loc));
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for event in trace.events() {
+        let Some(s) = event.as_sync() else { continue };
+        if s.kind != AccessKind::Read {
+            continue;
+        }
+        let Some(rel_op) = s.observed_release else { continue };
+        let &(rel_event, rel_role, rel_loc) = sync_writes
+            .get(&rel_op)
+            .ok_or(AnalysisError::DanglingRelease { reader: event.id, release: rel_op })?;
+        if rel_loc != s.loc {
+            return Err(AnalysisError::Internal(format!(
+                "paired sync ops access different locations: {} vs {}",
+                rel_loc, s.loc
+            )));
+        }
+        let pairs = match policy {
+            PairingPolicy::ByRole => rel_role.is_release() && s.role.is_acquire(),
+            PairingPolicy::AllSync => true,
+        };
+        if pairs {
+            edges.push(So1Edge { release: rel_event, acquire: event.id, loc: s.loc });
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_trace::{ProcId, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    /// Builds the Unset / Test&Set pairing of the paper's Figure 1b:
+    /// P0: Unset(s) (release);  P1: Test&Set(s) = acquire read observing
+    /// the Unset, plus a plain sync write.
+    fn unset_test_set_trace() -> TraceSet {
+        let mut b = TraceBuilder::new(2);
+        let s = l(9);
+        let rel =
+            b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        b.sync_access(p(1), s, AccessKind::Write, SyncRole::None, Value::new(1), None);
+        b.finish()
+    }
+
+    #[test]
+    fn pairs_release_with_acquire() {
+        let t = unset_test_set_trace();
+        let edges = so1_edges(&t, PairingPolicy::ByRole).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].release, EventId::new(p(0), 0));
+        assert_eq!(edges[0].acquire, EventId::new(p(1), 0));
+        assert_eq!(edges[0].loc, l(9));
+    }
+
+    #[test]
+    fn test_set_write_is_not_a_release() {
+        // A second Test&Set observing the first one's write pairs only
+        // under AllSync, because the Test&Set write has no release role —
+        // exactly the paper's example in Section 2.1.
+        let mut b = TraceBuilder::new(2);
+        let s = l(9);
+        b.sync_access(p(0), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+        let ts_write =
+            b.sync_access(p(0), s, AccessKind::Write, SyncRole::None, Value::new(1), None);
+        b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::new(1), Some(ts_write));
+        let t = b.finish();
+        assert!(so1_edges(&t, PairingPolicy::ByRole).unwrap().is_empty());
+        let all = so1_edges(&t, PairingPolicy::AllSync).unwrap();
+        assert_eq!(all.len(), 1, "DRF0-style pairing accepts any sync write");
+    }
+
+    #[test]
+    fn read_of_initial_value_pairs_nothing() {
+        let mut b = TraceBuilder::new(1);
+        b.sync_access(p(0), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+        let t = b.finish();
+        assert!(so1_edges(&t, PairingPolicy::ByRole).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dangling_release_is_an_error() {
+        let mut b = TraceBuilder::new(1);
+        b.sync_access(
+            p(0),
+            l(9),
+            AccessKind::Read,
+            SyncRole::Acquire,
+            Value::ZERO,
+            Some(OpId::new(p(0), 99)),
+        );
+        let t = b.finish();
+        assert!(matches!(
+            so1_edges(&t, PairingPolicy::ByRole),
+            Err(AnalysisError::DanglingRelease { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_acquires_of_one_release() {
+        // Two readers both acquire the same release: two edges.
+        let mut b = TraceBuilder::new(3);
+        let s = l(9);
+        let rel =
+            b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        b.sync_access(p(2), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        let t = b.finish();
+        let edges = so1_edges(&t, PairingPolicy::ByRole).unwrap();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(PairingPolicy::ByRole.to_string(), "by-role");
+        assert_eq!(PairingPolicy::AllSync.to_string(), "all-sync");
+        assert_eq!(PairingPolicy::default(), PairingPolicy::ByRole);
+    }
+}

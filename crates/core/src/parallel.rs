@@ -1,0 +1,261 @@
+//! Parallel analysis helpers.
+//!
+//! The post-mortem phase is offline, so wall-clock time is bounded by
+//! how much work one developer machine can throw at it. Two helpers use
+//! scoped threads (crossbeam):
+//!
+//! * [`detect_races_parallel`] — shards the per-location candidate
+//!   generation of [`detect_races`](crate::detect_races) across threads.
+//!   Output is identical to the sequential detector (asserted by tests).
+//! * [`analyze_batch`] — analyzes many traces concurrently (the shape of
+//!   a fuzzing campaign: hundreds of seeded executions, one report
+//!   each).
+
+use std::collections::{HashMap, HashSet};
+
+use wmrd_trace::{EventId, Location, TraceSet};
+
+use crate::{
+    AnalysisError, AnalysisOptions, DataRace, HbGraph, PostMortem, RaceKind, RaceReport,
+};
+
+/// Parallel variant of [`detect_races`](crate::detect_races): candidate
+/// generation is split into `threads` location shards; results are
+/// merged, deduplicated and sorted identically to the sequential
+/// detector.
+///
+/// `threads == 0` is treated as 1.
+pub fn detect_races_parallel(
+    trace: &TraceSet,
+    hb: &HbGraph,
+    threads: usize,
+) -> Vec<DataRace> {
+    let threads = threads.max(1);
+    // Per-location access lists (sequential; cheap relative to the pair
+    // work).
+    let mut writers: HashMap<Location, Vec<EventId>> = HashMap::new();
+    let mut accessors: HashMap<Location, Vec<EventId>> = HashMap::new();
+    for event in trace.events() {
+        let w = event.write_set();
+        let r = event.read_set();
+        for loc in &w {
+            writers.entry(loc).or_default().push(event.id);
+            accessors.entry(loc).or_default().push(event.id);
+        }
+        for loc in &r {
+            if !w.contains(loc) {
+                accessors.entry(loc).or_default().push(event.id);
+            }
+        }
+    }
+    let locations: Vec<Location> = writers.keys().copied().collect();
+    let shards: Vec<&[Location]> = if locations.is_empty() {
+        Vec::new()
+    } else {
+        locations.chunks(locations.len().div_ceil(threads)).collect()
+    };
+
+    // Each shard emits candidate unordered conflicting *pairs*; the
+    // merge step dedups pairs that conflict on locations in different
+    // shards.
+    let mut pairs: HashSet<(EventId, EventId)> = HashSet::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for shard in shards {
+            let writers = &writers;
+            let accessors = &accessors;
+            handles.push(scope.spawn(move |_| {
+                let mut local: HashSet<(EventId, EventId)> = HashSet::new();
+                for loc in shard {
+                    let (Some(ws), Some(accs)) = (writers.get(loc), accessors.get(loc))
+                    else {
+                        continue;
+                    };
+                    for &w in ws {
+                        for &x in accs {
+                            if w == x || w.proc == x.proc {
+                                continue;
+                            }
+                            let (a, b) = if w < x { (w, x) } else { (x, w) };
+                            if local.contains(&(a, b)) {
+                                continue;
+                            }
+                            if hb.concurrent(a, b) {
+                                local.insert((a, b));
+                            }
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            pairs.extend(handle.join().expect("detector shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut races: Vec<DataRace> = pairs
+        .into_iter()
+        .filter_map(|(a, b)| {
+            let (ea, eb) = (trace.event(a)?, trace.event(b)?);
+            let locations = ea.conflict_locations(eb);
+            let kind = match (ea.is_sync(), eb.is_sync()) {
+                (false, false) => RaceKind::DataData,
+                (true, true) => RaceKind::SyncSync,
+                _ => RaceKind::DataSync,
+            };
+            Some(DataRace { a, b, locations, kind })
+        })
+        .collect();
+    races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
+    races
+}
+
+/// Analyzes a batch of traces concurrently, one report per trace, in
+/// input order.
+pub fn analyze_batch(
+    traces: &[TraceSet],
+    options: AnalysisOptions,
+    threads: usize,
+) -> Vec<Result<RaceReport, AnalysisError>> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<Result<RaceReport, AnalysisError>>> =
+        (0..traces.len()).map(|_| None).collect();
+    let chunk = traces.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (shard_index, shard) in traces.chunks(chunk).enumerate() {
+            handles.push(scope.spawn(move |_| {
+                let reports: Vec<Result<RaceReport, AnalysisError>> = shard
+                    .iter()
+                    .map(|t| PostMortem::new(t).options(options).analyze())
+                    .collect();
+                (shard_index, reports)
+            }));
+        }
+        for handle in handles {
+            let (shard_index, reports) = handle.join().expect("analysis shard panicked");
+            for (offset, report) in reports.into_iter().enumerate() {
+                results[shard_index * chunk + offset] = Some(report);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect_races, PairingPolicy};
+    use wmrd_trace::{AccessKind, ProcId, SyncRole, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    /// A trace with many locations and a mix of race kinds.
+    fn busy_trace(procs: u16, locs: u32) -> TraceSet {
+        let mut b = TraceBuilder::new(procs as usize);
+        for proc in 0..procs {
+            for loc in 0..locs {
+                if (proc + loc as u16) % 2 == 0 {
+                    b.data_access(p(proc), l(loc), AccessKind::Write, Value::new(1), None);
+                } else {
+                    b.data_access(p(proc), l(loc), AccessKind::Read, Value::ZERO, None);
+                }
+            }
+            b.sync_access(
+                p(proc),
+                l(locs + u32::from(proc)),
+                AccessKind::Write,
+                SyncRole::Release,
+                Value::ZERO,
+                None,
+            );
+            for loc in 0..locs / 2 {
+                b.data_access(p(proc), l(loc), AccessKind::Write, Value::new(2), None);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let trace = busy_trace(4, 12);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        let sequential = detect_races(&trace, &hb);
+        assert!(!sequential.is_empty());
+        for threads in [1, 2, 3, 8] {
+            let parallel = detect_races_parallel(&trace, &hb, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_race_free_trace() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Write, Value::new(1), None);
+        let trace = b.finish();
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        assert!(detect_races_parallel(&trace, &hb, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_zero_threads_treated_as_one() {
+        let trace = busy_trace(2, 4);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        assert_eq!(
+            detect_races_parallel(&trace, &hb, 0),
+            detect_races(&trace, &hb)
+        );
+    }
+
+    #[test]
+    fn batch_matches_individual_analysis() {
+        let traces: Vec<TraceSet> =
+            (2..6).map(|n| busy_trace(n, 8)).collect();
+        let batch = analyze_batch(&traces, AnalysisOptions::default(), 3);
+        assert_eq!(batch.len(), traces.len());
+        for (trace, result) in traces.iter().zip(&batch) {
+            let individual = PostMortem::new(trace).analyze().unwrap();
+            assert_eq!(result.as_ref().unwrap(), &individual);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_errors() {
+        use wmrd_trace::OpId;
+        // Second trace is corrupt (dangling release).
+        let good = busy_trace(2, 4);
+        let bad = {
+            let mut b = TraceBuilder::new(1);
+            b.sync_access(
+                p(0),
+                l(0),
+                AccessKind::Read,
+                SyncRole::Acquire,
+                Value::ZERO,
+                Some(OpId::new(p(0), 99)),
+            );
+            b.finish()
+        };
+        let results =
+            analyze_batch(&[good.clone(), bad, good], AnalysisOptions::default(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn batch_of_empty_input() {
+        let results = analyze_batch(&[], AnalysisOptions::default(), 4);
+        assert!(results.is_empty());
+    }
+}

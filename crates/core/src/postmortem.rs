@@ -1,0 +1,159 @@
+//! The one-call post-mortem driver (Section 4's pipeline).
+
+use wmrd_trace::TraceSet;
+
+use crate::{
+    detect_races, estimate_scp, partition_races, AnalysisError, AugmentedGraph, HbGraph,
+    PairingPolicy, RaceReport,
+};
+
+/// Options for a post-mortem analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// How `so1` pairing is derived (default: by acquire/release role).
+    pub pairing: PairingPolicy,
+}
+
+/// Post-mortem analysis builder.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_core::{PairingPolicy, PostMortem};
+/// use wmrd_trace::{AccessKind, Location, ProcId, TraceBuilder, TraceSink, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TraceBuilder::new(2);
+/// b.data_access(ProcId::new(0), Location::new(0), AccessKind::Write, Value::new(1), None);
+/// b.data_access(ProcId::new(1), Location::new(0), AccessKind::Read, Value::ZERO, None);
+/// let trace = b.finish();
+///
+/// let report = PostMortem::new(&trace)
+///     .pairing(PairingPolicy::ByRole)
+///     .analyze()?;
+/// assert_eq!(report.reported_races().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PostMortem<'t> {
+    trace: &'t TraceSet,
+    options: AnalysisOptions,
+}
+
+impl<'t> PostMortem<'t> {
+    /// Creates an analysis over `trace`.
+    pub fn new(trace: &'t TraceSet) -> Self {
+        PostMortem { trace, options: AnalysisOptions::default() }
+    }
+
+    /// Sets the pairing policy.
+    pub fn pairing(mut self, pairing: PairingPolicy) -> Self {
+        self.options.pairing = pairing;
+        self
+    }
+
+    /// Sets all options at once.
+    pub fn options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full pipeline: hb1 graph → races → augmented graph →
+    /// partitions → SCP estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] for invalid traces or unresolvable
+    /// pairings.
+    pub fn analyze(self) -> Result<RaceReport, AnalysisError> {
+        let hb = HbGraph::build(self.trace, self.options.pairing)?;
+        let races = detect_races(self.trace, &hb);
+        let aug = AugmentedGraph::build(&hb, &races);
+        let partitions = partition_races(&aug, &races);
+        let scp = estimate_scp(self.trace, &aug, &races);
+        Ok(RaceReport {
+            meta: self.trace.meta.clone(),
+            pairing: self.options.pairing,
+            num_events: hb.num_events(),
+            num_so1_edges: hb.so1().len(),
+            races,
+            partitions,
+            scp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        let report = PostMortem::new(&t).analyze().unwrap();
+        assert_eq!(report.num_events, 2);
+        assert_eq!(report.num_so1_edges, 0);
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.partitions.len(), 1);
+        assert!(report.scp.covers_everything());
+    }
+
+    #[test]
+    fn pairing_policy_changes_results() {
+        // A Test&Set write observed by another Test&Set read orders the
+        // surrounding data accesses only under AllSync pairing.
+        let mut b = TraceBuilder::new(2);
+        let (x, s) = (l(0), l(9));
+        b.data_access(p(0), x, AccessKind::Write, Value::new(1), None);
+        let w = b.sync_access(p(0), s, AccessKind::Write, SyncRole::None, Value::new(1), None);
+        b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::new(1), Some(w));
+        b.data_access(p(1), x, AccessKind::Read, Value::new(1), None);
+        let t = b.finish();
+        let by_role = PostMortem::new(&t).pairing(PairingPolicy::ByRole).analyze().unwrap();
+        assert!(!by_role.is_race_free(), "no release role, no edge, race remains");
+        let all_sync =
+            PostMortem::new(&t).pairing(PairingPolicy::AllSync).analyze().unwrap();
+        assert!(all_sync.is_race_free(), "DRF0-style pairing orders the accesses");
+    }
+
+    #[test]
+    fn corrupt_trace_is_rejected() {
+        let mut b = TraceBuilder::new(1);
+        b.sync_access(
+            p(0),
+            l(9),
+            AccessKind::Read,
+            SyncRole::Acquire,
+            Value::ZERO,
+            Some(OpId::new(p(0), 42)),
+        );
+        let t = b.finish();
+        assert!(matches!(
+            PostMortem::new(&t).analyze(),
+            Err(AnalysisError::DanglingRelease { .. })
+        ));
+    }
+
+    #[test]
+    fn options_builder() {
+        let mut b = TraceBuilder::new(1);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        let t = b.finish();
+        let opts = AnalysisOptions { pairing: PairingPolicy::AllSync };
+        let report = PostMortem::new(&t).options(opts).analyze().unwrap();
+        assert_eq!(report.pairing, PairingPolicy::AllSync);
+    }
+}

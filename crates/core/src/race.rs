@@ -1,0 +1,312 @@
+//! Race detection: conflicting, hb1-unordered event pairs
+//! (Definition 2.4 lifted to events, Section 4.1).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::{EventId, LocSet, Location, TraceSet};
+
+use crate::HbGraph;
+
+/// Classification of a race by the kinds of operations involved.
+///
+/// The paper (Definition 2.4): a race is a **data race** iff at least one
+/// participant is a data operation. Races between two synchronization
+/// events are detected too (they indicate unordered synchronization) but
+/// are not data races and do not enter the augmented graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceKind {
+    /// Both participants are computation (data) events.
+    DataData,
+    /// One participant is a computation event, the other a
+    /// synchronization event.
+    DataSync,
+    /// Both participants are synchronization events.
+    SyncSync,
+}
+
+impl RaceKind {
+    /// `true` iff at least one participant is a data operation — the
+    /// paper's definition of a *data* race.
+    pub fn is_data_race(self) -> bool {
+        !matches!(self, RaceKind::SyncSync)
+    }
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceKind::DataData => "data-data",
+            RaceKind::DataSync => "data-sync",
+            RaceKind::SyncSync => "sync-sync",
+        })
+    }
+}
+
+/// A detected race `⟨a, b⟩`: two conflicting events not ordered by hb1.
+///
+/// Pairs are normalized so `a < b` (by processor, then index).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataRace {
+    /// First participant (smaller event id).
+    pub a: EventId,
+    /// Second participant.
+    pub b: EventId,
+    /// The locations on which the two events conflict.
+    pub locations: LocSet,
+    /// Data/sync classification.
+    pub kind: RaceKind,
+}
+
+impl DataRace {
+    /// `true` iff `event` is one of the race's participants.
+    pub fn involves(&self, event: EventId) -> bool {
+        self.a == event || self.b == event
+    }
+
+    /// `true` iff this is a data race (at least one data participant).
+    pub fn is_data_race(&self) -> bool {
+        self.kind.is_data_race()
+    }
+}
+
+impl fmt::Display for DataRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}> on {} ({})", self.a, self.b, self.locations, self.kind)
+    }
+}
+
+/// Finds every race of the execution: conflicting event pairs not
+/// ordered by hb1.
+///
+/// Candidate generation is per-location (writer × accessor), so cost
+/// scales with actual sharing rather than all event pairs.
+pub fn detect_races(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
+    // Per-location access lists.
+    let mut writers: HashMap<Location, Vec<EventId>> = HashMap::new();
+    let mut accessors: HashMap<Location, Vec<EventId>> = HashMap::new();
+    for event in trace.events() {
+        let w = event.write_set();
+        let r = event.read_set();
+        for loc in &w {
+            writers.entry(loc).or_default().push(event.id);
+            accessors.entry(loc).or_default().push(event.id);
+        }
+        for loc in &r {
+            if !w.contains(loc) {
+                accessors.entry(loc).or_default().push(event.id);
+            }
+        }
+    }
+
+    let mut seen: HashSet<(EventId, EventId)> = HashSet::new();
+    let mut races = Vec::new();
+    for (loc, ws) in &writers {
+        let Some(accs) = accessors.get(loc) else { continue };
+        for &w in ws {
+            for &x in accs {
+                if w == x || w.proc == x.proc {
+                    continue; // same event, or po-ordered by definition
+                }
+                let (a, b) = if w < x { (w, x) } else { (x, w) };
+                if !seen.insert((a, b)) {
+                    continue;
+                }
+                if !hb.concurrent(a, b) {
+                    continue;
+                }
+                let (ea, eb) = match (trace.event(a), trace.event(b)) {
+                    (Some(ea), Some(eb)) => (ea, eb),
+                    _ => continue,
+                };
+                let locations = ea.conflict_locations(eb);
+                debug_assert!(!locations.is_empty());
+                let kind = match (ea.is_sync(), eb.is_sync()) {
+                    (false, false) => RaceKind::DataData,
+                    (true, true) => RaceKind::SyncSync,
+                    _ => RaceKind::DataSync,
+                };
+                races.push(DataRace { a, b, locations, kind });
+            }
+        }
+    }
+    races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
+    races
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PairingPolicy;
+    use wmrd_trace::{AccessKind, ProcId, SyncRole, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn e(proc: u16, index: u32) -> EventId {
+        EventId::new(p(proc), index)
+    }
+
+    fn analyze(trace: &TraceSet) -> Vec<DataRace> {
+        let hb = HbGraph::build(trace, PairingPolicy::ByRole).unwrap();
+        detect_races(trace, &hb)
+    }
+
+    /// Figure 1a: P0 writes x then y; P1 reads y then x; no sync at all.
+    /// Both conflicting pairs race.
+    #[test]
+    fn fig1a_has_two_data_races() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Read, Value::ZERO, None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        // Each processor's accesses fold into ONE computation event, so at
+        // the event level this is a single race on {x, y}.
+        let races = analyze(&t);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::DataData);
+        assert!(races[0].is_data_race());
+        assert_eq!(races[0].locations.len(), 2, "conflicts on both x and y");
+    }
+
+    /// Figure 1b: same accesses but separated by Unset/Test&Set pairing —
+    /// race-free.
+    #[test]
+    fn fig1b_is_race_free() {
+        let mut b = TraceBuilder::new(2);
+        let s = l(9);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        let rel = b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        b.sync_access(p(1), s, AccessKind::Write, SyncRole::None, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Read, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::new(1), None);
+        let t = b.finish();
+        assert!(analyze(&t).is_empty());
+    }
+
+    #[test]
+    fn write_write_race() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Write, Value::new(2), None);
+        let races = analyze(&b.finish());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].a, e(0, 0));
+        assert_eq!(races[0].b, e(1, 0));
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Read, Value::ZERO, None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        assert!(analyze(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn different_locations_do_not_race() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Write, Value::new(1), None);
+        assert!(analyze(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn sync_data_conflict_is_a_data_race() {
+        // A data access racing with a synchronization access to the same
+        // location: still a data race per Definition 2.4.
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(9), AccessKind::Write, Value::new(1), None);
+        b.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+        let races = analyze(&b.finish());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::DataSync);
+        assert!(races[0].is_data_race());
+    }
+
+    #[test]
+    fn sync_sync_race_is_not_a_data_race() {
+        // Two unpaired sync writes to the same location: a race, but not
+        // a data race.
+        let mut b = TraceBuilder::new(2);
+        b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::new(1), None);
+        let races = analyze(&b.finish());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::SyncSync);
+        assert!(!races[0].is_data_race());
+    }
+
+    #[test]
+    fn same_processor_never_races() {
+        let mut b = TraceBuilder::new(1);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(2), None);
+        assert!(analyze(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn ordering_through_intermediate_processor() {
+        // P0 releases to P1, P1 releases to P2: P0's write is ordered
+        // before P2's read through the chain; no race.
+        let mut b = TraceBuilder::new(3);
+        let (x, s1, s2) = (l(0), l(8), l(9));
+        b.data_access(p(0), x, AccessKind::Write, Value::new(1), None);
+        let r1 = b.sync_access(p(0), s1, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), s1, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(r1));
+        let r2 = b.sync_access(p(1), s2, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(2), s2, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(r2));
+        b.data_access(p(2), x, AccessKind::Read, Value::new(1), None);
+        assert!(analyze(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn races_are_sorted_and_normalized() {
+        let mut b = TraceBuilder::new(3);
+        b.data_access(p(2), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        let races = analyze(&b.finish());
+        assert_eq!(races.len(), 3);
+        for r in &races {
+            assert!(r.a < r.b, "normalized order");
+        }
+        let pairs: Vec<_> = races.iter().map(|r| (r.a, r.b)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted, "deterministic output order");
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(3), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(3), AccessKind::Read, Value::ZERO, None);
+        let races = analyze(&b.finish());
+        assert_eq!(races[0].to_string(), "<P0.e0, P1.e0> on {3} (data-data)");
+        assert_eq!(RaceKind::SyncSync.to_string(), "sync-sync");
+    }
+
+    #[test]
+    fn involves() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        let races = analyze(&b.finish());
+        assert!(races[0].involves(e(0, 0)));
+        assert!(races[0].involves(e(1, 0)));
+        assert!(!races[0].involves(e(1, 5)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Rendering analyses for humans: Graphviz DOT export of the
+//! happens-before-1 / augmented graphs (the paper's Figures 1–3 as
+//! pictures) and a plain-text per-processor timeline.
+
+use std::fmt::Write as _;
+
+use wmrd_trace::{EventId, EventKind, TraceSet};
+
+use crate::{AnalysisError, HbGraph, RaceReport};
+
+fn node_name(id: EventId) -> String {
+    format!("p{}e{}", id.proc.raw(), id.index)
+}
+
+fn node_label(trace: &TraceSet, id: EventId) -> String {
+    match trace.event(id).map(|e| &e.kind) {
+        Some(EventKind::Sync(s)) => {
+            format!("{} {}({})={}", id, s.role, s.kind, s.loc)
+        }
+        Some(EventKind::Computation(c)) => {
+            format!("{} R={} W={}", id, c.reads, c.writes)
+        }
+        None => id.to_string(),
+    }
+}
+
+/// Renders the analysis as a Graphviz DOT digraph: one cluster per
+/// processor, solid `po` edges, dashed `so1` edges, doubly-directed red
+/// edges for first-partition races and orange for withheld races, and
+/// grey fill for events outside the estimated SCP.
+///
+/// Pipe the output through `dot -Tsvg` to get the paper's Figure 3 for
+/// any execution.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] if the trace cannot be re-analyzed under
+/// the report's pairing policy (e.g. the report belongs to a different
+/// trace).
+pub fn to_dot(trace: &TraceSet, report: &RaceReport) -> Result<String, AnalysisError> {
+    let hb = HbGraph::build(trace, report.pairing)?;
+    let mut out = String::new();
+    out.push_str("digraph hb1 {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for proc_trace in trace.processors() {
+        let _ = writeln!(out, "  subgraph cluster_p{} {{", proc_trace.proc.raw());
+        let _ = writeln!(out, "    label=\"{}\";", proc_trace.proc);
+        for event in proc_trace.events() {
+            let outside_scp = !report.scp.contains(event.id);
+            let style = if outside_scp {
+                ", style=filled, fillcolor=lightgrey"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {} [label=\"{}\"{}];",
+                node_name(event.id),
+                node_label(trace, event.id),
+                style
+            );
+        }
+        out.push_str("  }\n");
+    }
+    // po edges.
+    for proc_trace in trace.processors() {
+        for pair in proc_trace.events().windows(2) {
+            let _ = writeln!(out, "  {} -> {};", node_name(pair[0].id), node_name(pair[1].id));
+        }
+    }
+    // so1 edges.
+    for edge in hb.so1() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dashed, label=\"so1\"];",
+            node_name(edge.release),
+            node_name(edge.acquire)
+        );
+    }
+    // Race edges, colored by partition status.
+    for (pi, part) in report.partitions.partitions().iter().enumerate() {
+        let color = if report.partitions.is_first(pi) { "red" } else { "orange" };
+        for &ri in &part.races {
+            let race = &report.races[ri];
+            let _ = writeln!(
+                out,
+                "  {} -> {} [dir=both, color={}, label=\"race {}\"];",
+                node_name(race.a),
+                node_name(race.b),
+                color,
+                race.locations
+            );
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Renders a plain-text per-processor timeline of the execution with
+/// race and SCP annotations — a textual Figure 2b/3.
+pub fn to_timeline(trace: &TraceSet, report: &RaceReport) -> String {
+    let mut out = String::new();
+    for proc_trace in trace.processors() {
+        let _ = writeln!(out, "{}:", proc_trace.proc);
+        let boundary = report.scp.boundary(proc_trace.proc);
+        for event in proc_trace.events() {
+            if boundary == Some(event.id.index) {
+                out.push_str("  ---- end of estimated SCP ----\n");
+            }
+            let mut markers = String::new();
+            for (pi, part) in report.partitions.partitions().iter().enumerate() {
+                for &ri in &part.races {
+                    if report.races[ri].involves(event.id) {
+                        let tag = if report.partitions.is_first(pi) {
+                            "FIRST-RACE"
+                        } else {
+                            "race"
+                        };
+                        let _ = write!(markers, "  <{tag} #{ri}>");
+                    }
+                }
+            }
+            let _ = writeln!(out, "  {}{}", node_label(trace, event.id), markers);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PostMortem;
+    use wmrd_trace::{AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn racy_trace_with_phases() -> TraceSet {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        b.sync_access(p(0), l(8), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(1), AccessKind::Read, Value::ZERO, None);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_expected_structure() {
+        let t = racy_trace_with_phases();
+        let report = PostMortem::new(&t).analyze().unwrap();
+        let dot = to_dot(&t, &report).unwrap();
+        assert!(dot.starts_with("digraph hb1 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_p0"));
+        assert!(dot.contains("subgraph cluster_p1"));
+        // po edge within P0.
+        assert!(dot.contains("p0e0 -> p0e1;"));
+        // Race edges in both colors.
+        assert!(dot.contains("color=red"), "first-partition race edge:\n{dot}");
+        assert!(dot.contains("color=orange"), "withheld race edge:\n{dot}");
+        // SCP-excluded events are greyed.
+        assert!(dot.contains("fillcolor=lightgrey"));
+    }
+
+    #[test]
+    fn dot_renders_so1_edges() {
+        let mut b = TraceBuilder::new(2);
+        let rel = b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        let t = b.finish();
+        let report = PostMortem::new(&t).analyze().unwrap();
+        let dot = to_dot(&t, &report).unwrap();
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("so1"));
+        assert!(!dot.contains("color=red"), "race-free graph has no race edges");
+    }
+
+    #[test]
+    fn timeline_marks_races_and_scp() {
+        let t = racy_trace_with_phases();
+        let report = PostMortem::new(&t).analyze().unwrap();
+        let text = to_timeline(&t, &report);
+        assert!(text.contains("P0:"));
+        assert!(text.contains("P1:"));
+        assert!(text.contains("FIRST-RACE"));
+        assert!(text.contains("<race"), "withheld race marker:\n{text}");
+        assert!(text.contains("end of estimated SCP"));
+    }
+
+    #[test]
+    fn timeline_of_race_free_trace_has_no_markers() {
+        let mut b = TraceBuilder::new(1);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        let t = b.finish();
+        let report = PostMortem::new(&t).analyze().unwrap();
+        let text = to_timeline(&t, &report);
+        assert!(!text.contains("RACE"));
+        assert!(!text.contains("end of estimated SCP"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Vector clocks, the machinery behind the on-the-fly detector.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::ProcId;
+
+/// A vector clock over processors.
+///
+/// Component `p` counts the operations of processor `p` known to have
+/// "happened before" the clock's owner. Joins grow the vector on demand,
+/// so clocks of different widths combine correctly.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_core::VectorClock;
+/// use wmrd_trace::ProcId;
+///
+/// let mut a = VectorClock::new();
+/// a.tick(ProcId::new(0));
+/// let mut b = VectorClock::new();
+/// b.tick(ProcId::new(1));
+/// assert!(!a.le(&b));
+/// b.join(&a);
+/// assert!(a.le(&b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    clocks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The component for one processor (absent components are zero).
+    pub fn get(&self, proc: ProcId) -> u64 {
+        self.clocks.get(proc.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for one processor.
+    pub fn set(&mut self, proc: ProcId, value: u64) {
+        if proc.index() >= self.clocks.len() {
+            self.clocks.resize(proc.index() + 1, 0);
+        }
+        self.clocks[proc.index()] = value;
+    }
+
+    /// Increments this processor's own component, returning the new value.
+    pub fn tick(&mut self, proc: ProcId) -> u64 {
+        let v = self.get(proc) + 1;
+        self.set(proc, v);
+        v
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (s, o) in self.clocks.iter_mut().zip(&other.clocks) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `true` iff `self` ≤ `other` pointwise (self happened-before or
+    /// equals other).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.clocks.get(i).copied().unwrap_or(0))
+    }
+
+    /// Approximate heap footprint in bytes (for the on-the-fly memory
+    /// accounting of experiment E9).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.clocks.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(p(3)), 0);
+        assert_eq!(vc.tick(p(3)), 1);
+        assert_eq!(vc.tick(p(3)), 2);
+        assert_eq!(vc.get(p(3)), 2);
+        assert_eq!(vc.get(p(0)), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(p(0), 5);
+        a.set(p(1), 1);
+        let mut b = VectorClock::new();
+        b.set(p(1), 7);
+        b.set(p(2), 2);
+        a.join(&b);
+        assert_eq!(a.get(p(0)), 5);
+        assert_eq!(a.get(p(1)), 7);
+        assert_eq!(a.get(p(2)), 2);
+    }
+
+    #[test]
+    fn le_comparisons() {
+        let zero = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.set(p(0), 1);
+        assert!(zero.le(&a));
+        assert!(!a.le(&zero));
+        assert!(a.le(&a));
+        let mut b = VectorClock::new();
+        b.set(p(1), 1);
+        assert!(!a.le(&b) && !b.le(&a), "concurrent clocks");
+    }
+
+    #[test]
+    fn le_with_different_widths() {
+        let mut wide = VectorClock::new();
+        wide.set(p(5), 1);
+        let narrow = VectorClock::new();
+        assert!(narrow.le(&wide));
+        assert!(!wide.le(&narrow));
+    }
+
+    #[test]
+    fn display_and_bytes() {
+        let mut vc = VectorClock::new();
+        vc.set(p(1), 3);
+        assert_eq!(vc.to_string(), "[0,3]");
+        assert!(vc.approx_bytes() >= 16);
+    }
+}

@@ -1,0 +1,333 @@
+//! A tiny assembler: per-processor instruction building with symbolic
+//! labels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use wmrd_sim::{Addr, Instr, Operand, Reg};
+use wmrd_trace::Location;
+
+/// Errors produced while assembling a processor's code.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProgsError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for ProgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgsError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            ProgsError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProgsError {}
+
+/// A pending instruction: either final, or a branch awaiting label
+/// resolution.
+#[derive(Debug, Clone)]
+enum Pending {
+    Done(Instr),
+    Jmp(String),
+    Bz(Reg, String),
+    Bnz(Reg, String),
+}
+
+/// Builds one processor's instruction stream with symbolic labels.
+///
+/// All mutators return `&mut Self` for chaining; [`ProcBuilder::assemble`]
+/// resolves labels and returns the final code.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_progs::ProcBuilder;
+/// use wmrd_sim::Reg;
+/// use wmrd_trace::Location;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lock = Location::new(0);
+/// let mut p = ProcBuilder::new();
+/// p.label("spin")
+///     .test_set(Reg::new(0), lock)
+///     .bnz(Reg::new(0), "spin")
+///     .unset(lock)
+///     .halt();
+/// let code = p.assemble()?;
+/// assert_eq!(code.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProcBuilder {
+    pending: Vec<Pending>,
+    labels: HashMap<String, usize>,
+}
+
+impl ProcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProcBuilder::default()
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no instructions have been added.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// Duplicate definitions are reported by [`assemble`](Self::assemble).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        // Record the first definition; assemble() detects duplicates.
+        if self.labels.contains_key(name) {
+            self.labels.insert(format!("__dup__{name}"), usize::MAX);
+        } else {
+            self.labels.insert(name.to_string(), self.pending.len());
+        }
+        self
+    }
+
+    /// Pushes an arbitrary instruction.
+    pub fn raw(&mut self, instr: Instr) -> &mut Self {
+        self.pending.push(Pending::Done(instr));
+        self
+    }
+
+    /// `dst <- imm`.
+    pub fn li(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.raw(Instr::Li { dst, imm })
+    }
+
+    /// `dst <- src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.raw(Instr::Mov { dst, src })
+    }
+
+    /// `dst <- a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::Add { dst, a, b: b.into() })
+    }
+
+    /// `dst <- a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::Sub { dst, a, b: b.into() })
+    }
+
+    /// `dst <- a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::Mul { dst, a, b: b.into() })
+    }
+
+    /// `dst <- (a == b)`.
+    pub fn cmpeq(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::CmpEq { dst, a, b: b.into() })
+    }
+
+    /// `dst <- (a < b)`.
+    pub fn cmplt(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::CmpLt { dst, a, b: b.into() })
+    }
+
+    /// Data load from an absolute location.
+    pub fn ld(&mut self, dst: Reg, loc: Location) -> &mut Self {
+        self.raw(Instr::Ld { dst, addr: Addr::Abs(loc) })
+    }
+
+    /// Data load through `m[base + offset]`.
+    pub fn ld_ind(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.raw(Instr::Ld { dst, addr: Addr::Ind { base, offset } })
+    }
+
+    /// Data store to an absolute location.
+    pub fn st(&mut self, src: impl Into<Operand>, loc: Location) -> &mut Self {
+        self.raw(Instr::St { src: src.into(), addr: Addr::Abs(loc) })
+    }
+
+    /// Data store through `m[base + offset]`.
+    pub fn st_ind(&mut self, src: impl Into<Operand>, base: Reg, offset: i64) -> &mut Self {
+        self.raw(Instr::St { src: src.into(), addr: Addr::Ind { base, offset } })
+    }
+
+    /// Acquire load.
+    pub fn ld_acq(&mut self, dst: Reg, loc: Location) -> &mut Self {
+        self.raw(Instr::LdAcq { dst, addr: Addr::Abs(loc) })
+    }
+
+    /// Release store.
+    pub fn st_rel(&mut self, src: impl Into<Operand>, loc: Location) -> &mut Self {
+        self.raw(Instr::StRel { src: src.into(), addr: Addr::Abs(loc) })
+    }
+
+    /// Plain synchronization load (no acquire role).
+    pub fn ld_sync(&mut self, dst: Reg, loc: Location) -> &mut Self {
+        self.raw(Instr::LdSync { dst, addr: Addr::Abs(loc) })
+    }
+
+    /// Plain synchronization store (no release role).
+    pub fn st_sync(&mut self, src: impl Into<Operand>, loc: Location) -> &mut Self {
+        self.raw(Instr::StSync { src: src.into(), addr: Addr::Abs(loc) })
+    }
+
+    /// Atomic `Test&Set`.
+    pub fn test_set(&mut self, dst: Reg, loc: Location) -> &mut Self {
+        self.raw(Instr::TestSet { dst, addr: Addr::Abs(loc) })
+    }
+
+    /// `Unset` (release write of zero).
+    pub fn unset(&mut self, loc: Location) -> &mut Self {
+        self.raw(Instr::Unset { addr: Addr::Abs(loc) })
+    }
+
+    /// Store-buffer fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.raw(Instr::Fence)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::Jmp(label.to_string()));
+        self
+    }
+
+    /// Branch to `label` if `cond` is zero.
+    pub fn bz(&mut self, cond: Reg, label: &str) -> &mut Self {
+        self.pending.push(Pending::Bz(cond, label.to_string()));
+        self
+    }
+
+    /// Branch to `label` if `cond` is non-zero.
+    pub fn bnz(&mut self, cond: Reg, label: &str) -> &mut Self {
+        self.pending.push(Pending::Bnz(cond, label.to_string()));
+        self
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Instr::Nop)
+    }
+
+    /// Halt this processor.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Instr::Halt)
+    }
+
+    /// Spin until a `Test&Set` of `lock` succeeds (acquire a spin lock),
+    /// clobbering `scratch`.
+    pub fn lock(&mut self, scratch: Reg, lock: Location) -> &mut Self {
+        let label = format!("__lock_{}_{}", lock.addr(), self.pending.len());
+        self.label(&label).test_set(scratch, lock).bnz(scratch, &label)
+    }
+
+    /// Resolves labels and returns the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgsError::UndefinedLabel`] or
+    /// [`ProgsError::DuplicateLabel`].
+    pub fn assemble(&self) -> Result<Vec<Instr>, ProgsError> {
+        if let Some(dup) = self.labels.keys().find_map(|k| k.strip_prefix("__dup__")) {
+            return Err(ProgsError::DuplicateLabel(dup.to_string()));
+        }
+        let resolve = |name: &str| -> Result<usize, ProgsError> {
+            self.labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| ProgsError::UndefinedLabel(name.to_string()))
+        };
+        self.pending
+            .iter()
+            .map(|p| match p {
+                Pending::Done(i) => Ok(*i),
+                Pending::Jmp(l) => Ok(Instr::Jmp { target: resolve(l)? }),
+                Pending::Bz(r, l) => Ok(Instr::Bz { cond: *r, target: resolve(l)? }),
+                Pending::Bnz(r, l) => Ok(Instr::Bnz { cond: *r, target: resolve(l)? }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    #[test]
+    fn assembles_straight_line_code() {
+        let mut p = ProcBuilder::new();
+        p.li(Reg::new(0), 5).st(Reg::new(0), l(1)).halt();
+        let code = p.assemble().unwrap();
+        assert_eq!(code.len(), 3);
+        assert_eq!(code[0], Instr::Li { dst: Reg::new(0), imm: 5 });
+        assert_eq!(code[2], Instr::Halt);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn resolves_forward_and_backward_labels() {
+        let mut p = ProcBuilder::new();
+        p.label("top")
+            .ld(Reg::new(0), l(0))
+            .bz(Reg::new(0), "end")
+            .jmp("top")
+            .label("end")
+            .halt();
+        let code = p.assemble().unwrap();
+        assert_eq!(code[1], Instr::Bz { cond: Reg::new(0), target: 3 });
+        assert_eq!(code[2], Instr::Jmp { target: 0 });
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut p = ProcBuilder::new();
+        p.jmp("nowhere").halt();
+        assert!(matches!(p.assemble(), Err(ProgsError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut p = ProcBuilder::new();
+        p.label("x").nop().label("x").halt();
+        let err = p.assemble();
+        assert!(matches!(err, Err(ProgsError::DuplicateLabel(ref n)) if n == "x"), "{err:?}");
+    }
+
+    #[test]
+    fn lock_helper_spins() {
+        let mut p = ProcBuilder::new();
+        p.lock(Reg::new(0), l(0)).unset(l(0)).halt();
+        let code = p.assemble().unwrap();
+        // test&set; bnz back to it; unset; halt
+        assert_eq!(code.len(), 4);
+        assert_eq!(code[1], Instr::Bnz { cond: Reg::new(0), target: 0 });
+    }
+
+    #[test]
+    fn two_locks_in_one_proc_get_distinct_labels() {
+        let mut p = ProcBuilder::new();
+        p.lock(Reg::new(0), l(0)).unset(l(0)).lock(Reg::new(0), l(0)).unset(l(0)).halt();
+        let code = p.assemble().unwrap();
+        assert_eq!(code[1], Instr::Bnz { cond: Reg::new(0), target: 0 });
+        assert_eq!(code[4], Instr::Bnz { cond: Reg::new(0), target: 3 });
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgsError::UndefinedLabel("a".into()).to_string().contains("`a`"));
+        assert!(ProgsError::DuplicateLabel("b".into()).to_string().contains("`b`"));
+    }
+}

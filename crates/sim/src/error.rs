@@ -1,0 +1,87 @@
+//! Error type for program validation and simulation.
+
+use std::fmt;
+
+use wmrd_trace::{Location, ProcId};
+
+/// Errors produced by program validation or by executing a program.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program failed validation (message explains which invariant).
+    InvalidProgram(String),
+    /// A processor id was out of range.
+    UnknownProcessor(ProcId),
+    /// An indirect address resolved outside the program's memory.
+    BadAddress {
+        /// Processor that issued the access.
+        proc: ProcId,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// The computed (invalid) address.
+        addr: i64,
+    },
+    /// A location was out of range for the machine's memory.
+    BadLocation(Location),
+    /// The run exceeded its step budget without halting (likely livelock
+    /// or an unfair schedule).
+    StepLimit(u64),
+    /// A step was requested on a halted processor.
+    Halted(ProcId),
+    /// The weak machine was asked to drain a buffer entry that does not
+    /// exist.
+    BadDrain {
+        /// Processor whose buffer was addressed.
+        proc: ProcId,
+        /// The requested entry index.
+        index: usize,
+        /// Current buffer length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            SimError::UnknownProcessor(p) => write!(f, "unknown processor {p}"),
+            SimError::BadAddress { proc, pc, addr } => {
+                write!(f, "bad address {addr} at {proc} pc={pc}")
+            }
+            SimError::BadLocation(l) => write!(f, "location {l} out of range"),
+            SimError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            SimError::Halted(p) => write!(f, "processor {p} already halted"),
+            SimError::BadDrain { proc, index, len } => {
+                write!(f, "drain index {index} out of range for {proc} (buffer len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::InvalidProgram("x".into()).to_string().contains("invalid"));
+        assert!(SimError::StepLimit(10).to_string().contains("10"));
+        assert!(SimError::BadAddress { proc: ProcId::new(1), pc: 3, addr: -5 }
+            .to_string()
+            .contains("-5"));
+        assert!(SimError::BadDrain { proc: ProcId::new(0), index: 2, len: 0 }
+            .to_string()
+            .contains("drain"));
+        assert!(SimError::Halted(ProcId::new(2)).to_string().contains("P2"));
+        assert!(SimError::BadLocation(Location::new(7)).to_string().contains("m[7]"));
+        assert!(SimError::UnknownProcessor(ProcId::new(3)).to_string().contains("P3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,610 @@
+//! The second weak-hardware implementation: **invalidation queues**
+//! (reader-side staleness).
+//!
+//! Where [`WeakMachine`](crate::WeakMachine) delays a *write's*
+//! visibility in a store buffer, [`InvalMachine`] completes every write
+//! into shared memory immediately but lets *readers* keep stale cached
+//! copies: each write enqueues an invalidation at every other processor,
+//! and a processor's data reads are served from its local cache until
+//! the invalidation is *applied* (a scheduler [`Drain`] action, or a
+//! flush at a synchronization point). Synchronization operations always
+//! act on shared memory directly.
+//!
+//! Flush rules mirror the store-buffer machine's, on the reader side:
+//! WO/DRF0 apply all pending invalidations at every synchronization
+//! operation; RCsc/DRF1 only at **acquires** — the dual of flushing
+//! store buffers at releases. With [`Fidelity::Conditioned`] this
+//! machine, too, provides sequential consistency to every data-race-free
+//! execution (an acquire that returns a release's value was preceded by
+//! the invalidations of every write the release publishes) — i.e. it
+//! obeys the paper's Condition 3.4 by a completely different mechanism
+//! than the store-buffer machine, which is exactly the generality
+//! Theorem 3.5 claims. With [`Fidelity::Raw`] nothing ever flushes
+//! implicitly, and even race-free programs can read stale data forever.
+//!
+//! Simplification (documented for honesty): unlike a real MESI
+//! protocol, a write completes without waiting for remote
+//! acknowledgements, so two processors can observe two same-location
+//! writes in different orders until their queues drain. Programs whose
+//! accesses are properly synchronized never observe this (the flush
+//! argument above), which is all Condition 3.4 requires.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceSink, Value};
+
+use crate::cpu::LocalOutcome;
+use crate::machine::MemCell;
+use crate::{
+    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, StepEvent, Timing,
+};
+
+/// A pending invalidation: the named location's cached copy (if any) is
+/// stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PendingInval {
+    /// The location whose cached copy must be discarded.
+    pub loc: Location,
+    /// The write that caused the invalidation (for diagnostics).
+    pub writer: OpId,
+}
+
+/// A multiprocessor with per-core caches and invalidation queues.
+#[derive(Debug, Clone)]
+pub struct InvalMachine {
+    program: Arc<Program>,
+    cores: Vec<CoreState>,
+    mem: Vec<MemCell>,
+    caches: Vec<HashMap<Location, MemCell>>,
+    queues: Vec<Vec<PendingInval>>,
+    model: MemoryModel,
+    fidelity: Fidelity,
+    cycles: Vec<u64>,
+    timing: Timing,
+    steps: u64,
+}
+
+impl InvalMachine {
+    /// Creates a machine at the program's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// [`Program::validate`].
+    pub fn new(
+        program: Arc<Program>,
+        model: MemoryModel,
+        fidelity: Fidelity,
+        timing: Timing,
+    ) -> Result<Self, SimError> {
+        program.validate()?;
+        let n = program.num_procs();
+        let cores = (0..n).map(|i| CoreState::new(ProcId::new(i as u16))).collect();
+        let mem = program.initial_memory().into_iter().map(MemCell::initial).collect();
+        Ok(InvalMachine {
+            program,
+            cores,
+            mem,
+            caches: vec![HashMap::new(); n],
+            queues: vec![Vec::new(); n],
+            model,
+            fidelity,
+            cycles: vec![0; n],
+            timing,
+            steps: 0,
+        })
+    }
+
+    /// The memory model this machine implements.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Whether the machine honours Condition 3.4.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Per-processor accumulated cycles.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// Number of steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared-memory values (writes complete immediately, so this is
+    /// also the settled state).
+    pub fn memory_values(&self) -> Vec<Value> {
+        self.mem.iter().map(|c| c.value).collect()
+    }
+
+    /// Processors that can still make progress.
+    pub fn runnable(&self) -> Vec<ProcId> {
+        self.cores.iter().filter(|c| !c.is_halted()).map(|c| c.proc).collect()
+    }
+
+    /// `true` once every processor has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// `true` iff no processor has pending invalidations.
+    pub fn queues_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// The pending invalidations of one processor, oldest first.
+    pub fn queue(&self, proc: ProcId) -> &[PendingInval] {
+        self.queues.get(proc.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The cached copy a processor currently holds for a location, if
+    /// any (test/diagnostic helper).
+    pub fn cached(&self, proc: ProcId, loc: Location) -> Option<Value> {
+        self.caches.get(proc.index())?.get(&loc).map(|c| c.value)
+    }
+
+    /// Applies one pending invalidation (any index is legal —
+    /// invalidations commute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcessor`] / [`SimError::BadDrain`].
+    pub fn apply_one(&mut self, proc: ProcId, index: usize) -> Result<PendingInval, SimError> {
+        let queue =
+            self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        if index >= queue.len() {
+            return Err(SimError::BadDrain { proc, index, len: queue.len() });
+        }
+        let entry = queue.remove(index);
+        self.caches[proc.index()].remove(&entry.loc);
+        Ok(entry)
+    }
+
+    /// Applies every pending invalidation of `proc`, charging
+    /// `drain_per_entry` cycles per entry (the stall at a flush point).
+    pub fn flush(&mut self, proc: ProcId) -> Result<usize, SimError> {
+        let queue =
+            self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let n = queue.len();
+        for entry in queue.drain(..) {
+            self.caches[proc.index()].remove(&entry.loc);
+        }
+        self.cycles[proc.index()] += self.timing.drain_per_entry * n as u64;
+        Ok(n)
+    }
+
+    /// A hash of the architectural state.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        self.mem.hash(&mut h);
+        for (cache, queue) in self.caches.iter().zip(&self.queues) {
+            let mut entries: Vec<_> = cache.iter().collect();
+            entries.sort_by_key(|(l, _)| **l);
+            entries.hash(&mut h);
+            queue.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn invalidate_others(&mut self, writer_proc: ProcId, loc: Location, writer: OpId) {
+        for (pi, queue) in self.queues.iter_mut().enumerate() {
+            if pi != writer_proc.index() {
+                queue.push(PendingInval { loc, writer });
+            }
+        }
+    }
+
+    fn strong_write(&mut self, proc: ProcId, loc: Location, value: Value, op: OpId, sync: bool) {
+        let cell = MemCell { value, writer: Some(op), writer_sync: sync };
+        self.mem[loc.index()] = cell.clone();
+        self.caches[proc.index()].insert(loc, cell);
+        self.invalidate_others(proc, loc, op);
+    }
+
+    /// Executes one instruction on `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::ScMachine::step`].
+    pub fn step<S: TraceSink>(
+        &mut self,
+        proc: ProcId,
+        sink: &mut S,
+    ) -> Result<StepEvent, SimError> {
+        let core =
+            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        if core.is_halted() {
+            return Err(SimError::Halted(proc));
+        }
+        let instr = self
+            .program
+            .proc_code(proc)
+            .and_then(|code| code.get(core.pc()))
+            .copied()
+            .unwrap_or(Instr::Halt);
+        self.steps += 1;
+        let was_halt = matches!(instr, Instr::Halt);
+        match core.exec_local(&instr) {
+            LocalOutcome::Done => {
+                self.cycles[proc.index()] += self.timing.local_op;
+                return Ok(if was_halt { StepEvent::Halt } else { StepEvent::Local });
+            }
+            LocalOutcome::Halted => return Err(SimError::Halted(proc)),
+            LocalOutcome::NeedsMemory => {}
+        }
+        let num_locations = self.program.num_locations();
+        let pi = proc.index();
+        let event = match instr {
+            Instr::Ld { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                let (cell, hit) = match self.caches[pi].get(&loc) {
+                    Some(cached) => (cached.clone(), true),
+                    None => {
+                        let fresh = self.mem[loc.index()].clone();
+                        self.caches[pi].insert(loc, fresh.clone());
+                        (fresh, false)
+                    }
+                };
+                sink.data_access(proc, loc, AccessKind::Read, cell.value, cell.writer);
+                self.cores[pi].complete_load(dst, cell.value);
+                self.cycles[pi] +=
+                    if hit { self.timing.buffer_hit } else { self.timing.mem_access };
+                StepEvent::Data
+            }
+            Instr::St { src, addr } => {
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.data_access(proc, loc, AccessKind::Write, value, None);
+                self.strong_write(proc, loc, value, id, false);
+                // Writes complete into memory but do not stall the core
+                // for remote acknowledgements.
+                self.cycles[pi] += self.timing.buffered_write;
+                StepEvent::Data
+            }
+            Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
+                let role = if matches!(instr, Instr::LdAcq { .. }) {
+                    SyncRole::Acquire
+                } else {
+                    SyncRole::None
+                };
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                if self.fidelity == Fidelity::Conditioned
+                    && self.model.inval_flush_on_sync_read(role)
+                {
+                    self.flush(proc)?;
+                }
+                // Sync reads are strong: always from shared memory.
+                let cell = self.mem[loc.index()].clone();
+                sink.sync_access(proc, loc, AccessKind::Read, role, cell.value, cell.sync_writer());
+                self.cores[pi].complete_load(dst, cell.value);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
+                let role = if matches!(instr, Instr::StRel { .. }) {
+                    SyncRole::Release
+                } else {
+                    SyncRole::None
+                };
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.sync_access(proc, loc, AccessKind::Write, role, value, None);
+                if self.fidelity == Fidelity::Conditioned
+                    && self.model.inval_flush_on_sync_write(role)
+                {
+                    self.flush(proc)?;
+                }
+                self.strong_write(proc, loc, value, id, true);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::TestSet { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                if self.fidelity == Fidelity::Conditioned
+                    && (self.model.inval_flush_on_sync_read(SyncRole::Acquire)
+                        || self.model.inval_flush_on_sync_write(SyncRole::None))
+                {
+                    self.flush(proc)?;
+                }
+                let old = self.mem[loc.index()].clone();
+                sink.sync_access(
+                    proc,
+                    loc,
+                    AccessKind::Read,
+                    SyncRole::Acquire,
+                    old.value,
+                    old.sync_writer(),
+                );
+                let set = Value::new(1);
+                let wid =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                self.strong_write(proc, loc, set, wid, true);
+                self.cores[pi].complete_load(dst, old.value);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Unset { addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                let value = Value::ZERO;
+                let id =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::Release, value, None);
+                if self.fidelity == Fidelity::Conditioned
+                    && self.model.inval_flush_on_sync_write(SyncRole::Release)
+                {
+                    self.flush(proc)?;
+                }
+                self.strong_write(proc, loc, value, id, true);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Fence => {
+                self.flush(proc)?;
+                self.cycles[pi] += self.timing.local_op;
+                StepEvent::Local
+            }
+            _ => unreachable!("exec_local handles all local instructions"),
+        };
+        self.cores[pi].advance_pc();
+        Ok(event)
+    }
+
+    /// Convenience: the value currently in a register of a core.
+    pub fn reg(&self, proc: ProcId, r: Reg) -> i64 {
+        self.cores.get(proc.index()).map_or(0, |c| c.reg(r))
+    }
+}
+
+impl crate::DrainView for InvalMachine {
+    fn runnable_procs(&self) -> Vec<ProcId> {
+        self.runnable()
+    }
+
+    fn drainable(&self, proc: ProcId) -> Vec<usize> {
+        (0..self.queue(proc).len()).collect()
+    }
+
+    fn pending_len(&self, proc: ProcId) -> usize {
+        self.queue(proc).len()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.program.num_procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, Operand};
+    use wmrd_trace::NullSink;
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn machine(prog: Program, model: MemoryModel, fidelity: Fidelity) -> InvalMachine {
+        InvalMachine::new(Arc::new(prog), model, fidelity, Timing::uniform()).unwrap()
+    }
+
+    fn store(imm: i64, loc: u32) -> Instr {
+        Instr::St { src: Operand::Imm(imm), addr: Addr::Abs(l(loc)) }
+    }
+
+    fn load(r: u8, loc: u32) -> Instr {
+        Instr::Ld { dst: Reg::new(r), addr: Addr::Abs(l(loc)) }
+    }
+
+    #[test]
+    fn writes_complete_immediately_and_invalidate_others() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(7, 0), Instr::Halt]);
+        prog.push_proc(vec![Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.memory_values()[0], Value::new(7), "write completes at once");
+        assert_eq!(m.queue(p(1)).len(), 1, "other processor owes an invalidation");
+        assert!(m.queue(p(0)).is_empty(), "writer owes nothing");
+        assert_eq!(m.cached(p(0), l(0)), Some(Value::new(7)));
+    }
+
+    #[test]
+    fn stale_read_from_cached_copy() {
+        // P1 caches x=0, P0 writes x=1; until P1 applies the
+        // invalidation it keeps reading 0.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), Instr::Halt]);
+        prog.push_proc(vec![load(0, 0), load(1, 0), Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(1), &mut sink).unwrap(); // P1 caches x=0
+        m.step(p(0), &mut sink).unwrap(); // P0 writes x=1
+        m.step(p(1), &mut sink).unwrap(); // P1 re-reads: stale
+        assert_eq!(m.reg(p(1), Reg::new(1)), 0, "stale cached copy");
+        // Apply the invalidation; a further read would now be fresh.
+        m.apply_one(p(1), 0).unwrap();
+        assert_eq!(m.cached(p(1), l(0)), None);
+        assert!(m.queues_empty());
+    }
+
+    #[test]
+    fn uncached_reads_are_fresh() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(9, 0), Instr::Halt]);
+        prog.push_proc(vec![load(0, 0), Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(1), Reg::new(0)), 9, "first read misses to memory");
+    }
+
+    #[test]
+    fn acquire_flushes_under_every_conditioned_model() {
+        for model in MemoryModel::WEAK {
+            let mut prog = Program::new("t", 2);
+            prog.push_proc(vec![
+                load(0, 0), // cache x
+                Instr::LdAcq { dst: Reg::new(1), addr: Addr::Abs(l(1)) },
+                load(2, 0), // must be fresh after the acquire
+                Instr::Halt,
+            ]);
+            prog.push_proc(vec![store(5, 0), Instr::Halt]);
+            let mut m = machine(prog, model, Fidelity::Conditioned);
+            let mut sink = NullSink::new();
+            m.step(p(0), &mut sink).unwrap(); // cache x=0
+            m.step(p(1), &mut sink).unwrap(); // write x=5, invalidate P0
+            m.step(p(0), &mut sink).unwrap(); // acquire: flush
+            assert!(m.queue(p(0)).is_empty(), "{model}: acquire applies invalidations");
+            m.step(p(0), &mut sink).unwrap();
+            assert_eq!(m.reg(p(0), Reg::new(2)), 5, "{model}: post-acquire read fresh");
+        }
+    }
+
+    #[test]
+    fn rcsc_release_does_not_flush_but_wo_sync_does() {
+        let build = || {
+            let mut prog = Program::new("t", 2);
+            prog.push_proc(vec![
+                load(0, 0), // cache x
+                Instr::StSync { src: Operand::Imm(1), addr: Addr::Abs(l(1)) },
+                Instr::Halt,
+            ]);
+            prog.push_proc(vec![store(5, 0), Instr::Halt]);
+            prog
+        };
+        let mut sink = NullSink::new();
+
+        let mut rcsc = machine(build(), MemoryModel::RCsc, Fidelity::Conditioned);
+        rcsc.step(p(0), &mut sink).unwrap();
+        rcsc.step(p(1), &mut sink).unwrap();
+        rcsc.step(p(0), &mut sink).unwrap(); // plain sync write: no flush under RCsc
+        assert_eq!(rcsc.queue(p(0)).len(), 1);
+
+        let mut wo = machine(build(), MemoryModel::Wo, Fidelity::Conditioned);
+        wo.step(p(0), &mut sink).unwrap();
+        wo.step(p(1), &mut sink).unwrap();
+        wo.step(p(0), &mut sink).unwrap(); // WO: every sync op flushes
+        assert!(wo.queue(p(0)).is_empty());
+    }
+
+    #[test]
+    fn raw_fidelity_never_flushes_implicitly() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::LdAcq { dst: Reg::new(1), addr: Addr::Abs(l(1)) },
+            load(2, 0),
+            Instr::Halt,
+        ]);
+        prog.push_proc(vec![store(5, 0), Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Raw);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // acquire: no flush on raw hardware
+        assert_eq!(m.queue(p(0)).len(), 1);
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(2)), 0, "stale read past an acquire");
+    }
+
+    #[test]
+    fn fence_flushes() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![load(0, 0), Instr::Fence, Instr::Halt]);
+        prog.push_proc(vec![store(1, 0), Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::RCsc, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.queue(p(0)).len(), 1);
+        m.step(p(0), &mut sink).unwrap(); // fence
+        assert!(m.queues_empty());
+    }
+
+    #[test]
+    fn test_set_remains_atomic_and_strong() {
+        let mut prog = Program::new("t", 1);
+        let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
+        prog.push_proc(vec![ts, Instr::Halt]);
+        prog.push_proc(vec![ts, Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::RCsc, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 1, "sync ops bypass stale caches");
+    }
+
+    #[test]
+    fn observed_writer_flows_through_cache() {
+        use wmrd_trace::OpRecorder;
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), Instr::Halt]);
+        prog.push_proc(vec![load(0, 0), load(1, 0), Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(1), &mut rec).unwrap(); // miss: fresh, observes P0's write
+        m.step(p(1), &mut rec).unwrap(); // hit: same copy, same writer
+        let ops = rec.finish();
+        let reads = ops.proc_ops(p(1)).unwrap();
+        assert_eq!(reads[0].observed_write, Some(OpId::new(p(0), 0)));
+        assert_eq!(reads[1].observed_write, Some(OpId::new(p(0), 0)));
+    }
+
+    #[test]
+    fn drain_view_and_errors() {
+        use crate::DrainView;
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), store(2, 1), Instr::Halt]);
+        prog.push_proc(vec![Instr::Nop, Instr::Halt]);
+        let mut m = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.pending_len(p(1)), 2);
+        assert_eq!(m.drainable(p(1)), vec![0, 1]);
+        assert_eq!(DrainView::num_procs(&m), 2);
+        assert!(matches!(m.apply_one(p(1), 5), Err(SimError::BadDrain { .. })));
+        assert!(matches!(m.apply_one(p(9), 0), Err(SimError::UnknownProcessor(_))));
+        // Out-of-order application is legal for invalidations.
+        m.apply_one(p(1), 1).unwrap();
+        m.apply_one(p(1), 0).unwrap();
+        assert!(m.queues_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_queues_and_caches() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), Instr::Halt]);
+        prog.push_proc(vec![load(0, 0), Instr::Halt]);
+        let m0 = machine(prog, MemoryModel::Wo, Fidelity::Conditioned);
+        let mut m1 = m0.clone();
+        let mut sink = NullSink::new();
+        m1.step(p(1), &mut sink).unwrap(); // caches a copy
+        assert_ne!(m0.fingerprint(), m1.fingerprint());
+        let mut m2 = m1.clone();
+        m2.step(p(0), &mut sink).unwrap(); // enqueues an invalidation
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+    }
+}

@@ -1,0 +1,414 @@
+//! The simulated machine's instruction set.
+//!
+//! The ISA is deliberately small but complete enough to express the
+//! paper's example programs (including Figure 2's work-queue, which needs
+//! indirect addressing and conditional branches) and arbitrary generated
+//! workloads:
+//!
+//! * register arithmetic and moves (no memory operations),
+//! * `Ld`/`St` — ordinary **data** loads and stores,
+//! * `LdAcq`/`StRel` — synchronization accesses with acquire/release
+//!   semantics,
+//! * `LdSync`/`StSync` — synchronization accesses with *neither* acquire
+//!   nor release semantics (useful for DRF0-style systems that do not
+//!   classify sync operations),
+//! * `TestSet`/`Unset` — the paper's running synchronization primitives:
+//!   `Test&Set` performs an acquire read followed by a plain sync write of
+//!   one (atomically); `Unset` performs a release write of zero,
+//! * `Fence` — drains the issuing processor's store buffer,
+//! * branches, `Nop` and `Halt`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::Location;
+
+/// A general-purpose register index (`r0`..`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS` (16). Use [`Reg::try_new`] to handle
+    /// the error instead.
+    pub fn new(index: u8) -> Self {
+        Reg::try_new(index).expect("register index out of range")
+    }
+
+    /// Creates a register reference, or `None` if out of range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (usize::from(index) < crate::NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A source operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// Immediate constant.
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An addressing mode for memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Addr {
+    /// A fixed location.
+    Abs(Location),
+    /// `m[reg + offset]` — computed at execution time; lets Figure 2's
+    /// workers address `region[addr .. addr+100]`.
+    Ind {
+        /// Base register.
+        base: Reg,
+        /// Constant offset added to the base register's value.
+        offset: i64,
+    },
+}
+
+impl From<Location> for Addr {
+    fn from(l: Location) -> Self {
+        Addr::Abs(l)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Abs(l) => write!(f, "{l}"),
+            Addr::Ind { base, offset } if *offset == 0 => write!(f, "m[{base}]"),
+            Addr::Ind { base, offset } => write!(f, "m[{base}{offset:+}]"),
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Each instruction involves zero, one, or (for [`Instr::TestSet`]) two
+/// memory operations, matching the paper's terminology in Section 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst <- imm`.
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst <- src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- a + b`.
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst <- a - b`.
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst <- a * b`.
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst <- (a == b) ? 1 : 0`.
+    CmpEq {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst <- (a < b) ? 1 : 0`.
+    CmpLt {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Data load: `dst <- m[addr]`.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+    },
+    /// Data store: `m[addr] <- src`.
+    St {
+        /// Stored value.
+        src: Operand,
+        /// Address.
+        addr: Addr,
+    },
+    /// Synchronization load with acquire semantics.
+    LdAcq {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+    },
+    /// Synchronization store with release semantics.
+    StRel {
+        /// Stored value.
+        src: Operand,
+        /// Address.
+        addr: Addr,
+    },
+    /// Synchronization load with neither acquire nor release semantics.
+    LdSync {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+    },
+    /// Synchronization store with neither acquire nor release semantics.
+    StSync {
+        /// Stored value.
+        src: Operand,
+        /// Address.
+        addr: Addr,
+    },
+    /// Atomic `Test&Set`: `dst <- m[addr]; m[addr] <- 1`. The read is an
+    /// acquire; the write is a plain synchronization write (the paper
+    /// notes it is *not* a release).
+    TestSet {
+        /// Receives the old value (zero means the set succeeded).
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+    },
+    /// `Unset`: release write of zero, `m[addr] <- 0`.
+    Unset {
+        /// Address.
+        addr: Addr,
+    },
+    /// Drain the issuing processor's store buffer.
+    Fence,
+    /// Unconditional jump to instruction index `target`.
+    Jmp {
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Branch to `target` if `cond` is zero.
+    Bz {
+        /// Condition register.
+        cond: Reg,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Branch to `target` if `cond` is non-zero.
+    Bnz {
+        /// Condition register.
+        cond: Reg,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// No operation.
+    Nop,
+    /// Stop this processor.
+    Halt,
+}
+
+impl Instr {
+    /// `true` iff executing this instruction performs at least one memory
+    /// operation (data or synchronization).
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ld { .. }
+                | Instr::St { .. }
+                | Instr::LdAcq { .. }
+                | Instr::StRel { .. }
+                | Instr::LdSync { .. }
+                | Instr::StSync { .. }
+                | Instr::TestSet { .. }
+                | Instr::Unset { .. }
+        )
+    }
+
+    /// `true` iff this instruction's memory operations are synchronization
+    /// operations.
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdAcq { .. }
+                | Instr::StRel { .. }
+                | Instr::LdSync { .. }
+                | Instr::StSync { .. }
+                | Instr::TestSet { .. }
+                | Instr::Unset { .. }
+        )
+    }
+
+    /// The branch/jump target, if this is a control-flow instruction.
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Instr::Jmp { target } | Instr::Bz { target, .. } | Instr::Bnz { target, .. } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Add { dst, a, b } => write!(f, "add {dst}, {a}, {b}"),
+            Instr::Sub { dst, a, b } => write!(f, "sub {dst}, {a}, {b}"),
+            Instr::Mul { dst, a, b } => write!(f, "mul {dst}, {a}, {b}"),
+            Instr::CmpEq { dst, a, b } => write!(f, "cmpeq {dst}, {a}, {b}"),
+            Instr::CmpLt { dst, a, b } => write!(f, "cmplt {dst}, {a}, {b}"),
+            Instr::Ld { dst, addr } => write!(f, "ld {dst}, {addr}"),
+            Instr::St { src, addr } => write!(f, "st {src}, {addr}"),
+            Instr::LdAcq { dst, addr } => write!(f, "ld.acq {dst}, {addr}"),
+            Instr::StRel { src, addr } => write!(f, "st.rel {src}, {addr}"),
+            Instr::LdSync { dst, addr } => write!(f, "ld.sync {dst}, {addr}"),
+            Instr::StSync { src, addr } => write!(f, "st.sync {src}, {addr}"),
+            Instr::TestSet { dst, addr } => write!(f, "test&set {dst}, {addr}"),
+            Instr::Unset { addr } => write!(f, "unset {addr}"),
+            Instr::Fence => write!(f, "fence"),
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::Bz { cond, target } => write!(f, "bz {cond}, @{target}"),
+            Instr::Bnz { cond, target } => write!(f, "bnz {cond}, @{target}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(15).index(), 15);
+        assert!(Reg::try_new(16).is_none());
+        assert!(Reg::try_new(15).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }
+            .touches_memory());
+        assert!(!Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }.is_sync());
+        assert!(Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }.is_sync());
+        assert!(Instr::Unset { addr: Addr::Abs(Location::new(0)) }.touches_memory());
+        assert!(!Instr::Fence.touches_memory());
+        assert!(!Instr::Nop.touches_memory());
+        assert!(!Instr::Add { dst: Reg::new(0), a: Reg::new(1), b: Operand::Imm(3) }.is_sync());
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Instr::Jmp { target: 7 }.branch_target(), Some(7));
+        assert_eq!(Instr::Bz { cond: Reg::new(1), target: 3 }.branch_target(), Some(3));
+        assert_eq!(Instr::Bnz { cond: Reg::new(1), target: 4 }.branch_target(), Some(4));
+        assert_eq!(Instr::Halt.branch_target(), None);
+    }
+
+    #[test]
+    fn display_assembly() {
+        let l = Location::new(5);
+        assert_eq!(Instr::Li { dst: Reg::new(1), imm: -3 }.to_string(), "li r1, -3");
+        assert_eq!(
+            Instr::St { src: Operand::Imm(1), addr: Addr::Abs(l) }.to_string(),
+            "st 1, m[5]"
+        );
+        assert_eq!(
+            Instr::TestSet { dst: Reg::new(2), addr: Addr::Abs(l) }.to_string(),
+            "test&set r2, m[5]"
+        );
+        assert_eq!(
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Ind { base: Reg::new(3), offset: 2 } }
+                .to_string(),
+            "ld r0, m[r3+2]"
+        );
+        assert_eq!(
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Ind { base: Reg::new(3), offset: 0 } }
+                .to_string(),
+            "ld r0, m[r3]"
+        );
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::new(2)), Operand::Reg(Reg::new(2)));
+        assert_eq!(Operand::from(5i64), Operand::Imm(5));
+        assert_eq!(Addr::from(Location::new(3)), Addr::Abs(Location::new(3)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = Instr::TestSet { dst: Reg::new(1), addr: Addr::Abs(Location::new(9)) };
+        let j = serde_json::to_string(&i).unwrap();
+        assert_eq!(serde_json::from_str::<Instr>(&j).unwrap(), i);
+    }
+}

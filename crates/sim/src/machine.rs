@@ -1,0 +1,513 @@
+//! The sequentially consistent reference machine.
+//!
+//! [`ScMachine`] executes a program as an interleaving of instructions,
+//! each of whose memory operations completes against shared memory before
+//! the next step — Lamport's definition realized operationally. Which
+//! interleaving occurs is decided entirely by the caller (one
+//! [`step`](ScMachine::step) call per choice), so on top of this one
+//! machine we build seeded random executions, scripted executions that
+//! reproduce the paper's figures, and the exhaustive SC-execution
+//! enumerator in `wmrd-verify`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use wmrd_trace::{AccessKind, OpId, ProcId, SyncRole, TraceSink, Value};
+
+use crate::cpu::LocalOutcome;
+use crate::{CoreState, Instr, Program, Reg, SimError, Timing};
+
+/// One word of simulated shared memory.
+///
+/// Besides the value, a cell remembers the identity of the write it holds
+/// — that is how a read learns its `observed_write`, which in turn is how
+/// `so1` pairing (Definition 2.1(3)) is made exact in traces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemCell {
+    /// Current value.
+    pub value: Value,
+    /// Identity of the write that produced the value (`None` = initial).
+    pub writer: Option<OpId>,
+    /// `true` iff that write was a synchronization write.
+    pub writer_sync: bool,
+}
+
+impl MemCell {
+    /// A cell holding an initial (pre-execution) value.
+    pub fn initial(value: Value) -> Self {
+        MemCell { value, writer: None, writer_sync: false }
+    }
+
+    /// The `observed_release` for a synchronization read of this cell:
+    /// the writer, if it was a synchronization write.
+    pub fn sync_writer(&self) -> Option<OpId> {
+        self.writer.filter(|_| self.writer_sync)
+    }
+}
+
+/// What a [`ScMachine::step`] (or weak-machine step) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A local (register/branch/nop) instruction executed.
+    Local,
+    /// One or more data memory operations executed.
+    Data,
+    /// One or more synchronization memory operations executed.
+    Sync,
+    /// The processor executed `Halt` (now halted).
+    Halt,
+}
+
+/// The sequentially consistent machine.
+///
+/// Cloning is cheap-ish (the program is shared via [`Arc`]); the
+/// exhaustive enumerator clones machines at scheduling branch points.
+#[derive(Debug, Clone)]
+pub struct ScMachine {
+    program: Arc<Program>,
+    cores: Vec<CoreState>,
+    mem: Vec<MemCell>,
+    cycles: Vec<u64>,
+    timing: Timing,
+    steps: u64,
+}
+
+impl ScMachine {
+    /// Creates a machine at the program's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// [`Program::validate`].
+    pub fn new(program: Arc<Program>, timing: Timing) -> Result<Self, SimError> {
+        program.validate()?;
+        let cores =
+            (0..program.num_procs()).map(|i| CoreState::new(ProcId::new(i as u16))).collect();
+        let mem = program.initial_memory().into_iter().map(MemCell::initial).collect();
+        let cycles = vec![0; program.num_procs()];
+        Ok(ScMachine { program, cores, mem, cycles, timing, steps: 0 })
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The state of one core.
+    pub fn core(&self, proc: ProcId) -> Option<&CoreState> {
+        self.cores.get(proc.index())
+    }
+
+    /// Per-processor accumulated cycles.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current memory values.
+    pub fn memory_values(&self) -> Vec<Value> {
+        self.mem.iter().map(|c| c.value).collect()
+    }
+
+    /// Current memory cells (values plus writer identities).
+    pub fn memory(&self) -> &[MemCell] {
+        &self.mem
+    }
+
+    /// Processors that can still make progress.
+    pub fn runnable(&self) -> Vec<ProcId> {
+        self.cores.iter().filter(|c| !c.is_halted()).map(|c| c.proc).collect()
+    }
+
+    /// `true` once every processor has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// The next instruction a processor would execute (`None` if halted).
+    pub fn next_instr(&self, proc: ProcId) -> Option<Instr> {
+        let core = self.cores.get(proc.index())?;
+        if core.is_halted() {
+            return None;
+        }
+        self.program.proc_code(proc)?.get(core.pc()).copied()
+    }
+
+    /// A hash of the architectural state (cores + memory), used by the
+    /// enumerator to prune converged schedules.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        self.mem.hash(&mut h);
+        h.finish()
+    }
+
+    /// A hash of the *behavioral* state: cores and memory values only,
+    /// ignoring writer identities. Two states with equal behavioral
+    /// fingerprints produce identical future values — a failed `Test&Set`
+    /// spin iteration returns to the same behavioral state even though
+    /// each iteration's write gets a fresh operation id. The enumerator
+    /// uses this to bound spin-loop unrolling.
+    pub fn behavioral_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        for cell in &self.mem {
+            cell.value.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Executes one instruction on `proc`, reporting memory operations to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownProcessor`] / [`SimError::Halted`] for bad
+    ///   `proc`.
+    /// * [`SimError::BadAddress`] / [`SimError::BadLocation`] for wild
+    ///   indirect accesses.
+    pub fn step<S: TraceSink>(
+        &mut self,
+        proc: ProcId,
+        sink: &mut S,
+    ) -> Result<StepEvent, SimError> {
+        let core =
+            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        if core.is_halted() {
+            return Err(SimError::Halted(proc));
+        }
+        let instr = self
+            .program
+            .proc_code(proc)
+            .and_then(|code| code.get(core.pc()))
+            .copied()
+            .unwrap_or(Instr::Halt);
+        self.steps += 1;
+        let was_halt = matches!(instr, Instr::Halt);
+        match core.exec_local(&instr) {
+            LocalOutcome::Done => {
+                self.cycles[proc.index()] += self.timing.local_op;
+                return Ok(if was_halt { StepEvent::Halt } else { StepEvent::Local });
+            }
+            LocalOutcome::Halted => return Err(SimError::Halted(proc)),
+            LocalOutcome::NeedsMemory => {}
+        }
+        let num_locations = self.program.num_locations();
+        let event = match instr {
+            Instr::Ld { dst, addr } => {
+                let loc = self.cores[proc.index()].resolve_addr(addr, num_locations)?;
+                let cell = self.mem[loc.index()].clone();
+                sink.data_access(proc, loc, AccessKind::Read, cell.value, cell.writer);
+                self.cores[proc.index()].complete_load(dst, cell.value);
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Data
+            }
+            Instr::St { src, addr } => {
+                let core = &self.cores[proc.index()];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.data_access(proc, loc, AccessKind::Write, value, None);
+                self.mem[loc.index()] =
+                    MemCell { value, writer: Some(id), writer_sync: false };
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Data
+            }
+            Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
+                let role = if matches!(instr, Instr::LdAcq { .. }) {
+                    SyncRole::Acquire
+                } else {
+                    SyncRole::None
+                };
+                let loc = self.cores[proc.index()].resolve_addr(addr, num_locations)?;
+                let cell = self.mem[loc.index()].clone();
+                sink.sync_access(proc, loc, AccessKind::Read, role, cell.value, cell.sync_writer());
+                self.cores[proc.index()].complete_load(dst, cell.value);
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
+                let role = if matches!(instr, Instr::StRel { .. }) {
+                    SyncRole::Release
+                } else {
+                    SyncRole::None
+                };
+                let core = &self.cores[proc.index()];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.sync_access(proc, loc, AccessKind::Write, role, value, None);
+                self.mem[loc.index()] = MemCell { value, writer: Some(id), writer_sync: true };
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::TestSet { dst, addr } => {
+                let loc = self.cores[proc.index()].resolve_addr(addr, num_locations)?;
+                let old = self.mem[loc.index()].clone();
+                sink.sync_access(
+                    proc,
+                    loc,
+                    AccessKind::Read,
+                    SyncRole::Acquire,
+                    old.value,
+                    old.sync_writer(),
+                );
+                let set = Value::new(1);
+                let wid =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                self.mem[loc.index()] = MemCell { value: set, writer: Some(wid), writer_sync: true };
+                self.cores[proc.index()].complete_load(dst, old.value);
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Unset { addr } => {
+                let loc = self.cores[proc.index()].resolve_addr(addr, num_locations)?;
+                let value = Value::ZERO;
+                let id =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::Release, value, None);
+                self.mem[loc.index()] = MemCell { value, writer: Some(id), writer_sync: true };
+                self.cycles[proc.index()] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Fence => {
+                // SC has nothing buffered; a fence is a local no-op.
+                self.cycles[proc.index()] += self.timing.local_op;
+                StepEvent::Local
+            }
+            _ => unreachable!("exec_local handles all local instructions"),
+        };
+        self.cores[proc.index()].advance_pc();
+        Ok(event)
+    }
+
+    /// Convenience: the value currently in a register of a core (test
+    /// helper; returns 0 for unknown processors).
+    pub fn reg(&self, proc: ProcId, r: Reg) -> i64 {
+        self.cores.get(proc.index()).map_or(0, |c| c.reg(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, Operand};
+    use wmrd_trace::{Location, NullSink, OpRecorder};
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn machine(prog: Program) -> ScMachine {
+        ScMachine::new(Arc::new(prog), Timing::uniform()).unwrap()
+    }
+
+    #[test]
+    fn store_then_load_same_proc() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            Instr::St { src: Operand::Imm(7), addr: Addr::Abs(l(0)) },
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        assert_eq!(m.step(p(0), &mut sink).unwrap(), StepEvent::Data);
+        assert_eq!(m.step(p(0), &mut sink).unwrap(), StepEvent::Data);
+        assert_eq!(m.reg(p(0), Reg::new(0)), 7);
+        assert_eq!(m.step(p(0), &mut sink).unwrap(), StepEvent::Halt);
+        assert!(m.all_halted());
+        assert!(m.runnable().is_empty());
+        assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn observed_write_identity_flows_to_sink() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::St { src: Operand::Imm(3), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(1), &mut rec).unwrap();
+        let ops = rec.finish();
+        let read = &ops.proc_ops(p(1)).unwrap()[0];
+        assert_eq!(read.observed_write, Some(OpId::new(p(0), 0)));
+        assert_eq!(read.value, Value::new(3));
+    }
+
+    #[test]
+    fn read_of_initial_value_observes_none() {
+        let mut prog = Program::new("t", 1);
+        prog.set_init(l(0), Value::new(37));
+        prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut rec = OpRecorder::new(1);
+        m.step(p(0), &mut rec).unwrap();
+        let ops = rec.finish();
+        let read = &ops.proc_ops(p(0)).unwrap()[0];
+        assert_eq!(read.observed_write, None);
+        assert_eq!(read.value, Value::new(37));
+        assert_eq!(m.reg(p(0), Reg::new(0)), 37);
+    }
+
+    #[test]
+    fn test_set_is_atomic_and_reports_two_sync_ops() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut rec = OpRecorder::new(2);
+        assert_eq!(m.step(p(0), &mut rec).unwrap(), StepEvent::Sync);
+        assert_eq!(m.step(p(1), &mut rec).unwrap(), StepEvent::Sync);
+        // First T&S sees 0 (success); second sees 1 (failure).
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 1);
+        let ops = rec.finish();
+        assert_eq!(ops.proc_ops(p(0)).unwrap().len(), 2, "read + write");
+        // P1's acquire read observed P0's test&set write.
+        let acq = &ops.proc_ops(p(1)).unwrap()[0];
+        assert_eq!(acq.observed_write, Some(OpId::new(p(0), 1)));
+    }
+
+    #[test]
+    fn unset_release_pairs_with_test_set_acquire() {
+        let mut prog = Program::new("t", 1);
+        prog.set_init(l(0), Value::new(1)); // lock initially held
+        prog.push_proc(vec![Instr::Unset { addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(1), &mut rec).unwrap();
+        assert_eq!(m.reg(p(1), Reg::new(0)), 0, "test&set succeeded after unset");
+        let ops = rec.finish();
+        let acq = &ops.proc_ops(p(1)).unwrap()[0];
+        assert_eq!(acq.observed_write, Some(OpId::new(p(0), 0)), "acquire observed the release");
+    }
+
+    #[test]
+    fn data_write_not_reported_as_sync_writer() {
+        // A sync read that observes a *data* write must not report an
+        // observed_release (releases are sync writes by definition).
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::St { src: Operand::Imm(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::LdAcq { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(1), &mut rec).unwrap();
+        let ops = rec.finish();
+        let acq = &ops.proc_ops(p(1)).unwrap()[0];
+        assert_eq!(acq.observed_write, None);
+    }
+
+    #[test]
+    fn indirect_addressing() {
+        let mut prog = Program::new("t", 16);
+        prog.push_proc(vec![
+            Instr::Li { dst: Reg::new(1), imm: 8 },
+            Instr::St { src: Operand::Imm(5), addr: Addr::Ind { base: Reg::new(1), offset: 2 } },
+            Instr::Halt,
+        ]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.memory_values()[10], Value::new(5));
+    }
+
+    #[test]
+    fn wild_indirect_address_errors() {
+        let mut prog = Program::new("t", 4);
+        prog.push_proc(vec![
+            Instr::Li { dst: Reg::new(1), imm: 99 },
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Ind { base: Reg::new(1), offset: 0 } },
+            Instr::Halt,
+        ]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(matches!(m.step(p(0), &mut sink), Err(SimError::BadAddress { .. })));
+    }
+
+    #[test]
+    fn step_errors() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::Halt]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        assert!(matches!(m.step(p(5), &mut sink), Err(SimError::UnknownProcessor(_))));
+        m.step(p(0), &mut sink).unwrap();
+        assert!(matches!(m.step(p(0), &mut sink), Err(SimError::Halted(_))));
+    }
+
+    #[test]
+    fn running_off_code_end_halts() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::Nop]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.step(p(0), &mut sink).unwrap(), StepEvent::Halt);
+        assert!(m.all_halted());
+    }
+
+    #[test]
+    fn fence_is_noop_on_sc() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::Fence, Instr::Halt]);
+        let mut m = machine(prog);
+        let mut sink = NullSink::new();
+        assert_eq!(m.step(p(0), &mut sink).unwrap(), StepEvent::Local);
+    }
+
+    #[test]
+    fn sc_timing_stalls_every_memory_op() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![
+            Instr::St { src: Operand::Imm(1), addr: Addr::Abs(l(0)) },
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Nop,
+            Instr::Halt,
+        ]);
+        let mut m = ScMachine::new(Arc::new(prog), Timing::default_model()).unwrap();
+        let mut sink = NullSink::new();
+        for _ in 0..4 {
+            m.step(p(0), &mut sink).unwrap();
+        }
+        // 10 + 10 + 1 + 1
+        assert_eq!(m.cycles()[0], 22);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::St { src: Operand::Imm(1), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        let m0 = machine(prog);
+        let mut m1 = m0.clone();
+        assert_eq!(m0.fingerprint(), m1.fingerprint());
+        let mut sink = NullSink::new();
+        m1.step(p(0), &mut sink).unwrap();
+        assert_ne!(m0.fingerprint(), m1.fingerprint());
+    }
+
+    #[test]
+    fn next_instr_reports_upcoming_instruction() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![Instr::Nop, Instr::Halt]);
+        let mut m = machine(prog);
+        assert_eq!(m.next_instr(p(0)), Some(Instr::Nop));
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.next_instr(p(0)), Some(Instr::Halt));
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.next_instr(p(0)), None, "halted processors have no next instruction");
+    }
+}

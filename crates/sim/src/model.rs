@@ -1,0 +1,213 @@
+//! Memory-model selection (Section 2.2 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::SyncRole;
+
+/// The weak memory models the paper considers, plus sequential
+/// consistency.
+///
+/// All four weak models delay the actions needed for sequential
+/// consistency "from the data operation to the subsequent synchronization
+/// operation" (Section 2.2). In this simulator the delayable action is the
+/// global visibility of buffered data writes, and the models differ in
+/// *which* synchronization operations force the issuing processor's
+/// buffer to drain:
+///
+/// * **WO** (weak ordering) and **DRF0** do not distinguish acquire from
+///   release, so every synchronization operation drains the buffer.
+/// * **RCsc** and **DRF1** exploit the distinction: only releases (and
+///   fences) drain. An acquire — e.g. the read of `Test&Set` — does not
+///   wait for the issuing processor's own pending data writes, which is
+///   precisely the extra overlap RCsc gains over WO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Sequential consistency: every memory operation stalls to
+    /// completion; no buffering at all.
+    Sc,
+    /// Weak ordering (Dubois, Scheurich & Briggs 1986).
+    Wo,
+    /// Release consistency with sequentially consistent synchronization
+    /// operations (Gharachorloo et al. 1990).
+    RCsc,
+    /// Data-race-free-0 (Adve & Hill 1990): no acquire/release
+    /// distinction.
+    Drf0,
+    /// Data-race-free-1 (Adve & Hill 1991): distinguishes paired
+    /// acquire/release synchronization.
+    Drf1,
+}
+
+impl MemoryModel {
+    /// All weak models (everything except [`MemoryModel::Sc`]).
+    pub const WEAK: [MemoryModel; 4] =
+        [MemoryModel::Wo, MemoryModel::RCsc, MemoryModel::Drf0, MemoryModel::Drf1];
+
+    /// All models including SC.
+    pub const ALL: [MemoryModel; 5] = [
+        MemoryModel::Sc,
+        MemoryModel::Wo,
+        MemoryModel::RCsc,
+        MemoryModel::Drf0,
+        MemoryModel::Drf1,
+    ];
+
+    /// `true` iff this is one of the four weak models.
+    pub fn is_weak(self) -> bool {
+        self != MemoryModel::Sc
+    }
+
+    /// `true` iff the model distinguishes acquire and release
+    /// synchronization (RCsc and DRF1).
+    pub fn distinguishes_acquire_release(self) -> bool {
+        matches!(self, MemoryModel::RCsc | MemoryModel::Drf1)
+    }
+
+    /// `true` iff a synchronization *write* with role `role` must drain
+    /// the issuing processor's store buffer before executing.
+    ///
+    /// Sync *reads* never drain the local buffer under any model (a
+    /// processor's own reads are always allowed to bypass — they forward
+    /// from the buffer).
+    pub fn sync_write_drains(self, role: SyncRole) -> bool {
+        match self {
+            MemoryModel::Sc => true,
+            MemoryModel::Wo | MemoryModel::Drf0 => true,
+            MemoryModel::RCsc | MemoryModel::Drf1 => role.is_release(),
+        }
+    }
+
+    /// `true` iff a synchronization *read* with role `role` stalls until
+    /// the issuing processor's buffer drains (WO orders *all* memory
+    /// operations around a synchronization operation, so even sync reads
+    /// wait; RCsc/DRF1 acquires do not).
+    pub fn sync_read_drains(self, _role: SyncRole) -> bool {
+        match self {
+            MemoryModel::Sc => true,
+            MemoryModel::Wo | MemoryModel::Drf0 => true,
+            MemoryModel::RCsc | MemoryModel::Drf1 => false,
+        }
+    }
+
+    /// For the invalidation-queue implementation
+    /// ([`InvalMachine`](crate::InvalMachine)): `true` iff a
+    /// synchronization *read* with role `role` applies all pending
+    /// invalidations before completing. This is the reader-side dual of
+    /// [`sync_write_drains`](Self::sync_write_drains): WO/DRF0 order all
+    /// operations around every sync op; RCsc/DRF1 refresh only at
+    /// **acquires** (operations after an acquire must see what the
+    /// acquired release published).
+    pub fn inval_flush_on_sync_read(self, role: SyncRole) -> bool {
+        match self {
+            MemoryModel::Sc => true,
+            MemoryModel::Wo | MemoryModel::Drf0 => true,
+            MemoryModel::RCsc | MemoryModel::Drf1 => role.is_acquire(),
+        }
+    }
+
+    /// Invalidation-queue counterpart for synchronization *writes*:
+    /// WO/DRF0 still order everything around the op; under RCsc/DRF1 a
+    /// release constrains the writer's *previous writes* (already
+    /// complete in this implementation), not its reader-side staleness,
+    /// so no flush.
+    pub fn inval_flush_on_sync_write(self, _role: SyncRole) -> bool {
+        match self {
+            MemoryModel::Sc => true,
+            MemoryModel::Wo | MemoryModel::Drf0 => true,
+            MemoryModel::RCsc | MemoryModel::Drf1 => false,
+        }
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryModel::Sc => "SC",
+            MemoryModel::Wo => "WO",
+            MemoryModel::RCsc => "RCsc",
+            MemoryModel::Drf0 => "DRF0",
+            MemoryModel::Drf1 => "DRF1",
+        })
+    }
+}
+
+/// Whether the weak machine honours the paper's Condition 3.4.
+///
+/// * [`Fidelity::Conditioned`] models every *practical* weak
+///   implementation (Theorem 3.5): synchronization executes strongly and
+///   drains buffers per the model, so sequential consistency can be
+///   violated only through data races, and the execution has a
+///   sequentially consistent prefix up to its first data races.
+/// * [`Fidelity::Raw`] models "arbitrary weak hardware" from Section 3.1's
+///   first problem: synchronization writes are buffered like data writes
+///   and nothing ever drains implicitly, so even data-race-free programs
+///   can behave non-sequentially-consistently. Dynamic race detection on
+///   such hardware gives meaningless answers — which is exactly the
+///   ablation this variant exists to demonstrate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Honour Condition 3.4 (default; matches all proposed weak
+    /// implementations).
+    #[default]
+    Conditioned,
+    /// Violate Condition 3.4 (hypothetical hardware for the ablation).
+    Raw,
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fidelity::Conditioned => "conditioned",
+            Fidelity::Raw => "raw",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_classification() {
+        assert!(!MemoryModel::Sc.is_weak());
+        for m in MemoryModel::WEAK {
+            assert!(m.is_weak());
+        }
+        assert_eq!(MemoryModel::ALL.len(), 5);
+    }
+
+    #[test]
+    fn acquire_release_distinction() {
+        assert!(MemoryModel::RCsc.distinguishes_acquire_release());
+        assert!(MemoryModel::Drf1.distinguishes_acquire_release());
+        assert!(!MemoryModel::Wo.distinguishes_acquire_release());
+        assert!(!MemoryModel::Drf0.distinguishes_acquire_release());
+        assert!(!MemoryModel::Sc.distinguishes_acquire_release());
+    }
+
+    #[test]
+    fn drain_rules_wo_vs_rcsc() {
+        // WO: every sync op drains.
+        assert!(MemoryModel::Wo.sync_write_drains(SyncRole::Release));
+        assert!(MemoryModel::Wo.sync_write_drains(SyncRole::None));
+        assert!(MemoryModel::Wo.sync_read_drains(SyncRole::Acquire));
+        // RCsc: only releases drain; acquires overlap.
+        assert!(MemoryModel::RCsc.sync_write_drains(SyncRole::Release));
+        assert!(!MemoryModel::RCsc.sync_write_drains(SyncRole::None));
+        assert!(!MemoryModel::RCsc.sync_read_drains(SyncRole::Acquire));
+        // DRF0 behaves like WO; DRF1 like RCsc.
+        assert!(MemoryModel::Drf0.sync_write_drains(SyncRole::None));
+        assert!(!MemoryModel::Drf1.sync_write_drains(SyncRole::None));
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = MemoryModel::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, vec!["SC", "WO", "RCsc", "DRF0", "DRF1"]);
+        assert_eq!(Fidelity::Conditioned.to_string(), "conditioned");
+        assert_eq!(Fidelity::Raw.to_string(), "raw");
+        assert_eq!(Fidelity::default(), Fidelity::Conditioned);
+    }
+}

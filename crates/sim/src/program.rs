@@ -1,0 +1,265 @@
+//! Programs: per-processor instruction streams plus initial memory.
+//!
+//! The paper's definition (Section 2.1): "The term program refers to the
+//! program text (a set of machine instructions) and the input data." Here
+//! the input data is the initial contents of shared memory.
+
+use serde::{Deserialize, Serialize};
+
+use wmrd_trace::{Location, ProcId, Value};
+
+use crate::{Instr, SimError};
+
+/// A multiprocessor program: one instruction stream per processor, a
+/// shared-memory size, and initial memory contents.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_sim::{Addr, Instr, Program, Reg};
+/// use wmrd_trace::{Location, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = Program::new("demo", 4);
+/// p.set_init(Location::new(0), Value::new(37));
+/// p.push_proc(vec![
+///     Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) },
+///     Instr::Halt,
+/// ]);
+/// p.validate()?;
+/// assert_eq!(p.num_procs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    num_locations: u32,
+    init: Vec<(Location, Value)>,
+    procs: Vec<Vec<Instr>>,
+}
+
+impl Program {
+    /// Creates an empty program named `name` with `num_locations` words of
+    /// shared memory (all initially zero).
+    pub fn new(name: impl Into<String>, num_locations: u32) -> Self {
+        Program { name: name.into(), num_locations, init: Vec::new(), procs: Vec::new() }
+    }
+
+    /// The program's name (used in trace metadata and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shared-memory locations.
+    pub fn num_locations(&self) -> u32 {
+        self.num_locations
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The instruction stream of one processor.
+    pub fn proc_code(&self, proc: ProcId) -> Option<&[Instr]> {
+        self.procs.get(proc.index()).map(|v| v.as_slice())
+    }
+
+    /// All instruction streams.
+    pub fn procs(&self) -> &[Vec<Instr>] {
+        &self.procs
+    }
+
+    /// Appends a processor with the given instruction stream; returns its
+    /// id.
+    pub fn push_proc(&mut self, code: Vec<Instr>) -> ProcId {
+        self.procs.push(code);
+        ProcId::new((self.procs.len() - 1) as u16)
+    }
+
+    /// Sets the initial value of a memory word (later entries win).
+    pub fn set_init(&mut self, loc: Location, value: Value) {
+        self.init.push((loc, value));
+    }
+
+    /// The initial-memory entries in insertion order.
+    pub fn init(&self) -> &[(Location, Value)] {
+        &self.init
+    }
+
+    /// Materializes the initial memory image.
+    pub fn initial_memory(&self) -> Vec<Value> {
+        let mut mem = vec![Value::ZERO; self.num_locations as usize];
+        for &(loc, v) in &self.init {
+            if let Some(cell) = mem.get_mut(loc.index()) {
+                *cell = v;
+            }
+        }
+        mem
+    }
+
+    /// Total number of static instructions.
+    pub fn num_instructions(&self) -> usize {
+        self.procs.iter().map(|p| p.len()).sum()
+    }
+
+    /// Checks static validity:
+    ///
+    /// * at least one processor, every processor non-empty,
+    /// * every branch target within its processor's code,
+    /// * every absolute address within `num_locations`,
+    /// * every initial-memory entry within `num_locations`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.procs.is_empty() {
+            return Err(SimError::InvalidProgram("no processors".into()));
+        }
+        for (pi, code) in self.procs.iter().enumerate() {
+            if code.is_empty() {
+                return Err(SimError::InvalidProgram(format!("processor {pi} has no code")));
+            }
+            for (ii, instr) in code.iter().enumerate() {
+                if let Some(t) = instr.branch_target() {
+                    if t >= code.len() {
+                        return Err(SimError::InvalidProgram(format!(
+                            "processor {pi} instruction {ii} branches to {t}, \
+                             beyond code length {}",
+                            code.len()
+                        )));
+                    }
+                }
+                if let Some(loc) = abs_location(instr) {
+                    if loc.addr() >= self.num_locations {
+                        return Err(SimError::InvalidProgram(format!(
+                            "processor {pi} instruction {ii} addresses {loc}, \
+                             beyond memory size {}",
+                            self.num_locations
+                        )));
+                    }
+                }
+            }
+        }
+        for &(loc, _) in &self.init {
+            if loc.addr() >= self.num_locations {
+                return Err(SimError::InvalidProgram(format!(
+                    "initial memory entry {loc} beyond memory size {}",
+                    self.num_locations
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn abs_location(instr: &Instr) -> Option<Location> {
+    use crate::Addr;
+    let addr = match instr {
+        Instr::Ld { addr, .. }
+        | Instr::St { addr, .. }
+        | Instr::LdAcq { addr, .. }
+        | Instr::StRel { addr, .. }
+        | Instr::LdSync { addr, .. }
+        | Instr::StSync { addr, .. }
+        | Instr::TestSet { addr, .. }
+        | Instr::Unset { addr } => addr,
+        _ => return None,
+    };
+    match addr {
+        Addr::Abs(l) => Some(*l),
+        Addr::Ind { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, Reg};
+
+    fn loc(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut p = Program::new("t", 8);
+        let p0 = p.push_proc(vec![Instr::Halt]);
+        let p1 = p.push_proc(vec![Instr::Nop, Instr::Halt]);
+        assert_eq!(p0, ProcId::new(0));
+        assert_eq!(p1, ProcId::new(1));
+        assert_eq!(p.num_procs(), 2);
+        assert_eq!(p.num_instructions(), 3);
+        assert_eq!(p.proc_code(p1).unwrap().len(), 2);
+        assert!(p.proc_code(ProcId::new(9)).is_none());
+        assert_eq!(p.name(), "t");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn initial_memory_applies_in_order() {
+        let mut p = Program::new("t", 4);
+        p.set_init(loc(1), Value::new(5));
+        p.set_init(loc(1), Value::new(9)); // later entry wins
+        p.set_init(loc(3), Value::new(-1));
+        let mem = p.initial_memory();
+        assert_eq!(mem, vec![Value::ZERO, Value::new(9), Value::ZERO, Value::new(-1)]);
+        assert_eq!(p.init().len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_empty_program() {
+        let p = Program::new("t", 1);
+        assert!(matches!(p.validate(), Err(SimError::InvalidProgram(_))));
+    }
+
+    #[test]
+    fn validate_rejects_empty_processor() {
+        let mut p = Program::new("t", 1);
+        p.push_proc(vec![]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_branch_out_of_range() {
+        let mut p = Program::new("t", 1);
+        p.push_proc(vec![Instr::Jmp { target: 5 }, Instr::Halt]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_absolute_address() {
+        let mut p = Program::new("t", 2);
+        p.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(loc(2)) }, Instr::Halt]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_init_entry() {
+        let mut p = Program::new("t", 2);
+        p.push_proc(vec![Instr::Halt]);
+        p.set_init(loc(5), Value::new(1));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_indirect_addresses() {
+        let mut p = Program::new("t", 2);
+        p.push_proc(vec![
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Ind { base: Reg::new(1), offset: 100 } },
+            Instr::Halt,
+        ]);
+        // Indirect addresses are checked at execution time, not statically.
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut p = Program::new("t", 2);
+        p.push_proc(vec![Instr::Unset { addr: Addr::Abs(loc(1)) }, Instr::Halt]);
+        let j = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Program>(&j).unwrap(), p);
+    }
+}

@@ -1,0 +1,77 @@
+//! The cycle-cost model.
+//!
+//! The paper's Section 2.2 motivation: "A conventional implementation of
+//! sequential consistency would stall on every memory operation until its
+//! completion", while the weak models delay those stalls to
+//! synchronization points. The cost model captures only that structure —
+//! it is not a calibrated 1991 machine — which is enough to reproduce the
+//! *shape* of the performance relationship SC < WO/DRF0 < RCsc/DRF1
+//! (experiment E10).
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs charged by the machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Timing {
+    /// Cost of a purely local (register/branch) instruction.
+    pub local_op: u64,
+    /// Cost of inserting a data write into the store buffer (weak
+    /// machines only).
+    pub buffered_write: u64,
+    /// Cost of a memory operation that stalls to completion (all SC
+    /// operations; synchronization operations everywhere; data reads that
+    /// miss the store buffer).
+    pub mem_access: u64,
+    /// Cost of a data read that hits the issuing processor's own store
+    /// buffer (store-to-load forwarding).
+    pub buffer_hit: u64,
+    /// Per-entry cost of draining the store buffer at a flush point.
+    pub drain_per_entry: u64,
+}
+
+impl Timing {
+    /// The default model: local 1, buffered write 1, memory 10, buffer
+    /// hit 1, drain 2 per entry.
+    pub const fn default_model() -> Self {
+        Timing { local_op: 1, buffered_write: 1, mem_access: 10, buffer_hit: 1, drain_per_entry: 2 }
+    }
+
+    /// A uniform model where every action costs one cycle (useful in
+    /// tests that count steps rather than model performance).
+    pub const fn uniform() -> Self {
+        Timing { local_op: 1, buffered_write: 1, mem_access: 1, buffer_hit: 1, drain_per_entry: 1 }
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let t = Timing::default();
+        assert_eq!(t, Timing::default_model());
+        assert!(t.mem_access > t.buffered_write, "stalling must cost more than buffering");
+        assert!(t.mem_access > t.buffer_hit);
+    }
+
+    #[test]
+    fn uniform_model() {
+        let t = Timing::uniform();
+        assert_eq!(t.mem_access, 1);
+        assert_eq!(t.drain_per_entry, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Timing::default();
+        let j = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<Timing>(&j).unwrap(), t);
+    }
+}

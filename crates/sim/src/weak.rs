@@ -1,0 +1,765 @@
+//! The weak-memory machine: store buffers drained out of order.
+//!
+//! [`WeakMachine`] is the workspace's model of the weak systems of
+//! Section 2.2. Each core has a **store buffer** holding its pending data
+//! writes. A buffered write becomes globally visible only when *drained* —
+//! and drains of different locations may happen in any order (weak
+//! ordering permits reordering data writes between synchronization
+//! points; per-location program order is preserved, as every real
+//! coherence protocol does). The issuing core always sees its own
+//! buffered writes (store-to-load forwarding).
+//!
+//! With [`Fidelity::Conditioned`] (the default), synchronization
+//! operations execute strongly against shared memory and *flush* the
+//! issuing core's buffer according to the model's rule
+//! ([`MemoryModel::sync_write_drains`] /
+//! [`MemoryModel::sync_read_drains`]). Such a machine provides sequential
+//! consistency to every data-race-free execution and can violate
+//! sequential consistency only through data races — it obeys the paper's
+//! Condition 3.4 the same way the paper argues (Theorem 3.5) all
+//! practical WO/RCsc/DRF0/DRF1 implementations do.
+//!
+//! With [`Fidelity::Raw`], synchronization writes are buffered like data
+//! writes and nothing flushes implicitly. This hypothetical hardware
+//! violates Condition 3.4 — even race-free programs can behave
+//! non-sequentially-consistently — and exists for the ablation showing
+//! that dynamic race detection is meaningless without the condition.
+//!
+//! *Who decides when buffers drain?* The scheduler. Draining is an
+//! explicit action ([`WeakMachine::drain_one`]) so that scripted schedules
+//! can reproduce executions like the paper's Figure 2b, where `P1`'s
+//! write of `QEmpty` becomes visible *before* its program-order-earlier
+//! write of `Q`, letting `P2` read the stale queue entry `37`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceSink, Value};
+
+use crate::cpu::LocalOutcome;
+use crate::machine::MemCell;
+use crate::{
+    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, StepEvent, Timing,
+};
+
+/// A write sitting in a store buffer, not yet globally visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferedWrite {
+    /// Target location.
+    pub loc: Location,
+    /// Value to be written.
+    pub value: Value,
+    /// The write's identity (assigned at issue; the trace records writes
+    /// at issue time, in program order).
+    pub op: OpId,
+    /// `true` iff this is a buffered *synchronization* write (only
+    /// possible under [`Fidelity::Raw`]).
+    pub sync: bool,
+}
+
+/// A multiprocessor with per-core store buffers, parameterized by weak
+/// memory model and fidelity to Condition 3.4.
+#[derive(Debug, Clone)]
+pub struct WeakMachine {
+    program: Arc<Program>,
+    cores: Vec<CoreState>,
+    mem: Vec<MemCell>,
+    bufs: Vec<Vec<BufferedWrite>>,
+    model: MemoryModel,
+    fidelity: Fidelity,
+    cycles: Vec<u64>,
+    timing: Timing,
+    steps: u64,
+}
+
+impl WeakMachine {
+    /// Creates a machine at the program's initial state.
+    ///
+    /// Passing [`MemoryModel::Sc`] is allowed and yields a bufferless
+    /// machine (handy for uniform model sweeps); the dedicated
+    /// [`ScMachine`](crate::ScMachine) is the canonical SC reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// [`Program::validate`].
+    pub fn new(
+        program: Arc<Program>,
+        model: MemoryModel,
+        fidelity: Fidelity,
+        timing: Timing,
+    ) -> Result<Self, SimError> {
+        program.validate()?;
+        let n = program.num_procs();
+        let cores = (0..n).map(|i| CoreState::new(ProcId::new(i as u16))).collect();
+        let mem = program.initial_memory().into_iter().map(MemCell::initial).collect();
+        Ok(WeakMachine {
+            program,
+            cores,
+            mem,
+            bufs: vec![Vec::new(); n],
+            model,
+            fidelity,
+            cycles: vec![0; n],
+            timing,
+            steps: 0,
+        })
+    }
+
+    /// The memory model this machine implements.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Whether the machine honours Condition 3.4.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The state of one core.
+    pub fn core(&self, proc: ProcId) -> Option<&CoreState> {
+        self.cores.get(proc.index())
+    }
+
+    /// Per-processor accumulated cycles.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Globally visible memory values (buffered writes excluded).
+    pub fn memory_values(&self) -> Vec<Value> {
+        self.mem.iter().map(|c| c.value).collect()
+    }
+
+    /// Memory values as each write *will* land once all buffers drain —
+    /// i.e. global memory overlaid with every buffer (drain order for the
+    /// same location is per-processor program order; cross-processor
+    /// same-location conflicts resolve arbitrarily in processor order, as
+    /// they would for any drain interleaving).
+    pub fn settled_memory_values(&self) -> Vec<Value> {
+        let mut mem = self.memory_values();
+        for buf in &self.bufs {
+            for w in buf {
+                mem[w.loc.index()] = w.value;
+            }
+        }
+        mem
+    }
+
+    /// Processors that can still make progress.
+    pub fn runnable(&self) -> Vec<ProcId> {
+        self.cores.iter().filter(|c| !c.is_halted()).map(|c| c.proc).collect()
+    }
+
+    /// `true` once every processor has halted (buffers may still hold
+    /// writes; see [`buffers_empty`](Self::buffers_empty)).
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// `true` iff no store buffer holds a pending write.
+    pub fn buffers_empty(&self) -> bool {
+        self.bufs.iter().all(|b| b.is_empty())
+    }
+
+    /// The next instruction a processor would execute (`None` if
+    /// halted).
+    pub fn next_instr(&self, proc: ProcId) -> Option<Instr> {
+        let core = self.cores.get(proc.index())?;
+        if core.is_halted() {
+            return None;
+        }
+        self.program.proc_code(proc)?.get(core.pc()).copied()
+    }
+
+    /// The pending writes of one processor, oldest first.
+    pub fn buffer(&self, proc: ProcId) -> &[BufferedWrite] {
+        self.bufs.get(proc.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Buffer entries of `proc` that may legally drain *now*: an entry may
+    /// drain only if no older entry targets the same location (drains of
+    /// the same location follow program order — coherence).
+    pub fn drainable_indices(&self, proc: ProcId) -> Vec<usize> {
+        let Some(buf) = self.bufs.get(proc.index()) else { return Vec::new() };
+        buf.iter()
+            .enumerate()
+            .filter(|(i, w)| buf[..*i].iter().all(|e| e.loc != w.loc))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Makes one buffered write of `proc` globally visible.
+    ///
+    /// Background drains model the memory system working in parallel with
+    /// the cores, so they charge no cycles to the core.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownProcessor`] for a bad `proc`.
+    /// * [`SimError::BadDrain`] if `index` is out of range or draining it
+    ///   would reorder same-location writes.
+    pub fn drain_one(&mut self, proc: ProcId, index: usize) -> Result<BufferedWrite, SimError> {
+        let buf = self.bufs.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        if index >= buf.len() {
+            return Err(SimError::BadDrain { proc, index, len: buf.len() });
+        }
+        let entry = buf[index];
+        if buf[..index].iter().any(|e| e.loc == entry.loc) {
+            return Err(SimError::BadDrain { proc, index, len: buf.len() });
+        }
+        buf.remove(index);
+        self.mem[entry.loc.index()] =
+            MemCell { value: entry.value, writer: Some(entry.op), writer_sync: entry.sync };
+        Ok(entry)
+    }
+
+    /// Drains `proc`'s entire buffer in program order, charging the core
+    /// `drain_per_entry` cycles per entry (this is the *stall* at a flush
+    /// point, unlike background [`drain_one`](Self::drain_one)).
+    pub fn flush(&mut self, proc: ProcId) -> Result<usize, SimError> {
+        let buf = self.bufs.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let n = buf.len();
+        for entry in buf.drain(..) {
+            self.mem[entry.loc.index()] =
+                MemCell { value: entry.value, writer: Some(entry.op), writer_sync: entry.sync };
+        }
+        self.cycles[proc.index()] += self.timing.drain_per_entry * n as u64;
+        Ok(n)
+    }
+
+    /// A hash of the architectural state (cores + memory + buffers).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        self.mem.hash(&mut h);
+        self.bufs.hash(&mut h);
+        h.finish()
+    }
+
+    /// A hash of the *behavioral* state: cores, memory values, and
+    /// buffered (location, value, sync) entries — ignoring operation
+    /// identities, which change on every spin iteration. Two states with
+    /// equal behavioral fingerprints produce identical future values;
+    /// the exhaustive weak-execution enumerator uses this to bound
+    /// spin-loop unrolling (see `ScMachine::behavioral_fingerprint`).
+    pub fn behavioral_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        for cell in &self.mem {
+            cell.value.hash(&mut h);
+        }
+        for buf in &self.bufs {
+            for w in buf {
+                (w.loc, w.value, w.sync).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The value `proc` would read from `loc` right now, with the id of
+    /// the write it observes: own newest buffered write first, else global
+    /// memory.
+    fn visible(&self, proc: ProcId, loc: Location) -> (Value, Option<OpId>, bool, bool) {
+        if let Some(w) = self.bufs[proc.index()].iter().rev().find(|w| w.loc == loc) {
+            // (value, writer, writer_sync, from_buffer)
+            return (w.value, Some(w.op), w.sync, true);
+        }
+        let cell = &self.mem[loc.index()];
+        (cell.value, cell.writer, cell.writer_sync, false)
+    }
+
+    fn strong_write(&mut self, loc: Location, value: Value, op: OpId, sync: bool) {
+        self.mem[loc.index()] = MemCell { value, writer: Some(op), writer_sync: sync };
+    }
+
+    /// Executes one instruction on `proc`, reporting memory operations to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScMachine::step`](crate::ScMachine::step).
+    pub fn step<S: TraceSink>(
+        &mut self,
+        proc: ProcId,
+        sink: &mut S,
+    ) -> Result<StepEvent, SimError> {
+        let core =
+            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        if core.is_halted() {
+            return Err(SimError::Halted(proc));
+        }
+        let instr = self
+            .program
+            .proc_code(proc)
+            .and_then(|code| code.get(core.pc()))
+            .copied()
+            .unwrap_or(Instr::Halt);
+        self.steps += 1;
+        let was_halt = matches!(instr, Instr::Halt);
+        match core.exec_local(&instr) {
+            LocalOutcome::Done => {
+                self.cycles[proc.index()] += self.timing.local_op;
+                return Ok(if was_halt { StepEvent::Halt } else { StepEvent::Local });
+            }
+            LocalOutcome::Halted => return Err(SimError::Halted(proc)),
+            LocalOutcome::NeedsMemory => {}
+        }
+        let num_locations = self.program.num_locations();
+        let pi = proc.index();
+        let event = match instr {
+            Instr::Ld { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                let (value, writer, _sync, from_buffer) = self.visible(proc, loc);
+                sink.data_access(proc, loc, AccessKind::Read, value, writer);
+                self.cores[pi].complete_load(dst, value);
+                self.cycles[pi] +=
+                    if from_buffer { self.timing.buffer_hit } else { self.timing.mem_access };
+                StepEvent::Data
+            }
+            Instr::St { src, addr } => {
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.data_access(proc, loc, AccessKind::Write, value, None);
+                if self.model == MemoryModel::Sc {
+                    self.strong_write(loc, value, id, false);
+                    self.cycles[pi] += self.timing.mem_access;
+                } else {
+                    self.bufs[pi].push(BufferedWrite { loc, value, op: id, sync: false });
+                    self.cycles[pi] += self.timing.buffered_write;
+                }
+                StepEvent::Data
+            }
+            Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
+                let role = if matches!(instr, Instr::LdAcq { .. }) {
+                    SyncRole::Acquire
+                } else {
+                    SyncRole::None
+                };
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                if self.fidelity == Fidelity::Conditioned && self.model.sync_read_drains(role) {
+                    self.flush(proc)?;
+                }
+                let (value, writer, writer_sync, _) = self.visible(proc, loc);
+                let observed = writer.filter(|_| writer_sync);
+                sink.sync_access(proc, loc, AccessKind::Read, role, value, observed);
+                self.cores[pi].complete_load(dst, value);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
+                let role = if matches!(instr, Instr::StRel { .. }) {
+                    SyncRole::Release
+                } else {
+                    SyncRole::None
+                };
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, num_locations)?;
+                let value = Value::new(core.operand(src));
+                let id = sink.sync_access(proc, loc, AccessKind::Write, role, value, None);
+                match self.fidelity {
+                    Fidelity::Conditioned => {
+                        if self.model.sync_write_drains(role) {
+                            self.flush(proc)?;
+                        }
+                        self.strong_write(loc, value, id, true);
+                    }
+                    Fidelity::Raw => {
+                        self.bufs[pi].push(BufferedWrite { loc, value, op: id, sync: true });
+                    }
+                }
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::TestSet { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                if self.fidelity == Fidelity::Conditioned
+                    && (self.model.sync_read_drains(SyncRole::Acquire)
+                        || self.model.sync_write_drains(SyncRole::None))
+                {
+                    self.flush(proc)?;
+                }
+                let (old, writer, writer_sync, _) = self.visible(proc, loc);
+                let observed = writer.filter(|_| writer_sync);
+                sink.sync_access(proc, loc, AccessKind::Read, SyncRole::Acquire, old, observed);
+                let set = Value::new(1);
+                let wid =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                match self.fidelity {
+                    Fidelity::Conditioned => self.strong_write(loc, set, wid, true),
+                    Fidelity::Raw => {
+                        self.bufs[pi].push(BufferedWrite { loc, value: set, op: wid, sync: true })
+                    }
+                }
+                self.cores[pi].complete_load(dst, old);
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Unset { addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, num_locations)?;
+                let value = Value::ZERO;
+                let id =
+                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::Release, value, None);
+                match self.fidelity {
+                    Fidelity::Conditioned => {
+                        if self.model.sync_write_drains(SyncRole::Release) {
+                            self.flush(proc)?;
+                        }
+                        self.strong_write(loc, value, id, true);
+                    }
+                    Fidelity::Raw => {
+                        self.bufs[pi].push(BufferedWrite { loc, value, op: id, sync: true });
+                    }
+                }
+                self.cycles[pi] += self.timing.mem_access;
+                StepEvent::Sync
+            }
+            Instr::Fence => {
+                self.flush(proc)?;
+                self.cycles[pi] += self.timing.local_op;
+                StepEvent::Local
+            }
+            _ => unreachable!("exec_local handles all local instructions"),
+        };
+        self.cores[pi].advance_pc();
+        Ok(event)
+    }
+
+    /// Convenience: the value currently in a register of a core (test
+    /// helper; returns 0 for unknown processors).
+    pub fn reg(&self, proc: ProcId, r: Reg) -> i64 {
+        self.cores.get(proc.index()).map_or(0, |c| c.reg(r))
+    }
+}
+
+impl crate::DrainView for WeakMachine {
+    fn runnable_procs(&self) -> Vec<ProcId> {
+        self.runnable()
+    }
+
+    fn drainable(&self, proc: ProcId) -> Vec<usize> {
+        self.drainable_indices(proc)
+    }
+
+    fn pending_len(&self, proc: ProcId) -> usize {
+        self.buffer(proc).len()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.program.num_procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, Operand};
+    use wmrd_trace::{NullSink, OpRecorder};
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn wo(prog: Program) -> WeakMachine {
+        WeakMachine::new(Arc::new(prog), MemoryModel::Wo, Fidelity::Conditioned, Timing::uniform())
+            .unwrap()
+    }
+
+    fn store(imm: i64, loc: u32) -> Instr {
+        Instr::St { src: Operand::Imm(imm), addr: Addr::Abs(l(loc)) }
+    }
+
+    fn load(r: u8, loc: u32) -> Instr {
+        Instr::Ld { dst: Reg::new(r), addr: Addr::Abs(l(loc)) }
+    }
+
+    #[test]
+    fn data_writes_are_buffered_until_drained() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(7, 0), Instr::Halt]);
+        prog.push_proc(vec![load(0, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.buffer(p(0)).len(), 1);
+        assert_eq!(m.memory_values()[0], Value::ZERO, "not yet visible");
+        // P1 reads the *old* value: the race lets it see 0.
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(1), Reg::new(0)), 0);
+        // After draining, memory holds 7.
+        m.drain_one(p(0), 0).unwrap();
+        assert_eq!(m.memory_values()[0], Value::new(7));
+        assert!(m.buffers_empty());
+    }
+
+    #[test]
+    fn own_buffer_forwarding() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(5, 0), load(0, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 5, "forwarded from own buffer");
+        assert_eq!(m.memory_values()[0], Value::ZERO, "still buffered");
+    }
+
+    #[test]
+    fn forwarding_uses_newest_entry() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(1, 0), store(2, 0), load(0, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        for _ in 0..3 {
+            m.step(p(0), &mut sink).unwrap();
+        }
+        assert_eq!(m.reg(p(0), Reg::new(0)), 2);
+    }
+
+    #[test]
+    fn same_location_drains_keep_program_order() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), store(9, 1), store(2, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        for _ in 0..3 {
+            m.step(p(0), &mut sink).unwrap();
+        }
+        // Entry 2 (second write to loc 0) may not drain before entry 0.
+        assert_eq!(m.drainable_indices(p(0)), vec![0, 1]);
+        assert!(matches!(m.drain_one(p(0), 2), Err(SimError::BadDrain { .. })));
+        // Out-of-order drain of different locations is fine.
+        m.drain_one(p(0), 1).unwrap();
+        assert_eq!(m.memory_values()[1], Value::new(9));
+        assert_eq!(m.drainable_indices(p(0)), vec![0]);
+        m.drain_one(p(0), 0).unwrap();
+        m.drain_one(p(0), 0).unwrap();
+        assert_eq!(m.memory_values()[0], Value::new(2));
+    }
+
+    #[test]
+    fn wo_sync_write_flushes_buffer() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(7, 0), Instr::Unset { addr: Addr::Abs(l(1)) }, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.buffer(p(0)).len(), 1);
+        m.step(p(0), &mut sink).unwrap(); // Unset flushes under WO
+        assert!(m.buffers_empty());
+        assert_eq!(m.memory_values()[0], Value::new(7));
+    }
+
+    #[test]
+    fn rcsc_test_set_does_not_flush_but_unset_does() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            store(7, 0),
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(1)) },
+            Instr::Unset { addr: Addr::Abs(l(1)) },
+            Instr::Halt,
+        ]);
+        let mut m = WeakMachine::new(
+            Arc::new(prog),
+            MemoryModel::RCsc,
+            Fidelity::Conditioned,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // Test&Set: acquire, no flush under RCsc
+        assert_eq!(m.buffer(p(0)).len(), 1, "RCsc acquire leaves data write buffered");
+        assert_eq!(m.memory_values()[1], Value::new(1), "sync write executed strongly");
+        m.step(p(0), &mut sink).unwrap(); // Unset: release flushes
+        assert!(m.buffers_empty());
+    }
+
+    #[test]
+    fn wo_test_set_flushes() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            store(7, 0),
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(1)) },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.buffers_empty(), "WO flushes at every sync op");
+    }
+
+    #[test]
+    fn fence_flushes() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(1, 0), Instr::Fence, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.buffers_empty());
+        assert_eq!(m.memory_values()[0], Value::new(1));
+    }
+
+    #[test]
+    fn raw_fidelity_buffers_sync_writes() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(7, 0), Instr::Unset { addr: Addr::Abs(l(1)) }, Instr::Halt]);
+        let mut m = WeakMachine::new(
+            Arc::new(prog),
+            MemoryModel::Wo,
+            Fidelity::Raw,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.buffer(p(0)).len(), 2, "raw machine buffers the Unset too");
+        assert!(m.buffer(p(0))[1].sync);
+    }
+
+    #[test]
+    fn raw_fidelity_breaks_mutual_exclusion() {
+        // Both processors Test&Set the same lock; on raw hardware both
+        // writes sit in buffers, so both reads see 0 and both "succeed".
+        let mut prog = Program::new("t", 1);
+        let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
+        prog.push_proc(vec![ts, Instr::Halt]);
+        prog.push_proc(vec![ts, Instr::Halt]);
+        let mut m = WeakMachine::new(
+            Arc::new(prog),
+            MemoryModel::Wo,
+            Fidelity::Raw,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 0, "mutual exclusion violated without Condition 3.4");
+    }
+
+    #[test]
+    fn conditioned_test_set_is_atomic() {
+        let mut prog = Program::new("t", 1);
+        let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
+        prog.push_proc(vec![ts, Instr::Halt]);
+        prog.push_proc(vec![ts, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 1, "second test&set must fail");
+    }
+
+    #[test]
+    fn observed_release_through_memory() {
+        let mut prog = Program::new("t", 1);
+        prog.set_init(l(0), Value::new(1));
+        prog.push_proc(vec![Instr::Unset { addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(1), &mut rec).unwrap();
+        let ops = rec.finish();
+        let acq = &ops.proc_ops(p(1)).unwrap()[0];
+        assert_eq!(acq.observed_write, Some(OpId::new(p(0), 0)));
+    }
+
+    #[test]
+    fn settled_memory_includes_buffers() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), store(4, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.memory_values(), vec![Value::ZERO, Value::ZERO]);
+        assert_eq!(m.settled_memory_values(), vec![Value::new(3), Value::new(4)]);
+    }
+
+    #[test]
+    fn sc_model_writes_through() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(9, 0), Instr::Halt]);
+        let mut m = WeakMachine::new(
+            Arc::new(prog),
+            MemoryModel::Sc,
+            Fidelity::Conditioned,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.buffers_empty());
+        assert_eq!(m.memory_values()[0], Value::new(9));
+    }
+
+    #[test]
+    fn flush_charges_drain_cycles() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), Instr::Fence, Instr::Halt]);
+        let mut m = WeakMachine::new(
+            Arc::new(prog),
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            Timing::default_model(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap(); // buffered write: 1
+        m.step(p(0), &mut sink).unwrap(); // fence: drain 1 entry (2) + local (1)
+        assert_eq!(m.cycles()[0], 1 + 2 + 1);
+    }
+
+    #[test]
+    fn drain_errors() {
+        let prog = {
+            let mut p_ = Program::new("t", 1);
+            p_.push_proc(vec![Instr::Halt]);
+            p_
+        };
+        let mut m = wo(prog);
+        assert!(matches!(m.drain_one(p(0), 0), Err(SimError::BadDrain { .. })));
+        assert!(matches!(m.drain_one(p(9), 0), Err(SimError::UnknownProcessor(_))));
+        assert!(m.drainable_indices(p(9)).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_buffers() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(1, 0), Instr::Halt]);
+        let m0 = wo(prog);
+        let mut m1 = m0.clone();
+        let mut sink = NullSink::new();
+        m1.step(p(0), &mut sink).unwrap();
+        assert_ne!(m0.fingerprint(), m1.fingerprint());
+        let mut m2 = m1.clone();
+        m2.drain_one(p(0), 0).unwrap();
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for trace construction and (de)serialization.
+
+use std::fmt;
+
+use crate::{EventId, OpId, ProcId};
+
+/// Errors produced while building, validating, or (de)serializing traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A processor id was out of range for the trace.
+    UnknownProcessor(ProcId),
+    /// An event id referenced an event that does not exist.
+    UnknownEvent(EventId),
+    /// An operation id referenced an operation that does not exist.
+    UnknownOp(OpId),
+    /// The trace violated a structural invariant (message explains which).
+    Malformed(String),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// Binary decoding failed (message explains where).
+    Binary(String),
+    /// An I/O error while reading or writing a trace file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownProcessor(p) => write!(f, "unknown processor {p}"),
+            TraceError::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            TraceError::UnknownOp(o) => write!(f, "unknown operation {o}"),
+            TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
+            TraceError::Json(e) => write!(f, "trace json error: {e}"),
+            TraceError::Binary(m) => write!(f, "trace binary decode error: {m}"),
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Json(e) => Some(e),
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_variants() {
+        assert!(TraceError::UnknownProcessor(ProcId::new(7))
+            .to_string()
+            .contains("P7"));
+        assert!(TraceError::Malformed("oops".into()).to_string().contains("oops"));
+        assert!(TraceError::Binary("short read".into()).to_string().contains("short read"));
+    }
+
+    #[test]
+    fn error_sources() {
+        let io = TraceError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(io.source().is_some());
+        let m = TraceError::Malformed("m".into());
+        assert!(m.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

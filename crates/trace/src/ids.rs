@@ -1,0 +1,255 @@
+//! Newtype identifiers used throughout the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor (a logical CPU in the simulated multiprocessor).
+///
+/// Processors are numbered densely from zero; the paper writes them `P1`,
+/// `P2`, ... — we start at `P0`.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_trace::ProcId;
+/// let p = ProcId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "P2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcId(u16);
+
+impl ProcId {
+    /// Creates a processor id from a dense index.
+    pub const fn new(index: u16) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the dense index of this processor.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for ProcId {
+    fn from(v: u16) -> Self {
+        ProcId(v)
+    }
+}
+
+/// Identifier of a shared-memory location (a word address).
+///
+/// The simulated machine has a flat word-addressed shared memory; location
+/// `k` is the `k`-th word. Data and synchronization operations address the
+/// same space — whether an access is synchronization is a property of the
+/// *instruction* (Section 2.1 of the paper: "recognized by the hardware as
+/// meant for synchronization"), not of the location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Location(u32);
+
+impl Location {
+    /// Creates a location from a word address.
+    pub const fn new(addr: u32) -> Self {
+        Location(addr)
+    }
+
+    /// Returns the word address.
+    pub const fn addr(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the word address as a dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m[{}]", self.0)
+    }
+}
+
+impl From<u32> for Location {
+    fn from(v: u32) -> Self {
+        Location(v)
+    }
+}
+
+/// A value stored in (or read from) a memory word or register.
+///
+/// Values are 64-bit signed integers; the paper never inspects values except
+/// to pair a release with the acquire that returned its value
+/// (Definition 2.1(3)), which we track by identity ([`OpId`]) rather than by
+/// value, so a plain integer suffices.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Value(i64);
+
+impl Value {
+    /// The zero value (initial contents of every memory word).
+    pub const ZERO: Value = Value(0);
+
+    /// Creates a value.
+    pub const fn new(v: i64) -> Self {
+        Value(v)
+    }
+
+    /// Returns the underlying integer.
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if the value is zero (used by `Bz`/`Bnz` branches and
+    /// by `Test&Set`, whose success is reading zero).
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+impl From<Value> for i64 {
+    fn from(v: Value) -> i64 {
+        v.0
+    }
+}
+
+/// Globally unique identifier of a single dynamic memory operation.
+///
+/// An operation is identified by the processor that issued it and the
+/// zero-based sequence number of the operation in that processor's issue
+/// order (the *program order* position, Section 2.1). The pair is unique
+/// within one execution.
+///
+/// `OpId` orders first by processor, then by sequence number; the latter is
+/// exactly program order for operations of the same processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId {
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Zero-based position in the processor's issue (program) order.
+    pub seq: u32,
+}
+
+impl OpId {
+    /// Creates an operation id.
+    pub const fn new(proc: ProcId, seq: u32) -> Self {
+        OpId { proc, seq }
+    }
+
+    /// `true` iff `self` precedes `other` in program order: same processor,
+    /// smaller sequence number.
+    pub fn program_order_before(self, other: OpId) -> bool {
+        self.proc == other.proc && self.seq < other.seq
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.proc, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_roundtrip_and_display() {
+        let p = ProcId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.raw(), 3);
+        assert_eq!(p.to_string(), "P3");
+        assert_eq!(ProcId::from(3u16), p);
+    }
+
+    #[test]
+    fn location_roundtrip_and_display() {
+        let l = Location::new(17);
+        assert_eq!(l.addr(), 17);
+        assert_eq!(l.index(), 17);
+        assert_eq!(l.to_string(), "m[17]");
+        assert_eq!(Location::from(17u32), l);
+    }
+
+    #[test]
+    fn value_basics() {
+        assert!(Value::ZERO.is_zero());
+        assert!(!Value::new(5).is_zero());
+        assert_eq!(Value::new(-2).get(), -2);
+        assert_eq!(i64::from(Value::new(9)), 9);
+        assert_eq!(Value::from(9i64), Value::new(9));
+        assert_eq!(Value::default(), Value::ZERO);
+    }
+
+    #[test]
+    fn op_id_program_order() {
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        let a = OpId::new(p0, 0);
+        let b = OpId::new(p0, 1);
+        let c = OpId::new(p1, 0);
+        assert!(a.program_order_before(b));
+        assert!(!b.program_order_before(a));
+        assert!(!a.program_order_before(c), "different processors are unordered");
+        assert!(!a.program_order_before(a), "irreflexive");
+    }
+
+    #[test]
+    fn op_id_ordering_is_proc_then_seq() {
+        let mut v = vec![
+            OpId::new(ProcId::new(1), 0),
+            OpId::new(ProcId::new(0), 5),
+            OpId::new(ProcId::new(0), 1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                OpId::new(ProcId::new(0), 1),
+                OpId::new(ProcId::new(0), 5),
+                OpId::new(ProcId::new(1), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = OpId::new(ProcId::new(2), 7);
+        let s = serde_json::to_string(&op).unwrap();
+        let back: OpId = serde_json::from_str(&s).unwrap();
+        assert_eq!(op, back);
+    }
+
+    #[test]
+    fn op_id_display() {
+        assert_eq!(OpId::new(ProcId::new(1), 4).to_string(), "P1#4");
+    }
+}

@@ -1,0 +1,281 @@
+//! Operation-level records (Section 2.1 of the paper).
+//!
+//! A memory operation either reads or modifies one memory location. It is
+//! either a *data* operation or a *synchronization* operation ("recognized
+//! by the hardware as meant for synchronization"). Synchronization writes
+//! may carry *release* semantics and synchronization reads *acquire*
+//! semantics (Definition 2.1); a release paired with the acquire that
+//! returned its value forms a `so1` edge (Definition 2.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Location, OpId, Value};
+
+/// Whether an operation reads or writes its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The operation returns the value of the location.
+    Read,
+    /// The operation modifies the location.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// `true` for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// The pairing semantics a synchronization operation carries
+/// (Definition 2.1).
+///
+/// * A **release** is a synchronization *write* used to communicate the
+///   completion of the issuing processor's previous operations (e.g. the
+///   write performed by `Unset`).
+/// * An **acquire** is a synchronization *read* used to conclude the
+///   completion of another processor's previous operations (e.g. the read
+///   performed by `Test&Set`).
+/// * [`SyncRole::None`] marks synchronization operations with neither
+///   semantics — e.g. the *write* performed by `Test&Set`, which the paper
+///   explicitly notes "is not a release since it is not meant to be used to
+///   communicate the completion of previous memory operations".
+///
+/// Models that do not distinguish acquire and release (DRF0) can instruct
+/// the analysis to ignore roles and pair every sync write with every sync
+/// read that returns its value (see `PairingPolicy` in `wmrd-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncRole {
+    /// Release semantics (sync writes only).
+    Release,
+    /// Acquire semantics (sync reads only).
+    Acquire,
+    /// A synchronization access with neither acquire nor release semantics.
+    None,
+}
+
+impl SyncRole {
+    /// `true` for [`SyncRole::Release`].
+    pub const fn is_release(self) -> bool {
+        matches!(self, SyncRole::Release)
+    }
+
+    /// `true` for [`SyncRole::Acquire`].
+    pub const fn is_acquire(self) -> bool {
+        matches!(self, SyncRole::Acquire)
+    }
+}
+
+impl fmt::Display for SyncRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncRole::Release => "release",
+            SyncRole::Acquire => "acquire",
+            SyncRole::None => "plain-sync",
+        })
+    }
+}
+
+/// Classification of a memory operation as data or synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// An ordinary data operation.
+    Data,
+    /// A hardware-recognized synchronization operation with the given role.
+    Sync(SyncRole),
+}
+
+impl OpClass {
+    /// `true` iff this is a data operation.
+    pub const fn is_data(self) -> bool {
+        matches!(self, OpClass::Data)
+    }
+
+    /// `true` iff this is a synchronization operation.
+    pub const fn is_sync(self) -> bool {
+        matches!(self, OpClass::Sync(_))
+    }
+
+    /// The synchronization role, if this is a synchronization operation.
+    pub const fn sync_role(self) -> Option<SyncRole> {
+        match self {
+            OpClass::Data => None,
+            OpClass::Sync(r) => Some(r),
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Data => f.write_str("data"),
+            OpClass::Sync(r) => write!(f, "sync/{r}"),
+        }
+    }
+}
+
+/// One dynamic memory operation, as recorded by operation-level tracing.
+///
+/// Operation-level traces are impractical for real programs (Section 4.1)
+/// but exact; the workspace uses them to cross-validate the event-level
+/// analysis on small programs and to state Definitions 2.2–2.4 and 3.1–3.3
+/// at the granularity the paper defines them.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_trace::{AccessKind, Location, MemOp, OpClass, OpId, ProcId, Value};
+///
+/// let w = MemOp {
+///     id: OpId::new(ProcId::new(0), 0),
+///     loc: Location::new(4),
+///     kind: AccessKind::Write,
+///     class: OpClass::Data,
+///     value: Value::new(7),
+///     observed_write: None,
+/// };
+/// let r = MemOp {
+///     id: OpId::new(ProcId::new(1), 0),
+///     loc: Location::new(4),
+///     kind: AccessKind::Read,
+///     class: OpClass::Data,
+///     value: Value::new(7),
+///     observed_write: Some(w.id),
+/// };
+/// assert!(w.conflicts_with(&r));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Unique identity of the operation (processor + issue index).
+    pub id: OpId,
+    /// The location accessed.
+    pub loc: Location,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Data or synchronization (with role).
+    pub class: OpClass,
+    /// The value read or written.
+    pub value: Value,
+    /// For reads: identity of the write whose value was returned, or `None`
+    /// if the read returned the initial memory contents. Always `None` for
+    /// writes.
+    ///
+    /// This field realizes Definition 2.1(3): an acquire is paired with the
+    /// release whose value it returned.
+    pub observed_write: Option<OpId>,
+}
+
+impl MemOp {
+    /// `true` iff the two operations *conflict* (Section 2.1): same
+    /// location and at least one is a write.
+    pub fn conflicts_with(&self, other: &MemOp) -> bool {
+        self.loc == other.loc && (self.kind.is_write() || other.kind.is_write())
+    }
+
+    /// `true` iff this operation is a data operation.
+    pub fn is_data(&self) -> bool {
+        self.class.is_data()
+    }
+
+    /// `true` iff this operation is a synchronization operation.
+    pub fn is_sync(&self) -> bool {
+        self.class.is_sync()
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}({},{})", self.id, self.class, self.kind, self.loc, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcId;
+
+    fn op(proc: u16, seq: u32, loc: u32, kind: AccessKind, class: OpClass) -> MemOp {
+        MemOp {
+            id: OpId::new(ProcId::new(proc), seq),
+            loc: Location::new(loc),
+            kind,
+            class,
+            value: Value::ZERO,
+            observed_write: None,
+        }
+    }
+
+    #[test]
+    fn conflict_requires_same_location_and_a_write() {
+        let w = op(0, 0, 1, AccessKind::Write, OpClass::Data);
+        let r_same = op(1, 0, 1, AccessKind::Read, OpClass::Data);
+        let r_other = op(1, 1, 2, AccessKind::Read, OpClass::Data);
+        let w_same = op(1, 2, 1, AccessKind::Write, OpClass::Data);
+        let r2_same = op(1, 3, 1, AccessKind::Read, OpClass::Data);
+
+        assert!(w.conflicts_with(&r_same));
+        assert!(r_same.conflicts_with(&w), "conflict is symmetric");
+        assert!(!w.conflicts_with(&r_other), "different locations never conflict");
+        assert!(w.conflicts_with(&w_same), "write-write conflicts");
+        assert!(!r_same.conflicts_with(&r2_same), "read-read never conflicts");
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::Data.is_data());
+        assert!(!OpClass::Data.is_sync());
+        assert_eq!(OpClass::Data.sync_role(), None);
+        let rel = OpClass::Sync(SyncRole::Release);
+        assert!(rel.is_sync());
+        assert_eq!(rel.sync_role(), Some(SyncRole::Release));
+        assert!(SyncRole::Release.is_release());
+        assert!(!SyncRole::Release.is_acquire());
+        assert!(SyncRole::Acquire.is_acquire());
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+        assert!(AccessKind::Read.is_read());
+    }
+
+    #[test]
+    fn display_forms() {
+        let o = MemOp {
+            id: OpId::new(ProcId::new(0), 2),
+            loc: Location::new(9),
+            kind: AccessKind::Write,
+            class: OpClass::Sync(SyncRole::Release),
+            value: Value::new(0),
+            observed_write: None,
+        };
+        assert_eq!(o.to_string(), "P0#2 sync/release write(m[9],0)");
+        assert_eq!(OpClass::Data.to_string(), "data");
+        assert_eq!(SyncRole::None.to_string(), "plain-sync");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = op(1, 5, 3, AccessKind::Read, OpClass::Sync(SyncRole::Acquire));
+        let j = serde_json::to_string(&o).unwrap();
+        assert_eq!(serde_json::from_str::<MemOp>(&j).unwrap(), o);
+    }
+}

@@ -1,0 +1,393 @@
+//! Streaming trace files: write records during execution, reconstruct
+//! the [`TraceSet`] post-mortem.
+//!
+//! The paper's post-mortem approach "generate[s] trace files ... during
+//! execution" and analyzes them afterwards. The in-memory
+//! [`TraceBuilder`](crate::TraceBuilder) is convenient for tests; a real
+//! deployment streams records to a file as they happen so memory stays
+//! bounded. [`StreamWriter`] is a [`TraceSink`](crate::TraceSink) that
+//! does exactly that: each operation becomes one framed binary record on
+//! the underlying writer, and [`read_stream`] folds a record stream back
+//! into a [`TraceSet`] (computation-event folding happens at read time,
+//! so the stream format is operation-granular and lossless).
+
+use std::io::{Read, Write};
+
+use bytes::BufMut;
+
+use crate::{
+    AccessKind, LocSet, OpId, ProcId, SyncRole, TraceBuilder, TraceError, TraceSet, TraceSink,
+    Value,
+};
+
+const RECORD_MAGIC: u8 = 0xA5;
+
+const TAG_DATA: u8 = 0;
+const TAG_SYNC: u8 = 1;
+
+/// A [`TraceSink`] that streams one framed binary record per operation
+/// to an [`std::io::Write`].
+///
+/// I/O errors are deferred: writing continues to count operations (so
+/// operation identities stay correct) and the first error is reported by
+/// [`finish`](StreamWriter::finish) — a sink callback cannot fail.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_trace::{AccessKind, Location, ProcId, StreamWriter, TraceSink, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = Vec::new();
+/// let mut w = StreamWriter::new(&mut buf, 2);
+/// w.data_access(ProcId::new(0), Location::new(3), AccessKind::Write, Value::new(1), None);
+/// w.finish()?;
+/// let trace = wmrd_trace::read_stream(&buf[..])?;
+/// assert_eq!(trace.num_events(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamWriter<W: Write> {
+    writer: W,
+    counters: Vec<u32>,
+    records: u64,
+    deferred_error: Option<std::io::Error>,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Creates a streaming writer for `num_procs` processors.
+    pub fn new(writer: W, num_procs: usize) -> Self {
+        StreamWriter {
+            writer,
+            counters: vec![0; num_procs],
+            records: 0,
+            deferred_error: None,
+        }
+    }
+
+    /// Number of records emitted.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer, surfacing any deferred
+    /// I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if any write or the final flush failed.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(TraceError::Io(e));
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn assign(&mut self, proc: ProcId) -> OpId {
+        if proc.index() >= self.counters.len() {
+            self.counters.resize(proc.index() + 1, 0);
+        }
+        let seq = self.counters[proc.index()];
+        self.counters[proc.index()] += 1;
+        OpId::new(proc, seq)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        tag: u8,
+        proc: ProcId,
+        loc: crate::Location,
+        kind: AccessKind,
+        role: SyncRole,
+        value: Value,
+        observed: Option<OpId>,
+    ) {
+        if self.deferred_error.is_some() {
+            self.records += 1;
+            return;
+        }
+        let mut rec = Vec::with_capacity(32);
+        rec.put_u8(RECORD_MAGIC);
+        rec.put_u8(tag);
+        rec.put_u16(proc.raw());
+        rec.put_u32(loc.addr());
+        rec.put_u8(matches!(kind, AccessKind::Write) as u8);
+        rec.put_u8(match role {
+            SyncRole::Release => 0,
+            SyncRole::Acquire => 1,
+            SyncRole::None => 2,
+        });
+        rec.put_i64(value.get());
+        match observed {
+            Some(op) => {
+                rec.put_u8(1);
+                rec.put_u16(op.proc.raw());
+                rec.put_u32(op.seq);
+            }
+            None => rec.put_u8(0),
+        }
+        if let Err(e) = self.writer.write_all(&rec) {
+            self.deferred_error = Some(e);
+        }
+        self.records += 1;
+    }
+}
+
+impl<W: Write> TraceSink for StreamWriter<W> {
+    fn data_access(
+        &mut self,
+        proc: ProcId,
+        loc: crate::Location,
+        kind: AccessKind,
+        value: Value,
+        observed: Option<OpId>,
+    ) -> OpId {
+        let id = self.assign(proc);
+        self.record(TAG_DATA, proc, loc, kind, SyncRole::None, value, observed);
+        id
+    }
+
+    fn sync_access(
+        &mut self,
+        proc: ProcId,
+        loc: crate::Location,
+        kind: AccessKind,
+        role: SyncRole,
+        value: Value,
+        observed_release: Option<OpId>,
+    ) -> OpId {
+        let id = self.assign(proc);
+        self.record(TAG_SYNC, proc, loc, kind, role, value, observed_release);
+        id
+    }
+}
+
+fn read_exact_opt<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, TraceError> {
+    // Returns Ok(false) on clean EOF at a record boundary.
+    let mut read = 0;
+    while read < buf.len() {
+        let n = reader.read(&mut buf[read..])?;
+        if n == 0 {
+            if read == 0 {
+                return Ok(false);
+            }
+            return Err(TraceError::Binary("truncated stream record".into()));
+        }
+        read += n;
+    }
+    Ok(true)
+}
+
+/// Reads a stream produced by [`StreamWriter`] and folds it into a
+/// [`TraceSet`] (consecutive data operations per processor become
+/// computation events, exactly as live [`TraceBuilder`] instrumentation
+/// would have produced).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on read failures and
+/// [`TraceError::Binary`] on framing errors.
+pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
+    let mut builder: Option<TraceBuilder> = None;
+    let mut max_proc: usize = 0;
+    let mut records: Vec<(u8, ProcId, crate::Location, AccessKind, SyncRole, Value, Option<OpId>)> =
+        Vec::new();
+
+    let mut head = [0u8; 18];
+    loop {
+        if !read_exact_opt(&mut reader, &mut head)? {
+            break;
+        }
+        if head[0] != RECORD_MAGIC {
+            return Err(TraceError::Binary(format!("bad record magic {:#x}", head[0])));
+        }
+        let tag = head[1];
+        if tag != TAG_DATA && tag != TAG_SYNC {
+            return Err(TraceError::Binary(format!("bad record tag {tag}")));
+        }
+        let proc = ProcId::new(u16::from_be_bytes([head[2], head[3]]));
+        let loc = crate::Location::new(u32::from_be_bytes([head[4], head[5], head[6], head[7]]));
+        let kind = if head[8] == 1 { AccessKind::Write } else { AccessKind::Read };
+        let role = match head[9] {
+            0 => SyncRole::Release,
+            1 => SyncRole::Acquire,
+            2 => SyncRole::None,
+            r => return Err(TraceError::Binary(format!("bad sync role {r}"))),
+        };
+        let value = Value::new(i64::from_be_bytes(
+            head[10..18].try_into().expect("slice of fixed length"),
+        ));
+        let mut flag = [0u8; 1];
+        if !read_exact_opt(&mut reader, &mut flag)? {
+            return Err(TraceError::Binary("truncated stream record".into()));
+        }
+        let observed = if flag[0] == 1 {
+            let mut rest = [0u8; 6];
+            if !read_exact_opt(&mut reader, &mut rest)? {
+                return Err(TraceError::Binary("truncated stream record".into()));
+            }
+            Some(OpId::new(
+                ProcId::new(u16::from_be_bytes([rest[0], rest[1]])),
+                u32::from_be_bytes([rest[2], rest[3], rest[4], rest[5]]),
+            ))
+        } else if flag[0] == 0 {
+            None
+        } else {
+            return Err(TraceError::Binary(format!("bad observed flag {}", flag[0])));
+        };
+        max_proc = max_proc.max(proc.index() + 1);
+        records.push((tag, proc, loc, kind, role, value, observed));
+    }
+
+    let b = builder.get_or_insert_with(|| TraceBuilder::new(max_proc));
+    for (tag, proc, loc, kind, role, value, observed) in records {
+        match tag {
+            TAG_DATA => {
+                b.data_access(proc, loc, kind, value, observed);
+            }
+            _ => {
+                b.sync_access(proc, loc, kind, role, value, observed);
+            }
+        }
+    }
+    Ok(builder.map(TraceBuilder::finish).unwrap_or_else(|| TraceSet::new(0)))
+}
+
+/// A [`LocSet`]-returning helper used by tests: the set of locations
+/// appearing in a stream (sanity checking a file without full decoding).
+pub fn stream_locations<R: Read>(reader: R) -> Result<LocSet, TraceError> {
+    let trace = read_stream(reader)?;
+    let mut out = LocSet::new();
+    for event in trace.events() {
+        out.union_with(&event.read_set());
+        out.union_with(&event.write_set());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Location;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    /// Feeds the same callbacks to a StreamWriter and a TraceBuilder; the
+    /// stream must reconstruct to exactly the builder's TraceSet.
+    #[test]
+    fn stream_reconstructs_builder_output() {
+        let mut buf = Vec::new();
+        let mut stream = StreamWriter::new(&mut buf, 2);
+        let mut direct = TraceBuilder::new(2);
+        let feed = |s: &mut dyn TraceSink| {
+            s.data_access(p(0), l(0), AccessKind::Write, Value::new(7), None);
+            s.data_access(p(0), l(1), AccessKind::Read, Value::ZERO, None);
+            let rel =
+                s.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+            s.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+            s.data_access(p(1), l(0), AccessKind::Read, Value::new(7), None);
+        };
+        feed(&mut stream);
+        feed(&mut direct);
+        stream.finish().unwrap();
+        let from_stream = read_stream(&buf[..]).unwrap();
+        assert_eq!(from_stream, direct.finish());
+    }
+
+    #[test]
+    fn writer_counts_and_assigns_ids() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 1);
+        let a = w.data_access(p(0), l(0), AccessKind::Write, Value::ZERO, None);
+        let b = w.data_access(p(0), l(0), AccessKind::Read, Value::ZERO, None);
+        assert_eq!(a, OpId::new(p(0), 0));
+        assert_eq!(b, OpId::new(p(0), 1));
+        assert_eq!(w.records(), 2);
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_stream_reads_as_empty_trace() {
+        let trace = read_stream(&[][..]).unwrap();
+        assert_eq!(trace.num_events(), 0);
+        assert_eq!(trace.num_procs(), 0);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_streams_error() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 1);
+        w.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        w.sync_access(p(0), l(1), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        w.finish().unwrap();
+        // Both records are 19 bytes (no observed-write field). Cutting at
+        // a record boundary yields a clean, shorter stream; cutting
+        // mid-record must error.
+        for len in 1..buf.len() {
+            let result = read_stream(&buf[..len]);
+            if len % 19 == 0 {
+                assert_eq!(result.unwrap().num_events(), 1, "boundary cut at {len}");
+            } else {
+                assert!(result.is_err(), "truncation at {len} must error");
+            }
+        }
+        let mut corrupt = buf.clone();
+        corrupt[0] = 0x00; // break the magic
+        assert!(read_stream(&corrupt[..]).is_err());
+        let mut bad_tag = buf.clone();
+        bad_tag[1] = 9;
+        assert!(read_stream(&bad_tag[..]).is_err());
+    }
+
+    #[test]
+    fn grows_processor_count_on_demand() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 1);
+        w.data_access(p(3), l(0), AccessKind::Write, Value::ZERO, None);
+        w.finish().unwrap();
+        let trace = read_stream(&buf[..]).unwrap();
+        assert_eq!(trace.num_procs(), 4);
+        assert_eq!(trace.processor(p(3)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn io_errors_are_deferred_to_finish() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = StreamWriter::new(FailingWriter, 1);
+        // Callbacks do not panic and keep assigning correct ids.
+        let a = w.data_access(p(0), l(0), AccessKind::Write, Value::ZERO, None);
+        let b = w.data_access(p(0), l(1), AccessKind::Write, Value::ZERO, None);
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert!(matches!(w.finish(), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn stream_locations_helper() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 1);
+        w.data_access(p(0), l(5), AccessKind::Write, Value::ZERO, None);
+        w.data_access(p(0), l(9), AccessKind::Read, Value::ZERO, None);
+        w.finish().unwrap();
+        let locs = stream_locations(&buf[..]).unwrap();
+        assert!(locs.contains(l(5)) && locs.contains(l(9)));
+        assert_eq!(locs.len(), 2);
+    }
+}

@@ -1,0 +1,696 @@
+//! The post-mortem trace file format.
+//!
+//! A [`TraceSet`] bundles the three streams the paper's instrumentation
+//! produces (Section 4.1): per-processor event orders, the relative order
+//! of synchronization events per location, and READ/WRITE sets per
+//! computation event. It supports a human-readable JSON encoding and a
+//! compact binary encoding (used by the trace-overhead experiments, E8).
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AccessKind, ComputationEvent, Event, EventId, EventKind, LocSet, Location, OpId, ProcId,
+    SyncEvent, SyncRole, TraceError, Value,
+};
+
+/// Metadata describing how a trace was produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Name of the traced program, if known.
+    pub program: Option<String>,
+    /// Name of the memory model the execution ran under (e.g. `"SC"`,
+    /// `"WO"`, `"RCsc"`).
+    pub model: Option<String>,
+    /// Scheduler seed, for reproducibility.
+    pub seed: Option<u64>,
+}
+
+/// The per-processor stream: the execution order of a processor's events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessorTrace {
+    /// The processor whose events these are.
+    pub proc: ProcId,
+    events: Vec<Event>,
+}
+
+impl ProcessorTrace {
+    /// Creates an empty trace for `proc`.
+    pub fn new(proc: ProcId) -> Self {
+        ProcessorTrace { proc, events: Vec::new() }
+    }
+
+    /// The events in execution (program) order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Appends an event, assigning it the next index for this processor.
+    ///
+    /// Returns the id assigned to the event.
+    pub fn push(&mut self, kind: EventKind) -> EventId {
+        let id = EventId::new(self.proc, self.events.len() as u32);
+        self.events.push(Event { id, kind });
+        id
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the processor traced no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One entry in the global synchronization-order stream.
+///
+/// Entries are sorted by `global_seq`; restricting to one location yields
+/// the paper's "relative execution order of synchronization operations to
+/// the same location".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncOrderEntry {
+    /// Global issue stamp (monotone across all processors' sync ops).
+    pub global_seq: u64,
+    /// The sync event.
+    pub event: EventId,
+    /// Location the sync op accessed.
+    pub loc: Location,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A complete post-mortem trace of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Provenance metadata.
+    pub meta: TraceMeta,
+    procs: Vec<ProcessorTrace>,
+    sync_order: Vec<SyncOrderEntry>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace for `num_procs` processors.
+    pub fn new(num_procs: usize) -> Self {
+        TraceSet {
+            meta: TraceMeta::default(),
+            procs: (0..num_procs)
+                .map(|i| ProcessorTrace::new(ProcId::new(i as u16)))
+                .collect(),
+            sync_order: Vec::new(),
+        }
+    }
+
+    /// Builds a trace from already-constructed parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] if the parts violate the
+    /// structural invariants checked by [`validate`](Self::validate).
+    pub fn from_parts(
+        meta: TraceMeta,
+        procs: Vec<ProcessorTrace>,
+        sync_order: Vec<SyncOrderEntry>,
+    ) -> Result<Self, TraceError> {
+        let t = TraceSet { meta, procs, sync_order };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// All per-processor traces, in processor order.
+    pub fn processors(&self) -> &[ProcessorTrace] {
+        &self.procs
+    }
+
+    /// The trace of one processor.
+    pub fn processor(&self, proc: ProcId) -> Option<&ProcessorTrace> {
+        self.procs.get(proc.index())
+    }
+
+    /// Mutable access to one processor's trace (used by sinks).
+    pub(crate) fn processor_mut(&mut self, proc: ProcId) -> Option<&mut ProcessorTrace> {
+        self.procs.get_mut(proc.index())
+    }
+
+    /// Grows the trace to include `proc` (used by sinks, which accept
+    /// any processor id on demand).
+    pub(crate) fn ensure_processor(&mut self, proc: ProcId) {
+        while self.procs.len() <= proc.index() {
+            self.procs.push(ProcessorTrace::new(ProcId::new(self.procs.len() as u16)));
+        }
+    }
+
+    /// Looks up an event by id.
+    pub fn event(&self, id: EventId) -> Option<&Event> {
+        self.procs.get(id.proc.index())?.events.get(id.index as usize)
+    }
+
+    /// Total number of events across all processors.
+    pub fn num_events(&self) -> usize {
+        self.procs.iter().map(|p| p.len()).sum()
+    }
+
+    /// Iterates over every event of every processor.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.procs.iter().flat_map(|p| p.events.iter())
+    }
+
+    /// The global synchronization-order stream, sorted by `global_seq`.
+    pub fn sync_order(&self) -> &[SyncOrderEntry] {
+        &self.sync_order
+    }
+
+    /// Appends to the synchronization-order stream (used by sinks).
+    pub(crate) fn push_sync_order(&mut self, entry: SyncOrderEntry) {
+        self.sync_order.push(entry);
+    }
+
+    /// The synchronization order restricted to one location.
+    pub fn sync_order_for(&self, loc: Location) -> Vec<SyncOrderEntry> {
+        self.sync_order.iter().copied().filter(|e| e.loc == loc).collect()
+    }
+
+    /// Checks structural invariants:
+    ///
+    /// * processor traces are densely numbered and each event's id matches
+    ///   its position,
+    /// * sync-order entries reference existing sync events with matching
+    ///   location and access kind, and are strictly increasing in
+    ///   `global_seq`,
+    /// * every sync event appears exactly once in the sync order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.proc.index() != i {
+                return Err(TraceError::Malformed(format!(
+                    "processor trace {i} labeled {}",
+                    p.proc
+                )));
+            }
+            for (j, e) in p.events.iter().enumerate() {
+                if e.id != EventId::new(p.proc, j as u32) {
+                    return Err(TraceError::Malformed(format!(
+                        "event at {}, position {j} has id {}",
+                        p.proc, e.id
+                    )));
+                }
+            }
+        }
+        let mut last_seq = None;
+        let mut seen = std::collections::HashSet::new();
+        for entry in &self.sync_order {
+            if let Some(last) = last_seq {
+                if entry.global_seq <= last {
+                    return Err(TraceError::Malformed(format!(
+                        "sync order not strictly increasing at seq {}",
+                        entry.global_seq
+                    )));
+                }
+            }
+            last_seq = Some(entry.global_seq);
+            let ev = self.event(entry.event).ok_or(TraceError::UnknownEvent(entry.event))?;
+            let s = ev.as_sync().ok_or_else(|| {
+                TraceError::Malformed(format!("sync order references non-sync {}", entry.event))
+            })?;
+            if s.loc != entry.loc || s.kind != entry.kind {
+                return Err(TraceError::Malformed(format!(
+                    "sync order entry for {} disagrees with event payload",
+                    entry.event
+                )));
+            }
+            if !seen.insert(entry.event) {
+                return Err(TraceError::Malformed(format!(
+                    "sync event {} appears twice in sync order",
+                    entry.event
+                )));
+            }
+        }
+        let sync_events =
+            self.events().filter(|e| e.is_sync()).map(|e| e.id).collect::<Vec<_>>();
+        for id in sync_events {
+            if !seen.contains(&id) {
+                return Err(TraceError::Malformed(format!(
+                    "sync event {id} missing from sync order"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON and validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] on parse failure or a validation error.
+    pub fn from_json(s: &str) -> Result<Self, TraceError> {
+        let t: TraceSet = serde_json::from_str(s)?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Writes the JSON encoding to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] or [`TraceError::Json`].
+    pub fn write_json_file<P: AsRef<Path>>(&self, path: P) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads and validates a JSON trace file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`], [`TraceError::Json`], or a validation
+    /// error.
+    pub fn read_json_file<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Encodes to the compact binary format.
+    ///
+    /// The binary format exists so the trace-overhead experiment (E8) can
+    /// report realistic bytes-per-operation numbers; JSON is for humans.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_slice(b"WMRD");
+        buf.put_u16(1); // version
+        put_opt_str(&mut buf, &self.meta.program);
+        put_opt_str(&mut buf, &self.meta.model);
+        match self.meta.seed {
+            Some(s) => {
+                buf.put_u8(1);
+                buf.put_u64(s);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u16(self.procs.len() as u16);
+        for p in &self.procs {
+            buf.put_u32(p.events.len() as u32);
+            for e in &p.events {
+                match &e.kind {
+                    EventKind::Sync(s) => {
+                        buf.put_u8(0);
+                        put_op_id(&mut buf, s.op);
+                        buf.put_u32(s.loc.addr());
+                        buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
+                        buf.put_u8(match s.role {
+                            SyncRole::Release => 0,
+                            SyncRole::Acquire => 1,
+                            SyncRole::None => 2,
+                        });
+                        buf.put_i64(s.value.get());
+                        buf.put_u64(s.global_seq);
+                        match s.observed_release {
+                            Some(op) => {
+                                buf.put_u8(1);
+                                put_op_id(&mut buf, op);
+                            }
+                            None => buf.put_u8(0),
+                        }
+                    }
+                    EventKind::Computation(c) => {
+                        buf.put_u8(1);
+                        put_locset(&mut buf, &c.reads);
+                        put_locset(&mut buf, &c.writes);
+                        put_op_id(&mut buf, c.first_op);
+                        buf.put_u32(c.op_count);
+                    }
+                }
+            }
+        }
+        buf.put_u32(self.sync_order.len() as u32);
+        for s in &self.sync_order {
+            buf.put_u64(s.global_seq);
+            buf.put_u16(s.event.proc.raw());
+            buf.put_u32(s.event.index);
+            buf.put_u32(s.loc.addr());
+            buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
+        }
+        buf
+    }
+
+    /// Decodes the compact binary format and validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Binary`] on any framing/length problem, or a
+    /// validation error.
+    pub fn from_binary(mut data: &[u8]) -> Result<Self, TraceError> {
+        let buf = &mut data;
+        let magic = take(buf, 4)?;
+        if magic != b"WMRD" {
+            return Err(TraceError::Binary("bad magic".into()));
+        }
+        let version = get_u16(buf)?;
+        if version != 1 {
+            return Err(TraceError::Binary(format!("unsupported version {version}")));
+        }
+        let program = get_opt_str(buf)?;
+        let model = get_opt_str(buf)?;
+        let seed = if get_u8(buf)? == 1 { Some(get_u64(buf)?) } else { None };
+        let num_procs = get_u16(buf)? as usize;
+        let mut procs = Vec::with_capacity(num_procs);
+        for pi in 0..num_procs {
+            let proc = ProcId::new(pi as u16);
+            let n = get_u32(buf)? as usize;
+            let mut pt = ProcessorTrace::new(proc);
+            for _ in 0..n {
+                let tag = get_u8(buf)?;
+                let kind = match tag {
+                    0 => {
+                        let op = get_op_id(buf)?;
+                        let loc = Location::new(get_u32(buf)?);
+                        let kind =
+                            if get_u8(buf)? == 1 { AccessKind::Write } else { AccessKind::Read };
+                        let role = match get_u8(buf)? {
+                            0 => SyncRole::Release,
+                            1 => SyncRole::Acquire,
+                            2 => SyncRole::None,
+                            r => {
+                                return Err(TraceError::Binary(format!("bad sync role {r}")))
+                            }
+                        };
+                        let value = Value::new(get_i64(buf)?);
+                        let global_seq = get_u64(buf)?;
+                        let observed_release =
+                            if get_u8(buf)? == 1 { Some(get_op_id(buf)?) } else { None };
+                        EventKind::Sync(SyncEvent {
+                            op,
+                            loc,
+                            kind,
+                            role,
+                            value,
+                            global_seq,
+                            observed_release,
+                        })
+                    }
+                    1 => {
+                        let reads = get_locset(buf)?;
+                        let writes = get_locset(buf)?;
+                        let first_op = get_op_id(buf)?;
+                        let op_count = get_u32(buf)?;
+                        EventKind::Computation(ComputationEvent {
+                            reads,
+                            writes,
+                            first_op,
+                            op_count,
+                        })
+                    }
+                    t => return Err(TraceError::Binary(format!("bad event tag {t}"))),
+                };
+                pt.push(kind);
+            }
+            procs.push(pt);
+        }
+        let n = get_u32(buf)? as usize;
+        // Each sync-order entry occupies 19 bytes; a larger count than the
+        // remaining input can hold is corruption (and guarding here keeps
+        // hostile inputs from forcing huge allocations).
+        if n > buf.len() / 19 {
+            return Err(TraceError::Binary(format!(
+                "sync order count {n} exceeds remaining input"
+            )));
+        }
+        let mut sync_order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let global_seq = get_u64(buf)?;
+            let proc = ProcId::new(get_u16(buf)?);
+            let index = get_u32(buf)?;
+            let loc = Location::new(get_u32(buf)?);
+            let kind = if get_u8(buf)? == 1 { AccessKind::Write } else { AccessKind::Read };
+            sync_order.push(SyncOrderEntry {
+                global_seq,
+                event: EventId::new(proc, index),
+                loc,
+                kind,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(TraceError::Binary(format!("{} trailing bytes", buf.len())));
+        }
+        TraceSet::from_parts(TraceMeta { program, model, seed }, procs, sync_order)
+    }
+}
+
+fn put_op_id(buf: &mut Vec<u8>, op: OpId) {
+    buf.put_u16(op.proc.raw());
+    buf.put_u32(op.seq);
+}
+
+fn put_opt_str(buf: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        None => buf.put_u32(u32::MAX),
+    }
+}
+
+fn put_locset(buf: &mut Vec<u8>, set: &LocSet) {
+    buf.put_u32(set.len() as u32);
+    for loc in set {
+        buf.put_u32(loc.addr());
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], TraceError> {
+    if buf.len() < n {
+        return Err(TraceError::Binary("unexpected end of input".into()));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, TraceError> {
+    Ok(take(buf, 1)?.first().copied().expect("take(1) yields one byte"))
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, TraceError> {
+    Ok(take(buf, 2)?.to_vec().as_slice().get_u16())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, TraceError> {
+    Ok(take(buf, 4)?.to_vec().as_slice().get_u32())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, TraceError> {
+    Ok(take(buf, 8)?.to_vec().as_slice().get_u64())
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64, TraceError> {
+    Ok(take(buf, 8)?.to_vec().as_slice().get_i64())
+}
+
+fn get_op_id(buf: &mut &[u8]) -> Result<OpId, TraceError> {
+    let proc = ProcId::new(get_u16(buf)?);
+    let seq = get_u32(buf)?;
+    Ok(OpId::new(proc, seq))
+}
+
+fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, TraceError> {
+    let len = get_u32(buf)?;
+    if len == u32::MAX {
+        return Ok(None);
+    }
+    let bytes = take(buf, len as usize)?;
+    String::from_utf8(bytes.to_vec())
+        .map(Some)
+        .map_err(|_| TraceError::Binary("invalid utf8 string".into()))
+}
+
+/// Largest location address accepted by the binary decoder. The bitset
+/// representation allocates proportionally to the largest address, so
+/// unbounded addresses would let corrupt (or hostile) inputs force huge
+/// allocations.
+const MAX_DECODED_LOCATION: u32 = 1 << 28;
+
+fn get_locset(buf: &mut &[u8]) -> Result<LocSet, TraceError> {
+    let n = get_u32(buf)? as usize;
+    if n > buf.len() / 4 {
+        return Err(TraceError::Binary(format!(
+            "location-set count {n} exceeds remaining input"
+        )));
+    }
+    let mut set = LocSet::new();
+    for _ in 0..n {
+        let addr = get_u32(buf)?;
+        if addr >= MAX_DECODED_LOCATION {
+            return Err(TraceError::Binary(format!("location {addr} out of decodable range")));
+        }
+        set.insert(Location::new(addr));
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, TraceSink};
+
+    fn sample() -> TraceSet {
+        let mut b = TraceBuilder::new(2);
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        b.data_access(p0, Location::new(0), AccessKind::Write, Value::new(7), None);
+        b.data_access(p0, Location::new(1), AccessKind::Write, Value::new(8), None);
+        let rel = b.sync_access(
+            p0,
+            Location::new(9),
+            AccessKind::Write,
+            SyncRole::Release,
+            Value::ZERO,
+            None,
+        );
+        b.sync_access(
+            p1,
+            Location::new(9),
+            AccessKind::Read,
+            SyncRole::Acquire,
+            Value::ZERO,
+            Some(rel),
+        );
+        b.data_access(p1, Location::new(0), AccessKind::Read, Value::new(7), None);
+        let mut t = b.finish();
+        t.meta = TraceMeta {
+            program: Some("sample".into()),
+            model: Some("SC".into()),
+            seed: Some(42),
+        };
+        t
+    }
+
+    #[test]
+    fn structure_of_sample() {
+        let t = sample();
+        assert_eq!(t.num_procs(), 2);
+        assert_eq!(t.num_events(), 4); // comp, rel | acq, comp
+        assert_eq!(t.sync_order().len(), 2);
+        assert!(t.validate().is_ok());
+        let p0 = t.processor(ProcId::new(0)).unwrap();
+        assert!(p0.events()[0].is_computation());
+        assert!(p0.events()[1].is_sync());
+        assert_eq!(
+            p0.events()[0].as_computation().unwrap().writes.len(),
+            2,
+            "both data writes folded into one computation event"
+        );
+    }
+
+    #[test]
+    fn event_lookup() {
+        let t = sample();
+        let id = EventId::new(ProcId::new(1), 0);
+        assert!(t.event(id).unwrap().is_sync());
+        assert!(t.event(EventId::new(ProcId::new(1), 99)).is_none());
+        assert!(t.event(EventId::new(ProcId::new(9), 0)).is_none());
+        assert!(t.processor(ProcId::new(9)).is_none());
+    }
+
+    #[test]
+    fn sync_order_for_location() {
+        let t = sample();
+        let for_s = t.sync_order_for(Location::new(9));
+        assert_eq!(for_s.len(), 2);
+        assert!(for_s[0].global_seq < for_s[1].global_seq);
+        assert!(t.sync_order_for(Location::new(0)).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let j = t.to_json().unwrap();
+        assert_eq!(TraceSet::from_json(&j).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let b = t.to_binary();
+        assert_eq!(TraceSet::from_binary(&b).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let t = sample();
+        assert!(t.to_binary().len() < t.to_json().unwrap().len());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(TraceSet::from_binary(b"nope").is_err());
+        assert!(TraceSet::from_binary(b"WMRD").is_err());
+        let mut good = sample().to_binary();
+        good.push(0); // trailing byte
+        assert!(TraceSet::from_binary(&good).is_err());
+        let truncated = &sample().to_binary()[..20];
+        assert!(TraceSet::from_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonmonotone_sync_order() {
+        let mut t = sample();
+        t.sync_order.swap(0, 1);
+        assert!(matches!(t.validate(), Err(TraceError::Malformed(_))));
+    }
+
+    #[test]
+    fn validate_rejects_missing_sync_entry() {
+        let mut t = sample();
+        t.sync_order.pop();
+        assert!(matches!(t.validate(), Err(TraceError::Malformed(_))));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_event_reference() {
+        let mut t = sample();
+        t.sync_order[0].event = EventId::new(ProcId::new(0), 99);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("wmrd-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.json");
+        t.write_json_file(&path).unwrap();
+        assert_eq!(TraceSet::read_json_file(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let t = sample();
+        let res = TraceSet::from_parts(
+            t.meta.clone(),
+            t.procs.clone(),
+            vec![], // drops mandatory sync-order entries
+        );
+        assert!(res.is_err());
+    }
+}

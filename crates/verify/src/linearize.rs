@@ -1,0 +1,305 @@
+//! Deciding whether a recorded execution is explainable by sequential
+//! consistency.
+//!
+//! An operation-level trace is *sequentially consistent* (Lamport) iff
+//! some interleaving of the per-processor operation sequences (respecting
+//! program order) has every read return the value of the most recent
+//! write to its location (or the initial value). [`is_sequentially_consistent`]
+//! searches for such an interleaving with memoized depth-first search;
+//! [`linearization_witness`] additionally returns one.
+//!
+//! `Test&Set`'s two operations (acquire read + sync write of the same
+//! location, adjacent in program order) are scheduled as one atomic unit,
+//! matching the simulator's (and real hardware's) semantics. This is a
+//! *heuristic over the trace*: a program that issues a separate `LdAcq`
+//! immediately followed by a separate `StSync` to the same location would
+//! be coupled too, making the check conservatively stricter (it can
+//! reject an SC-explainable trace of such a program, never accept a
+//! non-SC one). No workload in this repository uses that pattern.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use wmrd_trace::{AccessKind, MemOp, OpId, OpTrace, ProcId, SyncRole, Value};
+
+/// `true` iff `ops` is explainable by some sequentially consistent
+/// interleaving starting from `initial_memory`.
+///
+/// Locations at/above `initial_memory.len()` are treated as initially
+/// zero.
+pub fn is_sequentially_consistent(ops: &OpTrace, initial_memory: &[Value]) -> bool {
+    linearization_witness(ops, initial_memory).is_some()
+}
+
+/// Searches for a witness interleaving; returns the operation ids in
+/// schedule order, or `None` if the trace is not sequentially consistent.
+pub fn linearization_witness(ops: &OpTrace, initial_memory: &[Value]) -> Option<Vec<OpId>> {
+    let num_procs = ops.num_procs();
+    let per_proc: Vec<&[MemOp]> = (0..num_procs)
+        .map(|i| ops.proc_ops(ProcId::new(i as u16)).unwrap_or(&[]))
+        .collect();
+    let max_loc = per_proc
+        .iter()
+        .flat_map(|o| o.iter())
+        .map(|o| o.loc.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(initial_memory.len());
+    let mut memory = vec![Value::ZERO; max_loc];
+    memory[..initial_memory.len()].copy_from_slice(initial_memory);
+
+    let mut indices = vec![0usize; num_procs];
+    let mut witness = Vec::new();
+    let mut failed: HashSet<u64> = HashSet::new();
+    if dfs(&per_proc, &mut indices, &mut memory, &mut witness, &mut failed) {
+        Some(witness)
+    } else {
+        None
+    }
+}
+
+fn state_hash(indices: &[usize], memory: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    indices.hash(&mut h);
+    memory.hash(&mut h);
+    h.finish()
+}
+
+/// The next schedulable unit for one processor: one op, or an atomic
+/// read+write pair (Test&Set).
+fn unit(ops: &[MemOp], idx: usize) -> Option<(&MemOp, Option<&MemOp>)> {
+    let first = ops.get(idx)?;
+    if first.kind == AccessKind::Read
+        && first.class.sync_role().is_some_and(|r| r.is_acquire())
+    {
+        if let Some(second) = ops.get(idx + 1) {
+            if second.kind == AccessKind::Write
+                && second.loc == first.loc
+                && second.class.sync_role() == Some(SyncRole::None)
+            {
+                return Some((first, Some(second)));
+            }
+        }
+    }
+    Some((first, None))
+}
+
+fn dfs(
+    per_proc: &[&[MemOp]],
+    indices: &mut [usize],
+    memory: &mut [Value],
+    witness: &mut Vec<OpId>,
+    failed: &mut HashSet<u64>,
+) -> bool {
+    if indices.iter().zip(per_proc).all(|(&i, ops)| i == ops.len()) {
+        return true;
+    }
+    let h = state_hash(indices, memory);
+    if failed.contains(&h) {
+        return false;
+    }
+    for p in 0..per_proc.len() {
+        let Some((first, second)) = unit(per_proc[p], indices[p]) else { continue };
+        // Feasibility: reads must see current memory.
+        let feasible = match first.kind {
+            AccessKind::Read => memory[first.loc.index()] == first.value,
+            AccessKind::Write => true,
+        };
+        if !feasible {
+            continue;
+        }
+        // Apply.
+        let advance = if second.is_some() { 2 } else { 1 };
+        let saved_first = memory[first.loc.index()];
+        if first.kind == AccessKind::Write {
+            memory[first.loc.index()] = first.value;
+        }
+        let mut saved_second = None;
+        if let Some(w) = second {
+            saved_second = Some(memory[w.loc.index()]);
+            memory[w.loc.index()] = w.value;
+        }
+        indices[p] += advance;
+        witness.push(first.id);
+        if let Some(w) = second {
+            witness.push(w.id);
+        }
+        if dfs(per_proc, indices, memory, witness, failed) {
+            return true;
+        }
+        // Undo.
+        witness.truncate(witness.len() - advance);
+        indices[p] -= advance;
+        if let Some(w) = second {
+            memory[w.loc.index()] =
+                saved_second.expect("saved alongside the second op");
+        }
+        memory[first.loc.index()] = saved_first;
+    }
+    failed.insert(h);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_trace::{OpClass, OpRecorder, TraceSink};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> wmrd_trace::Location {
+        wmrd_trace::Location::new(a)
+    }
+
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn empty_trace_is_sc() {
+        let ops = OpTrace::new(2);
+        assert!(is_sequentially_consistent(&ops, &[]));
+        assert_eq!(linearization_witness(&ops, &[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn simple_handoff_is_sc() {
+        let mut r = OpRecorder::new(2);
+        r.data_access(p(0), l(0), AccessKind::Write, v(7), None);
+        r.data_access(p(1), l(0), AccessKind::Read, v(7), None);
+        let ops = r.finish();
+        let w = linearization_witness(&ops, &[]).unwrap();
+        assert_eq!(w, vec![OpId::new(p(0), 0), OpId::new(p(1), 0)]);
+    }
+
+    #[test]
+    fn read_of_initial_value_forces_order() {
+        let mut r = OpRecorder::new(2);
+        r.data_access(p(0), l(0), AccessKind::Write, v(7), None);
+        r.data_access(p(1), l(0), AccessKind::Read, v(0), None);
+        let ops = r.finish();
+        // The read of 0 must be scheduled before the write of 7.
+        let w = linearization_witness(&ops, &[]).unwrap();
+        assert_eq!(w, vec![OpId::new(p(1), 0), OpId::new(p(0), 0)]);
+    }
+
+    #[test]
+    fn the_classic_non_sc_outcome_is_rejected() {
+        // Store-buffer litmus: P0: x=1; read y=0.  P1: y=1; read x=0.
+        // Not sequentially consistent.
+        let mut r = OpRecorder::new(2);
+        r.data_access(p(0), l(0), AccessKind::Write, v(1), None);
+        r.data_access(p(0), l(1), AccessKind::Read, v(0), None);
+        r.data_access(p(1), l(1), AccessKind::Write, v(1), None);
+        r.data_access(p(1), l(0), AccessKind::Read, v(0), None);
+        let ops = r.finish();
+        assert!(!is_sequentially_consistent(&ops, &[]));
+    }
+
+    #[test]
+    fn message_passing_stale_read_is_rejected() {
+        // P0: data=1; flag=1.  P1: reads flag=1 then data=0. Needs data
+        // write reordered after flag write: not SC.
+        let mut r = OpRecorder::new(2);
+        r.data_access(p(0), l(0), AccessKind::Write, v(1), None);
+        r.data_access(p(0), l(1), AccessKind::Write, v(1), None);
+        r.data_access(p(1), l(1), AccessKind::Read, v(1), None);
+        r.data_access(p(1), l(0), AccessKind::Read, v(0), None);
+        let ops = r.finish();
+        assert!(!is_sequentially_consistent(&ops, &[]));
+    }
+
+    #[test]
+    fn initial_memory_is_respected() {
+        let mut r = OpRecorder::new(1);
+        r.data_access(p(0), l(3), AccessKind::Read, v(37), None);
+        let ops = r.finish();
+        assert!(!is_sequentially_consistent(&ops, &[]));
+        let init = [v(0), v(0), v(0), v(37)];
+        assert!(is_sequentially_consistent(&ops, &init));
+    }
+
+    #[test]
+    fn test_set_pairs_are_atomic() {
+        // Two Test&Sets of a free lock: exactly one may read 0. A trace
+        // where both read 0 must be rejected even though interleaving the
+        // four ops read/read/write/write would "explain" the values.
+        let mut r = OpRecorder::new(2);
+        for proc in [p(0), p(1)] {
+            r.sync_access(proc, l(0), AccessKind::Read, SyncRole::Acquire, v(0), None);
+            r.sync_access(proc, l(0), AccessKind::Write, SyncRole::None, v(1), None);
+        }
+        let ops = r.finish();
+        assert!(
+            !is_sequentially_consistent(&ops, &[]),
+            "both Test&Sets succeeding is not SC"
+        );
+
+        // The legitimate outcome (second reads 1) is accepted.
+        let mut r = OpRecorder::new(2);
+        r.sync_access(p(0), l(0), AccessKind::Read, SyncRole::Acquire, v(0), None);
+        r.sync_access(p(0), l(0), AccessKind::Write, SyncRole::None, v(1), None);
+        r.sync_access(p(1), l(0), AccessKind::Read, SyncRole::Acquire, v(1), None);
+        r.sync_access(p(1), l(0), AccessKind::Write, SyncRole::None, v(1), None);
+        let ops = r.finish();
+        assert!(is_sequentially_consistent(&ops, &[]));
+    }
+
+    #[test]
+    fn witness_respects_program_order() {
+        let mut r = OpRecorder::new(2);
+        r.data_access(p(0), l(0), AccessKind::Write, v(1), None);
+        r.data_access(p(0), l(1), AccessKind::Write, v(2), None);
+        r.data_access(p(1), l(1), AccessKind::Read, v(2), None);
+        let ops = r.finish();
+        let w = linearization_witness(&ops, &[]).unwrap();
+        let pos =
+            |id: OpId| w.iter().position(|&x| x == id).expect("all ops in witness");
+        assert!(pos(OpId::new(p(0), 0)) < pos(OpId::new(p(0), 1)), "po respected");
+        assert!(pos(OpId::new(p(0), 1)) < pos(OpId::new(p(1), 0)), "read after its write");
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn intra_processor_value_flow() {
+        // P0 writes 1 then reads 2: impossible without another writer.
+        let mut r = OpRecorder::new(1);
+        r.data_access(p(0), l(0), AccessKind::Write, v(1), None);
+        r.data_access(p(0), l(0), AccessKind::Read, v(2), None);
+        let ops = r.finish();
+        assert!(!is_sequentially_consistent(&ops, &[]));
+    }
+
+    #[test]
+    fn memoization_handles_diamond_blowup() {
+        // Many processors writing distinct locations: huge interleaving
+        // count, but trivially SC; memoized DFS must return quickly.
+        let mut r = OpRecorder::new(8);
+        for i in 0..8u16 {
+            for j in 0..6u32 {
+                r.data_access(p(i), l(i as u32 * 8 + j), AccessKind::Write, v(1), None);
+            }
+        }
+        let ops = r.finish();
+        assert!(is_sequentially_consistent(&ops, &[]));
+    }
+
+    #[test]
+    fn unit_groups_only_adjacent_test_set_shapes() {
+        let mut r = OpRecorder::new(1);
+        // Acquire read at loc 0, then sync write at *different* loc: not
+        // a Test&Set pair.
+        r.sync_access(p(0), l(0), AccessKind::Read, SyncRole::Acquire, v(0), None);
+        r.sync_access(p(0), l(1), AccessKind::Write, SyncRole::None, v(1), None);
+        let ops = r.finish();
+        let proc_ops = ops.proc_ops(p(0)).unwrap();
+        let (first, second) = unit(proc_ops, 0).unwrap();
+        assert_eq!(first.loc, l(0));
+        assert!(second.is_none());
+        // Release writes never begin a unit pair either.
+        assert!(matches!(proc_ops[1].class, OpClass::Sync(SyncRole::None)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Execution-independent race identities.
+//!
+//! Comparing races *across executions* (Theorem 4.2: "at least one data
+//! race per first partition also occurs in a sequentially consistent
+//! execution") needs a name for a race that does not depend on dynamic
+//! operation ids, which differ between interleavings. Section 2.1 of the
+//! paper identifies an operation by "the location it accesses and the
+//! part of the program in which it is specified"; a [`RaceSignature`]
+//! approximates that with the issuing processor, the location, the access
+//! kind and the data/sync classification of both sides — coarse enough to
+//! be stable across interleavings of the same program, fine enough to
+//! distinguish the races of every workload in this repository.
+
+use std::collections::HashSet;
+
+use wmrd_core::ops::OpRace;
+use wmrd_core::DataRace;
+use wmrd_trace::{AccessKind, Location, OpTrace, ProcId, TraceSet};
+
+/// One side of a race signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SideSignature {
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Read or write (for event-level races: whether the event *writes*
+    /// the conflict location).
+    pub kind: AccessKind,
+    /// `true` iff the side is a synchronization operation/event.
+    pub sync: bool,
+}
+
+/// An execution-independent race identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RaceSignature {
+    /// The conflict location.
+    pub loc: Location,
+    /// The lexicographically smaller side.
+    pub a: SideSignature,
+    /// The other side.
+    pub b: SideSignature,
+}
+
+impl RaceSignature {
+    /// Builds a normalized signature from two sides.
+    pub fn new(loc: Location, x: SideSignature, y: SideSignature) -> Self {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        RaceSignature { loc, a, b }
+    }
+}
+
+/// Signatures of the *data* races of an operation-level race list.
+pub fn op_race_signatures(races: &[OpRace], trace: &OpTrace) -> HashSet<RaceSignature> {
+    let mut out = HashSet::new();
+    for race in races.iter().filter(|r| r.is_data_race()) {
+        let (Some(a), Some(b)) = (trace.op(race.a), trace.op(race.b)) else { continue };
+        out.insert(RaceSignature::new(
+            race.loc,
+            SideSignature { proc: a.id.proc, kind: a.kind, sync: a.is_sync() },
+            SideSignature { proc: b.id.proc, kind: b.kind, sync: b.is_sync() },
+        ));
+    }
+    out
+}
+
+/// Signatures of the *data* races of an event-level race list. An event
+/// race on several locations yields one signature per conflict location.
+pub fn event_race_signatures(races: &[DataRace], trace: &TraceSet) -> HashSet<RaceSignature> {
+    let mut out = HashSet::new();
+    for race in races.iter().filter(|r| r.is_data_race()) {
+        let (Some(ea), Some(eb)) = (trace.event(race.a), trace.event(race.b)) else {
+            continue;
+        };
+        for loc in &race.locations {
+            // An event may both read and write the location; it then
+            // stands for one lower-level race per access-kind combination
+            // (Section 4.1: a higher-level race "may represent many
+            // lower-level data races").
+            let mut kinds_a = Vec::new();
+            if ea.read_set().contains(loc) {
+                kinds_a.push(AccessKind::Read);
+            }
+            if ea.write_set().contains(loc) {
+                kinds_a.push(AccessKind::Write);
+            }
+            let mut kinds_b = Vec::new();
+            if eb.read_set().contains(loc) {
+                kinds_b.push(AccessKind::Read);
+            }
+            if eb.write_set().contains(loc) {
+                kinds_b.push(AccessKind::Write);
+            }
+            for &ka in &kinds_a {
+                for &kb in &kinds_b {
+                    if ka == AccessKind::Read && kb == AccessKind::Read {
+                        continue; // read-read pairs do not conflict
+                    }
+                    out.insert(RaceSignature::new(
+                        loc,
+                        SideSignature { proc: race.a.proc, kind: ka, sync: ea.is_sync() },
+                        SideSignature { proc: race.b.proc, kind: kb, sync: eb.is_sync() },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A single event-level race's signatures (helper for per-partition
+/// checks).
+pub fn one_event_race_signatures(race: &DataRace, trace: &TraceSet) -> HashSet<RaceSignature> {
+    event_race_signatures(std::slice::from_ref(race), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_core::{detect_races, ops::OpAnalysis, HbGraph, PairingPolicy};
+    use wmrd_trace::{OpRecorder, TraceBuilder, TraceSink, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    #[test]
+    fn signature_is_normalized() {
+        let s1 = SideSignature { proc: p(1), kind: AccessKind::Read, sync: false };
+        let s0 = SideSignature { proc: p(0), kind: AccessKind::Write, sync: false };
+        let sig_a = RaceSignature::new(l(0), s1, s0);
+        let sig_b = RaceSignature::new(l(0), s0, s1);
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(sig_a.a.proc, p(0));
+    }
+
+    #[test]
+    fn op_and_event_signatures_agree_on_a_simple_race() {
+        // Same execution traced at both granularities.
+        let mut events = TraceBuilder::new(2);
+        let mut ops = OpRecorder::new(2);
+        // Feed both sinks identically.
+        let feed = |b: &mut dyn TraceSink| {
+            b.data_access(p(0), l(3), AccessKind::Write, Value::new(1), None);
+            b.data_access(p(1), l(3), AccessKind::Read, Value::ZERO, None);
+        };
+        feed(&mut events);
+        feed(&mut ops);
+        let event_trace = events.finish();
+        let op_trace = ops.finish();
+
+        let hb = HbGraph::build(&event_trace, PairingPolicy::ByRole).unwrap();
+        let event_races = detect_races(&event_trace, &hb);
+        let esigs = event_race_signatures(&event_races, &event_trace);
+
+        let analysis = OpAnalysis::analyze(&op_trace, PairingPolicy::ByRole).unwrap();
+        let osigs = op_race_signatures(analysis.races(), &op_trace);
+
+        assert_eq!(esigs, osigs);
+        assert_eq!(esigs.len(), 1);
+        let sig = esigs.iter().next().unwrap();
+        assert_eq!(sig.loc, l(3));
+        assert_eq!(sig.a.kind, AccessKind::Write);
+        assert_eq!(sig.b.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn multi_location_event_race_yields_multiple_signatures() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        b.data_access(p(1), l(1), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 1, "one event pair");
+        let sigs = event_race_signatures(&races, &t);
+        assert_eq!(sigs.len(), 2, "two conflict locations");
+    }
+
+    #[test]
+    fn sync_sync_races_are_skipped() {
+        use wmrd_trace::SyncRole;
+        let mut b = TraceBuilder::new(2);
+        b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Write, SyncRole::Release, Value::new(1), None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(races.len(), 1);
+        assert!(event_race_signatures(&races, &t).is_empty());
+    }
+
+    #[test]
+    fn one_race_helper() {
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let races = detect_races(&t, &hb);
+        assert_eq!(one_event_race_signatures(&races[0], &t).len(), 1);
+    }
+}

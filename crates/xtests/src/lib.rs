@@ -1,0 +1,8 @@
+//! Integration-test host crate.
+//!
+//! This crate exists to attach the workspace-spanning integration tests
+//! in the repository's top-level `tests/` directory and the runnable
+//! binaries in `examples/` to the cargo workspace (see `Cargo.toml`'s
+//! explicit `[[test]]`/`[[example]]` targets). It exports nothing.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) over the core data structures and
+//! whole-pipeline invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wmrd_core::{PairingPolicy, PostMortem, VectorClock};
+use wmrd_progs::generate;
+use wmrd_sim::{run_sc, Fidelity, MemoryModel, RandomSched, RunConfig};
+use wmrd_trace::{LocSet, Location, ProcId, TraceBuilder, TraceSet};
+use wmrd_verify::is_sequentially_consistent;
+
+fn locs() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..512, 0..40)
+}
+
+proptest! {
+    /// LocSet agrees with a HashSet model on membership, size, union and
+    /// intersection.
+    #[test]
+    fn locset_models_a_set(a in locs(), b in locs()) {
+        use std::collections::HashSet;
+        let sa: LocSet = a.iter().map(|&l| Location::new(l)).collect();
+        let sb: LocSet = b.iter().map(|&l| Location::new(l)).collect();
+        let ha: HashSet<u32> = a.iter().copied().collect();
+        let hb: HashSet<u32> = b.iter().copied().collect();
+
+        prop_assert_eq!(sa.len(), ha.len());
+        for &l in &a {
+            prop_assert!(sa.contains(Location::new(l)));
+        }
+        prop_assert_eq!(sa.intersects(&sb), !ha.is_disjoint(&hb));
+        let union: HashSet<u32> = sa.union(&sb).iter().map(|l| l.addr()).collect();
+        prop_assert_eq!(&union, &ha.union(&hb).copied().collect::<HashSet<_>>());
+        let inter: HashSet<u32> = sa.intersection(&sb).iter().map(|l| l.addr()).collect();
+        prop_assert_eq!(&inter, &ha.intersection(&hb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(sa.is_subset(&sb), ha.is_subset(&hb));
+    }
+
+    /// LocSet iteration is strictly ascending and deduplicated.
+    #[test]
+    fn locset_iterates_sorted(a in locs()) {
+        let s: LocSet = a.iter().map(|&l| Location::new(l)).collect();
+        let out: Vec<u32> = s.iter().map(|l| l.addr()).collect();
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Vector clock join is commutative, associative, idempotent, and
+    /// monotone w.r.t. `le`.
+    #[test]
+    fn vector_clock_join_laws(
+        a in vec(0u64..50, 0..6),
+        b in vec(0u64..50, 0..6),
+        c in vec(0u64..50, 0..6),
+    ) {
+        let mk = |v: &[u64]| {
+            let mut vc = VectorClock::new();
+            for (i, &x) in v.iter().enumerate() {
+                vc.set(ProcId::new(i as u16), x);
+            }
+            vc
+        };
+        let (va, vb, vc_) = (mk(&a), mk(&b), mk(&c));
+
+        let mut ab = va.clone();
+        ab.join(&vb);
+        let mut ba = vb.clone();
+        ba.join(&va);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.join(&vc_);
+        let mut bc = vb.clone();
+        bc.join(&vc_);
+        let mut a_bc = va.clone();
+        a_bc.join(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+
+        let mut aa = va.clone();
+        aa.join(&va);
+        prop_assert_eq!(&aa, &va, "idempotent");
+
+        prop_assert!(va.le(&ab) && vb.le(&ab), "join is an upper bound");
+    }
+
+    /// Every SC-machine execution linearizes (the linearizer accepts what
+    /// the SC machine produced), for random programs and schedules.
+    #[test]
+    fn sc_executions_always_linearize(prog_seed in 0u64..500, sched_seed in 0u64..100) {
+        let cfg = generate::GenConfig {
+            procs: 3,
+            shared_locations: 4,
+            sections_per_proc: 2,
+            ops_per_section: 4,
+            rogue_fraction: 0.6,
+            seed: prog_seed,
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = wmrd_trace::OpRecorder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(sched_seed), &mut sink, RunConfig::uniform())
+            .unwrap();
+        prop_assert!(is_sequentially_consistent(
+            &sink.finish(),
+            &program.initial_memory()
+        ));
+    }
+
+    /// Detected races are normalized (a < b), involve distinct
+    /// processors, and race locations are genuinely accessed by both
+    /// sides.
+    #[test]
+    fn race_reports_are_well_formed(prog_seed in 0u64..300, sched_seed in 0u64..50) {
+        let cfg = generate::GenConfig {
+            rogue_fraction: 0.7,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(sched_seed), &mut sink, RunConfig::uniform())
+            .unwrap();
+        let trace = sink.finish();
+        let report = PostMortem::new(&trace).analyze().unwrap();
+        for race in &report.races {
+            prop_assert!(race.a < race.b);
+            prop_assert_ne!(race.a.proc, race.b.proc);
+            prop_assert!(!race.locations.is_empty());
+            let (ea, eb) = (trace.event(race.a).unwrap(), trace.event(race.b).unwrap());
+            for loc in &race.locations {
+                let a_touches = ea.read_set().contains(loc) || ea.write_set().contains(loc);
+                let b_touches = eb.read_set().contains(loc) || eb.write_set().contains(loc);
+                prop_assert!(a_touches && b_touches);
+                prop_assert!(ea.write_set().contains(loc) || eb.write_set().contains(loc));
+            }
+        }
+        // Every race index referenced by partitions exists; first indices
+        // are valid.
+        for part in report.partitions.partitions() {
+            for &i in &part.races {
+                prop_assert!(i < report.races.len());
+            }
+        }
+        for &i in report.partitions.first_indices() {
+            prop_assert!(i < report.partitions.len());
+        }
+    }
+
+    /// Lock-disciplined random programs are race-free under every
+    /// scheduler seed (the generator's guarantee).
+    #[test]
+    fn locked_generator_is_race_free(prog_seed in 0u64..200, sched_seed in 0u64..30) {
+        let cfg = generate::GenConfig::default().with_seed(prog_seed);
+        let program = generate::locked(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(sched_seed), &mut sink, RunConfig::uniform())
+            .unwrap();
+        let report = PostMortem::new(&sink.finish()).analyze().unwrap();
+        prop_assert!(report.is_race_free());
+    }
+
+    /// Trace binary encoding roundtrips for traces of arbitrary random
+    /// executions.
+    #[test]
+    fn trace_binary_roundtrip(prog_seed in 0u64..200, sched_seed in 0u64..20) {
+        let cfg = generate::GenConfig {
+            rogue_fraction: 0.4,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(sched_seed), &mut sink, RunConfig::uniform())
+            .unwrap();
+        let mut trace = sink.finish();
+        trace.meta.program = Some(program.name().to_string());
+        trace.meta.seed = Some(sched_seed);
+        let bin = trace.to_binary();
+        prop_assert_eq!(TraceSet::from_binary(&bin).unwrap(), trace.clone());
+        let json = trace.to_json().unwrap();
+        prop_assert_eq!(TraceSet::from_json(&json).unwrap(), trace);
+    }
+
+    /// Analysis results are schedule-deterministic: analyzing the same
+    /// trace twice yields identical reports.
+    #[test]
+    fn analysis_is_deterministic(prog_seed in 0u64..100) {
+        let cfg = generate::GenConfig {
+            rogue_fraction: 0.5,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(1), &mut sink, RunConfig::uniform()).unwrap();
+        let trace = sink.finish();
+        let r1 = PostMortem::new(&trace).analyze().unwrap();
+        let r2 = PostMortem::new(&trace).analyze().unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Weak executions of lock-disciplined programs stay race-free and
+    /// reach the same settled memory as some SC execution of the same
+    /// program (Condition 3.4(1) at the outcome level).
+    #[test]
+    fn weak_locked_runs_match_sc_outcomes(prog_seed in 0u64..60, sched_seed in 0u64..10) {
+        let cfg = generate::GenConfig {
+            procs: 2,
+            sections_per_proc: 2,
+            ops_per_section: 3,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::locked(&cfg);
+        let mut sink = wmrd_trace::OpRecorder::new(program.num_procs());
+        let mut sched = wmrd_sim::RandomWeakSched::new(sched_seed, 0.4);
+        wmrd_sim::run_weak(
+            &program,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut sched,
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        prop_assert!(is_sequentially_consistent(
+            &sink.finish(),
+            &program.initial_memory()
+        ));
+    }
+
+    /// The pairing policy only ever shrinks the race set monotonically:
+    /// AllSync ⊆ ByRole for data races.
+    #[test]
+    fn pairing_monotonicity(prog_seed in 0u64..100) {
+        let cfg = generate::GenConfig {
+            rogue_fraction: 0.5,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(2), &mut sink, RunConfig::uniform()).unwrap();
+        let trace = sink.finish();
+        let by_role = PostMortem::new(&trace).pairing(PairingPolicy::ByRole).analyze().unwrap();
+        let all_sync = PostMortem::new(&trace).pairing(PairingPolicy::AllSync).analyze().unwrap();
+        prop_assert!(all_sync.data_races().count() <= by_role.data_races().count());
+    }
+}

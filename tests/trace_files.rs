@@ -1,0 +1,122 @@
+//! The post-mortem workflow through actual trace *files*: record an
+//! execution, write the trace to disk, read it back in a separate step,
+//! and analyze — the paper's two-phase post-mortem pipeline.
+
+use wmrd_core::PostMortem;
+use wmrd_progs::{catalog, generate};
+use wmrd_sim::{run_sc, run_weak, Fidelity, MemoryModel, RandomSched, RandomWeakSched, RunConfig};
+use wmrd_trace::{TraceBuilder, TraceError, TraceSet};
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wmrd-xtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn record_write_read_analyze_json() {
+    let entry = catalog::work_queue_buggy();
+    let mut sink = TraceBuilder::new(entry.program.num_procs());
+    run_sc(&entry.program, &mut RandomSched::new(3), &mut sink, RunConfig::uniform()).unwrap();
+    let mut trace = sink.finish();
+    trace.meta.program = Some(entry.name.into());
+    trace.meta.model = Some("SC".into());
+    trace.meta.seed = Some(3);
+
+    let path = tmp_dir().join("wq.json");
+    trace.write_json_file(&path).unwrap();
+
+    // Post-mortem phase: a fresh process would start here.
+    let loaded = TraceSet::read_json_file(&path).unwrap();
+    assert_eq!(loaded, trace);
+    let report = PostMortem::new(&loaded).analyze().unwrap();
+    assert!(!report.is_race_free());
+    assert_eq!(report.meta.program.as_deref(), Some("work-queue-buggy"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_files_roundtrip_weak_traces() {
+    let cfg = generate::GenConfig { rogue_fraction: 0.5, ..generate::GenConfig::default() };
+    let program = generate::racy(&cfg);
+    let mut sink = TraceBuilder::new(program.num_procs());
+    let mut sched = RandomWeakSched::new(5, 0.3);
+    run_weak(
+        &program,
+        MemoryModel::RCsc,
+        Fidelity::Conditioned,
+        &mut sched,
+        &mut sink,
+        RunConfig::uniform(),
+    )
+    .unwrap();
+    let trace = sink.finish();
+
+    let path = tmp_dir().join("weak.bin");
+    std::fs::write(&path, trace.to_binary()).unwrap();
+    let loaded = TraceSet::from_binary(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(loaded, trace);
+
+    // Reports agree regardless of the serialization path taken.
+    let direct = PostMortem::new(&trace).analyze().unwrap();
+    let via_file = PostMortem::new(&loaded).analyze().unwrap();
+    assert_eq!(direct, via_file);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_files_are_rejected_not_misread() {
+    let entry = catalog::fig1a();
+    let mut sink = TraceBuilder::new(entry.program.num_procs());
+    run_sc(&entry.program, &mut RandomSched::new(0), &mut sink, RunConfig::uniform()).unwrap();
+    let trace = sink.finish();
+
+    // Bit-flip every byte position of a small binary trace; decoding must
+    // either fail cleanly or produce a trace that still validates — never
+    // panic.
+    let bin = trace.to_binary();
+    for i in 0..bin.len() {
+        let mut corrupt = bin.clone();
+        corrupt[i] ^= 0xFF;
+        match TraceSet::from_binary(&corrupt) {
+            Ok(t) => assert!(t.validate().is_ok(), "decoded trace must be valid"),
+            Err(e) => {
+                assert!(matches!(
+                    e,
+                    TraceError::Binary(_) | TraceError::Malformed(_) | TraceError::UnknownEvent(_)
+                ));
+            }
+        }
+    }
+
+    // Truncations likewise.
+    for len in 0..bin.len() {
+        assert!(
+            TraceSet::from_binary(&bin[..len]).is_err(),
+            "truncated at {len} must not decode"
+        );
+    }
+
+    // Garbage JSON.
+    assert!(TraceSet::from_json("{\"not\": \"a trace\"}").is_err());
+    assert!(TraceSet::read_json_file("/nonexistent/path.json").is_err());
+}
+
+#[test]
+fn analysis_of_empty_and_single_processor_traces() {
+    // Degenerate inputs flow through the full pipeline.
+    let empty = TraceBuilder::new(0).finish();
+    let report = PostMortem::new(&empty).analyze().unwrap();
+    assert!(report.is_race_free());
+    assert_eq!(report.num_events, 0);
+
+    let single = {
+        use wmrd_trace::{AccessKind, Location, ProcId, TraceSink, Value};
+        let mut b = TraceBuilder::new(1);
+        b.data_access(ProcId::new(0), Location::new(0), AccessKind::Write, Value::new(1), None);
+        b.finish()
+    };
+    let report = PostMortem::new(&single).analyze().unwrap();
+    assert!(report.is_race_free(), "one processor cannot race with itself");
+    assert!(report.scp.covers_everything());
+}
