@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wmrd_bench::sc_run;
 use wmrd_core::{
-    detect_races, estimate_scp, partition_races, AugmentedGraph, HbGraph, PairingPolicy,
-    PostMortem,
+    detect_races, estimate_scp, partition_races, AugmentedGraph, HbGraph, PairingPolicy, PostMortem,
 };
 use wmrd_progs::generate;
 use wmrd_sim::{run_sc, RandomSched, RunConfig};
@@ -63,9 +62,7 @@ fn bench_pairing_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.to_string()),
             &policy,
-            |b, &policy| {
-                b.iter(|| PostMortem::new(&run.events).pairing(policy).analyze().unwrap())
-            },
+            |b, &policy| b.iter(|| PostMortem::new(&run.events).pairing(policy).analyze().unwrap()),
         );
     }
     group.finish();

@@ -53,16 +53,12 @@ fn bench_pipeline(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for sections in [5usize, 15, 45] {
         let trace = workload(sections);
-        group.bench_with_input(
-            BenchmarkId::new("analyze", trace.num_events()),
-            &trace,
-            |b, t| b.iter(|| PostMortem::new(t).analyze().unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hb_build", trace.num_events()),
-            &trace,
-            |b, t| b.iter(|| HbGraph::build(t, PairingPolicy::ByRole).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("analyze", trace.num_events()), &trace, |b, t| {
+            b.iter(|| PostMortem::new(t).analyze().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hb_build", trace.num_events()), &trace, |b, t| {
+            b.iter(|| HbGraph::build(t, PairingPolicy::ByRole).unwrap())
+        });
     }
     group.finish();
 }

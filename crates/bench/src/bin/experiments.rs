@@ -5,10 +5,19 @@
 //! ```text
 //! cargo run -p wmrd-bench --bin experiments            # everything
 //! cargo run -p wmrd-bench --bin experiments -- --only e4
+//! cargo run -p wmrd-bench --bin experiments -- --json  # BENCH_experiments.json
 //! ```
 //!
 //! The experiment ids match DESIGN.md's index (E1–E10 plus ablations
 //! A1–A3); EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! With `--json [path]` a machine-readable `RunMetrics` report (see
+//! OBSERVABILITY.md) is written — E8/E9/E10's measured numbers as
+//! gauges, per-experiment wall time in `phases_ns`, and the
+//! expectation-check tally as counters. Every paper expectation is a
+//! recorded *check* rather than a panicking assert: the binary runs all
+//! requested experiments to completion and exits non-zero iff any
+//! expectation failed.
 
 use std::collections::HashSet;
 
@@ -16,7 +25,7 @@ use wmrd_bench::{fig2_weak_run, model_cycles, sc_run, weak_run};
 use wmrd_core::{OnTheFly, OnTheFlyConfig, PairingPolicy, PostMortem, RaceReport};
 use wmrd_progs::{catalog, generate};
 use wmrd_sim::{Fidelity, HwImpl, MemoryModel, Program};
-use wmrd_trace::{TraceSet, TraceSink};
+use wmrd_trace::{Metrics, TraceSet, TraceSink};
 use wmrd_verify::theorems::{
     check_condition_3_4_hw, check_theorem_4_1, check_theorem_4_2, sc_race_signatures,
 };
@@ -25,6 +34,59 @@ use wmrd_verify::{
     EnumConfig, RaceSignature,
 };
 
+/// The default `--json` output path.
+const DEFAULT_JSON: &str = "BENCH_experiments.json";
+
+/// Shared state for one `experiments` invocation: the metrics being
+/// collected and the expectations checked so far.
+struct Harness {
+    metrics: Metrics,
+    checks: u64,
+    failures: Vec<String>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let metrics = Metrics::enabled();
+        metrics.context("command", "experiments");
+        Harness { metrics, checks: 0, failures: Vec::new() }
+    }
+
+    /// Runs one experiment, timing it as `experiment.<id>`.
+    fn run(&mut self, id: &str, f: fn(&mut Harness)) {
+        // A clone shares the recording state, releasing the borrow of
+        // `self.metrics` so the closure can take `self` mutably.
+        let metrics = self.metrics.clone();
+        metrics.time(&format!("experiment.{id}"), || f(self));
+    }
+
+    /// Records one paper expectation. A failed check is reported and
+    /// remembered (the process exits non-zero) but does not abort the
+    /// remaining experiments.
+    fn check(&mut self, cond: bool, what: impl Into<String>) {
+        self.checks += 1;
+        if !cond {
+            let what = what.into();
+            println!("EXPECTATION FAILED: {what}");
+            self.failures.push(what);
+        }
+    }
+}
+
+/// Lowercases `s` and maps every non-alphanumeric run to `-`, so
+/// workload names become stable metric-key segments.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let only = args
@@ -32,49 +94,55 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map_or_else(|| DEFAULT_JSON.to_string(), |v| v.clone())
+    });
     let want = |id: &str| only.as_deref().is_none_or(|o| o == id);
 
-    if want("e1") {
-        e1_fig1a();
+    let mut h = Harness::new();
+    if let Some(o) = &only {
+        h.metrics.context("only", o);
     }
-    if want("e2") {
-        e2_fig1b();
+    const EXPERIMENTS: &[(&str, fn(&mut Harness))] = &[
+        ("e1", e1_fig1a),
+        ("e2", e2_fig1b),
+        ("e3", e3_fig2_weak_execution),
+        ("e4", e4_fig3_partitions),
+        ("e5", e5_theorem_4_1),
+        ("e6", e6_theorem_4_2),
+        ("e7", e7_condition_3_4),
+        ("e8", e8_trace_overhead),
+        ("e9", e9_on_the_fly),
+        ("e10", e10_model_performance),
+        ("e11", e11_exhaustive_weak_check),
+        ("a1", a1_first_partition_filter),
+        ("a2", a2_raw_hardware),
+        ("a3", a3_trace_granularity),
+    ];
+    for &(id, f) in EXPERIMENTS {
+        if want(id) {
+            h.run(id, f);
+        }
     }
-    if want("e3") {
-        e3_fig2_weak_execution();
+
+    h.metrics.add("harness.checks", h.checks);
+    h.metrics.add("harness.failures", h.failures.len() as u64);
+    if let Some(path) = json_path {
+        let report = h.metrics.report();
+        std::fs::write(&path, report.to_json().expect("metrics serialize"))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nmetrics written to {path}");
     }
-    if want("e4") {
-        e4_fig3_partitions();
-    }
-    if want("e5") {
-        e5_theorem_4_1();
-    }
-    if want("e6") {
-        e6_theorem_4_2();
-    }
-    if want("e7") {
-        e7_condition_3_4();
-    }
-    if want("e8") {
-        e8_trace_overhead();
-    }
-    if want("e9") {
-        e9_on_the_fly();
-    }
-    if want("e10") {
-        e10_model_performance();
-    }
-    if want("e11") {
-        e11_exhaustive_weak_check();
-    }
-    if want("a1") {
-        a1_first_partition_filter();
-    }
-    if want("a2") {
-        a2_raw_hardware();
-    }
-    if want("a3") {
-        a3_trace_granularity();
+    if h.failures.is_empty() {
+        println!("\nall {} expectation(s) held", h.checks);
+    } else {
+        eprintln!("\n{}/{} expectation(s) FAILED:", h.failures.len(), h.checks);
+        for f in &h.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -87,20 +155,22 @@ fn analyze(trace: &TraceSet) -> RaceReport {
 }
 
 /// E1 — Figure 1a: an execution *with* data races.
-fn e1_fig1a() {
+fn e1_fig1a(h: &mut Harness) {
     header("E1", "Figure 1a - execution with data races");
     let entry = catalog::fig1a();
     let run = sc_run(&entry.program, 7);
     let report = analyze(&run.events);
     println!("program: {} ({})", entry.name, entry.description);
     println!("{report}");
-    assert!(!report.is_race_free(), "E1 expects races");
-    println!("paper: the conflicting Write/Read pairs on x and y are unordered by hb1 -> data race");
+    h.check(!report.is_race_free(), "E1: fig1a must contain data races");
+    println!(
+        "paper: the conflicting Write/Read pairs on x and y are unordered by hb1 -> data race"
+    );
     println!("measured: {} data race(s) detected, as expected", report.data_races().count());
 }
 
 /// E2 — Figure 1b: the race-free variant with Unset/Test&Set pairing.
-fn e2_fig1b() {
+fn e2_fig1b(h: &mut Harness) {
     header("E2", "Figure 1b - race-free execution via Unset -> Test&Set pairing");
     let entry = catalog::fig1b();
     let run = sc_run(&entry.program, 7);
@@ -108,14 +178,14 @@ fn e2_fig1b() {
     println!("program: {} ({})", entry.name, entry.description);
     println!("so1 edges found: {}", report.num_so1_edges);
     println!("{report}");
-    assert!(report.is_race_free(), "E2 expects no data races");
+    h.check(report.is_race_free(), "E2: fig1b must be data-race-free");
     println!("paper: all conflicting data operations ordered by hb1 -> data-race-free");
     println!("measured: race-free; execution certified sequentially consistent");
 }
 
 /// E3 — Figure 2b: the weak execution of the buggy work queue, with the
 /// stale dequeue and the non-SC data races it causes.
-fn e3_fig2_weak_execution() {
+fn e3_fig2_weak_execution(h: &mut Harness) {
     header("E3", "Figure 2 - buggy work queue on WO: stale dequeue");
     let lay = catalog::work_queue_layout();
     let run = fig2_weak_run();
@@ -128,7 +198,10 @@ fn e3_fig2_weak_execution() {
         "P2 read Q      = {} (the STALE value; P1's enqueue of {} was still buffered)",
         q.value, lay.fresh_addr
     );
-    assert_eq!(q.value.get(), lay.stale_addr, "the script reproduces the stale read");
+    h.check(
+        q.value.get() == lay.stale_addr,
+        "E3: the scripted schedule must reproduce the stale read of Q",
+    );
     let report = analyze(&run.events);
     println!(
         "data races in the weak execution: {} total across {} partition(s)",
@@ -149,19 +222,20 @@ fn e3_fig2_weak_execution() {
 
 /// E4 — Figure 3: the augmented graph's partitions, their order, and the
 /// SCP boundary.
-fn e4_fig3_partitions() {
+fn e4_fig3_partitions(h: &mut Harness) {
     header("E4", "Figure 3 - first vs non-first partitions and the SCP");
     let run = fig2_weak_run();
     let report = analyze(&run.events);
     println!("{report}");
     let first: Vec<_> = report.first_partitions().collect();
-    assert_eq!(first.len(), 1, "Figure 3 shows exactly one first partition");
+    h.check(first.len() == 1, "E4: Figure 3 shows exactly one first partition");
+    let Some(first_partition) = first.first() else { return };
     let lay = catalog::work_queue_layout();
-    let first_races: Vec<_> = first[0].races.iter().map(|&i| &report.races[i]).collect();
-    let touches_queue = first_races.iter().any(|r| {
-        r.locations.contains(lay.q) || r.locations.contains(lay.q_empty)
-    });
-    assert!(touches_queue, "the first partition is the QEmpty/Q races");
+    let first_races: Vec<_> = first_partition.races.iter().map(|&i| &report.races[i]).collect();
+    let touches_queue = first_races
+        .iter()
+        .any(|r| r.locations.contains(lay.q) || r.locations.contains(lay.q_empty));
+    h.check(touches_queue, "E4: the first partition must be the QEmpty/Q races");
     println!("paper: first partition = races on QEmpty/Q between P1 and P2;");
     println!("       non-first partition = P2/P3 region races, po-after the first ones");
     println!("measured: matches (see partitions above); SCP boundary shown per processor.");
@@ -172,15 +246,14 @@ fn e4_fig3_partitions() {
 
 /// E5 — Theorem 4.1 on random programs: first partitions exist iff data
 /// races exist.
-fn e5_theorem_4_1() {
+fn e5_theorem_4_1(h: &mut Harness) {
     header("E5", "Theorem 4.1 - first partitions exist iff data races exist");
     let mut checked = 0;
     let mut held = 0;
     for seed in 0..20 {
         for racy in [false, true] {
             let cfg = generate::GenConfig::default().with_seed(seed);
-            let program =
-                if racy { generate::racy(&cfg) } else { generate::locked(&cfg) };
+            let program = if racy { generate::racy(&cfg) } else { generate::locked(&cfg) };
             for model in [MemoryModel::Wo, MemoryModel::RCsc] {
                 let run = weak_run(&program, model, Fidelity::Conditioned, seed);
                 let report = analyze(&run.events);
@@ -193,12 +266,12 @@ fn e5_theorem_4_1() {
     }
     println!("checked {checked} executions (20 seeds x locked/racy x WO/RCsc)");
     println!("Theorem 4.1 held in {held}/{checked}");
-    assert_eq!(checked, held, "Theorem 4.1 must hold universally");
+    h.check(checked == held, "E5: Theorem 4.1 must hold universally");
 }
 
 /// E6 — Theorem 4.2: each first partition contains a race that occurs in
 /// a sequentially consistent execution.
-fn e6_theorem_4_2() {
+fn e6_theorem_4_2(h: &mut Harness) {
     header("E6", "Theorem 4.2 - first partitions contain SC races");
     // (a) Exhaustively enumerated oracle for fig1a.
     let fig1a = catalog::fig1a();
@@ -222,7 +295,7 @@ fn e6_theorem_4_2() {
         }
     }
     println!("fig1a weak executions: {confirmed}/{total} first partitions confirmed");
-    assert_eq!(confirmed, total);
+    h.check(confirmed == total, "E6: every fig1a first partition must contain an SC race");
 
     // (b) Sampled oracle for the work queue (too large to enumerate).
     let wq = catalog::work_queue_buggy();
@@ -241,11 +314,11 @@ fn e6_theorem_4_2() {
         "figure-2b execution: {}/{} first partitions contain a sampled-SC race",
         outcome.partitions_confirmed, outcome.partitions_checked
     );
-    assert!(outcome.holds());
+    h.check(outcome.holds(), "E6: Theorem 4.2 must hold on the figure-2b execution");
 }
 
 /// E7 — Condition 3.4 / Theorem 3.5 on the conditioned weak machines.
-fn e7_condition_3_4() {
+fn e7_condition_3_4(h: &mut Harness) {
     header("E7", "Condition 3.4 / Theorem 3.5 - conditioned weak machines obey it");
     println!(
         "{:<24} {:>6} {:>13} {:>6} {:>9} {:>8} {:>7}",
@@ -284,11 +357,9 @@ fn e7_condition_3_4() {
                     ok,
                     scp_ok
                 );
-                assert_eq!(
-                    ok,
-                    outcomes.len(),
-                    "{} on {hw}: Condition 3.4 must hold",
-                    entry.name
+                h.check(
+                    ok == outcomes.len(),
+                    format!("E7: {} on {model}/{hw}: Condition 3.4 must hold", entry.name),
                 );
             }
         }
@@ -301,7 +372,7 @@ fn e7_condition_3_4() {
 /// E8 — Section 5 overhead claim: the trace information needed on weak
 /// hardware is the same as on SC hardware, and event-level bit-vector
 /// tracing is far smaller than per-operation tracing.
-fn e8_trace_overhead() {
+fn e8_trace_overhead(h: &mut Harness) {
     header("E8", "Section 5 - tracing overhead, SC vs weak, events vs operations");
     println!(
         "{:<20} {:>6} {:>7} {:>10} {:>10} {:>9} {:>8}",
@@ -328,6 +399,10 @@ fn e8_trace_overhead() {
             let ops = run.ops.num_ops();
             let op_bytes = run.ops.encoded_size();
             let ev_bytes = run.events.to_binary().len();
+            let key = format!("e8.{}.{}", slug(name), slug(&model.to_string()));
+            h.metrics.set_gauge(&format!("{key}.ops"), ops as u64);
+            h.metrics.set_gauge(&format!("{key}.op_bytes"), op_bytes as u64);
+            h.metrics.set_gauge(&format!("{key}.event_bytes"), ev_bytes as u64);
             println!(
                 "{:<20} {:>6} {:>7} {:>10} {:>10} {:>9.1} {:>8.2}",
                 name,
@@ -349,7 +424,7 @@ fn e8_trace_overhead() {
 
 /// E9 — Section 5: on-the-fly detection trades memory/accuracy against
 /// post-mortem trace files.
-fn e9_on_the_fly() {
+fn e9_on_the_fly(h: &mut Harness) {
     header("E9", "Section 5 - on-the-fly vs post-mortem");
     let cfg = generate::GenConfig {
         procs: 4,
@@ -364,6 +439,8 @@ fn e9_on_the_fly() {
     let report = analyze(&run.events);
     let postmortem_races = report.data_races().count();
     let trace_bytes = run.events.to_binary().len();
+    h.metrics.set_gauge("e9.postmortem.races", postmortem_races as u64);
+    h.metrics.set_gauge("e9.postmortem.trace_bytes", trace_bytes as u64);
     println!("post-mortem: {} data race(s); trace file {} bytes", postmortem_races, trace_bytes);
     println!(
         "{:>14} {:>8} {:>12} {:>13}",
@@ -376,8 +453,11 @@ fn e9_on_the_fly() {
             OnTheFlyConfig { read_history_limit: limit, ..OnTheFlyConfig::default() },
         );
         replay(&run.ops, &mut detector);
-        let label =
-            limit.map_or_else(|| "unbounded".to_string(), |l| l.to_string());
+        let label = limit.map_or_else(|| "unbounded".to_string(), |l| l.to_string());
+        let key = format!("e9.limit_{label}");
+        h.metrics.set_gauge(&format!("{key}.races"), detector.races().len() as u64);
+        h.metrics.set_gauge(&format!("{key}.state_bytes"), detector.approx_memory_bytes() as u64);
+        h.metrics.set_gauge(&format!("{key}.dropped_reads"), detector.dropped_reads());
         println!(
             "{:>14} {:>8} {:>12} {:>13}",
             label,
@@ -406,7 +486,7 @@ fn replay(ops: &wmrd_trace::OpTrace, sink: &mut dyn TraceSink) {
 }
 
 /// E10 — Section 2.2: the weak models' performance motivation.
-fn e10_model_performance() {
+fn e10_model_performance(h: &mut Harness) {
     header("E10", "Section 2.2 - weak models outperform SC on race-free programs");
     let workloads: Vec<(&str, Program)> = vec![
         ("counter-locked(4x8)", catalog::counter_locked(4, 8).program),
@@ -436,8 +516,11 @@ fn e10_model_performance() {
         "workload", "SC", "WO", "RCsc", "DRF0", "DRF1"
     );
     for (name, program) in &workloads {
-        let cycles: Vec<u64> =
-            MemoryModel::ALL.iter().map(|&m| model_cycles(program, m)).collect();
+        let cycles: Vec<u64> = MemoryModel::ALL.iter().map(|&m| model_cycles(program, m)).collect();
+        for (model, &c) in MemoryModel::ALL.iter().zip(&cycles) {
+            h.metrics
+                .set_gauge(&format!("e10.{}.{}.cycles", slug(name), slug(&model.to_string())), c);
+        }
         println!(
             "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}   speedup WO {:.2}x RCsc {:.2}x",
             name,
@@ -449,12 +532,14 @@ fn e10_model_performance() {
             cycles[0] as f64 / cycles[1] as f64,
             cycles[0] as f64 / cycles[2] as f64,
         );
-        assert!(cycles[1] <= cycles[0], "{name}: WO must not exceed SC");
-        assert!(cycles[2] <= cycles[1], "{name}: RCsc must not exceed WO");
+        h.check(cycles[1] <= cycles[0], format!("E10: {name}: WO must not exceed SC"));
+        h.check(cycles[2] <= cycles[1], format!("E10: {name}: RCsc must not exceed WO"));
         if *name == "gen-overlap(4)" {
-            assert!(
+            h.check(
                 cycles[2] < cycles[1],
-                "{name}: RCsc must strictly beat WO when writes are pending at acquires"
+                format!(
+                    "E10: {name}: RCsc must strictly beat WO when writes are pending at acquires"
+                ),
             );
         }
     }
@@ -467,7 +552,7 @@ fn e10_model_performance() {
 /// E11 — exhaustive weak-execution verification: enumerate EVERY
 /// schedule (steps and buffer drains) of small programs on the
 /// store-buffer machine and check Condition 3.4 on each execution.
-fn e11_exhaustive_weak_check() {
+fn e11_exhaustive_weak_check(h: &mut Harness) {
     header("E11", "exhaustive weak-execution check of Condition 3.4");
     let cfg = EnumConfig { max_executions: 200_000, max_steps_per_path: 300, spin_unroll_limit: 1 };
     println!(
@@ -486,8 +571,7 @@ fn e11_exhaustive_weak_check() {
             let mut sc_ok = 0;
             let mut t42_ok = 0;
             for exec in &weak.executions {
-                let report =
-                    PostMortem::new(&exec.events).analyze().expect("analyzable");
+                let report = PostMortem::new(&exec.events).analyze().expect("analyzable");
                 if report.is_race_free() {
                     race_free += 1;
                     if is_sequentially_consistent(&exec.ops, &entry.program.initial_memory()) {
@@ -519,12 +603,16 @@ fn e11_exhaustive_weak_check() {
                 sc_ok,
                 t42_ok
             );
-            assert_eq!(race_free, sc_ok, "{}: every race-free execution must be SC", entry.name);
-            assert_eq!(
-                weak.executions.len() - race_free,
-                t42_ok,
-                "{}: every racy execution's first partitions must contain SC races",
-                entry.name
+            h.check(
+                race_free == sc_ok,
+                format!("E11: {}: every race-free execution must be SC", entry.name),
+            );
+            h.check(
+                weak.executions.len() - race_free == t42_ok,
+                format!(
+                    "E11: {}: every racy execution's first partitions must contain SC races",
+                    entry.name
+                ),
             );
         }
     }
@@ -534,12 +622,9 @@ fn e11_exhaustive_weak_check() {
 }
 
 /// A1 — ablation: first-partition filtering on vs off.
-fn a1_first_partition_filter() {
+fn a1_first_partition_filter(_h: &mut Harness) {
     header("A1", "ablation - reporting first partitions vs all races");
-    println!(
-        "{:<22} {:>10} {:>12} {:>10}",
-        "workload", "all-races", "first-parts", "reported"
-    );
+    println!("{:<22} {:>10} {:>12} {:>10}", "workload", "all-races", "first-parts", "reported");
     let mut rows: Vec<(String, RaceReport)> = Vec::new();
     rows.push(("fig2b (weak)".into(), analyze(&fig2_weak_run().events)));
     for rounds in [2usize, 4, 8] {
@@ -563,7 +648,7 @@ fn a1_first_partition_filter() {
 
 /// A2 — ablation: Condition-3.4-honouring hardware vs raw weak hardware,
 /// on both implementation styles.
-fn a2_raw_hardware() {
+fn a2_raw_hardware(h: &mut Harness) {
     header("A2", "ablation - conditioned vs raw weak hardware");
     let entry = catalog::ping_pong();
     for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
@@ -591,7 +676,7 @@ fn a2_raw_hardware() {
             "{hw}: {runs} race-free raw-WO executions of {}, {} NOT sequentially consistent",
             entry.name, violations
         );
-        assert!(violations > 0, "{hw}: raw hardware must exhibit the problem");
+        h.check(violations > 0, format!("A2: {hw}: raw hardware must exhibit the problem"));
     }
     println!("on raw hardware the detector can truthfully report 'no races' for an");
     println!("execution that was never sequentially consistent - exactly the failure");
@@ -599,7 +684,7 @@ fn a2_raw_hardware() {
 }
 
 /// A3 — ablation: event-level vs operation-level tracing cost.
-fn a3_trace_granularity() {
+fn a3_trace_granularity(h: &mut Harness) {
     header("A3", "ablation - event bit-vector tracing vs per-operation tracing");
     println!(
         "{:<14} {:>8} {:>9} {:>12} {:>12} {:>7}",
@@ -629,13 +714,13 @@ fn a3_trace_granularity() {
             ratio
         );
     }
-    assert!(
+    h.check(
         ratios.windows(2).all(|w| w[0] < w[1]),
-        "folding more operations per event must widen the gap"
+        "A3: folding more operations per event must widen the gap",
     );
-    assert!(
+    h.check(
         *ratios.last().unwrap() > 1.0,
-        "long computation events must beat per-operation tracing"
+        "A3: long computation events must beat per-operation tracing",
     );
     println!("the paper's Section 4.1 rationale: recording READ/WRITE bit-vectors per");
     println!("computation event 'avoids writing a trace record for every memory operation';");

@@ -24,6 +24,10 @@ pub struct RunOpts {
     pub binary: bool,
     /// Where to write the operation-level trace (JSON).
     pub ops_out: Option<String>,
+    /// Where to write the run's `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
 }
 
 /// Options for `wmrd analyze`.
@@ -41,6 +45,10 @@ pub struct AnalyzeOpts {
     pub dot_out: Option<String>,
     /// Emit the report as JSON instead of text.
     pub json: bool,
+    /// Where to write the analysis `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
 }
 
 /// Options for `wmrd check`.
@@ -56,6 +64,10 @@ pub struct CheckOpts {
     pub hw: HwImpl,
     /// Number of seeded executions to check.
     pub seeds: u64,
+    /// Where to write the check's `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
 }
 
 /// A parsed invocation.
@@ -91,9 +103,9 @@ fn parse_model(s: &str) -> Result<MemoryModel, CliError> {
         "rcsc" => Ok(MemoryModel::RCsc),
         "drf0" => Ok(MemoryModel::Drf0),
         "drf1" => Ok(MemoryModel::Drf1),
-        other => Err(CliError::Usage(format!(
-            "unknown model `{other}` (expected sc|wo|rcsc|drf0|drf1)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown model `{other}` (expected sc|wo|rcsc|drf0|drf1)")))
+        }
     }
 }
 
@@ -101,9 +113,9 @@ fn parse_fidelity(s: &str) -> Result<Fidelity, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "conditioned" => Ok(Fidelity::Conditioned),
         "raw" => Ok(Fidelity::Raw),
-        other => Err(CliError::Usage(format!(
-            "unknown fidelity `{other}` (expected conditioned|raw)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown fidelity `{other}` (expected conditioned|raw)")))
+        }
     }
 }
 
@@ -121,9 +133,9 @@ fn parse_pairing(s: &str) -> Result<PairingPolicy, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "by-role" => Ok(PairingPolicy::ByRole),
         "all-sync" => Ok(PairingPolicy::AllSync),
-        other => Err(CliError::Usage(format!(
-            "unknown pairing `{other}` (expected by-role|all-sync)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown pairing `{other}` (expected by-role|all-sync)")))
+        }
     }
 }
 
@@ -142,8 +154,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn value_for(&mut self, flag: &str) -> Result<&'a str, CliError> {
-        self.next()
-            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+        self.next().ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
     }
 }
 
@@ -179,6 +190,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 trace_out: None,
                 binary: false,
                 ops_out: None,
+                metrics_out: None,
+                stats: false,
             };
             while let Some(flag) = cur.next() {
                 match flag {
@@ -194,6 +207,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--trace" => opts.trace_out = Some(cur.value_for(flag)?.to_string()),
                     "--ops" => opts.ops_out = Some(cur.value_for(flag)?.to_string()),
                     "--binary" => opts.binary = true,
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
+                    "--stats" => opts.stats = true,
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}` for run")))
                     }
@@ -210,6 +225,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 timeline: false,
                 dot_out: None,
                 json: false,
+                metrics_out: None,
+                stats: false,
             };
             while let Some(flag) = cur.next() {
                 match flag {
@@ -218,10 +235,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--timeline" => opts.timeline = true,
                     "--dot" => opts.dot_out = Some(cur.value_for(flag)?.to_string()),
                     "--json" => opts.json = true,
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
+                    "--stats" => opts.stats = true,
                     other => {
-                        return Err(CliError::Usage(format!(
-                            "unknown flag `{other}` for analyze"
-                        )))
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for analyze")))
                     }
                 }
             }
@@ -235,6 +252,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 fidelity: Fidelity::Conditioned,
                 hw: HwImpl::StoreBuffer,
                 seeds: 5,
+                metrics_out: None,
+                stats: false,
             };
             while let Some(flag) = cur.next() {
                 match flag {
@@ -247,6 +266,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|_| CliError::Usage("--seeds wants an integer".into()))?
                     }
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
+                    "--stats" => opts.stats = true,
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}` for check")))
                     }
@@ -274,15 +295,21 @@ USAGE:
       --trace <file>                     write the event trace (JSON)
       --binary                           ...in the compact binary format
       --ops <file>                       write the operation trace (JSON)
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
   wmrd analyze <trace-file> [flags]    post-mortem race analysis
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --all                              also list withheld races
       --timeline                         per-processor timeline
       --dot <file>                       write a Graphviz rendering
       --json                             machine-readable report
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
   wmrd check <name|file.json> [flags]  check Condition 3.4 empirically
-      --model, --fidelity, --hw, --seeds <n>
+      --model, --fidelity, --hw, --seeds <n>, --metrics <file>, --stats
   wmrd demo                            the paper's Figure 2/3 walkthrough
+
+Metrics reports follow the schema documented in OBSERVABILITY.md.
 ";
 
 #[cfg(test)]
@@ -310,7 +337,7 @@ mod tests {
     fn parses_run_flags() {
         let cmd = parse(&argv(
             "run fig1a --model wo --fidelity raw --hw inval-queue --seed 9 --trace t.json \
-             --binary --ops o.json",
+             --binary --ops o.json --metrics m.json --stats",
         ))
         .unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
@@ -322,40 +349,48 @@ mod tests {
         assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
         assert!(opts.binary);
         assert_eq!(opts.ops_out.as_deref(), Some("o.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert!(opts.stats);
     }
 
     #[test]
     fn run_defaults() {
-        let Command::Run(opts) = parse(&argv("run fig1b")).unwrap() else {
-            panic!("expected run")
-        };
+        let Command::Run(opts) = parse(&argv("run fig1b")).unwrap() else { panic!("expected run") };
         assert_eq!(opts.model, MemoryModel::Sc);
         assert_eq!(opts.fidelity, Fidelity::Conditioned);
         assert_eq!(opts.hw, HwImpl::StoreBuffer);
         assert_eq!(opts.seed, 0);
         assert!(opts.trace_out.is_none());
+        assert!(opts.metrics_out.is_none());
+        assert!(!opts.stats);
     }
 
     #[test]
     fn parses_analyze_flags() {
-        let cmd =
-            parse(&argv("analyze t.json --pairing all-sync --all --timeline --dot g.dot --json"))
-                .unwrap();
+        let cmd = parse(&argv(
+            "analyze t.json --pairing all-sync --all --timeline --dot g.dot --json \
+             --metrics m.json --stats",
+        ))
+        .unwrap();
         let Command::Analyze(opts) = cmd else { panic!("expected analyze") };
         assert_eq!(opts.pairing, PairingPolicy::AllSync);
         assert!(opts.show_all && opts.timeline && opts.json);
         assert_eq!(opts.dot_out.as_deref(), Some("g.dot"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert!(opts.stats);
     }
 
     #[test]
     fn parses_check_flags() {
         let Command::Check(opts) =
-            parse(&argv("check fig1a --model rcsc --seeds 12")).unwrap()
+            parse(&argv("check fig1a --model rcsc --seeds 12 --metrics m.json --stats")).unwrap()
         else {
             panic!("expected check")
         };
         assert_eq!(opts.model, MemoryModel::RCsc);
         assert_eq!(opts.seeds, 12);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert!(opts.stats);
     }
 
     #[test]

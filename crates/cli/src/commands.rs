@@ -9,15 +9,48 @@ use wmrd_sim::{
     run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
     WeakScript,
 };
-use wmrd_trace::{MultiSink, OpRecorder, TraceBuilder, TraceSet};
-use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
+use wmrd_trace::{Metrics, MultiSink, OpRecorder, TraceBuilder, TraceSet};
 use wmrd_verify::sample_sc;
+use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
 use crate::args::{parse, AnalyzeOpts, CheckOpts, Command, RunOpts, USAGE};
 use crate::CliError;
 
 fn file_err(path: &str) -> impl FnOnce(std::io::Error) -> CliError + '_ {
     move |source| CliError::File { path: path.to_string(), source }
+}
+
+/// The metrics handle for one command: enabled only when the user asked
+/// for `--metrics <file>` or `--stats`, so unobserved invocations pay
+/// nothing.
+fn metrics_for(metrics_out: &Option<String>, stats: bool) -> Metrics {
+    if metrics_out.is_some() || stats {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    }
+}
+
+/// Writes the collected metrics to `--metrics <file>` (schema-stable
+/// JSON, see OBSERVABILITY.md) and/or appends the `--stats` summary.
+fn emit_metrics(
+    metrics: &Metrics,
+    metrics_out: &Option<String>,
+    stats: bool,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if !metrics.is_enabled() {
+        return Ok(());
+    }
+    let report = metrics.report();
+    if let Some(path) = metrics_out {
+        std::fs::write(path, report.to_json()?).map_err(file_err(path))?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    if stats {
+        let _ = write!(out, "{}", report.to_summary());
+    }
+    Ok(())
 }
 
 /// Executes one CLI invocation (arguments exclude the binary name) and
@@ -100,6 +133,15 @@ fn cmd_export(name: &str, path: &str) -> Result<String, CliError> {
 
 fn cmd_run(opts: &RunOpts) -> Result<String, CliError> {
     let program = load_program(&opts.program)?;
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "run");
+    metrics.context("program", program.name());
+    metrics.context("model", opts.model);
+    metrics.context("fidelity", opts.fidelity);
+    metrics.context("seed", opts.seed);
+    if opts.model != MemoryModel::Sc {
+        metrics.context("hw", opts.hw);
+    }
     let mut sink = MultiSink::new(
         TraceBuilder::new(program.num_procs()),
         OpRecorder::new(program.num_procs()),
@@ -123,6 +165,13 @@ fn cmd_run(opts: &RunOpts) -> Result<String, CliError> {
     trace.meta.program = Some(program.name().to_string());
     trace.meta.model = Some(opts.model.to_string());
     trace.meta.seed = Some(opts.seed);
+    outcome.stats.record_into(&metrics);
+    if metrics.is_enabled() {
+        metrics.set_gauge("sim.steps", outcome.steps);
+        metrics.set_gauge("sim.cycles", outcome.total_cycles());
+        metrics.set_gauge("trace.events", trace.num_events() as u64);
+        metrics.set_gauge("trace.procs", trace.num_procs() as u64);
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -151,9 +200,10 @@ fn cmd_run(opts: &RunOpts) -> Result<String, CliError> {
     }
     if opts.trace_out.is_none() {
         // No file requested: analyze inline for convenience.
-        let report = PostMortem::new(&trace).analyze()?;
+        let report = PostMortem::new(&trace).metrics(&metrics).analyze()?;
         let _ = writeln!(out, "{report}");
     }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     Ok(out)
 }
 
@@ -169,7 +219,19 @@ fn load_trace(path: &str) -> Result<TraceSet, CliError> {
 
 fn cmd_analyze(opts: &AnalyzeOpts) -> Result<String, CliError> {
     let trace = load_trace(&opts.trace)?;
-    let report = PostMortem::new(&trace).pairing(opts.pairing).analyze()?;
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "analyze");
+    metrics.context("pairing", format!("{:?}", opts.pairing));
+    if let Some(program) = &trace.meta.program {
+        metrics.context("program", program);
+    }
+    if let Some(model) = &trace.meta.model {
+        metrics.context("model", model);
+    }
+    if let Some(seed) = trace.meta.seed {
+        metrics.context("seed", seed);
+    }
+    let report = PostMortem::new(&trace).pairing(opts.pairing).metrics(&metrics).analyze()?;
     let mut out = String::new();
     if opts.json {
         let _ = writeln!(out, "{}", serde_json::to_string_pretty(&report)?);
@@ -189,11 +251,18 @@ fn cmd_analyze(opts: &AnalyzeOpts) -> Result<String, CliError> {
         std::fs::write(path, render::to_dot(&trace, &report)?).map_err(file_err(path))?;
         let _ = writeln!(out, "dot graph written to {path}");
     }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     Ok(out)
 }
 
 fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
     let program = load_program(&opts.program)?;
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "check");
+    metrics.context("program", program.name());
+    metrics.context("model", opts.model);
+    metrics.context("fidelity", opts.fidelity);
+    metrics.context("hw", opts.hw);
     // Build the SC-race oracle by sampling.
     let samples = sample_sc(&program, 0..60, RunConfig::default())?;
     let sigs = sc_race_signatures(&samples, PairingPolicy::ByRole)?;
@@ -252,6 +321,15 @@ fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
             "CONDITION 3.4 VIOLATED — this hardware cannot support sound dynamic race detection"
         }
     );
+    if metrics.is_enabled() {
+        metrics.set_gauge("check.seeds", outcomes.len() as u64);
+        metrics.set_gauge("check.sc_samples", samples.len() as u64);
+        metrics.set_gauge("check.sc_race_signatures", sigs.len() as u64);
+        metrics.add("check.race_free", outcomes.iter().filter(|o| o.race_free).count() as u64);
+        metrics.add("check.racy", outcomes.iter().filter(|o| !o.race_free).count() as u64);
+        metrics.add("check.violations", outcomes.iter().filter(|o| !o.holds()).count() as u64);
+    }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     Ok(out)
 }
 
@@ -385,6 +463,58 @@ mod tests {
         let out = run_cli(&argv("demo")).unwrap();
         assert!(out.contains("FIRST"), "{out}");
         assert!(out.contains("end of estimated SCP"), "{out}");
+    }
+
+    #[test]
+    fn run_writes_metrics_and_stats() {
+        let path = tmp("m-run.json");
+        let out =
+            run_cli(&argv(&format!("run fig1a --model wo --seed 3 --metrics {path} --stats")))
+                .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: wmrd_trace::RunMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.schema_version, wmrd_trace::RunMetrics::SCHEMA_VERSION);
+        assert_eq!(report.context.get("command").map(String::as_str), Some("run"));
+        assert_eq!(report.context.get("program").map(String::as_str), Some("fig1a"));
+        assert_eq!(report.context.get("seed").map(String::as_str), Some("3"));
+        assert!(report.counter("sim.data_writes").unwrap() >= 2, "{report:?}");
+        assert!(report.gauge("sim.steps").is_some());
+        assert!(report.gauge("trace.events").is_some());
+        assert!(report.gauge("analysis.races").is_some(), "inline analysis is metered");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_metrics_pick_up_trace_context() {
+        let trace_path = tmp("m-trace.json");
+        let m_path = tmp("m-analyze.json");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {trace_path}"))).unwrap();
+        let out = run_cli(&argv(&format!("analyze {trace_path} --metrics {m_path}"))).unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let report: wmrd_trace::RunMetrics =
+            serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
+        assert_eq!(report.context.get("command").map(String::as_str), Some("analyze"));
+        assert_eq!(report.context.get("program").map(String::as_str), Some("fig1a"));
+        assert!(report.gauge("analysis.candidate_pairs").is_some());
+        assert!(report.phase_ns("analysis.hb_build").is_some());
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&m_path).ok();
+    }
+
+    #[test]
+    fn check_stats_summary() {
+        let out = run_cli(&argv("check fig1a --model wo --seeds 2 --stats")).unwrap();
+        assert!(out.contains("check.seeds"), "{out}");
+        assert!(out.contains("check.racy"), "{out}");
+    }
+
+    #[test]
+    fn no_metrics_flags_no_metrics_output() {
+        let out = run_cli(&argv("run fig1a")).unwrap();
+        assert!(!out.contains("metrics written"), "{out}");
+        assert!(!out.contains("counters:"), "{out}");
     }
 
     #[test]

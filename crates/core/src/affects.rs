@@ -63,7 +63,7 @@ mod tests {
     use super::*;
     use crate::{detect_races, HbGraph, PairingPolicy};
     use wmrd_trace::{
-        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSink, TraceSet, Value,
+        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSet, TraceSink, Value,
     };
 
     fn p(i: u16) -> ProcId {

@@ -90,7 +90,7 @@ impl<'a> AugmentedGraph<'a> {
 mod tests {
     use super::*;
     use crate::{detect_races, PairingPolicy};
-    use wmrd_trace::{AccessKind, Location, ProcId, TraceBuilder, TraceSink, TraceSet, Value};
+    use wmrd_trace::{AccessKind, Location, ProcId, TraceBuilder, TraceSet, TraceSink, Value};
 
     fn p(i: u16) -> ProcId {
         ProcId::new(i)

@@ -56,7 +56,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod affects;
@@ -83,10 +83,12 @@ pub use graph::{Condensation, DiGraph, Reachability, SccInfo};
 pub use hb::HbGraph;
 pub use onthefly::{OnTheFly, OnTheFlyConfig, OnTheFlyRace};
 pub use pairing::{so1_edges, PairingPolicy, So1Edge};
-pub use parallel::{analyze_batch, detect_races_parallel};
+pub use parallel::{
+    analyze_batch, analyze_batch_metered, detect_races_parallel, detect_races_parallel_metered,
+};
 pub use partition::{partition_races, PartitionSet, RacePartition};
 pub use postmortem::{AnalysisOptions, PostMortem};
-pub use race::{detect_races, DataRace, RaceKind};
+pub use race::{detect_races, detect_races_with_stats, DataRace, DetectStats, RaceKind};
 pub use report::RaceReport;
 pub use scp::{estimate_scp, ScpEstimate};
 pub use vc::VectorClock;

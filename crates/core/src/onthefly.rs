@@ -125,8 +125,7 @@ impl OnTheFly {
     /// trace files" cost on-the-fly detection pays (experiment E9).
     pub fn approx_memory_bytes(&self) -> usize {
         let clock_bytes: usize = self.clocks.iter().map(VectorClock::approx_bytes).sum();
-        let sync_bytes: usize =
-            self.sync_clocks.values().map(|v| 16 + v.approx_bytes()).sum();
+        let sync_bytes: usize = self.sync_clocks.values().map(|v| 16 + v.approx_bytes()).sum();
         let loc_bytes: usize = self
             .locations
             .values()

@@ -232,20 +232,12 @@ impl OpAnalysis {
     /// contains the first races themselves, whose membership is verified
     /// separately through Theorem 4.2's cross-execution check).
     pub fn race_free_boundaries(&self) -> Vec<u32> {
-        let num_procs = self
-            .nodes
-            .iter()
-            .map(|id| id.proc.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_procs = self.nodes.iter().map(|id| id.proc.index() + 1).max().unwrap_or(0);
         let mut boundaries: Vec<u32> = (0..num_procs)
-            .map(|pi| {
-                self.nodes.iter().filter(|id| id.proc.index() == pi).count() as u32
-            })
+            .map(|pi| self.nodes.iter().filter(|id| id.proc.index() == pi).count() as u32)
             .collect();
-        let data_races: Vec<usize> = (0..self.races.len())
-            .filter(|&i| self.races[i].is_data_race())
-            .collect();
+        let data_races: Vec<usize> =
+            (0..self.races.len()).filter(|&i| self.races[i].is_data_race()).collect();
         for &ri in &data_races {
             for id in &self.nodes {
                 if self.affects_op(ri, *id) {
@@ -261,9 +253,8 @@ impl OpAnalysis {
     /// "first data races" Condition 3.4(2) guarantees occur in a
     /// sequentially consistent prefix.
     pub fn unaffected_data_races(&self) -> Vec<usize> {
-        let data: Vec<usize> = (0..self.races.len())
-            .filter(|&i| self.races[i].is_data_race())
-            .collect();
+        let data: Vec<usize> =
+            (0..self.races.len()).filter(|&i| self.races[i].is_data_race()).collect();
         data.iter()
             .copied()
             .filter(|&j| data.iter().all(|&i| i == j || !self.affects_race(i, j)))

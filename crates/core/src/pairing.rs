@@ -58,10 +58,7 @@ pub struct So1Edge {
 /// Returns [`AnalysisError::DanglingRelease`] if a synchronization read
 /// claims to have observed a write that is not a recorded synchronization
 /// write — a corrupt trace.
-pub fn so1_edges(
-    trace: &TraceSet,
-    policy: PairingPolicy,
-) -> Result<Vec<So1Edge>, AnalysisError> {
+pub fn so1_edges(trace: &TraceSet, policy: PairingPolicy) -> Result<Vec<So1Edge>, AnalysisError> {
     // Index sync writes by operation id.
     let mut sync_writes: HashMap<OpId, (EventId, SyncRole, Location)> = HashMap::new();
     for event in trace.events() {
@@ -117,8 +114,7 @@ mod tests {
     fn unset_test_set_trace() -> TraceSet {
         let mut b = TraceBuilder::new(2);
         let s = l(9);
-        let rel =
-            b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        let rel = b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
         b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
         b.sync_access(p(1), s, AccessKind::Write, SyncRole::None, Value::new(1), None);
         b.finish()
@@ -182,8 +178,7 @@ mod tests {
         // Two readers both acquire the same release: two edges.
         let mut b = TraceBuilder::new(3);
         let s = l(9);
-        let rel =
-            b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        let rel = b.sync_access(p(0), s, AccessKind::Write, SyncRole::Release, Value::ZERO, None);
         b.sync_access(p(1), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
         b.sync_access(p(2), s, AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
         let t = b.finish();

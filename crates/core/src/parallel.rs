@@ -13,11 +13,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use wmrd_trace::{EventId, Location, TraceSet};
+use wmrd_trace::{EventId, Location, Metrics, TraceSet};
 
-use crate::{
-    AnalysisError, AnalysisOptions, DataRace, HbGraph, PostMortem, RaceKind, RaceReport,
-};
+use crate::{AnalysisError, AnalysisOptions, DataRace, HbGraph, PostMortem, RaceKind, RaceReport};
 
 /// Parallel variant of [`detect_races`](crate::detect_races): candidate
 /// generation is split into `threads` location shards; results are
@@ -25,10 +23,34 @@ use crate::{
 /// detector.
 ///
 /// `threads == 0` is treated as 1.
-pub fn detect_races_parallel(
+pub fn detect_races_parallel(trace: &TraceSet, hb: &HbGraph, threads: usize) -> Vec<DataRace> {
+    detect_races_parallel_metered(trace, hb, threads, &Metrics::disabled())
+}
+
+/// [`detect_races_parallel`] with observability: shard shape and
+/// utilization are recorded into `metrics` under `parallel.*` keys.
+///
+/// Gauges — all deterministic for a fixed trace (locations are sorted
+/// before sharding, so shard assignment does not depend on hash order):
+///
+/// * `parallel.threads`, `parallel.shards`, `parallel.locations` — the
+///   shape of the fan-out.
+/// * `parallel.shard.N.pairs` — distinct candidate pairs examined by
+///   shard `N` (per-shard utilization; shards may re-examine a pair
+///   that conflicts on locations in another shard, so the sum can
+///   exceed the global count).
+/// * `parallel.candidate_pairs`, `parallel.races` — globally deduped
+///   counts; equal to the sequential detector's
+///   [`DetectStats`](crate::DetectStats) for every thread count
+///   (asserted by tests).
+///
+/// Phase timers `parallel.shard.N` record per-shard wall time (not
+/// deterministic).
+pub fn detect_races_parallel_metered(
     trace: &TraceSet,
     hb: &HbGraph,
     threads: usize,
+    metrics: &Metrics,
 ) -> Vec<DataRace> {
     let threads = threads.max(1);
     // Per-location access lists (sequential; cheap relative to the pair
@@ -48,54 +70,73 @@ pub fn detect_races_parallel(
             }
         }
     }
-    let locations: Vec<Location> = writers.keys().copied().collect();
+    // Sorted so shard assignment (and therefore the per-shard gauges)
+    // is deterministic rather than an artifact of HashMap iteration.
+    let mut locations: Vec<Location> = writers.keys().copied().collect();
+    locations.sort_unstable();
     let shards: Vec<&[Location]> = if locations.is_empty() {
         Vec::new()
     } else {
         locations.chunks(locations.len().div_ceil(threads)).collect()
     };
+    metrics.set_gauge("parallel.threads", threads as u64);
+    metrics.set_gauge("parallel.shards", shards.len() as u64);
+    metrics.set_gauge("parallel.locations", locations.len() as u64);
 
-    // Each shard emits candidate unordered conflicting *pairs*; the
-    // merge step dedups pairs that conflict on locations in different
-    // shards.
-    let mut pairs: HashSet<(EventId, EventId)> = HashSet::new();
+    // Each shard emits the distinct conflicting pairs it *examined* and
+    // the subset it confirmed racy; the merge step dedups pairs that
+    // conflict on locations in different shards, so the global counts
+    // match the sequential detector exactly.
+    let mut examined: HashSet<(EventId, EventId)> = HashSet::new();
+    let mut racy: HashSet<(EventId, EventId)> = HashSet::new();
     crossbeam::scope(|scope| {
         let mut handles = Vec::new();
-        for shard in shards {
+        for (shard_index, shard) in shards.into_iter().enumerate() {
             let writers = &writers;
             let accessors = &accessors;
             handles.push(scope.spawn(move |_| {
-                let mut local: HashSet<(EventId, EventId)> = HashSet::new();
-                for loc in shard {
-                    let (Some(ws), Some(accs)) = (writers.get(loc), accessors.get(loc))
-                    else {
-                        continue;
-                    };
-                    for &w in ws {
-                        for &x in accs {
-                            if w == x || w.proc == x.proc {
-                                continue;
-                            }
-                            let (a, b) = if w < x { (w, x) } else { (x, w) };
-                            if local.contains(&(a, b)) {
-                                continue;
-                            }
-                            if hb.concurrent(a, b) {
-                                local.insert((a, b));
+                metrics.time(&format!("parallel.shard.{shard_index}"), || {
+                    let mut local_examined: HashSet<(EventId, EventId)> = HashSet::new();
+                    let mut local_racy: HashSet<(EventId, EventId)> = HashSet::new();
+                    for loc in shard {
+                        let (Some(ws), Some(accs)) = (writers.get(loc), accessors.get(loc)) else {
+                            continue;
+                        };
+                        for &w in ws {
+                            for &x in accs {
+                                if w == x || w.proc == x.proc {
+                                    continue;
+                                }
+                                let (a, b) = if w < x { (w, x) } else { (x, w) };
+                                if !local_examined.insert((a, b)) {
+                                    continue;
+                                }
+                                if hb.concurrent(a, b) {
+                                    local_racy.insert((a, b));
+                                }
                             }
                         }
                     }
-                }
-                local
+                    (shard_index, local_examined, local_racy)
+                })
             }));
         }
         for handle in handles {
-            pairs.extend(handle.join().expect("detector shard panicked"));
+            let (shard_index, local_examined, local_racy) =
+                handle.join().expect("detector shard panicked");
+            metrics.set_gauge(
+                &format!("parallel.shard.{shard_index}.pairs"),
+                local_examined.len() as u64,
+            );
+            examined.extend(local_examined);
+            racy.extend(local_racy);
         }
     })
     .expect("crossbeam scope");
+    metrics.set_gauge("parallel.candidate_pairs", examined.len() as u64);
+    metrics.set_gauge("parallel.races", racy.len() as u64);
 
-    let mut races: Vec<DataRace> = pairs
+    let mut races: Vec<DataRace> = racy
         .into_iter()
         .filter_map(|(a, b)| {
             let (ea, eb) = (trace.event(a)?, trace.event(b)?);
@@ -119,30 +160,66 @@ pub fn analyze_batch(
     options: AnalysisOptions,
     threads: usize,
 ) -> Vec<Result<RaceReport, AnalysisError>> {
+    analyze_batch_metered(traces, options, threads, &Metrics::disabled())
+}
+
+/// [`analyze_batch`] with observability, recorded under `batch.*` keys:
+///
+/// * gauges `batch.traces`, `batch.threads`, `batch.shards` — fan-out
+///   shape; `batch.shard.N.traces` — per-shard utilization. All
+///   deterministic (traces are sharded by input order).
+/// * counters `batch.reports_ok` / `batch.reports_err` — how many
+///   analyses succeeded / failed. Deterministic.
+/// * phase timers `batch.shard.N` — per-shard wall time (not
+///   deterministic).
+///
+/// The per-analysis `analysis.*` keys are intentionally **not**
+/// recorded here: shards run concurrently and last-write-wins gauges
+/// from racing traces would not be deterministic. Meter a single
+/// [`PostMortem`] for per-trace detail.
+pub fn analyze_batch_metered(
+    traces: &[TraceSet],
+    options: AnalysisOptions,
+    threads: usize,
+    metrics: &Metrics,
+) -> Vec<Result<RaceReport, AnalysisError>> {
     let threads = threads.max(1);
     let mut results: Vec<Option<Result<RaceReport, AnalysisError>>> =
         (0..traces.len()).map(|_| None).collect();
     let chunk = traces.len().div_ceil(threads).max(1);
+    metrics.set_gauge("batch.traces", traces.len() as u64);
+    metrics.set_gauge("batch.threads", threads as u64);
+    metrics.set_gauge("batch.shards", traces.chunks(chunk).len() as u64);
     crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for (shard_index, shard) in traces.chunks(chunk).enumerate() {
             handles.push(scope.spawn(move |_| {
-                let reports: Vec<Result<RaceReport, AnalysisError>> = shard
-                    .iter()
-                    .map(|t| PostMortem::new(t).options(options).analyze())
-                    .collect();
-                (shard_index, reports)
+                metrics.time(&format!("batch.shard.{shard_index}"), || {
+                    let reports: Vec<Result<RaceReport, AnalysisError>> = shard
+                        .iter()
+                        .map(|t| PostMortem::new(t).options(options).analyze())
+                        .collect();
+                    (shard_index, reports)
+                })
             }));
         }
         for handle in handles {
             let (shard_index, reports) = handle.join().expect("analysis shard panicked");
+            metrics.set_gauge(&format!("batch.shard.{shard_index}.traces"), reports.len() as u64);
             for (offset, report) in reports.into_iter().enumerate() {
                 results[shard_index * chunk + offset] = Some(report);
             }
         }
     })
     .expect("crossbeam scope");
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    let results: Vec<Result<RaceReport, AnalysisError>> =
+        results.into_iter().map(|r| r.expect("every slot filled")).collect();
+    if metrics.is_enabled() {
+        let ok = results.iter().filter(|r| r.is_ok()).count() as u64;
+        metrics.add("batch.reports_ok", ok);
+        metrics.add("batch.reports_err", results.len() as u64 - ok);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -211,16 +288,12 @@ mod tests {
     fn parallel_zero_threads_treated_as_one() {
         let trace = busy_trace(2, 4);
         let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
-        assert_eq!(
-            detect_races_parallel(&trace, &hb, 0),
-            detect_races(&trace, &hb)
-        );
+        assert_eq!(detect_races_parallel(&trace, &hb, 0), detect_races(&trace, &hb));
     }
 
     #[test]
     fn batch_matches_individual_analysis() {
-        let traces: Vec<TraceSet> =
-            (2..6).map(|n| busy_trace(n, 8)).collect();
+        let traces: Vec<TraceSet> = (2..6).map(|n| busy_trace(n, 8)).collect();
         let batch = analyze_batch(&traces, AnalysisOptions::default(), 3);
         assert_eq!(batch.len(), traces.len());
         for (trace, result) in traces.iter().zip(&batch) {
@@ -246,8 +319,7 @@ mod tests {
             );
             b.finish()
         };
-        let results =
-            analyze_batch(&[good.clone(), bad, good], AnalysisOptions::default(), 2);
+        let results = analyze_batch(&[good.clone(), bad, good], AnalysisOptions::default(), 2);
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
         assert!(results[2].is_ok());
@@ -257,5 +329,99 @@ mod tests {
     fn batch_of_empty_input() {
         let results = analyze_batch(&[], AnalysisOptions::default(), 4);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn metered_parallel_candidate_counts_match_sequential() {
+        use crate::detect_races_with_stats;
+        use wmrd_trace::Metrics;
+        let trace = busy_trace(4, 12);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        let (sequential, stats) = detect_races_with_stats(&trace, &hb);
+        for threads in [1, 2, 3, 8] {
+            let metrics = Metrics::enabled();
+            let parallel = detect_races_parallel_metered(&trace, &hb, threads, &metrics);
+            assert_eq!(parallel, sequential, "threads={threads}");
+            let snap = metrics.report();
+            assert_eq!(
+                snap.gauge("parallel.candidate_pairs"),
+                Some(stats.candidate_pairs),
+                "threads={threads}"
+            );
+            assert_eq!(snap.gauge("parallel.races"), Some(stats.races));
+            assert_eq!(snap.gauge("parallel.threads"), Some(threads as u64));
+            let shards = snap.gauge("parallel.shards").unwrap();
+            assert!(shards >= 1 && shards <= threads as u64);
+            // Per-shard utilization covers all candidates (with possible
+            // cross-shard double counting).
+            let shard_sum: u64 = (0..shards)
+                .map(|i| snap.gauge(&format!("parallel.shard.{i}.pairs")).unwrap())
+                .sum();
+            assert!(shard_sum >= stats.candidate_pairs);
+            assert!(snap.phase_ns("parallel.shard.0").is_some());
+        }
+    }
+
+    #[test]
+    fn metered_parallel_shard_gauges_are_deterministic() {
+        use wmrd_trace::Metrics;
+        let trace = busy_trace(3, 9);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        let snap = |_: u32| {
+            let m = Metrics::enabled();
+            detect_races_parallel_metered(&trace, &hb, 3, &m);
+            m.report().deterministic_view()
+        };
+        assert_eq!(snap(0), snap(1), "sorted sharding makes gauges reproducible");
+    }
+
+    #[test]
+    fn metered_batch_records_shape_and_outcomes() {
+        use wmrd_trace::{Metrics, OpId};
+        let good = busy_trace(2, 4);
+        let bad = {
+            let mut b = TraceBuilder::new(1);
+            b.sync_access(
+                p(0),
+                l(0),
+                AccessKind::Read,
+                SyncRole::Acquire,
+                Value::ZERO,
+                Some(OpId::new(p(0), 99)),
+            );
+            b.finish()
+        };
+        let metrics = Metrics::enabled();
+        let results = analyze_batch_metered(
+            &[good.clone(), bad, good],
+            AnalysisOptions::default(),
+            2,
+            &metrics,
+        );
+        assert_eq!(results.len(), 3);
+        let snap = metrics.report();
+        assert_eq!(snap.gauge("batch.traces"), Some(3));
+        assert_eq!(snap.gauge("batch.threads"), Some(2));
+        assert_eq!(snap.gauge("batch.shards"), Some(2));
+        assert_eq!(snap.gauge("batch.shard.0.traces"), Some(2));
+        assert_eq!(snap.gauge("batch.shard.1.traces"), Some(1));
+        assert_eq!(snap.counter("batch.reports_ok"), Some(2));
+        assert_eq!(snap.counter("batch.reports_err"), Some(1));
+        assert!(snap.phase_ns("batch.shard.0").is_some());
+        // Batch metering never leaks per-trace analysis gauges (they
+        // would race across shards).
+        assert_eq!(snap.gauge("analysis.races"), None);
+    }
+
+    #[test]
+    fn disabled_metrics_leave_parallel_paths_silent() {
+        use wmrd_trace::Metrics;
+        let trace = busy_trace(2, 4);
+        let hb = HbGraph::build(&trace, PairingPolicy::ByRole).unwrap();
+        let off = Metrics::disabled();
+        let races = detect_races_parallel_metered(&trace, &hb, 2, &off);
+        assert_eq!(races, detect_races(&trace, &hb));
+        analyze_batch_metered(&[trace], AnalysisOptions::default(), 2, &off);
+        assert!(off.report().is_empty());
     }
 }

@@ -83,11 +83,7 @@ impl PartitionSet {
     /// Iterates over the non-first partitions (the races a sound reporter
     /// withholds: they may be artifacts / non-SC races).
     pub fn non_first_partitions(&self) -> impl Iterator<Item = &RacePartition> {
-        self.partitions
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !self.first.contains(i))
-            .map(|(_, p)| p)
+        self.partitions.iter().enumerate().filter(|(i, _)| !self.first.contains(i)).map(|(_, p)| p)
     }
 
     /// `true` iff partition `i` is a first partition.
@@ -112,9 +108,7 @@ pub fn partition_races(aug: &AugmentedGraph<'_>, races: &[DataRace]) -> Partitio
     let mut by_comp: HashMap<u32, Vec<usize>> = HashMap::new();
     for &i in aug.data_race_indices() {
         let race = &races[i];
-        let comp = aug
-            .component_of(race.a)
-            .expect("race endpoints are events of the graph");
+        let comp = aug.component_of(race.a).expect("race endpoints are events of the graph");
         debug_assert_eq!(Some(comp), aug.component_of(race.b));
         by_comp.entry(comp).or_default().push(i);
     }
@@ -124,10 +118,8 @@ pub fn partition_races(aug: &AugmentedGraph<'_>, races: &[DataRace]) -> Partitio
     let mut partitions = Vec::with_capacity(comps.len());
     for &comp in &comps {
         let race_indices = by_comp.remove(&comp).expect("key collected above");
-        let mut events: Vec<EventId> = race_indices
-            .iter()
-            .flat_map(|&i| [races[i].a, races[i].b])
-            .collect();
+        let mut events: Vec<EventId> =
+            race_indices.iter().flat_map(|&i| [races[i].a, races[i].b]).collect();
         events.sort_unstable();
         events.dedup();
         partitions.push(RacePartition { component: comp, races: race_indices, events });
@@ -140,16 +132,12 @@ pub fn partition_races(aug: &AugmentedGraph<'_>, races: &[DataRace]) -> Partitio
     let mut order = vec![Vec::new(); n];
     for i in 0..n {
         for j in 0..n {
-            if i != j
-                && aug.reach().comp_query(partitions[i].component, partitions[j].component)
-            {
+            if i != j && aug.reach().comp_query(partitions[i].component, partitions[j].component) {
                 order[i].push(j);
             }
         }
     }
-    let first = (0..n)
-        .filter(|&j| (0..n).all(|i| i == j || !order[i].contains(&j)))
-        .collect();
+    let first = (0..n).filter(|&j| (0..n).all(|i| i == j || !order[i].contains(&j))).collect();
     PartitionSet { partitions, order, first }
 }
 
@@ -177,7 +165,7 @@ mod tests {
     use super::*;
     use crate::{detect_races, HbGraph, PairingPolicy};
     use wmrd_trace::{
-        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSink, TraceSet, Value,
+        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSet, TraceSink, Value,
     };
 
     fn p(i: u16) -> ProcId {

@@ -78,12 +78,35 @@ impl fmt::Display for DataRace {
     }
 }
 
+/// Counters from one invocation of the race detector: how much
+/// candidate-generation work was performed versus how many races
+/// survived the happens-before check.
+///
+/// Deterministic for a fixed trace: candidates are counted after
+/// deduplication, so the sequential and the sharded parallel detectors
+/// report identical numbers (asserted by tests in
+/// [`parallel`](crate::detect_races_parallel)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Distinct conflicting cross-processor event pairs examined.
+    pub candidate_pairs: u64,
+    /// Candidates confirmed hb1-concurrent — the reported races.
+    pub races: u64,
+}
+
 /// Finds every race of the execution: conflicting event pairs not
 /// ordered by hb1.
 ///
 /// Candidate generation is per-location (writer × accessor), so cost
 /// scales with actual sharing rather than all event pairs.
 pub fn detect_races(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
+    detect_races_with_stats(trace, hb).0
+}
+
+/// Like [`detect_races`], additionally returning [`DetectStats`] —
+/// the candidate-versus-confirmed counts the observability layer
+/// records as `analysis.candidate_pairs` / `analysis.races`.
+pub fn detect_races_with_stats(trace: &TraceSet, hb: &HbGraph) -> (Vec<DataRace>, DetectStats) {
     // Per-location access lists.
     let mut writers: HashMap<Location, Vec<EventId>> = HashMap::new();
     let mut accessors: HashMap<Location, Vec<EventId>> = HashMap::new();
@@ -102,6 +125,7 @@ pub fn detect_races(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
     }
 
     let mut seen: HashSet<(EventId, EventId)> = HashSet::new();
+    let mut stats = DetectStats::default();
     let mut races = Vec::new();
     for (loc, ws) in &writers {
         let Some(accs) = accessors.get(loc) else { continue };
@@ -114,6 +138,7 @@ pub fn detect_races(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
                 if !seen.insert((a, b)) {
                     continue;
                 }
+                stats.candidate_pairs += 1;
                 if !hb.concurrent(a, b) {
                     continue;
                 }
@@ -133,7 +158,8 @@ pub fn detect_races(trace: &TraceSet, hb: &HbGraph) -> Vec<DataRace> {
         }
     }
     races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
-    races
+    stats.races = races.len() as u64;
+    (races, stats)
 }
 
 #[cfg(test)]
@@ -297,6 +323,43 @@ mod tests {
         let races = analyze(&b.finish());
         assert_eq!(races[0].to_string(), "<P0.e0, P1.e0> on {3} (data-data)");
         assert_eq!(RaceKind::SyncSync.to_string(), "sync-sync");
+    }
+
+    #[test]
+    fn stats_count_candidates_and_races() {
+        // Three writers to one location race pairwise; a second location
+        // is written by one processor and read (already-ordered) by the
+        // same processor, contributing no candidates.
+        let mut b = TraceBuilder::new(3);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(1), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(2), l(0), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(7), AccessKind::Write, Value::new(1), None);
+        b.data_access(p(0), l(7), AccessKind::Read, Value::new(1), None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let (races, stats) = detect_races_with_stats(&t, &hb);
+        assert_eq!(stats.candidate_pairs, 3, "C(3,2) distinct cross-proc pairs");
+        assert_eq!(stats.races, 3);
+        assert_eq!(stats.races, races.len() as u64);
+    }
+
+    #[test]
+    fn stats_candidates_can_exceed_races() {
+        // Release/acquire orders the conflicting pair: it is examined
+        // (one candidate) but confirmed ordered (zero races).
+        let mut b = TraceBuilder::new(2);
+        b.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        let rel =
+            b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        b.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        b.data_access(p(1), l(0), AccessKind::Read, Value::new(1), None);
+        let t = b.finish();
+        let hb = HbGraph::build(&t, PairingPolicy::ByRole).unwrap();
+        let (races, stats) = detect_races_with_stats(&t, &hb);
+        assert!(races.is_empty());
+        assert!(stats.candidate_pairs >= 1);
+        assert_eq!(stats.races, 0);
     }
 
     #[test]

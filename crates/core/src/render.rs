@@ -46,11 +46,7 @@ pub fn to_dot(trace: &TraceSet, report: &RaceReport) -> Result<String, AnalysisE
         let _ = writeln!(out, "    label=\"{}\";", proc_trace.proc);
         for event in proc_trace.events() {
             let outside_scp = !report.scp.contains(event.id);
-            let style = if outside_scp {
-                ", style=filled, fillcolor=lightgrey"
-            } else {
-                ""
-            };
+            let style = if outside_scp { ", style=filled, fillcolor=lightgrey" } else { "" };
             let _ = writeln!(
                 out,
                 "    {} [label=\"{}\"{}];",
@@ -110,11 +106,8 @@ pub fn to_timeline(trace: &TraceSet, report: &RaceReport) -> String {
             for (pi, part) in report.partitions.partitions().iter().enumerate() {
                 for &ri in &part.races {
                     if report.races[ri].involves(event.id) {
-                        let tag = if report.partitions.is_first(pi) {
-                            "FIRST-RACE"
-                        } else {
-                            "race"
-                        };
+                        let tag =
+                            if report.partitions.is_first(pi) { "FIRST-RACE" } else { "race" };
                         let _ = write!(markers, "  <{tag} #{ri}>");
                     }
                 }
@@ -171,7 +164,8 @@ mod tests {
     #[test]
     fn dot_renders_so1_edges() {
         let mut b = TraceBuilder::new(2);
-        let rel = b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        let rel =
+            b.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
         b.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
         let t = b.finish();
         let report = PostMortem::new(&t).analyze().unwrap();

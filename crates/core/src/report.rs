@@ -97,7 +97,11 @@ impl fmt::Display for RaceReport {
         if let Some(model) = &self.meta.model {
             writeln!(f, "model:   {model}")?;
         }
-        writeln!(f, "events:  {}   so1 edges: {}   pairing: {}", self.num_events, self.num_so1_edges, self.pairing)?;
+        writeln!(
+            f,
+            "events:  {}   so1 edges: {}   pairing: {}",
+            self.num_events, self.num_so1_edges, self.pairing
+        )?;
         writeln!(f, "verdict: {}", self.verdict())?;
         if !self.is_race_free() {
             for (i, part) in self.partitions.partitions().iter().enumerate() {

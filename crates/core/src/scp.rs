@@ -35,9 +35,7 @@ impl ScpEstimate {
     ///
     /// Events of unknown processors are reported as outside.
     pub fn contains(&self, event: EventId) -> bool {
-        self.boundaries
-            .get(event.proc.index())
-            .is_some_and(|&b| event.index < b)
+        self.boundaries.get(event.proc.index()).is_some_and(|&b| event.index < b)
     }
 
     /// The per-processor boundary: index of the first event outside the
@@ -86,18 +84,11 @@ impl fmt::Display for ScpEstimate {
 /// non-first partitions are tainted because another race's component
 /// precedes theirs). Taint is suffix-closed per processor (po edges are
 /// in G′), so the estimate is prefix-closed as Definition 3.1 requires.
-pub fn estimate_scp(
-    trace: &TraceSet,
-    aug: &AugmentedGraph<'_>,
-    races: &[DataRace],
-) -> ScpEstimate {
+pub fn estimate_scp(trace: &TraceSet, aug: &AugmentedGraph<'_>, races: &[DataRace]) -> ScpEstimate {
     let scc = aug.reach().scc();
     // Components containing at least one data-race endpoint.
-    let mut race_comps: Vec<u32> = aug
-        .data_race_indices()
-        .iter()
-        .filter_map(|&i| aug.component_of(races[i].a))
-        .collect();
+    let mut race_comps: Vec<u32> =
+        aug.data_race_indices().iter().filter_map(|&i| aug.component_of(races[i].a)).collect();
     race_comps.sort_unstable();
     race_comps.dedup();
 
@@ -107,14 +98,10 @@ pub fn estimate_scp(
         let events = proc_trace.events();
         let mut boundary = events.len() as u32;
         for (idx, event) in events.iter().enumerate() {
-            let node = aug
-                .hb()
-                .node_of(event.id)
-                .expect("trace events are graph nodes");
+            let node = aug.hb().node_of(event.id).expect("trace events are graph nodes");
             let comp = scc.component_of(node);
-            let tainted = race_comps
-                .iter()
-                .any(|&rc| rc != comp && aug.reach().comp_query(rc, comp));
+            let tainted =
+                race_comps.iter().any(|&rc| rc != comp && aug.reach().comp_query(rc, comp));
             if tainted {
                 boundary = idx as u32;
                 break;
@@ -131,7 +118,7 @@ mod tests {
     use super::*;
     use crate::{detect_races, HbGraph, PairingPolicy};
     use wmrd_trace::{
-        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSink, TraceSet, Value,
+        AccessKind, Location, ProcId, SyncRole, TraceBuilder, TraceSet, TraceSink, Value,
     };
 
     fn p(i: u16) -> ProcId {

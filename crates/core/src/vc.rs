@@ -70,10 +70,7 @@ impl VectorClock {
     /// `true` iff `self` ≤ `other` pointwise (self happened-before or
     /// equals other).
     pub fn le(&self, other: &VectorClock) -> bool {
-        self.clocks
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v <= other.clocks.get(i).copied().unwrap_or(0))
+        self.clocks.iter().enumerate().all(|(i, &v)| v <= other.clocks.get(i).copied().unwrap_or(0))
     }
 
     /// Approximate heap footprint in bytes (for the on-the-fly memory

@@ -280,12 +280,7 @@ mod tests {
     #[test]
     fn resolves_forward_and_backward_labels() {
         let mut p = ProcBuilder::new();
-        p.label("top")
-            .ld(Reg::new(0), l(0))
-            .bz(Reg::new(0), "end")
-            .jmp("top")
-            .label("end")
-            .halt();
+        p.label("top").ld(Reg::new(0), l(0)).bz(Reg::new(0), "end").jmp("top").label("end").halt();
         let code = p.assemble().unwrap();
         assert_eq!(code[1], Instr::Bz { cond: Reg::new(0), target: 3 });
         assert_eq!(code[2], Instr::Jmp { target: 0 });

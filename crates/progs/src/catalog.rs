@@ -129,11 +129,7 @@ fn work_queue_program(name: &'static str, with_test_set: bool) -> Program {
     if with_test_set {
         p1.lock(r(0), lay.lock);
     }
-    p1.li(r(1), lay.fresh_addr)
-        .st(r(1), lay.q)
-        .st(0, lay.q_empty)
-        .unset(lay.lock)
-        .halt();
+    p1.li(r(1), lay.fresh_addr).st(r(1), lay.q).st(0, lay.q_empty).unset(lay.lock).halt();
 
     // P2: [Test&Set(S)]; if QEmpty = False then addr := Dequeue();
     // Unset(S); work on region addr..addr+chunk.
@@ -141,10 +137,7 @@ fn work_queue_program(name: &'static str, with_test_set: bool) -> Program {
     if with_test_set {
         p2.lock(r(0), lay.lock);
     }
-    p2.ld(r(1), lay.q_empty)
-        .bnz(r(1), "empty")
-        .ld(r(2), lay.q)
-        .unset(lay.lock);
+    p2.ld(r(1), lay.q_empty).bnz(r(1), "empty").ld(r(2), lay.q).unset(lay.lock);
     for i in 0..lay.p2_chunk {
         p2.st_ind(1, r(2), i64::from(i));
     }
@@ -165,9 +158,7 @@ fn work_queue_program(name: &'static str, with_test_set: bool) -> Program {
         p3.st(7, Location::new((base + i) as u32));
     }
     p3.unset(lay.lock);
-    p3.ld(r(3), Location::new((base + 6) as u32))
-        .st(8, Location::new((base + 7) as u32))
-        .halt();
+    p3.ld(r(3), Location::new((base + 6) as u32)).st(8, Location::new((base + 7) as u32)).halt();
 
     program.push_proc(p1.assemble().expect("static program assembles"));
     program.push_proc(p2.assemble().expect("static program assembles"));
@@ -330,12 +321,7 @@ pub fn counter_layout() -> CounterLayout {
     CounterLayout { lock: Location::new(0), counter: Location::new(1) }
 }
 
-fn counter_program(
-    name: &'static str,
-    procs: usize,
-    increments: usize,
-    locked: bool,
-) -> Program {
+fn counter_program(name: &'static str, procs: usize, increments: usize, locked: bool) -> Program {
     let lay = counter_layout();
     let mut program = Program::new(name, 2);
     for _ in 0..procs {
@@ -406,8 +392,7 @@ pub fn barrier_layout() -> BarrierLayout {
 /// cross-processor slot access is separated by the barrier.
 pub fn barrier(procs: usize) -> CatalogEntry {
     let lay = barrier_layout();
-    let mut program =
-        Program::new("barrier", lay.slots_base + procs as u32);
+    let mut program = Program::new("barrier", lay.slots_base + procs as u32);
     for i in 0..procs {
         let my_slot = Location::new(lay.slots_base + i as u32);
         let neighbour = Location::new(lay.slots_base + ((i + 1) % procs) as u32);
@@ -631,11 +616,7 @@ fn dcl_program(name: &'static str, synchronized: bool) -> Program {
         } else {
             p.st(1, lay.init_flag);
         }
-        p.label("unlock")
-            .unset(lay.lock)
-            .label("use")
-            .ld(r(2), lay.payload)
-            .halt();
+        p.label("unlock").unset(lay.lock).label("use").ld(r(2), lay.payload).halt();
         program.push_proc(p.assemble().expect("static program assembles"));
     }
     program
@@ -750,7 +731,12 @@ pub fn work_queue_weak_script() -> Vec<wmrd_sim::WeakAction> {
     let p3 = ProcId::new(2);
     vec![
         // P3 does its independent region work first (as in Figure 2b).
-        Step(p3), Step(p3), Step(p3), Step(p3), Step(p3), Step(p3), // six region writes (buffered)
+        Step(p3),
+        Step(p3),
+        Step(p3),
+        Step(p3),
+        Step(p3),
+        Step(p3), // six region writes (buffered)
         // P1: compute addr, enqueue, clear the flag — both writes buffered.
         Step(p1), // li addr
         Step(p1), // st Q (buffered)
@@ -763,9 +749,12 @@ pub fn work_queue_weak_script() -> Vec<wmrd_sim::WeakAction> {
         Step(p2), // bnz (not taken)
         Step(p2), // ld Q -> stale address
         Step(p2), // unset S (flush: buffer empty)
-        Step(p2), Step(p2), Step(p2), Step(p2), // work on the stale region
-        // The rest (P1's Unset flushes Q; P3's Unset + second phase)
-        // completes via the script fallback.
+        Step(p2),
+        Step(p2),
+        Step(p2),
+        Step(p2), // work on the stale region
+                  // The rest (P1's Unset flushes Q; P3's Unset + second phase)
+                  // completes via the script fallback.
     ]
 }
 
@@ -796,7 +785,9 @@ pub fn all() -> Vec<CatalogEntry> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wmrd_sim::{run_sc, run_weak, Fidelity, MemoryModel, RoundRobin, RunConfig, WeakRoundRobin};
+    use wmrd_sim::{
+        run_sc, run_weak, Fidelity, MemoryModel, RoundRobin, RunConfig, WeakRoundRobin,
+    };
     use wmrd_trace::{NullSink, TraceBuilder};
 
     #[test]
@@ -812,13 +803,9 @@ mod tests {
     fn all_programs_run_to_completion_on_sc() {
         for entry in all() {
             let mut sink = TraceBuilder::new(entry.program.num_procs());
-            let out = run_sc(
-                &entry.program,
-                &mut RoundRobin::new(),
-                &mut sink,
-                RunConfig::uniform(),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let out =
+                run_sc(&entry.program, &mut RoundRobin::new(), &mut sink, RunConfig::uniform())
+                    .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
             assert!(out.halted, "{} did not halt", entry.name);
             assert!(sink.finish().validate().is_ok());
         }
@@ -955,9 +942,7 @@ mod tests {
     fn mutex_sync_variant_has_sync_flags() {
         let sync_prog = mutex_attempt_sync().program;
         let racy_prog = mutex_attempt_racy().program;
-        let sync_count = |p: &Program| {
-            p.procs().iter().flatten().filter(|i| i.is_sync()).count()
-        };
+        let sync_count = |p: &Program| p.procs().iter().flatten().filter(|i| i.is_sync()).count();
         assert_eq!(sync_count(&sync_prog), 4, "two sync flag ops per processor");
         assert_eq!(sync_count(&racy_prog), 0);
     }
@@ -994,8 +979,7 @@ mod tests {
                 wmrd_trace::NullSink::new(),
             );
             let mut sched = wmrd_sim::RandomSched::new(seed);
-            let out = run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform())
-                .unwrap();
+            let out = run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform()).unwrap();
             assert_eq!(
                 out.final_memory[lay.counter.index()],
                 wmrd_trace::Value::new(2),
@@ -1015,8 +999,7 @@ mod tests {
         for seed in 0..8 {
             let mut sink = wmrd_trace::TraceBuilder::new(3);
             let mut sched = wmrd_sim::RandomSched::new(seed);
-            let out =
-                run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform()).unwrap();
+            let out = run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform()).unwrap();
             assert_eq!(out.final_memory[lay.counter.index()], wmrd_trace::Value::new(6));
             assert_eq!(out.final_memory[lay.next_ticket.index()], wmrd_trace::Value::new(6));
             assert_eq!(out.final_memory[lay.now_serving.index()], wmrd_trace::Value::new(6));
@@ -1033,8 +1016,7 @@ mod tests {
         for seed in 0..10 {
             let mut sink = wmrd_trace::TraceBuilder::new(2);
             let mut sched = wmrd_sim::RandomSched::new(seed);
-            let out =
-                run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform()).unwrap();
+            let out = run_sc(&entry.program, &mut sched, &mut sink, RunConfig::uniform()).unwrap();
             assert_eq!(out.final_memory[lay.payload.index()], wmrd_trace::Value::new(42));
             assert_eq!(out.final_memory[lay.init_flag.index()], wmrd_trace::Value::new(1));
             let report = PostMortem::new(&sink.finish()).analyze().unwrap();

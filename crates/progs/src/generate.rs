@@ -130,8 +130,7 @@ pub fn phased(cfg: &GenConfig, rounds: usize) -> Program {
     // Layout: locations 1..=shared_locations are shared data; after them,
     // one private sync location per processor.
     let sync_base = 1 + cfg.shared_locations;
-    let mut program =
-        Program::new("gen-phased", sync_base + cfg.procs as u32);
+    let mut program = Program::new("gen-phased", sync_base + cfg.procs as u32);
     for proc in 0..cfg.procs {
         let mut p = ProcBuilder::new();
         let my_sync = Location::new(sync_base + proc as u32);
@@ -202,8 +201,7 @@ pub fn overlap(cfg: &GenConfig) -> Program {
     // Layout: lock at 0, shared word at 1, private slices after.
     let shared = Location::new(1);
     let private_base = 2;
-    let mut program =
-        Program::new("gen-overlap", private_base + per_proc * cfg.procs as u32);
+    let mut program = Program::new("gen-overlap", private_base + per_proc * cfg.procs as u32);
     for proc in 0..cfg.procs {
         let base = private_base + per_proc * proc as u32;
         let mut p = ProcBuilder::new();
@@ -271,10 +269,7 @@ mod tests {
     fn racy_programs_mostly_race() {
         let mut raced = 0;
         for seed in 0..10 {
-            let cfg = GenConfig {
-                rogue_fraction: 0.8,
-                ..GenConfig::default().with_seed(seed)
-            };
+            let cfg = GenConfig { rogue_fraction: 0.8, ..GenConfig::default().with_seed(seed) };
             let trace = trace_of(&racy(&cfg), seed);
             if !PostMortem::new(&trace).analyze().unwrap().is_race_free() {
                 raced += 1;
@@ -292,11 +287,7 @@ mod tests {
 
     #[test]
     fn phased_programs_produce_partition_chains() {
-        let cfg = GenConfig {
-            procs: 2,
-            shared_locations: 8,
-            ..GenConfig::default().with_seed(3)
-        };
+        let cfg = GenConfig { procs: 2, shared_locations: 8, ..GenConfig::default().with_seed(3) };
         let rounds = 4;
         let program = phased(&cfg, rounds);
         let trace = trace_of(&program, 0);
@@ -339,9 +330,7 @@ mod tests {
     #[test]
     fn generated_programs_validate_and_halt() {
         let cfg = GenConfig { procs: 4, sections_per_proc: 5, ..GenConfig::default() };
-        for program in
-            [locked(&cfg), racy(&cfg), phased(&cfg, 5), sectioned(&cfg), overlap(&cfg)]
-        {
+        for program in [locked(&cfg), racy(&cfg), phased(&cfg, 5), sectioned(&cfg), overlap(&cfg)] {
             program.validate().unwrap();
             let _ = trace_of(&program, 7);
         }
@@ -354,11 +343,7 @@ mod tests {
             for program in [sectioned(&cfg), overlap(&cfg)] {
                 let trace = trace_of(&program, seed);
                 let report = PostMortem::new(&trace).analyze().unwrap();
-                assert!(
-                    report.is_race_free(),
-                    "{} seed {seed} raced:\n{report}",
-                    program.name()
-                );
+                assert!(report.is_race_free(), "{} seed {seed} raced:\n{report}", program.name());
             }
         }
     }

@@ -265,10 +265,7 @@ mod tests {
     fn resolve_addresses() {
         let mut c = core();
         c.set_reg(Reg::new(1), 10);
-        assert_eq!(
-            c.resolve_addr(Addr::Abs(Location::new(3)), 8).unwrap(),
-            Location::new(3)
-        );
+        assert_eq!(c.resolve_addr(Addr::Abs(Location::new(3)), 8).unwrap(), Location::new(3));
         assert!(matches!(
             c.resolve_addr(Addr::Abs(Location::new(9)), 8),
             Err(SimError::BadLocation(_))

@@ -39,7 +39,7 @@ use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceSink, Value}
 use crate::cpu::LocalOutcome;
 use crate::machine::MemCell;
 use crate::{
-    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, StepEvent, Timing,
+    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, SimStats, StepEvent, Timing,
 };
 
 /// A pending invalidation: the named location's cached copy (if any) is
@@ -65,6 +65,7 @@ pub struct InvalMachine {
     cycles: Vec<u64>,
     timing: Timing,
     steps: u64,
+    stats: SimStats,
 }
 
 impl InvalMachine {
@@ -95,6 +96,7 @@ impl InvalMachine {
             cycles: vec![0; n],
             timing,
             steps: 0,
+            stats: SimStats::default(),
         })
     }
 
@@ -121,6 +123,12 @@ impl InvalMachine {
     /// Number of steps executed.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Deterministic execution statistics accumulated so far (not part of
+    /// the architectural state: fingerprints ignore it).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// Shared-memory values (writes complete immediately, so this is
@@ -162,26 +170,28 @@ impl InvalMachine {
     ///
     /// Returns [`SimError::UnknownProcessor`] / [`SimError::BadDrain`].
     pub fn apply_one(&mut self, proc: ProcId, index: usize) -> Result<PendingInval, SimError> {
-        let queue =
-            self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let queue = self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
         if index >= queue.len() {
             return Err(SimError::BadDrain { proc, index, len: queue.len() });
         }
         let entry = queue.remove(index);
         self.caches[proc.index()].remove(&entry.loc);
+        self.stats.background_drains += 1;
         Ok(entry)
     }
 
     /// Applies every pending invalidation of `proc`, charging
     /// `drain_per_entry` cycles per entry (the stall at a flush point).
     pub fn flush(&mut self, proc: ProcId) -> Result<usize, SimError> {
-        let queue =
-            self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let queue = self.queues.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
         let n = queue.len();
         for entry in queue.drain(..) {
             self.caches[proc.index()].remove(&entry.loc);
         }
         self.cycles[proc.index()] += self.timing.drain_per_entry * n as u64;
+        self.stats.sync_flushes += 1;
+        self.stats.flushed_entries += n as u64;
+        self.stats.flush_stall_cycles += self.timing.drain_per_entry * n as u64;
         Ok(n)
     }
 
@@ -203,6 +213,7 @@ impl InvalMachine {
         for (pi, queue) in self.queues.iter_mut().enumerate() {
             if pi != writer_proc.index() {
                 queue.push(PendingInval { loc, writer });
+                self.stats.invalidations_queued += 1;
             }
         }
     }
@@ -224,8 +235,7 @@ impl InvalMachine {
         proc: ProcId,
         sink: &mut S,
     ) -> Result<StepEvent, SimError> {
-        let core =
-            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let core = self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
         if core.is_halted() {
             return Err(SimError::Halted(proc));
         }
@@ -262,6 +272,15 @@ impl InvalMachine {
                 self.cores[pi].complete_load(dst, cell.value);
                 self.cycles[pi] +=
                     if hit { self.timing.buffer_hit } else { self.timing.mem_access };
+                self.stats.data_reads += 1;
+                if hit {
+                    self.stats.cache_hits += 1;
+                    if self.queues[pi].iter().any(|q| q.loc == loc) {
+                        // Served from a copy that a queued invalidation
+                        // has already declared stale.
+                        self.stats.stale_reads += 1;
+                    }
+                }
                 StepEvent::Data
             }
             Instr::St { src, addr } => {
@@ -273,6 +292,7 @@ impl InvalMachine {
                 // Writes complete into memory but do not stall the core
                 // for remote acknowledgements.
                 self.cycles[pi] += self.timing.buffered_write;
+                self.stats.data_writes += 1;
                 StepEvent::Data
             }
             Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
@@ -292,6 +312,7 @@ impl InvalMachine {
                 sink.sync_access(proc, loc, AccessKind::Read, role, cell.value, cell.sync_writer());
                 self.cores[pi].complete_load(dst, cell.value);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
@@ -311,6 +332,7 @@ impl InvalMachine {
                 }
                 self.strong_write(proc, loc, value, id, true);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::TestSet { dst, addr } => {
@@ -331,11 +353,11 @@ impl InvalMachine {
                     old.sync_writer(),
                 );
                 let set = Value::new(1);
-                let wid =
-                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                let wid = sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
                 self.strong_write(proc, loc, set, wid, true);
                 self.cores[pi].complete_load(dst, old.value);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 2;
                 StepEvent::Sync
             }
             Instr::Unset { addr } => {
@@ -350,6 +372,7 @@ impl InvalMachine {
                 }
                 self.strong_write(proc, loc, value, id, true);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::Fence => {

@@ -356,8 +356,7 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }
-            .touches_memory());
+        assert!(Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }.touches_memory());
         assert!(!Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }.is_sync());
         assert!(Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) }.is_sync());
         assert!(Instr::Unset { addr: Addr::Abs(Location::new(0)) }.touches_memory());

@@ -84,20 +84,22 @@ mod model;
 mod program;
 mod run;
 mod sched;
+mod stats;
 mod timing;
 mod weak;
 
 pub use cpu::{CoreState, NUM_REGS};
 pub use error::SimError;
+pub use inval::{InvalMachine, PendingInval};
 pub use isa::{Addr, Instr, Operand, Reg};
 pub use machine::{MemCell, ScMachine, StepEvent};
 pub use model::{Fidelity, MemoryModel};
 pub use program::Program;
-pub use inval::{InvalMachine, PendingInval};
 pub use run::{run_inval, run_sc, run_weak, run_weak_hw, HwImpl, RunConfig, RunOutcome};
 pub use sched::{
     DrainView, FixedScript, RandomSched, RandomWeakSched, RoundRobin, Scheduler, WeakAction,
     WeakRoundRobin, WeakScheduler, WeakScript,
 };
+pub use stats::SimStats;
 pub use timing::Timing;
 pub use weak::{BufferedWrite, WeakMachine};

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use wmrd_trace::{AccessKind, OpId, ProcId, SyncRole, TraceSink, Value};
 
 use crate::cpu::LocalOutcome;
-use crate::{CoreState, Instr, Program, Reg, SimError, Timing};
+use crate::{CoreState, Instr, Program, Reg, SimError, SimStats, Timing};
 
 /// One word of simulated shared memory.
 ///
@@ -71,6 +71,7 @@ pub struct ScMachine {
     cycles: Vec<u64>,
     timing: Timing,
     steps: u64,
+    stats: SimStats,
 }
 
 impl ScMachine {
@@ -86,7 +87,7 @@ impl ScMachine {
             (0..program.num_procs()).map(|i| CoreState::new(ProcId::new(i as u16))).collect();
         let mem = program.initial_memory().into_iter().map(MemCell::initial).collect();
         let cycles = vec![0; program.num_procs()];
-        Ok(ScMachine { program, cores, mem, cycles, timing, steps: 0 })
+        Ok(ScMachine { program, cores, mem, cycles, timing, steps: 0, stats: SimStats::default() })
     }
 
     /// The program being executed.
@@ -107,6 +108,12 @@ impl ScMachine {
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Deterministic execution statistics accumulated so far (not part of
+    /// the architectural state: fingerprints ignore it).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// Current memory values.
@@ -176,8 +183,7 @@ impl ScMachine {
         proc: ProcId,
         sink: &mut S,
     ) -> Result<StepEvent, SimError> {
-        let core =
-            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let core = self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
         if core.is_halted() {
             return Err(SimError::Halted(proc));
         }
@@ -205,6 +211,7 @@ impl ScMachine {
                 sink.data_access(proc, loc, AccessKind::Read, cell.value, cell.writer);
                 self.cores[proc.index()].complete_load(dst, cell.value);
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.data_reads += 1;
                 StepEvent::Data
             }
             Instr::St { src, addr } => {
@@ -212,9 +219,9 @@ impl ScMachine {
                 let loc = core.resolve_addr(addr, num_locations)?;
                 let value = Value::new(core.operand(src));
                 let id = sink.data_access(proc, loc, AccessKind::Write, value, None);
-                self.mem[loc.index()] =
-                    MemCell { value, writer: Some(id), writer_sync: false };
+                self.mem[loc.index()] = MemCell { value, writer: Some(id), writer_sync: false };
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.data_writes += 1;
                 StepEvent::Data
             }
             Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
@@ -228,6 +235,7 @@ impl ScMachine {
                 sink.sync_access(proc, loc, AccessKind::Read, role, cell.value, cell.sync_writer());
                 self.cores[proc.index()].complete_load(dst, cell.value);
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
@@ -242,6 +250,7 @@ impl ScMachine {
                 let id = sink.sync_access(proc, loc, AccessKind::Write, role, value, None);
                 self.mem[loc.index()] = MemCell { value, writer: Some(id), writer_sync: true };
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::TestSet { dst, addr } => {
@@ -256,11 +265,12 @@ impl ScMachine {
                     old.sync_writer(),
                 );
                 let set = Value::new(1);
-                let wid =
-                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
-                self.mem[loc.index()] = MemCell { value: set, writer: Some(wid), writer_sync: true };
+                let wid = sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                self.mem[loc.index()] =
+                    MemCell { value: set, writer: Some(wid), writer_sync: true };
                 self.cores[proc.index()].complete_load(dst, old.value);
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.sync_ops += 2;
                 StepEvent::Sync
             }
             Instr::Unset { addr } => {
@@ -270,6 +280,7 @@ impl ScMachine {
                     sink.sync_access(proc, loc, AccessKind::Write, SyncRole::Release, value, None);
                 self.mem[loc.index()] = MemCell { value, writer: Some(id), writer_sync: true };
                 self.cycles[proc.index()] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::Fence => {
@@ -330,7 +341,10 @@ mod tests {
     #[test]
     fn observed_write_identity_flows_to_sink() {
         let mut prog = Program::new("t", 1);
-        prog.push_proc(vec![Instr::St { src: Operand::Imm(3), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::St { src: Operand::Imm(3), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
         prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
         let mut m = machine(prog);
         let mut rec = OpRecorder::new(2);
@@ -360,8 +374,14 @@ mod tests {
     #[test]
     fn test_set_is_atomic_and_reports_two_sync_ops() {
         let mut prog = Program::new("t", 1);
-        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
-        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
+        prog.push_proc(vec![
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
         let mut m = machine(prog);
         let mut rec = OpRecorder::new(2);
         assert_eq!(m.step(p(0), &mut rec).unwrap(), StepEvent::Sync);
@@ -381,7 +401,10 @@ mod tests {
         let mut prog = Program::new("t", 1);
         prog.set_init(l(0), Value::new(1)); // lock initially held
         prog.push_proc(vec![Instr::Unset { addr: Addr::Abs(l(0)) }, Instr::Halt]);
-        prog.push_proc(vec![Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
         let mut m = machine(prog);
         let mut rec = OpRecorder::new(2);
         m.step(p(0), &mut rec).unwrap();
@@ -397,7 +420,10 @@ mod tests {
         // A sync read that observes a *data* write must not report an
         // observed_release (releases are sync writes by definition).
         let mut prog = Program::new("t", 1);
-        prog.push_proc(vec![Instr::St { src: Operand::Imm(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::St { src: Operand::Imm(0), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
         prog.push_proc(vec![Instr::LdAcq { dst: Reg::new(0), addr: Addr::Abs(l(0)) }, Instr::Halt]);
         let mut m = machine(prog);
         let mut rec = OpRecorder::new(2);
@@ -489,7 +515,10 @@ mod tests {
     #[test]
     fn fingerprint_distinguishes_states() {
         let mut prog = Program::new("t", 1);
-        prog.push_proc(vec![Instr::St { src: Operand::Imm(1), addr: Addr::Abs(l(0)) }, Instr::Halt]);
+        prog.push_proc(vec![
+            Instr::St { src: Operand::Imm(1), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
         let m0 = machine(prog);
         let mut m1 = m0.clone();
         assert_eq!(m0.fingerprint(), m1.fingerprint());

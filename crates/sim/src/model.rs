@@ -46,13 +46,8 @@ impl MemoryModel {
         [MemoryModel::Wo, MemoryModel::RCsc, MemoryModel::Drf0, MemoryModel::Drf1];
 
     /// All models including SC.
-    pub const ALL: [MemoryModel; 5] = [
-        MemoryModel::Sc,
-        MemoryModel::Wo,
-        MemoryModel::RCsc,
-        MemoryModel::Drf0,
-        MemoryModel::Drf1,
-    ];
+    pub const ALL: [MemoryModel; 5] =
+        [MemoryModel::Sc, MemoryModel::Wo, MemoryModel::RCsc, MemoryModel::Drf0, MemoryModel::Drf1];
 
     /// `true` iff this is one of the four weak models.
     pub fn is_weak(self) -> bool {

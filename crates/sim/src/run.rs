@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use wmrd_trace::{TraceSink, Value};
 
 use crate::{
-    Fidelity, InvalMachine, MemoryModel, Program, ScMachine, Scheduler, SimError, Timing,
+    Fidelity, InvalMachine, MemoryModel, Program, ScMachine, Scheduler, SimError, SimStats, Timing,
     WeakAction, WeakMachine, WeakScheduler,
 };
 
@@ -73,6 +73,10 @@ pub struct RunOutcome {
     pub cycles: Vec<u64>,
     /// Final shared-memory contents.
     pub final_memory: Vec<Value>,
+    /// Deterministic memory-system counters accumulated by the machine
+    /// (see [`SimStats`]); fixed program + scheduler seed ⇒ identical
+    /// statistics.
+    pub stats: SimStats,
 }
 
 impl RunOutcome {
@@ -115,6 +119,7 @@ pub fn run_sc<S: TraceSink>(
         steps,
         cycles: machine.cycles().to_vec(),
         final_memory: machine.memory_values(),
+        stats: *machine.stats(),
     })
 }
 
@@ -163,6 +168,7 @@ pub fn run_weak<S: TraceSink>(
         steps,
         cycles: machine.cycles().to_vec(),
         final_memory: machine.memory_values(),
+        stats: *machine.stats(),
     })
 }
 
@@ -182,8 +188,7 @@ pub fn run_inval<S: TraceSink>(
     sink: &mut S,
     config: RunConfig,
 ) -> Result<RunOutcome, SimError> {
-    let mut machine =
-        InvalMachine::new(Arc::new(program.clone()), model, fidelity, config.timing)?;
+    let mut machine = InvalMachine::new(Arc::new(program.clone()), model, fidelity, config.timing)?;
     let mut steps = 0u64;
     while !(machine.all_halted() && machine.queues_empty()) {
         if steps >= config.max_steps {
@@ -210,6 +215,7 @@ pub fn run_inval<S: TraceSink>(
         steps,
         cycles: machine.cycles().to_vec(),
         final_memory: machine.memory_values(),
+        stats: *machine.stats(),
     })
 }
 
@@ -268,8 +274,7 @@ mod tests {
     fn sc_run_handoff_reads_released_value() {
         let prog = handoff_program();
         let mut sink = TraceBuilder::new(2);
-        let out =
-            run_sc(&prog, &mut RoundRobin::new(), &mut sink, RunConfig::uniform()).unwrap();
+        let out = run_sc(&prog, &mut RoundRobin::new(), &mut sink, RunConfig::uniform()).unwrap();
         assert!(out.halted);
         assert!(out.steps > 0);
         let trace = sink.finish();
@@ -366,8 +371,7 @@ mod tests {
             Instr::Halt,
         ]);
         let mut s1 = NullSink::new();
-        let sc =
-            run_sc(&prog, &mut RoundRobin::new(), &mut s1, RunConfig::uniform()).unwrap();
+        let sc = run_sc(&prog, &mut RoundRobin::new(), &mut s1, RunConfig::uniform()).unwrap();
         for model in MemoryModel::ALL {
             let mut s2 = NullSink::new();
             let weak = run_weak(
@@ -419,16 +423,84 @@ mod tests {
     }
 
     #[test]
+    fn weak_run_stats_count_memory_system_work() {
+        let prog = handoff_program();
+        let mut sink = NullSink::new();
+        let out = run_weak(
+            &prog,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut WeakRoundRobin::new(),
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        let s = out.stats;
+        assert_eq!(s.data_writes, 1, "St x");
+        assert_eq!(s.buffered_writes, 1, "St x goes through the buffer");
+        assert_eq!(s.data_reads, 1, "Ld x");
+        assert!(s.sync_ops >= 3, "Unset + at least one Test&Set (read+write)");
+        assert!(s.sync_flushes >= 1, "WO flushes at the Unset");
+        // Everything buffered either drained in the background or flushed.
+        assert_eq!(s.background_drains + s.flushed_entries, s.buffered_writes);
+    }
+
+    #[test]
+    fn stats_are_deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let prog = handoff_program();
+            let mut sink = NullSink::new();
+            let mut sched = RandomWeakSched::new(seed, 0.3);
+            run_weak(
+                &prog,
+                MemoryModel::RCsc,
+                Fidelity::Conditioned,
+                &mut sched,
+                &mut sink,
+                RunConfig::uniform(),
+            )
+            .unwrap()
+            .stats
+        };
+        assert_eq!(run(42), run(42), "same seed, same counters");
+    }
+
+    #[test]
+    fn inval_run_counts_invalidations() {
+        let prog = handoff_program();
+        let mut sink = NullSink::new();
+        let out = run_inval(
+            &prog,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut WeakRoundRobin::new(),
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        // Every completed write queues an invalidation at the one other
+        // processor: St x, Unset s, and each Test&Set's lock write.
+        assert!(out.stats.invalidations_queued >= 3);
+        assert_eq!(out.stats.buffered_writes, 0, "inval machine never buffers");
+    }
+
+    #[test]
     fn outcome_total_cycles() {
         let o = RunOutcome {
             halted: true,
             steps: 5,
             cycles: vec![3, 9, 4],
             final_memory: vec![],
+            stats: SimStats::default(),
         };
         assert_eq!(o.total_cycles(), 9);
-        let empty =
-            RunOutcome { halted: true, steps: 0, cycles: vec![], final_memory: vec![] };
+        let empty = RunOutcome {
+            halted: true,
+            steps: 0,
+            cycles: vec![],
+            final_memory: vec![],
+            stats: SimStats::default(),
+        };
         assert_eq!(empty.total_cycles(), 0);
     }
 }

@@ -52,10 +52,7 @@ impl Scheduler for RoundRobin {
     fn next(&mut self, runnable: &[ProcId]) -> Option<ProcId> {
         let pick = match self.last {
             None => *runnable.first()?,
-            Some(last) => *runnable
-                .iter()
-                .find(|p| **p > last)
-                .or_else(|| runnable.first())?,
+            Some(last) => *runnable.iter().find(|p| **p > last).or_else(|| runnable.first())?,
         };
         self.last = Some(pick);
         Some(pick)
@@ -239,8 +236,8 @@ impl WeakScheduler for RandomWeakSched {
                 drains.push((proc, idx));
             }
         }
-        let want_drain = !drains.is_empty()
-            && (runnable.is_empty() || self.rng.gen_bool(self.drain_prob));
+        let want_drain =
+            !drains.is_empty() && (runnable.is_empty() || self.rng.gen_bool(self.drain_prob));
         if want_drain {
             let (proc, idx) = drains[self.rng.gen_range(0..drains.len())];
             return Some(WeakAction::Drain(proc, idx));

@@ -40,7 +40,7 @@ use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceSink, Value}
 use crate::cpu::LocalOutcome;
 use crate::machine::MemCell;
 use crate::{
-    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, StepEvent, Timing,
+    CoreState, Fidelity, Instr, MemoryModel, Program, Reg, SimError, SimStats, StepEvent, Timing,
 };
 
 /// A write sitting in a store buffer, not yet globally visible.
@@ -71,6 +71,7 @@ pub struct WeakMachine {
     cycles: Vec<u64>,
     timing: Timing,
     steps: u64,
+    stats: SimStats,
 }
 
 impl WeakMachine {
@@ -104,6 +105,7 @@ impl WeakMachine {
             cycles: vec![0; n],
             timing,
             steps: 0,
+            stats: SimStats::default(),
         })
     }
 
@@ -135,6 +137,12 @@ impl WeakMachine {
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Deterministic execution statistics accumulated so far (not part of
+    /// the architectural state: fingerprints ignore it).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// Globally visible memory values (buffered writes excluded).
@@ -222,6 +230,7 @@ impl WeakMachine {
         buf.remove(index);
         self.mem[entry.loc.index()] =
             MemCell { value: entry.value, writer: Some(entry.op), writer_sync: entry.sync };
+        self.stats.background_drains += 1;
         Ok(entry)
     }
 
@@ -236,6 +245,9 @@ impl WeakMachine {
                 MemCell { value: entry.value, writer: Some(entry.op), writer_sync: entry.sync };
         }
         self.cycles[proc.index()] += self.timing.drain_per_entry * n as u64;
+        self.stats.sync_flushes += 1;
+        self.stats.flushed_entries += n as u64;
+        self.stats.flush_stall_cycles += self.timing.drain_per_entry * n as u64;
         Ok(n)
     }
 
@@ -295,8 +307,7 @@ impl WeakMachine {
         proc: ProcId,
         sink: &mut S,
     ) -> Result<StepEvent, SimError> {
-        let core =
-            self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
+        let core = self.cores.get_mut(proc.index()).ok_or(SimError::UnknownProcessor(proc))?;
         if core.is_halted() {
             return Err(SimError::Halted(proc));
         }
@@ -326,6 +337,19 @@ impl WeakMachine {
                 self.cores[pi].complete_load(dst, value);
                 self.cycles[pi] +=
                     if from_buffer { self.timing.buffer_hit } else { self.timing.mem_access };
+                self.stats.data_reads += 1;
+                if from_buffer {
+                    self.stats.buffer_forwards += 1;
+                } else if self
+                    .bufs
+                    .iter()
+                    .enumerate()
+                    .any(|(i, b)| i != pi && b.iter().any(|w| w.loc == loc))
+                {
+                    // Another processor still buffers a write to this
+                    // location: the value just read is already outdated.
+                    self.stats.stale_reads += 1;
+                }
                 StepEvent::Data
             }
             Instr::St { src, addr } => {
@@ -339,7 +363,9 @@ impl WeakMachine {
                 } else {
                     self.bufs[pi].push(BufferedWrite { loc, value, op: id, sync: false });
                     self.cycles[pi] += self.timing.buffered_write;
+                    self.stats.buffered_writes += 1;
                 }
+                self.stats.data_writes += 1;
                 StepEvent::Data
             }
             Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
@@ -357,6 +383,7 @@ impl WeakMachine {
                 sink.sync_access(proc, loc, AccessKind::Read, role, value, observed);
                 self.cores[pi].complete_load(dst, value);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
@@ -381,6 +408,7 @@ impl WeakMachine {
                     }
                 }
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::TestSet { dst, addr } => {
@@ -395,8 +423,7 @@ impl WeakMachine {
                 let observed = writer.filter(|_| writer_sync);
                 sink.sync_access(proc, loc, AccessKind::Read, SyncRole::Acquire, old, observed);
                 let set = Value::new(1);
-                let wid =
-                    sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                let wid = sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
                 match self.fidelity {
                     Fidelity::Conditioned => self.strong_write(loc, set, wid, true),
                     Fidelity::Raw => {
@@ -405,6 +432,7 @@ impl WeakMachine {
                 }
                 self.cores[pi].complete_load(dst, old);
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 2;
                 StepEvent::Sync
             }
             Instr::Unset { addr } => {
@@ -424,6 +452,7 @@ impl WeakMachine {
                     }
                 }
                 self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
                 StepEvent::Sync
             }
             Instr::Fence => {
@@ -622,13 +651,9 @@ mod tests {
     fn raw_fidelity_buffers_sync_writes() {
         let mut prog = Program::new("t", 2);
         prog.push_proc(vec![store(7, 0), Instr::Unset { addr: Addr::Abs(l(1)) }, Instr::Halt]);
-        let mut m = WeakMachine::new(
-            Arc::new(prog),
-            MemoryModel::Wo,
-            Fidelity::Raw,
-            Timing::uniform(),
-        )
-        .unwrap();
+        let mut m =
+            WeakMachine::new(Arc::new(prog), MemoryModel::Wo, Fidelity::Raw, Timing::uniform())
+                .unwrap();
         let mut sink = NullSink::new();
         m.step(p(0), &mut sink).unwrap();
         m.step(p(0), &mut sink).unwrap();
@@ -644,13 +669,9 @@ mod tests {
         let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
         prog.push_proc(vec![ts, Instr::Halt]);
         prog.push_proc(vec![ts, Instr::Halt]);
-        let mut m = WeakMachine::new(
-            Arc::new(prog),
-            MemoryModel::Wo,
-            Fidelity::Raw,
-            Timing::uniform(),
-        )
-        .unwrap();
+        let mut m =
+            WeakMachine::new(Arc::new(prog), MemoryModel::Wo, Fidelity::Raw, Timing::uniform())
+                .unwrap();
         let mut sink = NullSink::new();
         m.step(p(0), &mut sink).unwrap();
         m.step(p(1), &mut sink).unwrap();

@@ -110,8 +110,7 @@ impl LocSet {
 
     /// Returns the intersection of the two sets.
     pub fn intersection(&self, other: &LocSet) -> LocSet {
-        let words =
-            self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect::<Vec<_>>();
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect::<Vec<_>>();
         let mut s = LocSet { words };
         s.shrink();
         s

@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(TraceError::UnknownProcessor(ProcId::new(7))
-            .to_string()
-            .contains("P7"));
+        assert!(TraceError::UnknownProcessor(ProcId::new(7)).to_string().contains("P7"));
         assert!(TraceError::Malformed("oops".into()).to_string().contains("oops"));
         assert!(TraceError::Binary("short read".into()).to_string().contains("short read"));
     }

@@ -56,13 +56,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bitset;
 mod error;
 mod event;
 mod ids;
+mod metrics;
 mod op;
 mod oplog;
 mod sink;
@@ -73,6 +74,7 @@ pub use bitset::LocSet;
 pub use error::TraceError;
 pub use event::{ComputationEvent, Event, EventId, EventKind, SyncEvent};
 pub use ids::{Location, OpId, ProcId, Value};
+pub use metrics::{Metrics, RunMetrics};
 pub use op::{AccessKind, MemOp, OpClass, SyncRole};
 pub use oplog::OpTrace;
 pub use sink::{MultiSink, NullSink, OpRecorder, TraceBuilder, TraceSink};

@@ -1,0 +1,495 @@
+//! Cross-cutting observability: cheap counters, gauges and phase timers
+//! behind a [`Metrics`] handle, reported as a serializable [`RunMetrics`].
+//!
+//! Every layer of the workspace records into the same three namespaces:
+//!
+//! * **counters** — monotonically accumulated `u64`s (events seen, pairs
+//!   generated, buffers drained). Deterministic for a fixed program,
+//!   schedule and seed.
+//! * **gauges** — last-written or high-water `u64`s (sizes of graphs,
+//!   shard utilization). Also deterministic.
+//! * **phases** — wall-clock nanoseconds per named analysis phase.
+//!   *Not* deterministic; kept in a separate namespace so the
+//!   deterministic part of a report can be compared byte-for-byte.
+//!
+//! A handle is either *enabled* (it owns shared state and records) or
+//! *disabled* (every recording call is a branch-and-return no-op). The
+//! disabled handle is `Default`, so instrumented APIs cost nothing for
+//! callers that never ask for metrics.
+//!
+//! Key naming convention: `layer.metric` with `.` separators, e.g.
+//! `sim.store_buffer_drains`, `analysis.candidate_pairs`,
+//! `parallel.shards`. The full vocabulary is documented in
+//! `OBSERVABILITY.md` at the repository root.
+//!
+//! # Example
+//!
+//! ```
+//! use wmrd_trace::Metrics;
+//!
+//! let m = Metrics::enabled();
+//! m.add("sim.steps", 41);
+//! m.incr("sim.steps");
+//! m.max_gauge("analysis.events", 7);
+//! m.max_gauge("analysis.events", 3); // high-water: stays 7
+//! let phase_result = m.time("analysis.total", || 2 + 2);
+//! assert_eq!(phase_result, 4);
+//!
+//! let report = m.report();
+//! assert_eq!(report.counter("sim.steps"), Some(42));
+//! assert_eq!(report.gauge("analysis.events"), Some(7));
+//! assert!(report.phase_ns("analysis.total").is_some());
+//!
+//! // Disabled handles record nothing and cost (almost) nothing.
+//! let off = Metrics::disabled();
+//! off.add("sim.steps", 1_000_000);
+//! assert!(off.report().is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+/// The shared recording state behind an enabled [`Metrics`] handle.
+///
+/// A single mutex over three `BTreeMap`s is deliberately boring: metrics
+/// are recorded at phase granularity (dozens to hundreds of updates per
+/// run), never per simulated memory operation, so contention is not a
+/// concern — determinism and stable ordering are.
+#[derive(Debug, Default)]
+struct MetricsInner {
+    context: BTreeMap<String, String>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    phases_ns: BTreeMap<String, u64>,
+}
+
+/// A cheap, cloneable handle for recording run observability data.
+///
+/// Clones share the same underlying state (an enabled handle is an
+/// `Arc`), so a handle can be given to the simulator, the analysis and
+/// the CLI simultaneously and [`Metrics::report`] sees everything.
+///
+/// The default handle is **disabled**: every recording method returns
+/// immediately without locking or allocating. See the [module
+/// docs](self) for the full contract.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<MetricsInner>>>,
+}
+
+impl Metrics {
+    /// Creates an enabled handle that records into fresh state.
+    pub fn enabled() -> Self {
+        Metrics { inner: Some(Arc::new(Mutex::new(MetricsInner::default()))) }
+    }
+
+    /// Creates a disabled handle: all recording calls are no-ops and
+    /// [`Metrics::report`] returns an empty [`RunMetrics`].
+    pub fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// `true` iff this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics lock");
+            *m.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Adds 1 to the counter `name`.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics lock");
+            m.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Raises the gauge `name` to `value` if `value` is larger
+    /// (high-water mark).
+    pub fn max_gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics lock");
+            let g = m.gauges.entry(name.to_string()).or_insert(0);
+            *g = (*g).max(value);
+        }
+    }
+
+    /// Lowers the gauge `name` to `value` if `value` is smaller
+    /// (low-water mark; the gauge is created at `value` if absent).
+    pub fn min_gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics lock");
+            m.gauges.entry(name.to_string()).and_modify(|g| *g = (*g).min(value)).or_insert(value);
+        }
+    }
+
+    /// Runs `f`, accumulating its wall-clock duration into the phase
+    /// timer `phase` (nanoseconds, saturating).
+    ///
+    /// When the handle is disabled no clock is read — the call compiles
+    /// down to invoking `f`.
+    pub fn time<T>(&self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let Some(inner) = &self.inner else { return f() };
+        let start = Instant::now();
+        let value = f();
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut m = inner.lock().expect("metrics lock");
+        let slot = m.phases_ns.entry(phase.to_string()).or_insert(0);
+        *slot = slot.saturating_add(elapsed);
+        value
+    }
+
+    /// Current value of a counter (`None` when absent or disabled).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        inner.lock().expect("metrics lock").counters.get(name).copied()
+    }
+
+    /// Current value of a gauge (`None` when absent or disabled).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        inner.lock().expect("metrics lock").gauges.get(name).copied()
+    }
+
+    /// Attaches a free-form context label (program name, model, seed…)
+    /// that ends up in the report's `context` map. Last write wins.
+    pub fn context(&self, key: &str, value: impl ToString) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics lock");
+            m.context.insert(key.to_string(), value.to_string());
+        }
+    }
+
+    /// Snapshots everything recorded so far into a [`RunMetrics`].
+    pub fn report(&self) -> RunMetrics {
+        match &self.inner {
+            None => RunMetrics::default(),
+            Some(inner) => {
+                let m = inner.lock().expect("metrics lock");
+                RunMetrics {
+                    schema_version: RunMetrics::SCHEMA_VERSION,
+                    context: m.context.clone(),
+                    counters: m.counters.clone(),
+                    gauges: m.gauges.clone(),
+                    phases_ns: m.phases_ns.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// A schema-stable, serializable snapshot of one run's metrics.
+///
+/// The JSON field order is deterministic (`BTreeMap`s), so two reports
+/// holding the same data serialize byte-identically — the property the
+/// determinism tests in `tests/metrics.rs` assert for sim-side counters.
+///
+/// Schema (documented field-by-field in `OBSERVABILITY.md`):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "context":   { "program": "fig1a", "model": "WO", "seed": "3" },
+///   "counters":  { "sim.steps": 42 },
+///   "gauges":    { "analysis.events": 7 },
+///   "phases_ns": { "analysis.total": 12345 }
+/// }
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use wmrd_trace::{Metrics, RunMetrics};
+///
+/// let m = Metrics::enabled();
+/// m.add("sim.steps", 3);
+/// let mut report = m.report();
+/// report.context.insert("program".into(), "fig1a".into());
+///
+/// let json = report.to_json().unwrap();
+/// let back = RunMetrics::from_json(&json).unwrap();
+/// assert_eq!(report, back);
+/// assert_eq!(back.counter("sim.steps"), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Version of this schema; bumped on any breaking field change.
+    pub schema_version: u32,
+    /// Free-form run identification (program, model, fidelity, seed…).
+    #[serde(default)]
+    pub context: BTreeMap<String, String>,
+    /// Monotonic counters; deterministic for a fixed program + seed.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written / high-water values; deterministic.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
+    /// Wall-clock nanoseconds per phase; **not** deterministic.
+    #[serde(default)]
+    pub phases_ns: BTreeMap<String, u64>,
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        RunMetrics {
+            schema_version: RunMetrics::SCHEMA_VERSION,
+            context: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            phases_ns: BTreeMap::new(),
+        }
+    }
+}
+
+impl RunMetrics {
+    /// The current schema version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// `true` iff nothing was recorded (context excluded).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.phases_ns.is_empty()
+    }
+
+    /// Looks up a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Looks up a phase timer (nanoseconds).
+    pub fn phase_ns(&self, name: &str) -> Option<u64> {
+        self.phases_ns.get(name).copied()
+    }
+
+    /// The deterministic part of the report: everything except
+    /// `phases_ns`. Two runs of the same program + seed must produce
+    /// byte-identical JSON for this view.
+    pub fn deterministic_view(&self) -> RunMetrics {
+        RunMetrics { phases_ns: BTreeMap::new(), ..self.clone() }
+    }
+
+    /// Merges another report into this one: counters add, gauges take
+    /// the maximum, phase timers add, context entries from `other` win.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(0);
+            *g = (*g).max(*v);
+        }
+        for (k, v) in &other.phases_ns {
+            let p = self.phases_ns.entry(k.clone()).or_insert(0);
+            *p = p.saturating_add(*v);
+        }
+        for (k, v) in &other.context {
+            self.context.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Serializes to pretty JSON with deterministic key order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON produced by [`RunMetrics::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, TraceError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// A human-readable multi-line summary (the CLI's `--stats` view).
+    pub fn to_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.context.is_empty() {
+            let ctx: Vec<String> = self.context.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "run: {}", ctx.join(" "));
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {v:>12}");
+            }
+        }
+        if !self.phases_ns.is_empty() {
+            let _ = writeln!(out, "phases:");
+            for (k, v) in &self.phases_ns {
+                let _ = writeln!(out, "  {k:<40} {:>10.3} ms", *v as f64 / 1e6);
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.add("a", 5);
+        m.set_gauge("g", 1);
+        m.max_gauge("h", 2);
+        assert_eq!(m.time("p", || 3), 3);
+        assert_eq!(m.counter("a"), None);
+        assert_eq!(m.gauge("g"), None);
+        assert!(m.report().is_empty());
+        assert!(Metrics::default().report().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_phases() {
+        let m = Metrics::enabled();
+        assert!(m.is_enabled());
+        m.add("c", 2);
+        m.incr("c");
+        m.set_gauge("g", 9);
+        m.set_gauge("g", 4);
+        m.max_gauge("hw", 3);
+        m.max_gauge("hw", 1);
+        m.min_gauge("lw", 3);
+        m.min_gauge("lw", 5);
+        let out = m.time("phase", || "x");
+        assert_eq!(out, "x");
+        let r = m.report();
+        assert_eq!(r.counter("c"), Some(3));
+        assert_eq!(r.gauge("g"), Some(4));
+        assert_eq!(r.gauge("hw"), Some(3));
+        assert_eq!(r.gauge("lw"), Some(3));
+        assert!(r.phase_ns("phase").is_some());
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.phase_ns("missing"), None);
+    }
+
+    #[test]
+    fn context_labels() {
+        let m = Metrics::enabled();
+        m.context("program", "fig1a");
+        m.context("seed", 7);
+        m.context("seed", 9); // last write wins
+        let r = m.report();
+        assert_eq!(r.context.get("program").map(String::as_str), Some("fig1a"));
+        assert_eq!(r.context.get("seed").map(String::as_str), Some("9"));
+        Metrics::disabled().context("ignored", 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m.incr("shared");
+        m2.incr("shared");
+        assert_eq!(m.counter("shared"), Some(2));
+        assert_eq!(m2.report().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn report_json_roundtrip_and_stability() {
+        let m = Metrics::enabled();
+        m.add("z.last", 1);
+        m.add("a.first", 2);
+        m.set_gauge("g", 3);
+        let mut r = m.report();
+        r.context.insert("program".into(), "t".into());
+        let json = r.to_json().unwrap();
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(r, back);
+        // BTreeMap ordering: keys serialize sorted, so equal content is
+        // byte-equal JSON.
+        assert_eq!(json, back.to_json().unwrap());
+        assert!(json.find("a.first").unwrap() < json.find("z.last").unwrap());
+        assert_eq!(back.schema_version, RunMetrics::SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn deterministic_view_strips_timers() {
+        let m = Metrics::enabled();
+        m.incr("c");
+        m.time("p", || ());
+        let r = m.report();
+        assert!(!r.phases_ns.is_empty());
+        let d = r.deterministic_view();
+        assert!(d.phases_ns.is_empty());
+        assert_eq!(d.counter("c"), Some(1));
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = RunMetrics::default();
+        a.counters.insert("c".into(), 1);
+        a.gauges.insert("g".into(), 5);
+        a.phases_ns.insert("p".into(), 10);
+        let mut b = RunMetrics::default();
+        b.counters.insert("c".into(), 2);
+        b.gauges.insert("g".into(), 3);
+        b.phases_ns.insert("p".into(), 7);
+        b.context.insert("k".into(), "v".into());
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(5), "gauges take the max");
+        assert_eq!(a.phase_ns("p"), Some(17));
+        assert_eq!(a.context.get("k").map(String::as_str), Some("v"));
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let m = Metrics::enabled();
+        m.add("sim.steps", 7);
+        m.set_gauge("analysis.events", 3);
+        m.time("analysis.total", || ());
+        let mut r = m.report();
+        r.context.insert("program".into(), "fig1a".into());
+        let s = r.to_summary();
+        assert!(s.contains("sim.steps"), "{s}");
+        assert!(s.contains("analysis.events"), "{s}");
+        assert!(s.contains("analysis.total"), "{s}");
+        assert!(s.contains("program=fig1a"), "{s}");
+        assert!(RunMetrics::default().to_summary().contains("no metrics"));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<RunMetrics>();
+    }
+}

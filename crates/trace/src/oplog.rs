@@ -62,8 +62,7 @@ impl OpTrace {
     ///
     /// Returns [`TraceError::UnknownProcessor`] if `proc` is out of range.
     pub fn push(&mut self, proc: ProcId, mut op: MemOp) -> Result<OpId, TraceError> {
-        let log =
-            self.ops.get_mut(proc.index()).ok_or(TraceError::UnknownProcessor(proc))?;
+        let log = self.ops.get_mut(proc.index()).ok_or(TraceError::UnknownProcessor(proc))?;
         let id = OpId::new(proc, log.len() as u32);
         op.id = id;
         log.push(op);
@@ -95,9 +94,7 @@ impl OpTrace {
     /// (used by the trace-size ablation): op id (6) + location (4) +
     /// kind/class byte + value (8) + optional observed write (1 or 7).
     pub fn encoded_size(&self) -> usize {
-        self.iter()
-            .map(|op| 6 + 4 + 1 + 8 + if op.observed_write.is_some() { 7 } else { 1 })
-            .sum()
+        self.iter().map(|op| 6 + 4 + 1 + 8 + if op.observed_write.is_some() { 7 } else { 1 }).sum()
     }
 }
 
@@ -171,8 +168,7 @@ mod tests {
         let b = t.push(ProcId::new(0), raw_op(1, AccessKind::Write)).unwrap();
         let c = t.push(ProcId::new(1), raw_op(2, AccessKind::Read)).unwrap();
         assert_eq!(t.issue_order(), &[a, b, c]);
-        let locs: Vec<u32> =
-            t.iter_issue_order().map(|o| o.loc.addr()).collect();
+        let locs: Vec<u32> = t.iter_issue_order().map(|o| o.loc.addr()).collect();
         assert_eq!(locs, vec![0, 1, 2]);
     }
 }

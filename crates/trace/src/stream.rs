@@ -58,12 +58,7 @@ pub struct StreamWriter<W: Write> {
 impl<W: Write> StreamWriter<W> {
     /// Creates a streaming writer for `num_procs` processors.
     pub fn new(writer: W, num_procs: usize) -> Self {
-        StreamWriter {
-            writer,
-            counters: vec![0; num_procs],
-            records: 0,
-            deferred_error: None,
-        }
+        StreamWriter { writer, counters: vec![0; num_procs], records: 0, deferred_error: None }
     }
 
     /// Number of records emitted.
@@ -217,9 +212,8 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
             2 => SyncRole::None,
             r => return Err(TraceError::Binary(format!("bad sync role {r}"))),
         };
-        let value = Value::new(i64::from_be_bytes(
-            head[10..18].try_into().expect("slice of fixed length"),
-        ));
+        let value =
+            Value::new(i64::from_be_bytes(head[10..18].try_into().expect("slice of fixed length")));
         let mut flag = [0u8; 1];
         if !read_exact_opt(&mut reader, &mut flag)? {
             return Err(TraceError::Binary("truncated stream record".into()));

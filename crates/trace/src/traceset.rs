@@ -98,9 +98,7 @@ impl TraceSet {
     pub fn new(num_procs: usize) -> Self {
         TraceSet {
             meta: TraceMeta::default(),
-            procs: (0..num_procs)
-                .map(|i| ProcessorTrace::new(ProcId::new(i as u16)))
-                .collect(),
+            procs: (0..num_procs).map(|i| ProcessorTrace::new(ProcId::new(i as u16))).collect(),
             sync_order: Vec::new(),
         }
     }
@@ -237,8 +235,7 @@ impl TraceSet {
                 )));
             }
         }
-        let sync_events =
-            self.events().filter(|e| e.is_sync()).map(|e| e.id).collect::<Vec<_>>();
+        let sync_events = self.events().filter(|e| e.is_sync()).map(|e| e.id).collect::<Vec<_>>();
         for id in sync_events {
             if !seen.contains(&id) {
                 return Err(TraceError::Malformed(format!(
@@ -389,9 +386,7 @@ impl TraceSet {
                             0 => SyncRole::Release,
                             1 => SyncRole::Acquire,
                             2 => SyncRole::None,
-                            r => {
-                                return Err(TraceError::Binary(format!("bad sync role {r}")))
-                            }
+                            r => return Err(TraceError::Binary(format!("bad sync role {r}"))),
                         };
                         let value = Value::new(get_i64(buf)?);
                         let global_seq = get_u64(buf)?;
@@ -532,9 +527,7 @@ const MAX_DECODED_LOCATION: u32 = 1 << 28;
 fn get_locset(buf: &mut &[u8]) -> Result<LocSet, TraceError> {
     let n = get_u32(buf)? as usize;
     if n > buf.len() / 4 {
-        return Err(TraceError::Binary(format!(
-            "location-set count {n} exceeds remaining input"
-        )));
+        return Err(TraceError::Binary(format!("location-set count {n} exceeds remaining input")));
     }
     let mut set = LocSet::new();
     for _ in 0..n {
@@ -576,11 +569,8 @@ mod tests {
         );
         b.data_access(p1, Location::new(0), AccessKind::Read, Value::new(7), None);
         let mut t = b.finish();
-        t.meta = TraceMeta {
-            program: Some("sample".into()),
-            model: Some("SC".into()),
-            seed: Some(42),
-        };
+        t.meta =
+            TraceMeta { program: Some("sample".into()), model: Some("SC".into()), seed: Some(42) };
         t
     }
 

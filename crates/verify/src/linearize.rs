@@ -36,9 +36,8 @@ pub fn is_sequentially_consistent(ops: &OpTrace, initial_memory: &[Value]) -> bo
 /// schedule order, or `None` if the trace is not sequentially consistent.
 pub fn linearization_witness(ops: &OpTrace, initial_memory: &[Value]) -> Option<Vec<OpId>> {
     let num_procs = ops.num_procs();
-    let per_proc: Vec<&[MemOp]> = (0..num_procs)
-        .map(|i| ops.proc_ops(ProcId::new(i as u16)).unwrap_or(&[]))
-        .collect();
+    let per_proc: Vec<&[MemOp]> =
+        (0..num_procs).map(|i| ops.proc_ops(ProcId::new(i as u16)).unwrap_or(&[])).collect();
     let max_loc = per_proc
         .iter()
         .flat_map(|o| o.iter())
@@ -70,9 +69,7 @@ fn state_hash(indices: &[usize], memory: &[Value]) -> u64 {
 /// read+write pair (Test&Set).
 fn unit(ops: &[MemOp], idx: usize) -> Option<(&MemOp, Option<&MemOp>)> {
     let first = ops.get(idx)?;
-    if first.kind == AccessKind::Read
-        && first.class.sync_role().is_some_and(|r| r.is_acquire())
-    {
+    if first.kind == AccessKind::Read && first.class.sync_role().is_some_and(|r| r.is_acquire()) {
         if let Some(second) = ops.get(idx + 1) {
             if second.kind == AccessKind::Write
                 && second.loc == first.loc
@@ -132,8 +129,7 @@ fn dfs(
         witness.truncate(witness.len() - advance);
         indices[p] -= advance;
         if let Some(w) = second {
-            memory[w.loc.index()] =
-                saved_second.expect("saved alongside the second op");
+            memory[w.loc.index()] = saved_second.expect("saved alongside the second op");
         }
         memory[first.loc.index()] = saved_first;
     }
@@ -233,10 +229,7 @@ mod tests {
             r.sync_access(proc, l(0), AccessKind::Write, SyncRole::None, v(1), None);
         }
         let ops = r.finish();
-        assert!(
-            !is_sequentially_consistent(&ops, &[]),
-            "both Test&Sets succeeding is not SC"
-        );
+        assert!(!is_sequentially_consistent(&ops, &[]), "both Test&Sets succeeding is not SC");
 
         // The legitimate outcome (second reads 1) is accepted.
         let mut r = OpRecorder::new(2);
@@ -256,8 +249,7 @@ mod tests {
         r.data_access(p(1), l(1), AccessKind::Read, v(2), None);
         let ops = r.finish();
         let w = linearization_witness(&ops, &[]).unwrap();
-        let pos =
-            |id: OpId| w.iter().position(|&x| x == id).expect("all ops in witness");
+        let pos = |id: OpId| w.iter().position(|&x| x == id).expect("all ops in witness");
         assert!(pos(OpId::new(p(0), 0)) < pos(OpId::new(p(0), 1)), "po respected");
         assert!(pos(OpId::new(p(0), 1)) < pos(OpId::new(p(1), 0)), "read after its write");
         assert_eq!(w.len(), 3);

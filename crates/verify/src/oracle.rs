@@ -190,9 +190,7 @@ pub fn sample_sc(
         let mut steps = 0u64;
         while !machine.all_halted() {
             if steps >= run_config.max_steps {
-                return Err(VerifyError::Sim(wmrd_sim::SimError::StepLimit(
-                    run_config.max_steps,
-                )));
+                return Err(VerifyError::Sim(wmrd_sim::SimError::StepLimit(run_config.max_steps)));
             }
             let runnable = machine.runnable();
             let Some(pick) = sched.next(&runnable) else { break };
@@ -242,11 +240,7 @@ mod tests {
         // reads); op-level interleavings of 2+2 ops: C(4,2)=6, but traces
         // dedup by read values, leaving the distinct observable
         // executions.
-        assert!(
-            (2..=6).contains(&result.executions.len()),
-            "got {}",
-            result.executions.len()
-        );
+        assert!((2..=6).contains(&result.executions.len()), "got {}", result.executions.len());
         for exec in &result.executions {
             assert!(is_sequentially_consistent(&exec.ops, &fig1a.program.initial_memory()));
             assert_eq!(exec.final_memory.len(), 3);
@@ -297,7 +291,8 @@ mod tests {
             Instr::Halt,
         ]);
         prog.push_proc(vec![Instr::Unset { addr: Addr::Abs(Location::new(0)) }, Instr::Halt]);
-        let cfg = EnumConfig { max_executions: 100, max_steps_per_path: 40, ..EnumConfig::default() };
+        let cfg =
+            EnumConfig { max_executions: 100, max_steps_per_path: 40, ..EnumConfig::default() };
         let result = enumerate_sc(&prog, &cfg).unwrap();
         assert!(!result.complete, "spin paths exceed the cap");
         assert!(!result.executions.is_empty(), "finite paths still collected");

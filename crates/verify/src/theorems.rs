@@ -17,9 +17,7 @@ use std::collections::HashSet;
 
 use wmrd_core::ops::OpAnalysis;
 use wmrd_core::{PairingPolicy, PostMortem, RaceReport};
-use wmrd_sim::{
-    run_weak_hw, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig,
-};
+use wmrd_sim::{run_weak_hw, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig};
 use wmrd_trace::{EventKind, MultiSink, OpRecorder, OpTrace, ProcId, TraceBuilder, TraceSet};
 
 use crate::{
@@ -32,10 +30,7 @@ use crate::{
 pub fn check_theorem_4_1(report: &RaceReport) -> bool {
     let has_data_races = !report.is_race_free();
     let has_first_partitions = report.partitions.first_indices().iter().any(|&i| {
-        report.partitions.partitions()[i]
-            .races
-            .iter()
-            .any(|&r| report.races[r].is_data_race())
+        report.partitions.partitions()[i].races.iter().any(|&r| report.races[r].is_data_race())
     });
     has_data_races == has_first_partitions
 }
@@ -85,8 +80,7 @@ pub fn check_theorem_4_2(
             continue;
         }
         checked += 1;
-        let part_races: Vec<_> =
-            part.races.iter().map(|&r| report.races[r].clone()).collect();
+        let part_races: Vec<_> = part.races.iter().map(|&r| report.races[r].clone()).collect();
         let sigs = event_race_signatures(&part_races, trace);
         if sigs.iter().any(|s| sc_sigs.contains(s)) {
             confirmed += 1;
@@ -98,11 +92,7 @@ pub fn check_theorem_4_2(
 /// Truncates an operation trace to the SCP estimate of its event-level
 /// report: for each processor, operations strictly before the first
 /// event outside the SCP are kept.
-pub fn truncate_ops_to_scp(
-    ops: &OpTrace,
-    trace: &TraceSet,
-    report: &RaceReport,
-) -> OpTrace {
+pub fn truncate_ops_to_scp(ops: &OpTrace, trace: &TraceSet, report: &RaceReport) -> OpTrace {
     let mut out = OpTrace::new(ops.num_procs());
     for pi in 0..ops.num_procs() {
         let proc = ProcId::new(pi as u16);
@@ -201,15 +191,7 @@ pub fn check_condition_3_4(
     sc_sigs: &HashSet<RaceSignature>,
     pairing: PairingPolicy,
 ) -> Result<Vec<Condition34Outcome>, VerifyError> {
-    check_condition_3_4_hw(
-        HwImpl::StoreBuffer,
-        program,
-        model,
-        fidelity,
-        seeds,
-        sc_sigs,
-        pairing,
-    )
+    check_condition_3_4_hw(HwImpl::StoreBuffer, program, model, fidelity, seeds, sc_sigs, pairing)
 }
 
 /// [`check_condition_3_4`] with an explicit weak-hardware implementation
@@ -248,11 +230,8 @@ pub fn check_condition_3_4_hw(
         } else {
             None
         };
-        let part2 = if race_free {
-            None
-        } else {
-            Some(check_theorem_4_2(&trace, &report, sc_sigs))
-        };
+        let part2 =
+            if race_free { None } else { Some(check_theorem_4_2(&trace, &report, sc_sigs)) };
         let scp_linearizes = check_scp_prefix(&ops, pairing, program)?;
         outcomes.push(Condition34Outcome { seed, race_free, part1_sc, part2, scp_linearizes });
     }

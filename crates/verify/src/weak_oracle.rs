@@ -151,9 +151,7 @@ pub fn enumerate_weak(
 mod tests {
     use super::*;
     use crate::theorems::sc_race_signatures;
-    use crate::{
-        enumerate_sc, event_race_signatures, is_sequentially_consistent, RaceSignature,
-    };
+    use crate::{enumerate_sc, event_race_signatures, is_sequentially_consistent, RaceSignature};
     use wmrd_core::{PairingPolicy, PostMortem};
     use wmrd_progs::catalog;
 
@@ -269,8 +267,7 @@ mod tests {
         let entry = catalog::fig1a();
         let tight = EnumConfig { max_executions: 2, ..EnumConfig::default() };
         let result =
-            enumerate_weak(&entry.program, MemoryModel::Wo, Fidelity::Conditioned, &tight)
-                .unwrap();
+            enumerate_weak(&entry.program, MemoryModel::Wo, Fidelity::Conditioned, &tight).unwrap();
         assert!(!result.complete);
         assert!(result.executions.len() <= 2);
     }

@@ -12,8 +12,8 @@ use wmrd_core::{PairingPolicy, PostMortem};
 use wmrd_progs::generate;
 use wmrd_sim::{Fidelity, MemoryModel, RandomWeakSched, RunConfig};
 use wmrd_trace::TraceBuilder;
-use wmrd_verify::theorems::{check_condition_3_4, check_theorem_4_1, sc_race_signatures};
 use wmrd_verify::sample_sc;
+use wmrd_verify::theorems::{check_condition_3_4, check_theorem_4_1, sc_race_signatures};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_programs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);

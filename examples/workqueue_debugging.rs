@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = catalog::work_queue_buggy();
     let lay = catalog::work_queue_layout();
     println!("program: {} — {}", entry.name, entry.description);
-    println!("layout: lock={} QEmpty={} Q={} region at {}..{}",
-        lay.lock, lay.q_empty, lay.q, lay.region_base, lay.region_base + lay.region_len);
+    println!(
+        "layout: lock={} QEmpty={} Q={} region at {}..{}",
+        lay.lock,
+        lay.q_empty,
+        lay.q,
+        lay.region_base,
+        lay.region_base + lay.region_len
+    );
     println!();
 
     // Execute on the WO machine with the schedule that reproduces the

@@ -1,0 +1,22 @@
+#!/bin/sh
+# The full local gate: formatting, lints as errors, and the test suite.
+# Run from the repository root (or any subdirectory):
+#
+#   sh scripts/check.sh
+#
+# CI and reviewers run exactly this; a clean exit here means the PR is
+# mergeable from the code-quality side.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "check.sh: all gates passed"

@@ -25,11 +25,7 @@ fn traced_sc(program: &wmrd_sim::Program, seed: u64) -> (TraceSet, OpTrace) {
     (b.finish(), r.finish())
 }
 
-fn traced_weak(
-    program: &wmrd_sim::Program,
-    model: MemoryModel,
-    seed: u64,
-) -> (TraceSet, OpTrace) {
+fn traced_weak(program: &wmrd_sim::Program, model: MemoryModel, seed: u64) -> (TraceSet, OpTrace) {
     let mut sink = MultiSink::new(
         TraceBuilder::new(program.num_procs()),
         OpRecorder::new(program.num_procs()),
@@ -71,11 +67,7 @@ fn granularities_agree_on_catalog_weak_executions() {
         for model in [MemoryModel::Wo, MemoryModel::RCsc] {
             for seed in 0..3 {
                 let (events, ops) = traced_weak(&entry.program, model, seed);
-                signatures_agree(
-                    &events,
-                    &ops,
-                    &format!("{} {model} seed {seed}", entry.name),
-                );
+                signatures_agree(&events, &ops, &format!("{} {model} seed {seed}", entry.name));
             }
         }
     }

@@ -3,9 +3,7 @@
 
 use wmrd_core::{PostMortem, RaceKind};
 use wmrd_progs::catalog;
-use wmrd_sim::{
-    run_sc, run_weak, Fidelity, MemoryModel, RandomSched, RunConfig, WeakScript,
-};
+use wmrd_sim::{run_sc, run_weak, Fidelity, MemoryModel, RandomSched, RunConfig, WeakScript};
 use wmrd_trace::{EventId, MultiSink, OpRecorder, ProcId, TraceBuilder, Value};
 
 fn p(i: u16) -> ProcId {
@@ -94,10 +92,7 @@ fn fig2_and_fig3_structure() {
     // Figure 2b's anomaly: QEmpty new, Q stale.
     let p2_ops = ops.proc_ops(p(1)).unwrap();
     assert_eq!(p2_ops.iter().find(|o| o.loc == lay.q_empty).unwrap().value, Value::new(0));
-    assert_eq!(
-        p2_ops.iter().find(|o| o.loc == lay.q).unwrap().value,
-        Value::new(lay.stale_addr)
-    );
+    assert_eq!(p2_ops.iter().find(|o| o.loc == lay.q).unwrap().value, Value::new(lay.stale_addr));
 
     // Figure 3's structure.
     let report = PostMortem::new(&trace).analyze().unwrap();

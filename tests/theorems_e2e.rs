@@ -7,12 +7,10 @@ use std::collections::HashSet;
 use wmrd_core::{PairingPolicy, PostMortem};
 use wmrd_progs::{catalog, generate};
 use wmrd_sim::{Fidelity, HwImpl, MemoryModel, RunConfig};
-use wmrd_verify::theorems::{
-    check_condition_3_4, check_condition_3_4_hw, check_theorem_4_1, check_theorem_4_2,
-};
+use wmrd_verify::theorems::{check_condition_3_4_hw, check_theorem_4_1, check_theorem_4_2};
 use wmrd_verify::{
-    enumerate_sc, is_sequentially_consistent, sample_sc, theorems::sc_race_signatures,
-    EnumConfig, RaceSignature,
+    enumerate_sc, is_sequentially_consistent, sample_sc, theorems::sc_race_signatures, EnumConfig,
+    RaceSignature,
 };
 
 fn sampled_sigs(program: &wmrd_sim::Program) -> HashSet<RaceSignature> {
@@ -52,8 +50,7 @@ fn condition_3_4_holds_across_catalog_and_models() {
                         assert!(
                             o.race_free,
                             "{} on {model}/{hw} seed {}: DRF program reported racy",
-                            entry.name,
-                            o.seed
+                            entry.name, o.seed
                         );
                     }
                 }
@@ -88,10 +85,7 @@ fn drf_programs_appear_sequentially_consistent_on_weak_hardware() {
                 let report = PostMortem::new(&builder.finish()).analyze().unwrap();
                 assert!(report.is_race_free(), "{} {model} seed {seed}", entry.name);
                 assert!(
-                    is_sequentially_consistent(
-                        &recorder.finish(),
-                        &entry.program.initial_memory()
-                    ),
+                    is_sequentially_consistent(&recorder.finish(), &entry.program.initial_memory()),
                     "{} {model} seed {seed}: weak execution not SC-explainable",
                     entry.name
                 );
@@ -129,10 +123,7 @@ fn raw_hardware_breaks_the_guarantee() {
                 break;
             }
         }
-        assert!(
-            violation,
-            "{hw}: expected a race-free-but-non-SC execution on raw hardware"
-        );
+        assert!(violation, "{hw}: expected a race-free-but-non-SC execution on raw hardware");
     }
 }
 
@@ -143,8 +134,7 @@ fn theorem_4_1_over_random_programs() {
         let cfg = generate::GenConfig::default().with_seed(seed);
         for program in [generate::locked(&cfg), generate::racy(&cfg)] {
             for model in [MemoryModel::Wo, MemoryModel::Drf1] {
-                let mut sink =
-                    wmrd_trace::TraceBuilder::new(program.num_procs());
+                let mut sink = wmrd_trace::TraceBuilder::new(program.num_procs());
                 let mut sched = wmrd_sim::RandomWeakSched::new(seed, 0.3);
                 wmrd_sim::run_weak(
                     &program,
@@ -157,12 +147,8 @@ fn theorem_4_1_over_random_programs() {
                 .unwrap();
                 let trace = sink.finish();
                 for policy in [PairingPolicy::ByRole, PairingPolicy::AllSync] {
-                    let report =
-                        PostMortem::new(&trace).pairing(policy).analyze().unwrap();
-                    assert!(
-                        check_theorem_4_1(&report),
-                        "seed {seed} {model} {policy}"
-                    );
+                    let report = PostMortem::new(&trace).pairing(policy).analyze().unwrap();
+                    assert!(check_theorem_4_1(&report), "seed {seed} {model} {policy}");
                 }
             }
         }
@@ -175,13 +161,11 @@ fn theorem_4_2_with_exhaustive_oracle() {
     for entry in [catalog::fig1a(), catalog::producer_consumer_racy(), catalog::counter_racy(2, 1)]
     {
         let result = enumerate_sc(&entry.program, &EnumConfig::default()).unwrap();
-        let sigs =
-            sc_race_signatures(&result.executions, PairingPolicy::ByRole).unwrap();
+        let sigs = sc_race_signatures(&result.executions, PairingPolicy::ByRole).unwrap();
         assert!(!sigs.is_empty(), "{}: racy program must have SC races", entry.name);
         for model in MemoryModel::WEAK {
             for seed in 0..4 {
-                let mut sink =
-                    wmrd_trace::TraceBuilder::new(entry.program.num_procs());
+                let mut sink = wmrd_trace::TraceBuilder::new(entry.program.num_procs());
                 let mut sched = wmrd_sim::RandomWeakSched::new(seed, 0.3);
                 wmrd_sim::run_weak(
                     &entry.program,
@@ -195,11 +179,7 @@ fn theorem_4_2_with_exhaustive_oracle() {
                 let trace = sink.finish();
                 let report = PostMortem::new(&trace).analyze().unwrap();
                 let outcome = check_theorem_4_2(&trace, &report, &sigs);
-                assert!(
-                    outcome.holds(),
-                    "{} {model} seed {seed}: {outcome:?}",
-                    entry.name
-                );
+                assert!(outcome.holds(), "{} {model} seed {seed}: {outcome:?}", entry.name);
             }
         }
     }
@@ -225,8 +205,7 @@ fn all_sync_pairing_is_monotone() {
         .unwrap();
         let trace = sink.finish();
         let by_role = PostMortem::new(&trace).pairing(PairingPolicy::ByRole).analyze().unwrap();
-        let all_sync =
-            PostMortem::new(&trace).pairing(PairingPolicy::AllSync).analyze().unwrap();
+        let all_sync = PostMortem::new(&trace).pairing(PairingPolicy::AllSync).analyze().unwrap();
         assert!(
             all_sync.data_races().count() <= by_role.data_races().count(),
             "seed {seed}: AllSync produced more races than ByRole"

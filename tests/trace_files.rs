@@ -91,10 +91,7 @@ fn corrupted_files_are_rejected_not_misread() {
 
     // Truncations likewise.
     for len in 0..bin.len() {
-        assert!(
-            TraceSet::from_binary(&bin[..len]).is_err(),
-            "truncated at {len} must not decode"
-        );
+        assert!(TraceSet::from_binary(&bin[..len]).is_err(), "truncated at {len} must not decode");
     }
 
     // Garbage JSON.
