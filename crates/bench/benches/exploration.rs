@@ -1,0 +1,54 @@
+//! Exploration engine scaling: campaign throughput (executions per
+//! second) as the worker count grows 1 → 8 on a fixed seed range.
+//!
+//! The work unit is one whole seeded execution plus its analysis, so
+//! the engine should scale near-linearly until worker count reaches
+//! the physical core count; a flat curve here means the slot mutex or
+//! the machine-reuse path has become a bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wmrd_explore::{run_campaign, CampaignSpec};
+use wmrd_progs::catalog;
+use wmrd_trace::Metrics;
+
+fn bench_scaling(c: &mut Criterion) {
+    // The Figure 2 work queue: racy enough that the post-mortem path
+    // gets exercised, big enough that an execution is real work.
+    let program = catalog::work_queue_buggy().program;
+    let spec = CampaignSpec::new(0, 64);
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(spec.num_points() as u64));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| run_campaign(&program, &spec, jobs, &Metrics::disabled()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    // The fast-path economics: a race-free campaign (post-mortem never
+    // runs) vs the same campaign forced to analyze every execution.
+    let program = catalog::producer_consumer().program;
+    let mut group = c.benchmark_group("exploration_fastpath");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (label, policy) in [
+        ("on-race-hit", wmrd_explore::PostMortemPolicy::OnRaceHit),
+        ("always", wmrd_explore::PostMortemPolicy::Always),
+    ] {
+        let spec = CampaignSpec::new(0, 64).with_postmortem(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| run_campaign(&program, spec, 4, &Metrics::disabled()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_fast_path);
+criterion_main!(benches);

@@ -105,7 +105,8 @@ fn main() {
     if let Some(o) = &only {
         h.metrics.context("only", o);
     }
-    const EXPERIMENTS: &[(&str, fn(&mut Harness))] = &[
+    type ExperimentFn = fn(&mut Harness);
+    const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
         ("e1", e1_fig1a),
         ("e2", e2_fig1b),
         ("e3", e3_fig2_weak_execution),

@@ -131,7 +131,7 @@ mod tests {
         let run = fig2_weak_run();
         let report = PostMortem::new(&run.events).analyze().unwrap();
         assert!(!report.is_race_free());
-        assert!(report.withheld_races().len() > 0, "non-first partitions exist:\n{report}");
+        assert!(!report.withheld_races().is_empty(), "non-first partitions exist:\n{report}");
     }
 
     #[test]

@@ -70,6 +70,42 @@ pub struct CheckOpts {
     pub stats: bool,
 }
 
+/// Options for `wmrd explore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOpts {
+    /// Catalog name or path to a program JSON file.
+    pub program: String,
+    /// Half-open seed range (`start..end`).
+    pub seeds: (u64, u64),
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Per-execution step budget (`None` = unbounded).
+    pub budget: Option<u64>,
+    /// Per-execution cycle budget (`None` = unbounded).
+    pub cycle_budget: Option<u64>,
+    /// Memory models to explore.
+    pub models: Vec<MemoryModel>,
+    /// Weak-hardware implementation styles to explore.
+    pub hws: Vec<HwImpl>,
+    /// Drain probabilities for the random weak scheduler.
+    pub drain_probs: Vec<f64>,
+    /// Conditioned (default) or raw hardware.
+    pub fidelity: Fidelity,
+    /// Pairing policy for the analysis.
+    pub pairing: PairingPolicy,
+    /// Run the full post-mortem on every execution, not just fast-path
+    /// hits.
+    pub always_analyze: bool,
+    /// Replay this seed in full detail instead of running a campaign.
+    pub repro: Option<u64>,
+    /// Where to write the campaign report (JSON).
+    pub report_out: Option<String>,
+    /// Where to write the campaign's `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -90,6 +126,8 @@ pub enum Command {
     Analyze(AnalyzeOpts),
     /// Check Condition 3.4 on seeded executions.
     Check(CheckOpts),
+    /// Hunt races across many seeded executions in parallel.
+    Explore(ExploreOpts),
     /// The Figure 2/3 walkthrough.
     Demo,
     /// Print usage.
@@ -127,6 +165,31 @@ fn parse_hw(s: &str) -> Result<HwImpl, CliError> {
             "unknown hardware `{other}` (expected store-buffer|inval-queue)"
         ))),
     }
+}
+
+/// Parses `--seeds` syntax: `A..B` (half-open) or a bare count `N`
+/// meaning `0..N`.
+fn parse_seed_range(s: &str) -> Result<(u64, u64), CliError> {
+    let bad = || CliError::Usage(format!("--seeds wants `start..end` or a count, got `{s}`"));
+    if let Some((a, b)) = s.split_once("..") {
+        let start: u64 = a.parse().map_err(|_| bad())?;
+        let end: u64 = b.parse().map_err(|_| bad())?;
+        if start >= end {
+            return Err(CliError::Usage(format!("--seeds range `{s}` is empty")));
+        }
+        Ok((start, end))
+    } else {
+        let n: u64 = s.parse().map_err(|_| bad())?;
+        if n == 0 {
+            return Err(CliError::Usage("--seeds wants at least one seed".into()));
+        }
+        Ok((0, n))
+    }
+}
+
+/// Parses a comma-separated list with a per-item parser.
+fn parse_list<T>(s: &str, item: impl Fn(&str) -> Result<T, CliError>) -> Result<Vec<T>, CliError> {
+    s.split(',').map(|part| item(part.trim())).collect()
 }
 
 fn parse_pairing(s: &str) -> Result<PairingPolicy, CliError> {
@@ -275,6 +338,74 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Check(opts))
         }
+        "explore" => {
+            let program = cur.value_for("explore")?.to_string();
+            let mut opts = ExploreOpts {
+                program,
+                seeds: (0, 100),
+                jobs: 0,
+                budget: None,
+                cycle_budget: None,
+                models: vec![MemoryModel::Wo],
+                hws: vec![HwImpl::StoreBuffer],
+                drain_probs: vec![0.3],
+                fidelity: Fidelity::Conditioned,
+                pairing: PairingPolicy::ByRole,
+                always_analyze: false,
+                repro: None,
+                report_out: None,
+                metrics_out: None,
+                stats: false,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--seeds" => opts.seeds = parse_seed_range(cur.value_for(flag)?)?,
+                    "--jobs" => {
+                        opts.jobs = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--jobs wants an integer".into()))?
+                    }
+                    "--budget" => {
+                        opts.budget = Some(
+                            cur.value_for(flag)?
+                                .parse()
+                                .map_err(|_| CliError::Usage("--budget wants an integer".into()))?,
+                        )
+                    }
+                    "--cycle-budget" => {
+                        opts.cycle_budget = Some(cur.value_for(flag)?.parse().map_err(|_| {
+                            CliError::Usage("--cycle-budget wants an integer".into())
+                        })?)
+                    }
+                    "--model" => opts.models = parse_list(cur.value_for(flag)?, parse_model)?,
+                    "--hw" => opts.hws = parse_list(cur.value_for(flag)?, parse_hw)?,
+                    "--drain" => {
+                        opts.drain_probs = parse_list(cur.value_for(flag)?, |s| {
+                            s.parse().map_err(|_| {
+                                CliError::Usage(format!("--drain wants numbers, got `{s}`"))
+                            })
+                        })?
+                    }
+                    "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
+                    "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
+                    "--always-analyze" => opts.always_analyze = true,
+                    "--repro" => {
+                        opts.repro =
+                            Some(cur.value_for(flag)?.parse().map_err(|_| {
+                                CliError::Usage("--repro wants a seed integer".into())
+                            })?)
+                    }
+                    "--report" => opts.report_out = Some(cur.value_for(flag)?.to_string()),
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
+                    "--stats" => opts.stats = true,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for explore")))
+                    }
+                }
+            }
+            Ok(Command::Explore(opts))
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `wmrd help`)"))),
     }
 }
@@ -307,6 +438,21 @@ USAGE:
       --stats                            print a metrics summary
   wmrd check <name|file.json> [flags]  check Condition 3.4 empirically
       --model, --fidelity, --hw, --seeds <n>, --metrics <file>, --stats
+  wmrd explore <name|file.json> [flags] parallel cross-execution race hunt
+      --seeds A..B|N                     seed range (default 0..100)
+      --jobs <n>                         worker threads (default: one per core)
+      --budget <n>                       per-execution step budget
+      --cycle-budget <n>                 per-execution cycle budget
+      --model m1,m2                      memory models to cross (default wo)
+      --hw h1,h2                         hardware styles to cross (default store-buffer)
+      --drain p1,p2                      drain probabilities to cross (default 0.3)
+      --fidelity conditioned|raw         honour Condition 3.4 (default) or not
+      --pairing by-role|all-sync         so1 pairing policy (default by-role)
+      --always-analyze                   post-mortem every execution, not just hits
+      --repro <seed>                     replay one seed in full detail
+      --report <file>                    write the campaign report (JSON)
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
   wmrd demo                            the paper's Figure 2/3 walkthrough
 
 Metrics reports follow the schema documented in OBSERVABILITY.md.
@@ -394,6 +540,62 @@ mod tests {
     }
 
     #[test]
+    fn explore_defaults() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.seeds, (0, 100));
+        assert_eq!(opts.jobs, 0, "0 means one worker per core");
+        assert_eq!(opts.models, vec![MemoryModel::Wo]);
+        assert_eq!(opts.hws, vec![HwImpl::StoreBuffer]);
+        assert_eq!(opts.drain_probs, vec![0.3]);
+        assert!(opts.budget.is_none() && opts.cycle_budget.is_none());
+        assert!(opts.repro.is_none());
+        assert!(!opts.always_analyze);
+    }
+
+    #[test]
+    fn parses_explore_flags() {
+        let cmd = parse(&argv(
+            "explore fig1a --seeds 5..25 --jobs 8 --budget 500 --cycle-budget 9000 \
+             --model wo,rcsc --hw store-buffer,inval-queue --drain 0.1,0.5 \
+             --fidelity raw --pairing all-sync --always-analyze --report r.json \
+             --metrics m.json --stats",
+        ))
+        .unwrap();
+        let Command::Explore(opts) = cmd else { panic!("expected explore") };
+        assert_eq!(opts.seeds, (5, 25));
+        assert_eq!(opts.jobs, 8);
+        assert_eq!(opts.budget, Some(500));
+        assert_eq!(opts.cycle_budget, Some(9000));
+        assert_eq!(opts.models, vec![MemoryModel::Wo, MemoryModel::RCsc]);
+        assert_eq!(opts.hws, vec![HwImpl::StoreBuffer, HwImpl::InvalQueue]);
+        assert_eq!(opts.drain_probs, vec![0.1, 0.5]);
+        assert_eq!(opts.fidelity, Fidelity::Raw);
+        assert_eq!(opts.pairing, PairingPolicy::AllSync);
+        assert!(opts.always_analyze);
+        assert_eq!(opts.report_out.as_deref(), Some("r.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert!(opts.stats);
+    }
+
+    #[test]
+    fn explore_seed_range_syntax() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a --seeds 64")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.seeds, (0, 64), "a bare count means 0..N");
+        let Command::Explore(opts) = parse(&argv("explore fig1a --repro 17")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.repro, Some(17));
+        assert!(matches!(parse(&argv("explore x --seeds 9..9")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --seeds 9..2")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --seeds 0")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --seeds a..b")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("run")), Err(CliError::Usage(_))));
@@ -404,5 +606,9 @@ mod tests {
         assert!(matches!(parse(&argv("show")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("run x --fidelity maybe")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("run x --hw tso")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --model wo,tso")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --drain 0.3,high")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --jobs many")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("explore x --bogus")), Err(CliError::Usage(_))));
     }
 }

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use wmrd_core::{render, PairingPolicy, PostMortem};
+use wmrd_explore::{run_campaign, CampaignSpec, ExecSpec, PostMortemPolicy};
 use wmrd_progs::catalog;
 use wmrd_sim::{
     run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
@@ -13,7 +14,7 @@ use wmrd_trace::{Metrics, MultiSink, OpRecorder, TraceBuilder, TraceSet};
 use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
-use crate::args::{parse, AnalyzeOpts, CheckOpts, Command, RunOpts, USAGE};
+use crate::args::{parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, RunOpts, USAGE};
 use crate::CliError;
 
 fn file_err(path: &str) -> impl FnOnce(std::io::Error) -> CliError + '_ {
@@ -68,6 +69,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Run(opts) => cmd_run(&opts),
         Command::Analyze(opts) => cmd_analyze(&opts),
         Command::Check(opts) => cmd_check(&opts),
+        Command::Explore(opts) => cmd_explore(&opts),
         Command::Demo => cmd_demo(),
     }
 }
@@ -333,6 +335,101 @@ fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds the campaign spec an `explore` invocation describes.
+fn campaign_spec(opts: &ExploreOpts) -> CampaignSpec {
+    let mut config = RunConfig::default();
+    if let Some(steps) = opts.budget {
+        config = config.with_max_steps(steps);
+    }
+    if let Some(cycles) = opts.cycle_budget {
+        config = config.with_max_cycles(cycles);
+    }
+    let mut spec = CampaignSpec::new(opts.seeds.0, opts.seeds.1)
+        .with_hws(opts.hws.clone())
+        .with_models(opts.models.clone())
+        .with_drain_probs(opts.drain_probs.clone())
+        .with_config(config);
+    spec.fidelity = opts.fidelity;
+    spec.pairing = opts.pairing;
+    if opts.always_analyze {
+        spec = spec.with_postmortem(PostMortemPolicy::Always);
+    }
+    spec
+}
+
+fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
+    let program = load_program(&opts.program)?;
+    let spec = campaign_spec(opts);
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "explore");
+    metrics.context("program", program.name());
+
+    if let Some(seed) = opts.repro {
+        // Replay one point in full detail; the configuration lists
+        // pick their first entries, so a finding's coordinates can be
+        // fed back verbatim.
+        let exec = ExecSpec {
+            hw: spec.hws[0],
+            model: spec.models[0],
+            fidelity: spec.fidelity,
+            drain_prob: spec.drain_probs[0],
+            seed,
+        };
+        metrics.context("seed", seed);
+        let replay = wmrd_explore::replay(&program, &exec, spec.config, spec.pairing)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay of {} (seed {}, {}, {}, p={}{})",
+            program.name(),
+            seed,
+            exec.hw,
+            exec.model,
+            exec.drain_prob,
+            if replay.budget_hit { ", budget-stopped" } else { "" },
+        );
+        let _ = write!(out, "{}", replay.report);
+        if !replay.keys.is_empty() {
+            let _ = writeln!(out, "race identities reached by this seed:");
+            for key in &replay.keys {
+                let _ = writeln!(
+                    out,
+                    "  m[{}] {}:{:?} × {}:{:?}",
+                    key.loc.addr(),
+                    key.a.proc,
+                    key.a.kind,
+                    key.b.proc,
+                    key.b.kind
+                );
+            }
+        }
+        emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+        return Ok(out);
+    }
+
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.jobs
+    };
+    let report = run_campaign(&program, &spec, jobs, &metrics)?;
+    report.record_into(&metrics);
+    let mut out = report.render();
+    if !report.is_race_free() {
+        let _ = writeln!(
+            out,
+            "reproduce a finding with: wmrd explore {} --repro <seed> (plus its hw/model/drain flags)",
+            opts.program
+        );
+    }
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?).map_err(file_err(path))?;
+        let _ = writeln!(out, "campaign report written to {path}");
+    }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+    Ok(out)
+}
+
 fn cmd_demo() -> Result<String, CliError> {
     let entry = catalog::work_queue_buggy();
     let mut sink = TraceBuilder::new(entry.program.num_procs());
@@ -515,6 +612,67 @@ mod tests {
         let out = run_cli(&argv("run fig1a")).unwrap();
         assert!(!out.contains("metrics written"), "{out}");
         assert!(!out.contains("counters:"), "{out}");
+    }
+
+    #[test]
+    fn explore_hunts_and_dedups_races() {
+        let out = run_cli(&argv("explore fig1a --seeds 0..12 --jobs 2")).unwrap();
+        assert!(out.contains("campaign: fig1a (12 points)"), "{out}");
+        assert!(out.contains("deduplicated race"), "fig1a is racy:\n{out}");
+        assert!(out.contains("store-buffer/WO/p=0.3"), "{out}");
+        assert!(out.contains("reproduce a finding"), "{out}");
+    }
+
+    #[test]
+    fn explore_race_free_program() {
+        let out = run_cli(&argv("explore producer-consumer --seeds 0..6 --jobs 2")).unwrap();
+        assert!(out.contains("no data races found"), "{out}");
+    }
+
+    #[test]
+    fn explore_repro_replays_one_seed() {
+        // Find a racy seed, then replay it.
+        let campaign = run_cli(&argv("explore fig1a --seeds 0..12 --jobs 2")).unwrap();
+        let seed_word = campaign
+            .split("(seed ")
+            .nth(1)
+            .expect("a finding names its first-reaching seed")
+            .split(',')
+            .next()
+            .unwrap();
+        let out =
+            run_cli(&argv(&format!("explore fig1a --repro {seed_word} --seeds 0..12"))).unwrap();
+        assert!(out.contains(&format!("replay of fig1a (seed {seed_word}")), "{out}");
+        assert!(out.contains("race identities reached by this seed"), "{out}");
+    }
+
+    #[test]
+    fn explore_report_and_metrics_files() {
+        let report_path = tmp("campaign.json");
+        let m_path = tmp("m-explore.json");
+        let out = run_cli(&argv(&format!(
+            "explore fig1a --seeds 0..8 --jobs 2 --report {report_path} --metrics {m_path} --stats"
+        )))
+        .unwrap();
+        assert!(out.contains("campaign report written to"), "{out}");
+        assert!(out.contains("explore.executions"), "--stats summary:\n{out}");
+        let report: wmrd_explore::CampaignReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert_eq!(report.executions, 8);
+        assert!(!report.is_race_free());
+        let metrics: wmrd_trace::RunMetrics =
+            serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
+        assert_eq!(metrics.context.get("command").map(String::as_str), Some("explore"));
+        assert_eq!(metrics.counter("explore.executions"), Some(8));
+        assert!(metrics.phase_ns("explore.campaign").is_some());
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_file(&m_path).ok();
+    }
+
+    #[test]
+    fn explore_budget_flags_bound_every_execution() {
+        let out = run_cli(&argv("explore fig1a --seeds 0..4 --jobs 1 --budget 1")).unwrap();
+        assert!(out.contains("4 budget-stopped"), "{out}");
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub enum CliError {
     Analysis(wmrd_core::AnalysisError),
     /// Verification failed.
     Verify(wmrd_verify::VerifyError),
+    /// A campaign failed.
+    Explore(wmrd_explore::ExploreError),
     /// An I/O error.
     Io(std::io::Error),
     /// An I/O error on a specific file (named so the user knows which
@@ -41,6 +43,7 @@ impl fmt::Display for CliError {
             CliError::Trace(e) => write!(f, "trace error: {e}"),
             CliError::Analysis(e) => write!(f, "analysis failed: {e}"),
             CliError::Verify(e) => write!(f, "verification failed: {e}"),
+            CliError::Explore(e) => write!(f, "exploration failed: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::File { path, source } => write!(f, "{path}: {source}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
@@ -55,6 +58,7 @@ impl std::error::Error for CliError {
             CliError::Trace(e) => Some(e),
             CliError::Analysis(e) => Some(e),
             CliError::Verify(e) => Some(e),
+            CliError::Explore(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::File { source, .. } => Some(source),
             CliError::Json(e) => Some(e),
@@ -84,6 +88,12 @@ impl From<wmrd_core::AnalysisError> for CliError {
 impl From<wmrd_verify::VerifyError> for CliError {
     fn from(e: wmrd_verify::VerifyError) -> Self {
         CliError::Verify(e)
+    }
+}
+
+impl From<wmrd_explore::ExploreError> for CliError {
+    fn from(e: wmrd_explore::ExploreError) -> Self {
+        CliError::Explore(e)
     }
 }
 

@@ -64,6 +64,7 @@ mod augmented;
 mod error;
 mod graph;
 mod hb;
+mod identity;
 mod onthefly;
 pub mod ops;
 mod pairing;
@@ -81,6 +82,7 @@ pub use augmented::AugmentedGraph;
 pub use error::AnalysisError;
 pub use graph::{Condensation, DiGraph, Reachability, SccInfo};
 pub use hb::HbGraph;
+pub use identity::{event_race_keys, one_event_race_keys, op_race_keys, RaceKey, SideKey};
 pub use onthefly::{OnTheFly, OnTheFlyConfig, OnTheFlyRace};
 pub use pairing::{so1_edges, PairingPolicy, So1Edge};
 pub use parallel::{

@@ -152,7 +152,7 @@ impl OpAnalysis {
                 }
             }
         }
-        races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
+        races.sort_by_key(|r| (r.a, r.b));
 
         // Augmented graph: hb edges + double edges per data race.
         let mut aug = DiGraph::new(nodes.len());

@@ -149,7 +149,7 @@ pub fn detect_races_parallel_metered(
             Some(DataRace { a, b, locations, kind })
         })
         .collect();
-    races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
+    races.sort_by_key(|r| (r.a, r.b));
     races
 }
 
@@ -241,7 +241,7 @@ mod tests {
         let mut b = TraceBuilder::new(procs as usize);
         for proc in 0..procs {
             for loc in 0..locs {
-                if (proc + loc as u16) % 2 == 0 {
+                if (proc + loc as u16).is_multiple_of(2) {
                     b.data_access(p(proc), l(loc), AccessKind::Write, Value::new(1), None);
                 } else {
                     b.data_access(p(proc), l(loc), AccessKind::Read, Value::ZERO, None);

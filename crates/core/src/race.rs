@@ -157,7 +157,7 @@ pub fn detect_races_with_stats(trace: &TraceSet, hb: &HbGraph) -> (Vec<DataRace>
             }
         }
     }
-    races.sort_by(|r1, r2| (r1.a, r1.b).cmp(&(r2.a, r2.b)));
+    races.sort_by_key(|r| (r.a, r.b));
     stats.races = races.len() as u64;
     (races, stats)
 }

@@ -1,0 +1,300 @@
+//! The campaign engine: parallel seeded executions, analyzed and folded
+//! into one deterministic report.
+//!
+//! Work distribution is a shared atomic cursor over the spec's point
+//! list: `jobs` worker threads (std threads — the workload is pure CPU
+//! and the unit of work is a whole execution, so a work-stealing
+//! runtime would buy nothing) claim points in order, run them on a
+//! per-configuration [`CampaignRunner`] (machine reuse, no per-seed
+//! rebuild), and deposit an outcome into the point's slot. The fold
+//! over slots happens sequentially in spec order, which is what makes
+//! the report independent of `jobs` and "first-reaching seed" well
+//! defined.
+//!
+//! Per execution the trace is consumed twice, cheaply: an
+//! [`OnTheFly`] vector-clock detector rides the sink pipeline as the
+//! fast path, and only executions it flags (or every execution, under
+//! [`PostMortemPolicy::Always`]) pay for the full post-mortem — graph
+//! construction, partitioning, first partitions.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wmrd_core::{
+    event_race_keys, one_event_race_keys, OnTheFly, OnTheFlyConfig, PostMortem, RaceKey,
+};
+use wmrd_sim::{
+    run_weak_hw, CampaignRunner, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig, SimError,
+};
+use wmrd_trace::{metric_keys, Metrics, MultiSink, TraceBuilder, TraceSet};
+
+use crate::report::{CampaignReport, RaceFinding};
+use crate::spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
+use crate::ExploreError;
+
+/// Everything one execution contributes to the fold.
+#[derive(Debug, Clone)]
+struct PointOutcome {
+    exec: ExecSpec,
+    budget_hit: bool,
+    steps: u64,
+    final_state: u64,
+    racy: bool,
+    postmortem: bool,
+    keys: BTreeSet<RaceKey>,
+    first_profile: Vec<RaceKey>,
+}
+
+/// The result of replaying one campaign point in full detail (the
+/// `--repro` path).
+#[derive(Debug)]
+pub struct Replay {
+    /// The execution's coordinates.
+    pub exec: ExecSpec,
+    /// `true` if the execution was stopped by a step or cycle budget.
+    pub budget_hit: bool,
+    /// The (possibly partial) event trace.
+    pub trace: TraceSet,
+    /// The full post-mortem analysis of the trace.
+    pub report: wmrd_core::RaceReport,
+    /// The execution-independent identities of the trace's data races.
+    pub keys: BTreeSet<RaceKey>,
+}
+
+/// Runs a campaign over `program`, distributing points over `jobs`
+/// worker threads.
+///
+/// The returned report depends only on `program` and `spec` — never on
+/// `jobs` — and every finding's `first` coordinates reproduce the race
+/// via [`replay`].
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidSpec`] for a degenerate spec,
+/// [`ExploreError::Sim`] if the program fails validation or an
+/// execution fails with a non-budget simulator error, and
+/// [`ExploreError::Analysis`] if a post-mortem rejects a trace. Budget
+/// exhaustion ([`SimError::StepLimit`] / [`SimError::CycleLimit`]) is
+/// counted, not raised: the partial trace is analyzed like any other.
+pub fn run_campaign(
+    program: &Program,
+    spec: &CampaignSpec,
+    jobs: usize,
+    metrics: &Metrics,
+) -> Result<CampaignReport, ExploreError> {
+    spec.validate()?;
+    program.validate()?;
+    let points = spec.points();
+    let jobs = jobs.clamp(1, points.len());
+    metrics.max_gauge(metric_keys::EXPLORE_JOBS, jobs as u64);
+
+    let program = Arc::new(program.clone());
+    let slots: Mutex<Vec<Option<Result<PointOutcome, ExploreError>>>> =
+        Mutex::new((0..points.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+
+    metrics.time(metric_keys::EXPLORE_CAMPAIGN, || {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    // One runner per hardware/model pair, built lazily and
+                    // reused (reset, not rebuilt) across this worker's
+                    // claimed seeds.
+                    let mut runners: Vec<((HwImpl, MemoryModel), CampaignRunner)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(i) else { break };
+                        let result = run_point(&program, point, spec, &mut runners);
+                        slots.lock().unwrap()[i] = Some(result);
+                    }
+                });
+            }
+        });
+    });
+
+    let outcomes = slots.into_inner().unwrap();
+    fold(program.name(), &points, outcomes)
+}
+
+/// Runs one point on a (possibly reused) machine.
+fn run_point(
+    program: &Arc<Program>,
+    point: &CampaignPoint,
+    spec: &CampaignSpec,
+    runners: &mut Vec<((HwImpl, MemoryModel), CampaignRunner)>,
+) -> Result<PointOutcome, ExploreError> {
+    let exec = point.exec;
+    let key = (exec.hw, exec.model);
+    let runner = match runners.iter_mut().position(|(k, _)| *k == key) {
+        Some(i) => &mut runners[i].1,
+        None => {
+            let runner = CampaignRunner::new(
+                Arc::clone(program),
+                exec.hw,
+                exec.model,
+                exec.fidelity,
+                spec.config,
+            )?;
+            runners.push((key, runner));
+            &mut runners.last_mut().expect("just pushed").1
+        }
+    };
+
+    let mut sched = RandomWeakSched::new(exec.seed, exec.drain_prob);
+    let mut sink = MultiSink::new(
+        TraceBuilder::new(program.num_procs()),
+        OnTheFly::new(
+            program.num_procs(),
+            OnTheFlyConfig { pairing: spec.pairing, ..OnTheFlyConfig::default() },
+        ),
+    );
+    let run = runner.run(&mut sched, &mut sink);
+    let (builder, otf) = sink.into_inner();
+    let (budget_hit, steps, mut final_state) = match run {
+        Ok(out) => {
+            // Settled shared memory is the schedule-coverage
+            // fingerprint: schedules that produced different final
+            // states certainly covered different behaviors.
+            let mut h = DefaultHasher::new();
+            out.final_memory.hash(&mut h);
+            (false, out.steps, h.finish())
+        }
+        Err(SimError::StepLimit(_)) | Err(SimError::CycleLimit(_)) => (true, 0, 0),
+        Err(e) => return Err(e.into()),
+    };
+    let trace = builder.finish();
+    if budget_hit {
+        // No settled memory for a budget-stopped run; fingerprint the
+        // partial trace's shape instead, tagged so it never collides
+        // with a completed run's state.
+        let mut h = DefaultHasher::new();
+        u8::MAX.hash(&mut h);
+        for p in trace.processors() {
+            p.events().len().hash(&mut h);
+        }
+        final_state = h.finish();
+    }
+
+    let fast_path_hit = !otf.races().is_empty();
+    let wants_postmortem = fast_path_hit || spec.postmortem == PostMortemPolicy::Always;
+    let (racy, keys, first_profile, postmortem) = if wants_postmortem {
+        let report = PostMortem::new(&trace).pairing(spec.pairing).analyze()?;
+        let keys = event_race_keys(&report.races, &trace);
+        let mut profile = BTreeSet::new();
+        for part in report.partitions.first_partitions() {
+            for &ri in &part.races {
+                profile.extend(one_event_race_keys(&report.races[ri], &trace));
+            }
+        }
+        (!report.is_race_free(), keys, profile.into_iter().collect(), true)
+    } else {
+        (false, BTreeSet::new(), Vec::new(), false)
+    };
+
+    Ok(PointOutcome { exec, budget_hit, steps, final_state, racy, postmortem, keys, first_profile })
+}
+
+/// Folds outcomes in spec order into the deterministic report.
+fn fold(
+    program: &str,
+    points: &[CampaignPoint],
+    outcomes: Vec<Option<Result<PointOutcome, ExploreError>>>,
+) -> Result<CampaignReport, ExploreError> {
+    let mut report = CampaignReport {
+        program: program.to_string(),
+        points: points.len() as u64,
+        ..CampaignReport::default()
+    };
+    let mut findings: BTreeMap<RaceKey, RaceFinding> = BTreeMap::new();
+    let mut profiles: BTreeSet<Vec<RaceKey>> = BTreeSet::new();
+    let mut final_states: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+
+    for slot in outcomes {
+        let outcome = slot.expect("every point claimed exactly once")?;
+        report.executions += 1;
+        report.total_steps += outcome.steps;
+        if outcome.budget_hit {
+            report.budget_hits += 1;
+        }
+        if outcome.postmortem {
+            report.postmortems += 1;
+        }
+        if outcome.racy {
+            report.racy_executions += 1;
+            profiles.insert(outcome.first_profile.clone());
+        }
+
+        let label =
+            format!("{}/{}/p={}", outcome.exec.hw, outcome.exec.model, outcome.exec.drain_prob);
+        let row = report.coverage.entry(label.clone()).or_default();
+        row.executions += 1;
+        if outcome.budget_hit {
+            row.budget_hits += 1;
+        }
+        if outcome.racy {
+            row.racy += 1;
+        }
+        final_states.entry(label).or_default().insert(outcome.final_state);
+
+        let profile_set: BTreeSet<&RaceKey> = outcome.first_profile.iter().collect();
+        for key in outcome.keys {
+            let in_first = profile_set.contains(&key);
+            let finding = findings.entry(key).or_insert_with(|| RaceFinding {
+                key,
+                hits: 0,
+                first_partition_hits: 0,
+                first: outcome.exec,
+            });
+            finding.hits += 1;
+            if in_first {
+                finding.first_partition_hits += 1;
+            }
+        }
+    }
+
+    for (label, states) in final_states {
+        report.coverage.get_mut(&label).expect("row exists").distinct_final_states =
+            states.len() as u64;
+    }
+    report.races = findings.into_values().collect();
+    report.first_partition_profiles = profiles.into_iter().collect();
+    Ok(report)
+}
+
+/// Re-executes one campaign point with full detail: the trace, the
+/// complete post-mortem report and the race identities — everything
+/// needed to debug a finding from its `first` coordinates.
+///
+/// Replay builds a fresh machine via the public runner entry points, so
+/// it also serves as the independent check that the campaign's
+/// machine-reuse path changed nothing.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`], for a single point.
+pub fn replay(
+    program: &Program,
+    exec: &ExecSpec,
+    config: RunConfig,
+    pairing: wmrd_core::PairingPolicy,
+) -> Result<Replay, ExploreError> {
+    let mut sched = RandomWeakSched::new(exec.seed, exec.drain_prob);
+    let mut builder = TraceBuilder::new(program.num_procs());
+    let run =
+        run_weak_hw(exec.hw, program, exec.model, exec.fidelity, &mut sched, &mut builder, config);
+    let budget_hit = match run {
+        Ok(_) => false,
+        Err(SimError::StepLimit(_)) | Err(SimError::CycleLimit(_)) => true,
+        Err(e) => return Err(e.into()),
+    };
+    let mut trace = builder.finish();
+    trace.meta.program = Some(program.name().to_string());
+    trace.meta.model = Some(exec.model.to_string());
+    trace.meta.seed = Some(exec.seed);
+    let report = PostMortem::new(&trace).pairing(pairing).analyze()?;
+    let keys = event_race_keys(&report.races, &trace);
+    Ok(Replay { exec: *exec, budget_hit, trace, report, keys })
+}

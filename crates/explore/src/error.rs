@@ -1,0 +1,75 @@
+//! Error type for campaign construction and execution.
+
+use std::fmt;
+
+use wmrd_core::AnalysisError;
+use wmrd_sim::SimError;
+
+/// Errors produced while building or running a campaign.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The campaign spec is unusable (empty seed range, empty model
+    /// list, out-of-range drain probability, …).
+    InvalidSpec(String),
+    /// The simulator rejected the program or an execution failed with a
+    /// non-budget error (budget exhaustion is *not* an error — it is
+    /// counted and the partial trace is still analyzed).
+    Sim(SimError),
+    /// The post-mortem analysis rejected a trace.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidSpec(m) => write!(f, "invalid campaign spec: {m}"),
+            ExploreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExploreError::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::InvalidSpec(_) => None,
+            ExploreError::Sim(e) => Some(e),
+            ExploreError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ExploreError {
+    fn from(e: SimError) -> Self {
+        ExploreError::Sim(e)
+    }
+}
+
+impl From<AnalysisError> for ExploreError {
+    fn from(e: AnalysisError) -> Self {
+        ExploreError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExploreError::InvalidSpec("no seeds".into());
+        assert!(e.to_string().contains("no seeds"));
+        use std::error::Error;
+        assert!(e.source().is_none());
+        let e: ExploreError = SimError::StepLimit(5).into();
+        assert!(e.to_string().contains("5"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExploreError>();
+    }
+}

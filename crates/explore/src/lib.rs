@@ -1,0 +1,202 @@
+//! Parallel schedule-space exploration for cross-execution race hunting.
+//!
+//! The paper's analysis is post-mortem over a *single* observed
+//! execution: which races surface depends entirely on the schedule and
+//! drain timings the simulator happened to pick, and Theorem 4.2's
+//! guarantee (first partitions contain a race from *some* sequentially
+//! consistent execution) is per-execution. This crate drives the
+//! detector *across* executions: a campaign runs a program under a
+//! cross product of hardware models, drain policies and scheduler
+//! seeds — in parallel — pipes every trace through the `wmrd-core`
+//! pipeline (on-the-fly fast path, full post-mortem on race hits), and
+//! deduplicates what it finds by execution-independent identity
+//! ([`wmrd_core::RaceKey`], the paper's Section 2.1 "part of the
+//! program" notion) into one deterministic [`CampaignReport`]:
+//!
+//! * per-race hit counts and first-partition hit counts,
+//! * the first-reaching seed of every race, for exact reproduction via
+//!   the seeded schedulers ([`replay`]),
+//! * schedule-coverage counters per hardware configuration, and
+//! * first-partition stability across executions.
+//!
+//! # Example
+//!
+//! ```
+//! use wmrd_explore::{run_campaign, CampaignSpec};
+//! use wmrd_sim::{Addr, Instr, Program, Reg};
+//! use wmrd_trace::{Location, Metrics};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A racy program: unsynchronized write/read of x.
+//! let x = Location::new(0);
+//! let mut prog = Program::new("racy", 1);
+//! prog.push_proc(vec![Instr::St { src: 1.into(), addr: Addr::Abs(x) }, Instr::Halt]);
+//! prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(x) }, Instr::Halt]);
+//!
+//! let spec = CampaignSpec::new(0, 16);
+//! let report = run_campaign(&prog, &spec, 4, &Metrics::disabled())?;
+//! assert_eq!(report.executions, 16);
+//! assert!(!report.is_race_free());
+//! let finding = &report.races[0];
+//! // The first-reaching seed replays to the same identity.
+//! let replay = wmrd_explore::replay(&prog, &finding.first, spec.config, spec.pairing)?;
+//! assert!(replay.keys.contains(&finding.key));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod report;
+mod spec;
+
+pub use engine::{replay, run_campaign, Replay};
+pub use error::ExploreError;
+pub use report::{CampaignReport, CoverageRow, RaceFinding};
+pub use spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_sim::{Addr, HwImpl, Instr, MemoryModel, Program, Reg, RunConfig};
+    use wmrd_trace::{Location, Metrics};
+
+    fn racy_program() -> Program {
+        let x = Location::new(0);
+        let mut prog = Program::new("racy", 1);
+        prog.push_proc(vec![Instr::St { src: 1.into(), addr: Addr::Abs(x) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(x) }, Instr::Halt]);
+        prog
+    }
+
+    /// Two independent races so dedup has something to keep apart.
+    fn two_race_program() -> Program {
+        let mut prog = Program::new("two-races", 2);
+        prog.push_proc(vec![
+            Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(0)) },
+            Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(1)) },
+            Instr::Halt,
+        ]);
+        prog.push_proc(vec![
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) },
+            Instr::Ld { dst: Reg::new(1), addr: Addr::Abs(Location::new(1)) },
+            Instr::Halt,
+        ]);
+        prog
+    }
+
+    fn drf_program() -> Program {
+        // One processor, no sharing: nothing can race.
+        let mut prog = Program::new("drf", 1);
+        prog.push_proc(vec![
+            Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(0)) },
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) },
+            Instr::Halt,
+        ]);
+        prog
+    }
+
+    #[test]
+    fn report_is_independent_of_jobs() {
+        let prog = two_race_program();
+        let spec = CampaignSpec::new(0, 24)
+            .with_hws(vec![HwImpl::StoreBuffer, HwImpl::InvalQueue])
+            .with_models(vec![MemoryModel::Wo, MemoryModel::RCsc]);
+        let r1 = run_campaign(&prog, &spec, 1, &Metrics::disabled()).unwrap();
+        let r4 = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+        let r9 = run_campaign(&prog, &spec, 9, &Metrics::disabled()).unwrap();
+        assert_eq!(r1, r4);
+        assert_eq!(r1, r9);
+        assert_eq!(r1.executions, spec.num_points() as u64);
+    }
+
+    #[test]
+    fn campaign_dedups_and_counts_hits() {
+        let prog = two_race_program();
+        let spec = CampaignSpec::new(0, 32);
+        let report = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+        assert!(!report.is_race_free());
+        // Two distinct identities (one per location), never merged.
+        let locs: std::collections::BTreeSet<u32> = report.keys().map(|k| k.loc.addr()).collect();
+        assert_eq!(locs.len(), report.races.len(), "one identity per location here");
+        // Hit counts sum over many executions but identities stay few.
+        let hits: u64 = report.races.iter().map(|f| f.hits).sum();
+        assert!(hits >= report.races.len() as u64);
+        assert!(report.races.len() <= 4, "dedup keeps the identity count small");
+        // Coverage row exists for the default configuration.
+        assert!(report.coverage.contains_key("store-buffer/WO/p=0.3"));
+    }
+
+    #[test]
+    fn race_free_program_yields_empty_report() {
+        let report =
+            run_campaign(&drf_program(), &CampaignSpec::new(0, 8), 2, &Metrics::disabled())
+                .unwrap();
+        assert!(report.is_race_free());
+        assert_eq!(report.racy_executions, 0);
+        assert_eq!(report.postmortems, 0, "fast path skips every post-mortem");
+        assert!(report.first_partition_profiles.is_empty());
+    }
+
+    #[test]
+    fn always_policy_runs_every_postmortem() {
+        let spec = CampaignSpec::new(0, 8).with_postmortem(PostMortemPolicy::Always);
+        let report = run_campaign(&drf_program(), &spec, 2, &Metrics::disabled()).unwrap();
+        assert_eq!(report.postmortems, 8);
+        assert!(report.is_race_free());
+    }
+
+    #[test]
+    fn every_finding_replays_to_its_identity() {
+        let prog = two_race_program();
+        let spec = CampaignSpec::new(0, 16).with_hws(vec![HwImpl::StoreBuffer, HwImpl::InvalQueue]);
+        let report = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+        assert!(!report.is_race_free());
+        for finding in &report.races {
+            let replay = replay(&prog, &finding.first, spec.config, spec.pairing).unwrap();
+            assert!(
+                replay.keys.contains(&finding.key),
+                "seed {} must reproduce {:?}",
+                finding.first.seed,
+                finding.key
+            );
+        }
+    }
+
+    #[test]
+    fn budget_hits_are_counted_not_fatal() {
+        let spec = CampaignSpec::new(0, 4).with_config(RunConfig::uniform().with_max_steps(2));
+        let report = run_campaign(&racy_program(), &spec, 2, &Metrics::disabled()).unwrap();
+        assert_eq!(report.budget_hits, 4, "every run stops at the 2-step budget");
+        assert_eq!(report.executions, 4);
+    }
+
+    #[test]
+    fn metrics_are_recorded_under_explore_keys() {
+        let m = Metrics::enabled();
+        let report = run_campaign(&racy_program(), &CampaignSpec::new(0, 8), 2, &m).unwrap();
+        report.record_into(&m);
+        let r = m.report();
+        assert_eq!(r.counter("explore.executions"), Some(8));
+        assert_eq!(r.gauge("explore.jobs"), Some(2));
+        assert!(r.phase_ns("explore.campaign").is_some());
+        assert_eq!(r.counter("explore.unique_races"), Some(report.races.len() as u64));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let err = run_campaign(&racy_program(), &CampaignSpec::new(5, 5), 1, &Metrics::disabled());
+        assert!(matches!(err, Err(ExploreError::InvalidSpec(_))));
+        let err = run_campaign(
+            &Program::new("empty", 1),
+            &CampaignSpec::new(0, 2),
+            1,
+            &Metrics::disabled(),
+        );
+        assert!(matches!(err, Err(ExploreError::Sim(_))), "no processors");
+    }
+}

@@ -1,0 +1,225 @@
+//! The deduplicated product of a campaign.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+use wmrd_core::RaceKey;
+use wmrd_trace::{metric_keys, Metrics};
+
+use crate::spec::ExecSpec;
+
+/// One deduplicated race identity with its campaign-wide evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RaceFinding {
+    /// The execution-independent identity ([`RaceKey`]).
+    pub key: RaceKey,
+    /// Executions in which the identity appeared.
+    pub hits: u64,
+    /// Executions in which it appeared inside a *first* partition —
+    /// i.e. with Theorem 4.2's report-worthiness guarantee.
+    pub first_partition_hits: u64,
+    /// The first point (least spec index) that reached the race; its
+    /// seed reproduces the finding exactly via the seeded schedulers.
+    pub first: ExecSpec,
+}
+
+/// Per-configuration schedule-coverage counters: how much of a
+/// hardware/model/drain-probability combination's schedule space the
+/// seeds actually exercised.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Executions run under this configuration.
+    pub executions: u64,
+    /// Executions in which the analysis confirmed at least one data
+    /// race.
+    pub racy: u64,
+    /// Executions stopped by a step or cycle budget.
+    pub budget_hits: u64,
+    /// Distinct final shared-memory states observed — a lower bound on
+    /// the number of semantically different schedules covered.
+    pub distinct_final_states: u64,
+}
+
+/// The deduplicated, deterministic result of a campaign.
+///
+/// For a fixed program and [`CampaignSpec`](crate::CampaignSpec) the
+/// report is byte-identical regardless of how many worker threads
+/// produced it: points are folded in spec order, findings are keyed by
+/// the totally ordered [`RaceKey`], and coverage rows by configuration
+/// label.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Name of the explored program.
+    pub program: String,
+    /// Points in the spec (executions attempted).
+    pub points: u64,
+    /// Executions that completed (all of them, unless a worker failed).
+    pub executions: u64,
+    /// Executions stopped by a step or cycle budget.
+    pub budget_hits: u64,
+    /// Executions with at least one confirmed data race.
+    pub racy_executions: u64,
+    /// Full post-mortem analyses performed.
+    pub postmortems: u64,
+    /// Simulator steps summed over executions that ran to quiescence.
+    pub total_steps: u64,
+    /// Deduplicated findings, in [`RaceKey`] order.
+    pub races: Vec<RaceFinding>,
+    /// Coverage counters keyed by `"hw/model/p=drain_prob"` labels.
+    pub coverage: BTreeMap<String, CoverageRow>,
+    /// Distinct first-partition profiles (each a sorted list of the
+    /// race keys appearing in first partitions) observed across racy
+    /// executions. One profile means the first-partition structure is
+    /// stable under schedule perturbation; several mean different
+    /// schedules surface different "report first" sets.
+    pub first_partition_profiles: Vec<Vec<RaceKey>>,
+}
+
+impl CampaignReport {
+    /// The deduplicated race identities, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &RaceKey> {
+        self.races.iter().map(|f| &f.key)
+    }
+
+    /// Looks up a finding by identity.
+    pub fn finding(&self, key: &RaceKey) -> Option<&RaceFinding> {
+        self.races.iter().find(|f| &f.key == key)
+    }
+
+    /// `true` if no execution exhibited a data race.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Records the campaign's aggregate counters under the `explore.*`
+    /// metric keys (see `OBSERVABILITY.md`).
+    pub fn record_into(&self, metrics: &Metrics) {
+        metrics.add(metric_keys::EXPLORE_EXECUTIONS, self.executions);
+        metrics.add(metric_keys::EXPLORE_BUDGET_HITS, self.budget_hits);
+        metrics.add(metric_keys::EXPLORE_RACY_EXECUTIONS, self.racy_executions);
+        metrics.add(metric_keys::EXPLORE_POSTMORTEMS, self.postmortems);
+        metrics.add(metric_keys::EXPLORE_TOTAL_STEPS, self.total_steps);
+        metrics.add(metric_keys::EXPLORE_UNIQUE_RACES, self.races.len() as u64);
+        metrics.add(metric_keys::EXPLORE_RACE_HITS, self.races.iter().map(|f| f.hits).sum::<u64>());
+        metrics.max_gauge(metric_keys::EXPLORE_POINTS, self.points);
+        metrics.max_gauge(
+            metric_keys::EXPLORE_PARTITION_PROFILES,
+            self.first_partition_profiles.len() as u64,
+        );
+    }
+
+    /// Human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "campaign: {} ({} points)", self.program, self.points);
+        let _ = writeln!(
+            out,
+            "executions: {} ({} racy, {} budget-stopped, {} post-mortems)",
+            self.executions, self.racy_executions, self.budget_hits, self.postmortems
+        );
+        for (label, row) in &self.coverage {
+            let _ = writeln!(
+                out,
+                "  {label:<28} {:>6} runs  {:>5} racy  {:>4} final states",
+                row.executions, row.racy, row.distinct_final_states
+            );
+        }
+        if self.races.is_empty() {
+            let _ = writeln!(out, "no data races found");
+        } else {
+            let _ = writeln!(out, "{} deduplicated race(s):", self.races.len());
+            for f in &self.races {
+                let _ = writeln!(
+                    out,
+                    "  m[{}] {}:{:?}{} × {}:{:?}{}  hits={} first={} (seed {}, {}, {}, p={})",
+                    f.key.loc.addr(),
+                    f.key.a.proc,
+                    f.key.a.kind,
+                    if f.key.a.sync { "(sync)" } else { "" },
+                    f.key.b.proc,
+                    f.key.b.kind,
+                    if f.key.b.sync { "(sync)" } else { "" },
+                    f.hits,
+                    f.first_partition_hits,
+                    f.first.seed,
+                    f.first.hw,
+                    f.first.model,
+                    f.first.drain_prob,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "first-partition stability: {} distinct profile(s) across racy executions",
+                self.first_partition_profiles.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_core::SideKey;
+    use wmrd_sim::{Fidelity, HwImpl, MemoryModel};
+    use wmrd_trace::{AccessKind, Location, ProcId};
+
+    fn finding() -> RaceFinding {
+        let a = SideKey { proc: ProcId::new(0), kind: AccessKind::Write, sync: false };
+        let b = SideKey { proc: ProcId::new(1), kind: AccessKind::Read, sync: false };
+        RaceFinding {
+            key: RaceKey::new(Location::new(2), a, b),
+            hits: 3,
+            first_partition_hits: 2,
+            first: ExecSpec {
+                hw: HwImpl::StoreBuffer,
+                model: MemoryModel::Wo,
+                fidelity: Fidelity::Conditioned,
+                drain_prob: 0.3,
+                seed: 17,
+            },
+        }
+    }
+
+    #[test]
+    fn render_names_the_race_and_its_seed() {
+        let mut report = CampaignReport {
+            program: "t".into(),
+            points: 10,
+            executions: 10,
+            racy_executions: 3,
+            races: vec![finding()],
+            ..CampaignReport::default()
+        };
+        report.first_partition_profiles.push(vec![finding().key]);
+        let text = report.render();
+        assert!(text.contains("m[2]"), "{text}");
+        assert!(text.contains("seed 17"), "{text}");
+        assert!(text.contains("1 deduplicated race"), "{text}");
+        assert!(!report.is_race_free());
+        assert!(report.finding(&finding().key).is_some());
+        assert_eq!(report.keys().count(), 1);
+    }
+
+    #[test]
+    fn record_into_uses_explore_namespace() {
+        let report = CampaignReport {
+            program: "t".into(),
+            points: 4,
+            executions: 4,
+            racy_executions: 1,
+            total_steps: 99,
+            races: vec![finding()],
+            ..CampaignReport::default()
+        };
+        let m = Metrics::enabled();
+        report.record_into(&m);
+        let r = m.report();
+        assert_eq!(r.counter(metric_keys::EXPLORE_EXECUTIONS), Some(4));
+        assert_eq!(r.counter(metric_keys::EXPLORE_UNIQUE_RACES), Some(1));
+        assert_eq!(r.counter(metric_keys::EXPLORE_RACE_HITS), Some(3));
+        assert_eq!(r.counter(metric_keys::EXPLORE_TOTAL_STEPS), Some(99));
+        assert_eq!(r.gauge(metric_keys::EXPLORE_POINTS), Some(4));
+    }
+}

@@ -1,0 +1,233 @@
+//! What a campaign explores: the cross product of hardware models,
+//! drain policies and scheduler seeds.
+
+use serde::{Deserialize, Serialize};
+use wmrd_core::PairingPolicy;
+use wmrd_sim::{Fidelity, HwImpl, MemoryModel, RunConfig};
+
+use crate::ExploreError;
+
+/// When the engine runs the full post-mortem analysis on a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PostMortemPolicy {
+    /// Only when the on-the-fly fast path flagged at least one race
+    /// (the default). The fast path is one-sided — it can miss races
+    /// but does not invent them — so this trades a small chance of
+    /// missed identities per execution for a large speedup on
+    /// race-free schedules; across a campaign's many seeds the misses
+    /// wash out.
+    #[default]
+    OnRaceHit,
+    /// On every execution, racy-looking or not: the exhaustive (and
+    /// expensive) escape hatch for when per-execution completeness
+    /// matters more than throughput.
+    Always,
+}
+
+/// The coordinates of one execution: everything needed to reproduce it
+/// exactly with the seeded schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// Hardware implementation style.
+    pub hw: HwImpl,
+    /// Memory model.
+    pub model: MemoryModel,
+    /// Condition 3.4 fidelity.
+    pub fidelity: Fidelity,
+    /// Probability the random weak scheduler picks a drain action.
+    pub drain_prob: f64,
+    /// Scheduler seed.
+    pub seed: u64,
+}
+
+/// One point of a campaign: an [`ExecSpec`] plus its position in the
+/// spec's deterministic enumeration order (what makes campaign reports
+/// independent of worker count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignPoint {
+    /// Position in spec order; "first-reaching" means least index.
+    pub index: usize,
+    /// The execution coordinates.
+    pub exec: ExecSpec,
+}
+
+/// A campaign specification: which executions to run, and how to
+/// analyze them.
+///
+/// The point set is the cross product hardware × model × drain
+/// probability × seed, enumerated in exactly that nesting order.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Hardware implementation styles to explore.
+    pub hws: Vec<HwImpl>,
+    /// Memory models to explore.
+    pub models: Vec<MemoryModel>,
+    /// Drain probabilities for the random weak scheduler.
+    pub drain_probs: Vec<f64>,
+    /// Seed range, half-open (`seed_start..seed_end`).
+    pub seed_start: u64,
+    /// End of the seed range (exclusive).
+    pub seed_end: u64,
+    /// Condition 3.4 fidelity for every execution.
+    pub fidelity: Fidelity,
+    /// Per-execution step/cycle budgets and timing.
+    pub config: RunConfig,
+    /// Release/acquire pairing for the analysis.
+    pub pairing: PairingPolicy,
+    /// When to run the full post-mortem.
+    pub postmortem: PostMortemPolicy,
+}
+
+impl CampaignSpec {
+    /// A spec matching the CLI `run` defaults (store buffers, WO,
+    /// drain probability 0.3) over the given seed range — the
+    /// configuration whose single-seed runs a campaign extends.
+    pub fn new(seed_start: u64, seed_end: u64) -> Self {
+        CampaignSpec {
+            hws: vec![HwImpl::StoreBuffer],
+            models: vec![MemoryModel::Wo],
+            drain_probs: vec![0.3],
+            seed_start,
+            seed_end,
+            fidelity: Fidelity::Conditioned,
+            config: RunConfig::default(),
+            pairing: PairingPolicy::ByRole,
+            postmortem: PostMortemPolicy::default(),
+        }
+    }
+
+    /// Replaces the hardware list.
+    pub fn with_hws(mut self, hws: Vec<HwImpl>) -> Self {
+        self.hws = hws;
+        self
+    }
+
+    /// Replaces the model list.
+    pub fn with_models(mut self, models: Vec<MemoryModel>) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Replaces the drain-probability list.
+    pub fn with_drain_probs(mut self, drain_probs: Vec<f64>) -> Self {
+        self.drain_probs = drain_probs;
+        self
+    }
+
+    /// Replaces the per-execution run configuration.
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the post-mortem policy.
+    pub fn with_postmortem(mut self, postmortem: PostMortemPolicy) -> Self {
+        self.postmortem = postmortem;
+        self
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] on an empty cross product
+    /// or an out-of-range drain probability.
+    pub fn validate(&self) -> Result<(), ExploreError> {
+        if self.seed_start >= self.seed_end {
+            return Err(ExploreError::InvalidSpec(format!(
+                "empty seed range {}..{}",
+                self.seed_start, self.seed_end
+            )));
+        }
+        if self.hws.is_empty() {
+            return Err(ExploreError::InvalidSpec("no hardware implementations".into()));
+        }
+        if self.models.is_empty() {
+            return Err(ExploreError::InvalidSpec("no memory models".into()));
+        }
+        if self.drain_probs.is_empty() {
+            return Err(ExploreError::InvalidSpec("no drain probabilities".into()));
+        }
+        for &p in &self.drain_probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ExploreError::InvalidSpec(format!(
+                    "drain probability {p} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of points in the cross product.
+    pub fn num_points(&self) -> usize {
+        self.hws.len()
+            * self.models.len()
+            * self.drain_probs.len()
+            * (self.seed_end - self.seed_start) as usize
+    }
+
+    /// Every point, in the spec's canonical order (hardware, then
+    /// model, then drain probability, then seed).
+    pub fn points(&self) -> Vec<CampaignPoint> {
+        let mut out = Vec::with_capacity(self.num_points());
+        for &hw in &self.hws {
+            for &model in &self.models {
+                for &drain_prob in &self.drain_probs {
+                    for seed in self.seed_start..self.seed_end {
+                        out.push(CampaignPoint {
+                            index: out.len(),
+                            exec: ExecSpec { hw, model, fidelity: self.fidelity, drain_prob, seed },
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_single_run_configuration() {
+        let spec = CampaignSpec::new(0, 10);
+        spec.validate().unwrap();
+        assert_eq!(spec.hws, vec![HwImpl::StoreBuffer]);
+        assert_eq!(spec.models, vec![MemoryModel::Wo]);
+        assert_eq!(spec.drain_probs, vec![0.3]);
+        assert_eq!(spec.num_points(), 10);
+    }
+
+    #[test]
+    fn points_enumerate_the_cross_product_in_order() {
+        let spec = CampaignSpec::new(5, 7)
+            .with_hws(vec![HwImpl::StoreBuffer, HwImpl::InvalQueue])
+            .with_models(vec![MemoryModel::Wo, MemoryModel::RCsc])
+            .with_drain_probs(vec![0.1, 0.5]);
+        let points = spec.points();
+        assert_eq!(points.len(), spec.num_points());
+        assert_eq!(points.len(), 2 * 2 * 2 * 2);
+        // Canonical nesting: seed varies fastest, hardware slowest.
+        assert_eq!(points[0].exec.seed, 5);
+        assert_eq!(points[1].exec.seed, 6);
+        assert_eq!(points[1].exec.drain_prob, 0.1);
+        assert_eq!(points[2].exec.drain_prob, 0.5);
+        assert_eq!(points[0].exec.hw, HwImpl::StoreBuffer);
+        assert_eq!(points[8].exec.hw, HwImpl::InvalQueue);
+        for (i, pt) in points.iter().enumerate() {
+            assert_eq!(pt.index, i);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(CampaignSpec::new(3, 3).validate().is_err());
+        assert!(CampaignSpec::new(0, 1).with_hws(vec![]).validate().is_err());
+        assert!(CampaignSpec::new(0, 1).with_models(vec![]).validate().is_err());
+        assert!(CampaignSpec::new(0, 1).with_drain_probs(vec![]).validate().is_err());
+        assert!(CampaignSpec::new(0, 1).with_drain_probs(vec![1.5]).validate().is_err());
+        assert!(CampaignSpec::new(0, 1).with_drain_probs(vec![0.0, 1.0]).validate().is_ok());
+    }
+}

@@ -1,0 +1,269 @@
+//! Machine reuse for campaign engines.
+//!
+//! A schedule-space exploration campaign runs the *same* program
+//! thousands of times under different seeds. Building a fresh machine
+//! per seed costs a program clone, a validation pass, and fresh
+//! allocations for cores, memory, and buffers; [`CampaignRunner`]
+//! pays those once and then [`reset`](crate::WeakMachine::reset)s the
+//! machine between executions — the cheap path.
+//!
+//! The runner is deliberately weak-machine based: [`MemoryModel::Sc`]
+//! on either weak machine is bufferless (every write completes
+//! strongly), so one runner covers the full hardware-model matrix,
+//! including the sequentially consistent baseline, with a single
+//! scheduler interface.
+
+use std::sync::Arc;
+
+use wmrd_trace::TraceSink;
+
+use crate::run::{drive_weak, WeakExec};
+use crate::{
+    Fidelity, HwImpl, InvalMachine, MemoryModel, Program, RunConfig, RunOutcome, SimError,
+    WeakMachine, WeakScheduler,
+};
+
+/// Either weak machine, behind one face.
+#[derive(Debug, Clone)]
+enum Machine {
+    Weak(WeakMachine),
+    Inval(InvalMachine),
+}
+
+/// Runs one program repeatedly on one hardware configuration, reusing
+/// the machine across executions.
+///
+/// The program is cloned and validated exactly once, at construction;
+/// each [`run`](CampaignRunner::run) resets the machine to the initial
+/// state instead of rebuilding it.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use wmrd_sim::{
+///     Addr, CampaignRunner, Fidelity, HwImpl, Instr, MemoryModel, Program, RandomWeakSched,
+///     RunConfig,
+/// };
+/// use wmrd_trace::{Location, NullSink};
+///
+/// let mut prog = Program::new("tiny", 1);
+/// prog.push_proc(vec![
+///     Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(0)) },
+///     Instr::Halt,
+/// ]);
+/// let mut runner = CampaignRunner::new(
+///     Arc::new(prog),
+///     HwImpl::StoreBuffer,
+///     MemoryModel::Wo,
+///     Fidelity::Conditioned,
+///     RunConfig::uniform(),
+/// )
+/// .unwrap();
+/// for seed in 0..4 {
+///     let mut sched = RandomWeakSched::new(seed, 0.3);
+///     let out = runner.run(&mut sched, &mut NullSink::new()).unwrap();
+///     assert!(out.halted);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    program: Arc<Program>,
+    hw: HwImpl,
+    config: RunConfig,
+    machine: Machine,
+}
+
+impl CampaignRunner {
+    /// Builds (and validates) the machine for one hardware
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// validation.
+    pub fn new(
+        program: Arc<Program>,
+        hw: HwImpl,
+        model: MemoryModel,
+        fidelity: Fidelity,
+        config: RunConfig,
+    ) -> Result<Self, SimError> {
+        let machine = match hw {
+            HwImpl::StoreBuffer => Machine::Weak(WeakMachine::new(
+                Arc::clone(&program),
+                model,
+                fidelity,
+                config.timing,
+            )?),
+            HwImpl::InvalQueue => Machine::Inval(InvalMachine::new(
+                Arc::clone(&program),
+                model,
+                fidelity,
+                config.timing,
+            )?),
+        };
+        Ok(CampaignRunner { program, hw, config, machine })
+    }
+
+    /// The program under exploration.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The hardware implementation style this runner simulates.
+    pub fn hw(&self) -> HwImpl {
+        self.hw
+    }
+
+    /// The memory model this runner simulates.
+    pub fn model(&self) -> MemoryModel {
+        match &self.machine {
+            Machine::Weak(m) => m.model(),
+            Machine::Inval(m) => m.model(),
+        }
+    }
+
+    /// The per-execution budget and timing configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Runs one execution: resets the machine to the program's initial
+    /// state, then drives it to quiescence under `scheduler`.
+    ///
+    /// The result is identical to what [`run_weak_hw`](crate::run_weak_hw)
+    /// would produce with a freshly built machine and the same
+    /// scheduler state — reuse is an optimization, never a semantic
+    /// change.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_weak_hw`](crate::run_weak_hw): machine errors,
+    /// [`SimError::StepLimit`], [`SimError::CycleLimit`].
+    pub fn run<S: TraceSink>(
+        &mut self,
+        scheduler: &mut dyn WeakScheduler,
+        sink: &mut S,
+    ) -> Result<RunOutcome, SimError> {
+        match &mut self.machine {
+            Machine::Weak(m) => {
+                m.exec_reset();
+                drive_weak(m, scheduler, sink, &self.config)
+            }
+            Machine::Inval(m) => {
+                m.exec_reset();
+                drive_weak(m, scheduler, sink, &self.config)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_weak_hw, RandomWeakSched};
+    use wmrd_trace::{TraceBuilder, TraceSet};
+
+    fn racy_program() -> Program {
+        use crate::{Addr, Instr, Reg};
+        use wmrd_trace::Location;
+        let x = Location::new(0);
+        let mut prog = Program::new("racy", 1);
+        prog.push_proc(vec![Instr::St { src: 1.into(), addr: Addr::Abs(x) }, Instr::Halt]);
+        prog.push_proc(vec![Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(x) }, Instr::Halt]);
+        prog
+    }
+
+    fn fresh_run(hw: HwImpl, model: MemoryModel, seed: u64) -> (RunOutcome, TraceSet) {
+        let prog = racy_program();
+        let mut sched = RandomWeakSched::new(seed, 0.3);
+        let mut sink = TraceBuilder::new(2);
+        let out = run_weak_hw(
+            hw,
+            &prog,
+            model,
+            Fidelity::Conditioned,
+            &mut sched,
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        (out, sink.finish())
+    }
+
+    #[test]
+    fn reused_machine_matches_fresh_machine() {
+        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+            for model in [MemoryModel::Sc, MemoryModel::Wo, MemoryModel::RCsc] {
+                let mut runner = CampaignRunner::new(
+                    Arc::new(racy_program()),
+                    hw,
+                    model,
+                    Fidelity::Conditioned,
+                    RunConfig::uniform(),
+                )
+                .unwrap();
+                // Interleave seeds so every reset starts from a
+                // different dirty state.
+                for seed in [3u64, 7, 3, 11, 7] {
+                    let mut sched = RandomWeakSched::new(seed, 0.3);
+                    let mut sink = TraceBuilder::new(2);
+                    let out = runner.run(&mut sched, &mut sink).unwrap();
+                    let (fresh_out, fresh_trace) = fresh_run(hw, model, seed);
+                    assert_eq!(out, fresh_out, "{hw} {model} seed {seed}: outcome");
+                    assert_eq!(sink.finish(), fresh_trace, "{hw} {model} seed {seed}: trace");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let runner = CampaignRunner::new(
+            Arc::new(racy_program()),
+            HwImpl::InvalQueue,
+            MemoryModel::RCsc,
+            Fidelity::Conditioned,
+            RunConfig::uniform().with_max_steps(500),
+        )
+        .unwrap();
+        assert_eq!(runner.hw(), HwImpl::InvalQueue);
+        assert_eq!(runner.model(), MemoryModel::RCsc);
+        assert_eq!(runner.config().max_steps, 500);
+        assert_eq!(runner.program().name(), "racy");
+    }
+
+    #[test]
+    fn invalid_program_rejected_at_construction() {
+        let mut prog = Program::new("bad", 0); // zero locations
+        use crate::{Addr, Instr};
+        prog.push_proc(vec![
+            Instr::St { src: 1.into(), addr: Addr::Abs(wmrd_trace::Location::new(9)) },
+            Instr::Halt,
+        ]);
+        let err = CampaignRunner::new(
+            Arc::new(prog),
+            HwImpl::StoreBuffer,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            RunConfig::uniform(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cycle_budget_fires_through_runner() {
+        let mut runner = CampaignRunner::new(
+            Arc::new(racy_program()),
+            HwImpl::StoreBuffer,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            RunConfig::uniform().with_max_cycles(1),
+        )
+        .unwrap();
+        let mut sched = RandomWeakSched::new(0, 0.3);
+        let err = runner.run(&mut sched, &mut wmrd_trace::NullSink::new());
+        assert!(matches!(err, Err(SimError::CycleLimit(1))));
+    }
+}

@@ -26,6 +26,11 @@ pub enum SimError {
     /// The run exceeded its step budget without halting (likely livelock
     /// or an unfair schedule).
     StepLimit(u64),
+    /// The run exceeded its cycle budget (wall-clock cycles under the
+    /// configured [`Timing`](crate::Timing)) without quiescing. Campaign
+    /// engines use this to bound how much simulated time one seed may
+    /// consume.
+    CycleLimit(u64),
     /// A step was requested on a halted processor.
     Halted(ProcId),
     /// The weak machine was asked to drain a buffer entry that does not
@@ -50,6 +55,7 @@ impl fmt::Display for SimError {
             }
             SimError::BadLocation(l) => write!(f, "location {l} out of range"),
             SimError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
             SimError::Halted(p) => write!(f, "processor {p} already halted"),
             SimError::BadDrain { proc, index, len } => {
                 write!(f, "drain index {index} out of range for {proc} (buffer len {len})")
@@ -68,6 +74,7 @@ mod tests {
     fn display_variants() {
         assert!(SimError::InvalidProgram("x".into()).to_string().contains("invalid"));
         assert!(SimError::StepLimit(10).to_string().contains("10"));
+        assert!(SimError::CycleLimit(99).to_string().contains("99"));
         assert!(SimError::BadAddress { proc: ProcId::new(1), pc: 3, addr: -5 }
             .to_string()
             .contains("-5"));

@@ -115,6 +115,22 @@ impl InvalMachine {
         &self.program
     }
 
+    /// Restores the machine to the program's initial state without
+    /// re-validating or re-cloning the program. Caches and queues are
+    /// discarded — the caller is abandoning the previous execution.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            *core = CoreState::new(core.proc);
+        }
+        self.mem.clear();
+        self.mem.extend(self.program.initial_memory().into_iter().map(MemCell::initial));
+        self.caches.iter_mut().for_each(HashMap::clear);
+        self.queues.iter_mut().for_each(Vec::clear);
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.steps = 0;
+        self.stats = SimStats::default();
+    }
+
     /// Per-processor accumulated cycles.
     pub fn cycles(&self) -> &[u64] {
         &self.cycles

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod campaign;
 mod cpu;
 mod error;
 mod inval;
@@ -88,6 +89,7 @@ mod stats;
 mod timing;
 mod weak;
 
+pub use campaign::CampaignRunner;
 pub use cpu::{CoreState, NUM_REGS};
 pub use error::SimError;
 pub use inval::{InvalMachine, PendingInval};
@@ -95,7 +97,7 @@ pub use isa::{Addr, Instr, Operand, Reg};
 pub use machine::{MemCell, ScMachine, StepEvent};
 pub use model::{Fidelity, MemoryModel};
 pub use program::Program;
-pub use run::{run_inval, run_sc, run_weak, run_weak_hw, HwImpl, RunConfig, RunOutcome};
+pub use run::{run_inval, run_sc, run_sc_on, run_weak, run_weak_hw, HwImpl, RunConfig, RunOutcome};
 pub use sched::{
     DrainView, FixedScript, RandomSched, RandomWeakSched, RoundRobin, Scheduler, WeakAction,
     WeakRoundRobin, WeakScheduler, WeakScript,

@@ -95,6 +95,20 @@ impl ScMachine {
         &self.program
     }
 
+    /// Restores the machine to the program's initial state without
+    /// re-validating or re-cloning the program — the cheap path campaign
+    /// engines take between seeds instead of building a fresh machine.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            *core = CoreState::new(core.proc);
+        }
+        self.mem.clear();
+        self.mem.extend(self.program.initial_memory().into_iter().map(MemCell::initial));
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.steps = 0;
+        self.stats = SimStats::default();
+    }
+
     /// The state of one core.
     pub fn core(&self, proc: ProcId) -> Option<&CoreState> {
         self.cores.get(proc.index())

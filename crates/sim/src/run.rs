@@ -4,11 +4,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use wmrd_trace::{TraceSink, Value};
+use wmrd_trace::{ProcId, TraceSink, Value};
 
 use crate::{
-    Fidelity, InvalMachine, MemoryModel, Program, ScMachine, Scheduler, SimError, SimStats, Timing,
-    WeakAction, WeakMachine, WeakScheduler,
+    DrainView, Fidelity, InvalMachine, MemoryModel, Program, ScMachine, Scheduler, SimError,
+    SimStats, Timing, WeakAction, WeakMachine, WeakScheduler,
 };
 
 /// Which weak-hardware implementation style to simulate.
@@ -38,13 +38,18 @@ pub struct RunConfig {
     /// Abort with [`SimError::StepLimit`] after this many steps (guards
     /// against livelock under unfair schedules).
     pub max_steps: u64,
+    /// Abort with [`SimError::CycleLimit`] once the wall clock — the
+    /// maximum per-processor cycle count under [`RunConfig::timing`] —
+    /// reaches this bound. Defaults to unlimited; campaign engines set
+    /// it to bound simulated time per seed.
+    pub max_cycles: u64,
     /// Cycle-cost model.
     pub timing: Timing,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_steps: 1_000_000, timing: Timing::default_model() }
+        RunConfig { max_steps: 1_000_000, max_cycles: u64::MAX, timing: Timing::default_model() }
     }
 }
 
@@ -59,6 +64,27 @@ impl RunConfig {
         self.max_steps = max_steps;
         self
     }
+
+    /// Sets the cycle (simulated wall-clock) limit.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+}
+
+/// Uniform budget check, called before each scheduled action by every
+/// runner. `steps` actions have completed and `cycles` is the current
+/// per-processor clock, so a budget of `n` permits exactly `n` actions
+/// (never `n + 1`) and a cycle budget of `c` stops the run the moment
+/// the wall clock reaches `c`.
+fn check_budgets(steps: u64, cycles: &[u64], config: &RunConfig) -> Result<(), SimError> {
+    if steps >= config.max_steps {
+        return Err(SimError::StepLimit(config.max_steps));
+    }
+    if cycles.iter().copied().max().unwrap_or(0) >= config.max_cycles {
+        return Err(SimError::CycleLimit(config.max_cycles));
+    }
+    Ok(())
 }
 
 /// Result of running a program to completion.
@@ -104,11 +130,24 @@ pub fn run_sc<S: TraceSink>(
     config: RunConfig,
 ) -> Result<RunOutcome, SimError> {
     let mut machine = ScMachine::new(Arc::new(program.clone()), config.timing)?;
+    run_sc_on(&mut machine, scheduler, sink, config)
+}
+
+/// Drives an already-built [`ScMachine`] to completion (the
+/// machine-reuse path: [`run_sc`] is `new` + this).
+///
+/// # Errors
+///
+/// Same as [`run_sc`].
+pub fn run_sc_on<S: TraceSink>(
+    machine: &mut ScMachine,
+    scheduler: &mut dyn Scheduler,
+    sink: &mut S,
+    config: RunConfig,
+) -> Result<RunOutcome, SimError> {
     let mut steps = 0u64;
     while !machine.all_halted() {
-        if steps >= config.max_steps {
-            return Err(SimError::StepLimit(config.max_steps));
-        }
+        check_budgets(steps, machine.cycles(), &config)?;
         let runnable = machine.runnable();
         let Some(pick) = scheduler.next(&runnable) else { break };
         machine.step(pick, sink)?;
@@ -120,6 +159,143 @@ pub fn run_sc<S: TraceSink>(
         cycles: machine.cycles().to_vec(),
         final_memory: machine.memory_values(),
         stats: *machine.stats(),
+    })
+}
+
+/// Internal abstraction over the two weak machines so a single driver
+/// loop serves both hardware styles (and campaign engines can reuse a
+/// machine across seeds via [`WeakExec::exec_reset`]).
+pub(crate) trait WeakExec: DrainView {
+    /// Executes one instruction on `proc`.
+    fn exec_step(&mut self, proc: ProcId, sink: &mut dyn TraceSink) -> Result<(), SimError>;
+    /// Completes one pending entry (buffered write / invalidation).
+    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError>;
+    /// Force-completes every pending entry of `proc`.
+    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError>;
+    /// `true` once every processor halted and nothing is pending.
+    fn quiescent(&self) -> bool;
+    /// `true` once every processor halted (buffers may still be full).
+    fn exec_all_halted(&self) -> bool;
+    /// Per-processor accumulated cycles.
+    fn exec_cycles(&self) -> &[u64];
+    /// Settled (or, mid-run, shared) memory values.
+    fn exec_memory_values(&self) -> Vec<Value>;
+    /// Counters accumulated so far.
+    fn exec_stats(&self) -> SimStats;
+    /// Restores the program's initial state without rebuilding.
+    fn exec_reset(&mut self);
+}
+
+impl WeakExec for WeakMachine {
+    fn exec_step(&mut self, proc: ProcId, mut sink: &mut dyn TraceSink) -> Result<(), SimError> {
+        self.step(proc, &mut sink).map(|_| ())
+    }
+
+    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError> {
+        self.drain_one(proc, index).map(|_| ())
+    }
+
+    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError> {
+        self.flush(proc).map(|_| ())
+    }
+
+    fn quiescent(&self) -> bool {
+        self.all_halted() && self.buffers_empty()
+    }
+
+    fn exec_all_halted(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn exec_cycles(&self) -> &[u64] {
+        self.cycles()
+    }
+
+    fn exec_memory_values(&self) -> Vec<Value> {
+        self.memory_values()
+    }
+
+    fn exec_stats(&self) -> SimStats {
+        *self.stats()
+    }
+
+    fn exec_reset(&mut self) {
+        self.reset();
+    }
+}
+
+impl WeakExec for InvalMachine {
+    fn exec_step(&mut self, proc: ProcId, mut sink: &mut dyn TraceSink) -> Result<(), SimError> {
+        self.step(proc, &mut sink).map(|_| ())
+    }
+
+    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError> {
+        self.apply_one(proc, index).map(|_| ())
+    }
+
+    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError> {
+        self.flush(proc).map(|_| ())
+    }
+
+    fn quiescent(&self) -> bool {
+        self.all_halted() && self.queues_empty()
+    }
+
+    fn exec_all_halted(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn exec_cycles(&self) -> &[u64] {
+        self.cycles()
+    }
+
+    fn exec_memory_values(&self) -> Vec<Value> {
+        self.memory_values()
+    }
+
+    fn exec_stats(&self) -> SimStats {
+        *self.stats()
+    }
+
+    fn exec_reset(&mut self) {
+        self.reset();
+    }
+}
+
+/// The one weak driver loop: schedules step/drain actions until the
+/// machine quiesces, force-flushing if the scheduler stops early, with
+/// both budgets checked before every action.
+pub(crate) fn drive_weak<M: WeakExec, S: TraceSink>(
+    machine: &mut M,
+    scheduler: &mut dyn WeakScheduler,
+    sink: &mut S,
+    config: &RunConfig,
+) -> Result<RunOutcome, SimError> {
+    let mut steps = 0u64;
+    while !machine.quiescent() {
+        check_budgets(steps, machine.exec_cycles(), config)?;
+        match scheduler.next(&*machine) {
+            Some(WeakAction::Step(proc)) => {
+                machine.exec_step(proc, sink)?;
+            }
+            Some(WeakAction::Drain(proc, idx)) => {
+                machine.exec_drain(proc, idx)?;
+            }
+            None => {
+                for i in 0..DrainView::num_procs(machine) {
+                    machine.exec_flush(ProcId::new(i as u16))?;
+                }
+                break;
+            }
+        }
+        steps += 1;
+    }
+    Ok(RunOutcome {
+        halted: machine.exec_all_halted(),
+        steps,
+        cycles: machine.exec_cycles().to_vec(),
+        final_memory: machine.exec_memory_values(),
+        stats: machine.exec_stats(),
     })
 }
 
@@ -142,34 +318,7 @@ pub fn run_weak<S: TraceSink>(
     config: RunConfig,
 ) -> Result<RunOutcome, SimError> {
     let mut machine = WeakMachine::new(Arc::new(program.clone()), model, fidelity, config.timing)?;
-    let mut steps = 0u64;
-    while !(machine.all_halted() && machine.buffers_empty()) {
-        if steps >= config.max_steps {
-            return Err(SimError::StepLimit(config.max_steps));
-        }
-        match scheduler.next(&machine) {
-            Some(WeakAction::Step(proc)) => {
-                machine.step(proc, sink)?;
-            }
-            Some(WeakAction::Drain(proc, idx)) => {
-                machine.drain_one(proc, idx)?;
-            }
-            None => {
-                for i in 0..program.num_procs() {
-                    machine.flush(wmrd_trace::ProcId::new(i as u16))?;
-                }
-                break;
-            }
-        }
-        steps += 1;
-    }
-    Ok(RunOutcome {
-        halted: machine.all_halted(),
-        steps,
-        cycles: machine.cycles().to_vec(),
-        final_memory: machine.memory_values(),
-        stats: *machine.stats(),
-    })
+    drive_weak(&mut machine, scheduler, sink, &config)
 }
 
 /// Runs `program` to quiescence on the invalidation-queue machine
@@ -189,34 +338,7 @@ pub fn run_inval<S: TraceSink>(
     config: RunConfig,
 ) -> Result<RunOutcome, SimError> {
     let mut machine = InvalMachine::new(Arc::new(program.clone()), model, fidelity, config.timing)?;
-    let mut steps = 0u64;
-    while !(machine.all_halted() && machine.queues_empty()) {
-        if steps >= config.max_steps {
-            return Err(SimError::StepLimit(config.max_steps));
-        }
-        match scheduler.next(&machine) {
-            Some(WeakAction::Step(proc)) => {
-                machine.step(proc, sink)?;
-            }
-            Some(WeakAction::Drain(proc, idx)) => {
-                machine.apply_one(proc, idx)?;
-            }
-            None => {
-                for i in 0..program.num_procs() {
-                    machine.flush(wmrd_trace::ProcId::new(i as u16))?;
-                }
-                break;
-            }
-        }
-        steps += 1;
-    }
-    Ok(RunOutcome {
-        halted: machine.all_halted(),
-        steps,
-        cycles: machine.cycles().to_vec(),
-        final_memory: machine.memory_values(),
-        stats: *machine.stats(),
-    })
+    drive_weak(&mut machine, scheduler, sink, &config)
 }
 
 /// Dispatches to [`run_weak`] or [`run_inval`] by implementation style.
@@ -358,6 +480,64 @@ mod tests {
             RunConfig::uniform().with_max_steps(100),
         );
         assert!(matches!(err, Err(SimError::StepLimit(100))));
+    }
+
+    #[test]
+    fn cycle_limit_fires_uniformly() {
+        // Uniform timing: every action costs one cycle on the acting
+        // processor, so a single-processor straight-line program hits a
+        // cycle budget of 3 after exactly 3 instructions.
+        let mut prog = Program::new("line", 1);
+        prog.push_proc(vec![
+            Instr::St { src: 1.into(), addr: Addr::Abs(l(0)) },
+            Instr::St { src: 2.into(), addr: Addr::Abs(l(0)) },
+            Instr::St { src: 3.into(), addr: Addr::Abs(l(0)) },
+            Instr::St { src: 4.into(), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
+        let config = RunConfig::uniform().with_max_cycles(3);
+        let mut sink = NullSink::new();
+        let err = run_sc(&prog, &mut RoundRobin::new(), &mut sink, config);
+        assert!(matches!(err, Err(SimError::CycleLimit(3))));
+        // The same budget trips the weak runners too.
+        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+            let mut sink = NullSink::new();
+            let err = run_weak_hw(
+                hw,
+                &prog,
+                MemoryModel::Wo,
+                Fidelity::Conditioned,
+                &mut WeakRoundRobin::new(),
+                &mut sink,
+                config,
+            );
+            assert!(matches!(err, Err(SimError::CycleLimit(3))), "{hw}");
+        }
+    }
+
+    #[test]
+    fn budgets_permit_exactly_n_actions() {
+        // A step budget of n must allow n actions, not n-1 or n+1: this
+        // program halts in exactly 3 steps, so max_steps=3 succeeds and
+        // max_steps=2 fails. Same audit for the cycle budget (uniform
+        // timing makes cycles == steps on one processor).
+        let mut prog = Program::new("three", 1);
+        prog.push_proc(vec![
+            Instr::St { src: 1.into(), addr: Addr::Abs(l(0)) },
+            Instr::St { src: 2.into(), addr: Addr::Abs(l(0)) },
+            Instr::Halt,
+        ]);
+        let run = |config: RunConfig| {
+            let mut sink = NullSink::new();
+            run_sc(&prog, &mut RoundRobin::new(), &mut sink, config)
+        };
+        assert!(run(RunConfig::uniform().with_max_steps(3)).unwrap().halted);
+        assert!(matches!(run(RunConfig::uniform().with_max_steps(2)), Err(SimError::StepLimit(2))));
+        assert!(run(RunConfig::uniform().with_max_cycles(3)).unwrap().halted);
+        assert!(matches!(
+            run(RunConfig::uniform().with_max_cycles(2)),
+            Err(SimError::CycleLimit(2))
+        ));
     }
 
     #[test]

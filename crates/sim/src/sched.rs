@@ -185,7 +185,7 @@ impl WeakScheduler for WeakRoundRobin {
         self.decisions += 1;
         // Periodic background drain keeps pending entries flowing while
         // cores run.
-        if self.decisions % self.drain_interval == 0 {
+        if self.decisions.is_multiple_of(self.drain_interval) {
             if let Some(drain) = Self::oldest_drain(machine) {
                 return Some(drain);
             }

@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn error_sources() {
-        let io = TraceError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = TraceError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
         let m = TraceError::Malformed("m".into());
         assert!(m.source().is_none());

@@ -74,7 +74,7 @@ pub use bitset::LocSet;
 pub use error::TraceError;
 pub use event::{ComputationEvent, Event, EventId, EventKind, SyncEvent};
 pub use ids::{Location, OpId, ProcId, Value};
-pub use metrics::{Metrics, RunMetrics};
+pub use metrics::{keys as metric_keys, Metrics, RunMetrics};
 pub use op::{AccessKind, MemOp, OpClass, SyncRole};
 pub use oplog::OpTrace;
 pub use sink::{MultiSink, NullSink, OpRecorder, TraceBuilder, TraceSink};

@@ -358,9 +358,70 @@ impl RunMetrics {
     }
 }
 
+/// Well-known metric key names.
+///
+/// Most layers build their keys inline (the convention is
+/// `layer.metric`; see `OBSERVABILITY.md`), but keys that cross crate
+/// boundaries — recorded in one crate, asserted on or merged in another
+/// — are named here once so producers and consumers cannot drift.
+///
+/// The `explore.*` namespace is the campaign engine's vocabulary: one
+/// `RunMetrics` summarizes a whole campaign (thousands of executions),
+/// so its counters aggregate across seeds and its report merges cleanly
+/// into the `BENCH_*.json` trajectory alongside single-run reports.
+pub mod keys {
+    /// Counter: executions the campaign completed (one per point that
+    /// quiesced or hit its budget).
+    pub const EXPLORE_EXECUTIONS: &str = "explore.executions";
+    /// Counter: executions that ended at a step or cycle budget instead
+    /// of quiescing.
+    pub const EXPLORE_BUDGET_HITS: &str = "explore.budget_hits";
+    /// Counter: executions whose fast path flagged at least one race.
+    pub const EXPLORE_RACY_EXECUTIONS: &str = "explore.racy_executions";
+    /// Counter: full post-mortem analyses performed (the slow path).
+    pub const EXPLORE_POSTMORTEMS: &str = "explore.postmortems";
+    /// Counter: total simulator steps across every execution.
+    pub const EXPLORE_TOTAL_STEPS: &str = "explore.total_steps";
+    /// Counter: deduplicated race identities in the campaign report.
+    pub const EXPLORE_UNIQUE_RACES: &str = "explore.unique_races";
+    /// Counter: race observations before deduplication (hit counts
+    /// summed over identities).
+    pub const EXPLORE_RACE_HITS: &str = "explore.race_hits";
+    /// Gauge: campaign points in the spec (seeds × models × hardware ×
+    /// drain policies).
+    pub const EXPLORE_POINTS: &str = "explore.points";
+    /// Gauge: worker threads the campaign ran with.
+    pub const EXPLORE_JOBS: &str = "explore.jobs";
+    /// Gauge: distinct first-partition counts observed across racy
+    /// executions (1 ⇒ the partition structure is schedule-stable).
+    pub const EXPLORE_PARTITION_PROFILES: &str = "explore.partition_profiles";
+    /// Phase: wall-clock time of the whole campaign.
+    pub const EXPLORE_CAMPAIGN: &str = "explore.campaign";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn key_vocabulary_is_namespaced() {
+        for key in [
+            keys::EXPLORE_EXECUTIONS,
+            keys::EXPLORE_BUDGET_HITS,
+            keys::EXPLORE_RACY_EXECUTIONS,
+            keys::EXPLORE_POSTMORTEMS,
+            keys::EXPLORE_TOTAL_STEPS,
+            keys::EXPLORE_UNIQUE_RACES,
+            keys::EXPLORE_RACE_HITS,
+            keys::EXPLORE_POINTS,
+            keys::EXPLORE_JOBS,
+            keys::EXPLORE_PARTITION_PROFILES,
+            keys::EXPLORE_CAMPAIGN,
+        ] {
+            assert!(key.starts_with("explore."), "{key}");
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+        }
+    }
 
     #[test]
     fn disabled_records_nothing() {

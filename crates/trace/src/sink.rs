@@ -56,6 +56,31 @@ pub trait TraceSink {
     ) -> OpId;
 }
 
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn data_access(
+        &mut self,
+        proc: ProcId,
+        loc: Location,
+        kind: AccessKind,
+        value: Value,
+        observed: Option<OpId>,
+    ) -> OpId {
+        (**self).data_access(proc, loc, kind, value, observed)
+    }
+
+    fn sync_access(
+        &mut self,
+        proc: ProcId,
+        loc: Location,
+        kind: AccessKind,
+        role: SyncRole,
+        value: Value,
+        observed_release: Option<OpId>,
+    ) -> OpId {
+        (**self).sync_access(proc, loc, kind, role, value, observed_release)
+    }
+}
+
 /// Shared per-processor operation counter used by every sink.
 #[derive(Debug, Clone, Default)]
 struct OpCounters {

@@ -176,6 +176,9 @@ fn read_exact_opt<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, Trace
     Ok(true)
 }
 
+/// One decoded stream record, before grouping into events.
+type RawRecord = (u8, ProcId, crate::Location, AccessKind, SyncRole, Value, Option<OpId>);
+
 /// Reads a stream produced by [`StreamWriter`] and folds it into a
 /// [`TraceSet`] (consecutive data operations per processor become
 /// computation events, exactly as live [`TraceBuilder`] instrumentation
@@ -188,8 +191,7 @@ fn read_exact_opt<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, Trace
 pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
     let mut builder: Option<TraceBuilder> = None;
     let mut max_proc: usize = 0;
-    let mut records: Vec<(u8, ProcId, crate::Location, AccessKind, SyncRole, Value, Option<OpId>)> =
-        Vec::new();
+    let mut records: Vec<RawRecord> = Vec::new();
 
     let mut head = [0u8; 18];
     loop {
@@ -358,7 +360,7 @@ mod tests {
         struct FailingWriter;
         impl Write for FailingWriter {
             fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
-                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+                Err(std::io::Error::other("disk full"))
             }
             fn flush(&mut self) -> std::io::Result<()> {
                 Ok(())

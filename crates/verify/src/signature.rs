@@ -1,109 +1,30 @@
 //! Execution-independent race identities.
 //!
-//! Comparing races *across executions* (Theorem 4.2: "at least one data
-//! race per first partition also occurs in a sequentially consistent
-//! execution") needs a name for a race that does not depend on dynamic
-//! operation ids, which differ between interleavings. Section 2.1 of the
-//! paper identifies an operation by "the location it accesses and the
-//! part of the program in which it is specified"; a [`RaceSignature`]
-//! approximates that with the issuing processor, the location, the access
-//! kind and the data/sync classification of both sides — coarse enough to
-//! be stable across interleavings of the same program, fine enough to
-//! distinguish the races of every workload in this repository.
+//! The canonical types now live in `wmrd-core` ([`wmrd_core::RaceKey`] /
+//! [`wmrd_core::SideKey`]), where the campaign engine shares them for
+//! cross-execution deduplication; this module keeps the verifier's
+//! historical names and set-valued helpers as thin wrappers. See the
+//! core module for the identity's rationale (Section 2.1 of the paper:
+//! an operation is "the location it accesses and the part of the
+//! program in which it is specified").
 
 use std::collections::HashSet;
 
 use wmrd_core::ops::OpRace;
 use wmrd_core::DataRace;
-use wmrd_trace::{AccessKind, Location, OpTrace, ProcId, TraceSet};
+use wmrd_trace::{OpTrace, TraceSet};
 
-/// One side of a race signature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SideSignature {
-    /// Issuing processor.
-    pub proc: ProcId,
-    /// Read or write (for event-level races: whether the event *writes*
-    /// the conflict location).
-    pub kind: AccessKind,
-    /// `true` iff the side is a synchronization operation/event.
-    pub sync: bool,
-}
-
-/// An execution-independent race identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RaceSignature {
-    /// The conflict location.
-    pub loc: Location,
-    /// The lexicographically smaller side.
-    pub a: SideSignature,
-    /// The other side.
-    pub b: SideSignature,
-}
-
-impl RaceSignature {
-    /// Builds a normalized signature from two sides.
-    pub fn new(loc: Location, x: SideSignature, y: SideSignature) -> Self {
-        let (a, b) = if x <= y { (x, y) } else { (y, x) };
-        RaceSignature { loc, a, b }
-    }
-}
+pub use wmrd_core::{RaceKey as RaceSignature, SideKey as SideSignature};
 
 /// Signatures of the *data* races of an operation-level race list.
 pub fn op_race_signatures(races: &[OpRace], trace: &OpTrace) -> HashSet<RaceSignature> {
-    let mut out = HashSet::new();
-    for race in races.iter().filter(|r| r.is_data_race()) {
-        let (Some(a), Some(b)) = (trace.op(race.a), trace.op(race.b)) else { continue };
-        out.insert(RaceSignature::new(
-            race.loc,
-            SideSignature { proc: a.id.proc, kind: a.kind, sync: a.is_sync() },
-            SideSignature { proc: b.id.proc, kind: b.kind, sync: b.is_sync() },
-        ));
-    }
-    out
+    wmrd_core::op_race_keys(races, trace).into_iter().collect()
 }
 
 /// Signatures of the *data* races of an event-level race list. An event
 /// race on several locations yields one signature per conflict location.
 pub fn event_race_signatures(races: &[DataRace], trace: &TraceSet) -> HashSet<RaceSignature> {
-    let mut out = HashSet::new();
-    for race in races.iter().filter(|r| r.is_data_race()) {
-        let (Some(ea), Some(eb)) = (trace.event(race.a), trace.event(race.b)) else {
-            continue;
-        };
-        for loc in &race.locations {
-            // An event may both read and write the location; it then
-            // stands for one lower-level race per access-kind combination
-            // (Section 4.1: a higher-level race "may represent many
-            // lower-level data races").
-            let mut kinds_a = Vec::new();
-            if ea.read_set().contains(loc) {
-                kinds_a.push(AccessKind::Read);
-            }
-            if ea.write_set().contains(loc) {
-                kinds_a.push(AccessKind::Write);
-            }
-            let mut kinds_b = Vec::new();
-            if eb.read_set().contains(loc) {
-                kinds_b.push(AccessKind::Read);
-            }
-            if eb.write_set().contains(loc) {
-                kinds_b.push(AccessKind::Write);
-            }
-            for &ka in &kinds_a {
-                for &kb in &kinds_b {
-                    if ka == AccessKind::Read && kb == AccessKind::Read {
-                        continue; // read-read pairs do not conflict
-                    }
-                    out.insert(RaceSignature::new(
-                        loc,
-                        SideSignature { proc: race.a.proc, kind: ka, sync: ea.is_sync() },
-                        SideSignature { proc: race.b.proc, kind: kb, sync: eb.is_sync() },
-                    ));
-                }
-            }
-        }
-    }
-    out
+    wmrd_core::event_race_keys(races, trace).into_iter().collect()
 }
 
 /// A single event-level race's signatures (helper for per-partition
@@ -116,7 +37,7 @@ pub fn one_event_race_signatures(race: &DataRace, trace: &TraceSet) -> HashSet<R
 mod tests {
     use super::*;
     use wmrd_core::{detect_races, ops::OpAnalysis, HbGraph, PairingPolicy};
-    use wmrd_trace::{OpRecorder, TraceBuilder, TraceSink, Value};
+    use wmrd_trace::{AccessKind, Location, OpRecorder, ProcId, TraceBuilder, TraceSink, Value};
 
     fn p(i: u16) -> ProcId {
         ProcId::new(i)

@@ -76,7 +76,7 @@ fn main() {
 
     println!();
     println!("detection verdicts on weak executions (seed 1):");
-    println!("{:<22} {:<6} {}", "workload", "model", "verdict");
+    println!("{:<22} {:<6} verdict", "workload", "model");
     for (name, program, _racy) in &workloads {
         for model in [MemoryModel::Wo, MemoryModel::RCsc] {
             println!("{:<22} {:<6} {}", name, model.to_string(), race_verdict(program, model, 1));

@@ -19,4 +19,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== exploration engine tests"
+cargo test -q -p wmrd-explore
+
+echo "== explore crate hygiene"
+# An #[ignore]d test in the exploration crate must carry its reason
+# inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the
+# campaign engine's coverage.
+if grep -rn '#\[ignore' crates/explore --include='*.rs' | grep -v 'ignore = "'; then
+    echo "check.sh: bare #[ignore] in crates/explore — add a tracking reason" >&2
+    exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -122,7 +122,7 @@ fn fig2_and_fig3_structure() {
     assert!(report.scp.contains(EventId::new(p(0), 0)), "P1's enqueue is in the SCP");
     assert!(report.scp.contains(EventId::new(p(1), 0)), "P2's dequeue reads are in the SCP");
     let p2_boundary = report.scp.boundary(p(1)).unwrap();
-    assert!(p2_boundary >= 1 && p2_boundary < 3, "P2's region work is outside");
+    assert!((1..3).contains(&p2_boundary), "P2's region work is outside");
 }
 
 /// The *fixed* work queue is race-free on every model.
