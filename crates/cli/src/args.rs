@@ -35,6 +35,12 @@ pub struct RunOpts {
 pub struct AnalyzeOpts {
     /// Trace file (`.json` or binary).
     pub trace: String,
+    /// Salvage mode: recover the longest checksummed prefix of a
+    /// damaged binary trace and analyze that.
+    pub salvage: bool,
+    /// Fault-plan syntax (see `wmrd_faults::FaultPlan::parse`) applied
+    /// to the trace bytes before decoding.
+    pub inject: Option<String>,
     /// Pairing policy.
     pub pairing: PairingPolicy,
     /// Also list withheld (non-first) races.
@@ -98,6 +104,9 @@ pub struct ExploreOpts {
     pub always_analyze: bool,
     /// Replay this seed in full detail instead of running a campaign.
     pub repro: Option<u64>,
+    /// Fault-plan syntax (see `wmrd_faults::FaultPlan::parse`)
+    /// injecting worker panics into the campaign.
+    pub inject: Option<String>,
     /// Where to write the campaign report (JSON).
     pub report_out: Option<String>,
     /// Where to write the campaign's `RunMetrics` report (JSON).
@@ -283,6 +292,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let trace = cur.value_for("analyze")?.to_string();
             let mut opts = AnalyzeOpts {
                 trace,
+                salvage: false,
+                inject: None,
                 pairing: PairingPolicy::ByRole,
                 show_all: false,
                 timeline: false,
@@ -294,6 +305,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = cur.next() {
                 match flag {
                     "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
+                    "--salvage" => opts.salvage = true,
+                    "--inject" => opts.inject = Some(cur.value_for(flag)?.to_string()),
                     "--all" => opts.show_all = true,
                     "--timeline" => opts.timeline = true,
                     "--dot" => opts.dot_out = Some(cur.value_for(flag)?.to_string()),
@@ -353,6 +366,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 pairing: PairingPolicy::ByRole,
                 always_analyze: false,
                 repro: None,
+                inject: None,
                 report_out: None,
                 metrics_out: None,
                 stats: false,
@@ -396,6 +410,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 CliError::Usage("--repro wants a seed integer".into())
                             })?)
                     }
+                    "--inject" => opts.inject = Some(cur.value_for(flag)?.to_string()),
                     "--report" => opts.report_out = Some(cur.value_for(flag)?.to_string()),
                     "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
                     "--stats" => opts.stats = true,
@@ -430,6 +445,10 @@ USAGE:
       --stats                            print a metrics summary
   wmrd analyze <trace-file> [flags]    post-mortem race analysis
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
+      --salvage                          recover the longest checksummed prefix
+                                         of a damaged binary trace and analyze it
+      --inject <plan>                    corrupt the trace bytes first (fault-plan
+                                         syntax: seed=N;truncate@B;flip@B.T;...)
       --all                              also list withheld races
       --timeline                         per-processor timeline
       --dot <file>                       write a Graphviz rendering
@@ -450,6 +469,8 @@ USAGE:
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --always-analyze                   post-mortem every execution, not just hits
       --repro <seed>                     replay one seed in full detail
+      --inject <plan>                    inject deterministic worker faults
+                                         (fault-plan syntax: seed=N;panics=N;panic@I)
       --report <file>                    write the campaign report (JSON)
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
@@ -524,6 +545,26 @@ mod tests {
         assert_eq!(opts.dot_out.as_deref(), Some("g.dot"));
         assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
         assert!(opts.stats);
+        assert!(!opts.salvage);
+        assert!(opts.inject.is_none());
+    }
+
+    #[test]
+    fn parses_salvage_and_inject() {
+        let Command::Analyze(opts) =
+            parse(&argv("analyze t.bin --salvage --inject truncate@100")).unwrap()
+        else {
+            panic!("expected analyze")
+        };
+        assert!(opts.salvage);
+        assert_eq!(opts.inject.as_deref(), Some("truncate@100"));
+        let Command::Explore(opts) =
+            parse(&argv("explore fig1a --inject seed=3;panics=2")).unwrap()
+        else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.inject.as_deref(), Some("seed=3;panics=2"));
+        assert!(matches!(parse(&argv("analyze t.bin --inject")), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use std::fmt::Write as _;
 
-use wmrd_core::{render, PairingPolicy, PostMortem};
+use wmrd_core::{render, PairingPolicy, PostMortem, SalvageAnalysis};
 use wmrd_explore::{run_campaign, CampaignSpec, ExecSpec, PostMortemPolicy};
+use wmrd_faults::FaultPlan;
 use wmrd_progs::catalog;
 use wmrd_sim::{
     run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
@@ -209,21 +210,45 @@ fn cmd_run(opts: &RunOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn load_trace(path: &str) -> Result<TraceSet, CliError> {
-    let bytes = std::fs::read(path).map_err(file_err(path))?;
+fn decode_trace(path: &str, bytes: &[u8]) -> Result<TraceSet, CliError> {
     if bytes.starts_with(b"WMRD") {
-        return Ok(TraceSet::from_binary(&bytes)?);
+        return Ok(TraceSet::from_binary(bytes)?);
     }
-    let text = String::from_utf8(bytes)
+    let text = std::str::from_utf8(bytes)
         .map_err(|_| CliError::Usage(format!("{path} is neither binary nor UTF-8 JSON")))?;
-    Ok(TraceSet::from_json(&text)?)
+    Ok(TraceSet::from_json(text)?)
+}
+
+/// Parses a `--inject` fault plan, mapping syntax errors to usage
+/// errors.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, CliError> {
+    FaultPlan::parse(spec).map_err(|e| CliError::Usage(e.to_string()))
 }
 
 fn cmd_analyze(opts: &AnalyzeOpts) -> Result<String, CliError> {
-    let trace = load_trace(&opts.trace)?;
     let metrics = metrics_for(&opts.metrics_out, opts.stats);
     metrics.context("command", "analyze");
     metrics.context("pairing", format!("{:?}", opts.pairing));
+    let mut bytes = std::fs::read(&opts.trace).map_err(file_err(&opts.trace))?;
+    if let Some(plan) = &opts.inject {
+        let plan = parse_fault_plan(plan)?;
+        metrics.add(wmrd_trace::metric_keys::FAULTS_INJECTED, plan.points().len() as u64);
+        bytes = plan.corrupt(&bytes);
+    }
+    let (trace, salvage_banner, report) = if opts.salvage {
+        if !bytes.starts_with(b"WMRD") {
+            return Err(CliError::Usage(
+                "--salvage needs a binary trace (JSON traces carry no checksummed prefix)".into(),
+            ));
+        }
+        let analysis = SalvageAnalysis::run(&bytes, opts.pairing, &metrics)?;
+        let banner = analysis.salvage.to_string();
+        (analysis.salvage.trace, Some(banner), analysis.report)
+    } else {
+        let trace = decode_trace(&opts.trace, &bytes)?;
+        let report = PostMortem::new(&trace).pairing(opts.pairing).metrics(&metrics).analyze()?;
+        (trace, None, report)
+    };
     if let Some(program) = &trace.meta.program {
         metrics.context("program", program);
     }
@@ -233,8 +258,12 @@ fn cmd_analyze(opts: &AnalyzeOpts) -> Result<String, CliError> {
     if let Some(seed) = trace.meta.seed {
         metrics.context("seed", seed);
     }
-    let report = PostMortem::new(&trace).pairing(opts.pairing).metrics(&metrics).analyze()?;
     let mut out = String::new();
+    if let Some(banner) = &salvage_banner {
+        if !opts.json {
+            let _ = writeln!(out, "{banner}");
+        }
+    }
     if opts.json {
         let _ = writeln!(out, "{}", serde_json::to_string_pretty(&report)?);
     } else {
@@ -336,7 +365,7 @@ fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
 }
 
 /// Builds the campaign spec an `explore` invocation describes.
-fn campaign_spec(opts: &ExploreOpts) -> CampaignSpec {
+fn campaign_spec(opts: &ExploreOpts) -> Result<CampaignSpec, CliError> {
     let mut config = RunConfig::default();
     if let Some(steps) = opts.budget {
         config = config.with_max_steps(steps);
@@ -354,12 +383,15 @@ fn campaign_spec(opts: &ExploreOpts) -> CampaignSpec {
     if opts.always_analyze {
         spec = spec.with_postmortem(PostMortemPolicy::Always);
     }
-    spec
+    if let Some(plan) = &opts.inject {
+        spec = spec.with_faults(parse_fault_plan(plan)?);
+    }
+    Ok(spec)
 }
 
 fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     let program = load_program(&opts.program)?;
-    let spec = campaign_spec(opts);
+    let spec = campaign_spec(opts)?;
     let metrics = metrics_for(&opts.metrics_out, opts.stats);
     metrics.context("command", "explore");
     metrics.context("program", program.name());
@@ -673,6 +705,75 @@ mod tests {
     fn explore_budget_flags_bound_every_execution() {
         let out = run_cli(&argv("explore fig1a --seeds 0..4 --jobs 1 --budget 1")).unwrap();
         assert!(out.contains("4 budget-stopped"), "{out}");
+    }
+
+    #[test]
+    fn analyze_salvage_matches_the_plain_report_on_a_torn_tail() {
+        let bin_path = tmp("salvage.bin");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {bin_path} --binary")))
+            .unwrap();
+        let full = run_cli(&argv(&format!("analyze {bin_path}"))).unwrap();
+        // Tear 3 bytes off the tail: the sync section's checksum is
+        // damaged, but its content is rebuilt from the event records,
+        // so the salvaged analysis matches the intact one exactly.
+        let len = std::fs::metadata(&bin_path).unwrap().len();
+        let out =
+            run_cli(&argv(&format!("analyze {bin_path} --salvage --inject truncate@{}", len - 3)))
+                .unwrap();
+        assert!(out.starts_with("salvage"), "{out}");
+        assert!(out.ends_with(&full), "salvaged report diverged:\n{out}\nvs\n{full}");
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn analyze_salvage_reports_the_boundary_of_a_midstream_cut() {
+        let bin_path = tmp("salvage-mid.bin");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {bin_path} --binary")))
+            .unwrap();
+        let len = std::fs::metadata(&bin_path).unwrap().len();
+        // Cut mid-stream: some events survive, some are lost.
+        let out =
+            run_cli(&argv(&format!("analyze {bin_path} --salvage --inject truncate@{}", len / 2)))
+                .unwrap();
+        assert!(out.contains("salvage boundaries:"), "{out}");
+        assert!(out.contains("P0:"), "per-processor frontier:\n{out}");
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn salvage_rejects_json_traces() {
+        let json_path = tmp("salvage.json");
+        std::fs::write(&json_path, b"{\"meta\": {}}").unwrap();
+        let err = run_cli(&argv(&format!("analyze {json_path} --salvage"))).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn analyze_inject_flip_is_caught_not_crashed() {
+        let bin_path = tmp("inject.bin");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {bin_path} --binary")))
+            .unwrap();
+        // Strict decode reports the corruption as an error...
+        let err = run_cli(&argv(&format!("analyze {bin_path} --inject flip@40.3"))).unwrap_err();
+        assert!(err.to_string().contains("decode"), "{err}");
+        // ...while salvage mode recovers the clean prefix.
+        let out =
+            run_cli(&argv(&format!("analyze {bin_path} --salvage --inject flip@40.3"))).unwrap();
+        assert!(out.starts_with("salvage"), "{out}");
+        // Bad plan syntax is a usage error.
+        let err = run_cli(&argv(&format!("analyze {bin_path} --inject frob"))).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn explore_inject_contains_worker_panics() {
+        let out =
+            run_cli(&argv("explore fig1a --seeds 0..8 --jobs 2 --inject seed=1;panics=2")).unwrap();
+        assert!(out.contains("2 contained failure(s):"), "{out}");
+        assert!(out.contains("injected fault"), "{out}");
+        assert!(out.contains("campaign: fig1a (8 points)"), "{out}");
     }
 
     #[test]

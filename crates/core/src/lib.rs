@@ -74,6 +74,7 @@ mod postmortem;
 mod race;
 pub mod render;
 mod report;
+mod salvage;
 mod scp;
 mod vc;
 
@@ -92,5 +93,6 @@ pub use partition::{partition_races, PartitionSet, RacePartition};
 pub use postmortem::{AnalysisOptions, PostMortem};
 pub use race::{detect_races, detect_races_with_stats, DataRace, DetectStats, RaceKind};
 pub use report::RaceReport;
+pub use salvage::SalvageAnalysis;
 pub use scp::{estimate_scp, ScpEstimate};
 pub use vc::VectorClock;

@@ -11,6 +11,12 @@
 //! the report independent of `jobs` and "first-reaching seed" well
 //! defined.
 //!
+//! Workers degrade gracefully: each point runs under
+//! [`catch_unwind`], so a panicking worker (injected via
+//! [`CampaignSpec::faults`] or real) loses only its current point —
+//! recorded as a [`ExecFailure`] in the report — and the sweep
+//! continues on a rebuilt machine.
+//!
 //! Per execution the trace is consumed twice, cheaply: an
 //! [`OnTheFly`] vector-clock detector rides the sink pipeline as the
 //! fast path, and only executions it flags (or every execution, under
@@ -20,6 +26,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -31,7 +38,7 @@ use wmrd_sim::{
 };
 use wmrd_trace::{metric_keys, Metrics, MultiSink, TraceBuilder, TraceSet};
 
-use crate::report::{CampaignReport, RaceFinding};
+use crate::report::{CampaignReport, ExecFailure, RaceFinding};
 use crate::spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
 use crate::ExploreError;
 
@@ -71,14 +78,20 @@ pub struct Replay {
 /// `jobs` — and every finding's `first` coordinates reproduce the race
 /// via [`replay`].
 ///
+/// Failures after the pre-flight checks are *contained*, not fatal: a
+/// worker panic (injected via [`CampaignSpec::faults`] or real), a
+/// non-budget simulator error or a post-mortem rejection is caught,
+/// itemized in [`CampaignReport::failures`] with a deterministic reason
+/// string, and the sweep continues. Budget exhaustion
+/// ([`SimError::StepLimit`] / [`SimError::CycleLimit`]) is not a
+/// failure at all: it is counted and the partial trace analyzed like
+/// any other.
+///
 /// # Errors
 ///
-/// Returns [`ExploreError::InvalidSpec`] for a degenerate spec,
-/// [`ExploreError::Sim`] if the program fails validation or an
-/// execution fails with a non-budget simulator error, and
-/// [`ExploreError::Analysis`] if a post-mortem rejects a trace. Budget
-/// exhaustion ([`SimError::StepLimit`] / [`SimError::CycleLimit`]) is
-/// counted, not raised: the partial trace is analyzed like any other.
+/// Returns [`ExploreError::InvalidSpec`] for a degenerate spec and
+/// [`ExploreError::Sim`] if the program fails validation — the only
+/// fatal, pre-flight errors.
 pub fn run_campaign(
     program: &Program,
     spec: &CampaignSpec,
@@ -90,9 +103,16 @@ pub fn run_campaign(
     let points = spec.points();
     let jobs = jobs.clamp(1, points.len());
     metrics.max_gauge(metric_keys::EXPLORE_JOBS, jobs as u64);
+    // A `panics=N` scatter request needs the point count to pick its
+    // victims; resolution is a pure function of (seed, count).
+    let faults = spec.faults.resolve_scatter(points.len());
+    if !faults.is_empty() {
+        metrics.add(metric_keys::FAULTS_INJECTED, faults.points().len() as u64);
+        metrics.add(metric_keys::FAULTS_WORKER_PANICS, faults.panic_count() as u64);
+    }
 
     let program = Arc::new(program.clone());
-    let slots: Mutex<Vec<Option<Result<PointOutcome, ExploreError>>>> =
+    let slots: Mutex<Vec<Option<Result<PointOutcome, String>>>> =
         Mutex::new((0..points.len()).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
 
@@ -107,8 +127,24 @@ pub fn run_campaign(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(point) = points.get(i) else { break };
-                        let result = run_point(&program, point, spec, &mut runners);
-                        slots.lock().unwrap()[i] = Some(result);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if faults.panics_at(i) {
+                                panic!("injected fault: worker panic at point {i}");
+                            }
+                            run_point(&program, point, spec, &mut runners)
+                        }));
+                        let outcome = match result {
+                            Ok(Ok(outcome)) => Ok(outcome),
+                            Ok(Err(e)) => Err(e.to_string()),
+                            Err(payload) => {
+                                // The unwind may have torn through a
+                                // machine mid-step; drop this worker's
+                                // cache so later points rebuild clean.
+                                runners.clear();
+                                Err(panic_reason(payload.as_ref()))
+                            }
+                        };
+                        slots.lock().unwrap()[i] = Some(outcome);
                     }
                 });
             }
@@ -116,7 +152,23 @@ pub fn run_campaign(
     });
 
     let outcomes = slots.into_inner().unwrap();
-    fold(program.name(), &points, outcomes)
+    let report = fold(program.name(), &points, outcomes);
+    if report.failed_executions > 0 {
+        metrics.add(metric_keys::FAULTS_CONTAINED, report.failed_executions);
+    }
+    Ok(report)
+}
+
+/// Renders a panic payload as a deterministic reason string, so reports
+/// stay byte-identical across worker counts even under injected panics.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 /// Runs one point on a (possibly reused) machine.
@@ -198,11 +250,12 @@ fn run_point(
 }
 
 /// Folds outcomes in spec order into the deterministic report.
+/// Failed points become [`ExecFailure`] entries, never errors.
 fn fold(
     program: &str,
     points: &[CampaignPoint],
-    outcomes: Vec<Option<Result<PointOutcome, ExploreError>>>,
-) -> Result<CampaignReport, ExploreError> {
+    outcomes: Vec<Option<Result<PointOutcome, String>>>,
+) -> CampaignReport {
     let mut report = CampaignReport {
         program: program.to_string(),
         points: points.len() as u64,
@@ -212,8 +265,19 @@ fn fold(
     let mut profiles: BTreeSet<Vec<RaceKey>> = BTreeSet::new();
     let mut final_states: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
 
-    for slot in outcomes {
-        let outcome = slot.expect("every point claimed exactly once")?;
+    for (slot, point) in outcomes.into_iter().zip(points) {
+        let outcome = match slot.expect("every point claimed exactly once") {
+            Ok(outcome) => outcome,
+            Err(reason) => {
+                report.failed_executions += 1;
+                report.failures.push(ExecFailure {
+                    index: point.index as u64,
+                    exec: point.exec,
+                    reason,
+                });
+                continue;
+            }
+        };
         report.executions += 1;
         report.total_steps += outcome.steps;
         if outcome.budget_hit {
@@ -261,7 +325,7 @@ fn fold(
     }
     report.races = findings.into_values().collect();
     report.first_partition_profiles = profiles.into_iter().collect();
-    Ok(report)
+    report
 }
 
 /// Re-executes one campaign point with full detail: the trace, the

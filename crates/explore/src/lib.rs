@@ -56,7 +56,7 @@ mod spec;
 
 pub use engine::{replay, run_campaign, Replay};
 pub use error::ExploreError;
-pub use report::{CampaignReport, CoverageRow, RaceFinding};
+pub use report::{CampaignReport, CoverageRow, ExecFailure, RaceFinding};
 pub use spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
 
 #[cfg(test)]
@@ -185,6 +185,49 @@ mod tests {
         assert_eq!(r.gauge("explore.jobs"), Some(2));
         assert!(r.phase_ns("explore.campaign").is_some());
         assert_eq!(r.counter("explore.unique_races"), Some(report.races.len() as u64));
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_itemized() {
+        use wmrd_faults::FaultPlan;
+        let prog = two_race_program();
+        let plan = FaultPlan::scattered_panics(11, 24, 3);
+        let spec = CampaignSpec::new(0, 24).with_faults(plan.clone());
+        let r1 = run_campaign(&prog, &spec, 1, &Metrics::disabled()).unwrap();
+        let r4 = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+        assert_eq!(r1, r4, "failures fold deterministically, like findings");
+        assert_eq!(r1.failed_executions, 3);
+        assert_eq!(r1.failures.len(), 3);
+        assert_eq!(r1.executions, 21, "non-faulted points all complete");
+        for f in &r1.failures {
+            assert!(plan.panics_at(f.index as usize), "failure at a planned point");
+            assert!(f.reason.contains("injected fault"), "{}", f.reason);
+        }
+        assert!(r1.render().contains("contained failure"), "{}", r1.render());
+        // The healthy points still surface the program's races.
+        assert!(!r1.is_race_free());
+    }
+
+    #[test]
+    fn scatter_requests_resolve_against_the_point_count() {
+        use wmrd_faults::FaultPlan;
+        let plan = FaultPlan::parse("seed=3;panics=2").unwrap();
+        let spec = CampaignSpec::new(0, 8).with_faults(plan);
+        let report = run_campaign(&two_race_program(), &spec, 2, &Metrics::disabled()).unwrap();
+        assert_eq!(report.failed_executions, 2);
+        assert_eq!(report.executions, 6);
+    }
+
+    #[test]
+    fn fault_metrics_are_recorded() {
+        use wmrd_faults::FaultPlan;
+        let m = Metrics::enabled();
+        let spec = CampaignSpec::new(0, 12).with_faults(FaultPlan::scattered_panics(0, 12, 2));
+        run_campaign(&racy_program(), &spec, 3, &m).unwrap();
+        let r = m.report();
+        assert_eq!(r.counter("faults.worker_panics"), Some(2));
+        assert_eq!(r.counter("faults.contained"), Some(2));
+        assert_eq!(r.counter("faults.injected"), Some(2));
     }
 
     #[test]

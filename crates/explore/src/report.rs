@@ -24,6 +24,19 @@ pub struct RaceFinding {
     pub first: ExecSpec,
 }
 
+/// One contained per-execution failure: a worker panic (injected or
+/// real) or a per-point error that was caught, itemized and folded into
+/// the report instead of aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecFailure {
+    /// Spec-order index of the failed point.
+    pub index: u64,
+    /// The execution coordinates that were being run.
+    pub exec: ExecSpec,
+    /// Deterministic reason: the panic message or the error rendering.
+    pub reason: String,
+}
+
 /// Per-configuration schedule-coverage counters: how much of a
 /// hardware/model/drain-probability combination's schedule space the
 /// seeds actually exercised.
@@ -54,8 +67,11 @@ pub struct CampaignReport {
     pub program: String,
     /// Points in the spec (executions attempted).
     pub points: u64,
-    /// Executions that completed (all of them, unless a worker failed).
+    /// Executions that completed: `points` minus contained failures.
     pub executions: u64,
+    /// Executions whose worker panicked or errored; each is itemized in
+    /// [`failures`](CampaignReport::failures), never fatal to the sweep.
+    pub failed_executions: u64,
     /// Executions stopped by a step or cycle budget.
     pub budget_hits: u64,
     /// Executions with at least one confirmed data race.
@@ -74,6 +90,9 @@ pub struct CampaignReport {
     /// stable under schedule perturbation; several mean different
     /// schedules surface different "report first" sets.
     pub first_partition_profiles: Vec<Vec<RaceKey>>,
+    /// Contained failures, in spec order. Deterministic for a fixed
+    /// program, spec and fault plan, like everything else here.
+    pub failures: Vec<ExecFailure>,
 }
 
 impl CampaignReport {
@@ -96,6 +115,7 @@ impl CampaignReport {
     /// metric keys (see `OBSERVABILITY.md`).
     pub fn record_into(&self, metrics: &Metrics) {
         metrics.add(metric_keys::EXPLORE_EXECUTIONS, self.executions);
+        metrics.add(metric_keys::EXPLORE_FAILURES, self.failed_executions);
         metrics.add(metric_keys::EXPLORE_BUDGET_HITS, self.budget_hits);
         metrics.add(metric_keys::EXPLORE_RACY_EXECUTIONS, self.racy_executions);
         metrics.add(metric_keys::EXPLORE_POSTMORTEMS, self.postmortems);
@@ -118,6 +138,16 @@ impl CampaignReport {
             "executions: {} ({} racy, {} budget-stopped, {} post-mortems)",
             self.executions, self.racy_executions, self.budget_hits, self.postmortems
         );
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "{} contained failure(s):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(
+                    out,
+                    "  point {} (seed {}, {}, {}, p={}): {}",
+                    f.index, f.exec.seed, f.exec.hw, f.exec.model, f.exec.drain_prob, f.reason
+                );
+            }
+        }
         for (label, row) in &self.coverage {
             let _ = writeln!(
                 out,
@@ -217,9 +247,33 @@ mod tests {
         report.record_into(&m);
         let r = m.report();
         assert_eq!(r.counter(metric_keys::EXPLORE_EXECUTIONS), Some(4));
+        assert_eq!(r.counter(metric_keys::EXPLORE_FAILURES), Some(0));
         assert_eq!(r.counter(metric_keys::EXPLORE_UNIQUE_RACES), Some(1));
         assert_eq!(r.counter(metric_keys::EXPLORE_RACE_HITS), Some(3));
         assert_eq!(r.counter(metric_keys::EXPLORE_TOTAL_STEPS), Some(99));
         assert_eq!(r.gauge(metric_keys::EXPLORE_POINTS), Some(4));
+    }
+
+    #[test]
+    fn failures_are_itemized_in_the_rendering() {
+        let report = CampaignReport {
+            program: "t".into(),
+            points: 4,
+            executions: 3,
+            failed_executions: 1,
+            failures: vec![ExecFailure {
+                index: 2,
+                exec: finding().first,
+                reason: "injected fault: worker panic at point 2".into(),
+            }],
+            ..CampaignReport::default()
+        };
+        let text = report.render();
+        assert!(text.contains("1 contained failure(s):"), "{text}");
+        assert!(text.contains("point 2"), "{text}");
+        assert!(text.contains("injected fault"), "{text}");
+        let m = Metrics::enabled();
+        report.record_into(&m);
+        assert_eq!(m.report().counter(metric_keys::EXPLORE_FAILURES), Some(1));
     }
 }

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use wmrd_core::PairingPolicy;
+use wmrd_faults::FaultPlan;
 use wmrd_sim::{Fidelity, HwImpl, MemoryModel, RunConfig};
 
 use crate::ExploreError;
@@ -76,6 +77,11 @@ pub struct CampaignSpec {
     pub pairing: PairingPolicy,
     /// When to run the full post-mortem.
     pub postmortem: PostMortemPolicy,
+    /// Deterministic fault-injection plan (worker panics). The empty
+    /// plan — the default — injects nothing; a `panics=N` scatter
+    /// request is resolved against this spec's point count when the
+    /// campaign starts.
+    pub faults: FaultPlan,
 }
 
 impl CampaignSpec {
@@ -93,6 +99,7 @@ impl CampaignSpec {
             config: RunConfig::default(),
             pairing: PairingPolicy::ByRole,
             postmortem: PostMortemPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -123,6 +130,12 @@ impl CampaignSpec {
     /// Replaces the post-mortem policy.
     pub fn with_postmortem(mut self, postmortem: PostMortemPolicy) -> Self {
         self.postmortem = postmortem;
+        self
+    }
+
+    /// Replaces the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -1,0 +1,55 @@
+//! Deterministic fault injection for the trace and exploration
+//! pipelines.
+//!
+//! A production post-mortem detector lives or dies on the integrity of
+//! its trace files and the resilience of its campaign workers. This
+//! crate provides the *test harness half* of that robustness story: a
+//! seed-keyed [`FaultPlan`] — a registry of [`FaultPoint`]s with **no
+//! global state** — that deterministically injects
+//!
+//! * **truncations** and **bit-flips** into encoded byte streams
+//!   ([`FaultPlan::corrupt`]),
+//! * **short reads** into `std::io::Read` pipelines ([`ShortReader`]),
+//!   and
+//! * **worker panics** into campaign engines
+//!   ([`FaultPlan::panics_at`]).
+//!
+//! Because every decision is a pure function of the plan (and the plan
+//! a pure function of its seed and explicit points), a faulted run is
+//! exactly reproducible: the same plan injects the same faults at the
+//! same sites regardless of thread count, retry order, or how many
+//! other plans exist in the process. That is what lets the exploration
+//! engine promise byte-identical reports under fault injection.
+//!
+//! # Example
+//!
+//! ```
+//! use wmrd_faults::{FaultPlan, FaultPoint};
+//!
+//! // Three worker panics scattered deterministically over 96 points.
+//! let plan = FaultPlan::scattered_panics(42, 96, 3);
+//! assert_eq!(plan.panic_count(), 3);
+//! let hits: Vec<usize> = (0..96).filter(|&i| plan.panics_at(i)).collect();
+//! assert_eq!(hits.len(), 3);
+//! // The same seed always scatters the same points.
+//! assert_eq!(plan, FaultPlan::scattered_panics(42, 96, 3));
+//!
+//! // Byte corruption: flip bit 3 of byte 5, then cut at byte 10.
+//! let plan = FaultPlan::new(0)
+//!     .with(FaultPoint::BitFlip { offset: 5, bit: 3 })
+//!     .with(FaultPoint::Truncate { at: 10 });
+//! let clean: Vec<u8> = (0u8..32).collect();
+//! let hurt = plan.corrupt(&clean);
+//! assert_eq!(hurt.len(), 10);
+//! assert_eq!(hurt[5], 5 ^ (1 << 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod plan;
+mod reader;
+
+pub use plan::{FaultError, FaultPlan, FaultPoint};
+pub use reader::ShortReader;

@@ -1,0 +1,385 @@
+//! The seed-keyed fault registry.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One injected fault.
+///
+/// Byte faults ([`Truncate`](FaultPoint::Truncate),
+/// [`BitFlip`](FaultPoint::BitFlip)) are applied by
+/// [`FaultPlan::corrupt`]; [`ShortRead`](FaultPoint::ShortRead) is
+/// honoured by [`ShortReader`](crate::ShortReader); and
+/// [`WorkerPanic`](FaultPoint::WorkerPanic) is queried by campaign
+/// engines via [`FaultPlan::panics_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultPoint {
+    /// Cut a byte stream at `at` (keep bytes `0..at`).
+    Truncate {
+        /// Byte offset the stream is cut at.
+        at: usize,
+    },
+    /// XOR bit `bit` (0–7) of the byte at `offset`.
+    BitFlip {
+        /// Byte offset of the flipped byte.
+        offset: usize,
+        /// Bit index within the byte, 0–7.
+        bit: u8,
+    },
+    /// Make a reader report end-of-input at `at` even though more
+    /// bytes exist (a torn write observed mid-file).
+    ShortRead {
+        /// Byte offset the reader goes quiet at.
+        at: usize,
+    },
+    /// Panic the worker that claims campaign point `point`.
+    WorkerPanic {
+        /// Campaign-point index (spec order) whose worker panics.
+        point: usize,
+    },
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPoint::Truncate { at } => write!(f, "truncate@{at}"),
+            FaultPoint::BitFlip { offset, bit } => write!(f, "flip@{offset}.{bit}"),
+            FaultPoint::ShortRead { at } => write!(f, "shortread@{at}"),
+            FaultPoint::WorkerPanic { point } => write!(f, "panic@{point}"),
+        }
+    }
+}
+
+/// A deterministic fault-injection plan: a seed plus an explicit,
+/// ordered set of [`FaultPoint`]s.
+///
+/// Plans hold no global state and take no locks; every query is a pure
+/// function of the plan's contents, so two threads consulting the same
+/// plan always agree. The empty plan ([`FaultPlan::none`]) injects
+/// nothing and is the default everywhere a plan is accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<FaultPoint>,
+    /// A `panics=N` request parsed from CLI syntax, awaiting a point
+    /// count to scatter over; see [`FaultPlan::resolve_scatter`].
+    scatter: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64: the tiny, high-quality step function used to derive
+/// scatter positions from the plan seed. Deterministic by construction.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A plan keyed by `seed` with no points yet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, points: Vec::new(), scatter: None }
+    }
+
+    /// A plan that panics the workers of `count` distinct campaign
+    /// points, scattered over `0..num_points` by `seed`.
+    ///
+    /// `count` is clamped to `num_points`. The same arguments always
+    /// produce the same plan.
+    pub fn scattered_panics(seed: u64, num_points: usize, count: usize) -> Self {
+        let count = count.min(num_points);
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut chosen = BTreeSet::new();
+        while chosen.len() < count {
+            chosen.insert((splitmix64(&mut state) % num_points as u64) as usize);
+        }
+        let mut plan = FaultPlan::new(seed);
+        plan.points.extend(chosen.into_iter().map(|point| FaultPoint::WorkerPanic { point }));
+        plan
+    }
+
+    /// Adds one fault point (builder style).
+    #[must_use]
+    pub fn with(mut self, point: FaultPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's fault points, in injection order.
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `true` iff the worker claiming campaign point `index` must
+    /// panic.
+    pub fn panics_at(&self, index: usize) -> bool {
+        self.points
+            .iter()
+            .any(|p| matches!(p, FaultPoint::WorkerPanic { point } if *point == index))
+    }
+
+    /// Number of planned worker panics.
+    pub fn panic_count(&self) -> usize {
+        self.points.iter().filter(|p| matches!(p, FaultPoint::WorkerPanic { .. })).count()
+    }
+
+    /// The earliest `ShortRead` offset, if any (what a
+    /// [`ShortReader`](crate::ShortReader) honours).
+    pub fn short_read_at(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .filter_map(|p| match p {
+                FaultPoint::ShortRead { at } => Some(*at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Applies the plan's byte faults to `data`, in plan order:
+    /// bit-flips XOR in place (out-of-range offsets are ignored),
+    /// truncations cut the buffer.
+    pub fn corrupt(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        for point in &self.points {
+            match *point {
+                FaultPoint::BitFlip { offset, bit } => {
+                    if let Some(byte) = out.get_mut(offset) {
+                        *byte ^= 1 << (bit & 7);
+                    }
+                }
+                FaultPoint::Truncate { at } => out.truncate(at),
+                FaultPoint::ShortRead { .. } | FaultPoint::WorkerPanic { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Parses the CLI plan syntax: `;`- or `,`-separated terms.
+    ///
+    /// * `seed=N` — set the plan seed
+    /// * `panics=N` — scatter `N` worker panics (requires the consumer
+    ///   to re-scatter over its point count; stored as a marker via
+    ///   [`FaultPlan::scatter_request`])
+    /// * `panic@I` — panic the worker of point `I`
+    /// * `truncate@B` — cut byte streams at offset `B`
+    /// * `flip@B.T` — flip bit `T` of byte `B`
+    /// * `shortread@B` — readers go quiet at offset `B`
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError`] naming the unparsable term.
+    pub fn parse(spec: &str) -> Result<Self, FaultError> {
+        let mut seed = 0u64;
+        let mut scatter = None;
+        let mut points = Vec::new();
+        for term in spec.split([';', ',']).map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(v) = term.strip_prefix("seed=") {
+                seed = v.parse().map_err(|_| FaultError::bad(term, "seed wants an integer"))?;
+            } else if let Some(v) = term.strip_prefix("panics=") {
+                let n: usize =
+                    v.parse().map_err(|_| FaultError::bad(term, "panics wants a count"))?;
+                scatter = Some(n);
+            } else if let Some(v) = term.strip_prefix("panic@") {
+                let point =
+                    v.parse().map_err(|_| FaultError::bad(term, "panic@ wants a point index"))?;
+                points.push(FaultPoint::WorkerPanic { point });
+            } else if let Some(v) = term.strip_prefix("truncate@") {
+                let at = v
+                    .parse()
+                    .map_err(|_| FaultError::bad(term, "truncate@ wants a byte offset"))?;
+                points.push(FaultPoint::Truncate { at });
+            } else if let Some(v) = term.strip_prefix("shortread@") {
+                let at = v
+                    .parse()
+                    .map_err(|_| FaultError::bad(term, "shortread@ wants a byte offset"))?;
+                points.push(FaultPoint::ShortRead { at });
+            } else if let Some(v) = term.strip_prefix("flip@") {
+                let (off, bit) = v
+                    .split_once('.')
+                    .ok_or_else(|| FaultError::bad(term, "flip@ wants offset.bit"))?;
+                let offset =
+                    off.parse().map_err(|_| FaultError::bad(term, "flip@ wants a byte offset"))?;
+                let bit: u8 =
+                    bit.parse().map_err(|_| FaultError::bad(term, "flip@ wants a bit 0-7"))?;
+                if bit > 7 {
+                    return Err(FaultError::bad(term, "flip@ wants a bit 0-7"));
+                }
+                points.push(FaultPoint::BitFlip { offset, bit });
+            } else {
+                return Err(FaultError::bad(
+                    term,
+                    "expected seed=, panics=, panic@, truncate@, flip@, or shortread@",
+                ));
+            }
+        }
+        Ok(FaultPlan { seed, points, scatter })
+    }
+
+    /// The `panics=N` scatter request carried by a parsed plan, if any.
+    /// Consumers that know their point count resolve it with
+    /// [`FaultPlan::resolve_scatter`].
+    pub fn scatter_request(&self) -> Option<usize> {
+        self.scatter
+    }
+
+    /// Resolves a `panics=N` request against `num_points`: returns a
+    /// plan whose scattered panic points are materialized (explicit
+    /// points are kept). A plan without a request is returned as-is.
+    #[must_use]
+    pub fn resolve_scatter(&self, num_points: usize) -> FaultPlan {
+        let Some(count) = self.scatter else { return self.clone() };
+        let mut resolved = FaultPlan::scattered_panics(self.seed, num_points, count);
+        let mut points = self.points.clone();
+        points.append(&mut resolved.points);
+        FaultPlan { seed: self.seed, points, scatter: None }
+    }
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    term: String,
+    reason: String,
+}
+
+impl FaultError {
+    fn bad(term: &str, reason: &str) -> Self {
+        FaultError { term: term.to_string(), reason: reason.to_string() }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault term `{}`: {}", self.term, self.reason)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        if let Some(n) = self.scatter {
+            write!(f, ";panics={n}")?;
+        }
+        for p in &self.points {
+            write!(f, ";{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(!plan.panics_at(0));
+        assert_eq!(plan.panic_count(), 0);
+        assert_eq!(plan.corrupt(b"hello"), b"hello");
+        assert_eq!(plan.short_read_at(), None);
+    }
+
+    #[test]
+    fn scattered_panics_are_deterministic_and_distinct() {
+        let a = FaultPlan::scattered_panics(7, 96, 5);
+        let b = FaultPlan::scattered_panics(7, 96, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.panic_count(), 5);
+        let hit: Vec<usize> = (0..96).filter(|&i| a.panics_at(i)).collect();
+        assert_eq!(hit.len(), 5, "five distinct points");
+        // A different seed scatters differently (with overwhelming
+        // probability for this seed pair — pinned, not flaky).
+        let c = FaultPlan::scattered_panics(8, 96, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scatter_clamps_to_point_count() {
+        let plan = FaultPlan::scattered_panics(0, 3, 10);
+        assert_eq!(plan.panic_count(), 3);
+        assert!(plan.panics_at(0) && plan.panics_at(1) && plan.panics_at(2));
+    }
+
+    #[test]
+    fn corrupt_applies_flips_then_truncations_in_order() {
+        let data: Vec<u8> = (0u8..16).collect();
+        let plan = FaultPlan::new(0)
+            .with(FaultPoint::BitFlip { offset: 2, bit: 0 })
+            .with(FaultPoint::Truncate { at: 8 })
+            .with(FaultPoint::BitFlip { offset: 12, bit: 1 }); // beyond cut: ignored
+        let out = plan.corrupt(&data);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[2], 2 ^ 1);
+        assert_eq!(out[3], 3);
+    }
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        let plan = FaultPlan::parse("seed=9;panic@3;flip@10.2;truncate@100;shortread@64").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert!(plan.panics_at(3));
+        assert_eq!(plan.short_read_at(), Some(64));
+        assert_eq!(plan.points().len(), 4);
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_accepts_commas_and_whitespace() {
+        let plan = FaultPlan::parse(" seed=1 , panic@0 , panics=2 ").unwrap();
+        assert_eq!(plan.scatter_request(), Some(2));
+        assert!(plan.panics_at(0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("frobnicate").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("panic@").is_err());
+        assert!(FaultPlan::parse("flip@3").is_err());
+        assert!(FaultPlan::parse("flip@3.9").is_err());
+        assert!(FaultPlan::parse("truncate@many").is_err());
+        let err = FaultPlan::parse("panics=lots").unwrap_err();
+        assert!(err.to_string().contains("panics=lots"), "{err}");
+    }
+
+    #[test]
+    fn resolve_scatter_materializes_requests() {
+        let plan = FaultPlan::parse("seed=5;panics=4;panic@1").unwrap();
+        let resolved = plan.resolve_scatter(50);
+        assert_eq!(resolved.scatter_request(), None);
+        assert_eq!(resolved.panic_count(), 5, "explicit point kept, 4 scattered added");
+        assert!(resolved.panics_at(1));
+        // Resolution is idempotent and deterministic.
+        assert_eq!(resolved.resolve_scatter(50), resolved);
+        assert_eq!(plan.resolve_scatter(50), resolved);
+        // A plan without a request passes through unchanged.
+        let explicit = FaultPlan::new(2).with(FaultPoint::WorkerPanic { point: 7 });
+        assert_eq!(explicit.resolve_scatter(10), explicit);
+    }
+}

@@ -1,0 +1,112 @@
+//! An `io::Read` wrapper that injects short reads and early EOF.
+
+use std::io::{self, Read};
+
+/// Wraps a reader so it delivers data in deliberately small chunks and
+/// — if the plan asks for it — reports end-of-input early.
+///
+/// Short reads exercise the callers' `read_exact`-style loops: a
+/// decoder that assumes one `read` call fills its buffer breaks the
+/// moment the bytes arrive from a pipe, a socket, or a torn file. The
+/// optional cutoff models a file whose tail was never flushed.
+///
+/// ```
+/// use std::io::Read;
+/// use wmrd_faults::ShortReader;
+///
+/// let data: Vec<u8> = (0u8..64).collect();
+/// // Dribble 3 bytes per call, and go quiet after byte 10.
+/// let mut r = ShortReader::new(&data[..], 3).with_cutoff(10);
+/// let mut out = Vec::new();
+/// r.read_to_end(&mut out).unwrap();
+/// assert_eq!(out, &data[..10]);
+/// ```
+#[derive(Debug)]
+pub struct ShortReader<R> {
+    inner: R,
+    chunk: usize,
+    cutoff: Option<usize>,
+    delivered: usize,
+}
+
+impl<R: Read> ShortReader<R> {
+    /// Wraps `inner`, delivering at most `chunk` bytes per `read` call
+    /// (`chunk` of 0 is treated as 1 — a zero-byte read would mean
+    /// EOF to every caller).
+    pub fn new(inner: R, chunk: usize) -> Self {
+        ShortReader { inner, chunk: chunk.max(1), cutoff: None, delivered: 0 }
+    }
+
+    /// Reports end-of-input after `cutoff` total bytes, even if the
+    /// underlying reader has more.
+    #[must_use]
+    pub fn with_cutoff(mut self, cutoff: usize) -> Self {
+        self.cutoff = Some(cutoff);
+        self
+    }
+
+    /// Total bytes delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for ShortReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut limit = self.chunk.min(buf.len());
+        if let Some(cutoff) = self.cutoff {
+            limit = limit.min(cutoff.saturating_sub(self.delivered));
+        }
+        if limit == 0 {
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        self.delivered += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dribbles_in_small_chunks() {
+        let data: Vec<u8> = (0u8..32).collect();
+        let mut r = ShortReader::new(&data[..], 5);
+        let mut buf = [0u8; 32];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 5, "never more than the chunk size per call");
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(r.delivered(), 32);
+        assert_eq!(&buf[..5], &data[..5]);
+        assert_eq!(rest, &data[5..]);
+    }
+
+    #[test]
+    fn cutoff_fakes_early_eof() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let mut r = ShortReader::new(&data[..], 7).with_cutoff(20);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..20]);
+        // Subsequent reads stay at EOF.
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_chunk_is_promoted_to_one() {
+        let data = [9u8; 4];
+        let mut r = ShortReader::new(&data[..], 0);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -137,6 +137,12 @@ impl CampaignRunner {
     /// scheduler state — reuse is an optimization, never a semantic
     /// change.
     ///
+    /// The reset happens at the *start* of each run, so a runner whose
+    /// previous execution was abandoned mid-flight — budget stop, error
+    /// return, even a panic the caller caught — is safe to reuse: the
+    /// next run starts from the program's initial state regardless of
+    /// what the abandoned one left behind.
+    ///
     /// # Errors
     ///
     /// Same as [`run_weak_hw`](crate::run_weak_hw): machine errors,
@@ -250,6 +256,47 @@ mod tests {
             RunConfig::uniform(),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn reset_after_an_abandoned_run_matches_fresh() {
+        let config = RunConfig::uniform().with_max_steps(3);
+        let mut runner = CampaignRunner::new(
+            Arc::new(racy_program()),
+            HwImpl::StoreBuffer,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            config,
+        )
+        .unwrap();
+        // The first run is abandoned mid-flight by the step budget,
+        // leaving cores unhalted and buffers possibly non-empty.
+        let mut sched = RandomWeakSched::new(5, 0.3);
+        let abandoned = runner.run(&mut sched, &mut wmrd_trace::NullSink::new());
+        assert!(matches!(abandoned, Err(SimError::StepLimit(3))));
+        // The next run must be indistinguishable from one on a fresh
+        // machine: start-of-run reset erases whatever was left behind.
+        let mut sched = RandomWeakSched::new(9, 0.3);
+        let mut sink = TraceBuilder::new(2);
+        let reused = runner.run(&mut sched, &mut sink);
+        let prog = racy_program();
+        let mut fresh_sched = RandomWeakSched::new(9, 0.3);
+        let mut fresh_sink = TraceBuilder::new(2);
+        let fresh = run_weak_hw(
+            HwImpl::StoreBuffer,
+            &prog,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut fresh_sched,
+            &mut fresh_sink,
+            config,
+        );
+        match (reused, fresh) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(SimError::StepLimit(a)), Err(SimError::StepLimit(b))) => assert_eq!(a, b),
+            (a, b) => panic!("reused {a:?} diverged from fresh {b:?}"),
+        }
+        assert_eq!(sink.finish(), fresh_sink.finish());
     }
 
     #[test]

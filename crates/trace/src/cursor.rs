@@ -1,0 +1,136 @@
+//! A bounds-checked, position-tracking read cursor for binary decoding.
+//!
+//! Every decode path in this crate goes through [`ByteReader`] so that
+//! (a) no read can panic or over-allocate on corrupt input, and (b)
+//! every failure carries the absolute byte offset where it was
+//! detected — the contract [`DecodeError`] exposes to callers and the
+//! salvage decoder turns into a recovery boundary.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::DecodeError;
+
+/// A cursor over `buf` whose position is reported relative to `base`
+/// (so sub-readers over an embedded section still report absolute file
+/// offsets).
+#[derive(Debug, Clone)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor over `buf`, reporting offsets from 0.
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0, base: 0 }
+    }
+
+    /// A cursor over `buf` whose reported offsets start at `base`
+    /// (the absolute position of `buf[0]` in the enclosing input).
+    pub(crate) fn with_base(buf: &'a [u8], base: usize) -> Self {
+        ByteReader { buf, pos: 0, base }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub(crate) fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` if every byte has been consumed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// An error at the current position.
+    pub(crate) fn err(&self, reason: impl Into<String>) -> DecodeError {
+        DecodeError::new(self.offset(), reason)
+    }
+
+    /// The consumed bytes from absolute offset `from_abs` up to the
+    /// current position (used to checksum a just-read span).
+    pub(crate) fn slice_from(&self, from_abs: usize) -> &'a [u8] {
+        let rel = from_abs.saturating_sub(self.base).min(self.pos);
+        &self.buf[rel..self.pos]
+    }
+
+    /// Consumes `n` bytes.
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "input ends inside {what} (need {n} bytes, have {})",
+                self.remaining()
+            )));
+        }
+        let head = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub(crate) fn i64(&mut self, what: &str) -> Result<i64, DecodeError> {
+        Ok(self.u64(what)? as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_track_offsets() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.u8("a").unwrap(), 1);
+        assert_eq!(r.u16("b").unwrap(), 0x0203);
+        assert_eq!(r.offset(), 3);
+        assert_eq!(r.remaining(), 2);
+        let e = r.u32("c").unwrap_err();
+        assert_eq!(e.offset, 3, "error pinned where the read started");
+        assert!(e.reason.contains('c'));
+        // The failed read consumed nothing.
+        assert_eq!(r.take(2, "rest").unwrap(), &[0x04, 0x05]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn base_offsets_are_absolute() {
+        let section = [0xAA, 0xBB];
+        let mut r = ByteReader::with_base(&section, 100);
+        assert_eq!(r.offset(), 100);
+        r.u8("x").unwrap();
+        assert_eq!(r.err("boom").offset, 101);
+        r.u8("x").unwrap();
+        assert_eq!(r.u8("past end").unwrap_err().offset, 102);
+    }
+
+    #[test]
+    fn wide_reads_are_big_endian() {
+        let data = [0xFF; 8];
+        assert_eq!(ByteReader::new(&data).u64("v").unwrap(), u64::MAX);
+        assert_eq!(ByteReader::new(&data).i64("v").unwrap(), -1);
+    }
+}

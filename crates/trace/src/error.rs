@@ -4,6 +4,35 @@ use std::fmt;
 
 use crate::{EventId, OpId, ProcId};
 
+/// A binary decode failure pinned to a byte offset.
+///
+/// Every decoder in this crate reads through a position-tracking
+/// cursor, so a framing problem, checksum mismatch, or truncation is
+/// reported as *where* in the input it was detected — which is also the
+/// boundary the salvage decoder recovers up to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset (into the full encoded input) where decoding failed.
+    pub offset: usize,
+    /// What went wrong there.
+    pub reason: String,
+}
+
+impl DecodeError {
+    /// Creates a decode error at `offset`.
+    pub fn new(offset: usize, reason: impl Into<String>) -> Self {
+        DecodeError { offset, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Errors produced while building, validating, or (de)serializing traces.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -20,6 +49,8 @@ pub enum TraceError {
     Json(serde_json::Error),
     /// Binary decoding failed (message explains where).
     Binary(String),
+    /// Binary decoding failed at a known byte offset.
+    Decode(DecodeError),
     /// An I/O error while reading or writing a trace file.
     Io(std::io::Error),
 }
@@ -33,6 +64,7 @@ impl fmt::Display for TraceError {
             TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
             TraceError::Json(e) => write!(f, "trace json error: {e}"),
             TraceError::Binary(m) => write!(f, "trace binary decode error: {m}"),
+            TraceError::Decode(e) => write!(f, "trace binary decode error {e}"),
             TraceError::Io(e) => write!(f, "trace io error: {e}"),
         }
     }
@@ -60,6 +92,12 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+impl From<DecodeError> for TraceError {
+    fn from(e: DecodeError) -> Self {
+        TraceError::Decode(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +116,16 @@ mod tests {
         assert!(io.source().is_some());
         let m = TraceError::Malformed("m".into());
         assert!(m.source().is_none());
+    }
+
+    #[test]
+    fn decode_errors_carry_their_offset() {
+        let e = DecodeError::new(42, "checksum mismatch");
+        assert_eq!(e.offset, 42);
+        let wrapped = TraceError::from(e.clone());
+        let msg = wrapped.to_string();
+        assert!(msg.contains("byte 42") && msg.contains("checksum mismatch"), "{msg}");
+        assert!(matches!(wrapped, TraceError::Decode(inner) if inner == e));
     }
 
     #[test]

@@ -60,6 +60,8 @@
 #![warn(missing_debug_implementations)]
 
 mod bitset;
+mod crc32;
+mod cursor;
 mod error;
 mod event;
 mod ids;
@@ -71,12 +73,15 @@ mod stream;
 mod traceset;
 
 pub use bitset::LocSet;
-pub use error::TraceError;
+pub use crc32::crc32;
+pub use error::{DecodeError, TraceError};
 pub use event::{ComputationEvent, Event, EventId, EventKind, SyncEvent};
 pub use ids::{Location, OpId, ProcId, Value};
 pub use metrics::{keys as metric_keys, Metrics, RunMetrics};
 pub use op::{AccessKind, MemOp, OpClass, SyncRole};
 pub use oplog::OpTrace;
 pub use sink::{MultiSink, NullSink, OpRecorder, TraceBuilder, TraceSink};
-pub use stream::{read_stream, stream_locations, StreamWriter};
-pub use traceset::{ProcessorTrace, SyncOrderEntry, TraceMeta, TraceSet};
+pub use stream::{read_stream, salvage_stream, stream_locations, StreamSalvage, StreamWriter};
+pub use traceset::{
+    ProcessorTrace, Salvage, SyncOrderEntry, TraceMeta, TraceSet, BINARY_FORMAT_VERSION,
+};

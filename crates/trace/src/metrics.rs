@@ -397,6 +397,24 @@ pub mod keys {
     pub const EXPLORE_PARTITION_PROFILES: &str = "explore.partition_profiles";
     /// Phase: wall-clock time of the whole campaign.
     pub const EXPLORE_CAMPAIGN: &str = "explore.campaign";
+    /// Counter: executions that failed (worker panic or per-point
+    /// error) and were contained rather than aborting the campaign.
+    pub const EXPLORE_FAILURES: &str = "explore.failures";
+    /// Counter: fault points carried by the campaign's injection plan.
+    pub const FAULTS_INJECTED: &str = "faults.injected";
+    /// Counter: worker panics the plan asked for.
+    pub const FAULTS_WORKER_PANICS: &str = "faults.worker_panics";
+    /// Counter: injected failures actually caught and contained.
+    pub const FAULTS_CONTAINED: &str = "faults.contained";
+    /// Gauge: events recovered by a salvage decode.
+    pub const SALVAGE_EVENTS_RECOVERED: &str = "salvage.events_recovered";
+    /// Gauge: events the file promised but salvage could not recover.
+    pub const SALVAGE_EVENTS_LOST: &str = "salvage.events_lost";
+    /// Gauge: input bytes that did not contribute to the salvaged trace.
+    pub const SALVAGE_BYTES_DROPPED: &str = "salvage.bytes_dropped";
+    /// Gauge: 1 if the salvage decode was complete (nothing lost),
+    /// else 0.
+    pub const SALVAGE_COMPLETE: &str = "salvage.complete";
 }
 
 #[cfg(test)]
@@ -417,9 +435,21 @@ mod tests {
             keys::EXPLORE_JOBS,
             keys::EXPLORE_PARTITION_PROFILES,
             keys::EXPLORE_CAMPAIGN,
+            keys::EXPLORE_FAILURES,
         ] {
             assert!(key.starts_with("explore."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+        }
+        for key in [keys::FAULTS_INJECTED, keys::FAULTS_WORKER_PANICS, keys::FAULTS_CONTAINED] {
+            assert!(key.starts_with("faults."), "{key}");
+        }
+        for key in [
+            keys::SALVAGE_EVENTS_RECOVERED,
+            keys::SALVAGE_EVENTS_LOST,
+            keys::SALVAGE_BYTES_DROPPED,
+            keys::SALVAGE_COMPLETE,
+        ] {
+            assert!(key.starts_with("salvage."), "{key}");
         }
     }
 

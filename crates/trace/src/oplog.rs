@@ -8,6 +8,9 @@
 //! yardstick the event-level analysis is cross-validated against (and the
 //! baseline of the trace-size ablation, E8).
 
+// Decode paths must report malformed input, never panic on it.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::{MemOp, OpId, ProcId, TraceError};

@@ -10,11 +10,26 @@
 //! the underlying writer, and [`read_stream`] folds a record stream back
 //! into a [`TraceSet`] (computation-event folding happens at read time,
 //! so the stream format is operation-granular and lossless).
+//!
+//! # Stream format versions
+//!
+//! The writer opens the stream with a `"WMRS"` magic and a `u16`
+//! version (currently 2) and appends a CRC-32 to every record, so a
+//! torn tail or a flipped bit is caught at the damaged record — and
+//! [`salvage_stream`] can recover everything before it. Headerless
+//! version-1 streams (from earlier releases) are still read: the first
+//! byte of a v1 record (`0xA5`) can never match the `'W'` that opens
+//! the v2 header.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
 use std::io::{Read, Write};
 
 use bytes::BufMut;
 
+use crate::crc32::crc32;
+use crate::error::DecodeError;
 use crate::{
     AccessKind, LocSet, OpId, ProcId, SyncRole, TraceBuilder, TraceError, TraceSet, TraceSink,
     Value,
@@ -24,6 +39,11 @@ const RECORD_MAGIC: u8 = 0xA5;
 
 const TAG_DATA: u8 = 0;
 const TAG_SYNC: u8 = 1;
+
+/// Magic opening a versioned (v2+) stream file.
+const STREAM_MAGIC: &[u8; 4] = b"WMRS";
+/// Stream format version emitted by [`StreamWriter`].
+pub const STREAM_FORMAT_VERSION: u16 = 2;
 
 /// A [`TraceSink`] that streams one framed binary record per operation
 /// to an [`std::io::Write`].
@@ -56,9 +76,19 @@ pub struct StreamWriter<W: Write> {
 }
 
 impl<W: Write> StreamWriter<W> {
-    /// Creates a streaming writer for `num_procs` processors.
+    /// Creates a streaming writer for `num_procs` processors and emits
+    /// the stream header (any I/O error is deferred to
+    /// [`finish`](StreamWriter::finish), like record writes).
     pub fn new(writer: W, num_procs: usize) -> Self {
-        StreamWriter { writer, counters: vec![0; num_procs], records: 0, deferred_error: None }
+        let mut w =
+            StreamWriter { writer, counters: vec![0; num_procs], records: 0, deferred_error: None };
+        let mut hdr = Vec::with_capacity(6);
+        hdr.put_slice(STREAM_MAGIC);
+        hdr.put_u16(STREAM_FORMAT_VERSION);
+        if let Err(e) = w.writer.write_all(&hdr) {
+            w.deferred_error = Some(e);
+        }
+        w
     }
 
     /// Number of records emitted.
@@ -104,31 +134,48 @@ impl<W: Write> StreamWriter<W> {
             self.records += 1;
             return;
         }
-        let mut rec = Vec::with_capacity(32);
-        rec.put_u8(RECORD_MAGIC);
-        rec.put_u8(tag);
-        rec.put_u16(proc.raw());
-        rec.put_u32(loc.addr());
-        rec.put_u8(matches!(kind, AccessKind::Write) as u8);
-        rec.put_u8(match role {
-            SyncRole::Release => 0,
-            SyncRole::Acquire => 1,
-            SyncRole::None => 2,
-        });
-        rec.put_i64(value.get());
-        match observed {
-            Some(op) => {
-                rec.put_u8(1);
-                rec.put_u16(op.proc.raw());
-                rec.put_u32(op.seq);
-            }
-            None => rec.put_u8(0),
-        }
+        let mut rec = encode_record_body(tag, proc, loc, kind, role, value, observed);
+        let crc = crc32(&rec);
+        rec.put_u32(crc);
         if let Err(e) = self.writer.write_all(&rec) {
             self.deferred_error = Some(e);
         }
         self.records += 1;
     }
+}
+
+/// Encodes the v1 record body (everything a v2 record checksums).
+#[allow(clippy::too_many_arguments)]
+fn encode_record_body(
+    tag: u8,
+    proc: ProcId,
+    loc: crate::Location,
+    kind: AccessKind,
+    role: SyncRole,
+    value: Value,
+    observed: Option<OpId>,
+) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(32);
+    rec.put_u8(RECORD_MAGIC);
+    rec.put_u8(tag);
+    rec.put_u16(proc.raw());
+    rec.put_u32(loc.addr());
+    rec.put_u8(matches!(kind, AccessKind::Write) as u8);
+    rec.put_u8(match role {
+        SyncRole::Release => 0,
+        SyncRole::Acquire => 1,
+        SyncRole::None => 2,
+    });
+    rec.put_i64(value.get());
+    match observed {
+        Some(op) => {
+            rec.put_u8(1);
+            rec.put_u16(op.proc.raw());
+            rec.put_u32(op.seq);
+        }
+        None => rec.put_u8(0),
+    }
+    rec
 }
 
 impl<W: Write> TraceSink for StreamWriter<W> {
@@ -160,50 +207,60 @@ impl<W: Write> TraceSink for StreamWriter<W> {
     }
 }
 
-fn read_exact_opt<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, TraceError> {
-    // Returns Ok(false) on clean EOF at a record boundary.
-    let mut read = 0;
-    while read < buf.len() {
-        let n = reader.read(&mut buf[read..])?;
-        if n == 0 {
-            if read == 0 {
-                return Ok(false);
-            }
-            return Err(TraceError::Binary("truncated stream record".into()));
-        }
-        read += n;
-    }
-    Ok(true)
-}
-
 /// One decoded stream record, before grouping into events.
 type RawRecord = (u8, ProcId, crate::Location, AccessKind, SyncRole, Value, Option<OpId>);
 
-/// Reads a stream produced by [`StreamWriter`] and folds it into a
-/// [`TraceSet`] (consecutive data operations per processor become
-/// computation events, exactly as live [`TraceBuilder`] instrumentation
-/// would have produced).
-///
-/// # Errors
-///
-/// Returns [`TraceError::Io`] on read failures and
-/// [`TraceError::Binary`] on framing errors.
-pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
-    let mut builder: Option<TraceBuilder> = None;
-    let mut max_proc: usize = 0;
-    let mut records: Vec<RawRecord> = Vec::new();
+/// A position-tracking record reader over an [`std::io::Read`].
+struct RecordReader<R> {
+    reader: R,
+    pos: usize,
+}
 
-    let mut head = [0u8; 18];
-    loop {
-        if !read_exact_opt(&mut reader, &mut head)? {
-            break;
+impl<R: Read> RecordReader<R> {
+    fn new(reader: R, pos: usize) -> Self {
+        RecordReader { reader, pos }
+    }
+
+    /// Fills `buf` exactly; `Ok(false)` on clean EOF before the first
+    /// byte, an offset-carrying error on EOF partway through.
+    fn read_exact_opt(&mut self, buf: &mut [u8], what: &str) -> Result<bool, TraceError> {
+        let mut read = 0;
+        while read < buf.len() {
+            let n = self.reader.read(&mut buf[read..])?;
+            if n == 0 {
+                if read == 0 {
+                    return Ok(false);
+                }
+                self.pos += read;
+                return Err(DecodeError::new(
+                    self.pos,
+                    format!("stream ends inside {what} (need {} more bytes)", buf.len() - read),
+                )
+                .into());
+            }
+            read += n;
         }
+        self.pos += read;
+        Ok(true)
+    }
+
+    /// Reads one record; `checksummed` additionally consumes and
+    /// verifies the trailing CRC-32. `Ok(None)` on clean EOF at a
+    /// record boundary.
+    fn read_record(&mut self, checksummed: bool) -> Result<Option<RawRecord>, TraceError> {
+        let start = self.pos;
+        let mut raw: Vec<u8> = Vec::with_capacity(32);
+        let mut head = [0u8; 18];
+        if !self.read_exact_opt(&mut head, "a record head")? {
+            return Ok(None);
+        }
+        raw.extend_from_slice(&head);
         if head[0] != RECORD_MAGIC {
-            return Err(TraceError::Binary(format!("bad record magic {:#x}", head[0])));
+            return Err(DecodeError::new(start, format!("bad record magic {:#x}", head[0])).into());
         }
         let tag = head[1];
         if tag != TAG_DATA && tag != TAG_SYNC {
-            return Err(TraceError::Binary(format!("bad record tag {tag}")));
+            return Err(DecodeError::new(start, format!("bad record tag {tag}")).into());
         }
         let proc = ProcId::new(u16::from_be_bytes([head[2], head[3]]));
         let loc = crate::Location::new(u32::from_be_bytes([head[4], head[5], head[6], head[7]]));
@@ -212,19 +269,22 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
             0 => SyncRole::Release,
             1 => SyncRole::Acquire,
             2 => SyncRole::None,
-            r => return Err(TraceError::Binary(format!("bad sync role {r}"))),
+            r => return Err(DecodeError::new(start, format!("bad sync role {r}")).into()),
         };
-        let value =
-            Value::new(i64::from_be_bytes(head[10..18].try_into().expect("slice of fixed length")));
+        let value = Value::new(i64::from_be_bytes([
+            head[10], head[11], head[12], head[13], head[14], head[15], head[16], head[17],
+        ]));
         let mut flag = [0u8; 1];
-        if !read_exact_opt(&mut reader, &mut flag)? {
-            return Err(TraceError::Binary("truncated stream record".into()));
+        if !self.read_exact_opt(&mut flag, "the observed flag")? {
+            return Err(DecodeError::new(self.pos, "stream ends inside a record").into());
         }
+        raw.extend_from_slice(&flag);
         let observed = if flag[0] == 1 {
             let mut rest = [0u8; 6];
-            if !read_exact_opt(&mut reader, &mut rest)? {
-                return Err(TraceError::Binary("truncated stream record".into()));
+            if !self.read_exact_opt(&mut rest, "the observed op id")? {
+                return Err(DecodeError::new(self.pos, "stream ends inside a record").into());
             }
+            raw.extend_from_slice(&rest);
             Some(OpId::new(
                 ProcId::new(u16::from_be_bytes([rest[0], rest[1]])),
                 u32::from_be_bytes([rest[2], rest[3], rest[4], rest[5]]),
@@ -232,24 +292,151 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<TraceSet, TraceError> {
         } else if flag[0] == 0 {
             None
         } else {
-            return Err(TraceError::Binary(format!("bad observed flag {}", flag[0])));
+            return Err(DecodeError::new(start, format!("bad observed flag {}", flag[0])).into());
         };
-        max_proc = max_proc.max(proc.index() + 1);
-        records.push((tag, proc, loc, kind, role, value, observed));
-    }
-
-    let b = builder.get_or_insert_with(|| TraceBuilder::new(max_proc));
-    for (tag, proc, loc, kind, role, value, observed) in records {
-        match tag {
-            TAG_DATA => {
-                b.data_access(proc, loc, kind, value, observed);
+        if checksummed {
+            let mut crc_bytes = [0u8; 4];
+            if !self.read_exact_opt(&mut crc_bytes, "the record checksum")? {
+                return Err(DecodeError::new(self.pos, "stream ends inside a record").into());
             }
-            _ => {
-                b.sync_access(proc, loc, kind, role, value, observed);
+            let stored = u32::from_be_bytes(crc_bytes);
+            if crc32(&raw) != stored {
+                return Err(DecodeError::new(start, "record checksum mismatch").into());
+            }
+        }
+        Ok(Some((tag, proc, loc, kind, role, value, observed)))
+    }
+}
+
+/// What [`salvage_stream`] recovered from a (possibly damaged) record
+/// stream.
+#[derive(Debug, Clone)]
+pub struct StreamSalvage {
+    /// The trace folded from the recovered record prefix.
+    pub trace: TraceSet,
+    /// Records recovered.
+    pub records: u64,
+    /// Bytes of the stream that contributed to the recovered trace.
+    pub bytes_used: usize,
+    /// `true` iff the whole stream decoded (nothing was lost).
+    pub complete: bool,
+    /// Where and why decoding stopped, when it did.
+    pub failure: Option<DecodeError>,
+}
+
+impl fmt::Display for StreamSalvage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.complete {
+            write!(f, "stream salvage: complete ({} records)", self.records)
+        } else {
+            write!(f, "stream salvage: {} records ({} bytes)", self.records, self.bytes_used)?;
+            if let Some(e) = &self.failure {
+                write!(f, "; stopped {e}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Reads a stream produced by [`StreamWriter`] and folds it into a
+/// [`TraceSet`] (consecutive data operations per processor become
+/// computation events, exactly as live [`TraceBuilder`] instrumentation
+/// would have produced). Reads both checksummed (v2) and legacy
+/// headerless (v1) streams.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on read failures and
+/// [`TraceError::Decode`] on framing or checksum errors.
+pub fn read_stream<R: Read>(reader: R) -> Result<TraceSet, TraceError> {
+    let (trace, ..) = read_stream_impl(reader, false)?;
+    Ok(trace)
+}
+
+/// Best-effort read of a (possibly damaged) record stream: recovers
+/// every record before the first framing/checksum failure and folds the
+/// prefix into a trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on read failures (damage boundaries are
+/// reported in the result, not as errors).
+pub fn salvage_stream<R: Read>(reader: R) -> Result<StreamSalvage, TraceError> {
+    let (trace, records, bytes_used, failure) = read_stream_impl(reader, true)?;
+    Ok(StreamSalvage { trace, records, bytes_used, complete: failure.is_none(), failure })
+}
+
+type StreamParts = (TraceSet, u64, usize, Option<DecodeError>);
+
+fn read_stream_impl<R: Read>(mut reader: R, salvage: bool) -> Result<StreamParts, TraceError> {
+    // Sniff the (optional) stream header. v1 streams have no header and
+    // open straight with a record whose first byte is RECORD_MAGIC.
+    let mut sniff = [0u8; 6];
+    let mut got = 0;
+    while got < sniff.len() {
+        let n = reader.read(&mut sniff[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    let checksummed = got == sniff.len() && &sniff[..4] == STREAM_MAGIC;
+    if checksummed {
+        let version = u16::from_be_bytes([sniff[4], sniff[5]]);
+        if version != STREAM_FORMAT_VERSION {
+            return Err(DecodeError::new(4, format!("unsupported stream version {version}")).into());
+        }
+        read_records(RecordReader::new(reader, sniff.len()), true, salvage)
+    } else {
+        let pre = &sniff[..got];
+        read_records(RecordReader::new(pre.chain(reader), 0), checksummed, salvage)
+    }
+}
+
+fn read_records<R: Read>(
+    mut rr: RecordReader<R>,
+    checksummed: bool,
+    salvage: bool,
+) -> Result<StreamParts, TraceError> {
+    let mut max_proc: usize = 0;
+    let mut records: Vec<RawRecord> = Vec::new();
+    let mut failure: Option<DecodeError> = None;
+    let mut good_end = rr.pos;
+    loop {
+        match rr.read_record(checksummed) {
+            Ok(None) => break,
+            Ok(Some(rec)) => {
+                max_proc = max_proc.max(rec.1.index() + 1);
+                records.push(rec);
+                good_end = rr.pos;
+            }
+            Err(TraceError::Io(e)) => return Err(TraceError::Io(e)),
+            Err(e) => {
+                if !salvage {
+                    return Err(e);
+                }
+                failure = Some(match e {
+                    TraceError::Decode(d) => d,
+                    other => DecodeError::new(rr.pos, other.to_string()),
+                });
+                break;
             }
         }
     }
-    Ok(builder.map(TraceBuilder::finish).unwrap_or_else(|| TraceSet::new(0)))
+
+    let count = records.len() as u64;
+    let mut builder = TraceBuilder::new(max_proc);
+    for (tag, proc, loc, kind, role, value, observed) in records {
+        match tag {
+            TAG_DATA => {
+                builder.data_access(proc, loc, kind, value, observed);
+            }
+            _ => {
+                builder.sync_access(proc, loc, kind, role, value, observed);
+            }
+        }
+    }
+    Ok((builder.finish(), count, good_end, failure))
 }
 
 /// A [`LocSet`]-returning helper used by tests: the set of locations
@@ -300,6 +487,40 @@ mod tests {
     }
 
     #[test]
+    fn legacy_headerless_streams_still_read() {
+        // A v1 stream is the bare record bodies, no header, no CRCs.
+        let mut buf = Vec::new();
+        buf.extend(encode_record_body(
+            TAG_DATA,
+            p(0),
+            l(0),
+            AccessKind::Write,
+            SyncRole::None,
+            Value::new(7),
+            None,
+        ));
+        buf.extend(encode_record_body(
+            TAG_SYNC,
+            p(0),
+            l(9),
+            AccessKind::Write,
+            SyncRole::Release,
+            Value::ZERO,
+            None,
+        ));
+        let trace = read_stream(&buf[..]).unwrap();
+        assert_eq!(trace.num_events(), 2);
+        // Legacy salvage: clean truncation at a record boundary keeps
+        // the prefix; mid-record cuts stop at the damage.
+        let s = salvage_stream(&buf[..19]).unwrap();
+        assert!(s.complete);
+        assert_eq!(s.records, 1);
+        let s = salvage_stream(&buf[..25]).unwrap();
+        assert!(!s.complete);
+        assert_eq!(s.records, 1, "partial second record dropped");
+    }
+
+    #[test]
     fn writer_counts_and_assigns_ids() {
         let mut buf = Vec::new();
         let mut w = StreamWriter::new(&mut buf, 1);
@@ -309,6 +530,7 @@ mod tests {
         assert_eq!(b, OpId::new(p(0), 1));
         assert_eq!(w.records(), 2);
         w.finish().unwrap();
+        assert_eq!(&buf[..4], STREAM_MAGIC, "v2 streams open with the magic");
     }
 
     #[test]
@@ -316,6 +538,11 @@ mod tests {
         let trace = read_stream(&[][..]).unwrap();
         assert_eq!(trace.num_events(), 0);
         assert_eq!(trace.num_procs(), 0);
+        // A header-only stream is also a valid empty trace.
+        let mut buf = Vec::new();
+        StreamWriter::new(&mut buf, 2).finish().unwrap();
+        assert_eq!(buf.len(), 6);
+        assert_eq!(read_stream(&buf[..]).unwrap().num_events(), 0);
     }
 
     #[test]
@@ -325,23 +552,71 @@ mod tests {
         w.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
         w.sync_access(p(0), l(1), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
         w.finish().unwrap();
-        // Both records are 19 bytes (no observed-write field). Cutting at
-        // a record boundary yields a clean, shorter stream; cutting
-        // mid-record must error.
+        // The stream is a 6-byte header plus two 23-byte records
+        // (19-byte body + 4-byte CRC; no observed-write field). Cutting
+        // at a record boundary yields a clean, shorter stream; any other
+        // cut must error — never panic.
+        assert_eq!(buf.len(), 6 + 2 * 23);
         for len in 1..buf.len() {
             let result = read_stream(&buf[..len]);
-            if len % 19 == 0 {
-                assert_eq!(result.unwrap().num_events(), 1, "boundary cut at {len}");
+            if len >= 6 && (len - 6) % 23 == 0 {
+                let events = (len - 6) / 23; // each record here becomes one event
+                assert_eq!(result.unwrap().num_events(), events, "boundary cut at {len}");
             } else {
                 assert!(result.is_err(), "truncation at {len} must error");
             }
         }
         let mut corrupt = buf.clone();
-        corrupt[0] = 0x00; // break the magic
+        corrupt[6] = 0x00; // break the first record's magic
         assert!(read_stream(&corrupt[..]).is_err());
         let mut bad_tag = buf.clone();
-        bad_tag[1] = 9;
+        bad_tag[7] = 9;
         assert!(read_stream(&bad_tag[..]).is_err());
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught_by_record_checksums() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 1);
+        w.data_access(p(0), l(5), AccessKind::Write, Value::new(3), None);
+        w.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        w.finish().unwrap();
+        for byte in 6..buf.len() {
+            for bit in 0..8 {
+                let mut hurt = buf.clone();
+                hurt[byte] ^= 1 << bit;
+                assert!(
+                    read_stream(&hurt[..]).is_err(),
+                    "flip at {byte}.{bit} slipped past the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_the_prefix_before_damage() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 2);
+        for i in 0..10u32 {
+            w.data_access(p((i % 2) as u16), l(i), AccessKind::Write, Value::new(i as i64), None);
+        }
+        w.finish().unwrap();
+        // Flip a byte inside the 7th record.
+        let seventh = 6 + 6 * 23 + 4;
+        let mut hurt = buf.clone();
+        hurt[seventh] ^= 0x20;
+        let s = salvage_stream(&hurt[..]).unwrap();
+        assert!(!s.complete);
+        assert_eq!(s.records, 6, "records before the damage survive");
+        assert_eq!(s.bytes_used, 6 + 6 * 23);
+        let failure = s.failure.unwrap();
+        assert_eq!(failure.offset, 6 + 6 * 23, "failure pinned to the damaged record");
+        assert_eq!(s.trace.num_events(), 2, "per-proc data runs fold into computation events");
+        // An intact stream salvages completely.
+        let s = salvage_stream(&buf[..]).unwrap();
+        assert!(s.complete);
+        assert_eq!(s.records, 10);
+        assert!(s.to_string().contains("complete"), "{s}");
     }
 
     #[test]

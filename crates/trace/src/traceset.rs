@@ -5,12 +5,30 @@
 //! of synchronization events per location, and READ/WRITE sets per
 //! computation event. It supports a human-readable JSON encoding and a
 //! compact binary encoding (used by the trace-overhead experiments, E8).
+//!
+//! # Binary format versions
+//!
+//! The writer emits **version 2**: every section (header, each event
+//! record, the sync-order section) carries a CRC-32 checksum, so
+//! corruption is detected before the decoder acts on the bytes and the
+//! [salvage decoder](TraceSet::salvage_binary) can recover the longest
+//! intact event prefix from a damaged file. The decoder still reads
+//! **version 1** files (unchecksummed, produced by earlier releases).
+//! Decoding never panics and never allocates proportionally to
+//! attacker-controlled length fields; failures are [`DecodeError`]s
+//! carrying the byte offset where the problem was detected.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use serde::{Deserialize, Serialize};
 
+use crate::crc32::crc32;
+use crate::cursor::ByteReader;
+use crate::error::DecodeError;
 use crate::{
     AccessKind, ComputationEvent, Event, EventId, EventKind, LocSet, Location, OpId, ProcId,
     SyncEvent, SyncRole, TraceError, Value,
@@ -91,6 +109,102 @@ pub struct TraceSet {
     pub meta: TraceMeta,
     procs: Vec<ProcessorTrace>,
     sync_order: Vec<SyncOrderEntry>,
+}
+
+/// Binary format version emitted by [`TraceSet::to_binary`].
+pub const BINARY_FORMAT_VERSION: u16 = 2;
+
+/// Marker byte opening every v2 event record.
+const EVENT_MARKER: u8 = 0xE7;
+/// Marker byte opening the v2 sync-order section.
+const SYNC_MARKER: u8 = 0x5C;
+/// Cap on a single v2 event-record payload. An event is a tag plus two
+/// location sets plus fixed fields; anything near this size is
+/// corruption, and the cap keeps a corrupt length field from dragging
+/// the cursor megabytes off course.
+const MAX_EVENT_BYTES: u32 = 1 << 20;
+/// Cap on the v2 header and sync-order section payloads.
+const MAX_SECTION_BYTES: u32 = 1 << 26;
+
+/// What the salvage decoder recovered from a (possibly damaged) v2
+/// binary trace.
+///
+/// Mirrors the paper's sequentially-consistent-prefix idea at the file
+/// level: rather than rejecting a damaged trace outright, recover the
+/// longest checksummed event prefix and report, per processor, how far
+/// it reaches — the *salvage boundary* — so analysis can still run on
+/// everything before the damage.
+#[derive(Debug, Clone)]
+pub struct Salvage {
+    /// The recovered (validated) trace.
+    pub trace: TraceSet,
+    /// Events recovered per processor.
+    pub recovered: Vec<u32>,
+    /// Events the file header promised per processor, when the header
+    /// itself survived.
+    pub expected: Option<Vec<u32>>,
+    /// Bytes of the input that contributed to the recovered trace.
+    pub bytes_used: usize,
+    /// Total bytes of input presented.
+    pub bytes_total: usize,
+    /// `true` iff the whole file decoded strictly (nothing was lost).
+    pub complete: bool,
+    /// Where and why decoding stopped, when it did.
+    pub failure: Option<DecodeError>,
+}
+
+impl Salvage {
+    /// Total events recovered.
+    pub fn events_recovered(&self) -> usize {
+        self.recovered.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Total events the header promised, if known.
+    pub fn events_expected(&self) -> Option<usize> {
+        self.expected.as_ref().map(|e| e.iter().map(|&c| c as usize).sum())
+    }
+
+    /// Events lost to damage (0 when the expectation is unknown).
+    pub fn events_lost(&self) -> usize {
+        self.events_expected().map_or(0, |e| e.saturating_sub(self.events_recovered()))
+    }
+
+    /// Bytes of input that did not contribute to the recovered trace.
+    pub fn bytes_dropped(&self) -> usize {
+        self.bytes_total.saturating_sub(self.bytes_used)
+    }
+}
+
+impl fmt::Display for Salvage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.complete {
+            return write!(
+                f,
+                "salvage: complete ({} events, {} bytes)",
+                self.events_recovered(),
+                self.bytes_total
+            );
+        }
+        write!(f, "salvage boundaries:")?;
+        for (i, &got) in self.recovered.iter().enumerate() {
+            write!(f, " P{i}:{got}")?;
+            if let Some(expected) = &self.expected {
+                write!(f, "/{}", expected[i])?;
+            }
+        }
+        write!(f, " — used {} of {} bytes", self.bytes_used, self.bytes_total)?;
+        if let Some(e) = &self.failure {
+            write!(f, "; stopped {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The decoded v2 header section.
+struct HeaderV2 {
+    meta: TraceMeta,
+    counts: Vec<u32>,
+    sync_count: u32,
 }
 
 impl TraceSet {
@@ -286,14 +400,85 @@ impl TraceSet {
         Self::from_json(&std::fs::read_to_string(path)?)
     }
 
-    /// Encodes to the compact binary format.
+    /// Encodes to the compact binary format (version 2, checksummed).
     ///
-    /// The binary format exists so the trace-overhead experiment (E8) can
-    /// report realistic bytes-per-operation numbers; JSON is for humans.
+    /// Layout after the `"WMRD"` magic and `u16` version:
+    ///
+    /// * a header section (`u32` length, payload, CRC-32 over length +
+    ///   payload) carrying the metadata, per-processor event counts and
+    ///   the sync-order count;
+    /// * one framed record per event (marker byte, `u16` processor,
+    ///   `u32` payload length, payload, CRC-32 over the whole record),
+    ///   emitted round-robin across processors so a truncation cuts all
+    ///   processors at a similar depth;
+    /// * the sync-order section (marker byte, `u32` length, payload,
+    ///   CRC-32 over the whole section).
     pub fn to_binary(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.put_slice(b"WMRD");
-        buf.put_u16(1); // version
+        buf.put_u16(BINARY_FORMAT_VERSION);
+
+        let mut hdr = Vec::new();
+        put_opt_str(&mut hdr, &self.meta.program);
+        put_opt_str(&mut hdr, &self.meta.model);
+        match self.meta.seed {
+            Some(s) => {
+                hdr.put_u8(1);
+                hdr.put_u64(s);
+            }
+            None => hdr.put_u8(0),
+        }
+        hdr.put_u16(self.procs.len() as u16);
+        for p in &self.procs {
+            hdr.put_u32(p.events.len() as u32);
+        }
+        hdr.put_u32(self.sync_order.len() as u32);
+        let start = buf.len();
+        buf.put_u32(hdr.len() as u32);
+        buf.put_slice(&hdr);
+        let crc = crc32(&buf[start..]);
+        buf.put_u32(crc);
+
+        let deepest = self.procs.iter().map(|p| p.events.len()).max().unwrap_or(0);
+        for depth in 0..deepest {
+            for p in &self.procs {
+                if let Some(e) = p.events.get(depth) {
+                    let mut payload = Vec::new();
+                    put_event_kind(&mut payload, &e.kind);
+                    let start = buf.len();
+                    buf.put_u8(EVENT_MARKER);
+                    buf.put_u16(p.proc.raw());
+                    buf.put_u32(payload.len() as u32);
+                    buf.put_slice(&payload);
+                    let crc = crc32(&buf[start..]);
+                    buf.put_u32(crc);
+                }
+            }
+        }
+
+        let mut sync = Vec::new();
+        sync.put_u32(self.sync_order.len() as u32);
+        for s in &self.sync_order {
+            put_sync_entry(&mut sync, s);
+        }
+        let start = buf.len();
+        buf.put_u8(SYNC_MARKER);
+        buf.put_u32(sync.len() as u32);
+        buf.put_slice(&sync);
+        let crc = crc32(&buf[start..]);
+        buf.put_u32(crc);
+
+        buf
+    }
+
+    /// Encodes to the legacy version-1 binary format (no checksums).
+    ///
+    /// Kept so compatibility with v1 readers can be tested; new traces
+    /// should use [`to_binary`](Self::to_binary).
+    pub fn to_binary_v1(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_slice(b"WMRD");
+        buf.put_u16(1);
         put_opt_str(&mut buf, &self.meta.program);
         put_opt_str(&mut buf, &self.meta.model);
         match self.meta.seed {
@@ -307,147 +492,376 @@ impl TraceSet {
         for p in &self.procs {
             buf.put_u32(p.events.len() as u32);
             for e in &p.events {
-                match &e.kind {
-                    EventKind::Sync(s) => {
-                        buf.put_u8(0);
-                        put_op_id(&mut buf, s.op);
-                        buf.put_u32(s.loc.addr());
-                        buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
-                        buf.put_u8(match s.role {
-                            SyncRole::Release => 0,
-                            SyncRole::Acquire => 1,
-                            SyncRole::None => 2,
-                        });
-                        buf.put_i64(s.value.get());
-                        buf.put_u64(s.global_seq);
-                        match s.observed_release {
-                            Some(op) => {
-                                buf.put_u8(1);
-                                put_op_id(&mut buf, op);
-                            }
-                            None => buf.put_u8(0),
-                        }
-                    }
-                    EventKind::Computation(c) => {
-                        buf.put_u8(1);
-                        put_locset(&mut buf, &c.reads);
-                        put_locset(&mut buf, &c.writes);
-                        put_op_id(&mut buf, c.first_op);
-                        buf.put_u32(c.op_count);
-                    }
-                }
+                put_event_kind(&mut buf, &e.kind);
             }
         }
         buf.put_u32(self.sync_order.len() as u32);
         for s in &self.sync_order {
-            buf.put_u64(s.global_seq);
-            buf.put_u16(s.event.proc.raw());
-            buf.put_u32(s.event.index);
-            buf.put_u32(s.loc.addr());
-            buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
+            put_sync_entry(&mut buf, s);
         }
         buf
     }
 
-    /// Decodes the compact binary format and validates.
+    /// Decodes the compact binary format (either version) and validates.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Binary`] on any framing/length problem, or a
-    /// validation error.
-    pub fn from_binary(mut data: &[u8]) -> Result<Self, TraceError> {
-        let buf = &mut data;
-        let magic = take(buf, 4)?;
-        if magic != b"WMRD" {
-            return Err(TraceError::Binary("bad magic".into()));
+    /// Returns [`TraceError::Decode`] with the failing byte offset on
+    /// any framing, bound, or checksum problem, or a validation error.
+    /// Never panics on corrupt input.
+    pub fn from_binary(data: &[u8]) -> Result<Self, TraceError> {
+        match read_magic_and_version(data)? {
+            1 => decode_v1(ByteReader::with_base(&data[6..], 6)),
+            _ => decode_v2(data, DecodeMode::Strict).map(|s| s.trace),
         }
-        let version = get_u16(buf)?;
-        if version != 1 {
-            return Err(TraceError::Binary(format!("unsupported version {version}")));
-        }
-        let program = get_opt_str(buf)?;
-        let model = get_opt_str(buf)?;
-        let seed = if get_u8(buf)? == 1 { Some(get_u64(buf)?) } else { None };
-        let num_procs = get_u16(buf)? as usize;
-        let mut procs = Vec::with_capacity(num_procs);
-        for pi in 0..num_procs {
-            let proc = ProcId::new(pi as u16);
-            let n = get_u32(buf)? as usize;
-            let mut pt = ProcessorTrace::new(proc);
-            for _ in 0..n {
-                let tag = get_u8(buf)?;
-                let kind = match tag {
-                    0 => {
-                        let op = get_op_id(buf)?;
-                        let loc = Location::new(get_u32(buf)?);
-                        let kind =
-                            if get_u8(buf)? == 1 { AccessKind::Write } else { AccessKind::Read };
-                        let role = match get_u8(buf)? {
-                            0 => SyncRole::Release,
-                            1 => SyncRole::Acquire,
-                            2 => SyncRole::None,
-                            r => return Err(TraceError::Binary(format!("bad sync role {r}"))),
-                        };
-                        let value = Value::new(get_i64(buf)?);
-                        let global_seq = get_u64(buf)?;
-                        let observed_release =
-                            if get_u8(buf)? == 1 { Some(get_op_id(buf)?) } else { None };
-                        EventKind::Sync(SyncEvent {
-                            op,
-                            loc,
-                            kind,
-                            role,
-                            value,
-                            global_seq,
-                            observed_release,
-                        })
-                    }
-                    1 => {
-                        let reads = get_locset(buf)?;
-                        let writes = get_locset(buf)?;
-                        let first_op = get_op_id(buf)?;
-                        let op_count = get_u32(buf)?;
-                        EventKind::Computation(ComputationEvent {
-                            reads,
-                            writes,
-                            first_op,
-                            op_count,
-                        })
-                    }
-                    t => return Err(TraceError::Binary(format!("bad event tag {t}"))),
-                };
-                pt.push(kind);
+    }
+
+    /// Best-effort decode of a (possibly damaged) binary trace: recovers
+    /// the longest checksummed event prefix and reports how far it
+    /// reaches per processor.
+    ///
+    /// A version-2 file decodes as far as its checksums allow; the
+    /// sync-order stream is rebuilt from the recovered sync events when
+    /// the sync section itself was lost. A version-1 file has no
+    /// checksums to salvage by, so it either decodes fully or fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] when nothing recoverable precedes
+    /// the damage (bad magic, unreadable v1 file), or a validation
+    /// error if the recovered prefix is structurally inconsistent.
+    /// Never panics on corrupt input.
+    pub fn salvage_binary(data: &[u8]) -> Result<Salvage, TraceError> {
+        match read_magic_and_version(data)? {
+            1 => {
+                let trace = decode_v1(ByteReader::with_base(&data[6..], 6))?;
+                let counts: Vec<u32> = trace.processors().iter().map(|p| p.len() as u32).collect();
+                Ok(Salvage {
+                    recovered: counts.clone(),
+                    expected: Some(counts),
+                    bytes_used: data.len(),
+                    bytes_total: data.len(),
+                    complete: true,
+                    failure: None,
+                    trace,
+                })
             }
-            procs.push(pt);
+            _ => decode_v2(data, DecodeMode::Salvage),
         }
-        let n = get_u32(buf)? as usize;
-        // Each sync-order entry occupies 19 bytes; a larger count than the
-        // remaining input can hold is corruption (and guarding here keeps
-        // hostile inputs from forcing huge allocations).
-        if n > buf.len() / 19 {
-            return Err(TraceError::Binary(format!(
-                "sync order count {n} exceeds remaining input"
-            )));
-        }
-        let mut sync_order = Vec::with_capacity(n);
+    }
+}
+
+/// Checks the magic, returns the format version.
+fn read_magic_and_version(data: &[u8]) -> Result<u16, TraceError> {
+    let mut r = ByteReader::new(data);
+    let magic = r.take(4, "magic")?;
+    if magic != b"WMRD" {
+        return Err(DecodeError::new(0, "bad magic (not a wmrd trace)").into());
+    }
+    let version = r.u16("format version")?;
+    if version != 1 && version != BINARY_FORMAT_VERSION {
+        return Err(DecodeError::new(4, format!("unsupported version {version}")).into());
+    }
+    Ok(version)
+}
+
+/// Decodes the legacy (unchecksummed) version-1 layout.
+fn decode_v1(mut r: ByteReader<'_>) -> Result<TraceSet, TraceError> {
+    let program = get_opt_str(&mut r)?;
+    let model = get_opt_str(&mut r)?;
+    let seed = if r.u8("seed flag")? == 1 { Some(r.u64("seed")?) } else { None };
+    let num_procs = r.u16("processor count")? as usize;
+    let mut procs = Vec::with_capacity(num_procs);
+    for pi in 0..num_procs {
+        let n = r.u32("event count")? as usize;
+        let mut pt = ProcessorTrace::new(ProcId::new(pi as u16));
         for _ in 0..n {
-            let global_seq = get_u64(buf)?;
-            let proc = ProcId::new(get_u16(buf)?);
-            let index = get_u32(buf)?;
-            let loc = Location::new(get_u32(buf)?);
-            let kind = if get_u8(buf)? == 1 { AccessKind::Write } else { AccessKind::Read };
-            sync_order.push(SyncOrderEntry {
-                global_seq,
-                event: EventId::new(proc, index),
-                loc,
-                kind,
+            pt.push(get_event_kind(&mut r)?);
+        }
+        procs.push(pt);
+    }
+    let n = r.u32("sync-order count")? as usize;
+    // Each sync-order entry occupies 19 bytes; a larger count than the
+    // remaining input can hold is corruption (and guarding here keeps
+    // hostile inputs from forcing huge allocations).
+    if n > r.remaining() / 19 {
+        return Err(r.err(format!("sync order count {n} exceeds remaining input")).into());
+    }
+    let mut sync_order = Vec::with_capacity(n);
+    for _ in 0..n {
+        sync_order.push(get_sync_entry(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(r.err(format!("{} trailing bytes", r.remaining())).into());
+    }
+    TraceSet::from_parts(TraceMeta { program, model, seed }, procs, sync_order)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DecodeMode {
+    /// Any defect is an error.
+    Strict,
+    /// Recover the longest intact prefix; defects become the boundary.
+    Salvage,
+}
+
+/// Decodes the checksummed version-2 layout, strictly or best-effort.
+fn decode_v2(data: &[u8], mode: DecodeMode) -> Result<Salvage, TraceError> {
+    let bytes_total = data.len();
+    let mut r = ByteReader::with_base(&data[6..], 6);
+
+    let header = match read_header_section(&mut r) {
+        Ok(h) => h,
+        Err(e) => {
+            if mode == DecodeMode::Strict {
+                return Err(e.into());
+            }
+            // Without the header there is no record map to recover by.
+            return Ok(Salvage {
+                trace: TraceSet::new(0),
+                recovered: Vec::new(),
+                expected: None,
+                bytes_used: 6,
+                bytes_total,
+                complete: false,
+                failure: Some(e),
             });
         }
-        if !buf.is_empty() {
-            return Err(TraceError::Binary(format!("{} trailing bytes", buf.len())));
+    };
+
+    let num_procs = header.counts.len();
+    let total_events: u64 = header.counts.iter().map(|&c| c as u64).sum();
+    let mut procs: Vec<ProcessorTrace> =
+        (0..num_procs).map(|i| ProcessorTrace::new(ProcId::new(i as u16))).collect();
+    let mut failure: Option<DecodeError> = None;
+    let mut good_end = r.offset();
+    for _ in 0..total_events {
+        match read_event_record(&mut r, num_procs) {
+            Ok((start, proc, kind)) => {
+                let pt = &mut procs[proc.index()];
+                if pt.len() as u32 >= header.counts[proc.index()] {
+                    failure = Some(DecodeError::new(
+                        start,
+                        format!("more events for {proc} than the header declared"),
+                    ));
+                    break;
+                }
+                pt.push(kind);
+                good_end = r.offset();
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
         }
-        TraceSet::from_parts(TraceMeta { program, model, seed }, procs, sync_order)
     }
+
+    let sync_order = if failure.is_none() {
+        match read_sync_section(&mut r, header.sync_count) {
+            Ok(sync_order) => {
+                good_end = r.offset();
+                if !r.is_empty() {
+                    failure = Some(r.err(format!("{} trailing bytes", r.remaining())));
+                }
+                Some(sync_order)
+            }
+            Err(e) => {
+                failure = Some(e);
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    if let Some(e) = &failure {
+        if mode == DecodeMode::Strict {
+            return Err(e.clone().into());
+        }
+    }
+    // When the sync section was lost (or events were cut short, leaving
+    // it unreachable), rebuild the sync order from the sync events that
+    // survived: each carries its own global_seq, location and kind, so
+    // the reconstruction is lossless over the recovered prefix.
+    let sync_order = sync_order.unwrap_or_else(|| rebuild_sync_order(&procs));
+
+    let recovered: Vec<u32> = procs.iter().map(|p| p.len() as u32).collect();
+    let complete = failure.is_none();
+    let trace = TraceSet::from_parts(header.meta, procs, sync_order)?;
+    Ok(Salvage {
+        trace,
+        recovered,
+        expected: Some(header.counts),
+        bytes_used: if complete { bytes_total } else { good_end },
+        bytes_total,
+        complete,
+        failure,
+    })
+}
+
+/// Reads and checksum-verifies the v2 header section.
+fn read_header_section(r: &mut ByteReader<'_>) -> Result<HeaderV2, DecodeError> {
+    let start = r.offset();
+    let hlen = r.u32("header length")?;
+    if hlen > MAX_SECTION_BYTES {
+        return Err(DecodeError::new(start, format!("oversized header length {hlen}")));
+    }
+    let payload_base = r.offset();
+    let payload = r.take(hlen as usize, "header payload")?;
+    let covered = r.slice_from(start);
+    let stored = r.u32("header checksum")?;
+    if crc32(covered) != stored {
+        return Err(DecodeError::new(start, "header checksum mismatch"));
+    }
+    let mut h = ByteReader::with_base(payload, payload_base);
+    let program = get_opt_str(&mut h)?;
+    let model = get_opt_str(&mut h)?;
+    let seed = if h.u8("seed flag")? == 1 { Some(h.u64("seed")?) } else { None };
+    let num_procs = h.u16("processor count")? as usize;
+    let mut counts = Vec::with_capacity(num_procs);
+    for _ in 0..num_procs {
+        counts.push(h.u32("event count")?);
+    }
+    let sync_count = h.u32("sync-order count")?;
+    if !h.is_empty() {
+        return Err(h.err(format!("{} trailing header bytes", h.remaining())));
+    }
+    Ok(HeaderV2 { meta: TraceMeta { program, model, seed }, counts, sync_count })
+}
+
+/// Reads and checksum-verifies one v2 event record. Returns the record's
+/// start offset alongside the decoded event.
+fn read_event_record(
+    r: &mut ByteReader<'_>,
+    num_procs: usize,
+) -> Result<(usize, ProcId, EventKind), DecodeError> {
+    let start = r.offset();
+    let marker = r.u8("event record marker")?;
+    if marker != EVENT_MARKER {
+        return Err(DecodeError::new(start, format!("bad event record marker {marker:#04x}")));
+    }
+    let proc_raw = r.u16("event record processor")?;
+    let len = r.u32("event record length")?;
+    if len > MAX_EVENT_BYTES {
+        return Err(DecodeError::new(start, format!("oversized event record length {len}")));
+    }
+    let payload_base = r.offset();
+    let payload = r.take(len as usize, "event record payload")?;
+    let covered = r.slice_from(start);
+    let stored = r.u32("event record checksum")?;
+    if crc32(covered) != stored {
+        return Err(DecodeError::new(start, "event record checksum mismatch"));
+    }
+    if proc_raw as usize >= num_procs {
+        return Err(DecodeError::new(
+            start,
+            format!("event record for processor {proc_raw} outside the header's {num_procs}"),
+        ));
+    }
+    let mut p = ByteReader::with_base(payload, payload_base);
+    let kind = get_event_kind(&mut p)?;
+    if !p.is_empty() {
+        return Err(p.err(format!("{} trailing bytes in event record", p.remaining())));
+    }
+    Ok((start, ProcId::new(proc_raw), kind))
+}
+
+/// Reads and checksum-verifies the v2 sync-order section.
+fn read_sync_section(
+    r: &mut ByteReader<'_>,
+    declared: u32,
+) -> Result<Vec<SyncOrderEntry>, DecodeError> {
+    let start = r.offset();
+    let marker = r.u8("sync section marker")?;
+    if marker != SYNC_MARKER {
+        return Err(DecodeError::new(start, format!("bad sync section marker {marker:#04x}")));
+    }
+    let len = r.u32("sync section length")?;
+    if len > MAX_SECTION_BYTES {
+        return Err(DecodeError::new(start, format!("oversized sync section length {len}")));
+    }
+    let payload_base = r.offset();
+    let payload = r.take(len as usize, "sync section payload")?;
+    let covered = r.slice_from(start);
+    let stored = r.u32("sync section checksum")?;
+    if crc32(covered) != stored {
+        return Err(DecodeError::new(start, "sync section checksum mismatch"));
+    }
+    let mut s = ByteReader::with_base(payload, payload_base);
+    let n = s.u32("sync-order count")?;
+    if n != declared {
+        return Err(s.err(format!("sync-order count {n} disagrees with header ({declared})")));
+    }
+    if n as usize > s.remaining() / 19 {
+        return Err(s.err(format!("sync order count {n} exceeds section payload")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(get_sync_entry(&mut s)?);
+    }
+    if !s.is_empty() {
+        return Err(s.err(format!("{} trailing bytes in sync section", s.remaining())));
+    }
+    Ok(out)
+}
+
+/// Rebuilds the sync-order stream from recovered sync events (each
+/// carries its global sequence stamp, location and kind).
+fn rebuild_sync_order(procs: &[ProcessorTrace]) -> Vec<SyncOrderEntry> {
+    let mut entries: Vec<SyncOrderEntry> = procs
+        .iter()
+        .flat_map(|p| p.events().iter())
+        .filter_map(|e| {
+            e.as_sync().map(|s| SyncOrderEntry {
+                global_seq: s.global_seq,
+                event: e.id,
+                loc: s.loc,
+                kind: s.kind,
+            })
+        })
+        .collect();
+    entries.sort_by_key(|e| e.global_seq);
+    entries
+}
+
+fn put_event_kind(buf: &mut Vec<u8>, kind: &EventKind) {
+    match kind {
+        EventKind::Sync(s) => {
+            buf.put_u8(0);
+            put_op_id(buf, s.op);
+            buf.put_u32(s.loc.addr());
+            buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
+            buf.put_u8(match s.role {
+                SyncRole::Release => 0,
+                SyncRole::Acquire => 1,
+                SyncRole::None => 2,
+            });
+            buf.put_i64(s.value.get());
+            buf.put_u64(s.global_seq);
+            match s.observed_release {
+                Some(op) => {
+                    buf.put_u8(1);
+                    put_op_id(buf, op);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        EventKind::Computation(c) => {
+            buf.put_u8(1);
+            put_locset(buf, &c.reads);
+            put_locset(buf, &c.writes);
+            put_op_id(buf, c.first_op);
+            buf.put_u32(c.op_count);
+        }
+    }
+}
+
+fn put_sync_entry(buf: &mut Vec<u8>, s: &SyncOrderEntry) {
+    buf.put_u64(s.global_seq);
+    buf.put_u16(s.event.proc.raw());
+    buf.put_u32(s.event.index);
+    buf.put_u32(s.loc.addr());
+    buf.put_u8(matches!(s.kind, AccessKind::Write) as u8);
 }
 
 fn put_op_id(buf: &mut Vec<u8>, op: OpId) {
@@ -472,50 +886,69 @@ fn put_locset(buf: &mut Vec<u8>, set: &LocSet) {
     }
 }
 
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], TraceError> {
-    if buf.len() < n {
-        return Err(TraceError::Binary("unexpected end of input".into()));
+fn get_event_kind(r: &mut ByteReader<'_>) -> Result<EventKind, DecodeError> {
+    let tag = r.u8("event tag")?;
+    match tag {
+        0 => {
+            let op = get_op_id(r)?;
+            let loc = Location::new(r.u32("sync location")?);
+            let kind = if r.u8("sync kind")? == 1 { AccessKind::Write } else { AccessKind::Read };
+            let role = match r.u8("sync role")? {
+                0 => SyncRole::Release,
+                1 => SyncRole::Acquire,
+                2 => SyncRole::None,
+                role => return Err(r.err(format!("bad sync role {role}"))),
+            };
+            let value = Value::new(r.i64("sync value")?);
+            let global_seq = r.u64("sync global seq")?;
+            let observed_release =
+                if r.u8("observed-release flag")? == 1 { Some(get_op_id(r)?) } else { None };
+            Ok(EventKind::Sync(SyncEvent {
+                op,
+                loc,
+                kind,
+                role,
+                value,
+                global_seq,
+                observed_release,
+            }))
+        }
+        1 => {
+            let reads = get_locset(r)?;
+            let writes = get_locset(r)?;
+            let first_op = get_op_id(r)?;
+            let op_count = r.u32("op count")?;
+            Ok(EventKind::Computation(ComputationEvent { reads, writes, first_op, op_count }))
+        }
+        t => Err(r.err(format!("bad event tag {t}"))),
     }
-    let (head, rest) = buf.split_at(n);
-    *buf = rest;
-    Ok(head)
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8, TraceError> {
-    Ok(take(buf, 1)?.first().copied().expect("take(1) yields one byte"))
+fn get_sync_entry(r: &mut ByteReader<'_>) -> Result<SyncOrderEntry, DecodeError> {
+    let global_seq = r.u64("sync-order seq")?;
+    let proc = ProcId::new(r.u16("sync-order processor")?);
+    let index = r.u32("sync-order event index")?;
+    let loc = Location::new(r.u32("sync-order location")?);
+    let kind = if r.u8("sync-order kind")? == 1 { AccessKind::Write } else { AccessKind::Read };
+    Ok(SyncOrderEntry { global_seq, event: EventId::new(proc, index), loc, kind })
 }
 
-fn get_u16(buf: &mut &[u8]) -> Result<u16, TraceError> {
-    Ok(take(buf, 2)?.to_vec().as_slice().get_u16())
-}
-
-fn get_u32(buf: &mut &[u8]) -> Result<u32, TraceError> {
-    Ok(take(buf, 4)?.to_vec().as_slice().get_u32())
-}
-
-fn get_u64(buf: &mut &[u8]) -> Result<u64, TraceError> {
-    Ok(take(buf, 8)?.to_vec().as_slice().get_u64())
-}
-
-fn get_i64(buf: &mut &[u8]) -> Result<i64, TraceError> {
-    Ok(take(buf, 8)?.to_vec().as_slice().get_i64())
-}
-
-fn get_op_id(buf: &mut &[u8]) -> Result<OpId, TraceError> {
-    let proc = ProcId::new(get_u16(buf)?);
-    let seq = get_u32(buf)?;
+fn get_op_id(r: &mut ByteReader<'_>) -> Result<OpId, DecodeError> {
+    let proc = ProcId::new(r.u16("op processor")?);
+    let seq = r.u32("op seq")?;
     Ok(OpId::new(proc, seq))
 }
 
-fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, TraceError> {
-    let len = get_u32(buf)?;
+fn get_opt_str(r: &mut ByteReader<'_>) -> Result<Option<String>, DecodeError> {
+    let len = r.u32("string length")?;
     if len == u32::MAX {
         return Ok(None);
     }
-    let bytes = take(buf, len as usize)?;
+    let at = r.offset();
+    let bytes = r.take(len as usize, "string")?;
     String::from_utf8(bytes.to_vec())
         .map(Some)
-        .map_err(|_| TraceError::Binary("invalid utf8 string".into()))
+        .map_err(|_| DecodeError::new(at, "invalid utf8 string"))
 }
 
 /// Largest location address accepted by the binary decoder. The bitset
@@ -524,16 +957,16 @@ fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, TraceError> {
 /// allocations.
 const MAX_DECODED_LOCATION: u32 = 1 << 28;
 
-fn get_locset(buf: &mut &[u8]) -> Result<LocSet, TraceError> {
-    let n = get_u32(buf)? as usize;
-    if n > buf.len() / 4 {
-        return Err(TraceError::Binary(format!("location-set count {n} exceeds remaining input")));
+fn get_locset(r: &mut ByteReader<'_>) -> Result<LocSet, DecodeError> {
+    let n = r.u32("location-set count")? as usize;
+    if n > r.remaining() / 4 {
+        return Err(r.err(format!("location-set count {n} exceeds remaining input")));
     }
     let mut set = LocSet::new();
     for _ in 0..n {
-        let addr = get_u32(buf)?;
+        let addr = r.u32("location")?;
         if addr >= MAX_DECODED_LOCATION {
-            return Err(TraceError::Binary(format!("location {addr} out of decodable range")));
+            return Err(r.err(format!("location {addr} out of decodable range")));
         }
         set.insert(Location::new(addr));
     }
@@ -621,7 +1054,20 @@ mod tests {
     fn binary_roundtrip() {
         let t = sample();
         let b = t.to_binary();
+        assert_eq!(u16::from_be_bytes([b[4], b[5]]), BINARY_FORMAT_VERSION);
         assert_eq!(TraceSet::from_binary(&b).unwrap(), t);
+    }
+
+    #[test]
+    fn v1_files_still_decode() {
+        let t = sample();
+        let b = t.to_binary_v1();
+        assert_eq!(u16::from_be_bytes([b[4], b[5]]), 1);
+        assert_eq!(TraceSet::from_binary(&b).unwrap(), t);
+        // And v1 "salvage" is simply a full strict decode.
+        let s = TraceSet::salvage_binary(&b).unwrap();
+        assert!(s.complete);
+        assert_eq!(s.trace, t);
     }
 
     #[test]
@@ -639,6 +1085,123 @@ mod tests {
         assert!(TraceSet::from_binary(&good).is_err());
         let truncated = &sample().to_binary()[..20];
         assert!(TraceSet::from_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_unknown_version() {
+        let mut b = sample().to_binary();
+        b[5] = 99;
+        let err = TraceSet::from_binary(&b).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        assert!(TraceSet::salvage_binary(&b).is_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let b = sample().to_binary();
+        for byte in 0..b.len() {
+            let mut hurt = b.clone();
+            hurt[byte] ^= 0x10;
+            // Every flip must be rejected by the strict decoder (a flip
+            // cannot silently yield a different trace). Errors carry an
+            // offset inside the input.
+            match TraceSet::from_binary(&hurt) {
+                Ok(t) => assert_eq!(t, sample(), "flip at {byte} silently changed the trace"),
+                Err(TraceError::Decode(e)) => assert!(e.offset <= hurt.len()),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_of_intact_input_is_complete() {
+        let t = sample();
+        let s = TraceSet::salvage_binary(&t.to_binary()).unwrap();
+        assert!(s.complete);
+        assert!(s.failure.is_none());
+        assert_eq!(s.trace, t);
+        assert_eq!(s.events_recovered(), t.num_events());
+        assert_eq!(s.events_lost(), 0);
+        assert_eq!(s.bytes_dropped(), 0);
+        assert!(s.to_string().contains("complete"), "{s}");
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_from_truncation() {
+        let t = sample();
+        let b = t.to_binary();
+        let mut seen_partial = false;
+        for len in 6..b.len() {
+            let s = match TraceSet::salvage_binary(&b[..len]) {
+                Ok(s) => s,
+                Err(e) => panic!("salvage at {len} errored: {e}"),
+            };
+            assert!(!s.complete, "cut at {len} cannot be complete");
+            assert!(s.failure.is_some());
+            assert!(s.trace.validate().is_ok());
+            assert!(s.events_recovered() <= t.num_events());
+            if let Some(expected) = s.events_expected() {
+                assert_eq!(expected, t.num_events());
+            } else {
+                assert_eq!(s.events_recovered(), 0, "no header, nothing to recover by");
+            }
+            assert!(s.bytes_used <= len);
+            if s.events_recovered() > 0 {
+                seen_partial = true;
+                // Recovered events are a prefix of the original, per
+                // processor.
+                for (p, orig) in s.trace.processors().iter().zip(t.processors()) {
+                    assert_eq!(p.events(), &orig.events()[..p.len()]);
+                }
+            }
+        }
+        assert!(seen_partial, "some cut must recover a nonempty prefix");
+    }
+
+    #[test]
+    fn salvage_stops_at_a_flipped_event_record() {
+        let t = sample();
+        let b = t.to_binary();
+        // Find the first event record (marker byte after the header
+        // section) and flip a byte inside it.
+        let hlen = u32::from_be_bytes([b[6], b[7], b[8], b[9]]) as usize;
+        let first_record = 6 + 4 + hlen + 4;
+        assert_eq!(b[first_record], EVENT_MARKER);
+        let mut hurt = b.clone();
+        hurt[first_record + 8] ^= 0x01;
+        let s = TraceSet::salvage_binary(&hurt).unwrap();
+        assert!(!s.complete);
+        assert_eq!(s.events_recovered(), 0, "damage in the first record recovers nothing");
+        assert!(s.to_string().contains("boundaries"), "{s}");
+        let failure = s.failure.unwrap();
+        assert_eq!(failure.offset, first_record, "failure pinned to the record start");
+    }
+
+    #[test]
+    fn salvage_rebuilds_sync_order_when_section_is_lost() {
+        let t = sample();
+        let b = t.to_binary();
+        // Cut just before the sync section: all events survive, the
+        // sync order is rebuilt losslessly from the sync events.
+        let sync_start = b.iter().rposition(|&x| x == SYNC_MARKER).unwrap();
+        let s = TraceSet::salvage_binary(&b[..sync_start]).unwrap();
+        assert!(!s.complete);
+        assert_eq!(s.events_recovered(), t.num_events());
+        assert_eq!(s.trace.sync_order(), t.sync_order());
+        assert_eq!(s.trace, t);
+    }
+
+    #[test]
+    fn salvage_survives_header_loss() {
+        let t = sample();
+        let b = t.to_binary();
+        let mut hurt = b.clone();
+        hurt[8] ^= 0x40; // inside the header length/payload
+        let s = TraceSet::salvage_binary(&hurt).unwrap();
+        assert!(!s.complete);
+        assert_eq!(s.events_recovered(), 0);
+        assert_eq!(s.expected, None, "header gone: no expectation to report");
+        assert!(s.trace.validate().is_ok());
     }
 
     #[test]

@@ -22,6 +22,12 @@ cargo test --workspace -q
 echo "== exploration engine tests"
 cargo test -q -p wmrd-explore
 
+echo "== fault-injection and trace-hardening suites"
+# The corrupt-trace corpus, the v2 round-trip/prefix properties, and
+# the fault-injection e2e campaign (tests/faults.rs) — the graceful-
+# degradation contract of the trace pipeline.
+cargo test -q -p wmrd-xtests --test trace_files --test props --test faults
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

@@ -1,0 +1,176 @@
+//! End-to-end fault injection: campaigns under injected worker panics,
+//! torn byte streams, and short reads.
+//!
+//! The contract under test is graceful degradation — an injected fault
+//! costs exactly what it touches (one point, one record, one suffix)
+//! and nothing else: reports stay deterministic and worker-count
+//! independent, failures are itemized rather than fatal, and every
+//! finding from a healthy point still reproduces via replay.
+
+use wmrd_explore::{replay, run_campaign, CampaignSpec};
+use wmrd_faults::{FaultPlan, FaultPoint, ShortReader};
+use wmrd_sim::{Addr, HwImpl, Instr, MemoryModel, Program, Reg};
+use wmrd_trace::{salvage_stream, Location, Metrics, TraceSet};
+
+/// Two independent races, so deduplication and replay have substance.
+fn two_race_program() -> Program {
+    let mut prog = Program::new("two-races", 2);
+    prog.push_proc(vec![
+        Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(0)) },
+        Instr::St { src: 1.into(), addr: Addr::Abs(Location::new(1)) },
+        Instr::Halt,
+    ]);
+    prog.push_proc(vec![
+        Instr::Ld { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) },
+        Instr::Ld { dst: Reg::new(1), addr: Addr::Abs(Location::new(1)) },
+        Instr::Halt,
+    ]);
+    prog
+}
+
+#[test]
+fn campaign_of_96_seeds_with_injected_panics_degrades_gracefully() {
+    let prog = two_race_program();
+    let plan = FaultPlan::scattered_panics(42, 96, 5);
+    let spec = CampaignSpec::new(0, 96).with_faults(plan.clone());
+
+    let r1 = run_campaign(&prog, &spec, 1, &Metrics::disabled()).unwrap();
+    let r3 = run_campaign(&prog, &spec, 3, &Metrics::disabled()).unwrap();
+    let r8 = run_campaign(&prog, &spec, 8, &Metrics::disabled()).unwrap();
+
+    // The report — failures included — is independent of worker count,
+    // structurally and in its exact rendering.
+    assert_eq!(r1, r3);
+    assert_eq!(r1, r8);
+    assert_eq!(r1.render(), r8.render());
+
+    // Every planned panic shows up as exactly one itemized failure, and
+    // nothing else failed.
+    assert_eq!(r1.failed_executions as usize, plan.panic_count());
+    assert_eq!(r1.failures.len(), plan.panic_count());
+    assert_eq!(r1.executions, 96 - plan.panic_count() as u64);
+    for f in &r1.failures {
+        assert!(plan.panics_at(f.index as usize), "failure at an unplanned point: {f:?}");
+        assert_eq!(f.reason, format!("injected fault: worker panic at point {}", f.index));
+    }
+
+    // The healthy 91 executions still find the program's races, and
+    // every finding's first-reaching seed reproduces its identity on a
+    // fresh machine.
+    assert!(!r1.is_race_free());
+    for finding in &r1.races {
+        let rep = replay(&prog, &finding.first, spec.config, spec.pairing).unwrap();
+        assert!(
+            rep.keys.contains(&finding.key),
+            "seed {} must reproduce {:?} despite the faulted campaign",
+            finding.first.seed,
+            finding.key
+        );
+    }
+}
+
+#[test]
+fn the_empty_plan_changes_nothing() {
+    let prog = two_race_program();
+    let plain = run_campaign(&prog, &CampaignSpec::new(0, 16), 2, &Metrics::disabled()).unwrap();
+    let spec = CampaignSpec::new(0, 16).with_faults(FaultPlan::none());
+    let with_empty_plan = run_campaign(&prog, &spec, 2, &Metrics::disabled()).unwrap();
+    assert_eq!(plain, with_empty_plan);
+    assert!(plain.failures.is_empty());
+}
+
+#[test]
+fn faulted_points_cost_exactly_their_own_executions() {
+    // Same campaign with and without faults: the faulted report's
+    // counters are the plain report's minus the failed points' own
+    // contributions — a panic never corrupts a neighbouring execution
+    // (worker machine caches are rebuilt after containment).
+    let prog = two_race_program();
+    let spec = CampaignSpec::new(0, 48)
+        .with_hws(vec![HwImpl::StoreBuffer, HwImpl::InvalQueue])
+        .with_models(vec![MemoryModel::Wo]);
+    let plain = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+    let faulted_spec = spec.clone().with_faults(FaultPlan::scattered_panics(7, 96, 4));
+    let faulted = run_campaign(&prog, &faulted_spec, 4, &Metrics::disabled()).unwrap();
+    assert_eq!(faulted.failed_executions, 4);
+    assert_eq!(faulted.executions, plain.executions - 4);
+    // Each surviving race identity was seen in the plain run too.
+    for finding in &faulted.races {
+        let plain_finding = plain.finding(&finding.key).expect("identity exists without faults");
+        assert!(finding.hits <= plain_finding.hits);
+    }
+}
+
+#[test]
+fn fault_metrics_count_what_was_injected_and_contained() {
+    let m = Metrics::enabled();
+    let spec = CampaignSpec::new(0, 24).with_faults(FaultPlan::scattered_panics(3, 24, 2));
+    let report = run_campaign(&two_race_program(), &spec, 2, &m).unwrap();
+    report.record_into(&m);
+    let r = m.report();
+    assert_eq!(r.counter("faults.injected"), Some(2));
+    assert_eq!(r.counter("faults.worker_panics"), Some(2));
+    assert_eq!(r.counter("faults.contained"), Some(2));
+    assert_eq!(r.counter("explore.failures"), Some(2));
+    assert_eq!(r.counter("explore.executions"), Some(22));
+}
+
+#[test]
+fn byte_faults_on_trace_files_are_caught_and_salvaged() {
+    // Drive the detector end-to-end across a corrupted file: run,
+    // encode, inject, salvage, analyze.
+    let prog = two_race_program();
+    let rep = replay(
+        &prog,
+        &CampaignSpec::new(0, 1).points()[0].exec,
+        wmrd_sim::RunConfig::default(),
+        wmrd_core::PairingPolicy::ByRole,
+    )
+    .unwrap();
+    let bin = rep.trace.to_binary();
+
+    // A truncation plan loses the tail; the salvage prefix analyzes.
+    let plan = FaultPlan::new(0).with(FaultPoint::Truncate { at: bin.len() - 5 });
+    let torn = plan.corrupt(&bin);
+    assert!(TraceSet::from_binary(&torn).is_err(), "strict decode rejects the tear");
+    let salvage = TraceSet::salvage_binary(&torn).unwrap();
+    assert!(!salvage.complete);
+    assert!(salvage.events_recovered() <= rep.trace.num_events());
+
+    // A flip plan is detected by the checksums — decode never returns
+    // a silently wrong trace.
+    let plan = FaultPlan::new(0).with(FaultPoint::BitFlip { offset: 20, bit: 2 });
+    let flipped = plan.corrupt(&bin);
+    match TraceSet::from_binary(&flipped) {
+        Ok(t) => assert_eq!(t, rep.trace, "an accepted decode must be exact"),
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn short_reads_surface_as_bounded_stream_salvage() {
+    // A ShortReader models a torn mid-file read; the stream salvage
+    // path recovers exactly the records that fit under the cutoff.
+    use wmrd_trace::{StreamWriter, TraceSink, Value};
+    let mut w = StreamWriter::new(Vec::new(), 2);
+    for i in 0..10u32 {
+        w.data_access(
+            wmrd_trace::ProcId::new((i % 2) as u16),
+            Location::new(i % 3),
+            wmrd_trace::AccessKind::Write,
+            Value::new(i64::from(i)),
+            None,
+        );
+    }
+    let bytes = w.finish().unwrap();
+
+    let full = salvage_stream(ShortReader::new(&bytes[..], 7)).unwrap();
+    assert!(full.complete, "chunked-but-complete reads lose nothing");
+    assert_eq!(full.records, 10);
+
+    let cutoff = bytes.len() - 4;
+    let torn = salvage_stream(ShortReader::new(&bytes[..], 7).with_cutoff(cutoff)).unwrap();
+    assert!(!torn.complete);
+    assert_eq!(torn.records, 9, "only the final record is lost to the short read");
+    assert!(torn.bytes_used <= cutoff);
+}

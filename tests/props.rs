@@ -224,6 +224,92 @@ proptest! {
         ));
     }
 
+    /// Every prefix of a v2 binary encoding decodes to either the exact
+    /// original (the full length) or a typed error whose offset lies
+    /// within the input — never a panic, never a silently wrong trace.
+    /// The salvage decoder recovers, per processor, an exact event
+    /// prefix of the original from every cut.
+    #[test]
+    fn every_v2_prefix_decodes_or_errors_sanely(prog_seed in 0u64..60, sched_seed in 0u64..8) {
+        let cfg = generate::GenConfig {
+            procs: 2,
+            sections_per_proc: 1,
+            ops_per_section: 3,
+            rogue_fraction: 0.5,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(sched_seed), &mut sink, RunConfig::uniform())
+            .unwrap();
+        let trace = sink.finish();
+        let bin = trace.to_binary();
+
+        for len in 0..=bin.len() {
+            match TraceSet::from_binary(&bin[..len]) {
+                Ok(t) => {
+                    prop_assert_eq!(len, bin.len(), "only the whole file decodes strictly");
+                    prop_assert_eq!(&t, &trace);
+                }
+                Err(wmrd_trace::TraceError::Decode(e)) => {
+                    prop_assert!(e.offset <= len, "offset {} beyond the {len}-byte input", e.offset);
+                }
+                Err(e) => prop_assert!(false, "untyped error at {}: {}", len, e),
+            }
+            let Ok(s) = TraceSet::salvage_binary(&bin[..len]) else {
+                // Only a cut inside the 6-byte magic/version preamble is
+                // unsalvageable.
+                prop_assert!(len < 6, "salvage refused a {len}-byte prefix");
+                continue;
+            };
+            prop_assert_eq!(s.complete, len == bin.len());
+            prop_assert!(s.bytes_used <= len);
+            for (i, p) in s.trace.processors().iter().enumerate() {
+                let got = p.events();
+                let want = trace.processors()[i].events();
+                prop_assert!(got.len() <= want.len());
+                prop_assert_eq!(got, &want[..got.len()], "P{} salvage is an event prefix", i);
+            }
+        }
+    }
+
+    /// Single-bit corruption of a v2 encoding is always either detected
+    /// (typed error) or harmless (exact original back) — the CRC never
+    /// lets a flipped trace through silently. Salvage likewise never
+    /// panics, and anything it recovers is a valid trace.
+    #[test]
+    fn v2_bit_flips_are_detected_not_misread(
+        prog_seed in 0u64..60,
+        byte_pick in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let cfg = generate::GenConfig {
+            procs: 2,
+            sections_per_proc: 1,
+            ops_per_section: 3,
+            rogue_fraction: 0.5,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let mut sink = TraceBuilder::new(program.num_procs());
+        run_sc(&program, &mut RandomSched::new(0), &mut sink, RunConfig::uniform()).unwrap();
+        let trace = sink.finish();
+        let mut bin = trace.to_binary();
+        let offset = byte_pick % bin.len();
+        bin[offset] ^= 1 << bit;
+
+        match TraceSet::from_binary(&bin) {
+            Ok(t) => prop_assert_eq!(&t, &trace, "an accepted decode must be bit-exact"),
+            Err(wmrd_trace::TraceError::Decode(e)) => prop_assert!(e.offset <= bin.len()),
+            Err(wmrd_trace::TraceError::Malformed(_)) => {}
+            Err(e) => prop_assert!(false, "untyped error: {}", e),
+        }
+        if let Ok(s) = TraceSet::salvage_binary(&bin) {
+            prop_assert!(s.trace.validate().is_ok(), "salvage must return a valid trace");
+            prop_assert!(s.bytes_used <= s.bytes_total);
+        }
+    }
+
     /// The pairing policy only ever shrinks the race set monotonically:
     /// AllSync ⊆ ByRole for data races.
     #[test]

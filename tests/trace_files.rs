@@ -83,7 +83,10 @@ fn corrupted_files_are_rejected_not_misread() {
             Err(e) => {
                 assert!(matches!(
                     e,
-                    TraceError::Binary(_) | TraceError::Malformed(_) | TraceError::UnknownEvent(_)
+                    TraceError::Binary(_)
+                        | TraceError::Malformed(_)
+                        | TraceError::UnknownEvent(_)
+                        | TraceError::Decode(_)
                 ));
             }
         }
@@ -97,6 +100,159 @@ fn corrupted_files_are_rejected_not_misread() {
     // Garbage JSON.
     assert!(TraceSet::from_json("{\"not\": \"a trace\"}").is_err());
     assert!(TraceSet::read_json_file("/nonexistent/path.json").is_err());
+}
+
+/// The checked-in corrupt-trace corpus, each file a distinct damage
+/// class against the same deterministic base encoding.
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/corrupt")
+}
+
+/// The corpus base: fig1a under the SC scheduler at seed 0 — fully
+/// deterministic, so the corpus can be regenerated bit-for-bit.
+fn corpus_base() -> TraceSet {
+    let entry = catalog::fig1a();
+    let mut sink = TraceBuilder::new(entry.program.num_procs());
+    run_sc(&entry.program, &mut RandomSched::new(0), &mut sink, RunConfig::uniform()).unwrap();
+    let mut trace = sink.finish();
+    trace.meta.program = Some(entry.name.into());
+    trace.meta.model = Some("SC".into());
+    trace.meta.seed = Some(0);
+    trace
+}
+
+/// Offset one past the v2 header section (magic + version + framed
+/// header payload + CRC).
+fn header_end(bin: &[u8]) -> usize {
+    let len = u32::from_be_bytes([bin[6], bin[7], bin[8], bin[9]]) as usize;
+    6 + 4 + len + 4
+}
+
+/// Start offset of the final event record.
+fn last_record_start(bin: &[u8]) -> usize {
+    let mut pos = header_end(bin);
+    let mut last = pos;
+    while bin[pos] == 0xE7 {
+        last = pos;
+        let len = u32::from_be_bytes([bin[pos + 3], bin[pos + 4], bin[pos + 5], bin[pos + 6]]);
+        pos += 11 + len as usize;
+    }
+    last
+}
+
+/// Derives the five corpus variants from the base encoding.
+fn corpus_variants(bin: &[u8]) -> Vec<(&'static str, Vec<u8>)> {
+    let hdr_end = header_end(bin);
+    let flipped_magic = {
+        let mut v = bin.to_vec();
+        v[0] ^= 0xFF;
+        v
+    };
+    let bad_crc = {
+        // The last byte is part of the sync-section CRC; the events
+        // themselves stay intact.
+        let mut v = bin.to_vec();
+        *v.last_mut().unwrap() ^= 0x01;
+        v
+    };
+    let oversized = {
+        // The first event record's length field claims 4 GiB.
+        let mut v = bin.to_vec();
+        v[hdr_end + 3..hdr_end + 7].copy_from_slice(&[0xFF; 4]);
+        v
+    };
+    let mid_cut = bin[..last_record_start(bin) + 5].to_vec();
+    vec![
+        ("truncated-header.bin", bin[..10].to_vec()),
+        ("flipped-magic.bin", flipped_magic),
+        ("bad-crc.bin", bad_crc),
+        ("oversized-length.bin", oversized),
+        ("mid-event-cut.bin", mid_cut),
+    ]
+}
+
+#[test]
+fn corrupt_corpus_matches_its_deterministic_regeneration() {
+    // The corpus is derived, not hand-maintained: every checked-in file
+    // must equal what `corpus_variants` builds from the deterministic
+    // base. Regenerate with WMRD_REGEN_CORPUS=1.
+    let dir = corpus_dir();
+    let regen = std::env::var_os("WMRD_REGEN_CORPUS").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, bytes) in corpus_variants(&corpus_base().to_binary()) {
+        let path = dir.join(name);
+        if regen {
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{name}: {e} (regenerate with WMRD_REGEN_CORPUS=1)"));
+        assert_eq!(on_disk, bytes, "{name} drifted from its construction");
+    }
+}
+
+#[test]
+fn corrupt_corpus_salvage_boundaries_are_golden() {
+    let base = corpus_base();
+    let bin = base.to_binary();
+    let total = base.num_events();
+    let base_report = PostMortem::new(&base).analyze().unwrap();
+
+    // Every corpus file fails strict decode with a typed error…
+    for (name, bytes) in corpus_variants(&bin) {
+        let err =
+            TraceSet::from_binary(&bytes).expect_err(&format!("{name} must not decode strictly"));
+        assert!(matches!(err, TraceError::Decode(_)), "{name}: {err}");
+    }
+
+    // …and salvages to a known boundary.
+    let variants = corpus_variants(&bin);
+    let by_name = |n: &str| variants.iter().find(|(name, _)| *name == n).unwrap().1.clone();
+
+    // Header gone: nothing to recover by, but still not a panic or a
+    // hard error — an empty trace with the failure pinned.
+    let s = TraceSet::salvage_binary(&by_name("truncated-header.bin")).unwrap();
+    assert!(!s.complete);
+    assert_eq!(s.events_recovered(), 0);
+    assert_eq!(s.expected, None, "the event-count map died with the header");
+    assert_eq!(s.bytes_used, 6);
+
+    // Wrong magic: not a wmrd trace at all — salvage refuses too.
+    let err = TraceSet::salvage_binary(&by_name("flipped-magic.bin")).unwrap_err();
+    assert!(err.to_string().contains("bad magic"), "{err}");
+
+    // Sync-section CRC flipped: every event survives; the sync order is
+    // rebuilt from the recovered sync events, so analysis is unharmed.
+    let s = TraceSet::salvage_binary(&by_name("bad-crc.bin")).unwrap();
+    assert!(!s.complete);
+    assert_eq!(s.events_recovered(), total);
+    assert_eq!(s.events_lost(), 0);
+    let report = PostMortem::new(&s.trace).analyze().unwrap();
+    assert_eq!(report.races, base_report.races, "full event recovery ⇒ same races");
+    assert_eq!(report.scp, base_report.scp, "… and the same SC prefix");
+
+    // A length field claiming 4 GiB: caught by the record cap at the
+    // record's own offset, before any allocation that size.
+    let s = TraceSet::salvage_binary(&by_name("oversized-length.bin")).unwrap();
+    assert!(!s.complete);
+    assert_eq!(s.events_recovered(), 0, "damage hits the very first record");
+    assert_eq!(s.expected.as_ref().map(|e| e.iter().sum::<u32>()), Some(total as u32));
+    assert_eq!(s.failure.as_ref().unwrap().offset, header_end(&bin));
+
+    // Cut mid-way through the final record: exactly one event is lost,
+    // the used-byte count stops at that record's start, and the failure
+    // is pinned inside its framing (the cut lands in the length field,
+    // 3 bytes past the marker).
+    let s = TraceSet::salvage_binary(&by_name("mid-event-cut.bin")).unwrap();
+    assert!(!s.complete);
+    assert_eq!(s.events_recovered(), total - 1);
+    assert_eq!(s.events_lost(), 1);
+    assert_eq!(s.bytes_used, last_record_start(&bin));
+    assert_eq!(s.failure.as_ref().unwrap().offset, last_record_start(&bin) + 3);
+    assert!(s.to_string().contains("salvage boundaries:"), "{s}");
+    PostMortem::new(&s.trace).analyze().expect("the salvaged prefix analyzes");
 }
 
 #[test]
