@@ -1,0 +1,123 @@
+//! Serving-path cost: trace ingestion throughput (decode → post-mortem
+//! analysis → catalog ingest, the daemon's per-submission work), the
+//! same path end-to-end over a live loopback daemon, and catalog query
+//! latency as the catalog grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wmrd_bench::weak_run;
+use wmrd_catalog::journal::{JournalRecord, RaceObservation};
+use wmrd_catalog::{Catalog, Query};
+use wmrd_core::{PostMortem, RaceKey, SideKey};
+use wmrd_progs::catalog;
+use wmrd_serve::{Client, Reply, ServeConfig, Server};
+use wmrd_sim::{Fidelity, MemoryModel};
+use wmrd_trace::{AccessKind, Location, ProcId, TraceSet};
+
+/// One encoded submission body per racy workload.
+fn bodies() -> Vec<(&'static str, Vec<u8>)> {
+    [catalog::fig1a(), catalog::work_queue_buggy()]
+        .into_iter()
+        .map(|entry| {
+            let run = weak_run(&entry.program, MemoryModel::Wo, Fidelity::Conditioned, 3);
+            (entry.name, run.events.to_binary())
+        })
+        .collect()
+}
+
+/// The daemon's in-process submission path, minus the socket: decode
+/// the body, analyze it, build the journal record, ingest.
+fn bench_ingest_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_ingest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, body) in bodies() {
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &body, |b, body| {
+            b.iter(|| {
+                let trace = TraceSet::from_binary(body).unwrap();
+                let report = PostMortem::new(&trace).analyze().unwrap();
+                let record = Catalog::record_for(&trace, &report);
+                let mut catalog = Catalog::in_memory();
+                catalog.ingest(&record).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same submission measured through a live daemon on loopback:
+/// wire framing, handler, bounded queue, worker analysis, reply.
+fn bench_submit_roundtrip(c: &mut Criterion) {
+    let server =
+        Server::bind(&wmrd_serve::Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default())
+            .unwrap();
+    let endpoint = server.endpoint().clone();
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    let mut group = c.benchmark_group("serve_submit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, body) in bodies() {
+        let mut client = Client::connect(&endpoint).unwrap();
+        group.bench_with_input(BenchmarkId::new("roundtrip", name), &body, |b, body| {
+            b.iter(|| match client.submit(body).unwrap() {
+                Reply::Ok(payload) => payload,
+                other => panic!("submission refused: {other:?}"),
+            })
+        });
+    }
+    group.finish();
+    handle.shutdown();
+    daemon.join().unwrap();
+}
+
+/// A synthetic catalog of `n` traces over a fixed universe of race
+/// identities, for isolating query cost from analysis cost.
+fn synthetic_catalog(n: usize) -> Catalog {
+    let side = |p: u16, kind: AccessKind| SideKey { proc: ProcId::new(p), kind, sync: false };
+    let mut cat = Catalog::in_memory();
+    for i in 0..n {
+        let key = RaceKey::new(
+            Location::new((i % 64) as u32),
+            side((i % 3) as u16, AccessKind::Write),
+            side((i % 3) as u16 + 1, if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write }),
+        );
+        let record = JournalRecord {
+            digest: format!("{i:016x}"),
+            program: Some(format!("prog-{}", i % 8)),
+            model: Some("WO".into()),
+            seed: Some(i as u64),
+            events: 100,
+            races: vec![RaceObservation { key, first_partition: i % 2 == 0 }],
+        };
+        cat.ingest(&record).unwrap();
+    }
+    cat
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [100usize, 1_000, 10_000] {
+        let cat = synthetic_catalog(n);
+        group.bench_with_input(BenchmarkId::new("races", n), &cat, |b, cat| {
+            b.iter(|| cat.query(&Query::Races).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("traces", n), &cat, |b, cat| {
+            b.iter(|| cat.query(&Query::Traces).unwrap())
+        });
+        let probe = Query::parse("program=prog-3").unwrap();
+        group.bench_with_input(BenchmarkId::new("program_filter", n), &cat, |b, cat| {
+            b.iter(|| cat.query(&probe).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_pipeline, bench_submit_roundtrip, bench_query_latency);
+criterion_main!(benches);

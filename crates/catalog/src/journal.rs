@@ -1,0 +1,331 @@
+//! The catalog's append-only checksummed journal.
+//!
+//! The journal carries the same durability philosophy as the v2 trace
+//! format one layer up: every record is independently framed and
+//! CRC-32-checked, lengths are bounded before allocation, and a
+//! damaged file *salvages* — decoding stops at the first bad frame and
+//! keeps the longest valid record prefix, exactly like
+//! `TraceSet::salvage_binary` keeps the longest checksummed event
+//! prefix. A daemon killed mid-append therefore loses at most the
+//! record it was writing; every record whose append completed is
+//! recovered on reopen.
+//!
+//! ## Layout
+//!
+//! ```text
+//! "WMRC"  magic (4 bytes)
+//! u16     format version (big-endian, currently 1)
+//! u32     CRC-32 over the 6 bytes above
+//! ---- then zero or more records ----
+//! 0xCA    record marker (1 byte)
+//! u32     payload length (big-endian, capped at MAX_RECORD_BYTES)
+//! [u8]    payload: one JSON-encoded JournalRecord
+//! u32     CRC-32 over marker + length + payload
+//! ```
+
+use serde::{Deserialize, Serialize};
+use wmrd_core::RaceKey;
+use wmrd_trace::crc32;
+
+use crate::CatalogError;
+
+/// Journal file magic.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"WMRC";
+/// Journal format version.
+pub const JOURNAL_VERSION: u16 = 1;
+/// Record marker byte.
+const RECORD_MARKER: u8 = 0xCA;
+/// Upper bound on a record payload, checked before allocating.
+pub const MAX_RECORD_BYTES: usize = 1 << 24;
+/// Bytes in the file header (magic + version + CRC).
+pub const HEADER_BYTES: usize = 10;
+
+/// One race observed in one analyzed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceObservation {
+    /// The execution-independent identity.
+    pub key: RaceKey,
+    /// `true` if the race sits in a first partition of its execution
+    /// (Theorem 4.1: the races the evidence fully supports).
+    pub first_partition: bool,
+}
+
+/// One committed unit of catalog knowledge: the analysis of one trace.
+///
+/// Records are content-addressed by `digest` (the token form of
+/// `wmrd_trace::TraceDigest`); the catalog never journals the same
+/// digest twice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// The trace's content identity (16-hex-digit digest token).
+    pub digest: String,
+    /// Program name, when the trace metadata carried one.
+    pub program: Option<String>,
+    /// Memory model label, when the trace metadata carried one.
+    pub model: Option<String>,
+    /// Scheduler seed, when the trace metadata carried one.
+    pub seed: Option<u64>,
+    /// Events in the trace, summed over processors.
+    pub events: u64,
+    /// The trace's deduplicated race identities, in `RaceKey` order.
+    pub races: Vec<RaceObservation>,
+}
+
+/// What journal decoding recovered, mirroring the shape of the trace
+/// layer's `Salvage`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSalvage {
+    /// Records recovered (the longest valid prefix).
+    pub records: usize,
+    /// Bytes of the file the recovered prefix occupies (header
+    /// included).
+    pub bytes_used: usize,
+    /// Total bytes presented for decoding.
+    pub bytes_total: usize,
+    /// `true` iff every byte decoded cleanly.
+    pub complete: bool,
+    /// Why decoding stopped, when it stopped early.
+    pub failure: Option<String>,
+}
+
+/// Encodes the journal file header.
+pub fn encode_header() -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES);
+    out.extend_from_slice(&JOURNAL_MAGIC);
+    out.extend_from_slice(&JOURNAL_VERSION.to_be_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Appends one framed record to `out`.
+///
+/// # Errors
+///
+/// Returns [`CatalogError::Record`] if the record fails to serialize
+/// or exceeds [`MAX_RECORD_BYTES`].
+pub fn encode_record(out: &mut Vec<u8>, record: &JournalRecord) -> Result<(), CatalogError> {
+    let payload = serde_json::to_vec(record)
+        .map_err(|e| CatalogError::Record(format!("unencodable record: {e}")))?;
+    if payload.len() > MAX_RECORD_BYTES {
+        return Err(CatalogError::Record(format!(
+            "record payload of {} bytes exceeds the {MAX_RECORD_BYTES}-byte bound",
+            payload.len()
+        )));
+    }
+    let start = out.len();
+    out.push(RECORD_MARKER);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+    Ok(())
+}
+
+/// Encodes a whole journal (header plus `records`) into one buffer.
+///
+/// # Errors
+///
+/// Returns [`CatalogError::Record`] if any record fails to encode.
+pub fn encode(records: &[JournalRecord]) -> Result<Vec<u8>, CatalogError> {
+    let mut out = encode_header();
+    for record in records {
+        encode_record(&mut out, record)?;
+    }
+    Ok(out)
+}
+
+/// Decodes a journal, salvaging through tail damage.
+///
+/// Returns the longest valid record prefix plus a [`JournalSalvage`]
+/// describing how far decoding reached. Damage *after* the header is
+/// never an error — that is the salvage contract — but a file too
+/// short or too corrupt to even carry its header is unusable.
+///
+/// # Errors
+///
+/// Returns [`CatalogError::Corrupt`] when the header is missing,
+/// carries the wrong magic or version, or fails its CRC.
+pub fn decode(data: &[u8]) -> Result<(Vec<JournalRecord>, JournalSalvage), CatalogError> {
+    if data.len() < HEADER_BYTES {
+        return Err(CatalogError::Corrupt {
+            offset: data.len(),
+            reason: format!("journal header truncated at {} of {HEADER_BYTES} bytes", data.len()),
+        });
+    }
+    if data[..4] != JOURNAL_MAGIC {
+        return Err(CatalogError::Corrupt {
+            offset: 0,
+            reason: format!("bad journal magic {:02x?}", &data[..4]),
+        });
+    }
+    let version = u16::from_be_bytes([data[4], data[5]]);
+    if version != JOURNAL_VERSION {
+        return Err(CatalogError::Corrupt {
+            offset: 4,
+            reason: format!("unsupported journal version {version}"),
+        });
+    }
+    let stored = u32::from_be_bytes([data[6], data[7], data[8], data[9]]);
+    if stored != crc32(&data[..6]) {
+        return Err(CatalogError::Corrupt {
+            offset: 6,
+            reason: "journal header CRC mismatch".into(),
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_BYTES;
+    let mut failure = None;
+    while pos < data.len() {
+        match decode_record(data, pos) {
+            Ok((record, next)) => {
+                records.push(record);
+                pos = next;
+            }
+            Err(reason) => {
+                failure = Some(reason);
+                break;
+            }
+        }
+    }
+    let salvage = JournalSalvage {
+        records: records.len(),
+        bytes_used: pos,
+        bytes_total: data.len(),
+        complete: failure.is_none(),
+        failure,
+    };
+    Ok((records, salvage))
+}
+
+/// Decodes one record starting at `pos`; on success returns the record
+/// and the offset just past its frame. Any failure is a salvage stop,
+/// described by the returned reason string.
+fn decode_record(data: &[u8], pos: usize) -> Result<(JournalRecord, usize), String> {
+    let fail = |off: usize, what: &str| format!("offset {off}: {what}");
+    if data[pos] != RECORD_MARKER {
+        return Err(fail(pos, &format!("bad record marker 0x{:02x}", data[pos])));
+    }
+    let len_end = pos + 5;
+    if len_end > data.len() {
+        return Err(fail(pos, "record length truncated"));
+    }
+    let len =
+        u32::from_be_bytes([data[pos + 1], data[pos + 2], data[pos + 3], data[pos + 4]]) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(fail(pos + 1, &format!("record length {len} exceeds the bound")));
+    }
+    let crc_end = len_end + len + 4;
+    if crc_end > data.len() {
+        return Err(fail(pos, "record payload truncated"));
+    }
+    let stored = u32::from_be_bytes([
+        data[crc_end - 4],
+        data[crc_end - 3],
+        data[crc_end - 2],
+        data[crc_end - 1],
+    ]);
+    if stored != crc32(&data[pos..crc_end - 4]) {
+        return Err(fail(pos, "record CRC mismatch"));
+    }
+    let record: JournalRecord = serde_json::from_slice(&data[len_end..len_end + len])
+        .map_err(|e| fail(len_end, &format!("record payload undecodable: {e}")))?;
+    Ok((record, crc_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_core::SideKey;
+    use wmrd_trace::{AccessKind, Location, ProcId};
+
+    fn record(n: u64) -> JournalRecord {
+        let a = SideKey { proc: ProcId::new(0), kind: AccessKind::Write, sync: false };
+        let b = SideKey { proc: ProcId::new(1), kind: AccessKind::Read, sync: false };
+        JournalRecord {
+            digest: format!("{n:016x}"),
+            program: Some("fig1a".into()),
+            model: Some("wo".into()),
+            seed: Some(n),
+            events: 10 + n,
+            races: vec![RaceObservation {
+                key: RaceKey::new(Location::new(n as u32), a, b),
+                first_partition: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let records: Vec<_> = (0..5).map(record).collect();
+        let bytes = encode(&records).unwrap();
+        let (back, salvage) = decode(&bytes).unwrap();
+        assert_eq!(back, records);
+        assert!(salvage.complete);
+        assert_eq!(salvage.records, 5);
+        assert_eq!(salvage.bytes_used, bytes.len());
+    }
+
+    #[test]
+    fn empty_journal_is_a_valid_header() {
+        let (records, salvage) = decode(&encode_header()).unwrap();
+        assert!(records.is_empty());
+        assert!(salvage.complete);
+    }
+
+    #[test]
+    fn truncation_salvages_the_committed_prefix() {
+        let records: Vec<_> = (0..4).map(record).collect();
+        let bytes = encode(&records).unwrap();
+        // Cut mid-way through the last record: the first three frames
+        // are committed and must all survive.
+        let cut = bytes.len() - 7;
+        let (back, salvage) = decode(&bytes[..cut]).unwrap();
+        assert_eq!(back, records[..3]);
+        assert!(!salvage.complete);
+        assert!(salvage.failure.unwrap().contains("truncated"));
+    }
+
+    #[test]
+    fn bit_flip_salvages_the_prefix_before_the_damage() {
+        let records: Vec<_> = (0..3).map(record).collect();
+        let mut bytes = encode(&records).unwrap();
+        let r0_end = encode(&records[..1]).unwrap().len();
+        bytes[r0_end + 9] ^= 0x40; // inside record 1's frame
+        let (back, salvage) = decode(&bytes).unwrap();
+        assert_eq!(back, records[..1], "only the record before the flip survives");
+        assert!(!salvage.complete);
+        assert_eq!(salvage.bytes_used, r0_end);
+    }
+
+    #[test]
+    fn header_damage_is_fatal_not_salvageable() {
+        assert!(matches!(decode(b"WMR"), Err(CatalogError::Corrupt { .. })));
+        let mut bytes = encode_header();
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CatalogError::Corrupt { .. })));
+        let mut bytes = encode_header();
+        bytes[6] ^= 1;
+        assert!(matches!(decode(&bytes), Err(CatalogError::Corrupt { .. })));
+        let mut bytes = encode_header();
+        bytes[5] = 9; // version 9 — a future format, refuse to guess
+        bytes.truncate(6);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode(&bytes), Err(CatalogError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_length_is_a_salvage_stop() {
+        let mut bytes = encode(&[record(0)]).unwrap();
+        let good = bytes.clone();
+        bytes.push(RECORD_MARKER);
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        let (back, salvage) = decode(&bytes).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(salvage.bytes_used, good.len());
+        assert!(salvage.failure.unwrap().contains("exceeds the bound"));
+    }
+}

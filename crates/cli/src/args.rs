@@ -104,6 +104,9 @@ pub struct ExploreOpts {
     pub always_analyze: bool,
     /// Replay this seed in full detail instead of running a campaign.
     pub repro: Option<u64>,
+    /// Stream every racy trace to a running `wmrd serve` daemon at
+    /// this endpoint (`<addr|unix:path>`).
+    pub sink: Option<String>,
     /// Fault-plan syntax (see `wmrd_faults::FaultPlan::parse`)
     /// injecting worker panics into the campaign.
     pub inject: Option<String>,
@@ -113,6 +116,41 @@ pub struct ExploreOpts {
     pub metrics_out: Option<String>,
     /// Print a human-readable metrics summary.
     pub stats: bool,
+}
+
+/// Options for `wmrd serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Listen endpoint (`<addr|unix:path>`).
+    pub listen: String,
+    /// Journal path for a durable catalog; `None` keeps it in memory.
+    pub catalog: Option<String>,
+    /// Analysis worker threads.
+    pub workers: usize,
+    /// Pending-analysis queue capacity (the backpressure bound).
+    pub queue_cap: usize,
+    /// Pairing policy for server-side analysis.
+    pub pairing: PairingPolicy,
+}
+
+/// Options for `wmrd submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOpts {
+    /// Daemon endpoint (`<addr|unix:path>`).
+    pub to: String,
+    /// Trace files (binary or JSON) to submit, in order.
+    pub files: Vec<String>,
+}
+
+/// Options for `wmrd query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOpts {
+    /// Daemon endpoint (`<addr|unix:path>`).
+    pub to: String,
+    /// Query spec (`races`, `traces`, `key=…`, `program=…`, `model=…`,
+    /// `since=…`) or a daemon control word (`stats`, `ping`, `compact`,
+    /// `shutdown`).
+    pub spec: String,
 }
 
 /// A parsed invocation.
@@ -137,6 +175,12 @@ pub enum Command {
     Check(CheckOpts),
     /// Hunt races across many seeded executions in parallel.
     Explore(ExploreOpts),
+    /// Run the race-analysis daemon over a persistent catalog.
+    Serve(ServeOpts),
+    /// Submit recorded traces to a running daemon.
+    Submit(SubmitOpts),
+    /// Query a running daemon's catalog.
+    Query(QueryOpts),
     /// The Figure 2/3 walkthrough.
     Demo,
     /// Print usage.
@@ -366,6 +410,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 pairing: PairingPolicy::ByRole,
                 always_analyze: false,
                 repro: None,
+                sink: None,
                 inject: None,
                 report_out: None,
                 metrics_out: None,
@@ -410,6 +455,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 CliError::Usage("--repro wants a seed integer".into())
                             })?)
                     }
+                    "--sink" => opts.sink = Some(cur.value_for(flag)?.to_string()),
                     "--inject" => opts.inject = Some(cur.value_for(flag)?.to_string()),
                     "--report" => opts.report_out = Some(cur.value_for(flag)?.to_string()),
                     "--metrics" => opts.metrics_out = Some(cur.value_for(flag)?.to_string()),
@@ -420,6 +466,87 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Explore(opts))
+        }
+        "serve" => {
+            let mut opts = ServeOpts {
+                listen: String::new(),
+                catalog: None,
+                workers: 2,
+                queue_cap: 64,
+                pairing: PairingPolicy::ByRole,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--listen" => opts.listen = cur.value_for(flag)?.to_string(),
+                    "--catalog" => opts.catalog = Some(cur.value_for(flag)?.to_string()),
+                    "--workers" => {
+                        opts.workers = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--workers wants an integer".into()))?
+                    }
+                    "--queue-cap" => {
+                        opts.queue_cap = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--queue-cap wants an integer".into()))?
+                    }
+                    "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for serve")))
+                    }
+                }
+            }
+            if opts.listen.is_empty() {
+                return Err(CliError::Usage("serve requires --listen <addr|unix:path>".into()));
+            }
+            Ok(Command::Serve(opts))
+        }
+        "submit" => {
+            let mut to = None;
+            let mut files = Vec::new();
+            while let Some(arg) = cur.next() {
+                match arg {
+                    "--to" => to = Some(cur.value_for(arg)?.to_string()),
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}` for submit")))
+                    }
+                    file => files.push(file.to_string()),
+                }
+            }
+            let Some(to) = to else {
+                return Err(CliError::Usage("submit requires --to <addr|unix:path>".into()));
+            };
+            if files.is_empty() {
+                return Err(CliError::Usage("submit wants at least one trace file".into()));
+            }
+            Ok(Command::Submit(SubmitOpts { to, files }))
+        }
+        "query" => {
+            let mut to = None;
+            let mut spec = None;
+            while let Some(arg) = cur.next() {
+                match arg {
+                    "--to" => to = Some(cur.value_for(arg)?.to_string()),
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}` for query")))
+                    }
+                    s if spec.is_none() => spec = Some(s.to_string()),
+                    extra => {
+                        return Err(CliError::Usage(format!("unexpected query argument `{extra}`")))
+                    }
+                }
+            }
+            let Some(to) = to else {
+                return Err(CliError::Usage("query requires --to <addr|unix:path>".into()));
+            };
+            let Some(spec) = spec else {
+                return Err(CliError::Usage(
+                    "query wants a spec (races|traces|key=…|program=…|model=…|since=…|stats|ping|compact|shutdown)"
+                        .into(),
+                ));
+            };
+            Ok(Command::Query(QueryOpts { to, spec }))
         }
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `wmrd help`)"))),
     }
@@ -469,11 +596,26 @@ USAGE:
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --always-analyze                   post-mortem every execution, not just hits
       --repro <seed>                     replay one seed in full detail
+      --sink <addr|unix:path>            stream racy traces to a running daemon
       --inject <plan>                    inject deterministic worker faults
                                          (fault-plan syntax: seed=N;panics=N;panic@I)
       --report <file>                    write the campaign report (JSON)
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
+  wmrd serve [flags]                   race-analysis daemon over a persistent catalog
+      --listen <addr|unix:path>          listen endpoint (required)
+      --catalog <file>                   journaled catalog path (default: in-memory)
+      --workers <n>                      analysis threads (default 2)
+      --queue-cap <n>                    pending-analysis bound; beyond it
+                                         submissions get a typed BUSY (default 64)
+      --pairing by-role|all-sync         so1 pairing policy (default by-role)
+  wmrd submit --to <addr|unix:path> <trace>...
+                                       submit recorded traces for analysis
+  wmrd query --to <addr|unix:path> <spec>
+                                       query the daemon's catalog; specs:
+                                         races | traces | key=<addr>:P<a><R|W>[s]:P<b><R|W>[s]
+                                         program=<name> | model=<name> | since=<digest>
+                                         and control words stats|ping|compact|shutdown
   wmrd demo                            the paper's Figure 2/3 walkthrough
 
 Metrics reports follow the schema documented in OBSERVABILITY.md.
@@ -634,6 +776,66 @@ mod tests {
         assert!(matches!(parse(&argv("explore x --seeds 9..2")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("explore x --seeds 0")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("explore x --seeds a..b")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse(&argv(
+            "serve --listen unix:/tmp/wmrd.sock --catalog cat.journal --workers 4 \
+             --queue-cap 128 --pairing all-sync",
+        ))
+        .unwrap();
+        let Command::Serve(opts) = cmd else { panic!("expected serve") };
+        assert_eq!(opts.listen, "unix:/tmp/wmrd.sock");
+        assert_eq!(opts.catalog.as_deref(), Some("cat.journal"));
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.queue_cap, 128);
+        assert_eq!(opts.pairing, PairingPolicy::AllSync);
+
+        let Command::Serve(opts) = parse(&argv("serve --listen 127.0.0.1:0")).unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue_cap, 64);
+        assert!(opts.catalog.is_none());
+    }
+
+    #[test]
+    fn parses_submit_and_query() {
+        let Command::Submit(opts) =
+            parse(&argv("submit --to 127.0.0.1:7919 a.bin b.json")).unwrap()
+        else {
+            panic!("expected submit")
+        };
+        assert_eq!(opts.to, "127.0.0.1:7919");
+        assert_eq!(opts.files, vec!["a.bin".to_string(), "b.json".to_string()]);
+
+        let Command::Query(opts) = parse(&argv("query --to unix:/tmp/w.sock races")).unwrap()
+        else {
+            panic!("expected query")
+        };
+        assert_eq!(opts.to, "unix:/tmp/w.sock");
+        assert_eq!(opts.spec, "races");
+    }
+
+    #[test]
+    fn explore_sink_flag() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a --sink unix:/tmp/w.sock")).unwrap()
+        else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.sink.as_deref(), Some("unix:/tmp/w.sock"));
+    }
+
+    #[test]
+    fn serve_family_rejects_bad_input() {
+        assert!(matches!(parse(&argv("serve")), Err(CliError::Usage(_))), "listen is required");
+        assert!(matches!(parse(&argv("serve --workers four")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("serve --listen :0 --bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("submit a.bin")), Err(CliError::Usage(_))), "--to required");
+        assert!(matches!(parse(&argv("submit --to x:1")), Err(CliError::Usage(_))), "no files");
+        assert!(matches!(parse(&argv("query --to x:1")), Err(CliError::Usage(_))), "no spec");
+        assert!(matches!(parse(&argv("query --to x:1 races extra")), Err(CliError::Usage(_))));
     }
 
     #[test]

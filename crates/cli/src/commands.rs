@@ -4,9 +4,12 @@
 use std::fmt::Write as _;
 
 use wmrd_core::{render, PairingPolicy, PostMortem, SalvageAnalysis};
-use wmrd_explore::{run_campaign, CampaignSpec, ExecSpec, PostMortemPolicy};
+use wmrd_explore::{
+    run_campaign, run_campaign_observed, CampaignObserver, CampaignSpec, ExecSpec, PostMortemPolicy,
+};
 use wmrd_faults::FaultPlan;
 use wmrd_progs::catalog;
+use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, Server};
 use wmrd_sim::{
     run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
     WeakScript,
@@ -15,7 +18,10 @@ use wmrd_trace::{Metrics, MultiSink, OpRecorder, TraceBuilder, TraceSet};
 use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
-use crate::args::{parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, RunOpts, USAGE};
+use crate::args::{
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, QueryOpts, RunOpts, ServeOpts, SubmitOpts,
+    USAGE,
+};
 use crate::CliError;
 
 fn file_err(path: &str) -> impl FnOnce(std::io::Error) -> CliError + '_ {
@@ -71,6 +77,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Analyze(opts) => cmd_analyze(&opts),
         Command::Check(opts) => cmd_check(&opts),
         Command::Explore(opts) => cmd_explore(&opts),
+        Command::Serve(opts) => cmd_serve(&opts),
+        Command::Submit(opts) => cmd_submit(&opts),
+        Command::Query(opts) => cmd_query(&opts),
         Command::Demo => cmd_demo(),
     }
 }
@@ -444,9 +453,16 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     } else {
         opts.jobs
     };
-    let report = run_campaign(&program, &spec, jobs, &metrics)?;
+    let sink = opts.sink.as_deref().map(SinkObserver::connect).transpose()?;
+    let report = match &sink {
+        Some(observer) => run_campaign_observed(&program, &spec, jobs, &metrics, observer)?,
+        None => run_campaign(&program, &spec, jobs, &metrics)?,
+    };
     report.record_into(&metrics);
     let mut out = report.render();
+    if let Some(observer) = &sink {
+        let _ = writeln!(out, "{}", observer.summary());
+    }
     if !report.is_race_free() {
         let _ = writeln!(
             out,
@@ -460,6 +476,118 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     }
     emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     Ok(out)
+}
+
+/// Streams a campaign's racy traces to a `wmrd serve` daemon.
+///
+/// Each submission opens its own connection — worker threads call the
+/// observer concurrently, and per-trace connections need no shared
+/// client lock. Failures (including `BUSY` refusals) are counted, not
+/// fatal: losing a sink submission never loses the campaign report,
+/// and the daemon's digest dedup makes resubmitting a later campaign
+/// cheap.
+struct SinkObserver {
+    endpoint: Endpoint,
+    submitted: std::sync::atomic::AtomicU64,
+    refused: std::sync::atomic::AtomicU64,
+    failed: std::sync::atomic::AtomicU64,
+}
+
+impl SinkObserver {
+    /// Parses the endpoint and verifies the daemon answers a `PING`, so
+    /// a dead sink fails the invocation before any simulation runs.
+    fn connect(spec: &str) -> Result<Self, CliError> {
+        let endpoint = Endpoint::parse(spec)?;
+        let mut probe = Client::connect(&endpoint)?;
+        probe.ping()?.into_text()?;
+        Ok(SinkObserver { endpoint, submitted: 0.into(), refused: 0.into(), failed: 0.into() })
+    }
+
+    fn summary(&self) -> String {
+        use std::sync::atomic::Ordering::Relaxed;
+        format!(
+            "sink {}: {} trace(s) submitted, {} refused busy, {} failed",
+            self.endpoint,
+            self.submitted.load(Relaxed),
+            self.refused.load(Relaxed),
+            self.failed.load(Relaxed)
+        )
+    }
+}
+
+impl CampaignObserver for SinkObserver {
+    fn racy_execution(&self, _exec: &ExecSpec, trace: &TraceSet) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let bytes = trace.to_binary();
+        let reply = Client::connect(&self.endpoint).and_then(|mut c| c.submit(&bytes));
+        match reply {
+            Ok(Reply::Ok(_)) => self.submitted.fetch_add(1, Relaxed),
+            Ok(Reply::Busy(_)) => self.refused.fetch_add(1, Relaxed),
+            Ok(Reply::Err { .. }) | Err(_) => self.failed.fetch_add(1, Relaxed),
+        };
+    }
+}
+
+fn cmd_serve(opts: &ServeOpts) -> Result<String, CliError> {
+    let endpoint = Endpoint::parse(&opts.listen)?;
+    let config = ServeConfig {
+        workers: opts.workers,
+        queue_cap: opts.queue_cap,
+        catalog: opts.catalog.as_ref().map(std::path::PathBuf::from),
+        pairing: opts.pairing,
+    };
+    let server = Server::bind(&endpoint, config)?;
+    // The readiness banner goes out immediately — scripts wait on it —
+    // while the command's return value is the post-drain summary.
+    println!(
+        "wmrd-serve listening on {} ({} workers, queue cap {}, catalog: {})",
+        server.endpoint(),
+        opts.workers,
+        opts.queue_cap,
+        opts.catalog.as_deref().unwrap_or("in-memory")
+    );
+    let summary = server.run()?;
+    Ok(format!("{summary}\n"))
+}
+
+fn cmd_submit(opts: &SubmitOpts) -> Result<String, CliError> {
+    let endpoint = Endpoint::parse(&opts.to)?;
+    let mut client = Client::connect(&endpoint)?;
+    let mut out = String::new();
+    let mut rejected = 0u64;
+    for path in &opts.files {
+        let bytes = std::fs::read(path).map_err(file_err(path))?;
+        match client.submit(&bytes)? {
+            Reply::Ok(payload) => {
+                let _ = writeln!(out, "{path}: {}", String::from_utf8_lossy(&payload).trim_end());
+            }
+            Reply::Busy(message) => {
+                rejected += 1;
+                let _ = writeln!(out, "{path}: BUSY ({message})");
+            }
+            Reply::Err { code, message } => {
+                rejected += 1;
+                let _ = writeln!(out, "{path}: REJECTED ({}: {message})", code.as_str());
+            }
+        }
+    }
+    if rejected > 0 {
+        let _ = writeln!(out, "{rejected} of {} submission(s) not ingested", opts.files.len());
+    }
+    Ok(out)
+}
+
+fn cmd_query(opts: &QueryOpts) -> Result<String, CliError> {
+    let endpoint = Endpoint::parse(&opts.to)?;
+    let mut client = Client::connect(&endpoint)?;
+    let reply = match opts.spec.as_str() {
+        "stats" => client.stats()?,
+        "ping" => client.ping()?,
+        "compact" => client.compact()?,
+        "shutdown" => client.shutdown()?,
+        spec => client.query(spec)?,
+    };
+    Ok(reply.into_text()?)
 }
 
 fn cmd_demo() -> Result<String, CliError> {
@@ -774,6 +902,70 @@ mod tests {
         assert!(out.contains("2 contained failure(s):"), "{out}");
         assert!(out.contains("injected fault"), "{out}");
         assert!(out.contains("campaign: fig1a (8 points)"), "{out}");
+    }
+
+    #[test]
+    fn submit_and_query_against_a_live_daemon() {
+        let server =
+            Server::bind(&Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let path = tmp("served.bin");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {path} --binary"))).unwrap();
+        let first = run_cli(&argv(&format!("submit --to {addr} {path}"))).unwrap();
+        assert!(first.contains("ingested"), "{first}");
+        let again = run_cli(&argv(&format!("submit --to {addr} {path}"))).unwrap();
+        assert!(again.contains("duplicate"), "digest dedup:\n{again}");
+
+        let races = run_cli(&argv(&format!("query --to {addr} races"))).unwrap();
+        assert!(races.contains("hits="), "{races}");
+        let traces = run_cli(&argv(&format!("query --to {addr} traces"))).unwrap();
+        assert!(traces.contains("program=fig1a"), "{traces}");
+        assert_eq!(run_cli(&argv(&format!("query --to {addr} ping"))).unwrap(), "pong\n");
+
+        // Garbage is rejected with a typed error, not a crash.
+        let junk = tmp("junk.bin");
+        std::fs::write(&junk, b"\xff\xfe not a trace").unwrap();
+        let out = run_cli(&argv(&format!("submit --to {addr} {junk}"))).unwrap();
+        assert!(out.contains("REJECTED (decode:"), "{out}");
+        assert_eq!(run_cli(&argv(&format!("query --to {addr} ping"))).unwrap(), "pong\n");
+
+        let bye = run_cli(&argv(&format!("query --to {addr} shutdown"))).unwrap();
+        assert_eq!(bye, "draining\n");
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.ingested, 1);
+        assert_eq!(summary.deduped, 1);
+        assert_eq!(summary.rejected, 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&junk).ok();
+    }
+
+    #[test]
+    fn explore_sink_streams_racy_traces() {
+        let server =
+            Server::bind(&Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let plain = run_cli(&argv("explore fig1a --seeds 0..8 --jobs 2")).unwrap();
+        let sunk =
+            run_cli(&argv(&format!("explore fig1a --seeds 0..8 --jobs 2 --sink {addr}"))).unwrap();
+        assert!(sunk.contains("sink "), "{sunk}");
+        assert!(sunk.contains("submitted"), "{sunk}");
+        // The report itself is unchanged by the sink.
+        let report_part = sunk.split("sink ").next().unwrap();
+        assert_eq!(report_part, plain.split("reproduce a finding").next().unwrap());
+
+        let races = run_cli(&argv(&format!("query --to {addr} races"))).unwrap();
+        assert!(races.contains("hits="), "the daemon saw the findings:\n{races}");
+        run_cli(&argv(&format!("query --to {addr} shutdown"))).unwrap();
+        let summary = daemon.join().unwrap();
+        assert!(summary.ingested >= 1, "{summary}");
+
+        // A dead sink fails fast, before simulating anything.
+        let err = run_cli(&argv(&format!("explore fig1a --seeds 0..4 --sink {addr}")));
+        assert!(err.is_err(), "sink gone, invocation must fail");
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub enum CliError {
     },
     /// JSON (de)serialization failed.
     Json(serde_json::Error),
+    /// The serve layer (daemon, client, or endpoint) failed.
+    Serve(wmrd_serve::ServeError),
+    /// The race catalog refused an operation.
+    Catalog(wmrd_catalog::CatalogError),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +51,8 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::File { path, source } => write!(f, "{path}: {source}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Serve(e) => write!(f, "serve error: {e}"),
+            CliError::Catalog(e) => write!(f, "catalog error: {e}"),
         }
     }
 }
@@ -62,6 +68,8 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::File { source, .. } => Some(source),
             CliError::Json(e) => Some(e),
+            CliError::Serve(e) => Some(e),
+            CliError::Catalog(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +114,18 @@ impl From<std::io::Error> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError::Json(e)
+    }
+}
+
+impl From<wmrd_serve::ServeError> for CliError {
+    fn from(e: wmrd_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
+impl From<wmrd_catalog::CatalogError> for CliError {
+    fn from(e: wmrd_catalog::CatalogError) -> Self {
+        CliError::Catalog(e)
     }
 }
 

@@ -12,6 +12,9 @@
 //! wmrd run fig1a --model wo --seed 3 --trace t.json
 //! wmrd analyze t.json --timeline --dot g.dot
 //! wmrd check producer-consumer --model rcsc --seeds 8
+//! wmrd serve --listen unix:/tmp/wmrd.sock --catalog races.journal &
+//! wmrd submit --to unix:/tmp/wmrd.sock t.json   # analyze into the catalog
+//! wmrd query --to unix:/tmp/wmrd.sock races     # the deduplicated race table
 //! wmrd demo                                     # the Figure 2/3 story
 //! ```
 //!
@@ -26,6 +29,8 @@ mod args;
 mod commands;
 mod error;
 
-pub use args::{parse, AnalyzeOpts, CheckOpts, Command, RunOpts};
+pub use args::{
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, QueryOpts, RunOpts, ServeOpts, SubmitOpts,
+};
 pub use commands::run_cli;
 pub use error::CliError;

@@ -38,6 +38,7 @@ use wmrd_sim::{
 };
 use wmrd_trace::{metric_keys, Metrics, MultiSink, TraceBuilder, TraceSet};
 
+use crate::observe::{CampaignObserver, NoObserver};
 use crate::report::{CampaignReport, ExecFailure, RaceFinding};
 use crate::spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
 use crate::ExploreError;
@@ -98,6 +99,27 @@ pub fn run_campaign(
     jobs: usize,
     metrics: &Metrics,
 ) -> Result<CampaignReport, ExploreError> {
+    run_campaign_observed(program, spec, jobs, metrics, &NoObserver)
+}
+
+/// [`run_campaign`], with a side-channel [`CampaignObserver`] that sees
+/// every racy execution's trace as it is confirmed.
+///
+/// The observer cannot change the report: it is invoked after a point's
+/// outcome is fully computed, and the fold never consults it. This is
+/// how `wmrd explore --sink` streams findings to a `wmrd serve` daemon
+/// without giving up report determinism.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_observed(
+    program: &Program,
+    spec: &CampaignSpec,
+    jobs: usize,
+    metrics: &Metrics,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignReport, ExploreError> {
     spec.validate()?;
     program.validate()?;
     let points = spec.points();
@@ -131,7 +153,7 @@ pub fn run_campaign(
                             if faults.panics_at(i) {
                                 panic!("injected fault: worker panic at point {i}");
                             }
-                            run_point(&program, point, spec, &mut runners)
+                            run_point(&program, point, spec, &mut runners, observer)
                         }));
                         let outcome = match result {
                             Ok(Ok(outcome)) => Ok(outcome),
@@ -177,6 +199,7 @@ fn run_point(
     point: &CampaignPoint,
     spec: &CampaignSpec,
     runners: &mut Vec<((HwImpl, MemoryModel), CampaignRunner)>,
+    observer: &dyn CampaignObserver,
 ) -> Result<PointOutcome, ExploreError> {
     let exec = point.exec;
     let key = (exec.hw, exec.model);
@@ -217,7 +240,12 @@ fn run_point(
         Err(SimError::StepLimit(_)) | Err(SimError::CycleLimit(_)) => (true, 0, 0),
         Err(e) => return Err(e.into()),
     };
-    let trace = builder.finish();
+    let mut trace = builder.finish();
+    // Stamp provenance so the trace (and its digest) is
+    // self-describing when it leaves the campaign via an observer.
+    trace.meta.program = Some(program.name().to_string());
+    trace.meta.model = Some(exec.model.to_string());
+    trace.meta.seed = Some(exec.seed);
     if budget_hit {
         // No settled memory for a budget-stopped run; fingerprint the
         // partial trace's shape instead, tagged so it never collides
@@ -245,6 +273,9 @@ fn run_point(
     } else {
         (false, BTreeSet::new(), Vec::new(), false)
     };
+    if racy {
+        observer.racy_execution(&exec, &trace);
+    }
 
     Ok(PointOutcome { exec, budget_hit, steps, final_state, racy, postmortem, keys, first_profile })
 }

@@ -51,11 +51,13 @@
 
 mod engine;
 mod error;
+mod observe;
 mod report;
 mod spec;
 
-pub use engine::{replay, run_campaign, Replay};
+pub use engine::{replay, run_campaign, run_campaign_observed, Replay};
 pub use error::ExploreError;
+pub use observe::{CampaignObserver, CollectingObserver, NoObserver};
 pub use report::{CampaignReport, CoverageRow, ExecFailure, RaceFinding};
 pub use spec::{CampaignPoint, CampaignSpec, ExecSpec, PostMortemPolicy};
 
@@ -228,6 +230,26 @@ mod tests {
         assert_eq!(r.counter("faults.worker_panics"), Some(2));
         assert_eq!(r.counter("faults.contained"), Some(2));
         assert_eq!(r.counter("faults.injected"), Some(2));
+    }
+
+    #[test]
+    fn observer_sees_every_racy_trace_without_changing_the_report() {
+        let prog = two_race_program();
+        let spec = CampaignSpec::new(0, 24);
+        let baseline = run_campaign(&prog, &spec, 4, &Metrics::disabled()).unwrap();
+
+        let observer = CollectingObserver::default();
+        let observed =
+            run_campaign_observed(&prog, &spec, 4, &Metrics::disabled(), &observer).unwrap();
+        assert_eq!(observed, baseline, "the observer is a pure side channel");
+
+        let traces = observer.into_traces();
+        assert_eq!(traces.len() as u64, baseline.racy_executions);
+        for (exec, trace) in &traces {
+            assert_eq!(trace.meta.program.as_deref(), Some("two-races"));
+            assert_eq!(trace.meta.model.as_deref(), Some(exec.model.to_string().as_str()));
+            assert_eq!(trace.meta.seed, Some(exec.seed));
+        }
     }
 
     #[test]

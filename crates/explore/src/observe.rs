@@ -1,0 +1,57 @@
+//! Side-channel observation of campaign executions.
+//!
+//! A campaign's deliverable is its deterministic [`CampaignReport`] —
+//! but some consumers want the racy *traces* themselves, as they are
+//! found: `wmrd explore --sink` streams them to a running `wmrd serve`
+//! daemon, which deduplicates across campaigns in its catalog. The
+//! observer is strictly a side channel: it sees each racy execution
+//! exactly once, in worker (non-deterministic) order, and nothing it
+//! does can change the report.
+//!
+//! [`CampaignReport`]: crate::report::CampaignReport
+
+use wmrd_trace::TraceSet;
+
+use crate::spec::ExecSpec;
+
+/// A hook invoked for every racy execution a campaign confirms.
+///
+/// Implementations are called concurrently from worker threads, so
+/// they must be `Sync`; invocation order is scheduling-dependent.
+/// The trace arrives with its `meta` populated (program, model, seed),
+/// so its digest is self-describing. A panicking observer is contained
+/// exactly like a panicking worker: the point is recorded as a failed
+/// execution and the sweep continues.
+pub trait CampaignObserver: Sync {
+    /// Called once per execution whose post-mortem confirmed at least
+    /// one data race.
+    fn racy_execution(&self, exec: &ExecSpec, trace: &TraceSet);
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoObserver;
+
+impl CampaignObserver for NoObserver {
+    fn racy_execution(&self, _exec: &ExecSpec, _trace: &TraceSet) {}
+}
+
+/// An observer that collects racy traces in memory — the test seam
+/// for the side channel, and a building block for batch submitters.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    traces: std::sync::Mutex<Vec<(ExecSpec, TraceSet)>>,
+}
+
+impl CollectingObserver {
+    /// Takes every collected `(exec, trace)` pair, in arrival order.
+    pub fn into_traces(self) -> Vec<(ExecSpec, TraceSet)> {
+        self.traces.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl CampaignObserver for CollectingObserver {
+    fn racy_execution(&self, exec: &ExecSpec, trace: &TraceSet) {
+        self.traces.lock().unwrap_or_else(|e| e.into_inner()).push((*exec, trace.clone()));
+    }
+}

@@ -1,0 +1,102 @@
+//! A thin synchronous client for the daemon protocol.
+//!
+//! Each method sends one request and reads one reply. Replies are
+//! returned as [`Reply`] so callers can distinguish the typed `BUSY`
+//! backpressure signal from success and failure — a submitter that
+//! wants retry-with-backoff needs that distinction, and flattening it
+//! into an error would lose it.
+
+use std::io::Write;
+
+use crate::endpoint::{Endpoint, Stream};
+use crate::protocol::{Reply, MAX_PAYLOAD_BYTES};
+use crate::ServeError;
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to the daemon at `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection fails.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, ServeError> {
+        Ok(Client { stream: Stream::connect(endpoint)? })
+    }
+
+    /// Submits encoded trace bytes (binary or JSON) for analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for oversized submissions and
+    /// [`ServeError::Io`] for transport failures. A `BUSY` or `ERR`
+    /// reply is **not** an error here — it comes back as the [`Reply`].
+    pub fn submit(&mut self, bytes: &[u8]) -> Result<Reply, ServeError> {
+        if bytes.len() > MAX_PAYLOAD_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "trace of {} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte submission bound",
+                bytes.len()
+            )));
+        }
+        self.stream.write_all(format!("SUBMIT {}\n", bytes.len()).as_bytes())?;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Reply::read_from(&mut self.stream)
+    }
+
+    /// Runs a catalog query (`races`, `traces`, `key=…`, `program=…`,
+    /// `model=…`, `since=…`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn query(&mut self, spec: &str) -> Result<Reply, ServeError> {
+        self.request_line(&format!("QUERY {spec}\n"))
+    }
+
+    /// Fetches the daemon's metrics report as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn stats(&mut self) -> Result<Reply, ServeError> {
+        self.request_line("STATS\n")
+    }
+
+    /// Asks the daemon to compact its catalog journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn compact(&mut self) -> Result<Reply, ServeError> {
+        self.request_line("COMPACT\n")
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn ping(&mut self) -> Result<Reply, ServeError> {
+        self.request_line("PING\n")
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn shutdown(&mut self) -> Result<Reply, ServeError> {
+        self.request_line("SHUTDOWN\n")
+    }
+
+    fn request_line(&mut self, line: &str) -> Result<Reply, ServeError> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.flush()?;
+        Reply::read_from(&mut self.stream)
+    }
+}

@@ -1,0 +1,249 @@
+//! Listen/connect endpoints: TCP addresses and unix-domain sockets
+//! behind one enum, so the daemon, the client, and the CLI share a
+//! single `<addr|unix:path>` syntax.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::ServeError;
+
+/// Where a daemon listens or a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address (`host:port`).
+    Tcp(String),
+    /// A unix-domain socket path (`unix:<path>`).
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `<addr|unix:path>` syntax: anything prefixed `unix:` is
+    /// a socket path, everything else a TCP address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Endpoint`] for an empty spec, or for a
+    /// unix path on a platform without unix sockets.
+    pub fn parse(spec: &str) -> Result<Self, ServeError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ServeError::Endpoint("unix: wants a socket path".into()));
+            }
+            #[cfg(unix)]
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+            #[cfg(not(unix))]
+            return Err(ServeError::Endpoint("unix sockets are not supported here".into()));
+        }
+        if spec.is_empty() {
+            return Err(ServeError::Endpoint("empty listen address".into()));
+        }
+        Ok(Endpoint::Tcp(spec.to_string()))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A bound listener (the daemon side of an [`Endpoint`]).
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `endpoint`, returning the listener plus the *resolved*
+    /// endpoint (a TCP bind to port 0 reports the assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if binding fails.
+    pub fn bind(endpoint: &Endpoint) -> Result<(Self, Endpoint), ServeError> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let resolved = Endpoint::Tcp(listener.local_addr()?.to_string());
+                Ok((Listener::Tcp(listener), resolved))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let listener = UnixListener::bind(path)?;
+                Ok((Listener::Unix(listener), endpoint.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                Err(ServeError::Endpoint("unix sockets are not supported here".into()))
+            }
+        }
+    }
+
+    /// Switches the listener between blocking and polling accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the mode change fails.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> Result<(), ServeError> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking)?,
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking)?,
+        }
+        Ok(())
+    }
+
+    /// Accepts one connection; `Ok(None)` means "nothing pending" in
+    /// nonblocking mode. Accepted streams are always blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for real accept failures.
+    pub fn accept(&self) -> Result<Option<Stream>, ServeError> {
+        let stream = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Tcp(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e.into()),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Unix(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e.into()),
+            },
+        };
+        if let Some(s) = &stream {
+            s.set_nonblocking(false)?;
+        }
+        Ok(stream)
+    }
+}
+
+/// A connected byte stream (either transport).
+#[derive(Debug)]
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to a daemon at `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection fails.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, ServeError> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr.as_str())?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                Err(ServeError::Endpoint("unix sockets are not supported here".into()))
+            }
+        }
+    }
+
+    /// Sets the read timeout (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the socket refuses the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout)?,
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout)?,
+        }
+        Ok(())
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<(), ServeError> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking)?,
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking)?,
+        }
+        Ok(())
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tcp_and_unix_specs() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7009").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7009".into())
+        );
+        #[cfg(unix)]
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/wmrd.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/wmrd.sock"))
+        );
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn endpoints_render_their_spec_syntax() {
+        assert_eq!(Endpoint::Tcp("127.0.0.1:1".into()).to_string(), "127.0.0.1:1");
+        #[cfg(unix)]
+        assert_eq!(Endpoint::Unix("/tmp/x.sock".into()).to_string(), "unix:/tmp/x.sock");
+    }
+
+    #[test]
+    fn tcp_bind_resolves_the_assigned_port() {
+        let (listener, resolved) = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let Endpoint::Tcp(addr) = &resolved else { panic!("expected tcp") };
+        assert!(!addr.ends_with(":0"), "{addr}");
+        listener.set_nonblocking(true).unwrap();
+        assert!(listener.accept().unwrap().is_none(), "no connection pending");
+    }
+}

@@ -1,0 +1,392 @@
+//! The daemon's length-prefixed line protocol.
+//!
+//! Every request is one ASCII line; `SUBMIT` is followed by exactly
+//! the announced number of body bytes. Every reply is one ASCII status
+//! line announcing a payload length, then exactly that many payload
+//! bytes — so both sides always know how much to read and the stream
+//! never desynchronizes:
+//!
+//! ```text
+//! client: SUBMIT 4096\n<4096 trace bytes>
+//! server: OK 42\ningested <digest> races=2 new=1\n
+//!
+//! client: QUERY races\n
+//! server: OK 180\n<deterministic race table>
+//!
+//! client: SUBMIT 99\n<99 bytes>      (queue full)
+//! server: BUSY 26\nanalysis queue at capacity\n
+//!
+//! client: SUBMIT 12\n<12 garbage bytes>
+//! server: ERR decode 31\n<why the trace failed to decode>\n
+//! ```
+//!
+//! Lines and payloads are bounded before allocation (the same
+//! discipline as the v2 trace decoder): a peer announcing an absurd
+//! length is a protocol error, not an allocation.
+
+use std::io::{self, Read, Write};
+
+use crate::ServeError;
+
+/// Longest accepted request/status line, in bytes.
+pub const MAX_LINE_BYTES: usize = 256;
+/// Largest accepted `SUBMIT` body or reply payload, in bytes.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 26;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Upload a trace for analysis; the body follows the line.
+    Submit {
+        /// Announced body length in bytes.
+        len: usize,
+    },
+    /// Ask the catalog a question (see `wmrd_catalog::Query`).
+    Query(String),
+    /// Fetch the `serve.*`/`catalog.*` metrics report.
+    Stats,
+    /// Rewrite the catalog journal to its live contents.
+    Compact,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] describing the malformed line.
+    pub fn parse(line: &str) -> Result<Self, ServeError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, Some(r)),
+            None => (line, None),
+        };
+        match (verb, rest) {
+            ("SUBMIT", Some(n)) => {
+                let len: usize = n
+                    .parse()
+                    .map_err(|_| ServeError::Protocol(format!("bad SUBMIT length `{n}`")))?;
+                if len > MAX_PAYLOAD_BYTES {
+                    return Err(ServeError::Protocol(format!(
+                        "SUBMIT body of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+                    )));
+                }
+                Ok(Request::Submit { len })
+            }
+            ("QUERY", Some(spec)) if !spec.trim().is_empty() => {
+                Ok(Request::Query(spec.trim().to_string()))
+            }
+            ("STATS", None) => Ok(Request::Stats),
+            ("COMPACT", None) => Ok(Request::Compact),
+            ("PING", None) => Ok(Request::Ping),
+            ("SHUTDOWN", None) => Ok(Request::Shutdown),
+            _ => Err(ServeError::Protocol(format!("unrecognized request line `{line}`"))),
+        }
+    }
+}
+
+/// Typed reply error categories, carried on the wire as the token
+/// after `ERR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request itself was malformed.
+    Proto,
+    /// The submitted bytes did not decode as a trace.
+    Decode,
+    /// The trace decoded but its analysis failed.
+    Analysis,
+    /// The query was malformed or referenced unknown state.
+    Query,
+    /// The daemon failed internally (journal I/O, worker loss).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "proto",
+            ErrorCode::Decode => "decode",
+            ErrorCode::Analysis => "analysis",
+            ErrorCode::Query => "query",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, ServeError> {
+        match token {
+            "proto" => Ok(ErrorCode::Proto),
+            "decode" => Ok(ErrorCode::Decode),
+            "analysis" => Ok(ErrorCode::Analysis),
+            "query" => Ok(ErrorCode::Query),
+            "internal" => Ok(ErrorCode::Internal),
+            other => Err(ServeError::Protocol(format!("unknown error code `{other}`"))),
+        }
+    }
+}
+
+/// A daemon reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The request succeeded; the payload is its answer.
+    Ok(Vec<u8>),
+    /// Backpressure: the analysis queue is at capacity. Typed so
+    /// clients can distinguish "try later" from failure.
+    Busy(String),
+    /// The request failed; `code` says how.
+    Err {
+        /// The failure category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The payload of an `OK` reply as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for a non-`OK` reply (with the
+    /// peer's message preserved) or a non-UTF-8 payload.
+    pub fn into_text(self) -> Result<String, ServeError> {
+        match self {
+            Reply::Ok(payload) => String::from_utf8(payload)
+                .map_err(|_| ServeError::Protocol("non-UTF-8 OK payload".into())),
+            Reply::Busy(m) => Err(ServeError::Protocol(format!("daemon busy: {m}"))),
+            Reply::Err { code, message } => {
+                Err(ServeError::Protocol(format!("daemon error ({}): {message}", code.as_str())))
+            }
+        }
+    }
+
+    /// Writes the reply (status line plus payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the write fails.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), ServeError> {
+        match self {
+            Reply::Ok(payload) => {
+                w.write_all(format!("OK {}\n", payload.len()).as_bytes())?;
+                w.write_all(payload)?;
+            }
+            Reply::Busy(message) => {
+                let mut m = message.clone().into_bytes();
+                m.push(b'\n');
+                w.write_all(format!("BUSY {}\n", m.len()).as_bytes())?;
+                w.write_all(&m)?;
+            }
+            Reply::Err { code, message } => {
+                let mut m = message.clone().into_bytes();
+                m.push(b'\n');
+                w.write_all(format!("ERR {} {}\n", code.as_str(), m.len()).as_bytes())?;
+                w.write_all(&m)?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one reply (status line plus payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for malformed or oversized
+    /// status lines and [`ServeError::Io`] for transport failures.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, ServeError> {
+        let line = match read_line(r)? {
+            LineStatus::Line(line) => line,
+            LineStatus::Eof => {
+                return Err(ServeError::Protocol("connection closed before reply".into()))
+            }
+        };
+        let mut parts = line.split(' ');
+        let status = parts.next().unwrap_or("");
+        let reply = match status {
+            "OK" => {
+                let len = payload_len(parts.next())?;
+                Reply::Ok(read_exact_bounded(r, len)?)
+            }
+            "BUSY" => {
+                let len = payload_len(parts.next())?;
+                Reply::Busy(payload_text(read_exact_bounded(r, len)?))
+            }
+            "ERR" => {
+                let code = ErrorCode::parse(parts.next().unwrap_or(""))?;
+                let len = payload_len(parts.next())?;
+                Reply::Err { code, message: payload_text(read_exact_bounded(r, len)?) }
+            }
+            other => return Err(ServeError::Protocol(format!("unknown reply status `{other}`"))),
+        };
+        if parts.next().is_some() {
+            return Err(ServeError::Protocol(format!("trailing tokens in reply line `{line}`")));
+        }
+        Ok(reply)
+    }
+}
+
+fn payload_len(token: Option<&str>) -> Result<usize, ServeError> {
+    let token = token.ok_or_else(|| ServeError::Protocol("reply line missing length".into()))?;
+    let len: usize =
+        token.parse().map_err(|_| ServeError::Protocol(format!("bad reply length `{token}`")))?;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "reply payload of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+        )));
+    }
+    Ok(len)
+}
+
+fn payload_text(bytes: Vec<u8>) -> String {
+    String::from_utf8_lossy(&bytes).trim_end_matches('\n').to_string()
+}
+
+/// What one bounded line read produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineStatus {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The peer closed the stream before any byte of a line.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, byte-at-a-time, refusing lines over
+/// [`MAX_LINE_BYTES`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] for transport failures (including read
+/// timeouts, surfaced as `WouldBlock`/`TimedOut`) and
+/// [`ServeError::Protocol`] for oversized or truncated lines.
+pub fn read_line(r: &mut impl Read) -> Result<LineStatus, ServeError> {
+    let mut line = Vec::new();
+    read_line_into(r, &mut line)
+}
+
+/// [`read_line`], but resumable: `partial` holds bytes already read,
+/// so a caller polling with a read timeout can continue the same line
+/// across timeouts without losing data.
+///
+/// # Errors
+///
+/// As [`read_line`]; on a timeout error `partial` retains the prefix.
+pub fn read_line_into(r: &mut impl Read, partial: &mut Vec<u8>) -> Result<LineStatus, ServeError> {
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if partial.is_empty() {
+                    return Ok(LineStatus::Eof);
+                }
+                return Err(ServeError::Protocol("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    let line = String::from_utf8_lossy(partial).trim_end_matches('\r').to_string();
+                    partial.clear();
+                    return Ok(LineStatus::Line(line));
+                }
+                if partial.len() >= MAX_LINE_BYTES {
+                    return Err(ServeError::Protocol(format!(
+                        "request line exceeds the {MAX_LINE_BYTES}-byte bound"
+                    )));
+                }
+                partial.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads exactly `len` bytes, which the caller has already bounded.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] if the peer hangs up or stalls first.
+pub fn read_exact_bounded(r: &mut impl Read, len: usize) -> Result<Vec<u8>, ServeError> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(Request::parse("SUBMIT 128\n").unwrap(), Request::Submit { len: 128 });
+        assert_eq!(Request::parse("QUERY races").unwrap(), Request::Query("races".into()));
+        assert_eq!(
+            Request::parse("QUERY since=0123456789abcdef").unwrap(),
+            Request::Query("since=0123456789abcdef".into())
+        );
+        assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("COMPACT").unwrap(), Request::Compact);
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in
+            ["", "SUBMIT", "SUBMIT x", "SUBMIT -1", "QUERY ", "NOPE", "PING extra", "submit 8"]
+        {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+        let oversized = format!("SUBMIT {}", MAX_PAYLOAD_BYTES + 1);
+        assert!(Request::parse(&oversized).is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Ok(b"hello\n".to_vec()),
+            Reply::Ok(Vec::new()),
+            Reply::Busy("analysis queue at capacity".into()),
+            Reply::Err { code: ErrorCode::Decode, message: "bad magic".into() },
+        ];
+        for reply in replies {
+            let mut wire = Vec::new();
+            reply.write_to(&mut wire).unwrap();
+            let back = Reply::read_from(&mut wire.as_slice()).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn reply_reader_rejects_garbage() {
+        assert!(Reply::read_from(&mut &b"WAT 3\nabc"[..]).is_err());
+        assert!(Reply::read_from(&mut &b"OK x\n"[..]).is_err());
+        assert!(Reply::read_from(&mut &b"ERR weird 2\nxx"[..]).is_err());
+        assert!(Reply::read_from(&mut &b""[..]).is_err());
+        let oversized = format!("OK {}\n", MAX_PAYLOAD_BYTES + 1);
+        assert!(Reply::read_from(&mut oversized.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn line_reader_bounds_and_resumes() {
+        let mut long = vec![b'a'; MAX_LINE_BYTES + 1];
+        long.push(b'\n');
+        assert!(read_line(&mut long.as_slice()).is_err());
+
+        assert_eq!(read_line(&mut &b""[..]).unwrap(), LineStatus::Eof);
+        assert!(read_line(&mut &b"PARTIAL"[..]).is_err(), "mid-line EOF is a protocol error");
+
+        // A resumable read keeps its prefix across chunks.
+        let mut partial = Vec::new();
+        assert!(read_line_into(&mut &b"PI"[..], &mut partial).is_err());
+        assert_eq!(partial, b"PI");
+        let LineStatus::Line(line) = read_line_into(&mut &b"NG\n"[..], &mut partial).unwrap()
+        else {
+            panic!("expected a line")
+        };
+        assert_eq!(line, "PING");
+    }
+}

@@ -1,0 +1,143 @@
+//! The bounded analysis queue: the daemon's backpressure point.
+//!
+//! Memory stays bounded because this queue refuses work instead of
+//! growing: [`JobQueue::try_push`] either enqueues (queue below its
+//! explicit cap) or reports [`PushRefused::Busy`] for the connection
+//! handler to translate into a typed `BUSY` reply. Workers block on
+//! [`JobQueue::pop`]; closing the queue wakes them, and they drain
+//! whatever is already enqueued before exiting — that is the graceful
+//! half of shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The queue is at its capacity bound.
+    Busy,
+    /// The queue is closed (daemon draining).
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded MPMC queue with close-and-drain semantics.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue refusing jobs beyond `cap` pending entries.
+    /// A cap of zero refuses every job — useful to force the `BUSY`
+    /// path deterministically.
+    pub fn new(cap: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues `job`, or refuses it without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushRefused::Busy`] at capacity, [`PushRefused::Closed`]
+    /// when draining; `job` is dropped in both cases.
+    pub fn try_push(&self, job: T) -> Result<(), PushRefused> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(PushRefused::Closed);
+        }
+        if state.items.len() >= self.cap {
+            return Err(PushRefused::Busy);
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means the queue is closed *and*
+    /// drained — the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: new pushes are refused, and workers exit once
+    /// the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (the `serve.queue_depth` gauge).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn refuses_at_capacity_with_busy() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushRefused::Busy), "the explicit cap is the bound");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop is reusable");
+    }
+
+    #[test]
+    fn zero_capacity_always_refuses() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.try_push(7), Err(PushRefused::Busy));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(JobQueue::new(8));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushRefused::Closed));
+        assert_eq!(q.pop(), Some(1), "backlog survives the close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then workers are released");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,521 @@
+//! The daemon: accept loop, connection handlers, and the bounded
+//! analysis worker pool.
+//!
+//! Concurrency layout:
+//!
+//! * one nonblocking **accept loop** (the thread that called
+//!   [`Server::run`]), polling for connections and the shutdown flag;
+//! * one **connection handler** thread per client, which parses
+//!   requests, answers queries directly (catalog reads are cheap), and
+//!   turns each `SUBMIT` into a job on the bounded queue;
+//! * `workers` **analysis threads**, which pop jobs, run the paper's
+//!   post-mortem analysis ([`PostMortem`]), ingest the result into the
+//!   shared [`Catalog`], and send the outcome back to the waiting
+//!   handler.
+//!
+//! Memory is bounded end to end: request lines and bodies are
+//! length-checked before allocation, the job queue refuses work at its
+//! cap (a typed `BUSY` reply), and the latency window is a fixed-size
+//! ring. Graceful drain — on a `SHUTDOWN` request or SIGTERM — stops
+//! accepting, closes the queue, lets workers finish the backlog, and
+//! joins every thread before [`Server::run`] returns its summary.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wmrd_catalog::{Catalog, CatalogStats, IngestOutcome, Query};
+use wmrd_core::{PairingPolicy, PostMortem};
+use wmrd_trace::{metric_keys, Metrics, TraceSet};
+
+use crate::endpoint::{Endpoint, Listener, Stream};
+use crate::protocol::{read_exact_bounded, read_line_into, ErrorCode, LineStatus, Reply, Request};
+use crate::queue::{JobQueue, PushRefused};
+use crate::stats::ServeStats;
+use crate::ServeError;
+
+/// How often the accept loop polls for connections and shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Read timeout while a handler waits for the next request line —
+/// the cadence at which idle connections notice a drain.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+/// Read timeout for a `SUBMIT` body: a client that stalls longer
+/// mid-upload forfeits the connection (and bounds drain time).
+const BODY_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Analysis worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Pending-analysis queue capacity — the explicit backpressure
+    /// bound. Zero refuses every submission with `BUSY`.
+    pub queue_cap: usize,
+    /// Journal path for a durable catalog; `None` keeps it in memory.
+    pub catalog: Option<PathBuf>,
+    /// Pairing policy for server-side analysis.
+    pub pairing: PairingPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, queue_cap: 64, catalog: None, pairing: PairingPolicy::ByRole }
+    }
+}
+
+/// What the daemon did over its lifetime, reported when
+/// [`Server::run`] returns after a drain.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// The resolved listen endpoint.
+    pub endpoint: String,
+    /// `SUBMIT` requests accepted for analysis.
+    pub submitted: u64,
+    /// Submissions that added a new trace.
+    pub ingested: u64,
+    /// Submissions deduplicated by digest.
+    pub deduped: u64,
+    /// Submissions rejected with a typed error.
+    pub rejected: u64,
+    /// Submissions refused with `BUSY`.
+    pub busy: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Final catalog counters.
+    pub catalog: CatalogStats,
+}
+
+impl fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "served on {}", self.endpoint)?;
+        writeln!(
+            f,
+            "submissions: {} ({} ingested, {} deduplicated, {} rejected, {} busy)",
+            self.submitted, self.ingested, self.deduped, self.rejected, self.busy
+        )?;
+        writeln!(f, "queries: {}", self.queries)?;
+        write!(
+            f,
+            "catalog: {} traces, {} race identities, {} observations",
+            self.catalog.traces, self.catalog.races, self.catalog.observations
+        )
+    }
+}
+
+/// One pending analysis: the decoded trace plus the channel the
+/// connection handler is waiting on.
+struct Job {
+    trace: TraceSet,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<IngestOutcome, (ErrorCode, String)>>,
+}
+
+/// State shared by the accept loop, handlers, and workers.
+struct Shared {
+    queue: JobQueue<Job>,
+    catalog: Mutex<Catalog>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    endpoint: Endpoint,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || sigterm::received()
+    }
+}
+
+/// A clonable remote control for a running server — the programmatic
+/// equivalent of SIGTERM, for embedding the daemon in tests and tools.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerHandle").field("endpoint", &self.shared.endpoint).finish()
+    }
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The resolved endpoint the server listens on.
+    pub fn endpoint(&self) -> Endpoint {
+        self.shared.endpoint.clone()
+    }
+}
+
+/// A bound, not-yet-running daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for Shared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared").field("endpoint", &self.endpoint).finish()
+    }
+}
+
+impl Server {
+    /// Binds `endpoint` and opens (or creates) the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if binding fails and
+    /// [`ServeError::Catalog`] if the journal is unusable.
+    pub fn bind(endpoint: &Endpoint, config: ServeConfig) -> Result<Self, ServeError> {
+        let catalog = match &config.catalog {
+            Some(path) => Catalog::open(path)?,
+            None => Catalog::in_memory(),
+        };
+        let (listener, resolved) = Listener::bind(endpoint)?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_cap),
+            catalog: Mutex::new(catalog),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            endpoint: resolved,
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The resolved endpoint (a TCP bind to port 0 shows its assigned
+    /// port here).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.endpoint
+    }
+
+    /// A remote control for triggering a drain from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Runs the daemon until a `SHUTDOWN` request, a
+    /// [`ServerHandle::shutdown`], or SIGTERM, then drains and
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] only for fatal listener failures;
+    /// per-connection and per-submission failures are contained and
+    /// counted.
+    pub fn run(self) -> Result<ServeSummary, ServeError> {
+        sigterm::install();
+        self.listener.set_nonblocking(true)?;
+
+        let shared = &self.shared;
+        let summary = std::thread::scope(|scope| -> Result<ServeSummary, ServeError> {
+            let workers: Vec<_> = (0..shared.config.workers.max(1))
+                .map(|_| scope.spawn(|| worker_loop(shared)))
+                .collect();
+            let mut handlers = Vec::new();
+
+            while !shared.draining() {
+                match self.listener.accept()? {
+                    Some(stream) => {
+                        handlers.push(scope.spawn(move || handle_connection(shared, stream)));
+                    }
+                    None => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+
+            // Drain: no new connections; handlers see the flag within
+            // one idle poll; the queue backlog is finished by the
+            // workers before they exit.
+            for h in handlers {
+                let _ = h.join();
+            }
+            shared.queue.close();
+            for w in workers {
+                let _ = w.join();
+            }
+
+            let catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(ServeSummary {
+                endpoint: shared.endpoint.to_string(),
+                submitted: ServeStats::get(&shared.stats.submitted),
+                ingested: ServeStats::get(&shared.stats.ingested),
+                deduped: ServeStats::get(&shared.stats.deduped),
+                rejected: ServeStats::get(&shared.stats.rejected),
+                busy: ServeStats::get(&shared.stats.busy),
+                queries: ServeStats::get(&shared.stats.queries),
+                catalog: catalog.stats(),
+            })
+        });
+        if let Endpoint::Unix(path) = &self.shared.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        summary
+    }
+}
+
+/// The analysis worker: pop, analyze, ingest, reply — with the same
+/// panic containment as the explore engine, so one adversarial trace
+/// cannot take the daemon down.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let Job { trace, enqueued, reply } = job;
+        let pairing = shared.config.pairing;
+        let result = catch_unwind(AssertUnwindSafe(|| analyze_and_ingest(shared, &trace, pairing)))
+            .unwrap_or_else(|_| {
+                Err((ErrorCode::Internal, "analysis panicked; submission contained".into()))
+            });
+        shared.stats.record_latency(enqueued.elapsed().as_nanos() as u64);
+        match &result {
+            Ok(outcome) if outcome.duplicate => ServeStats::incr(&shared.stats.deduped),
+            Ok(_) => ServeStats::incr(&shared.stats.ingested),
+            Err(_) => ServeStats::incr(&shared.stats.rejected),
+        }
+        let _ = reply.send(result);
+    }
+}
+
+fn analyze_and_ingest(
+    shared: &Shared,
+    trace: &TraceSet,
+    pairing: PairingPolicy,
+) -> Result<IngestOutcome, (ErrorCode, String)> {
+    let report = PostMortem::new(trace)
+        .pairing(pairing)
+        .analyze()
+        .map_err(|e| (ErrorCode::Analysis, e.to_string()))?;
+    let record = Catalog::record_for(trace, &report);
+    let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+    catalog.ingest(&record).map_err(|e| (ErrorCode::Internal, e.to_string()))
+}
+
+/// One client connection: request lines in, replies out, until EOF,
+/// a fatal transport error, or a drain.
+fn handle_connection(shared: &Shared, mut stream: Stream) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let mut partial = Vec::new();
+    loop {
+        let line = match read_line_into(&mut stream, &mut partial) {
+            Ok(LineStatus::Line(line)) => line,
+            Ok(LineStatus::Eof) => return,
+            Err(ServeError::Io(e)) if is_timeout(&e) => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let reply = match Request::parse(&line) {
+            Ok(request) => match dispatch(shared, &mut stream, request) {
+                Ok(Dispatch::Reply(reply)) => reply,
+                Ok(Dispatch::Hangup) => return,
+                Err(()) => return,
+            },
+            Err(e) => Reply::Err { code: ErrorCode::Proto, message: e.to_string() },
+        };
+        if reply.write_to(&mut stream).is_err() {
+            return;
+        }
+    }
+}
+
+/// What a dispatched request asks the connection loop to do next.
+enum Dispatch {
+    /// Send this reply and keep serving.
+    Reply(Reply),
+    /// Send nothing further; close the connection.
+    Hangup,
+}
+
+/// Executes one parsed request. `Err(())` means the transport broke
+/// mid-request and the connection must close without a reply.
+fn dispatch(shared: &Shared, stream: &mut Stream, request: Request) -> Result<Dispatch, ()> {
+    let reply = match request {
+        Request::Submit { len } => {
+            // The body is read under a generous timeout: stalling
+            // mid-upload desynchronizes the stream, so it forfeits
+            // the connection rather than blocking a drain forever.
+            let _ = stream.set_read_timeout(Some(BODY_TIMEOUT));
+            let body = read_exact_bounded(stream, len);
+            let _ = stream.set_read_timeout(Some(IDLE_POLL));
+            let body = body.map_err(|_| ())?;
+            submit(shared, &body)
+        }
+        Request::Query(spec) => {
+            ServeStats::incr(&shared.stats.queries);
+            match Query::parse(&spec) {
+                Ok(query) => {
+                    let catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+                    match catalog.query(&query) {
+                        Ok(text) => Reply::Ok(text.into_bytes()),
+                        Err(e) => Reply::Err { code: ErrorCode::Query, message: e.to_string() },
+                    }
+                }
+                Err(e) => Reply::Err { code: ErrorCode::Query, message: e.to_string() },
+            }
+        }
+        Request::Stats => match stats_payload(shared) {
+            Ok(json) => Reply::Ok(json.into_bytes()),
+            Err(message) => Reply::Err { code: ErrorCode::Internal, message },
+        },
+        Request::Compact => {
+            let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+            match catalog.compact() {
+                Ok(()) => Reply::Ok(b"compacted\n".to_vec()),
+                Err(e) => Reply::Err { code: ErrorCode::Internal, message: e.to_string() },
+            }
+        }
+        Request::Ping => Reply::Ok(b"pong\n".to_vec()),
+        Request::Shutdown => {
+            let _ = Reply::Ok(b"draining\n".to_vec()).write_to(stream);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return Ok(Dispatch::Hangup);
+        }
+    };
+    Ok(Dispatch::Reply(reply))
+}
+
+/// Decodes and enqueues one submission, translating queue refusal
+/// into the typed `BUSY` reply.
+fn submit(shared: &Shared, body: &[u8]) -> Reply {
+    let trace = match decode_trace(body) {
+        Ok(trace) => trace,
+        Err(message) => {
+            // A rejection is still a submission answered with a verdict;
+            // only BUSY refusals (the client retries) stay uncounted, so
+            // `ingested + deduped + rejected <= submitted` holds.
+            ServeStats::incr(&shared.stats.submitted);
+            ServeStats::incr(&shared.stats.rejected);
+            return Reply::Err { code: ErrorCode::Decode, message };
+        }
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job { trace, enqueued: Instant::now(), reply: tx };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushRefused::Busy) => {
+            ServeStats::incr(&shared.stats.busy);
+            return Reply::Busy(format!(
+                "analysis queue at capacity ({})",
+                shared.config.queue_cap
+            ));
+        }
+        Err(PushRefused::Closed) => {
+            ServeStats::incr(&shared.stats.busy);
+            return Reply::Busy("daemon draining".into());
+        }
+    }
+    ServeStats::incr(&shared.stats.submitted);
+    match rx.recv() {
+        Ok(Ok(outcome)) => {
+            let verdict = if outcome.duplicate { "duplicate" } else { "ingested" };
+            Reply::Ok(
+                format!(
+                    "{verdict} {} races={} new={}\n",
+                    outcome.digest, outcome.races, outcome.new_races
+                )
+                .into_bytes(),
+            )
+        }
+        Ok(Err((code, message))) => Reply::Err { code, message },
+        Err(_) => Reply::Err { code: ErrorCode::Internal, message: "analysis worker lost".into() },
+    }
+}
+
+/// Decodes a submission body: binary traces by magic, otherwise JSON.
+fn decode_trace(bytes: &[u8]) -> Result<TraceSet, String> {
+    if bytes.starts_with(b"WMRD") {
+        return TraceSet::from_binary(bytes).map_err(|e| e.to_string());
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| "neither a binary trace (WMRD magic) nor UTF-8 JSON".to_string())?;
+    TraceSet::from_json(text).map_err(|e| e.to_string())
+}
+
+/// Builds the `STATS` payload: a `RunMetrics` report carrying the
+/// `serve.*` and `catalog.*` vocabulary (see `OBSERVABILITY.md`).
+fn stats_payload(shared: &Shared) -> Result<String, String> {
+    let metrics = Metrics::enabled();
+    metrics.context("listen", &shared.endpoint);
+    let stats = &shared.stats;
+    metrics.add(metric_keys::SERVE_SUBMITTED, ServeStats::get(&stats.submitted));
+    metrics.add(metric_keys::SERVE_INGESTED, ServeStats::get(&stats.ingested));
+    metrics.add(metric_keys::SERVE_DEDUPED, ServeStats::get(&stats.deduped));
+    metrics.add(metric_keys::SERVE_REJECTED, ServeStats::get(&stats.rejected));
+    metrics.add(metric_keys::SERVE_BUSY, ServeStats::get(&stats.busy));
+    metrics.add(metric_keys::SERVE_QUERIES, ServeStats::get(&stats.queries));
+    metrics.set_gauge(metric_keys::SERVE_QUEUE_DEPTH, shared.queue.depth() as u64);
+    metrics.set_gauge(metric_keys::SERVE_QUEUE_CAP, shared.config.queue_cap as u64);
+    metrics.set_gauge(metric_keys::SERVE_WORKERS, shared.config.workers.max(1) as u64);
+    let (p50, p99) = stats.latency_percentiles();
+    metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P50_NS, p50);
+    metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P99_NS, p99);
+    shared.catalog.lock().unwrap_or_else(|e| e.into_inner()).record_into(&metrics);
+    metrics.report().to_json().map_err(|e| e.to_string())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// SIGTERM handling: a single async-signal-safe atomic store, checked
+/// by the accept loop and connection handlers. This is the only
+/// unsafe code in the workspace, and it exists because the daemon is
+/// std-only: without libc, installing a handler needs one raw
+/// `signal(2)` declaration.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    const SIGTERM: i32 = 15;
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // An atomic store is async-signal-safe.
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler once per process.
+    pub fn install() {
+        INSTALL.call_once(|| {
+            // SAFETY: `signal(2)` with a handler that only performs an
+            // async-signal-safe atomic store.
+            unsafe {
+                let _ = signal(SIGTERM, on_sigterm);
+            }
+        });
+    }
+
+    /// `true` once SIGTERM has been delivered.
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    /// No signal handling off unix; drains come from `SHUTDOWN` or
+    /// [`super::ServerHandle::shutdown`].
+    pub fn install() {}
+
+    /// Always `false` off unix.
+    pub fn received() -> bool {
+        false
+    }
+}

@@ -1,0 +1,127 @@
+//! Daemon counters and the analysis-latency window behind `STATS`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Samples kept in the latency ring; old samples are overwritten so
+/// percentiles track recent behavior with bounded memory.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A fixed-size ring of recent analysis latencies (nanoseconds).
+#[derive(Debug, Default)]
+pub struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    /// Records one sample, evicting the oldest once the window fills.
+    pub fn record(&mut self, nanos: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(nanos);
+        } else {
+            self.samples[self.next] = nanos;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The `p`-th percentile (0–100) of the window, 0 when empty.
+    ///
+    /// Nearest-rank on a sorted copy: exact for the window, and the
+    /// window is small enough that sorting on demand beats maintaining
+    /// an ordered structure on the hot path.
+    pub fn percentile(&self, p: u32) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (p as usize * sorted.len()).div_ceil(100);
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// Monotonic daemon counters (the `serve.*` vocabulary), shared
+/// lock-free between connection handlers and workers; only the
+/// latency window takes a lock, briefly.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// `SUBMIT` requests accepted for analysis.
+    pub submitted: AtomicU64,
+    /// Submissions that added a new trace to the catalog.
+    pub ingested: AtomicU64,
+    /// Submissions deduplicated by digest.
+    pub deduped: AtomicU64,
+    /// Submissions rejected with a typed error.
+    pub rejected: AtomicU64,
+    /// Submissions refused with `BUSY`.
+    pub busy: AtomicU64,
+    /// `QUERY` requests answered.
+    pub queries: AtomicU64,
+    /// Recent end-to-end analysis latencies.
+    pub latency: Mutex<LatencyWindow>,
+}
+
+impl ServeStats {
+    /// Bumps a counter.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Records one analysis latency.
+    pub fn record_latency(&self, nanos: u64) {
+        self.latency.lock().unwrap_or_else(|e| e.into_inner()).record(nanos);
+    }
+
+    /// (p50, p99) of the recent-latency window, in nanoseconds.
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let window = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        (window.percentile(50), window.percentile(99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let mut w = LatencyWindow::default();
+        assert_eq!(w.percentile(50), 0, "empty window reports 0");
+        for v in 1..=100 {
+            w.record(v);
+        }
+        assert_eq!(w.percentile(50), 50);
+        assert_eq!(w.percentile(99), 99);
+        assert_eq!(w.percentile(100), 100);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut w = LatencyWindow::default();
+        for v in 0..(LATENCY_WINDOW as u64 * 3) {
+            w.record(v);
+        }
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+        // Only the most recent window's samples remain.
+        assert!(w.samples.iter().all(|&v| v >= LATENCY_WINDOW as u64 * 2));
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let s = ServeStats::default();
+        ServeStats::incr(&s.submitted);
+        ServeStats::incr(&s.submitted);
+        assert_eq!(ServeStats::get(&s.submitted), 2);
+        s.record_latency(10);
+        s.record_latency(20);
+        let (p50, p99) = s.latency_percentiles();
+        assert_eq!(p50, 10);
+        assert_eq!(p99, 20);
+    }
+}

@@ -62,6 +62,7 @@
 mod bitset;
 mod crc32;
 mod cursor;
+mod digest;
 mod error;
 mod event;
 mod ids;
@@ -74,6 +75,7 @@ mod traceset;
 
 pub use bitset::LocSet;
 pub use crc32::crc32;
+pub use digest::{ParseDigestError, TraceDigest};
 pub use error::{DecodeError, TraceError};
 pub use event::{ComputationEvent, Event, EventId, EventKind, SyncEvent};
 pub use ids::{Location, OpId, ProcId, Value};

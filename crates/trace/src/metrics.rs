@@ -415,6 +415,47 @@ pub mod keys {
     /// Gauge: 1 if the salvage decode was complete (nothing lost),
     /// else 0.
     pub const SALVAGE_COMPLETE: &str = "salvage.complete";
+    /// Counter: `SUBMIT` requests the daemon accepted for analysis.
+    pub const SERVE_SUBMITTED: &str = "serve.submitted";
+    /// Counter: submissions that added a new trace to the catalog.
+    pub const SERVE_INGESTED: &str = "serve.ingested";
+    /// Counter: submissions whose digest was already cataloged.
+    pub const SERVE_DEDUPED: &str = "serve.deduped";
+    /// Counter: submissions rejected with a typed error (bad frame,
+    /// undecodable trace, failed analysis).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Counter: submissions refused with `BUSY` by queue backpressure.
+    pub const SERVE_BUSY: &str = "serve.busy";
+    /// Counter: `QUERY` requests answered.
+    pub const SERVE_QUERIES: &str = "serve.queries";
+    /// Gauge: analysis jobs waiting in the bounded queue.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Gauge: the queue's configured capacity (the backpressure bound).
+    pub const SERVE_QUEUE_CAP: &str = "serve.queue_cap";
+    /// Gauge: analysis worker threads the daemon runs.
+    pub const SERVE_WORKERS: &str = "serve.workers";
+    /// Gauge: p50 end-to-end analysis latency, in nanoseconds, over
+    /// the recent-latency window.
+    pub const SERVE_ANALYSIS_P50_NS: &str = "serve.analysis_p50_ns";
+    /// Gauge: p99 end-to-end analysis latency, in nanoseconds, over
+    /// the recent-latency window.
+    pub const SERVE_ANALYSIS_P99_NS: &str = "serve.analysis_p99_ns";
+    /// Gauge: distinct traces in the catalog (content-addressed by
+    /// [`crate::TraceDigest`]).
+    pub const CATALOG_TRACES: &str = "catalog.traces";
+    /// Gauge: distinct race identities (`RaceKey`s) in the catalog.
+    pub const CATALOG_RACES: &str = "catalog.races";
+    /// Gauge: raw race observations before deduplication (hit counts
+    /// summed over identities).
+    pub const CATALOG_OBSERVATIONS: &str = "catalog.observations";
+    /// Gauge: bytes in the catalog's journal file.
+    pub const CATALOG_JOURNAL_BYTES: &str = "catalog.journal_bytes";
+    /// Counter: committed records recovered by journal salvage on open.
+    pub const CATALOG_SALVAGED_RECORDS: &str = "catalog.salvaged_records";
+    /// Counter: damaged tail bytes dropped by journal salvage on open.
+    pub const CATALOG_DROPPED_BYTES: &str = "catalog.dropped_bytes";
+    /// Counter: journal compactions performed.
+    pub const CATALOG_COMPACTIONS: &str = "catalog.compactions";
 }
 
 #[cfg(test)]
@@ -450,6 +491,35 @@ mod tests {
             keys::SALVAGE_COMPLETE,
         ] {
             assert!(key.starts_with("salvage."), "{key}");
+        }
+        for key in [
+            keys::SERVE_SUBMITTED,
+            keys::SERVE_INGESTED,
+            keys::SERVE_DEDUPED,
+            keys::SERVE_REJECTED,
+            keys::SERVE_BUSY,
+            keys::SERVE_QUERIES,
+            keys::SERVE_QUEUE_DEPTH,
+            keys::SERVE_QUEUE_CAP,
+            keys::SERVE_WORKERS,
+            keys::SERVE_ANALYSIS_P50_NS,
+            keys::SERVE_ANALYSIS_P99_NS,
+        ] {
+            assert!(key.starts_with("serve."), "{key}");
+            assert!(key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_' || c.is_ascii_digit()));
+        }
+        for key in [
+            keys::CATALOG_TRACES,
+            keys::CATALOG_RACES,
+            keys::CATALOG_OBSERVATIONS,
+            keys::CATALOG_JOURNAL_BYTES,
+            keys::CATALOG_SALVAGED_RECORDS,
+            keys::CATALOG_DROPPED_BYTES,
+            keys::CATALOG_COMPACTIONS,
+        ] {
+            assert!(key.starts_with("catalog."), "{key}");
         }
     }
 

@@ -28,6 +28,22 @@ echo "== fault-injection and trace-hardening suites"
 # degradation contract of the trace pipeline.
 cargo test -q -p wmrd-xtests --test trace_files --test props --test faults
 
+echo "== serve smoke (daemon + catalog e2e)"
+# The daemon contract end to end: 8 concurrent submitters over a unix
+# socket converge to byte-identical query output at any worker count,
+# corrupt submissions (tests/data/corrupt) are rejected with a typed
+# error without killing the daemon, zero-capacity queues answer BUSY,
+# and a torn journal tail reopens to the committed record prefix.
+cargo test -q -p wmrd-xtests --test serve
+cargo test -q -p wmrd-serve -p wmrd-catalog
+
+echo "== serve smoke (CLI round trip)"
+# The wmrd serve/submit/query commands against a live daemon, plus
+# explore --sink streaming — asserted from the CLI test suite so the
+# user-facing surface is exercised, not just the library.
+cargo test -q -p wmrd-cli submit_and_query_against_a_live_daemon
+cargo test -q -p wmrd-cli explore_sink_streams_racy_traces
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

@@ -4,14 +4,52 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use wmrd_core::{PairingPolicy, PostMortem, VectorClock};
+use wmrd_catalog::journal::{self, JournalRecord, RaceObservation};
+use wmrd_catalog::{Catalog, Query};
+use wmrd_core::{PairingPolicy, PostMortem, RaceKey, SideKey, VectorClock};
 use wmrd_progs::generate;
 use wmrd_sim::{run_sc, Fidelity, MemoryModel, RandomSched, RunConfig};
+use wmrd_trace::AccessKind;
 use wmrd_trace::{LocSet, Location, ProcId, TraceBuilder, TraceSet};
 use wmrd_verify::is_sequentially_consistent;
 
 fn locs() -> impl Strategy<Value = Vec<u32>> {
     vec(0u32..512, 0..40)
+}
+
+/// Deterministically expands one integer into a race observation over
+/// a small universe of locations and processors (small on purpose:
+/// collisions across records exercise the dedup aggregates).
+fn observation_from(x: u64) -> RaceObservation {
+    let side = |s: u64| SideKey {
+        proc: ProcId::new((s % 4) as u16),
+        kind: if s & 4 != 0 { AccessKind::Write } else { AccessKind::Read },
+        sync: s & 8 != 0,
+    };
+    RaceObservation {
+        key: RaceKey::new(Location::new((x % 8) as u32), side(x >> 3), side(x >> 7)),
+        first_partition: x & 1 != 0,
+    }
+}
+
+/// Deterministically expands seeds into journal records with unique
+/// digests — the catalog's content-address invariant; identical
+/// digests are dedup, covered separately.
+fn records_from(seeds: &[u64]) -> Vec<JournalRecord> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| JournalRecord {
+            digest: format!("{i:016x}"),
+            program: (s & 1 != 0).then(|| format!("prog-{}", s % 3)),
+            model: Some(["WO", "RCsc", "SC"][(s % 3) as usize].to_string()),
+            seed: Some(s),
+            events: (s % 100) + 1,
+            races: (0..s % 5)
+                .map(|j| observation_from(s.wrapping_mul(2_654_435_761).wrapping_add(j * 97)))
+                .collect(),
+        })
+        .collect()
 }
 
 proptest! {
@@ -325,5 +363,113 @@ proptest! {
         let by_role = PostMortem::new(&trace).pairing(PairingPolicy::ByRole).analyze().unwrap();
         let all_sync = PostMortem::new(&trace).pairing(PairingPolicy::AllSync).analyze().unwrap();
         prop_assert!(all_sync.data_races().count() <= by_role.data_races().count());
+    }
+
+    /// Catalog journal encoding round-trips exactly, and a clean file
+    /// decodes as complete with every byte accounted for.
+    #[test]
+    fn catalog_journal_roundtrip(seeds in vec(0u64..1_000_000, 0..8)) {
+        let records = records_from(&seeds);
+        let bytes = journal::encode(&records).unwrap();
+        let (back, salvage) = journal::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &records);
+        prop_assert!(salvage.complete);
+        prop_assert_eq!(salvage.records, records.len());
+        prop_assert_eq!(salvage.bytes_used, bytes.len());
+        prop_assert!(salvage.failure.is_none());
+    }
+
+    /// Truncating a journal at *any* byte either fails with a typed
+    /// header error (cut inside the 10-byte header) or salvages an
+    /// exact record prefix — never a panic, never a reordered or
+    /// invented record. This is the kill-9 contract: every record
+    /// whose append completed survives reopen.
+    #[test]
+    fn catalog_journal_truncation_salvages_a_prefix(
+        seeds in vec(0u64..1_000_000, 0..8),
+        cut_pick in 0usize..100_000,
+    ) {
+        let records = records_from(&seeds);
+        let bytes = journal::encode(&records).unwrap();
+        let cut = cut_pick % (bytes.len() + 1);
+        match journal::decode(&bytes[..cut]) {
+            Err(wmrd_catalog::CatalogError::Corrupt { offset, .. }) => {
+                prop_assert!(cut < wmrd_catalog::journal::HEADER_BYTES);
+                prop_assert!(offset <= cut);
+            }
+            Err(e) => prop_assert!(false, "untyped journal error at cut {}: {}", cut, e),
+            Ok((recovered, salvage)) => {
+                prop_assert!(recovered.len() <= records.len());
+                prop_assert_eq!(&recovered[..], &records[..recovered.len()]);
+                prop_assert_eq!(salvage.complete, cut == bytes.len());
+                prop_assert!(salvage.bytes_used <= cut);
+                prop_assert_eq!(salvage.bytes_total, cut);
+            }
+        }
+    }
+
+    /// A single bit flip anywhere in a journal is either fatal (header
+    /// damage) or salvaged: the recovered records are an exact prefix
+    /// of the originals. CRC-32 catches every single-bit flip, so a
+    /// flipped record can never be silently misread.
+    #[test]
+    fn catalog_journal_bit_flips_never_corrupt_records(
+        seeds in vec(0u64..1_000_000, 0..8),
+        byte_pick in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let records = records_from(&seeds);
+        let mut bytes = journal::encode(&records).unwrap();
+        let offset = byte_pick % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        match journal::decode(&bytes) {
+            Err(wmrd_catalog::CatalogError::Corrupt { .. }) => {
+                prop_assert!(offset < wmrd_catalog::journal::HEADER_BYTES);
+            }
+            Err(e) => prop_assert!(false, "untyped journal error: {}", e),
+            Ok((recovered, salvage)) => {
+                prop_assert!(recovered.len() <= records.len());
+                prop_assert_eq!(&recovered[..], &records[..recovered.len()]);
+                prop_assert!(salvage.bytes_used <= bytes.len());
+            }
+        }
+    }
+
+    /// Catalog aggregation is ingest-order independent: feeding the
+    /// same records forward and reversed yields byte-identical `races`
+    /// and `traces` query output (only `since=` may depend on order —
+    /// it asks about order by design). This is the invariant that lets
+    /// the daemon ingest from concurrent submitters deterministically.
+    #[test]
+    fn catalog_race_table_is_ingest_order_independent(seeds in vec(0u64..1_000_000, 0..10)) {
+        let records = records_from(&seeds);
+        let mut forward = Catalog::in_memory();
+        for r in &records {
+            forward.ingest(r).unwrap();
+        }
+        let mut reversed = Catalog::in_memory();
+        for r in records.iter().rev() {
+            reversed.ingest(r).unwrap();
+        }
+        prop_assert_eq!(
+            forward.query(&Query::Races).unwrap(),
+            reversed.query(&Query::Races).unwrap()
+        );
+        prop_assert_eq!(
+            forward.query(&Query::Traces).unwrap(),
+            reversed.query(&Query::Traces).unwrap()
+        );
+        prop_assert_eq!(forward.race_count(), reversed.race_count());
+        prop_assert_eq!(forward.trace_count(), reversed.trace_count());
+
+        // Re-ingesting every record is a no-op: content addressing
+        // deduplicates by digest.
+        let before = forward.query(&Query::Races).unwrap();
+        for r in &records {
+            let outcome = forward.ingest(r).unwrap();
+            prop_assert!(outcome.duplicate);
+            prop_assert_eq!(outcome.new_races, 0);
+        }
+        prop_assert_eq!(forward.query(&Query::Races).unwrap(), before);
     }
 }

@@ -1,0 +1,327 @@
+//! End-to-end daemon contracts: concurrent ingestion over a unix
+//! socket is deterministic (byte-identical query output regardless of
+//! client arrival order and worker count), backpressure is a typed
+//! `BUSY` at the explicit queue cap, corrupt submissions are rejected
+//! with a typed error without taking the daemon down, and a journal
+//! with a torn tail — the kill-9 signature — reopens to exactly the
+//! committed record prefix.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wmrd_catalog::Catalog;
+use wmrd_progs::catalog;
+use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, ServeSummary, Server};
+use wmrd_sim::{run_weak_hw, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig};
+use wmrd_trace::{TraceBuilder, TraceSet};
+
+/// A scratch directory unique to one test invocation.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wmrd-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn weak_trace(program: &Program, name: &str, seed: u64) -> TraceSet {
+    let mut sched = RandomWeakSched::new(seed, 0.3);
+    let mut sink = TraceBuilder::new(program.num_procs());
+    run_weak_hw(
+        HwImpl::StoreBuffer,
+        program,
+        MemoryModel::Wo,
+        Fidelity::Conditioned,
+        &mut sched,
+        &mut sink,
+        RunConfig::default(),
+    )
+    .unwrap();
+    let mut trace = sink.finish();
+    trace.meta.program = Some(name.to_string());
+    trace.meta.model = Some(MemoryModel::Wo.to_string());
+    trace.meta.seed = Some(seed);
+    trace
+}
+
+/// The explore-style corpus: weak executions of racy catalog programs
+/// across a seed sweep, encoded as submission bodies.
+fn corpus() -> Vec<Vec<u8>> {
+    let mut bodies = Vec::new();
+    for entry in [catalog::fig1a(), catalog::work_queue_buggy(), catalog::peterson_racy()] {
+        for seed in 0..8 {
+            bodies.push(weak_trace(&entry.program, entry.name, seed).to_binary());
+        }
+    }
+    bodies
+}
+
+/// Binds a daemon on a fresh unix socket (TCP loopback off unix) and
+/// runs it on a background thread.
+fn start(
+    dir: &std::path::Path,
+    config: ServeConfig,
+) -> (Endpoint, std::thread::JoinHandle<ServeSummary>) {
+    let spec = if cfg!(unix) {
+        format!("unix:{}", dir.join("daemon.sock").display())
+    } else {
+        "127.0.0.1:0".to_string()
+    };
+    let server = Server::bind(&Endpoint::parse(&spec).unwrap(), config).unwrap();
+    let endpoint = server.endpoint().clone();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (endpoint, join)
+}
+
+/// Submits until the daemon accepts, treating `BUSY` as retry-later —
+/// exactly the client discipline the typed reply exists for.
+fn submit_until_accepted(client: &mut Client, body: &[u8]) -> String {
+    loop {
+        match client.submit(body).unwrap() {
+            Reply::Ok(payload) => return String::from_utf8(payload).unwrap(),
+            Reply::Busy(_) => std::thread::sleep(Duration::from_millis(5)),
+            Reply::Err { code, message } => panic!("submission rejected ({code:?}): {message}"),
+        }
+    }
+}
+
+fn query_text(endpoint: &Endpoint, spec: &str) -> String {
+    Client::connect(endpoint).unwrap().query(spec).unwrap().into_text().unwrap()
+}
+
+fn drain(endpoint: &Endpoint, join: std::thread::JoinHandle<ServeSummary>) -> ServeSummary {
+    let reply = Client::connect(endpoint).unwrap().shutdown().unwrap();
+    assert_eq!(reply.into_text().unwrap(), "draining\n");
+    join.join().unwrap()
+}
+
+/// The tentpole determinism claim: N concurrent submitters feeding the
+/// corpus in different arrival orders, against different worker
+/// counts, always converge to byte-identical `races` and `traces`
+/// query output — because every catalog aggregate is commutative and
+/// every listing sorted.
+#[test]
+fn concurrent_ingestion_is_deterministic_across_arrival_order_and_workers() {
+    let bodies = corpus();
+    let mut outputs = Vec::new();
+    for (workers, rotation) in [(1usize, 0usize), (2, 5), (4, 11), (8, 17)] {
+        let dir = scratch(&format!("det-{workers}-{rotation}"));
+        let config = ServeConfig { workers, queue_cap: 8, ..ServeConfig::default() };
+        let (endpoint, join) = start(&dir, config);
+
+        // 8 concurrent submitters, each with a disjoint interleaved
+        // slice of a rotated corpus: every config sees every trace,
+        // in a different arrival order.
+        let mut rotated = bodies.clone();
+        rotated.rotate_left(rotation);
+        std::thread::scope(|scope| {
+            for lane in 0..8 {
+                let endpoint = &endpoint;
+                let rotated = &rotated;
+                scope.spawn(move || {
+                    let mut client = Client::connect(endpoint).unwrap();
+                    for body in rotated.iter().skip(lane).step_by(8) {
+                        let verdict = submit_until_accepted(&mut client, body);
+                        assert!(
+                            verdict.starts_with("ingested") || verdict.starts_with("duplicate"),
+                            "{verdict}"
+                        );
+                    }
+                });
+            }
+        });
+
+        let races = query_text(&endpoint, "races");
+        let traces = query_text(&endpoint, "traces");
+        assert!(races.contains("hits="), "corpus must exhibit races:\n{races}");
+        let summary = drain(&endpoint, join);
+        assert_eq!(summary.submitted, bodies.len() as u64);
+        assert_eq!(summary.ingested + summary.deduped, summary.submitted);
+        assert_eq!(summary.rejected, 0);
+        outputs.push((workers, rotation, races, traces));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let (_, _, races0, traces0) = &outputs[0];
+    for (workers, rotation, races, traces) in &outputs[1..] {
+        assert_eq!(races, races0, "races diverged at workers={workers} rotation={rotation}");
+        assert_eq!(traces, traces0, "traces diverged at workers={workers} rotation={rotation}");
+    }
+}
+
+/// Backpressure is typed and bounded: a zero-capacity queue refuses
+/// every submission with `BUSY` (never an unbounded backlog, never a
+/// dropped connection), and the daemon keeps answering.
+#[test]
+fn queue_at_capacity_answers_busy_and_stays_responsive() {
+    let dir = scratch("busy");
+    let config = ServeConfig { workers: 1, queue_cap: 0, ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+
+    let body = corpus().remove(0);
+    let mut client = Client::connect(&endpoint).unwrap();
+    for _ in 0..3 {
+        match client.submit(&body).unwrap() {
+            Reply::Busy(m) => assert!(m.contains("capacity"), "{m}"),
+            other => panic!("expected BUSY from a zero-capacity queue, got {other:?}"),
+        }
+    }
+    assert_eq!(client.ping().unwrap().into_text().unwrap(), "pong\n");
+
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.busy, 3);
+    assert_eq!(summary.ingested, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every file in the checked-in corrupt-trace corpus is rejected with
+/// a typed decode error — and the daemon survives all of them to
+/// ingest a good trace afterwards.
+#[test]
+fn corrupt_submissions_are_rejected_typed_not_fatal() {
+    let dir = scratch("corrupt");
+    let (endpoint, join) = start(&dir, ServeConfig::default());
+
+    let corpus_dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/corrupt");
+    let mut client = Client::connect(&endpoint).unwrap();
+    let mut rejected = 0u64;
+    let mut names: Vec<_> = std::fs::read_dir(&corpus_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "corrupt corpus missing at {}", corpus_dir.display());
+    for path in &names {
+        let bytes = std::fs::read(path).unwrap();
+        match client.submit(&bytes).unwrap() {
+            Reply::Err { code, .. } => {
+                assert_eq!(code, wmrd_serve::ErrorCode::Decode, "{}", path.display());
+                rejected += 1;
+            }
+            other => panic!("{}: expected a decode error, got {other:?}", path.display()),
+        }
+        assert_eq!(client.ping().unwrap().into_text().unwrap(), "pong\n");
+    }
+
+    let verdict = submit_until_accepted(
+        &mut client,
+        &weak_trace(&catalog::fig1a().program, "fig1a", 0).to_binary(),
+    );
+    assert!(verdict.starts_with("ingested"), "{verdict}");
+
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.rejected, rejected);
+    assert_eq!(summary.ingested, 1);
+    // Rejections are verdicts, so they count as submissions; only BUSY
+    // refusals fall outside the tally.
+    assert_eq!(summary.submitted, rejected + 1);
+    assert_eq!(summary.ingested + summary.deduped + summary.rejected, summary.submitted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The kill-9 contract: a daemon that died mid-append leaves a torn
+/// journal tail; reopening salvages every committed record, truncates
+/// the damage, and a restarted daemon answers queries identically.
+#[test]
+fn torn_journal_tail_reopens_to_the_committed_prefix() {
+    let dir = scratch("torn");
+    let journal = dir.join("races.journal");
+    let bodies: Vec<_> = corpus().into_iter().take(6).collect();
+
+    let config = ServeConfig { catalog: Some(journal.clone()), ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    for body in &bodies {
+        submit_until_accepted(&mut client, body);
+    }
+    let races_before = query_text(&endpoint, "races");
+    let traces_before = query_text(&endpoint, "traces");
+    let summary = drain(&endpoint, join);
+    let committed = summary.catalog.traces;
+    assert!(committed >= 1);
+
+    // Simulate a kill -9 mid-append: a partial frame on the tail.
+    let clean = std::fs::read(&journal).unwrap();
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&journal).unwrap();
+        f.write_all(&[0xCA, 0x00, 0x00, 0x01]).unwrap(); // torn frame prefix
+    }
+    let reopened = Catalog::open(&journal).unwrap();
+    let salvage = reopened.salvage().unwrap();
+    assert!(!salvage.complete);
+    assert_eq!(salvage.records as u64, committed, "every committed record survives");
+    assert_eq!(reopened.stats().dropped_bytes, 4);
+    drop(reopened);
+    // Reopen truncated the tail back to the committed prefix on disk.
+    assert_eq!(std::fs::read(&journal).unwrap(), clean);
+
+    // A restarted daemon on the salvaged journal answers identically.
+    let config = ServeConfig { catalog: Some(journal.clone()), ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    assert_eq!(query_text(&endpoint, "races"), races_before);
+    assert_eq!(query_text(&endpoint, "traces"), traces_before);
+    // And resubmitting the same corpus is pure dedup.
+    let mut client = Client::connect(&endpoint).unwrap();
+    for body in &bodies {
+        let verdict = submit_until_accepted(&mut client, body);
+        assert!(verdict.starts_with("duplicate"), "{verdict}");
+    }
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.deduped, bodies.len() as u64);
+    assert_eq!(summary.ingested, 0);
+    assert_eq!(summary.catalog.traces, committed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncating the tail mid-record loses exactly the final record and
+/// nothing before it — salvage keeps the longest valid prefix.
+#[test]
+fn mid_record_truncation_loses_only_the_final_record() {
+    let dir = scratch("midcut");
+    let journal = dir.join("races.journal");
+    let bodies: Vec<_> = corpus().into_iter().take(4).collect();
+
+    let config = ServeConfig { catalog: Some(journal.clone()), ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    for body in &bodies {
+        submit_until_accepted(&mut client, body);
+    }
+    let summary = drain(&endpoint, join);
+    let committed = summary.catalog.traces;
+    assert!(committed >= 2, "corpus head must be distinct traces");
+
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 7]).unwrap();
+    let reopened = Catalog::open(&journal).unwrap();
+    assert_eq!(reopened.trace_count() as u64, committed - 1);
+    assert!(!reopened.salvage().unwrap().complete);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `STATS` carries the `serve.*` and `catalog.*` vocabulary as a
+/// RunMetrics JSON report.
+#[test]
+fn stats_report_carries_the_serve_vocabulary() {
+    let dir = scratch("stats");
+    let (endpoint, join) = start(&dir, ServeConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+    submit_until_accepted(
+        &mut client,
+        &weak_trace(&catalog::fig1a().program, "fig1a", 1).to_binary(),
+    );
+    let json = client.stats().unwrap().into_text().unwrap();
+    for key in [
+        "serve.submitted",
+        "serve.ingested",
+        "serve.queue_cap",
+        "serve.workers",
+        "catalog.traces",
+        "catalog.races",
+    ] {
+        assert!(json.contains(key), "STATS report missing `{key}`:\n{json}");
+    }
+    drain(&endpoint, join);
+    let _ = std::fs::remove_dir_all(&dir);
+}
