@@ -1,0 +1,57 @@
+//! Static analysis cost: lint throughput (programs per second) over
+//! the catalog and over generated workloads of growing size. The
+//! analysis is a fixpoint per processor plus a quadratic pair scan, so
+//! the generated-workload series shows how cost scales with code size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wmrd_progs::{catalog, generate};
+use wmrd_sim::Program;
+
+/// A mixed batch of generated programs: lock-disciplined, rogue-access
+/// and sectioned shapes, so the lint pipeline sees both race-free and
+/// racy inputs (the pair scan does different amounts of work on each).
+fn workloads(n: usize, sections: usize) -> Vec<Program> {
+    (0..n)
+        .map(|i| {
+            let cfg = generate::GenConfig {
+                procs: 4,
+                shared_locations: 16,
+                sections_per_proc: sections,
+                ops_per_section: 6,
+                rogue_fraction: 0.4,
+                seed: 1000 + i as u64,
+            };
+            match i % 3 {
+                0 => generate::locked(&cfg),
+                1 => generate::racy(&cfg),
+                _ => generate::sectioned(&cfg),
+            }
+        })
+        .collect()
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let cat: Vec<Program> = catalog::all().into_iter().map(|e| e.program).collect();
+    group.throughput(Throughput::Elements(cat.len() as u64));
+    group.bench_function("catalog", |b| {
+        b.iter(|| cat.iter().map(|p| wmrd_lint::analyze(p).keys.len()).sum::<usize>())
+    });
+
+    for sections in [5usize, 15, 45] {
+        let progs = workloads(24, sections);
+        group.throughput(Throughput::Elements(progs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("generated", sections), &progs, |b, ps| {
+            b.iter(|| ps.iter().map(|p| wmrd_lint::analyze(p).keys.len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

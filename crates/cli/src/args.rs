@@ -99,6 +99,10 @@ pub struct ExploreOpts {
     pub fidelity: Fidelity,
     /// Pairing policy for the analysis.
     pub pairing: PairingPolicy,
+    /// Lint the program first: skip the campaign when it is statically
+    /// race-free, and cross-check dynamic findings against the static
+    /// may-race set otherwise.
+    pub prune_static: bool,
     /// Run the full post-mortem on every execution, not just fast-path
     /// hits.
     pub always_analyze: bool,
@@ -113,6 +117,20 @@ pub struct ExploreOpts {
     /// Where to write the campaign report (JSON).
     pub report_out: Option<String>,
     /// Where to write the campaign's `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
+}
+
+/// Options for `wmrd lint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintOpts {
+    /// Catalog names, program JSON files, or assembly (`.wmrd`) files;
+    /// the single word `all` means the whole catalog.
+    pub targets: Vec<String>,
+    /// Emit JSON instead of text (`--format json`).
+    pub json: bool,
+    /// Where to write the lint `RunMetrics` report (JSON).
     pub metrics_out: Option<String>,
     /// Print a human-readable metrics summary.
     pub stats: bool,
@@ -175,6 +193,8 @@ pub enum Command {
     Check(CheckOpts),
     /// Hunt races across many seeded executions in parallel.
     Explore(ExploreOpts),
+    /// Static may-race analysis over program text.
+    Lint(LintOpts),
     /// Run the race-analysis daemon over a persistent catalog.
     Serve(ServeOpts),
     /// Submit recorded traces to a running daemon.
@@ -408,6 +428,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 drain_probs: vec![0.3],
                 fidelity: Fidelity::Conditioned,
                 pairing: PairingPolicy::ByRole,
+                prune_static: false,
                 always_analyze: false,
                 repro: None,
                 sink: None,
@@ -448,6 +469,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
                     "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
+                    "--prune-static" => opts.prune_static = true,
                     "--always-analyze" => opts.always_analyze = true,
                     "--repro" => {
                         opts.repro =
@@ -466,6 +488,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Explore(opts))
+        }
+        "lint" => {
+            let mut opts =
+                LintOpts { targets: Vec::new(), json: false, metrics_out: None, stats: false };
+            while let Some(arg) = cur.next() {
+                match arg {
+                    "--format" => match cur.value_for(arg)? {
+                        "text" => opts.json = false,
+                        "json" => opts.json = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (expected text|json)"
+                            )))
+                        }
+                    },
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(arg)?.to_string()),
+                    "--stats" => opts.stats = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}` for lint")))
+                    }
+                    target => opts.targets.push(target.to_string()),
+                }
+            }
+            if opts.targets.is_empty() {
+                return Err(CliError::Usage(
+                    "lint wants at least one target (catalog name, file, or `all`)".into(),
+                ));
+            }
+            Ok(Command::Lint(opts))
         }
         "serve" => {
             let mut opts = ServeOpts {
@@ -594,12 +645,21 @@ USAGE:
       --drain p1,p2                      drain probabilities to cross (default 0.3)
       --fidelity conditioned|raw         honour Condition 3.4 (default) or not
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
+      --prune-static                     lint first: skip statically race-free
+                                         programs, cross-check findings otherwise
       --always-analyze                   post-mortem every execution, not just hits
       --repro <seed>                     replay one seed in full detail
       --sink <addr|unix:path>            stream racy traces to a running daemon
       --inject <plan>                    inject deterministic worker faults
                                          (fault-plan syntax: seed=N;panics=N;panic@I)
       --report <file>                    write the campaign report (JSON)
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
+  wmrd lint <target>... [flags]        static may-race analysis over program text
+                                       targets: catalog names, program JSON files,
+                                       assembly (.wmrd) files, or `all` (the whole
+                                       catalog); exits non-zero on findings
+      --format text|json                 output format (default text)
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
   wmrd serve [flags]                   race-analysis daemon over a persistent catalog
@@ -735,6 +795,42 @@ mod tests {
         assert!(opts.budget.is_none() && opts.cycle_budget.is_none());
         assert!(opts.repro.is_none());
         assert!(!opts.always_analyze);
+        assert!(!opts.prune_static);
+    }
+
+    #[test]
+    fn parses_lint() {
+        let Command::Lint(opts) = parse(&argv("lint fig1a")).unwrap() else {
+            panic!("expected lint")
+        };
+        assert_eq!(opts.targets, vec!["fig1a".to_string()]);
+        assert!(!opts.json && !opts.stats && opts.metrics_out.is_none());
+
+        let Command::Lint(opts) =
+            parse(&argv("lint all prog.wmrd --format json --metrics m.json --stats")).unwrap()
+        else {
+            panic!("expected lint")
+        };
+        assert_eq!(opts.targets, vec!["all".to_string(), "prog.wmrd".to_string()]);
+        assert!(opts.json && opts.stats);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+
+        let Command::Lint(opts) = parse(&argv("lint x --format text")).unwrap() else {
+            panic!("expected lint")
+        };
+        assert!(!opts.json);
+
+        assert!(matches!(parse(&argv("lint")), Err(CliError::Usage(_))), "a target is required");
+        assert!(matches!(parse(&argv("lint x --format yaml")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("lint x --bogus")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_explore_prune_static() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a --prune-static")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert!(opts.prune_static);
     }
 
     #[test]

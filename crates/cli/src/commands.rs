@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 
 use wmrd_core::{render, PairingPolicy, PostMortem, SalvageAnalysis};
 use wmrd_explore::{
-    run_campaign, run_campaign_observed, CampaignObserver, CampaignSpec, ExecSpec, PostMortemPolicy,
+    run_campaign, run_campaign_observed, CampaignObserver, CampaignReport, CampaignSpec, ExecSpec,
+    PostMortemPolicy,
 };
 use wmrd_faults::FaultPlan;
 use wmrd_progs::catalog;
@@ -19,8 +20,8 @@ use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
 use crate::args::{
-    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, QueryOpts, RunOpts, ServeOpts, SubmitOpts,
-    USAGE,
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, QueryOpts, RunOpts, ServeOpts,
+    SubmitOpts, USAGE,
 };
 use crate::CliError;
 
@@ -77,6 +78,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Analyze(opts) => cmd_analyze(&opts),
         Command::Check(opts) => cmd_check(&opts),
         Command::Explore(opts) => cmd_explore(&opts),
+        Command::Lint(opts) => cmd_lint(&opts),
         Command::Serve(opts) => cmd_serve(&opts),
         Command::Submit(opts) => cmd_submit(&opts),
         Command::Query(opts) => cmd_query(&opts),
@@ -88,8 +90,14 @@ fn load_program(name_or_path: &str) -> Result<Program, CliError> {
     if let Some(entry) = catalog::all().into_iter().find(|e| e.name == name_or_path) {
         return Ok(entry.program);
     }
-    if std::path::Path::new(name_or_path).exists() {
+    let path = std::path::Path::new(name_or_path);
+    if path.exists() {
         let text = std::fs::read_to_string(name_or_path).map_err(file_err(name_or_path))?;
+        if matches!(path.extension().and_then(|e| e.to_str()), Some("wmrd" | "asm" | "s")) {
+            // Assembly source; `parse_asm` validates the result.
+            return wmrd_sim::parse_asm(&text)
+                .map_err(|source| CliError::Asm { path: name_or_path.to_string(), source });
+        }
         let program: Program = serde_json::from_str(&text)?;
         program.validate()?;
         return Ok(program);
@@ -373,6 +381,58 @@ fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_lint(opts: &LintOpts) -> Result<String, CliError> {
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "lint");
+    // Expand targets: the word `all` means every catalog entry.
+    let mut targets: Vec<String> = Vec::new();
+    for t in &opts.targets {
+        if t == "all" {
+            targets.extend(catalog::all().into_iter().map(|e| e.name.to_string()));
+        } else {
+            targets.push(t.clone());
+        }
+    }
+    let mut reports = Vec::new();
+    for target in &targets {
+        let program = load_program(target)?;
+        reports.push(wmrd_lint::analyze_with_metrics(&program, &metrics));
+    }
+    let findings: u64 = reports.iter().map(|r| r.keys.len() as u64).sum();
+    let mut out = String::new();
+    if opts.json {
+        if let [only] = reports.as_slice() {
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(only)?);
+        } else {
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(&reports)?);
+        }
+    } else {
+        for (i, report) in reports.iter().enumerate() {
+            if i > 0 {
+                let _ = writeln!(out);
+            }
+            let _ = write!(out, "{}", report.render());
+        }
+        if reports.len() > 1 {
+            let racy = reports.iter().filter(|r| !r.is_race_free()).count();
+            let _ = writeln!(
+                out,
+                "\nlinted {} program(s): {} with may-race findings, {} statically race-free",
+                reports.len(),
+                racy,
+                reports.len() - racy
+            );
+        }
+    }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+    if findings > 0 {
+        // A verdict, not a malfunction: the caller prints `output` and
+        // exits non-zero so scripts can gate on the result.
+        return Err(CliError::LintFindings { output: out, findings });
+    }
+    Ok(out)
+}
+
 /// Builds the campaign spec an `explore` invocation describes.
 fn campaign_spec(opts: &ExploreOpts) -> Result<CampaignSpec, CliError> {
     let mut config = RunConfig::default();
@@ -448,6 +508,36 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
         return Ok(out);
     }
 
+    // With --prune-static, lint before simulating: a statically
+    // race-free program cannot produce findings (lint over-approximates
+    // the dynamic detector), so its campaign is skipped outright.
+    let lint = opts.prune_static.then(|| wmrd_lint::analyze_with_metrics(&program, &metrics));
+    if let Some(lint) = &lint {
+        if lint.is_race_free() {
+            metrics.add(wmrd_trace::metric_keys::LINT_PRUNED_CAMPAIGNS, 1);
+            let report = CampaignReport {
+                program: program.name().to_string(),
+                points: spec.num_points() as u64,
+                pruned: true,
+                prune_reason: Some(format!(
+                    "statically race-free ({} access(es), {} qualified lock(s))",
+                    lint.accesses,
+                    lint.locks.len()
+                )),
+                ..CampaignReport::default()
+            };
+            report.record_into(&metrics);
+            let mut out = report.render();
+            if let Some(path) = &opts.report_out {
+                std::fs::write(path, serde_json::to_string_pretty(&report)?)
+                    .map_err(file_err(path))?;
+                let _ = writeln!(out, "campaign report written to {path}");
+            }
+            emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+            return Ok(out);
+        }
+    }
+
     let jobs = if opts.jobs == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -460,6 +550,35 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     };
     report.record_into(&metrics);
     let mut out = report.render();
+    if let Some(lint) = &lint {
+        // Soundness cross-check: every dynamic finding must fall inside
+        // the static may-race set.
+        let missed: Vec<_> = report.keys().filter(|k| !lint.covers(k)).collect();
+        metrics.add(wmrd_trace::metric_keys::LINT_CROSSCHECK_VIOLATIONS, missed.len() as u64);
+        if missed.is_empty() {
+            let _ = writeln!(
+                out,
+                "static cross-check: {} dynamic race identit{} inside the static may-race set \
+                 ({} static key(s))",
+                report.races.len(),
+                if report.races.len() == 1 { "y" } else { "ies" },
+                lint.keys.len()
+            );
+        } else {
+            for key in &missed {
+                let _ = writeln!(
+                    out,
+                    "WARNING: dynamic race m[{}] {}:{:?} × {}:{:?} escaped the static \
+                     may-race set — lint soundness violation",
+                    key.loc.addr(),
+                    key.a.proc,
+                    key.a.kind,
+                    key.b.proc,
+                    key.b.kind
+                );
+            }
+        }
+    }
     if let Some(observer) = &sink {
         let _ = writeln!(out, "{}", observer.summary());
     }
@@ -966,6 +1085,110 @@ mod tests {
         // A dead sink fails fast, before simulating anything.
         let err = run_cli(&argv(&format!("explore fig1a --seeds 0..4 --sink {addr}")));
         assert!(err.is_err(), "sink gone, invocation must fail");
+    }
+
+    #[test]
+    fn lint_flags_racy_programs_with_nonzero_exit() {
+        let err = run_cli(&argv("lint fig1a")).unwrap_err();
+        let CliError::LintFindings { output, findings } = err else { panic!("expected findings") };
+        assert!(findings > 0);
+        assert!(output.contains("verdict: MAY RACE"), "{output}");
+        assert!(output.contains("m[0]"), "{output}");
+    }
+
+    #[test]
+    fn lint_passes_statically_race_free_programs() {
+        let out = run_cli(&argv("lint counter-locked")).unwrap();
+        assert!(out.contains("verdict: statically race-free"), "{out}");
+        assert!(out.contains("qualified locks"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_formats() {
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1a --format json")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        let report: wmrd_lint::LintReport = serde_json::from_str(&output).unwrap();
+        assert_eq!(report.program, "fig1a");
+        assert!(!report.keys.is_empty());
+
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1a counter-locked --format json")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        let reports: Vec<wmrd_lint::LintReport> = serde_json::from_str(&output).unwrap();
+        assert_eq!(reports.len(), 2, "multiple targets serialize as an array");
+    }
+
+    #[test]
+    fn lint_all_covers_the_catalog() {
+        let CliError::LintFindings { output, .. } = run_cli(&argv("lint all")).unwrap_err() else {
+            panic!("the catalog has racy entries")
+        };
+        assert!(output.contains("linted"), "{output}");
+        for entry in catalog::all() {
+            assert!(output.contains(entry.name), "missing {}:\n{output}", entry.name);
+        }
+    }
+
+    #[test]
+    fn lint_reads_assembly_files() {
+        let path = tmp("racy.wmrd");
+        std::fs::write(
+            &path,
+            "program tmp\nmemory 1\nproc\n  st 1, m[0]\n  halt\nproc\n  ld r0, m[0]\n  halt\n",
+        )
+        .unwrap();
+        let err = run_cli(&argv(&format!("lint {path}"))).unwrap_err();
+        assert!(matches!(err, CliError::LintFindings { findings: 1, .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn asm_parse_errors_carry_line_and_column() {
+        let path = tmp("broken.wmrd");
+        std::fs::write(&path, "proc\n  frobnicate r0\n").unwrap();
+        let err = run_cli(&argv(&format!("run {path}"))).unwrap_err();
+        let text = err.to_string();
+        assert!(matches!(err, CliError::Asm { .. }), "{text}");
+        assert!(text.contains("line 2"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_metrics_and_stats() {
+        let m_path = tmp("m-lint.json");
+        let out =
+            run_cli(&argv(&format!("lint counter-locked --metrics {m_path} --stats"))).unwrap();
+        assert!(out.contains("lint.programs"), "{out}");
+        let report: wmrd_trace::RunMetrics =
+            serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
+        assert_eq!(report.context.get("command").map(String::as_str), Some("lint"));
+        assert_eq!(report.counter("lint.programs"), Some(1));
+        assert_eq!(report.counter("lint.race_free"), Some(1));
+        assert!(report.phase_ns("lint.analysis").is_some());
+        std::fs::remove_file(&m_path).ok();
+    }
+
+    #[test]
+    fn explore_prune_static_skips_race_free_programs() {
+        let out =
+            run_cli(&argv("explore counter-locked --seeds 0..16 --prune-static --stats")).unwrap();
+        assert!(out.contains("campaign: counter-locked (16 points)"), "{out}");
+        assert!(out.contains("pruned statically"), "{out}");
+        assert!(!out.contains("executions:"), "nothing should have run:\n{out}");
+        assert!(out.contains("lint.pruned_campaigns"), "{out}");
+    }
+
+    #[test]
+    fn explore_prune_static_cross_checks_racy_programs() {
+        let out = run_cli(&argv("explore fig1a --seeds 0..8 --jobs 2 --prune-static")).unwrap();
+        assert!(out.contains("deduplicated race"), "the campaign still runs:\n{out}");
+        assert!(out.contains("static cross-check"), "{out}");
+        assert!(!out.contains("escaped the static"), "soundness violation:\n{out}");
     }
 
     #[test]

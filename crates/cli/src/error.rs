@@ -32,6 +32,23 @@ pub enum CliError {
     },
     /// JSON (de)serialization failed.
     Json(serde_json::Error),
+    /// An assembly source file failed to parse (named so the user knows
+    /// which path failed; the source error carries line and column).
+    Asm {
+        /// The path involved.
+        path: String,
+        /// The underlying parse error.
+        source: wmrd_sim::AsmError,
+    },
+    /// `wmrd lint` found may-race pairs. Carries the full report text so
+    /// the binary can print it before exiting non-zero — findings are a
+    /// *verdict*, not a malfunction, but scripts need the exit status.
+    LintFindings {
+        /// The rendered report(s), exactly as a clean run would print.
+        output: String,
+        /// Total may-race keys across the linted programs.
+        findings: u64,
+    },
     /// The serve layer (daemon, client, or endpoint) failed.
     Serve(wmrd_serve::ServeError),
     /// The race catalog refused an operation.
@@ -51,6 +68,10 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::File { path, source } => write!(f, "{path}: {source}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Asm { path, source } => write!(f, "{path}: {source}"),
+            CliError::LintFindings { findings, .. } => {
+                write!(f, "lint found {findings} may-race key(s)")
+            }
             CliError::Serve(e) => write!(f, "serve error: {e}"),
             CliError::Catalog(e) => write!(f, "catalog error: {e}"),
         }
@@ -68,6 +89,7 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::File { source, .. } => Some(source),
             CliError::Json(e) => Some(e),
+            CliError::Asm { source, .. } => Some(source),
             CliError::Serve(e) => Some(e),
             CliError::Catalog(e) => Some(e),
             _ => None,
@@ -142,6 +164,25 @@ mod tests {
         assert!(e.to_string().contains("/tmp/x.json"));
         use std::error::Error as _;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn asm_errors_name_path_line_and_column() {
+        let source = wmrd_sim::parse_asm("proc\n  frobnicate r0\n").unwrap_err();
+        let e = CliError::Asm { path: "bad.wmrd".into(), source };
+        let text = e.to_string();
+        assert!(text.contains("bad.wmrd"), "{text}");
+        assert!(text.contains("line 2"), "{text}");
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn lint_findings_carry_the_count() {
+        let e = CliError::LintFindings { output: "report text".into(), findings: 3 };
+        assert!(e.to_string().contains("3 may-race key(s)"), "{e}");
+        use std::error::Error as _;
+        assert!(e.source().is_none(), "a verdict has no underlying fault");
     }
 
     #[test]

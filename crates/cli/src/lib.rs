@@ -12,6 +12,8 @@
 //! wmrd run fig1a --model wo --seed 3 --trace t.json
 //! wmrd analyze t.json --timeline --dot g.dot
 //! wmrd check producer-consumer --model rcsc --seeds 8
+//! wmrd lint all                                 # static may-race analysis
+//! wmrd explore fig1a --seeds 0..500 --prune-static
 //! wmrd serve --listen unix:/tmp/wmrd.sock --catalog races.journal &
 //! wmrd submit --to unix:/tmp/wmrd.sock t.json   # analyze into the catalog
 //! wmrd query --to unix:/tmp/wmrd.sock races     # the deduplicated race table
@@ -30,7 +32,8 @@ mod commands;
 mod error;
 
 pub use args::{
-    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, QueryOpts, RunOpts, ServeOpts, SubmitOpts,
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, QueryOpts, RunOpts, ServeOpts,
+    SubmitOpts,
 };
 pub use commands::run_cli;
 pub use error::CliError;

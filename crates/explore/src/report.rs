@@ -93,6 +93,15 @@ pub struct CampaignReport {
     /// Contained failures, in spec order. Deterministic for a fixed
     /// program, spec and fault plan, like everything else here.
     pub failures: Vec<ExecFailure>,
+    /// `true` iff the campaign was skipped entirely because a static
+    /// pre-filter (`wmrd lint` via `explore --prune-static`) proved the
+    /// program race-free; `points` then records what *would* have run.
+    #[serde(default)]
+    pub pruned: bool,
+    /// Why the campaign was pruned, when [`pruned`](Self::pruned) is
+    /// set (e.g. the lint verdict line).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub prune_reason: Option<String>,
 }
 
 impl CampaignReport {
@@ -133,6 +142,14 @@ impl CampaignReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "campaign: {} ({} points)", self.program, self.points);
+        if self.pruned {
+            let _ = writeln!(
+                out,
+                "pruned statically: {}",
+                self.prune_reason.as_deref().unwrap_or("program is statically race-free")
+            );
+            return out;
+        }
         let _ = writeln!(
             out,
             "executions: {} ({} racy, {} budget-stopped, {} post-mortems)",
@@ -252,6 +269,23 @@ mod tests {
         assert_eq!(r.counter(metric_keys::EXPLORE_RACE_HITS), Some(3));
         assert_eq!(r.counter(metric_keys::EXPLORE_TOTAL_STEPS), Some(99));
         assert_eq!(r.gauge(metric_keys::EXPLORE_POINTS), Some(4));
+    }
+
+    #[test]
+    fn pruned_report_renders_the_reason_and_nothing_else() {
+        let report = CampaignReport {
+            program: "t".into(),
+            points: 64,
+            pruned: true,
+            prune_reason: Some("statically race-free (0 may-race pairs)".into()),
+            ..CampaignReport::default()
+        };
+        let text = report.render();
+        assert!(text.contains("campaign: t (64 points)"), "{text}");
+        assert!(text.contains("pruned statically"), "{text}");
+        assert!(text.contains("0 may-race pairs"), "{text}");
+        assert!(!text.contains("executions:"), "pruned campaigns ran nothing:\n{text}");
+        assert!(report.is_race_free());
     }
 
     #[test]

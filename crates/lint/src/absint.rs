@@ -1,0 +1,465 @@
+//! Worklist abstract interpretation of one processor's code.
+//!
+//! The fixpoint computes, for every reachable instruction, an
+//! [`AbsState`]: register intervals, `TestSet`-result tags, and the
+//! must-held lock set. Branch edges *refine* the branched-on register
+//! (the taken edge of `bz r, t` knows `r == 0`), which is also where
+//! lock acquisition is confirmed: a `test&set r, m[l]` merely tags `r`;
+//! only an edge proving `r == 0` — the spin loop's exit — inserts `l`
+//! into the held set. Adding the lock at the `TestSet` itself would be
+//! unsound, because the test may have failed.
+//!
+//! After the fixpoint, [`proc_accesses`] extracts one [`Access`] per
+//! reachable memory instruction: conservative location ranges (indirect
+//! addresses resolve through the base register's interval, clamped to
+//! the memory bounds because an out-of-range address aborts the
+//! execution before any memory operation happens), read/write kinds,
+//! the data/sync classification and the must-held locks at that point.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use wmrd_sim::{Addr, Instr, Reg};
+use wmrd_trace::{Location, ProcId};
+
+use crate::cfg::Cfg;
+use crate::domain::{AbsState, Interval};
+
+/// Joins tolerated at one program point before its changing register
+/// intervals are widened to [`Interval::FULL`]. Tags and held sets live
+/// in finite lattices and need no widening.
+const WIDEN_LIMIT: u32 = 8;
+
+/// How a memory instruction participates in the `TestSet`/`Unset` lock
+/// protocol (only absolute-addressed operations participate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOp {
+    /// `test&set` on a fixed location: a (possibly failing) acquire.
+    Acquire(Location),
+    /// `unset` on a fixed location: a release.
+    Release(Location),
+}
+
+/// One memory instruction's abstract access summary.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Instruction index within the processor's code.
+    pub pc: usize,
+    /// The instruction itself (for rendering).
+    pub instr: Instr,
+    /// `true` iff the instruction reads the location.
+    pub reads: bool,
+    /// `true` iff the instruction writes the location.
+    pub writes: bool,
+    /// `true` iff the accesses are synchronization operations.
+    pub sync: bool,
+    /// Smallest in-bounds location the access may touch.
+    pub lo: u32,
+    /// Largest in-bounds location the access may touch.
+    pub hi: u32,
+    /// `true` iff the range is a single statically known location.
+    pub resolved: bool,
+    /// Locks must-held at this point (before the instruction's own
+    /// effect; unfiltered by qualification).
+    pub held: BTreeSet<Location>,
+    /// The instruction's role in the lock protocol, if any.
+    pub lock_op: Option<LockOp>,
+}
+
+/// Runs the fixpoint over one processor's code; returns the abstract
+/// state at every instruction (`None` = statically unreachable).
+pub fn analyze_proc(code: &[Instr]) -> Vec<Option<AbsState>> {
+    let cfg = Cfg::build(code);
+    let mut states: Vec<Option<AbsState>> = vec![None; code.len()];
+    if code.is_empty() {
+        return states;
+    }
+    states[0] = Some(AbsState::entry());
+    let mut widen = vec![0u32; code.len()];
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    while let Some(pc) = work.pop_front() {
+        let state = states[pc].clone().expect("worklist holds reachable points only");
+        for (succ, out) in transfer_edges(pc, &code[pc], &state, &cfg) {
+            match &mut states[succ] {
+                slot @ None => {
+                    *slot = Some(out);
+                    work.push_back(succ);
+                }
+                Some(cur) => {
+                    let before = cur.clone();
+                    if cur.join_from(&out) {
+                        widen[succ] += 1;
+                        if widen[succ] > WIDEN_LIMIT {
+                            for (i, reg) in cur.regs.iter_mut().enumerate() {
+                                if *reg != before.regs[i] {
+                                    *reg = Interval::FULL;
+                                }
+                            }
+                        }
+                        work.push_back(succ);
+                    }
+                }
+            }
+        }
+    }
+    states
+}
+
+/// The out-edges of `pc` with their (possibly refined) post-states.
+fn transfer_edges(pc: usize, instr: &Instr, state: &AbsState, cfg: &Cfg) -> Vec<(usize, AbsState)> {
+    let in_range = |t: usize| t < cfg.len();
+    match *instr {
+        Instr::Halt => Vec::new(),
+        Instr::Jmp { target } => vec![(target, state.clone())],
+        Instr::Bz { cond, target } => {
+            branch_edges(pc, cond, target, state, in_range, /* taken_when_zero */ true)
+        }
+        Instr::Bnz { cond, target } => {
+            branch_edges(pc, cond, target, state, in_range, /* taken_when_zero */ false)
+        }
+        _ => {
+            let mut out = state.clone();
+            apply_effect(instr, &mut out);
+            if in_range(pc + 1) {
+                vec![(pc + 1, out)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Edges of a conditional branch, refining the condition register on
+/// each edge and confirming lock acquisition on the zero edge of a
+/// tagged `TestSet` result. Infeasible edges (empty meet) are dropped.
+fn branch_edges(
+    pc: usize,
+    cond: Reg,
+    target: usize,
+    state: &AbsState,
+    in_range: impl Fn(usize) -> bool,
+    taken_when_zero: bool,
+) -> Vec<(usize, AbsState)> {
+    let mut edges = Vec::new();
+    let (zero_dest, nonzero_dest) =
+        if taken_when_zero { (target, pc + 1) } else { (pc + 1, target) };
+    // The cond == 0 edge: refine to [0, 0]; a tagged register proves the
+    // acquire succeeded (TestSet read 0 and wrote 1 atomically).
+    if state.regs[cond.index()].contains(0) {
+        let mut out = state.clone();
+        out.regs[cond.index()] = Interval::constant(0);
+        if let Some(lock) = out.tags[cond.index()] {
+            out.held.insert(lock);
+        }
+        if in_range(zero_dest) {
+            edges.push((zero_dest, out));
+        }
+    }
+    // The cond != 0 edge: trim zero off an endpoint when representable.
+    if let Some(refined) = state.regs[cond.index()].without_zero() {
+        let mut out = state.clone();
+        out.regs[cond.index()] = refined;
+        if in_range(nonzero_dest) {
+            edges.push((nonzero_dest, out));
+        }
+    }
+    edges
+}
+
+/// Applies a non-branch instruction's effect on registers, tags and the
+/// held set. Memory reads produce [`Interval::FULL`] — the analysis does
+/// not model memory contents (the documented imprecision: a value
+/// loaded and used as an indirect base addresses the whole memory).
+fn apply_effect(instr: &Instr, s: &mut AbsState) {
+    match *instr {
+        Instr::Li { dst, imm } => set(s, dst, Interval::constant(imm)),
+        Instr::Mov { dst, src } => {
+            s.regs[dst.index()] = s.regs[src.index()];
+            s.tags[dst.index()] = s.tags[src.index()];
+        }
+        Instr::Add { dst, a, b } => set(s, dst, s.regs[a.index()] + s.operand(b)),
+        Instr::Sub { dst, a, b } => set(s, dst, s.regs[a.index()] - s.operand(b)),
+        Instr::Mul { dst, a, b } => set(s, dst, s.regs[a.index()] * s.operand(b)),
+        Instr::CmpEq { dst, a, b } => {
+            let (x, y) = (s.regs[a.index()], s.operand(b));
+            let v = if x.is_constant() && y.is_constant() && x.lo == y.lo {
+                Interval::constant(1)
+            } else if x.meet(y).is_none() {
+                Interval::constant(0)
+            } else {
+                Interval { lo: 0, hi: 1 }
+            };
+            set(s, dst, v);
+        }
+        Instr::CmpLt { dst, a, b } => {
+            let (x, y) = (s.regs[a.index()], s.operand(b));
+            let v = if x.hi < y.lo {
+                Interval::constant(1)
+            } else if x.lo >= y.hi {
+                Interval::constant(0)
+            } else {
+                Interval { lo: 0, hi: 1 }
+            };
+            set(s, dst, v);
+        }
+        Instr::Ld { dst, .. } | Instr::LdAcq { dst, .. } | Instr::LdSync { dst, .. } => {
+            set(s, dst, Interval::FULL);
+        }
+        Instr::TestSet { dst, addr } => {
+            set(s, dst, Interval::FULL);
+            if let Addr::Abs(lock) = addr {
+                s.tags[dst.index()] = Some(lock);
+            }
+        }
+        Instr::Unset { addr } => {
+            if let Addr::Abs(lock) = addr {
+                s.release(lock);
+            }
+        }
+        Instr::St { .. }
+        | Instr::StRel { .. }
+        | Instr::StSync { .. }
+        | Instr::Fence
+        | Instr::Nop => {}
+        Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Bnz { .. } | Instr::Halt => {
+            unreachable!("control flow handled by transfer_edges")
+        }
+    }
+}
+
+fn set(s: &mut AbsState, dst: Reg, v: Interval) {
+    s.regs[dst.index()] = v;
+    s.tags[dst.index()] = None;
+}
+
+/// Extracts the abstract accesses of one processor from its fixpoint
+/// states. Accesses whose whole address range is out of bounds are
+/// dropped: the simulator aborts with `BadAddress` before performing
+/// them, so no dynamic access can originate there.
+pub fn proc_accesses(
+    proc: ProcId,
+    code: &[Instr],
+    states: &[Option<AbsState>],
+    num_locations: u32,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (pc, instr) in code.iter().enumerate() {
+        let Some(state) = &states[pc] else { continue };
+        let Some(addr) = instr.addr() else { continue };
+        let (lo, hi, resolved) = match addr {
+            Addr::Abs(l) => {
+                if l.addr() >= num_locations {
+                    continue; // validate() rejects these; belt and braces
+                }
+                (l.addr(), l.addr(), true)
+            }
+            Addr::Ind { base, offset } => {
+                let range = state.regs[base.index()].add_const(offset);
+                let lo = range.lo.max(0);
+                let hi = range.hi.min(i64::from(num_locations) - 1);
+                if lo > hi {
+                    continue; // entirely out of bounds: execution aborts
+                }
+                (lo as u32, hi as u32, range.is_constant())
+            }
+        };
+        let (reads, writes) = match instr {
+            Instr::Ld { .. } | Instr::LdAcq { .. } | Instr::LdSync { .. } => (true, false),
+            Instr::St { .. } | Instr::StRel { .. } | Instr::StSync { .. } | Instr::Unset { .. } => {
+                (false, true)
+            }
+            Instr::TestSet { .. } => (true, true),
+            _ => unreachable!("addr() implies a memory instruction"),
+        };
+        let lock_op = match (instr, addr) {
+            (Instr::TestSet { .. }, Addr::Abs(l)) => Some(LockOp::Acquire(l)),
+            (Instr::Unset { .. }, Addr::Abs(l)) => Some(LockOp::Release(l)),
+            _ => None,
+        };
+        out.push(Access {
+            proc,
+            pc,
+            instr: *instr,
+            reads,
+            writes,
+            sync: instr.is_sync(),
+            lo,
+            hi,
+            resolved,
+            held: state.held.clone(),
+            lock_op,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_sim::{Addr, Operand};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn abs(a: u32) -> Addr {
+        Addr::Abs(l(a))
+    }
+
+    #[test]
+    fn spin_lock_confirms_acquisition_on_the_exit_edge() {
+        // 0: test&set r0, m[2]
+        // 1: bnz r0, @0        (spin until the old value was 0)
+        // 2: st 1, m[0]        (critical section)
+        // 3: unset m[2]
+        // 4: st 1, m[1]        (outside the critical section)
+        // 5: halt
+        let code = vec![
+            Instr::TestSet { dst: r(0), addr: abs(2) },
+            Instr::Bnz { cond: r(0), target: 0 },
+            Instr::St { src: Operand::Imm(1), addr: abs(0) },
+            Instr::Unset { addr: abs(2) },
+            Instr::St { src: Operand::Imm(1), addr: abs(1) },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        let held_at = |pc: usize| states[pc].as_ref().unwrap().held.clone();
+        assert!(held_at(0).is_empty(), "nothing held before the acquire");
+        assert!(held_at(1).is_empty(), "the TestSet alone confirms nothing");
+        assert_eq!(held_at(2), BTreeSet::from([l(2)]), "held inside the section");
+        assert_eq!(held_at(3), BTreeSet::from([l(2)]), "held at the release");
+        assert!(held_at(4).is_empty(), "released");
+
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 3);
+        let at = |pc: usize| accesses.iter().find(|a| a.pc == pc).unwrap();
+        assert_eq!(at(0).lock_op, Some(LockOp::Acquire(l(2))));
+        assert_eq!(at(3).lock_op, Some(LockOp::Release(l(2))));
+        assert!(at(3).held.contains(&l(2)), "release inside the section");
+        assert!(at(2).held.contains(&l(2)));
+        assert!(at(4).held.is_empty());
+        assert!(at(0).reads && at(0).writes && at(0).sync);
+        assert!(!at(2).sync && at(2).writes && !at(2).reads);
+    }
+
+    #[test]
+    fn indirect_ranges_resolve_through_intervals() {
+        // r1 := 4; r2 := r1 + 2; ld r0, m[r2+1]  → exactly m[7]
+        let code = vec![
+            Instr::Li { dst: r(1), imm: 4 },
+            Instr::Add { dst: r(2), a: r(1), b: Operand::Imm(2) },
+            Instr::Ld { dst: r(0), addr: Addr::Ind { base: r(2), offset: 1 } },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 16);
+        assert_eq!(accesses.len(), 1);
+        assert_eq!((accesses[0].lo, accesses[0].hi), (7, 7));
+        assert!(accesses[0].resolved);
+    }
+
+    #[test]
+    fn loaded_bases_cover_all_of_memory() {
+        // The documented imprecision: a base loaded from memory is FULL,
+        // so the access covers every in-bounds location.
+        let code = vec![
+            Instr::Ld { dst: r(1), addr: abs(0) },
+            Instr::St { src: Operand::Imm(1), addr: Addr::Ind { base: r(1), offset: 0 } },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 8);
+        let store = accesses.iter().find(|a| a.pc == 1).unwrap();
+        assert_eq!((store.lo, store.hi), (0, 7));
+        assert!(!store.resolved);
+    }
+
+    #[test]
+    fn fully_out_of_bounds_accesses_are_dropped() {
+        let code = vec![
+            Instr::Li { dst: r(1), imm: 100 },
+            Instr::St { src: Operand::Imm(1), addr: Addr::Ind { base: r(1), offset: 0 } },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 8);
+        assert!(accesses.iter().all(|a| a.pc != 1), "BadAddress aborts, no access");
+    }
+
+    #[test]
+    fn dead_branches_prune_states() {
+        // r0 is the constant 0, so `bnz r0` never takes its target; the
+        // store at the target is unreachable and produces no access.
+        let code = vec![
+            Instr::Bnz { cond: r(0), target: 3 },
+            Instr::Nop,
+            Instr::Jmp { target: 4 },
+            Instr::St { src: Operand::Imm(1), addr: abs(0) },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        assert!(states[3].is_none(), "the taken edge is infeasible");
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 1);
+        assert!(accesses.is_empty());
+    }
+
+    #[test]
+    fn bounded_loops_reach_a_fixpoint_with_widening() {
+        // r1 counts 0..10 via cmplt/bnz: the back edge forces joins at
+        // the loop head until widening kicks in; the analysis must
+        // terminate and keep the store's range in bounds.
+        let code = vec![
+            Instr::Li { dst: r(1), imm: 0 },
+            Instr::CmpLt { dst: r(2), a: r(1), b: Operand::Imm(10) },
+            Instr::Bz { cond: r(2), target: 6 },
+            Instr::St { src: Operand::Imm(1), addr: Addr::Ind { base: r(1), offset: 0 } },
+            Instr::Add { dst: r(1), a: r(1), b: Operand::Imm(1) },
+            Instr::Jmp { target: 1 },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        let accesses = proc_accesses(ProcId::new(0), &code, &states, 16);
+        let store = accesses.iter().find(|a| a.pc == 3).unwrap();
+        assert_eq!(store.lo, 0, "range stays clamped in bounds");
+        assert!(store.hi <= 15);
+    }
+
+    #[test]
+    fn mov_preserves_the_testset_tag() {
+        let code = vec![
+            Instr::TestSet { dst: r(0), addr: abs(1) },
+            Instr::Mov { dst: r(3), src: r(0) },
+            Instr::Bnz { cond: r(3), target: 0 },
+            Instr::St { src: Operand::Imm(1), addr: abs(0) },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        assert!(
+            states[3].as_ref().unwrap().held.contains(&l(1)),
+            "branching on the moved result still confirms the acquire"
+        );
+    }
+
+    #[test]
+    fn release_invalidates_stale_tags() {
+        // Acquire, release, then branch on the stale result register:
+        // the lock must NOT be re-added to the held set.
+        let code = vec![
+            Instr::TestSet { dst: r(0), addr: abs(1) },
+            Instr::Bnz { cond: r(0), target: 0 },
+            Instr::Unset { addr: abs(1) },
+            Instr::Bnz { cond: r(0), target: 2 },
+            Instr::St { src: Operand::Imm(1), addr: abs(0) },
+            Instr::Halt,
+        ];
+        let states = analyze_proc(&code);
+        assert!(
+            states[4].as_ref().unwrap().held.is_empty(),
+            "stale tag after release confirms nothing"
+        );
+    }
+}

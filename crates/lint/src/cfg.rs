@@ -1,0 +1,79 @@
+//! Per-processor control-flow graphs over `Instr` streams.
+//!
+//! Each instruction index is a CFG node. Edges come from
+//! [`Instr::successors`]: fall-through for straight-line code, the
+//! target for `Jmp`, both for conditional branches, none for `Halt`. A
+//! fall-through one past the end of the code is dropped — a core that
+//! walks off the end never executes again, so no further accesses can
+//! originate there.
+
+use wmrd_sim::Instr;
+
+/// The control-flow graph of one processor's code.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of an instruction stream. `Program::validate`
+    /// guarantees in-range branch targets; out-of-range fall-throughs
+    /// (the last instruction not being `Halt`/`Jmp`) are dropped.
+    pub fn build(code: &[Instr]) -> Self {
+        let succs = code
+            .iter()
+            .enumerate()
+            .map(|(pc, instr)| {
+                instr.successors(pc).into_iter().flatten().filter(|&s| s < code.len()).collect()
+            })
+            .collect();
+        Cfg { succs }
+    }
+
+    /// Number of nodes (instructions).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// `true` iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The successor instruction indices of `pc`.
+    pub fn succs(&self, pc: usize) -> &[usize] {
+        &self.succs[pc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_sim::{Addr, Instr, Reg};
+    use wmrd_trace::Location;
+
+    #[test]
+    fn spin_loop_shape() {
+        // test&set r0, m[0]; bnz r0, @0; ld r1, m[1]; halt
+        let code = vec![
+            Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(Location::new(0)) },
+            Instr::Bnz { cond: Reg::new(0), target: 0 },
+            Instr::Ld { dst: Reg::new(1), addr: Addr::Abs(Location::new(1)) },
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.len(), 4);
+        assert!(!cfg.is_empty());
+        assert_eq!(cfg.succs(0), &[1]);
+        assert_eq!(cfg.succs(1), &[2, 0], "fall-through then branch target");
+        assert_eq!(cfg.succs(2), &[3]);
+        assert!(cfg.succs(3).is_empty(), "halt ends the stream");
+    }
+
+    #[test]
+    fn trailing_fall_through_is_dropped() {
+        let code = vec![Instr::Nop];
+        let cfg = Cfg::build(&code);
+        assert!(cfg.succs(0).is_empty(), "pc+1 is out of range");
+    }
+}

@@ -1,0 +1,285 @@
+//! The abstract domain: register intervals, lock tags and must-held
+//! lock sets.
+//!
+//! Registers are abstracted by closed integer intervals `[lo, hi]`. The
+//! top element is the full `i64` range; there is no explicit bottom —
+//! unreachable program points are represented by *absent* states in the
+//! fixpoint (see [`crate::absint`]). The concrete machine uses wrapping
+//! arithmetic ([`CoreState`](wmrd_sim::CoreState) executes `Add` as
+//! `wrapping_add`), so every interval operator goes to the full range as
+//! soon as an endpoint computation overflows: a saturated endpoint would
+//! *exclude* the wrapped-around concrete values and break soundness.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use wmrd_sim::{Operand, NUM_REGS};
+use wmrd_trace::Location;
+
+/// A closed interval of `i64` values; the abstract value of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Smallest value the register may hold.
+    pub lo: i64,
+    /// Largest value the register may hold.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full `i64` range (the domain's top element).
+    pub const FULL: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    /// The interval containing exactly `v`.
+    pub fn constant(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `true` iff this is the full range.
+    pub fn is_full(self) -> bool {
+        self == Interval::FULL
+    }
+
+    /// `true` iff the interval is the single value `v`.
+    pub fn is_constant(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` iff `v` may be a value of this interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound: the interval hull.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Greatest lower bound, or `None` if the intervals are disjoint
+    /// (the meet is empty — an infeasible refinement).
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The interval with `0` removed, or `None` if it was exactly
+    /// `[0, 0]`. Only the endpoints can be trimmed; an interior zero
+    /// (`lo < 0 < hi`) is not representable as removed, so the interval
+    /// is returned unchanged — a sound over-approximation.
+    pub fn without_zero(self) -> Option<Interval> {
+        if self.lo == 0 && self.hi == 0 {
+            None
+        } else if self.lo == 0 {
+            Some(Interval { lo: 1, hi: self.hi })
+        } else if self.hi == 0 {
+            Some(Interval { lo: self.lo, hi: -1 })
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Abstract addition of a constant (for `m[reg + offset]`).
+    pub fn add_const(self, k: i64) -> Interval {
+        self + Interval::constant(k)
+    }
+}
+
+/// Abstract addition. The concrete machine wraps, so any endpoint
+/// overflow widens to [`Interval::FULL`].
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::FULL,
+        }
+    }
+}
+
+/// Abstract subtraction; widens to full on endpoint overflow.
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, other: Interval) -> Interval {
+        match (self.lo.checked_sub(other.hi), self.hi.checked_sub(other.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::FULL,
+        }
+    }
+}
+
+/// Abstract multiplication; widens to full on endpoint overflow.
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, other: Interval) -> Interval {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for a in [self.lo, self.hi] {
+            for b in [other.lo, other.hi] {
+                match a.checked_mul(b) {
+                    Some(p) => {
+                        lo = lo.min(p);
+                        hi = hi.max(p);
+                    }
+                    None => return Interval::FULL,
+                }
+            }
+        }
+        Interval { lo, hi }
+    }
+}
+
+/// The abstract state of one processor at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Per-register value intervals.
+    pub regs: [Interval; NUM_REGS],
+    /// `tags[r] = Some(l)` iff `r` still holds the result of a
+    /// `TestSet` on lock `l` (and `l` has not been released since), so
+    /// a branch observing `r == 0` proves the acquire succeeded.
+    pub tags: [Option<Location>; NUM_REGS],
+    /// Locks held on *every* path to this point (must-analysis).
+    pub held: BTreeSet<Location>,
+}
+
+impl AbsState {
+    /// The entry state: the machine zeroes all registers
+    /// ([`CoreState::new`](wmrd_sim::CoreState::new)), no tags, no locks.
+    pub fn entry() -> Self {
+        AbsState {
+            regs: [Interval::constant(0); NUM_REGS],
+            tags: [None; NUM_REGS],
+            held: BTreeSet::new(),
+        }
+    }
+
+    /// Abstract value of an operand.
+    pub fn operand(&self, op: Operand) -> Interval {
+        match op {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => Interval::constant(v),
+        }
+    }
+
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    /// Intervals take their hull, tags must agree to survive, held sets
+    /// intersect (a lock is held only if held on every incoming path).
+    pub fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for i in 0..NUM_REGS {
+            let joined = self.regs[i].join(other.regs[i]);
+            if joined != self.regs[i] {
+                self.regs[i] = joined;
+                changed = true;
+            }
+            if self.tags[i] != other.tags[i] && self.tags[i].is_some() {
+                self.tags[i] = None;
+                changed = true;
+            }
+        }
+        let kept: BTreeSet<Location> = self.held.intersection(&other.held).copied().collect();
+        if kept != self.held {
+            self.held = kept;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Drops lock `l` from the held set and invalidates every tag that
+    /// refers to it (a released lock's old `TestSet` result no longer
+    /// proves anything).
+    pub fn release(&mut self, l: Location) {
+        self.held.remove(&l);
+        for tag in &mut self.tags {
+            if *tag == Some(l) {
+                *tag = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_sim::Reg;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    #[test]
+    fn interval_lattice_ops() {
+        assert_eq!(iv(0, 3).join(iv(5, 7)), iv(0, 7));
+        assert_eq!(iv(0, 3).meet(iv(2, 7)), Some(iv(2, 3)));
+        assert_eq!(iv(0, 3).meet(iv(5, 7)), None);
+        assert!(Interval::FULL.is_full());
+        assert!(Interval::constant(4).contains(4));
+        assert!(!Interval::constant(4).contains(5));
+        assert!(Interval::constant(4).is_constant());
+    }
+
+    #[test]
+    fn without_zero_trims_only_endpoints() {
+        assert_eq!(iv(0, 0).without_zero(), None);
+        assert_eq!(iv(0, 5).without_zero(), Some(iv(1, 5)));
+        assert_eq!(iv(-5, 0).without_zero(), Some(iv(-5, -1)));
+        assert_eq!(iv(-5, 5).without_zero(), Some(iv(-5, 5)), "interior zero stays");
+    }
+
+    #[test]
+    fn arithmetic_widens_on_overflow_because_the_machine_wraps() {
+        assert_eq!(iv(1, 2) + iv(10, 20), iv(11, 22));
+        assert_eq!(iv(i64::MAX, i64::MAX) + iv(1, 1), Interval::FULL);
+        assert_eq!(iv(1, 2) - iv(1, 1), iv(0, 1));
+        assert_eq!(iv(i64::MIN, 0) - iv(1, 1), Interval::FULL);
+        assert_eq!(iv(-2, 3) * iv(4, 5), iv(-10, 15));
+        assert_eq!(iv(i64::MAX, i64::MAX) * iv(2, 2), Interval::FULL);
+        assert_eq!(iv(3, 3).add_const(4), iv(7, 7));
+    }
+
+    #[test]
+    fn join_from_is_a_must_analysis_for_locks() {
+        let l = Location::new(2);
+        let mut a = AbsState::entry();
+        a.held.insert(l);
+        a.tags[1] = Some(l);
+        a.regs[0] = iv(1, 1);
+        let mut b = AbsState::entry();
+        b.held.insert(l);
+        b.tags[1] = Some(l);
+
+        let mut joined = a.clone();
+        assert!(joined.join_from(&b), "reg interval widens");
+        assert_eq!(joined.regs[0], iv(0, 1));
+        assert!(joined.held.contains(&l), "held on both paths survives");
+        assert_eq!(joined.tags[1], Some(l), "agreeing tags survive");
+
+        let empty = AbsState::entry();
+        assert!(joined.join_from(&empty));
+        assert!(joined.held.is_empty(), "held on one path only does not");
+        assert_eq!(joined.tags[1], None, "disagreeing tags drop");
+    }
+
+    #[test]
+    fn release_clears_held_and_tags() {
+        let l = Location::new(3);
+        let mut s = AbsState::entry();
+        s.held.insert(l);
+        s.tags[0] = Some(l);
+        s.tags[1] = Some(Location::new(4));
+        s.release(l);
+        assert!(!s.held.contains(&l));
+        assert_eq!(s.tags[0], None);
+        assert_eq!(s.tags[1], Some(Location::new(4)), "other locks' tags survive");
+    }
+
+    #[test]
+    fn operand_evaluation() {
+        let mut s = AbsState::entry();
+        s.regs[2] = iv(1, 9);
+        assert_eq!(s.operand(Operand::Reg(Reg::new(2))), iv(1, 9));
+        assert_eq!(s.operand(Operand::Imm(-4)), Interval::constant(-4));
+    }
+}

@@ -1,0 +1,611 @@
+//! A text assembler for hand-written `.wmrd` programs.
+//!
+//! The format is the one `Instr`'s `Display` impl (and `wmrd show`)
+//! already prints, plus a handful of directives, so disassembly output
+//! round-trips back into a [`Program`]:
+//!
+//! ```text
+//! # Figure 1b as hand-written assembly.
+//! program fig1b
+//! memory 3
+//! init m[2] = 1
+//!
+//! proc P0
+//!     st 1, m[0]
+//!     st 1, m[1]
+//!     unset m[2]
+//!     halt
+//!
+//! proc P1
+//! spin:
+//!     test&set r0, m[2]
+//!     bnz r0, spin
+//!     ld r1, m[0]
+//!     ld r2, m[1]
+//!     halt
+//! ```
+//!
+//! * `#` and `//` start comments; blank lines are ignored.
+//! * `program <name>` names the program (optional, default `asm`).
+//! * `memory <n>` sets the shared-memory size; when omitted it is
+//!   inferred from the largest absolute location referenced.
+//! * `init m[k] = v` (or `init k = v`) sets an initial memory value.
+//! * `proc` (optionally `proc <name>`, the name is decorative) starts
+//!   the next processor's instruction stream.
+//! * A line of the form `label:` names the next instruction; branches
+//!   accept either a label or the `@index` syntax the disassembler
+//!   prints.
+//!
+//! Every parse error is an [`AsmError`] carrying the 1-based line and
+//! column it points at, so diagnostics on hand-written files are
+//! actionable (`file.wmrd: line 7, column 13: expected a register`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wmrd_trace::{Location, Value};
+
+use crate::{Addr, Instr, Operand, Program, Reg};
+
+/// A parse error in `.wmrd` assembly text, located by line and column
+/// (both 1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What went wrong, user-facing.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A branch target that may still be symbolic while a processor's code
+/// is being collected.
+enum Target {
+    /// `@index` — already absolute.
+    Index(usize),
+    /// A label, resolved when the processor ends; the positions locate
+    /// the reference for error reporting.
+    Label(String, usize, usize),
+}
+
+/// One processor's code while labels are still being collected.
+struct ProcBody {
+    /// Instructions with placeholder (0) targets for symbolic branches.
+    code: Vec<Instr>,
+    /// Source position of every instruction (line, col) for late errors.
+    spans: Vec<(usize, usize)>,
+    /// Pending symbolic/absolute targets: `code` index → target.
+    fixups: Vec<(usize, Target)>,
+    /// Label → instruction index.
+    labels: BTreeMap<String, usize>,
+}
+
+impl ProcBody {
+    fn new() -> Self {
+        ProcBody {
+            code: Vec::new(),
+            spans: Vec::new(),
+            fixups: Vec::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Resolves labels and bounds-checks every branch target.
+    fn assemble(mut self) -> Result<Vec<Instr>, AsmError> {
+        for (at, target) in self.fixups {
+            let (line, col) = self.spans[at];
+            let index = match target {
+                Target::Index(i) => {
+                    if i >= self.code.len() {
+                        return Err(AsmError {
+                            line,
+                            col,
+                            msg: format!(
+                                "branch target @{i} is out of range (processor has {} instructions)",
+                                self.code.len()
+                            ),
+                        });
+                    }
+                    i
+                }
+                Target::Label(name, lline, lcol) => *self.labels.get(&name).ok_or_else(|| {
+                    AsmError { line: lline, col: lcol, msg: format!("undefined label `{name}`") }
+                })?,
+            };
+            match &mut self.code[at] {
+                Instr::Jmp { target } | Instr::Bz { target, .. } | Instr::Bnz { target, .. } => {
+                    *target = index
+                }
+                _ => unreachable!("fixups only reference branches"),
+            }
+        }
+        Ok(self.code)
+    }
+}
+
+/// One source line's position, for column-accurate errors.
+struct Line {
+    no: usize,
+}
+
+impl Line {
+    fn err(&self, col: usize, msg: impl Into<String>) -> AsmError {
+        AsmError { line: self.no, col, msg: msg.into() }
+    }
+
+    /// Column (1-based) of byte offset `at` within the line.
+    fn col_of(&self, at: usize) -> usize {
+        at + 1
+    }
+}
+
+/// Splits the argument part of an instruction line on commas, returning
+/// `(column, text)` pairs with surrounding whitespace trimmed.
+fn split_args(line: &Line, args: &str, args_at: usize) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    if args.trim().is_empty() {
+        return out;
+    }
+    let mut offset = 0;
+    for piece in args.split(',') {
+        let lead = piece.len() - piece.trim_start().len();
+        out.push((line.col_of(args_at + offset + lead), piece.trim().to_string()));
+        offset += piece.len() + 1;
+    }
+    out
+}
+
+fn parse_reg(line: &Line, col: usize, text: &str) -> Result<Reg, AsmError> {
+    let digits = text
+        .strip_prefix('r')
+        .ok_or_else(|| line.err(col, format!("expected a register (r0..r15), got `{text}`")))?;
+    let index: u8 = digits
+        .parse()
+        .map_err(|_| line.err(col, format!("expected a register (r0..r15), got `{text}`")))?;
+    Reg::try_new(index)
+        .ok_or_else(|| line.err(col, format!("register `{text}` is out of range (r0..r15)")))
+}
+
+fn parse_imm(line: &Line, col: usize, text: &str) -> Result<i64, AsmError> {
+    text.parse().map_err(|_| line.err(col, format!("expected an integer, got `{text}`")))
+}
+
+fn parse_operand(line: &Line, col: usize, text: &str) -> Result<Operand, AsmError> {
+    if text.starts_with('r') && text.len() > 1 && text[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(line, col, text)?))
+    } else {
+        Ok(Operand::Imm(parse_imm(line, col, text)?))
+    }
+}
+
+/// Parses `m[5]`, `m[r3]`, `m[r3+2]` or `m[r3-1]`.
+fn parse_addr(line: &Line, col: usize, text: &str) -> Result<Addr, AsmError> {
+    let inner =
+        text.strip_prefix("m[").and_then(|rest| rest.strip_suffix(']')).ok_or_else(|| {
+            line.err(col, format!("expected an address like m[5] or m[r3+2], got `{text}`"))
+        })?;
+    if inner.starts_with('r') {
+        let (reg_text, offset) = match inner.find(['+', '-']) {
+            Some(split) => {
+                let (r, tail) = inner.split_at(split);
+                (r, parse_imm(line, col, tail)?)
+            }
+            None => (inner, 0),
+        };
+        Ok(Addr::Ind { base: parse_reg(line, col, reg_text)?, offset })
+    } else {
+        let addr: u32 = inner
+            .parse()
+            .map_err(|_| line.err(col, format!("expected a location index, got `{inner}`")))?;
+        Ok(Addr::Abs(Location::new(addr)))
+    }
+}
+
+/// Parses `@3` or a label reference.
+fn parse_target(line: &Line, col: usize, text: &str) -> Result<Target, AsmError> {
+    if let Some(index) = text.strip_prefix('@') {
+        let index: usize = index
+            .parse()
+            .map_err(|_| line.err(col, format!("expected @<index> or a label, got `{text}`")))?;
+        return Ok(Target::Index(index));
+    }
+    if text.is_empty() || !text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(line.err(col, format!("expected @<index> or a label, got `{text}`")));
+    }
+    Ok(Target::Label(text.to_string(), line.no, col))
+}
+
+/// Expects exactly `n` comma-separated arguments.
+fn expect_args(
+    line: &Line,
+    mnemonic: &str,
+    args: &[(usize, String)],
+    n: usize,
+) -> Result<(), AsmError> {
+    if args.len() != n {
+        let col = args.get(n).map_or(1, |(c, _)| *c);
+        return Err(line.err(col, format!("`{mnemonic}` wants {n} operand(s), got {}", args.len())));
+    }
+    Ok(())
+}
+
+/// Parses one instruction line (mnemonic already split off).
+fn parse_instr(
+    line: &Line,
+    mnemonic: &str,
+    mcol: usize,
+    args: &[(usize, String)],
+) -> Result<(Instr, Option<Target>), AsmError> {
+    let reg = |i: usize| parse_reg(line, args[i].0, &args[i].1);
+    let operand = |i: usize| parse_operand(line, args[i].0, &args[i].1);
+    let addr = |i: usize| parse_addr(line, args[i].0, &args[i].1);
+    let imm = |i: usize| parse_imm(line, args[i].0, &args[i].1);
+    let target = |i: usize| parse_target(line, args[i].0, &args[i].1);
+    let instr = match mnemonic {
+        "li" => {
+            expect_args(line, mnemonic, args, 2)?;
+            Instr::Li { dst: reg(0)?, imm: imm(1)? }
+        }
+        "mov" => {
+            expect_args(line, mnemonic, args, 2)?;
+            Instr::Mov { dst: reg(0)?, src: reg(1)? }
+        }
+        "add" | "sub" | "mul" | "cmpeq" | "cmplt" => {
+            expect_args(line, mnemonic, args, 3)?;
+            let (dst, a, b) = (reg(0)?, reg(1)?, operand(2)?);
+            match mnemonic {
+                "add" => Instr::Add { dst, a, b },
+                "sub" => Instr::Sub { dst, a, b },
+                "mul" => Instr::Mul { dst, a, b },
+                "cmpeq" => Instr::CmpEq { dst, a, b },
+                _ => Instr::CmpLt { dst, a, b },
+            }
+        }
+        "ld" | "ld.acq" | "ld.sync" => {
+            expect_args(line, mnemonic, args, 2)?;
+            let (dst, addr) = (reg(0)?, addr(1)?);
+            match mnemonic {
+                "ld" => Instr::Ld { dst, addr },
+                "ld.acq" => Instr::LdAcq { dst, addr },
+                _ => Instr::LdSync { dst, addr },
+            }
+        }
+        "st" | "st.rel" | "st.sync" => {
+            expect_args(line, mnemonic, args, 2)?;
+            let (src, addr) = (operand(0)?, addr(1)?);
+            match mnemonic {
+                "st" => Instr::St { src, addr },
+                "st.rel" => Instr::StRel { src, addr },
+                _ => Instr::StSync { src, addr },
+            }
+        }
+        "test&set" => {
+            expect_args(line, mnemonic, args, 2)?;
+            Instr::TestSet { dst: reg(0)?, addr: addr(1)? }
+        }
+        "unset" => {
+            expect_args(line, mnemonic, args, 1)?;
+            Instr::Unset { addr: addr(0)? }
+        }
+        "fence" => {
+            expect_args(line, mnemonic, args, 0)?;
+            Instr::Fence
+        }
+        "nop" => {
+            expect_args(line, mnemonic, args, 0)?;
+            Instr::Nop
+        }
+        "halt" => {
+            expect_args(line, mnemonic, args, 0)?;
+            Instr::Halt
+        }
+        "jmp" => {
+            expect_args(line, mnemonic, args, 1)?;
+            return Ok((Instr::Jmp { target: 0 }, Some(target(0)?)));
+        }
+        "bz" | "bnz" => {
+            expect_args(line, mnemonic, args, 2)?;
+            let (cond, t) = (reg(0)?, target(1)?);
+            let instr = if mnemonic == "bz" {
+                Instr::Bz { cond, target: 0 }
+            } else {
+                Instr::Bnz { cond, target: 0 }
+            };
+            return Ok((instr, Some(t)));
+        }
+        other => return Err(line.err(mcol, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok((instr, None))
+}
+
+/// Parses `.wmrd` assembly text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the 1-based line and column of the
+/// first problem.
+pub fn parse_asm(source: &str) -> Result<Program, AsmError> {
+    let mut name: Option<String> = None;
+    let mut memory: Option<u32> = None;
+    let mut init: Vec<(u32, i64, (usize, usize))> = Vec::new();
+    let mut procs: Vec<Vec<Instr>> = Vec::new();
+    let mut current: Option<ProcBody> = None;
+    let mut max_abs: Option<u32> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = Line { no: idx + 1 };
+        let code_part = match raw.find(['#']).into_iter().chain(raw.find("//")).min() {
+            Some(cut) => &raw[..cut],
+            None => raw,
+        };
+        let trimmed = code_part.trim_end();
+        let lead = trimmed.len() - trimmed.trim_start().len();
+        let body = trimmed.trim_start();
+        if body.is_empty() {
+            continue;
+        }
+        let col0 = line.col_of(lead);
+
+        // Directives.
+        if let Some(rest) = body.strip_prefix("program") {
+            if rest.starts_with(char::is_whitespace) {
+                let n = rest.trim();
+                if n.is_empty() {
+                    return Err(line.err(col0, "`program` wants a name"));
+                }
+                name = Some(n.to_string());
+                continue;
+            }
+        }
+        if let Some(rest) = body.strip_prefix("memory") {
+            if rest.starts_with(char::is_whitespace) {
+                let n = rest.trim();
+                memory = Some(n.parse().map_err(|_| {
+                    line.err(col0, format!("`memory` wants a size in words, got `{n}`"))
+                })?);
+                continue;
+            }
+        }
+        if let Some(rest) = body.strip_prefix("init") {
+            if rest.starts_with(char::is_whitespace) {
+                let spec = rest.trim();
+                let Some((loc_text, val_text)) = spec.split_once('=') else {
+                    return Err(line.err(col0, "`init` wants `m[k] = v`"));
+                };
+                let loc_text = loc_text.trim();
+                let loc_inner = loc_text
+                    .strip_prefix("m[")
+                    .and_then(|t| t.strip_suffix(']'))
+                    .unwrap_or(loc_text);
+                let loc: u32 = loc_inner.parse().map_err(|_| {
+                    line.err(col0, format!("`init` wants a location index, got `{loc_text}`"))
+                })?;
+                let value = parse_imm(&line, col0, val_text.trim())?;
+                max_abs = Some(max_abs.map_or(loc, |m: u32| m.max(loc)));
+                init.push((loc, value, (line.no, col0)));
+                continue;
+            }
+        }
+        if body == "proc"
+            || body.strip_prefix("proc").is_some_and(|r| r.starts_with(char::is_whitespace))
+        {
+            if let Some(done) = current.take() {
+                procs.push(done.assemble()?);
+            }
+            current = Some(ProcBody::new());
+            continue;
+        }
+
+        // Labels: `ident:` alone on the line.
+        if let Some(label) = body.strip_suffix(':') {
+            if !label.is_empty() && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                let Some(proc) = current.as_mut() else {
+                    return Err(line.err(col0, "label outside a `proc` block"));
+                };
+                let at = proc.code.len();
+                if proc.labels.insert(label.to_string(), at).is_some() {
+                    return Err(line.err(col0, format!("duplicate label `{label}`")));
+                }
+                continue;
+            }
+        }
+
+        // Instructions.
+        let Some(proc) = current.as_mut() else {
+            return Err(line.err(col0, "instruction outside a `proc` block"));
+        };
+        let (mnemonic, args_text) = match body.find(char::is_whitespace) {
+            Some(cut) => (&body[..cut], &body[cut..]),
+            None => (body, ""),
+        };
+        let args_at = lead + body.len() - args_text.len();
+        let args = split_args(&line, args_text, args_at);
+        let (instr, fixup) = parse_instr(&line, mnemonic, col0, &args)?;
+        if let Addr::Abs(l) = instr.addr().unwrap_or(Addr::Ind { base: Reg::new(0), offset: 0 }) {
+            max_abs = Some(max_abs.map_or(l.addr(), |m: u32| m.max(l.addr())));
+        }
+        let at = proc.code.len();
+        proc.code.push(instr);
+        proc.spans.push((line.no, col0));
+        if let Some(target) = fixup {
+            proc.fixups.push((at, target));
+        }
+    }
+    if let Some(done) = current.take() {
+        procs.push(done.assemble()?);
+    }
+
+    if procs.is_empty() {
+        return Err(AsmError {
+            line: 1,
+            col: 1,
+            msg: "no `proc` blocks — an empty program".into(),
+        });
+    }
+    let num_locations = memory.unwrap_or_else(|| max_abs.map_or(1, |m| m + 1));
+    let mut program = Program::new(name.unwrap_or_else(|| "asm".into()), num_locations);
+    for (loc, value, (lno, lcol)) in init {
+        if loc >= num_locations {
+            return Err(AsmError {
+                line: lno,
+                col: lcol,
+                msg: format!("init location m[{loc}] is outside memory ({num_locations} words)"),
+            });
+        }
+        program.set_init(Location::new(loc), Value::new(value));
+    }
+    for code in procs {
+        program.push_proc(code);
+    }
+    program.validate().map_err(|e| AsmError {
+        line: 1,
+        col: 1,
+        msg: format!("program does not validate: {e}"),
+    })?;
+    Ok(program)
+}
+
+/// Renders a [`Program`] as `.wmrd` assembly text that [`parse_asm`]
+/// accepts (branch targets use the disassembler's `@index` form).
+pub fn write_asm(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", program.name());
+    let _ = writeln!(out, "memory {}", program.num_locations());
+    for (loc, value) in program.init() {
+        let _ = writeln!(out, "init {loc} = {}", value.get());
+    }
+    for code in program.procs() {
+        let _ = writeln!(out, "\nproc");
+        for instr in code {
+            let _ = writeln!(out, "    {instr}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1B: &str = "\
+# Figure 1b as hand-written assembly.
+program fig1b
+memory 3
+init m[2] = 1
+
+proc P0
+    st 1, m[0]
+    st 1, m[1]      // data writes, then the release
+    unset m[2]
+    halt
+
+proc P1
+spin:
+    test&set r0, m[2]
+    bnz r0, spin
+    ld r1, m[0]
+    ld r2, m[1]
+    halt
+";
+
+    #[test]
+    fn parses_the_figure_1b_handoff() {
+        let program = parse_asm(FIG1B).unwrap();
+        assert_eq!(program.name(), "fig1b");
+        assert_eq!(program.num_locations(), 3);
+        assert_eq!(program.num_procs(), 2);
+        assert_eq!(program.init(), &[(Location::new(2), Value::new(1))]);
+        let p1 = &program.procs()[1];
+        assert_eq!(p1[0], Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(Location::new(2)) });
+        assert_eq!(p1[1], Instr::Bnz { cond: Reg::new(0), target: 0 }, "label resolved");
+    }
+
+    #[test]
+    fn indirect_addresses_and_at_targets() {
+        let program = parse_asm(
+            "proc\n    li r1, 5\n    ld r0, m[r1+2]\n    st r0, m[r1-1]\n    jmp @4\n    halt\n    halt\n",
+        )
+        .unwrap();
+        let code = &program.procs()[0];
+        assert_eq!(
+            code[1],
+            Instr::Ld { dst: Reg::new(0), addr: Addr::Ind { base: Reg::new(1), offset: 2 } }
+        );
+        assert_eq!(
+            code[2],
+            Instr::St {
+                src: Operand::Reg(Reg::new(0)),
+                addr: Addr::Ind { base: Reg::new(1), offset: -1 }
+            }
+        );
+        assert_eq!(code[3], Instr::Jmp { target: 4 });
+    }
+
+    #[test]
+    fn memory_size_is_inferred_when_omitted() {
+        let program = parse_asm("proc\n    st 1, m[7]\n    halt\n").unwrap();
+        assert_eq!(program.num_locations(), 8);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse_asm("proc\n    st 1, m[0]\n    sst 2, m[1]\n").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 5), "{err}");
+        assert!(err.to_string().contains("unknown mnemonic `sst`"), "{err}");
+
+        let err = parse_asm("proc\n    ld rx, m[0]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 8, "column points at the bad register: {err}");
+
+        let err = parse_asm("proc\n    bz r0, nowhere\n    halt\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 12), "{err}");
+        assert!(err.to_string().contains("undefined label"), "{err}");
+
+        let err = parse_asm("proc\n    jmp @9\n    halt\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        let err = parse_asm("    st 1, m[0]\n").unwrap_err();
+        assert!(err.to_string().contains("outside a `proc`"), "{err}");
+
+        let err = parse_asm("memory 2\nproc\n    st 1, m[9]\n    halt\n").unwrap_err();
+        assert!(err.to_string().contains("does not validate"), "{err}");
+
+        let err = parse_asm("# nothing\n").unwrap_err();
+        assert!(err.to_string().contains("empty program"), "{err}");
+
+        let err = parse_asm("proc\nl:\nl:\n    halt\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate label"), "{err}");
+
+        let err = parse_asm("memory two\nproc\n    halt\n").unwrap_err();
+        assert_eq!(err.line, 1, "{err}");
+
+        let err = parse_asm("init m[0] 3\nproc\n    halt\n").unwrap_err();
+        assert!(err.to_string().contains("init"), "{err}");
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let err = parse_asm("proc\n    li r1\n").unwrap_err();
+        assert!(err.to_string().contains("wants 2 operand(s)"), "{err}");
+        let err = parse_asm("proc\n    fence r1\n").unwrap_err();
+        assert!(err.to_string().contains("wants 0 operand(s)"), "{err}");
+    }
+
+    #[test]
+    fn write_asm_round_trips() {
+        let program = parse_asm(FIG1B).unwrap();
+        let text = write_asm(&program);
+        let again = parse_asm(&text).unwrap();
+        assert_eq!(program, again, "parse(write_asm(p)) == p:\n{text}");
+    }
+}

@@ -306,6 +306,56 @@ impl Instr {
             _ => None,
         }
     }
+
+    /// The instruction indices control flow may proceed to from index
+    /// `pc`: fall-through and/or branch target. `Halt` has none, `Jmp`
+    /// only its target, conditional branches both. The fall-through of
+    /// the last instruction is reported as `pc + 1` even though it lies
+    /// one past the end; CFG builders bound successors by the code
+    /// length (a core that walks off the end simply never executes
+    /// again).
+    pub fn successors(&self, pc: usize) -> [Option<usize>; 2] {
+        match self {
+            Instr::Halt => [None, None],
+            Instr::Jmp { target } => [Some(*target), None],
+            Instr::Bz { target, .. } | Instr::Bnz { target, .. } => [Some(pc + 1), Some(*target)],
+            _ => [Some(pc + 1), None],
+        }
+    }
+
+    /// The address this instruction's memory operations use, if it is a
+    /// memory instruction.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Instr::Ld { addr, .. }
+            | Instr::St { addr, .. }
+            | Instr::LdAcq { addr, .. }
+            | Instr::StRel { addr, .. }
+            | Instr::LdSync { addr, .. }
+            | Instr::StSync { addr, .. }
+            | Instr::TestSet { addr, .. }
+            | Instr::Unset { addr } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Instr::Li { dst, .. }
+            | Instr::Mov { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::CmpEq { dst, .. }
+            | Instr::CmpLt { dst, .. }
+            | Instr::Ld { dst, .. }
+            | Instr::LdAcq { dst, .. }
+            | Instr::LdSync { dst, .. }
+            | Instr::TestSet { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Instr {
@@ -371,6 +421,34 @@ mod tests {
         assert_eq!(Instr::Bz { cond: Reg::new(1), target: 3 }.branch_target(), Some(3));
         assert_eq!(Instr::Bnz { cond: Reg::new(1), target: 4 }.branch_target(), Some(4));
         assert_eq!(Instr::Halt.branch_target(), None);
+    }
+
+    #[test]
+    fn successors_shape_the_cfg() {
+        assert_eq!(Instr::Halt.successors(3), [None, None]);
+        assert_eq!(Instr::Jmp { target: 0 }.successors(3), [Some(0), None]);
+        assert_eq!(
+            Instr::Bnz { cond: Reg::new(0), target: 1 }.successors(3),
+            [Some(4), Some(1)],
+            "conditional branches fall through and jump"
+        );
+        assert_eq!(Instr::Nop.successors(3), [Some(4), None]);
+        assert_eq!(
+            Instr::St { src: Operand::Imm(1), addr: Addr::Abs(Location::new(0)) }.successors(0),
+            [Some(1), None]
+        );
+    }
+
+    #[test]
+    fn addr_and_dst_accessors() {
+        let l = Addr::Abs(Location::new(4));
+        assert_eq!(Instr::Unset { addr: l }.addr(), Some(l));
+        assert_eq!(Instr::St { src: Operand::Imm(0), addr: l }.addr(), Some(l));
+        assert_eq!(Instr::St { src: Operand::Imm(0), addr: l }.dst(), None);
+        assert_eq!(Instr::Fence.addr(), None);
+        assert_eq!(Instr::TestSet { dst: Reg::new(2), addr: l }.dst(), Some(Reg::new(2)));
+        assert_eq!(Instr::Li { dst: Reg::new(7), imm: 0 }.dst(), Some(Reg::new(7)));
+        assert_eq!(Instr::Jmp { target: 0 }.dst(), None);
     }
 
     #[test]

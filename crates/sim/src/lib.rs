@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod asm;
 mod campaign;
 mod cpu;
 mod error;
@@ -89,6 +90,7 @@ mod stats;
 mod timing;
 mod weak;
 
+pub use asm::{parse_asm, write_asm, AsmError};
 pub use campaign::CampaignRunner;
 pub use cpu::{CoreState, NUM_REGS};
 pub use error::SimError;

@@ -456,6 +456,26 @@ pub mod keys {
     pub const CATALOG_DROPPED_BYTES: &str = "catalog.dropped_bytes";
     /// Counter: journal compactions performed.
     pub const CATALOG_COMPACTIONS: &str = "catalog.compactions";
+    /// Counter: programs the static analyzer processed.
+    pub const LINT_PROGRAMS: &str = "lint.programs";
+    /// Counter: may-race instruction pairs across analyzed programs.
+    pub const LINT_MAY_PAIRS: &str = "lint.may_pairs";
+    /// Counter: distinct may-race identities (`RaceKey`s) across
+    /// analyzed programs.
+    pub const LINT_MAY_KEYS: &str = "lint.may_keys";
+    /// Counter: analyzed programs with an empty may-race set.
+    pub const LINT_RACE_FREE: &str = "lint.race_free";
+    /// Counter: qualified lock locations recognized across analyzed
+    /// programs.
+    pub const LINT_LOCKS: &str = "lint.locks";
+    /// Counter: explore campaigns skipped because the program was
+    /// statically race-free (`--prune-static`).
+    pub const LINT_PRUNED_CAMPAIGNS: &str = "lint.pruned_campaigns";
+    /// Counter: dynamic race identities NOT covered by the static
+    /// may-race set — a soundness violation; must stay zero.
+    pub const LINT_CROSSCHECK_VIOLATIONS: &str = "lint.crosscheck_violations";
+    /// Phase: wall-clock time spent in static analysis.
+    pub const LINT_ANALYSIS: &str = "lint.analysis";
 }
 
 #[cfg(test)]
@@ -520,6 +540,19 @@ mod tests {
             keys::CATALOG_COMPACTIONS,
         ] {
             assert!(key.starts_with("catalog."), "{key}");
+        }
+        for key in [
+            keys::LINT_PROGRAMS,
+            keys::LINT_MAY_PAIRS,
+            keys::LINT_MAY_KEYS,
+            keys::LINT_RACE_FREE,
+            keys::LINT_LOCKS,
+            keys::LINT_PRUNED_CAMPAIGNS,
+            keys::LINT_CROSSCHECK_VIOLATIONS,
+            keys::LINT_ANALYSIS,
+        ] {
+            assert!(key.starts_with("lint."), "{key}");
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
         }
     }
 

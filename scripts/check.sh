@@ -44,6 +44,19 @@ echo "== serve smoke (CLI round trip)"
 cargo test -q -p wmrd-cli submit_and_query_against_a_live_daemon
 cargo test -q -p wmrd-cli explore_sink_streams_racy_traces
 
+echo "== lint smoke (static may-race analysis)"
+# The static analyzer's unit suite, the golden/soundness xtest (every
+# dynamic race from 64-seed campaigns over the catalog must be inside
+# the static may-race set), and the CLI exit-status contract: race-free
+# inputs exit 0, findings exit non-zero.
+cargo test -q -p wmrd-lint
+cargo test -q -p wmrd-xtests --test lint
+cargo run -q -p wmrd-cli --bin wmrd -- lint examples/spinlock.wmrd counter-locked > /dev/null
+if cargo run -q -p wmrd-cli --bin wmrd -- lint fig1a > /dev/null 2>&1; then
+    echo "check.sh: wmrd lint fig1a must exit non-zero (it has may-race findings)" >&2
+    exit 1
+fi
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

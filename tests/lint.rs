@@ -1,0 +1,203 @@
+//! Cross-crate contracts of the static may-race analyzer: golden
+//! reports over the whole program catalog, the soundness oracle
+//! (`dynamic ⊆ static`) against real 64-seed explore campaigns, and the
+//! CLI surface (`wmrd lint`, assembly files, `explore --prune-static`).
+//!
+//! Golden files live in `tests/data/lint/<entry>.txt`, one per catalog
+//! entry, holding the exact `LintReport::render()` text. The analysis
+//! is pure and deterministic, so the files are stable across platforms.
+//! Regenerate after an intentional analyzer change with:
+//!
+//! ```text
+//! WMRD_REGOLD=1 cargo test -p wmrd-xtests --test lint
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use wmrd_cli::{run_cli, CliError};
+use wmrd_core::RaceKey;
+use wmrd_explore::{run_campaign, CampaignSpec};
+use wmrd_progs::catalog;
+use wmrd_trace::Metrics;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/lint"))
+}
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+fn example(name: &str) -> String {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples"))
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Every catalog entry's rendered lint report matches its checked-in
+/// golden file — the full may-race set (pairs, keys, qualified locks,
+/// verdict), not just a summary bit, is pinned.
+#[test]
+fn catalog_reports_match_goldens() {
+    let regold = std::env::var("WMRD_REGOLD").is_ok();
+    let dir = golden_dir();
+    if regold {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut mismatches = Vec::new();
+    for entry in catalog::all() {
+        let rendered = wmrd_lint::analyze(&entry.program).render();
+        let path = dir.join(format!("{}.txt", entry.name));
+        if regold {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {} ({e}); run with WMRD_REGOLD=1", entry.name)
+        });
+        if rendered != expected {
+            mismatches
+                .push(format!("== {}\n-- expected:\n{expected}\n-- got:\n{rendered}", entry.name));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "lint goldens diverged (WMRD_REGOLD=1 regenerates):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The ground-truth direction of the over-approximation: every catalog
+/// entry marked racy must have a non-empty static may-race set.
+#[test]
+fn racy_entries_are_never_statically_race_free() {
+    for entry in catalog::all() {
+        let report = wmrd_lint::analyze(&entry.program);
+        if entry.racy {
+            assert!(
+                !report.is_race_free(),
+                "{} is racy but lint found nothing:\n{}",
+                entry.name,
+                report.render()
+            );
+        }
+    }
+}
+
+/// The soundness oracle, enforced against real executions: a 64-seed
+/// explore campaign per catalog entry, and every dynamic race identity
+/// it finds must be inside the entry's static may-race set. A violation
+/// prints the program and the escaped key.
+#[test]
+fn dynamic_races_are_covered_by_the_static_set() {
+    let metrics = Metrics::disabled();
+    let mut violations = Vec::new();
+    for entry in catalog::all() {
+        let lint = wmrd_lint::analyze(&entry.program);
+        let spec = CampaignSpec::new(0, 64);
+        let campaign = run_campaign(&entry.program, &spec, 2, &metrics).unwrap();
+        let dynamic: BTreeSet<RaceKey> = campaign.keys().copied().collect();
+        for key in &dynamic {
+            if !lint.covers(key) {
+                violations.push(format!(
+                    "program {}: dynamic {key:?} escaped the static set\n{}",
+                    entry.name,
+                    lint.render()
+                ));
+            }
+        }
+        if !dynamic.is_empty() {
+            assert!(
+                !lint.is_race_free(),
+                "{}: dynamic races exist but lint said race-free",
+                entry.name
+            );
+        }
+    }
+    assert!(violations.is_empty(), "soundness violations:\n{}", violations.join("\n"));
+}
+
+/// The shipped `.wmrd` examples behave as their comments promise:
+/// `spinlock.wmrd` lints race-free, `fig1b.wmrd` exits with findings
+/// (the documented sound false positive on the bare-release handoff).
+#[test]
+fn example_asm_files_lint_as_documented() {
+    let clean = run_cli(&argv(&format!("lint {}", example("spinlock.wmrd")))).unwrap();
+    assert!(clean.contains("verdict: statically race-free"), "{clean}");
+    assert!(clean.contains("qualified locks: m[0]"), "{clean}");
+
+    let err = run_cli(&argv(&format!("lint {}", example("fig1b.wmrd")))).unwrap_err();
+    let CliError::LintFindings { output, findings } = err else {
+        panic!("fig1b.wmrd must produce findings")
+    };
+    assert!(findings >= 2, "both published locations pair: {output}");
+    assert!(output.contains("verdict: MAY RACE"), "{output}");
+}
+
+/// Assembly parse errors surface through the CLI with the file name,
+/// line and column — the diagnostics a hand-written file needs.
+#[test]
+fn asm_errors_are_located() {
+    let dir = std::env::temp_dir().join(format!("wmrd-lint-xtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.wmrd");
+    std::fs::write(&path, "program broken\nproc\n    ld r99, m[0]\n    halt\n").unwrap();
+    let err = run_cli(&argv(&format!("lint {}", path.display()))).unwrap_err();
+    let text = err.to_string();
+    assert!(matches!(err, CliError::Asm { .. }), "{text}");
+    assert!(text.contains("broken.wmrd"), "{text}");
+    assert!(text.contains("line 3"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// `explore --prune-static` end to end: a statically race-free program
+/// is pruned without simulating, a racy one still runs its campaign and
+/// the cross-check confirms `dynamic ⊆ static`.
+#[test]
+fn prune_static_end_to_end() {
+    let pruned = run_cli(&argv(&format!(
+        "explore {} --seeds 0..32 --prune-static",
+        example("spinlock.wmrd")
+    )))
+    .unwrap();
+    assert!(pruned.contains("campaign: spinlock (32 points)"), "{pruned}");
+    assert!(pruned.contains("pruned statically"), "{pruned}");
+    assert!(!pruned.contains("executions:"), "nothing must run:\n{pruned}");
+
+    let checked = run_cli(&argv("explore fig1a --seeds 0..32 --jobs 2 --prune-static")).unwrap();
+    assert!(checked.contains("deduplicated race"), "fig1a still explores:\n{checked}");
+    assert!(checked.contains("static cross-check"), "{checked}");
+    assert!(!checked.contains("escaped the static"), "cross-check violation:\n{checked}");
+}
+
+/// The static set is *useful*, not just sound: on entries where the
+/// 64-seed campaign finds races, lint's key count stays within a small
+/// factor of the dynamic count (no "everything races" blowup), and the
+/// fully-locked counter is proven race-free outright.
+#[test]
+fn static_sets_are_tight_enough_to_prune() {
+    let counter_locked = catalog::all()
+        .into_iter()
+        .find(|e| e.name == "counter-locked")
+        .expect("counter-locked is in the catalog");
+    let report = wmrd_lint::analyze(&counter_locked.program);
+    assert!(report.is_race_free(), "the locked counter prunes:\n{}", report.render());
+
+    let metrics = Metrics::disabled();
+    for name in ["fig1a", "peterson-racy", "counter-racy"] {
+        let entry = catalog::all().into_iter().find(|e| e.name == name).unwrap();
+        let lint = wmrd_lint::analyze(&entry.program);
+        let campaign =
+            run_campaign(&entry.program, &CampaignSpec::new(0, 64), 2, &metrics).unwrap();
+        let dynamic = campaign.keys().count();
+        assert!(dynamic > 0, "{name} should race dynamically");
+        assert!(
+            lint.keys.len() <= dynamic.max(1) * 4,
+            "{name}: static set ballooned to {} keys for {} dynamic",
+            lint.keys.len(),
+            dynamic
+        );
+    }
+}
