@@ -1,0 +1,34 @@
+//! Offline stand-in for `bytes`: the `BufMut` methods the wmrd trace
+//! encoder calls, implemented for `Vec<u8>` with the same big-endian
+//! byte order as the real crate, so binary traces are byte-identical.
+
+/// Append-only buffer writer (big-endian, like real `bytes`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_i64(&mut self, v: i64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}

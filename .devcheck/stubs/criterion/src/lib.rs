@@ -1,0 +1,3 @@
+//! Offline placeholder for `criterion` so dev-dependency resolution
+//! succeeds when building the experiments binary. Bench targets are
+//! NOT compiled in the devcheck workspace; run them in the real one.

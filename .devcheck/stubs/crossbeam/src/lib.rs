@@ -1,0 +1,33 @@
+//! Offline stand-in for `crossbeam`: the `scope`/`spawn`/`join` shape
+//! used by `wmrd_core::parallel`, executed INLINE (no threads). Results
+//! are identical — the sharded detector is deterministic and
+//! order-insensitive — only the parallel speedup is lost.
+
+use std::any::Any;
+
+/// Inline "scope": `spawn` runs the closure immediately.
+pub struct Scope(());
+
+/// Holds the already-computed result of an inline "spawn".
+pub struct ScopedJoinHandle<T>(T);
+
+impl Scope {
+    /// Runs `f` now and wraps its result in a join handle.
+    pub fn spawn<T, F: FnOnce(&Scope) -> T>(&self, f: F) -> ScopedJoinHandle<T> {
+        ScopedJoinHandle(f(self))
+    }
+}
+
+impl<T> ScopedJoinHandle<T> {
+    /// Returns the stored result; never fails inline.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        Ok(self.0)
+    }
+}
+
+/// Runs `f` with an inline scope; always `Ok`.
+#[allow(clippy::missing_errors_doc)]
+pub fn scope<R, F: FnOnce(&Scope) -> R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>> {
+    Ok(f(&Scope(())))
+}

@@ -1,0 +1,3 @@
+//! Offline placeholder for `proptest` so dev-dependency resolution
+//! succeeds when building examples. Property tests are NOT compiled in
+//! the devcheck workspace; run them in the real workspace.

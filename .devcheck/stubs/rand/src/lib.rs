@@ -1,0 +1,77 @@
+//! Offline stand-in for `rand` 0.8: just enough surface for the wmrd
+//! workspace (StdRng::seed_from_u64, gen_range over integer ranges,
+//! gen_bool). Deterministic splitmix64 stream — sequences differ from
+//! the real StdRng, so seed-keyed golden values will not match, but
+//! every seed is still a reproducible schedule.
+
+use std::ops::Range;
+
+/// Seed-construction surface used by the workspace.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable from a `Range` by `Rng::gen_range`.
+pub trait UniformInt: Copy {
+    fn sample(next: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(next: u64, range: Range<Self>) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range called with empty range"
+                );
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (next as u128 % span) as i128;
+                (range.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The sampling surface used by the workspace.
+pub trait Rng {
+    /// Advances the stream by one raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (panics when empty, like real rand).
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic splitmix64 generator standing in for rand's StdRng.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}

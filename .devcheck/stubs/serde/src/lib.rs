@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: marker traits with blanket impls, so
+//! `#[derive(Serialize, Deserialize)]` (expanding to nothing via the
+//! stub `serde_derive`) and all `T: Serialize` bounds compile. No
+//! actual serialization happens — `serde_json` stubs error at runtime.
+
+/// Marker standing in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_json`: every entry point compiles with
+//! the real signatures but returns `Err` at runtime. Paths that
+//! round-trip JSON (`--trace t.json`, `query ... stats`, file-backed
+//! catalogs) therefore fail with a clear message in the devcheck
+//! build; binary traces and the in-memory daemon are unaffected.
+
+use std::fmt;
+
+/// Runtime error carried by every stubbed entry point.
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn unsupported() -> Error {
+    Error { msg: "JSON serialization is unavailable in the devcheck stub build" }
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Err(unsupported())
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Err(unsupported())
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn to_vec<T: ?Sized + serde::Serialize>(_value: &T) -> Result<Vec<u8>, Error> {
+    Err(unsupported())
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    Err(unsupported())
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T, Error> {
+    Err(unsupported())
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Sync the real workspace sources into the stub workspace and build the
+# three runtime surfaces offline. Run from anywhere:
+#
+#   sh .devcheck/sync-and-check.sh
+#
+# then drive .devcheck/target/debug/{wmrd,experiments,examples/*}.
+# See Cargo.toml in this directory for what the stubs do and don't
+# guarantee.
+set -eu
+
+cd "$(dirname "$0")"
+
+rm -rf crates tests examples
+cp -r ../crates ../tests ../examples .
+
+echo "devcheck: sources synced; building surfaces (offline, stub deps)"
+cargo build --offline -p wmrd-cli
+cargo build --offline -p wmrd-xtests --examples
+cargo build --offline -p wmrd-bench --bin experiments
+echo "devcheck: surfaces built under .devcheck/target/debug"

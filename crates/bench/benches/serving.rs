@@ -1,18 +1,23 @@
 //! Serving-path cost: trace ingestion throughput (decode → post-mortem
 //! analysis → catalog ingest, the daemon's per-submission work), the
-//! same path end-to-end over a live loopback daemon, and catalog query
-//! latency as the catalog grows.
+//! same path end-to-end over a live loopback daemon, catalog query
+//! latency as the catalog grows, and the streaming path — online
+//! detector feed throughput (events/sec) plus a full
+//! `STREAM`/`FEED`/`CLOSE` session round-trip, the daemon's
+//! ingest-to-detection latency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use wmrd_bench::weak_run;
 use wmrd_catalog::journal::{JournalRecord, RaceObservation};
 use wmrd_catalog::{Catalog, Query};
-use wmrd_core::{PostMortem, RaceKey, SideKey};
+use wmrd_core::{PairingPolicy, PostMortem, RaceKey, SideKey, StreamDetector};
 use wmrd_progs::catalog;
-use wmrd_serve::{Client, Reply, ServeConfig, Server};
-use wmrd_sim::{Fidelity, MemoryModel};
-use wmrd_trace::{AccessKind, Location, ProcId, TraceSet};
+use wmrd_serve::{Client, Reply, ServeConfig, Server, StreamMeta};
+use wmrd_sim::{run_weak_hw, Fidelity, HwImpl, MemoryModel, RandomWeakSched, RunConfig};
+use wmrd_trace::{
+    AccessKind, Location, ProcId, StreamDecoder, StreamRecord, StreamWriter, TraceSet,
+};
 
 /// One encoded submission body per racy workload.
 fn bodies() -> Vec<(&'static str, Vec<u8>)> {
@@ -74,6 +79,115 @@ fn bench_submit_roundtrip(c: &mut Criterion) {
     daemon.join().unwrap();
 }
 
+/// One `WMRS`-encoded weak execution per racy workload, for the
+/// streaming benches (same workloads and seed as [`bodies`]).
+fn streams() -> Vec<(&'static str, Vec<u8>)> {
+    [catalog::fig1a(), catalog::work_queue_buggy()]
+        .into_iter()
+        .map(|entry| {
+            let mut sched = RandomWeakSched::new(3, 0.3);
+            let mut writer = StreamWriter::new(Vec::new(), entry.program.num_procs());
+            run_weak_hw(
+                HwImpl::StoreBuffer,
+                &entry.program,
+                MemoryModel::Wo,
+                Fidelity::Conditioned,
+                &mut sched,
+                &mut writer,
+                RunConfig::default(),
+            )
+            .unwrap();
+            (entry.name, writer.finish().unwrap())
+        })
+        .collect()
+}
+
+/// Raw online-detector throughput, decoupled from the wire: how many
+/// operation records per second a fresh [`StreamDetector`] absorbs.
+/// Criterion reports this as elements/sec — the `stream.events`
+/// ingest rate a single daemon session can sustain.
+fn bench_stream_detector_feed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_feed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, bytes) in streams() {
+        let mut decoder = StreamDecoder::new();
+        let mut records: Vec<StreamRecord> = Vec::new();
+        decoder.push(&bytes, &mut records).unwrap();
+        decoder.finish().unwrap();
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_with_input(BenchmarkId::new("detector", name), &records, |b, records| {
+            b.iter(|| {
+                let mut detector = StreamDetector::new(0, PairingPolicy::ByRole);
+                detector.feed(records);
+                detector.take_races().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ingest-to-detection latency through a live loopback daemon: one
+/// complete streaming session — `STREAM`, chunked `FEED`s (the reply
+/// to the chunk carrying a race's second access already reports it),
+/// `CLOSE` with its post-mortem cross-check. The elements/sec figure
+/// is end-to-end streamed events per second including wire framing.
+fn bench_stream_session_roundtrip(c: &mut Criterion) {
+    let server =
+        Server::bind(&wmrd_serve::Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default())
+            .unwrap();
+    let endpoint = server.endpoint().clone();
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    let mut group = c.benchmark_group("stream_session");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut session = 0u64;
+    for (name, bytes) in streams() {
+        let mut decoder = StreamDecoder::new();
+        let mut records: Vec<StreamRecord> = Vec::new();
+        decoder.push(&bytes, &mut records).unwrap();
+        decoder.finish().unwrap();
+        group.throughput(Throughput::Elements(records.len() as u64));
+        let meta = StreamMeta {
+            program: Some(name.to_string()),
+            model: Some(MemoryModel::Wo.to_string()),
+            seed: Some(3),
+        };
+        group.bench_with_input(BenchmarkId::new("roundtrip", name), &bytes, |b, bytes| {
+            b.iter(|| {
+                session += 1;
+                let mut client = Client::connect(&endpoint).unwrap();
+                match client.stream_open(&format!("bench-{session}"), &meta).unwrap() {
+                    Reply::Ok(_) => {}
+                    other => panic!("stream refused: {other:?}"),
+                }
+                for chunk in bytes.chunks(4096) {
+                    match client.stream_feed(chunk).unwrap() {
+                        Reply::Ok(_) => {}
+                        other => panic!("feed refused: {other:?}"),
+                    }
+                }
+                loop {
+                    match client.stream_close().unwrap() {
+                        Reply::Ok(payload) => break payload,
+                        Reply::Busy(_) => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        other => panic!("close refused: {other:?}"),
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+    handle.shutdown();
+    daemon.join().unwrap();
+}
+
 /// A synthetic catalog of `n` traces over a fixed universe of race
 /// identities, for isolating query cost from analysis cost.
 fn synthetic_catalog(n: usize) -> Catalog {
@@ -119,5 +233,12 @@ fn bench_query_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest_pipeline, bench_submit_roundtrip, bench_query_latency);
+criterion_group!(
+    benches,
+    bench_ingest_pipeline,
+    bench_submit_roundtrip,
+    bench_stream_detector_feed,
+    bench_stream_session_roundtrip,
+    bench_query_latency
+);
 criterion_main!(benches);

@@ -149,6 +149,9 @@ pub struct ServeOpts {
     pub queue_cap: usize,
     /// Pairing policy for server-side analysis.
     pub pairing: PairingPolicy,
+    /// Concurrent streaming-session slots; a `STREAM` beyond this cap
+    /// is refused with `BUSY`.
+    pub max_streams: usize,
 }
 
 /// Options for `wmrd submit`.
@@ -158,6 +161,28 @@ pub struct SubmitOpts {
     pub to: String,
     /// Trace files (binary or JSON) to submit, in order.
     pub files: Vec<String>,
+}
+
+/// Options for `wmrd stream`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpts {
+    /// Daemon endpoint (`<addr|unix:path>`).
+    pub to: String,
+    /// Catalog name or path to a program JSON file.
+    pub program: String,
+    /// Memory model to execute under.
+    pub model: MemoryModel,
+    /// Conditioned (default) or raw hardware.
+    pub fidelity: Fidelity,
+    /// Weak-hardware implementation style.
+    pub hw: HwImpl,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Chunk size in bytes for `FEED` frames.
+    pub chunk: usize,
+    /// Session name sent with `STREAM`; defaults to
+    /// `<program>-<seed>`.
+    pub session: Option<String>,
 }
 
 /// Options for `wmrd query`.
@@ -199,6 +224,8 @@ pub enum Command {
     Serve(ServeOpts),
     /// Submit recorded traces to a running daemon.
     Submit(SubmitOpts),
+    /// Execute a program and stream its events live to a daemon.
+    Stream(StreamOpts),
     /// Query a running daemon's catalog.
     Query(QueryOpts),
     /// The Figure 2/3 walkthrough.
@@ -525,6 +552,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 workers: 2,
                 queue_cap: 64,
                 pairing: PairingPolicy::ByRole,
+                max_streams: 4,
             };
             while let Some(flag) = cur.next() {
                 match flag {
@@ -541,6 +569,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .value_for(flag)?
                             .parse()
                             .map_err(|_| CliError::Usage("--queue-cap wants an integer".into()))?
+                    }
+                    "--max-streams" => {
+                        opts.max_streams = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--max-streams wants an integer".into()))?
                     }
                     "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
                     other => {
@@ -572,6 +606,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError::Usage("submit wants at least one trace file".into()));
             }
             Ok(Command::Submit(SubmitOpts { to, files }))
+        }
+        "stream" => {
+            let program = cur.value_for("stream")?.to_string();
+            let mut opts = StreamOpts {
+                to: String::new(),
+                program,
+                model: MemoryModel::Wo,
+                fidelity: Fidelity::Conditioned,
+                hw: HwImpl::StoreBuffer,
+                seed: 0,
+                chunk: 4096,
+                session: None,
+            };
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--to" => opts.to = cur.value_for(flag)?.to_string(),
+                    "--model" => opts.model = parse_model(cur.value_for(flag)?)?,
+                    "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
+                    "--hw" => opts.hw = parse_hw(cur.value_for(flag)?)?,
+                    "--seed" => {
+                        opts.seed = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed wants an integer".into()))?
+                    }
+                    "--chunk" => {
+                        opts.chunk = cur
+                            .value_for(flag)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--chunk wants an integer".into()))?;
+                        if opts.chunk == 0 {
+                            return Err(CliError::Usage("--chunk wants at least one byte".into()));
+                        }
+                    }
+                    "--session" => opts.session = Some(cur.value_for(flag)?.to_string()),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}` for stream")))
+                    }
+                }
+            }
+            if opts.to.is_empty() {
+                return Err(CliError::Usage("stream requires --to <addr|unix:path>".into()));
+            }
+            Ok(Command::Stream(opts))
         }
         "query" => {
             let mut to = None;
@@ -668,9 +746,21 @@ USAGE:
       --workers <n>                      analysis threads (default 2)
       --queue-cap <n>                    pending-analysis bound; beyond it
                                          submissions get a typed BUSY (default 64)
+      --max-streams <n>                  concurrent streaming sessions; beyond it
+                                         STREAM gets a typed BUSY (default 4)
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
   wmrd submit --to <addr|unix:path> <trace>...
                                        submit recorded traces for analysis
+  wmrd stream <name|file.json> --to <addr|unix:path> [flags]
+                                       execute a program and stream its events
+                                       live to a daemon (STREAM/FEED/CLOSE;
+                                       see SERVING.md)
+      --model sc|wo|rcsc|drf0|drf1       memory model (default wo)
+      --fidelity conditioned|raw         honour Condition 3.4 (default) or not
+      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --seed <n>                         scheduler seed (default 0)
+      --chunk <bytes>                    FEED chunk size (default 4096)
+      --session <name>                   session name (default <program>-<seed>)
   wmrd query --to <addr|unix:path> <spec>
                                        query the daemon's catalog; specs:
                                          races | traces | key=<addr>:P<a><R|W>[s]:P<b><R|W>[s]
@@ -893,7 +983,51 @@ mod tests {
         };
         assert_eq!(opts.workers, 2);
         assert_eq!(opts.queue_cap, 64);
+        assert_eq!(opts.max_streams, 4);
         assert!(opts.catalog.is_none());
+
+        let Command::Serve(opts) = parse(&argv("serve --listen :0 --max-streams 9")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(opts.max_streams, 9);
+    }
+
+    #[test]
+    fn parses_stream_flags() {
+        let cmd = parse(&argv(
+            "stream fig1a --to unix:/tmp/w.sock --model rcsc --fidelity raw \
+             --hw inval-queue --seed 7 --chunk 128 --session s1",
+        ))
+        .unwrap();
+        let Command::Stream(opts) = cmd else { panic!("expected stream") };
+        assert_eq!(opts.to, "unix:/tmp/w.sock");
+        assert_eq!(opts.program, "fig1a");
+        assert_eq!(opts.model, MemoryModel::RCsc);
+        assert_eq!(opts.fidelity, Fidelity::Raw);
+        assert_eq!(opts.hw, HwImpl::InvalQueue);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.chunk, 128);
+        assert_eq!(opts.session.as_deref(), Some("s1"));
+    }
+
+    #[test]
+    fn stream_defaults_and_rejections() {
+        let Command::Stream(opts) = parse(&argv("stream fig1a --to 127.0.0.1:1")).unwrap() else {
+            panic!("expected stream")
+        };
+        assert_eq!(opts.model, MemoryModel::Wo);
+        assert_eq!(opts.chunk, 4096);
+        assert!(opts.session.is_none());
+
+        assert!(matches!(parse(&argv("stream")), Err(CliError::Usage(_))), "program required");
+        assert!(matches!(parse(&argv("stream fig1a")), Err(CliError::Usage(_))), "--to required");
+        assert!(matches!(parse(&argv("stream x --to y:1 --chunk 0")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("stream x --to y:1 --bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("serve --listen :0 --max-streams no")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

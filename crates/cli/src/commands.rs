@@ -10,18 +10,18 @@ use wmrd_explore::{
 };
 use wmrd_faults::FaultPlan;
 use wmrd_progs::catalog;
-use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, Server};
+use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, Server, StreamMeta};
 use wmrd_sim::{
     run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
     WeakScript,
 };
-use wmrd_trace::{Metrics, MultiSink, OpRecorder, TraceBuilder, TraceSet};
+use wmrd_trace::{Metrics, MultiSink, OpRecorder, StreamWriter, TraceBuilder, TraceSet};
 use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
 use crate::args::{
     parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, QueryOpts, RunOpts, ServeOpts,
-    SubmitOpts, USAGE,
+    StreamOpts, SubmitOpts, USAGE,
 };
 use crate::CliError;
 
@@ -81,6 +81,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Lint(opts) => cmd_lint(&opts),
         Command::Serve(opts) => cmd_serve(&opts),
         Command::Submit(opts) => cmd_submit(&opts),
+        Command::Stream(opts) => cmd_stream(&opts),
         Command::Query(opts) => cmd_query(&opts),
         Command::Demo => cmd_demo(),
     }
@@ -543,7 +544,11 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     } else {
         opts.jobs
     };
-    let sink = opts.sink.as_deref().map(SinkObserver::connect).transpose()?;
+    let sink = opts
+        .sink
+        .as_deref()
+        .map(|s| SinkObserver::connect(s, &program, spec.config))
+        .transpose()?;
     let report = match &sink {
         Some(observer) => run_campaign_observed(&program, &spec, jobs, &metrics, observer)?,
         None => run_campaign(&program, &spec, jobs, &metrics)?,
@@ -597,16 +602,37 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Streams a campaign's racy traces to a `wmrd serve` daemon.
+/// Bytes per `FEED` frame when `--sink` streams a racy execution.
+const SINK_CHUNK_BYTES: usize = 4096;
+/// `CLOSE` retries under a `BUSY` analysis queue before giving up.
+const CLOSE_RETRIES: usize = 5;
+
+/// Makes a `STREAM` session token request-line-safe: the protocol
+/// carries the name as one whitespace-delimited token with `key=value`
+/// metadata after it, so spaces, `=`, and newlines become `-`.
+fn session_token(raw: &str) -> String {
+    raw.chars().map(|c| if c == '=' || c.is_whitespace() { '-' } else { c }).collect()
+}
+
+/// Streams a campaign's racy executions live to a `wmrd serve` daemon.
 ///
-/// Each submission opens its own connection — worker threads call the
-/// observer concurrently, and per-trace connections need no shared
-/// client lock. Failures (including `BUSY` refusals) are counted, not
-/// fatal: losing a sink submission never loses the campaign report,
-/// and the daemon's digest dedup makes resubmitting a later campaign
-/// cheap.
+/// Each racy execution is deterministically re-executed (same seeded
+/// scheduler coordinates the campaign used) into the
+/// operation-granular `WMRS` stream format and fed to the daemon in
+/// bounded chunks over one `STREAM`/`FEED`/`CLOSE` session, exercising
+/// the daemon's online detector instead of shipping one monolithic
+/// `SUBMIT` payload. The finished trace cannot be streamed directly:
+/// its events aggregate operations, while the stream format (and the
+/// positional operation-identity contract) is per-operation. Each
+/// session opens its own connection — worker threads call the observer
+/// concurrently, and per-execution connections need no shared client
+/// lock. Failures (including `BUSY` refusals) are counted, not fatal:
+/// losing a sink stream never loses the campaign report, and the
+/// daemon's digest dedup makes re-streaming a later campaign cheap.
 struct SinkObserver {
     endpoint: Endpoint,
+    program: Program,
+    config: RunConfig,
     submitted: std::sync::atomic::AtomicU64,
     refused: std::sync::atomic::AtomicU64,
     failed: std::sync::atomic::AtomicU64,
@@ -615,17 +641,75 @@ struct SinkObserver {
 impl SinkObserver {
     /// Parses the endpoint and verifies the daemon answers a `PING`, so
     /// a dead sink fails the invocation before any simulation runs.
-    fn connect(spec: &str) -> Result<Self, CliError> {
+    fn connect(spec: &str, program: &Program, config: RunConfig) -> Result<Self, CliError> {
         let endpoint = Endpoint::parse(spec)?;
         let mut probe = Client::connect(&endpoint)?;
         probe.ping()?.into_text()?;
-        Ok(SinkObserver { endpoint, submitted: 0.into(), refused: 0.into(), failed: 0.into() })
+        Ok(SinkObserver {
+            endpoint,
+            program: program.clone(),
+            config,
+            submitted: 0.into(),
+            refused: 0.into(),
+            failed: 0.into(),
+        })
+    }
+
+    /// Re-executes `exec` into `WMRS` bytes and streams them in chunks;
+    /// `None` means a transport or re-execution failure.
+    fn stream_one(&self, exec: &ExecSpec, trace: &TraceSet) -> Option<Reply> {
+        let mut sched = RandomWeakSched::new(exec.seed, exec.drain_prob);
+        let mut writer = StreamWriter::new(Vec::new(), self.program.num_procs());
+        run_weak_hw(
+            exec.hw,
+            &self.program,
+            exec.model,
+            exec.fidelity,
+            &mut sched,
+            &mut writer,
+            self.config,
+        )
+        .ok()?;
+        let bytes = writer.finish().ok()?;
+
+        let meta = StreamMeta {
+            program: trace.meta.program.clone(),
+            model: trace.meta.model.clone(),
+            seed: trace.meta.seed,
+        };
+        let session = session_token(&format!(
+            "{}-{}-{}",
+            trace.meta.program.as_deref().unwrap_or("campaign"),
+            exec.model,
+            exec.seed
+        ));
+        let mut client = Client::connect(&self.endpoint).ok()?;
+        match client.stream_open(&session, &meta).ok()? {
+            Reply::Ok(_) => {}
+            // No session slot (BUSY) or a protocol error: report it.
+            other => return Some(other),
+        }
+        for chunk in bytes.chunks(SINK_CHUNK_BYTES) {
+            match client.stream_feed(chunk).ok()? {
+                Reply::Ok(_) => {}
+                other => return Some(other),
+            }
+        }
+        // CLOSE is refused BUSY when the analysis queue is full; the
+        // session survives the refusal, so retry briefly.
+        for _ in 0..CLOSE_RETRIES {
+            match client.stream_close().ok()? {
+                Reply::Busy(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                reply => return Some(reply),
+            }
+        }
+        client.stream_close().ok()
     }
 
     fn summary(&self) -> String {
         use std::sync::atomic::Ordering::Relaxed;
         format!(
-            "sink {}: {} trace(s) submitted, {} refused busy, {} failed",
+            "sink {}: {} execution(s) streamed & submitted, {} refused busy, {} failed",
             self.endpoint,
             self.submitted.load(Relaxed),
             self.refused.load(Relaxed),
@@ -635,14 +719,12 @@ impl SinkObserver {
 }
 
 impl CampaignObserver for SinkObserver {
-    fn racy_execution(&self, _exec: &ExecSpec, trace: &TraceSet) {
+    fn racy_execution(&self, exec: &ExecSpec, trace: &TraceSet) {
         use std::sync::atomic::Ordering::Relaxed;
-        let bytes = trace.to_binary();
-        let reply = Client::connect(&self.endpoint).and_then(|mut c| c.submit(&bytes));
-        match reply {
-            Ok(Reply::Ok(_)) => self.submitted.fetch_add(1, Relaxed),
-            Ok(Reply::Busy(_)) => self.refused.fetch_add(1, Relaxed),
-            Ok(Reply::Err { .. }) | Err(_) => self.failed.fetch_add(1, Relaxed),
+        match self.stream_one(exec, trace) {
+            Some(Reply::Ok(_)) => self.submitted.fetch_add(1, Relaxed),
+            Some(Reply::Busy(_)) => self.refused.fetch_add(1, Relaxed),
+            Some(Reply::Err { .. }) | None => self.failed.fetch_add(1, Relaxed),
         };
     }
 }
@@ -654,15 +736,17 @@ fn cmd_serve(opts: &ServeOpts) -> Result<String, CliError> {
         queue_cap: opts.queue_cap,
         catalog: opts.catalog.as_ref().map(std::path::PathBuf::from),
         pairing: opts.pairing,
+        max_streams: opts.max_streams,
     };
     let server = Server::bind(&endpoint, config)?;
     // The readiness banner goes out immediately — scripts wait on it —
     // while the command's return value is the post-drain summary.
     println!(
-        "wmrd-serve listening on {} ({} workers, queue cap {}, catalog: {})",
+        "wmrd-serve listening on {} ({} workers, queue cap {}, {} stream slots, catalog: {})",
         server.endpoint(),
         opts.workers,
         opts.queue_cap,
+        opts.max_streams,
         opts.catalog.as_deref().unwrap_or("in-memory")
     );
     let summary = server.run()?;
@@ -693,6 +777,81 @@ fn cmd_submit(opts: &SubmitOpts) -> Result<String, CliError> {
     if rejected > 0 {
         let _ = writeln!(out, "{rejected} of {} submission(s) not ingested", opts.files.len());
     }
+    Ok(out)
+}
+
+/// `wmrd stream`: execute a program locally and feed its operations to
+/// a daemon's online detector over a `STREAM`/`FEED`/`CLOSE` session.
+///
+/// The execution is driven into the operation-granular `WMRS` format
+/// first, then delivered in `--chunk`-sized `FEED` frames — chunk
+/// boundaries are arbitrary byte offsets, the daemon reassembles
+/// records across them. Races surface in `FEED` replies the moment
+/// their second access arrives; `CLOSE` seals the trace, runs the
+/// post-mortem cross-check, and ingests into the catalog.
+fn cmd_stream(opts: &StreamOpts) -> Result<String, CliError> {
+    let endpoint = Endpoint::parse(&opts.to)?;
+    let program = load_program(&opts.program)?;
+
+    let mut writer = StreamWriter::new(Vec::new(), program.num_procs());
+    if opts.model == MemoryModel::Sc {
+        run_sc(&program, &mut RandomSched::new(opts.seed), &mut writer, RunConfig::default())?;
+    } else {
+        let mut sched = RandomWeakSched::new(opts.seed, 0.3);
+        run_weak_hw(
+            opts.hw,
+            &program,
+            opts.model,
+            opts.fidelity,
+            &mut sched,
+            &mut writer,
+            RunConfig::default(),
+        )?;
+    }
+    let records = writer.records();
+    let bytes = writer.finish()?;
+
+    let session = match &opts.session {
+        Some(name) => name.clone(),
+        None => session_token(&format!("{}-{}", program.name(), opts.seed)),
+    };
+    let meta = StreamMeta {
+        program: Some(program.name().to_string()),
+        model: Some(opts.model.to_string()),
+        seed: Some(opts.seed),
+    };
+
+    let mut out = String::new();
+    let mut client = Client::connect(&endpoint)?;
+    let _ = write!(out, "{}", client.stream_open(&session, &meta)?.into_text()?);
+    let mut chunks = 0u64;
+    for chunk in bytes.chunks(opts.chunk) {
+        chunks += 1;
+        let ack = client.stream_feed(chunk)?.into_text()?;
+        // Quiet acknowledgements are progress noise; surface only the
+        // chunks that completed new races (their reply carries the
+        // race lines).
+        if !ack.trim_end().ends_with("new=0") {
+            let _ = write!(out, "{ack}");
+        }
+    }
+    let mut attempts = 0;
+    let closed = loop {
+        match client.stream_close()? {
+            Reply::Busy(message) if attempts < CLOSE_RETRIES => {
+                attempts += 1;
+                let _ = writeln!(out, "close refused busy ({message}); retrying");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            reply => break reply.into_text()?,
+        }
+    };
+    let _ = write!(out, "{closed}");
+    let _ = writeln!(
+        out,
+        "streamed {records} operation(s) in {chunks} chunk(s) of at most {} bytes",
+        opts.chunk
+    );
     Ok(out)
 }
 
@@ -1085,6 +1244,37 @@ mod tests {
         // A dead sink fails fast, before simulating anything.
         let err = run_cli(&argv(&format!("explore fig1a --seeds 0..4 --sink {addr}")));
         assert!(err.is_err(), "sink gone, invocation must fail");
+    }
+
+    #[test]
+    fn stream_against_a_live_daemon() {
+        let server =
+            Server::bind(&Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let out =
+            run_cli(&argv(&format!("stream fig1a --to {addr} --model wo --seed 2 --chunk 64")))
+                .unwrap();
+        assert!(out.contains("opened fig1a-2"), "{out}");
+        assert!(out.contains("closed "), "{out}");
+        assert!(out.contains("match=yes"), "streamed and post-mortem keys must agree:\n{out}");
+
+        // The same execution recorded post-hoc and SUBMITted
+        // deduplicates against what the stream ingested: both paths
+        // reassemble the identical trace, meta included.
+        let path = tmp("streamed-twin.bin");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {path} --binary"))).unwrap();
+        let again = run_cli(&argv(&format!("submit --to {addr} {path}"))).unwrap();
+        assert!(again.contains("duplicate"), "stream/submit digest parity:\n{again}");
+
+        run_cli(&argv(&format!("query --to {addr} shutdown"))).unwrap();
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.stream_sessions, 1, "{summary}");
+        assert!(summary.stream_events > 0, "{summary}");
+        assert_eq!(summary.stream_crosscheck_failures, 0, "{summary}");
+        assert!(summary.ingested >= 1, "{summary}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -31,8 +31,10 @@
 //! * [`PostMortem`] — one-call driver producing a [`RaceReport`].
 //!
 //! An [`OnTheFly`] vector-clock detector (the paper's Section 5
-//! comparison point and "future work") and an exact operation-level
-//! analysis ([`ops`]) for cross-validation round out the crate.
+//! comparison point and "future work"), its exact epoch-compressed
+//! streaming sibling ([`StreamDetector`], the engine behind the serving
+//! daemon's `STREAM` verb), and an exact operation-level analysis
+//! ([`ops`]) for cross-validation round out the crate.
 //!
 //! # Example
 //!
@@ -76,6 +78,7 @@ pub mod render;
 mod report;
 mod salvage;
 mod scp;
+mod stream_detect;
 mod vc;
 
 pub use affects::AffectsOracle;
@@ -95,4 +98,5 @@ pub use race::{detect_races, detect_races_with_stats, DataRace, DetectStats, Rac
 pub use report::RaceReport;
 pub use salvage::SalvageAnalysis;
 pub use scp::{estimate_scp, ScpEstimate};
+pub use stream_detect::StreamDetector;
 pub use vc::VectorClock;

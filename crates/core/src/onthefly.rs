@@ -115,14 +115,32 @@ impl OnTheFly {
         &self.races
     }
 
-    /// Number of read records discarded due to the history bound (each a
-    /// potential missed race).
+    /// Number of read records discarded because of
+    /// [`OnTheFlyConfig::read_history_limit`].
+    ///
+    /// Each dropped read is a *potential missed race*: a later write to
+    /// the same location can no longer be checked against it, so a
+    /// non-zero value means the reported race set may be incomplete
+    /// (never unsound — every race reported is real). The counter is
+    /// cumulative over the detector's lifetime and survives
+    /// [`finish`](OnTheFly::finish); only [`reset`](OnTheFly::reset)
+    /// zeroes it. Experiment E9 sweeps the history bound against this
+    /// counter to chart the paper's accuracy-vs-space trade-off.
     pub fn dropped_reads(&self) -> u64 {
         self.dropped_reads
     }
 
     /// Approximate bytes of detector state — the "memory instead of
     /// trace files" cost on-the-fly detection pays (experiment E9).
+    ///
+    /// Counts the per-processor vector clocks, the per-location
+    /// synchronization clocks, and every buffered access record
+    /// (`last_write` + bounded read history per location), using
+    /// `size_of`-based estimates. It is an *estimate*: allocator
+    /// overhead and `HashMap` bucket slack are not modeled, so treat it
+    /// as a growth signal (compare two readings), not a byte-accurate
+    /// audit. Grows monotonically between [`reset`](OnTheFly::reset)s
+    /// except when a write prunes happened-before reads.
     pub fn approx_memory_bytes(&self) -> usize {
         let clock_bytes: usize = self.clocks.iter().map(VectorClock::approx_bytes).sum();
         let sync_bytes: usize = self.sync_clocks.values().map(|v| 16 + v.approx_bytes()).sum();
@@ -137,10 +155,33 @@ impl OnTheFly {
         clock_bytes + sync_bytes + loc_bytes
     }
 
-    /// Consumes the detector and returns the detected races in detection
-    /// order.
-    pub fn finish(self) -> Vec<OnTheFlyRace> {
-        self.races
+    /// Takes the detected races (in detection order), leaving the
+    /// detector's clocks and access history intact.
+    ///
+    /// The detector remains usable: more accesses can be fed and later
+    /// races will still be detected against the retained history. To
+    /// start over for a fresh execution, call
+    /// [`reset`](OnTheFly::reset) instead — `finish` used to consume
+    /// the detector, which blocked exactly that reuse in long-lived
+    /// sessions.
+    pub fn finish(&mut self) -> Vec<OnTheFlyRace> {
+        std::mem::take(&mut self.races)
+    }
+
+    /// Clears all state — clocks, operation counters, access history,
+    /// pending races, and the [`dropped_reads`](OnTheFly::dropped_reads)
+    /// counter — returning the detector to its just-constructed state
+    /// (configuration and processor count are kept).
+    pub fn reset(&mut self) {
+        let procs = self.clocks.len();
+        self.clocks.clear();
+        self.clocks.resize_with(procs, VectorClock::new);
+        self.op_counters.clear();
+        self.op_counters.resize(procs, 0);
+        self.locations.clear();
+        self.sync_clocks.clear();
+        self.races.clear();
+        self.dropped_reads = 0;
     }
 
     fn ensure_proc(&mut self, proc: ProcId) {
@@ -441,6 +482,28 @@ mod tests {
         d.data_access(p(1), l(3), AccessKind::Read, Value::ZERO, None);
         let races = d.finish();
         assert_eq!(races[0].to_string(), "<P0#0, P1#0> on m[3] (data-data)");
+    }
+
+    #[test]
+    fn finish_drains_races_and_reset_reuses_the_detector() {
+        let mut d = detector();
+        d.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+        d.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        assert_eq!(d.finish().len(), 1);
+        assert!(d.races().is_empty(), "finish drains the race buffer");
+        // History survives finish: a third processor's read still races
+        // with the retained write.
+        d.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        assert_eq!(d.finish().len(), 1, "detector stays live after finish");
+
+        // reset() forgets everything: the same read is now race-free.
+        d.reset();
+        assert_eq!(d.dropped_reads(), 0);
+        d.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+        assert!(d.finish().is_empty(), "reset cleared the write history");
+        // Operation ids restart from zero after reset.
+        let op = d.data_access(p(0), l(1), AccessKind::Write, Value::new(1), None);
+        assert_eq!(op, OpId::new(p(0), 0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::io::Write;
 
 use crate::endpoint::{Endpoint, Stream};
-use crate::protocol::{Reply, MAX_PAYLOAD_BYTES};
+use crate::protocol::{Reply, StreamMeta, MAX_PAYLOAD_BYTES};
 use crate::ServeError;
 
 /// A connected client.
@@ -92,6 +92,83 @@ impl Client {
     /// Returns [`ServeError::Io`] for transport failures.
     pub fn shutdown(&mut self) -> Result<Reply, ServeError> {
         self.request_line("SHUTDOWN\n")
+    }
+
+    /// Opens a streaming session named `name` on this connection.
+    ///
+    /// Optional provenance in `meta` is carried as `key=value` tokens
+    /// on the request line and stamped onto the reassembled trace at
+    /// `CLOSE` — matching it to a `SUBMIT`'s metadata makes the two
+    /// paths deduplicate against each other in the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] if `name` or a metadata value
+    /// cannot be carried on a request line, and [`ServeError::Io`] for
+    /// transport failures. `BUSY` (no session slot) comes back as the
+    /// [`Reply`].
+    pub fn stream_open(&mut self, name: &str, meta: &StreamMeta) -> Result<Reply, ServeError> {
+        let mut line = String::from("STREAM ");
+        if name.is_empty() || name.contains(['=', ' ', '\n']) {
+            return Err(ServeError::Protocol(format!(
+                "stream session name `{name}` must be non-empty and free of `=`, spaces, and newlines"
+            )));
+        }
+        line.push_str(name);
+        for (key, value) in [("program", &meta.program), ("model", &meta.model)] {
+            if let Some(value) = value {
+                if value.contains([' ', '=', '\n']) {
+                    return Err(ServeError::Protocol(format!(
+                        "stream metadata value `{value}` for `{key}` must be free of spaces, `=`, and newlines"
+                    )));
+                }
+                line.push(' ');
+                line.push_str(key);
+                line.push('=');
+                line.push_str(value);
+            }
+        }
+        if let Some(seed) = meta.seed {
+            line.push_str(&format!(" seed={seed}"));
+        }
+        line.push('\n');
+        self.request_line(&line)
+    }
+
+    /// Feeds one chunk of WMRS stream bytes to the open session.
+    ///
+    /// Chunks may split records (and the stream header) at any byte
+    /// boundary; the daemon reassembles them. The reply reports races
+    /// completed by this chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for oversized chunks and
+    /// [`ServeError::Io`] for transport failures.
+    pub fn stream_feed(&mut self, chunk: &[u8]) -> Result<Reply, ServeError> {
+        if chunk.len() > MAX_PAYLOAD_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "chunk of {} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound",
+                chunk.len()
+            )));
+        }
+        self.stream.write_all(format!("FEED {}\n", chunk.len()).as_bytes())?;
+        self.stream.write_all(chunk)?;
+        self.stream.flush()?;
+        Reply::read_from(&mut self.stream)
+    }
+
+    /// Closes the open session: the daemon seals the reassembled
+    /// trace, analyzes it post-mortem, cross-checks the streamed race
+    /// keys, and ingests the result into the catalog. On a `BUSY`
+    /// reply the session stays open and `stream_close` can simply be
+    /// retried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for transport failures.
+    pub fn stream_close(&mut self) -> Result<Reply, ServeError> {
+        self.request_line("CLOSE\n")
     }
 
     fn request_line(&mut self, line: &str) -> Result<Reply, ServeError> {

@@ -45,7 +45,7 @@ mod stats;
 
 pub use client::Client;
 pub use endpoint::{Endpoint, Listener, Stream};
-pub use protocol::{ErrorCode, Reply, Request};
+pub use protocol::{ErrorCode, Reply, Request, StreamMeta};
 pub use queue::{JobQueue, PushRefused};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
 pub use stats::{LatencyWindow, ServeStats};

@@ -18,7 +18,21 @@
 //!
 //! client: SUBMIT 12\n<12 garbage bytes>
 //! server: ERR decode 31\n<why the trace failed to decode>\n
+//!
+//! client: STREAM fig1a program=fig1a model=WO seed=7\n
+//! server: OK 13\nopened fig1a\n
+//! client: FEED 1024\n<1024 stream bytes>
+//! server: OK 27\nfed events=44 races=1 new=1\n...
+//! client: CLOSE\n
+//! server: OK 60\nclosed <digest> ingested races=1 new=1 streamed=1 match=yes\n
 //! ```
+//!
+//! `STREAM`/`FEED`/`CLOSE` form a per-connection session: `FEED`
+//! bodies are chunks of the `WMRS` record-stream format (any chunk
+//! boundaries, including mid-record), races are reported as the chunk
+//! that completes them arrives, and `CLOSE` runs the normal post-mortem
+//! ingest and cross-checks it against the streamed result. SERVING.md
+//! documents the full session state machine.
 //!
 //! Lines and payloads are bounded before allocation (the same
 //! discipline as the v2 trace decoder): a peer announcing an absurd
@@ -51,6 +65,67 @@ pub enum Request {
     Ping,
     /// Begin a graceful drain.
     Shutdown,
+    /// Open a streaming race-detection session on this connection.
+    Stream {
+        /// Session label (a single token; echoed in replies and logs).
+        name: String,
+        /// Trace provenance, stamped on the trace at `CLOSE` so a
+        /// streamed trace deduplicates against the same execution
+        /// uploaded whole via `SUBMIT` (the digest covers metadata).
+        meta: StreamMeta,
+    },
+    /// Append a chunk of `WMRS` stream bytes to the open session; the
+    /// body follows the line.
+    Feed {
+        /// Announced chunk length in bytes.
+        len: usize,
+    },
+    /// End the open session: post-mortem analyze, ingest, cross-check.
+    Close,
+}
+
+/// Trace provenance carried on a `STREAM` line as `key=value` tokens.
+///
+/// Mirrors `wmrd_trace::TraceMeta` field for field, but lives in the
+/// protocol layer so the wire format stays std-only (no JSON body).
+/// Values are single tokens — program and model names in this
+/// repository never contain spaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamMeta {
+    /// Source program name (`program=`).
+    pub program: Option<String>,
+    /// Memory-model description (`model=`).
+    pub model: Option<String>,
+    /// Scheduler seed (`seed=`).
+    pub seed: Option<u64>,
+}
+
+impl StreamMeta {
+    fn parse(tokens: std::str::Split<'_, char>) -> Result<Self, ServeError> {
+        let mut meta = StreamMeta::default();
+        for token in tokens {
+            let (key, value) = token.split_once('=').ok_or_else(|| {
+                ServeError::Protocol(format!(
+                    "bad STREAM metadata token `{token}` (want key=value)"
+                ))
+            })?;
+            match key {
+                "program" if meta.program.is_none() => meta.program = Some(value.to_string()),
+                "model" if meta.model.is_none() => meta.model = Some(value.to_string()),
+                "seed" if meta.seed.is_none() => {
+                    meta.seed =
+                        Some(value.parse().map_err(|_| {
+                            ServeError::Protocol(format!("bad STREAM seed `{value}`"))
+                        })?);
+                }
+                "program" | "model" | "seed" => {
+                    return Err(ServeError::Protocol(format!("duplicate STREAM key `{key}`")))
+                }
+                other => return Err(ServeError::Protocol(format!("unknown STREAM key `{other}`"))),
+            }
+        }
+        Ok(meta)
+    }
 }
 
 impl Request {
@@ -84,6 +159,28 @@ impl Request {
             ("COMPACT", None) => Ok(Request::Compact),
             ("PING", None) => Ok(Request::Ping),
             ("SHUTDOWN", None) => Ok(Request::Shutdown),
+            ("STREAM", Some(rest)) if !rest.trim().is_empty() => {
+                let mut tokens = rest.trim().split(' ');
+                let name = tokens.next().unwrap_or("").to_string();
+                if name.contains('=') {
+                    return Err(ServeError::Protocol(format!(
+                        "STREAM needs a session name before metadata, got `{name}`"
+                    )));
+                }
+                Ok(Request::Stream { name, meta: StreamMeta::parse(tokens)? })
+            }
+            ("FEED", Some(n)) => {
+                let len: usize = n
+                    .parse()
+                    .map_err(|_| ServeError::Protocol(format!("bad FEED length `{n}`")))?;
+                if len > MAX_PAYLOAD_BYTES {
+                    return Err(ServeError::Protocol(format!(
+                        "FEED body of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+                    )));
+                }
+                Ok(Request::Feed { len })
+            }
+            ("CLOSE", None) => Ok(Request::Close),
             _ => Err(ServeError::Protocol(format!("unrecognized request line `{line}`"))),
         }
     }
@@ -331,6 +428,43 @@ mod tests {
         assert_eq!(Request::parse("COMPACT").unwrap(), Request::Compact);
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert_eq!(
+            Request::parse("STREAM s1\n").unwrap(),
+            Request::Stream { name: "s1".into(), meta: StreamMeta::default() }
+        );
+        assert_eq!(
+            Request::parse("STREAM run7 program=fig1a model=WO seed=7").unwrap(),
+            Request::Stream {
+                name: "run7".into(),
+                meta: StreamMeta {
+                    program: Some("fig1a".into()),
+                    model: Some("WO".into()),
+                    seed: Some(7),
+                },
+            }
+        );
+        assert_eq!(Request::parse("FEED 512\n").unwrap(), Request::Feed { len: 512 });
+        assert_eq!(Request::parse("CLOSE").unwrap(), Request::Close);
+    }
+
+    #[test]
+    fn rejects_malformed_stream_lines() {
+        for bad in [
+            "STREAM",                  // missing name
+            "STREAM ",                 // blank name
+            "STREAM program=fig1a",    // metadata where the name belongs
+            "STREAM s1 seed=x",        // non-numeric seed
+            "STREAM s1 color=red",     // unknown key
+            "STREAM s1 seed=1 seed=2", // duplicate key
+            "STREAM s1 fig1a",         // bare token after the name
+            "FEED",                    // missing length
+            "FEED x",                  // non-numeric length
+            "CLOSE now",               // CLOSE takes no argument
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+        let oversized = format!("FEED {}", MAX_PAYLOAD_BYTES + 1);
+        assert!(Request::parse(&oversized).is_err());
     }
 
     #[test]

@@ -13,26 +13,39 @@
 //!   shared [`Catalog`], and send the outcome back to the waiting
 //!   handler.
 //!
+//! Connection handlers additionally own the daemon's **streaming
+//! sessions** (`STREAM`/`FEED`/`CLOSE`, documented in `SERVING.md`):
+//! each session couples an incremental [`StreamDecoder`] with the
+//! exact online [`StreamDetector`], reporting races as chunks arrive,
+//! and a `CLOSE` replays the reassembled trace through the ordinary
+//! post-mortem worker path so the streamed result is cross-checked
+//! against — and cataloged exactly like — a `SUBMIT`.
+//!
 //! Memory is bounded end to end: request lines and bodies are
 //! length-checked before allocation, the job queue refuses work at its
-//! cap (a typed `BUSY` reply), and the latency window is a fixed-size
-//! ring. Graceful drain — on a `SHUTDOWN` request or SIGTERM — stops
-//! accepting, closes the queue, lets workers finish the backlog, and
-//! joins every thread before [`Server::run`] returns its summary.
+//! cap (a typed `BUSY` reply), streaming sessions are counted against
+//! an explicit slot cap (`max_streams`, also a `BUSY`), and the
+//! latency windows are fixed-size rings. Graceful drain — on a
+//! `SHUTDOWN` request or SIGTERM — stops accepting, closes the queue,
+//! lets workers finish the backlog, and joins every thread before
+//! [`Server::run`] returns its summary.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use wmrd_catalog::{Catalog, CatalogStats, IngestOutcome, Query};
-use wmrd_core::{PairingPolicy, PostMortem};
-use wmrd_trace::{metric_keys, Metrics, TraceSet};
+use wmrd_core::{event_race_keys, PairingPolicy, PostMortem, RaceKey, StreamDetector};
+use wmrd_trace::{metric_keys, Metrics, StreamDecoder, TraceBuilder, TraceMeta, TraceSet};
 
 use crate::endpoint::{Endpoint, Listener, Stream};
-use crate::protocol::{read_exact_bounded, read_line_into, ErrorCode, LineStatus, Reply, Request};
+use crate::protocol::{
+    read_exact_bounded, read_line_into, ErrorCode, LineStatus, Reply, Request, StreamMeta,
+};
 use crate::queue::{JobQueue, PushRefused};
 use crate::stats::ServeStats;
 use crate::ServeError;
@@ -58,11 +71,21 @@ pub struct ServeConfig {
     pub catalog: Option<PathBuf>,
     /// Pairing policy for server-side analysis.
     pub pairing: PairingPolicy,
+    /// Streaming sessions the daemon will hold open at once; a
+    /// `STREAM` beyond this cap is refused with `BUSY`. Zero disables
+    /// streaming entirely.
+    pub max_streams: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, queue_cap: 64, catalog: None, pairing: PairingPolicy::ByRole }
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            catalog: None,
+            pairing: PairingPolicy::ByRole,
+            max_streams: 4,
+        }
     }
 }
 
@@ -84,6 +107,15 @@ pub struct ServeSummary {
     pub busy: u64,
     /// Queries answered.
     pub queries: u64,
+    /// Streaming sessions opened.
+    pub stream_sessions: u64,
+    /// Operations ingested through `FEED` chunks.
+    pub stream_events: u64,
+    /// Race identities first reported mid-stream, before `CLOSE`.
+    pub stream_races: u64,
+    /// Sessions whose streamed race keys disagreed with the
+    /// post-mortem cross-check at `CLOSE` (must stay zero).
+    pub stream_crosscheck_failures: u64,
     /// Final catalog counters.
     pub catalog: CatalogStats,
 }
@@ -97,6 +129,14 @@ impl fmt::Display for ServeSummary {
             self.submitted, self.ingested, self.deduped, self.rejected, self.busy
         )?;
         writeln!(f, "queries: {}", self.queries)?;
+        writeln!(
+            f,
+            "streams: {} sessions ({} events, {} mid-stream races, {} cross-check failures)",
+            self.stream_sessions,
+            self.stream_events,
+            self.stream_races,
+            self.stream_crosscheck_failures
+        )?;
         write!(
             f,
             "catalog: {} traces, {} race identities, {} observations",
@@ -105,12 +145,17 @@ impl fmt::Display for ServeSummary {
     }
 }
 
+/// What a worker sends back per analyzed trace: the catalog outcome
+/// plus the post-mortem race-key set, which `CLOSE` compares against
+/// the streamed keys (a plain `SUBMIT` ignores the key set).
+type AnalysisResult = Result<(IngestOutcome, BTreeSet<RaceKey>), (ErrorCode, String)>;
+
 /// One pending analysis: the decoded trace plus the channel the
 /// connection handler is waiting on.
 struct Job {
     trace: TraceSet,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<IngestOutcome, (ErrorCode, String)>>,
+    reply: mpsc::Sender<AnalysisResult>,
 }
 
 /// State shared by the accept loop, handlers, and workers.
@@ -119,6 +164,9 @@ struct Shared {
     catalog: Mutex<Catalog>,
     stats: ServeStats,
     shutdown: AtomicBool,
+    /// Streaming sessions currently open, bounded by
+    /// [`ServeConfig::max_streams`].
+    stream_open: AtomicUsize,
     endpoint: Endpoint,
     config: ServeConfig,
 }
@@ -185,6 +233,7 @@ impl Server {
             catalog: Mutex::new(catalog),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
+            stream_open: AtomicUsize::new(0),
             endpoint: resolved,
             config,
         });
@@ -251,6 +300,12 @@ impl Server {
                 rejected: ServeStats::get(&shared.stats.rejected),
                 busy: ServeStats::get(&shared.stats.busy),
                 queries: ServeStats::get(&shared.stats.queries),
+                stream_sessions: ServeStats::get(&shared.stats.stream_sessions),
+                stream_events: ServeStats::get(&shared.stats.stream_events),
+                stream_races: ServeStats::get(&shared.stats.stream_races),
+                stream_crosscheck_failures: ServeStats::get(
+                    &shared.stats.stream_crosscheck_failures,
+                ),
                 catalog: catalog.stats(),
             })
         });
@@ -274,7 +329,7 @@ fn worker_loop(shared: &Shared) {
             });
         shared.stats.record_latency(enqueued.elapsed().as_nanos() as u64);
         match &result {
-            Ok(outcome) if outcome.duplicate => ServeStats::incr(&shared.stats.deduped),
+            Ok((outcome, _)) if outcome.duplicate => ServeStats::incr(&shared.stats.deduped),
             Ok(_) => ServeStats::incr(&shared.stats.ingested),
             Err(_) => ServeStats::incr(&shared.stats.rejected),
         }
@@ -282,29 +337,37 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn analyze_and_ingest(
-    shared: &Shared,
-    trace: &TraceSet,
-    pairing: PairingPolicy,
-) -> Result<IngestOutcome, (ErrorCode, String)> {
+fn analyze_and_ingest(shared: &Shared, trace: &TraceSet, pairing: PairingPolicy) -> AnalysisResult {
     let report = PostMortem::new(trace)
         .pairing(pairing)
         .analyze()
         .map_err(|e| (ErrorCode::Analysis, e.to_string()))?;
+    let keys = event_race_keys(&report.races, trace);
     let record = Catalog::record_for(trace, &report);
     let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
-    catalog.ingest(&record).map_err(|e| (ErrorCode::Internal, e.to_string()))
+    let outcome = catalog.ingest(&record).map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+    Ok((outcome, keys))
 }
 
 /// One client connection: request lines in, replies out, until EOF,
-/// a fatal transport error, or a drain.
+/// a fatal transport error, or a drain. However the connection ends,
+/// an open streaming session is discarded and its slot freed — a
+/// client that vanishes mid-stream cannot leak capacity.
 fn handle_connection(shared: &Shared, mut stream: Stream) {
     if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
         return;
     }
+    let mut session: Option<StreamSession> = None;
+    serve_requests(shared, &mut stream, &mut session);
+    discard_session(shared, &mut session);
+}
+
+/// The request loop behind [`handle_connection`]; returning (for any
+/// reason) hands the session back for cleanup.
+fn serve_requests(shared: &Shared, stream: &mut Stream, session: &mut Option<StreamSession>) {
     let mut partial = Vec::new();
     loop {
-        let line = match read_line_into(&mut stream, &mut partial) {
+        let line = match read_line_into(stream, &mut partial) {
             Ok(LineStatus::Line(line)) => line,
             Ok(LineStatus::Eof) => return,
             Err(ServeError::Io(e)) if is_timeout(&e) => {
@@ -316,14 +379,14 @@ fn handle_connection(shared: &Shared, mut stream: Stream) {
             Err(_) => return,
         };
         let reply = match Request::parse(&line) {
-            Ok(request) => match dispatch(shared, &mut stream, request) {
+            Ok(request) => match dispatch(shared, stream, session, request) {
                 Ok(Dispatch::Reply(reply)) => reply,
                 Ok(Dispatch::Hangup) => return,
                 Err(()) => return,
             },
             Err(e) => Reply::Err { code: ErrorCode::Proto, message: e.to_string() },
         };
-        if reply.write_to(&mut stream).is_err() {
+        if reply.write_to(stream).is_err() {
             return;
         }
     }
@@ -339,7 +402,12 @@ enum Dispatch {
 
 /// Executes one parsed request. `Err(())` means the transport broke
 /// mid-request and the connection must close without a reply.
-fn dispatch(shared: &Shared, stream: &mut Stream, request: Request) -> Result<Dispatch, ()> {
+fn dispatch(
+    shared: &Shared,
+    stream: &mut Stream,
+    session: &mut Option<StreamSession>,
+    request: Request,
+) -> Result<Dispatch, ()> {
     let reply = match request {
         Request::Submit { len } => {
             // The body is read under a generous timeout: stalling
@@ -351,6 +419,18 @@ fn dispatch(shared: &Shared, stream: &mut Stream, request: Request) -> Result<Di
             let body = body.map_err(|_| ())?;
             submit(shared, &body)
         }
+        Request::Stream { name, meta } => open_stream(shared, session, name, meta),
+        Request::Feed { len } => {
+            // Same body discipline as SUBMIT: the chunk is consumed
+            // even when no session is open, keeping the line protocol
+            // in sync so the error is reportable.
+            let _ = stream.set_read_timeout(Some(BODY_TIMEOUT));
+            let body = read_exact_bounded(stream, len);
+            let _ = stream.set_read_timeout(Some(IDLE_POLL));
+            let body = body.map_err(|_| ())?;
+            feed_stream(shared, session, &body)
+        }
+        Request::Close => close_stream(shared, session),
         Request::Query(spec) => {
             ServeStats::incr(&shared.stats.queries);
             match Query::parse(&spec) {
@@ -417,7 +497,7 @@ fn submit(shared: &Shared, body: &[u8]) -> Reply {
     }
     ServeStats::incr(&shared.stats.submitted);
     match rx.recv() {
-        Ok(Ok(outcome)) => {
+        Ok(Ok((outcome, _keys))) => {
             let verdict = if outcome.duplicate { "duplicate" } else { "ingested" };
             Reply::Ok(
                 format!(
@@ -429,6 +509,210 @@ fn submit(shared: &Shared, body: &[u8]) -> Reply {
         }
         Ok(Err((code, message))) => Reply::Err { code, message },
         Err(_) => Reply::Err { code: ErrorCode::Internal, message: "analysis worker lost".into() },
+    }
+}
+
+/// Per-connection streaming state behind an accepted `STREAM`: the
+/// incremental decoder, the exact online detector, and a builder
+/// reassembling the full trace for the post-mortem cross-check at
+/// `CLOSE`. At most one session exists per connection; the global
+/// count is bounded by [`ServeConfig::max_streams`].
+struct StreamSession {
+    name: String,
+    meta: StreamMeta,
+    decoder: StreamDecoder,
+    detector: StreamDetector,
+    /// Receives every decoded record; taken when `CLOSE` seals the
+    /// trace.
+    builder: Option<TraceBuilder>,
+    /// The sealed trace, stashed so a `CLOSE` that was refused with
+    /// `BUSY` can be retried without resending anything.
+    finished: Option<TraceSet>,
+    /// Promotion count already flushed to the global
+    /// `stream.epochs_promoted` counter.
+    reported_promotions: u64,
+}
+
+/// Handles `STREAM`: acquires a session slot (or refuses with `BUSY`)
+/// and installs fresh decoder/detector state on this connection.
+fn open_stream(
+    shared: &Shared,
+    session: &mut Option<StreamSession>,
+    name: String,
+    meta: StreamMeta,
+) -> Reply {
+    if session.is_some() {
+        return Reply::Err {
+            code: ErrorCode::Proto,
+            message: "a stream session is already open on this connection".into(),
+        };
+    }
+    let cap = shared.config.max_streams;
+    let acquired = shared
+        .stream_open
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1))
+        .is_ok();
+    if !acquired {
+        ServeStats::incr(&shared.stats.stream_rejected);
+        return Reply::Busy(format!("stream sessions at capacity ({cap})"));
+    }
+    ServeStats::incr(&shared.stats.stream_sessions);
+    let reply = Reply::Ok(format!("opened {name}\n").into_bytes());
+    *session = Some(StreamSession {
+        name,
+        meta,
+        decoder: StreamDecoder::new(),
+        detector: StreamDetector::new(0, shared.config.pairing),
+        builder: Some(TraceBuilder::new(0)),
+        finished: None,
+        reported_promotions: 0,
+    });
+    reply
+}
+
+/// Drops a session (if any) and frees its slot — decode failures,
+/// completed `CLOSE`s, and client disconnects all end here.
+fn discard_session(shared: &Shared, session: &mut Option<StreamSession>) {
+    if session.take().is_some() {
+        shared.stream_open.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Handles one `FEED` chunk: decode, detect, reply with the races
+/// whose second access arrived in this chunk. A decode error poisons
+/// and discards the session (the stream cannot be resynchronized) but
+/// keeps the connection alive.
+fn feed_stream(shared: &Shared, session: &mut Option<StreamSession>, body: &[u8]) -> Reply {
+    let Some(s) = session.as_mut() else {
+        return Reply::Err {
+            code: ErrorCode::Proto,
+            message: "FEED without an open stream session (send STREAM first)".into(),
+        };
+    };
+    let Some(builder) = s.builder.as_mut() else {
+        return Reply::Err {
+            code: ErrorCode::Proto,
+            message: "session already sealed by CLOSE; retry CLOSE".into(),
+        };
+    };
+    let started = Instant::now();
+    let mut records = Vec::new();
+    if let Err(e) = s.decoder.push(body, &mut records) {
+        let message = e.to_string();
+        discard_session(shared, session);
+        return Reply::Err { code: ErrorCode::Decode, message };
+    }
+    for r in &records {
+        r.apply(builder);
+    }
+    let new = s.detector.feed(&records);
+
+    let stats = &shared.stats;
+    stats.stream_events.fetch_add(records.len() as u64, Ordering::Relaxed);
+    stats.stream_races.fetch_add(new.len() as u64, Ordering::Relaxed);
+    let promoted = s.detector.promotions() - s.reported_promotions;
+    s.reported_promotions = s.detector.promotions();
+    stats.stream_promotions.fetch_add(promoted, Ordering::Relaxed);
+    stats.record_feed_latency(started.elapsed().as_nanos() as u64);
+
+    let mut payload = format!(
+        "fed events={} races={} new={}\n",
+        records.len(),
+        s.detector.race_keys().len(),
+        new.len()
+    );
+    for race in &new {
+        payload.push_str(&race.to_string());
+        payload.push('\n');
+    }
+    Reply::Ok(payload.into_bytes())
+}
+
+/// Handles `CLOSE`: seals the trace, runs it through the ordinary
+/// post-mortem worker path, cross-checks the streamed race keys
+/// against the post-mortem set, and frees the session slot. A `BUSY`
+/// queue keeps the sealed session alive so the client can retry
+/// `CLOSE` without resending.
+fn close_stream(shared: &Shared, session: &mut Option<StreamSession>) -> Reply {
+    let Some(s) = session.as_mut() else {
+        return Reply::Err {
+            code: ErrorCode::Proto,
+            message: "CLOSE without an open stream session".into(),
+        };
+    };
+    if s.finished.is_none() {
+        if let Err(e) = s.decoder.finish() {
+            let message = e.to_string();
+            discard_session(shared, session);
+            return Reply::Err { code: ErrorCode::Decode, message };
+        }
+        let Some(builder) = s.builder.take() else {
+            let message = format!("stream session `{}` lost its builder", s.name);
+            discard_session(shared, session);
+            return Reply::Err { code: ErrorCode::Internal, message };
+        };
+        let mut trace = builder.finish();
+        trace.meta = TraceMeta {
+            program: s.meta.program.clone(),
+            model: s.meta.model.clone(),
+            seed: s.meta.seed,
+        };
+        s.finished = Some(trace);
+    }
+    // Clone for the worker so a refused push can be retried from the
+    // stash; the session keeps the original.
+    let Some(trace) = s.finished.clone() else {
+        let message = format!("stream session `{}` lost its sealed trace", s.name);
+        discard_session(shared, session);
+        return Reply::Err { code: ErrorCode::Internal, message };
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job { trace, enqueued: Instant::now(), reply: tx };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushRefused::Busy) => {
+            ServeStats::incr(&shared.stats.busy);
+            return Reply::Busy(format!(
+                "analysis queue at capacity ({}); retry CLOSE",
+                shared.config.queue_cap
+            ));
+        }
+        Err(PushRefused::Closed) => {
+            ServeStats::incr(&shared.stats.busy);
+            return Reply::Busy("daemon draining".into());
+        }
+    }
+    ServeStats::incr(&shared.stats.submitted);
+    let streamed: BTreeSet<RaceKey> = s.detector.race_keys().clone();
+    match rx.recv() {
+        Ok(Ok((outcome, postmortem))) => {
+            let matches = postmortem == streamed;
+            if !matches {
+                ServeStats::incr(&shared.stats.stream_crosscheck_failures);
+            }
+            let verdict = if outcome.duplicate { "duplicate" } else { "ingested" };
+            let reply = Reply::Ok(
+                format!(
+                    "closed {} {verdict} races={} new={} streamed={} match={}\n",
+                    outcome.digest,
+                    outcome.races,
+                    outcome.new_races,
+                    streamed.len(),
+                    if matches { "yes" } else { "no" },
+                )
+                .into_bytes(),
+            );
+            discard_session(shared, session);
+            reply
+        }
+        Ok(Err((code, message))) => {
+            discard_session(shared, session);
+            Reply::Err { code, message }
+        }
+        Err(_) => {
+            discard_session(shared, session);
+            Reply::Err { code: ErrorCode::Internal, message: "analysis worker lost".into() }
+        }
     }
 }
 
@@ -460,6 +744,20 @@ fn stats_payload(shared: &Shared) -> Result<String, String> {
     let (p50, p99) = stats.latency_percentiles();
     metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P50_NS, p50);
     metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P99_NS, p99);
+    metrics.add(metric_keys::STREAM_SESSIONS, ServeStats::get(&stats.stream_sessions));
+    metrics.add(metric_keys::STREAM_SESSIONS_REJECTED, ServeStats::get(&stats.stream_rejected));
+    metrics.add(metric_keys::STREAM_EVENTS, ServeStats::get(&stats.stream_events));
+    metrics.add(metric_keys::STREAM_RACES, ServeStats::get(&stats.stream_races));
+    metrics.add(metric_keys::STREAM_EPOCHS_PROMOTED, ServeStats::get(&stats.stream_promotions));
+    metrics.add(
+        metric_keys::STREAM_CROSSCHECK_FAILURES,
+        ServeStats::get(&stats.stream_crosscheck_failures),
+    );
+    metrics.set_gauge(metric_keys::STREAM_OPEN, shared.stream_open.load(Ordering::SeqCst) as u64);
+    metrics.set_gauge(metric_keys::STREAM_CAP, shared.config.max_streams as u64);
+    let (fp50, fp99) = stats.feed_latency_percentiles();
+    metrics.set_gauge(metric_keys::STREAM_FEED_P50_NS, fp50);
+    metrics.set_gauge(metric_keys::STREAM_FEED_P99_NS, fp99);
     shared.catalog.lock().unwrap_or_else(|e| e.into_inner()).record_into(&metrics);
     metrics.report().to_json().map_err(|e| e.to_string())
 }

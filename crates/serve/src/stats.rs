@@ -58,8 +58,24 @@ pub struct ServeStats {
     pub busy: AtomicU64,
     /// `QUERY` requests answered.
     pub queries: AtomicU64,
+    /// Streaming sessions opened (`STREAM` accepted).
+    pub stream_sessions: AtomicU64,
+    /// Streaming sessions refused with `BUSY` (slot cap reached).
+    pub stream_rejected: AtomicU64,
+    /// Operations ingested through `FEED` chunks.
+    pub stream_events: AtomicU64,
+    /// Race identities first reported mid-stream.
+    pub stream_races: AtomicU64,
+    /// Locations promoted from the exclusive epoch fast path to the
+    /// shared table, summed over all sessions.
+    pub stream_promotions: AtomicU64,
+    /// Sessions whose streamed race keys disagreed with the post-mortem
+    /// analysis at `CLOSE` — any non-zero value is a detector bug.
+    pub stream_crosscheck_failures: AtomicU64,
     /// Recent end-to-end analysis latencies.
     pub latency: Mutex<LatencyWindow>,
+    /// Recent per-`FEED` ingest-to-detection latencies.
+    pub feed_latency: Mutex<LatencyWindow>,
 }
 
 impl ServeStats {
@@ -81,6 +97,17 @@ impl ServeStats {
     /// (p50, p99) of the recent-latency window, in nanoseconds.
     pub fn latency_percentiles(&self) -> (u64, u64) {
         let window = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        (window.percentile(50), window.percentile(99))
+    }
+
+    /// Records one `FEED` chunk's ingest-to-detection latency.
+    pub fn record_feed_latency(&self, nanos: u64) {
+        self.feed_latency.lock().unwrap_or_else(|e| e.into_inner()).record(nanos);
+    }
+
+    /// (p50, p99) of the recent `FEED`-latency window, in nanoseconds.
+    pub fn feed_latency_percentiles(&self) -> (u64, u64) {
+        let window = self.feed_latency.lock().unwrap_or_else(|e| e.into_inner());
         (window.percentile(50), window.percentile(99))
     }
 }

@@ -83,7 +83,10 @@ pub use metrics::{keys as metric_keys, Metrics, RunMetrics};
 pub use op::{AccessKind, MemOp, OpClass, SyncRole};
 pub use oplog::OpTrace;
 pub use sink::{MultiSink, NullSink, OpRecorder, TraceBuilder, TraceSink};
-pub use stream::{read_stream, salvage_stream, stream_locations, StreamSalvage, StreamWriter};
+pub use stream::{
+    read_stream, salvage_stream, stream_locations, StreamDecoder, StreamRecord, StreamSalvage,
+    StreamWriter,
+};
 pub use traceset::{
     ProcessorTrace, Salvage, SyncOrderEntry, TraceMeta, TraceSet, BINARY_FORMAT_VERSION,
 };

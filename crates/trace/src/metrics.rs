@@ -440,6 +440,33 @@ pub mod keys {
     /// Gauge: p99 end-to-end analysis latency, in nanoseconds, over
     /// the recent-latency window.
     pub const SERVE_ANALYSIS_P99_NS: &str = "serve.analysis_p99_ns";
+    /// Counter: streaming sessions opened (`STREAM` accepted).
+    pub const STREAM_SESSIONS: &str = "stream.sessions";
+    /// Counter: streaming sessions refused with `BUSY` because every
+    /// session slot was taken.
+    pub const STREAM_SESSIONS_REJECTED: &str = "stream.sessions_rejected";
+    /// Counter: operations ingested through `FEED` chunks.
+    pub const STREAM_EVENTS: &str = "stream.events";
+    /// Counter: race identities first reported mid-stream (before the
+    /// session's `CLOSE`).
+    pub const STREAM_RACES: &str = "stream.races";
+    /// Counter: locations promoted from the exclusive epoch fast path
+    /// to the shared vector-clock table, summed over sessions.
+    pub const STREAM_EPOCHS_PROMOTED: &str = "stream.epochs_promoted";
+    /// Counter: sessions whose streamed race-key set disagreed with the
+    /// post-mortem analysis at `CLOSE` (any non-zero value is a bug —
+    /// the cross-check exists to catch detector drift).
+    pub const STREAM_CROSSCHECK_FAILURES: &str = "stream.crosscheck_failures";
+    /// Gauge: streaming sessions currently open.
+    pub const STREAM_OPEN: &str = "stream.open";
+    /// Gauge: the configured session-slot cap (`max_streams`).
+    pub const STREAM_CAP: &str = "stream.cap";
+    /// Gauge: p50 per-`FEED` ingest-to-detection latency, in
+    /// nanoseconds, over the recent window.
+    pub const STREAM_FEED_P50_NS: &str = "stream.feed_p50_ns";
+    /// Gauge: p99 per-`FEED` ingest-to-detection latency, in
+    /// nanoseconds, over the recent window.
+    pub const STREAM_FEED_P99_NS: &str = "stream.feed_p99_ns";
     /// Gauge: distinct traces in the catalog (content-addressed by
     /// [`crate::TraceDigest`]).
     pub const CATALOG_TRACES: &str = "catalog.traces";
@@ -526,6 +553,23 @@ mod tests {
             keys::SERVE_ANALYSIS_P99_NS,
         ] {
             assert!(key.starts_with("serve."), "{key}");
+            assert!(key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_' || c.is_ascii_digit()));
+        }
+        for key in [
+            keys::STREAM_SESSIONS,
+            keys::STREAM_SESSIONS_REJECTED,
+            keys::STREAM_EVENTS,
+            keys::STREAM_RACES,
+            keys::STREAM_EPOCHS_PROMOTED,
+            keys::STREAM_CROSSCHECK_FAILURES,
+            keys::STREAM_OPEN,
+            keys::STREAM_CAP,
+            keys::STREAM_FEED_P50_NS,
+            keys::STREAM_FEED_P99_NS,
+        ] {
+            assert!(key.starts_with("stream."), "{key}");
             assert!(key
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_' || c.is_ascii_digit()));

@@ -208,7 +208,48 @@ impl<W: Write> TraceSink for StreamWriter<W> {
 }
 
 /// One decoded stream record, before grouping into events.
-type RawRecord = (u8, ProcId, crate::Location, AccessKind, SyncRole, Value, Option<OpId>);
+///
+/// This is the operation-granular unit of the `WMRS` stream format: a
+/// single data or synchronization operation as the writer's
+/// [`TraceSink`] callbacks saw it. Records deliberately do **not**
+/// carry an [`OpId`]: operation identity is positional (the sink
+/// contract), so any consumer that replays records in stream order
+/// through its own counters — [`StreamRecord::apply`] onto a
+/// [`TraceBuilder`], an on-the-fly detector, anything implementing
+/// [`TraceSink`] — reassigns exactly the ids the producer assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRecord {
+    /// `true` for a synchronization operation, `false` for data.
+    pub sync: bool,
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Location accessed.
+    pub loc: crate::Location,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Acquire/release/plain role (always [`SyncRole::None`] for data
+    /// operations).
+    pub role: SyncRole,
+    /// Value read or written.
+    pub value: Value,
+    /// For reads: the write whose value was returned, if recorded (for
+    /// sync reads this is the `observed_release` that drives `so1`
+    /// pairing).
+    pub observed: Option<OpId>,
+}
+
+impl StreamRecord {
+    /// Replays this record into a sink, returning the id the sink
+    /// assigned. Feeding a whole stream's records in order reproduces
+    /// the original execution's callbacks exactly.
+    pub fn apply<S: TraceSink + ?Sized>(&self, sink: &mut S) -> OpId {
+        if self.sync {
+            sink.sync_access(self.proc, self.loc, self.kind, self.role, self.value, self.observed)
+        } else {
+            sink.data_access(self.proc, self.loc, self.kind, self.value, self.observed)
+        }
+    }
+}
 
 /// A position-tracking record reader over an [`std::io::Read`].
 struct RecordReader<R> {
@@ -247,7 +288,7 @@ impl<R: Read> RecordReader<R> {
     /// Reads one record; `checksummed` additionally consumes and
     /// verifies the trailing CRC-32. `Ok(None)` on clean EOF at a
     /// record boundary.
-    fn read_record(&mut self, checksummed: bool) -> Result<Option<RawRecord>, TraceError> {
+    fn read_record(&mut self, checksummed: bool) -> Result<Option<StreamRecord>, TraceError> {
         let start = self.pos;
         let mut raw: Vec<u8> = Vec::with_capacity(32);
         let mut head = [0u8; 18];
@@ -304,7 +345,7 @@ impl<R: Read> RecordReader<R> {
                 return Err(DecodeError::new(start, "record checksum mismatch").into());
             }
         }
-        Ok(Some((tag, proc, loc, kind, role, value, observed)))
+        Ok(Some(StreamRecord { sync: tag == TAG_SYNC, proc, loc, kind, role, value, observed }))
     }
 }
 
@@ -399,14 +440,14 @@ fn read_records<R: Read>(
     salvage: bool,
 ) -> Result<StreamParts, TraceError> {
     let mut max_proc: usize = 0;
-    let mut records: Vec<RawRecord> = Vec::new();
+    let mut records: Vec<StreamRecord> = Vec::new();
     let mut failure: Option<DecodeError> = None;
     let mut good_end = rr.pos;
     loop {
         match rr.read_record(checksummed) {
             Ok(None) => break,
             Ok(Some(rec)) => {
-                max_proc = max_proc.max(rec.1.index() + 1);
+                max_proc = max_proc.max(rec.proc.index() + 1);
                 records.push(rec);
                 good_end = rr.pos;
             }
@@ -426,17 +467,248 @@ fn read_records<R: Read>(
 
     let count = records.len() as u64;
     let mut builder = TraceBuilder::new(max_proc);
-    for (tag, proc, loc, kind, role, value, observed) in records {
-        match tag {
-            TAG_DATA => {
-                builder.data_access(proc, loc, kind, value, observed);
+    for rec in &records {
+        rec.apply(&mut builder);
+    }
+    Ok((builder.finish(), count, good_end, failure))
+}
+
+/// Where an incremental decode currently is in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum DecoderMode {
+    /// Waiting for enough bytes to decide v1 vs v2.
+    #[default]
+    Sniffing,
+    /// A v2 stream: `"WMRS"` header seen, records carry CRC-32s.
+    Checksummed,
+    /// A legacy v1 stream: headerless, no per-record CRCs.
+    Legacy,
+}
+
+/// An incremental, push-based decoder for the record stream format —
+/// the chunked counterpart of [`read_stream`].
+///
+/// [`read_stream`] needs the whole stream at once; `StreamDecoder`
+/// accepts bytes as they arrive (a network chunk, a partial file) and
+/// yields every record that is complete so far, buffering the rest. A
+/// chunk boundary may fall anywhere — mid-header, mid-record, even
+/// mid-CRC — without changing the decoded record sequence: pushing the
+/// same bytes in any chunking yields the same records (property-tested
+/// in `tests/props.rs`).
+///
+/// Errors (bad magic, failed checksum, unsupported version) are
+/// **terminal**: once `push` has returned an error the decoder refuses
+/// further input, because the record boundary is lost. Call
+/// [`finish`](StreamDecoder::finish) after the last chunk to verify
+/// the stream ended at a record boundary.
+///
+/// # Example
+///
+/// ```
+/// use wmrd_trace::{AccessKind, Location, ProcId, StreamDecoder, StreamWriter, TraceSink, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = Vec::new();
+/// let mut w = StreamWriter::new(&mut buf, 1);
+/// w.data_access(ProcId::new(0), Location::new(3), AccessKind::Write, Value::new(1), None);
+/// w.finish()?;
+///
+/// let mut dec = StreamDecoder::new();
+/// let mut records = Vec::new();
+/// for chunk in buf.chunks(5) {
+///     dec.push(chunk, &mut records)?; // boundaries may split records
+/// }
+/// dec.finish()?;
+/// assert_eq!(records.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    /// Bytes of the (possibly partial) record currently being decoded.
+    buf: Vec<u8>,
+    /// Absolute stream offset of `buf[0]`.
+    offset: usize,
+    mode: DecoderMode,
+    records: u64,
+    poisoned: bool,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder positioned at the start of a stream.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Records decoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes buffered awaiting the rest of a record (0 at a record
+    /// boundary).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes consumed into complete records (header included).
+    pub fn bytes_decoded(&self) -> usize {
+        self.offset
+    }
+
+    /// Pushes a chunk, appending every newly completed record to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] (with the absolute stream offset)
+    /// on framing or checksum damage; the decoder is then poisoned and
+    /// rejects further pushes.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<StreamRecord>) -> Result<(), TraceError> {
+        if self.poisoned {
+            return Err(DecodeError::new(self.offset, "decoder already failed").into());
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            if self.mode == DecoderMode::Sniffing {
+                if self.buf.is_empty() {
+                    return Ok(());
+                }
+                if self.buf[0] == RECORD_MAGIC {
+                    // v1 streams have no header; the first byte of a v1
+                    // record can never match the 'W' opening "WMRS".
+                    self.mode = DecoderMode::Legacy;
+                } else if self.buf.len() < 6 {
+                    return Ok(()); // not enough to judge the header yet
+                } else if &self.buf[..4] == STREAM_MAGIC {
+                    let version = u16::from_be_bytes([self.buf[4], self.buf[5]]);
+                    if version != STREAM_FORMAT_VERSION {
+                        self.poisoned = true;
+                        return Err(DecodeError::new(
+                            4,
+                            format!("unsupported stream version {version}"),
+                        )
+                        .into());
+                    }
+                    self.buf.drain(..6);
+                    self.offset += 6;
+                    self.mode = DecoderMode::Checksummed;
+                } else {
+                    // Not a header, not a record: same verdict the
+                    // one-shot reader reaches via its v1 fallback.
+                    self.poisoned = true;
+                    return Err(DecodeError::new(
+                        self.offset,
+                        format!("bad record magic {:#x}", self.buf[0]),
+                    )
+                    .into());
+                }
             }
-            _ => {
-                builder.sync_access(proc, loc, kind, role, value, observed);
+            let checksummed = self.mode == DecoderMode::Checksummed;
+            match parse_record_slice(&self.buf, checksummed, self.offset) {
+                Ok(None) => return Ok(()), // incomplete; wait for more bytes
+                Ok(Some((rec, used))) => {
+                    self.buf.drain(..used);
+                    self.offset += used;
+                    self.records += 1;
+                    out.push(rec);
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
             }
         }
     }
-    Ok((builder.finish(), count, good_end, failure))
+
+    /// Declares end-of-stream: succeeds iff the stream ended exactly at
+    /// a record boundary (a partially buffered record is truncation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for a truncated final record or a
+    /// previously poisoned decoder.
+    pub fn finish(&self) -> Result<(), TraceError> {
+        if self.poisoned {
+            return Err(DecodeError::new(self.offset, "decoder already failed").into());
+        }
+        if !self.buf.is_empty() {
+            return Err(DecodeError::new(
+                self.offset + self.buf.len(),
+                format!("stream ends inside a record ({} buffered bytes)", self.buf.len()),
+            )
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Returns the decoder to its initial state for a new stream.
+    pub fn reset(&mut self) {
+        *self = StreamDecoder::default();
+    }
+}
+
+/// Parses one record from the front of `buf`. `Ok(None)` means the
+/// record is not complete yet; `Ok(Some((rec, used)))` consumed `used`
+/// bytes. `base` is the absolute stream offset of `buf[0]`, used for
+/// error positions (matching [`read_stream`]'s offsets).
+fn parse_record_slice(
+    buf: &[u8],
+    checksummed: bool,
+    base: usize,
+) -> Result<Option<(StreamRecord, usize)>, TraceError> {
+    const HEAD: usize = 18;
+    if buf.len() < HEAD + 1 {
+        return Ok(None);
+    }
+    if buf[0] != RECORD_MAGIC {
+        return Err(DecodeError::new(base, format!("bad record magic {:#x}", buf[0])).into());
+    }
+    let tag = buf[1];
+    if tag != TAG_DATA && tag != TAG_SYNC {
+        return Err(DecodeError::new(base, format!("bad record tag {tag}")).into());
+    }
+    let proc = ProcId::new(u16::from_be_bytes([buf[2], buf[3]]));
+    let loc = crate::Location::new(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]));
+    let kind = if buf[8] == 1 { AccessKind::Write } else { AccessKind::Read };
+    let role = match buf[9] {
+        0 => SyncRole::Release,
+        1 => SyncRole::Acquire,
+        2 => SyncRole::None,
+        r => return Err(DecodeError::new(base, format!("bad sync role {r}")).into()),
+    };
+    let value = Value::new(i64::from_be_bytes([
+        buf[10], buf[11], buf[12], buf[13], buf[14], buf[15], buf[16], buf[17],
+    ]));
+    let flag = buf[HEAD];
+    let observed_len = match flag {
+        0 => 0,
+        1 => 6,
+        f => return Err(DecodeError::new(base, format!("bad observed flag {f}")).into()),
+    };
+    let body_len = HEAD + 1 + observed_len;
+    let total = body_len + if checksummed { 4 } else { 0 };
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let observed = (flag == 1).then(|| {
+        OpId::new(
+            ProcId::new(u16::from_be_bytes([buf[19], buf[20]])),
+            u32::from_be_bytes([buf[21], buf[22], buf[23], buf[24]]),
+        )
+    });
+    if checksummed {
+        let stored = u32::from_be_bytes([
+            buf[body_len],
+            buf[body_len + 1],
+            buf[body_len + 2],
+            buf[body_len + 3],
+        ]);
+        if crc32(&buf[..body_len]) != stored {
+            return Err(DecodeError::new(base, "record checksum mismatch").into());
+        }
+    }
+    let rec = StreamRecord { sync: tag == TAG_SYNC, proc, loc, kind, role, value, observed };
+    Ok(Some((rec, total)))
 }
 
 /// A [`LocSet`]-returning helper used by tests: the set of locations
@@ -660,5 +932,122 @@ mod tests {
         let locs = stream_locations(&buf[..]).unwrap();
         assert!(locs.contains(l(5)) && locs.contains(l(9)));
         assert_eq!(locs.len(), 2);
+    }
+
+    /// A small v2 stream exercising both record kinds and the observed
+    /// field, for decoder tests.
+    fn sample_stream() -> (Vec<u8>, usize) {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, 2);
+        w.data_access(p(0), l(0), AccessKind::Write, Value::new(7), None);
+        let rel =
+            w.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+        w.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+        w.data_access(p(1), l(0), AccessKind::Read, Value::new(7), None);
+        w.finish().unwrap();
+        (buf, 4)
+    }
+
+    #[test]
+    fn decoder_matches_one_shot_reader_under_any_chunking() {
+        let (buf, n) = sample_stream();
+        let direct = read_stream(&buf[..]).unwrap();
+        // Every chunk size from 1 byte (worst case: each record arrives
+        // split across many pushes) up to the whole stream at once.
+        for chunk in 1..=buf.len() {
+            let mut dec = StreamDecoder::new();
+            let mut records = Vec::new();
+            for piece in buf.chunks(chunk) {
+                dec.push(piece, &mut records).unwrap();
+            }
+            dec.finish().unwrap();
+            assert_eq!(records.len(), n);
+            assert_eq!(dec.records(), n as u64);
+            assert_eq!(dec.buffered(), 0);
+            assert_eq!(dec.bytes_decoded(), buf.len());
+            // Replaying the records through a builder reconstructs the
+            // same TraceSet the one-shot reader produced.
+            let mut b = TraceBuilder::new(1);
+            for r in &records {
+                r.apply(&mut b);
+            }
+            assert_eq!(b.finish(), direct);
+        }
+    }
+
+    #[test]
+    fn decoder_reads_legacy_streams() {
+        let body = encode_record_body(
+            TAG_DATA,
+            p(0),
+            l(3),
+            AccessKind::Write,
+            SyncRole::None,
+            Value::new(1),
+            None,
+        );
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&body, &mut out).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].sync);
+        assert_eq!(out[0].loc, l(3));
+    }
+
+    #[test]
+    fn decoder_rejects_damage_at_matching_offsets() {
+        let (buf, _) = sample_stream();
+        // Flip a byte inside the first record body: CRC failure at the
+        // record's start offset, same as read_stream reports.
+        let mut bad = buf.clone();
+        bad[10] ^= 0x40;
+        let one_shot = read_stream(&bad[..]).unwrap_err();
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        let incremental = dec.push(&bad, &mut out).unwrap_err();
+        assert_eq!(format!("{one_shot}"), format!("{incremental}"));
+        // Poisoned: further pushes are refused.
+        assert!(dec.push(&buf, &mut out).is_err());
+
+        // A bogus header version is rejected before any records decode.
+        let mut vbad = buf.clone();
+        vbad[5] = 9;
+        let mut dec = StreamDecoder::new();
+        let err = dec.push(&vbad, &mut out).unwrap_err();
+        assert!(format!("{err}").contains("unsupported stream version"));
+    }
+
+    #[test]
+    fn decoder_finish_flags_truncation() {
+        let (buf, _) = sample_stream();
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&buf[..buf.len() - 3], &mut out).unwrap();
+        assert!(dec.finish().is_err(), "mid-record EOF must not pass finish()");
+        // Supplying the missing tail completes the record after all.
+        dec.push(&buf[buf.len() - 3..], &mut out).unwrap();
+        dec.finish().unwrap();
+        // reset() starts a fresh stream, re-sniffing the header.
+        dec.reset();
+        let mut out2 = Vec::new();
+        dec.push(&buf, &mut out2).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn decoder_empty_stream_is_ok() {
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&[], &mut out).unwrap();
+        dec.finish().unwrap();
+        // A bare v2 header with no records is also a valid stream.
+        let mut hdr = Vec::new();
+        StreamWriter::new(&mut hdr, 1).finish().unwrap();
+        dec.reset();
+        dec.push(&hdr, &mut out).unwrap();
+        dec.finish().unwrap();
+        assert!(out.is_empty());
     }
 }

@@ -33,16 +33,41 @@ echo "== serve smoke (daemon + catalog e2e)"
 # socket converge to byte-identical query output at any worker count,
 # corrupt submissions (tests/data/corrupt) are rejected with a typed
 # error without killing the daemon, zero-capacity queues answer BUSY,
-# and a torn journal tail reopens to the committed record prefix.
+# interleaved STREAM sessions land in the same catalog as SUBMITs with
+# slot-bounded backpressure, and a torn journal tail reopens to the
+# committed record prefix.
 cargo test -q -p wmrd-xtests --test serve
 cargo test -q -p wmrd-serve -p wmrd-catalog
 
+echo "== stream smoke (online detector == post-mortem)"
+# The tentpole equivalence: the streaming detector's race-key set must
+# equal the post-mortem set over the entire program catalog, every
+# chunking, both pairing policies (tests/stream.rs).
+cargo test -q -p wmrd-xtests --test stream
+
 echo "== serve smoke (CLI round trip)"
-# The wmrd serve/submit/query commands against a live daemon, plus
-# explore --sink streaming — asserted from the CLI test suite so the
-# user-facing surface is exercised, not just the library.
+# The wmrd serve/submit/stream/query commands against a live daemon,
+# plus explore --sink chunked streaming — asserted from the CLI test
+# suite so the user-facing surface is exercised, not just the library.
 cargo test -q -p wmrd-cli submit_and_query_against_a_live_daemon
+cargo test -q -p wmrd-cli stream_against_a_live_daemon
 cargo test -q -p wmrd-cli explore_sink_streams_racy_traces
+
+echo "== protocol documentation gate (SERVING.md)"
+# Every verb the protocol parses must be documented with a framing
+# example in SERVING.md; adding a verb without documenting it fails
+# here. The verb list is extracted from the parser itself.
+verbs=$(sed -n 's/^ *("\([A-Z]*\)", .*$/\1/p' crates/serve/src/protocol.rs | sort -u)
+if [ -z "$verbs" ]; then
+    echo "check.sh: could not extract verb list from crates/serve/src/protocol.rs" >&2
+    exit 1
+fi
+for verb in $verbs; do
+    if ! grep -q "$verb" SERVING.md; then
+        echo "check.sh: protocol verb $verb is not documented in SERVING.md" >&2
+        exit 1
+    fi
+done
 
 echo "== lint smoke (static may-race analysis)"
 # The static analyzer's unit suite, the golden/soundness xtest (every

@@ -6,11 +6,13 @@ use proptest::prelude::*;
 
 use wmrd_catalog::journal::{self, JournalRecord, RaceObservation};
 use wmrd_catalog::{Catalog, Query};
-use wmrd_core::{PairingPolicy, PostMortem, RaceKey, SideKey, VectorClock};
+use wmrd_core::{
+    event_race_keys, PairingPolicy, PostMortem, RaceKey, SideKey, StreamDetector, VectorClock,
+};
 use wmrd_progs::generate;
 use wmrd_sim::{run_sc, Fidelity, MemoryModel, RandomSched, RunConfig};
 use wmrd_trace::AccessKind;
-use wmrd_trace::{LocSet, Location, ProcId, TraceBuilder, TraceSet};
+use wmrd_trace::{LocSet, Location, ProcId, StreamDecoder, StreamWriter, TraceBuilder, TraceSet};
 use wmrd_verify::is_sequentially_consistent;
 
 fn locs() -> impl Strategy<Value = Vec<u32>> {
@@ -346,6 +348,86 @@ proptest! {
             prop_assert!(s.trace.validate().is_ok(), "salvage must return a valid trace");
             prop_assert!(s.bytes_used <= s.bytes_total);
         }
+    }
+
+    /// `FEED` chunking invariance: however a `WMRS` byte stream is cut
+    /// into chunks — including cuts inside the header and mid-record —
+    /// the decoded record sequence and the online detector's race-key
+    /// set are identical to the unchunked run, and the online keys
+    /// equal the post-mortem keys of the reassembled trace. This is
+    /// the property that makes the daemon's chunk size a pure
+    /// transport knob.
+    #[test]
+    fn stream_chunking_never_changes_the_race_set(
+        prog_seed in 0u64..40,
+        sched_seed in 0u64..6,
+        cuts in vec(1usize..97, 0..12),
+    ) {
+        let cfg = generate::GenConfig {
+            procs: 3,
+            shared_locations: 3,
+            sections_per_proc: 2,
+            ops_per_section: 3,
+            rogue_fraction: 0.6,
+            seed: prog_seed,
+        };
+        let program = generate::racy(&cfg);
+        let mut writer = StreamWriter::new(Vec::new(), program.num_procs());
+        let mut sched = wmrd_sim::RandomWeakSched::new(sched_seed, 0.4);
+        wmrd_sim::run_weak(
+            &program,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut sched,
+            &mut writer,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        let bytes = writer.finish().unwrap();
+
+        // Unchunked reference: one push of the whole stream.
+        let mut reference = StreamDecoder::new();
+        let mut all = Vec::new();
+        reference.push(&bytes, &mut all).unwrap();
+        reference.finish().unwrap();
+        let mut oneshot = StreamDetector::new(program.num_procs(), PairingPolicy::ByRole);
+        oneshot.feed(&all);
+
+        // Chunked: cut sizes cycle through the generated list.
+        let mut decoder = StreamDecoder::new();
+        let mut detector = StreamDetector::new(program.num_procs(), PairingPolicy::ByRole);
+        let mut builder = TraceBuilder::new(program.num_procs());
+        let mut chunked = Vec::new();
+        let (mut pos, mut turn) = (0usize, 0usize);
+        while pos < bytes.len() {
+            let step = if cuts.is_empty() { bytes.len() } else { cuts[turn % cuts.len()] };
+            turn += 1;
+            let end = (pos + step).min(bytes.len());
+            let mut records = Vec::new();
+            decoder.push(&bytes[pos..end], &mut records).unwrap();
+            for r in &records {
+                r.apply(&mut builder);
+            }
+            detector.feed(&records);
+            chunked.extend(records);
+            pos = end;
+        }
+        decoder.finish().unwrap();
+
+        prop_assert_eq!(&chunked, &all, "chunk boundaries changed the decoded records");
+        prop_assert_eq!(
+            detector.race_keys(),
+            oneshot.race_keys(),
+            "chunk boundaries changed the online race set"
+        );
+        let trace = builder.finish();
+        let report =
+            PostMortem::new(&trace).pairing(PairingPolicy::ByRole).analyze().unwrap();
+        prop_assert_eq!(
+            detector.race_keys(),
+            &event_race_keys(&report.races, &trace),
+            "online and post-mortem race keys diverged"
+        );
     }
 
     /// The pairing policy only ever shrinks the race set monotonically:

@@ -4,7 +4,10 @@
 //! `BUSY` at the explicit queue cap, corrupt submissions are rejected
 //! with a typed error without taking the daemon down, and a journal
 //! with a torn tail — the kill-9 signature — reopens to exactly the
-//! committed record prefix.
+//! committed record prefix. Streaming sessions (`STREAM`/`FEED`/
+//! `CLOSE`) interleave with submissions, dedup into the same catalog
+//! aggregates, respect the session-slot bound, and release their slot
+//! when a client vanishes mid-stream.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -12,9 +15,9 @@ use std::time::Duration;
 
 use wmrd_catalog::Catalog;
 use wmrd_progs::catalog;
-use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, ServeSummary, Server};
+use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, ServeSummary, Server, StreamMeta};
 use wmrd_sim::{run_weak_hw, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig};
-use wmrd_trace::{TraceBuilder, TraceSet};
+use wmrd_trace::{StreamWriter, TraceBuilder, TraceSet};
 
 /// A scratch directory unique to one test invocation.
 fn scratch(name: &str) -> PathBuf {
@@ -42,6 +45,24 @@ fn weak_trace(program: &Program, name: &str, seed: u64) -> TraceSet {
     trace.meta.model = Some(MemoryModel::Wo.to_string());
     trace.meta.seed = Some(seed);
     trace
+}
+
+/// The same execution as [`weak_trace`], captured as operation-granular
+/// `WMRS` stream bytes (what a live simulator would feed the daemon).
+fn weak_stream_bytes(program: &Program, seed: u64) -> Vec<u8> {
+    let mut sched = RandomWeakSched::new(seed, 0.3);
+    let mut writer = StreamWriter::new(Vec::new(), program.num_procs());
+    run_weak_hw(
+        HwImpl::StoreBuffer,
+        program,
+        MemoryModel::Wo,
+        Fidelity::Conditioned,
+        &mut sched,
+        &mut writer,
+        RunConfig::default(),
+    )
+    .unwrap();
+    writer.finish().unwrap()
 }
 
 /// The explore-style corpus: weak executions of racy catalog programs
@@ -87,6 +108,48 @@ fn submit_until_accepted(client: &mut Client, body: &[u8]) -> String {
 
 fn query_text(endpoint: &Endpoint, spec: &str) -> String {
     Client::connect(endpoint).unwrap().query(spec).unwrap().into_text().unwrap()
+}
+
+/// Drives one complete streaming session with the client discipline
+/// the typed replies ask for — retry `BUSY` on open (no session slot)
+/// and on close (analysis queue full) — and returns the `CLOSE`
+/// verdict line.
+fn stream_until_closed(
+    endpoint: &Endpoint,
+    name: &str,
+    seed: u64,
+    bytes: &[u8],
+    chunk: usize,
+) -> String {
+    let meta = StreamMeta {
+        program: Some(name.to_string()),
+        model: Some(MemoryModel::Wo.to_string()),
+        seed: Some(seed),
+    };
+    loop {
+        let mut client = Client::connect(endpoint).unwrap();
+        match client.stream_open(&format!("{name}-{seed}"), &meta).unwrap() {
+            Reply::Ok(_) => {}
+            Reply::Busy(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Reply::Err { code, message } => panic!("stream open rejected ({code:?}): {message}"),
+        }
+        for part in bytes.chunks(chunk) {
+            match client.stream_feed(part).unwrap() {
+                Reply::Ok(_) => {}
+                other => panic!("feed failed: {other:?}"),
+            }
+        }
+        loop {
+            match client.stream_close().unwrap() {
+                Reply::Ok(payload) => return String::from_utf8(payload).unwrap(),
+                Reply::Busy(_) => std::thread::sleep(Duration::from_millis(5)),
+                Reply::Err { code, message } => panic!("close rejected ({code:?}): {message}"),
+            }
+        }
+    }
 }
 
 fn drain(endpoint: &Endpoint, join: std::thread::JoinHandle<ServeSummary>) -> ServeSummary {
@@ -300,8 +363,8 @@ fn mid_record_truncation_loses_only_the_final_record() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// `STATS` carries the `serve.*` and `catalog.*` vocabulary as a
-/// RunMetrics JSON report.
+/// `STATS` carries the `serve.*`, `stream.*`, and `catalog.*`
+/// vocabulary as a RunMetrics JSON report.
 #[test]
 fn stats_report_carries_the_serve_vocabulary() {
     let dir = scratch("stats");
@@ -311,17 +374,142 @@ fn stats_report_carries_the_serve_vocabulary() {
         &mut client,
         &weak_trace(&catalog::fig1a().program, "fig1a", 1).to_binary(),
     );
+    let bytes = weak_stream_bytes(&catalog::fig1a().program, 2);
+    stream_until_closed(&endpoint, "fig1a", 2, &bytes, 96);
     let json = client.stats().unwrap().into_text().unwrap();
     for key in [
         "serve.submitted",
         "serve.ingested",
         "serve.queue_cap",
         "serve.workers",
+        "stream.sessions",
+        "stream.events",
+        "stream.races",
+        "stream.open",
+        "stream.cap",
+        "stream.feed_p50_ns",
         "catalog.traces",
         "catalog.races",
     ] {
         assert!(json.contains(key), "STATS report missing `{key}`:\n{json}");
     }
     drain(&endpoint, join);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streaming sessions and whole-trace submissions interleave freely
+/// across concurrent connections, land in the same content-addressed
+/// catalog, and every `CLOSE` cross-check agrees with the post-mortem.
+#[test]
+fn streams_and_submissions_interleave_into_one_catalog() {
+    let dir = scratch("stream-mix");
+    let (endpoint, join) = start(&dir, ServeConfig::default());
+
+    // Concurrent lanes: work-queue executions arrive as SUBMITs while
+    // fig1a executions stream in live, all at once.
+    let wq = catalog::work_queue_buggy();
+    let fig = catalog::fig1a();
+    std::thread::scope(|scope| {
+        for seed in 0..4u64 {
+            let endpoint = &endpoint;
+            let wq = &wq;
+            let fig = &fig;
+            scope.spawn(move || {
+                let body = weak_trace(&wq.program, wq.name, seed).to_binary();
+                let mut client = Client::connect(endpoint).unwrap();
+                submit_until_accepted(&mut client, &body);
+            });
+            scope.spawn(move || {
+                let bytes = weak_stream_bytes(&fig.program, seed);
+                let verdict = stream_until_closed(endpoint, fig.name, seed, &bytes, 48);
+                assert!(verdict.contains("match=yes"), "{verdict}");
+            });
+        }
+    });
+
+    // Digest parity: the post-hoc recording of every streamed
+    // execution (same meta) is already in the catalog.
+    let mut client = Client::connect(&endpoint).unwrap();
+    for seed in 0..4u64 {
+        let body = weak_trace(&fig.program, fig.name, seed).to_binary();
+        let verdict = submit_until_accepted(&mut client, &body);
+        assert!(verdict.starts_with("duplicate"), "stream/submit parity at seed {seed}: {verdict}");
+    }
+
+    let races = query_text(&endpoint, "races");
+    assert!(races.contains("hits="), "{races}");
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.stream_sessions, 4);
+    assert_eq!(summary.stream_crosscheck_failures, 0);
+    assert!(summary.stream_events > 0);
+    // 4 SUBMITs + 4 CLOSEs + 4 parity SUBMITs, every one a verdict.
+    assert_eq!(summary.submitted, 12);
+    assert_eq!(summary.ingested + summary.deduped, 12);
+    assert_eq!(summary.rejected, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The session-slot bound is a typed `BUSY`, and a client that
+/// vanishes mid-stream (half a record in flight) has its slot
+/// reclaimed — no leak, no wedged daemon.
+#[test]
+fn stream_slots_are_bounded_and_reclaimed_on_disconnect() {
+    let dir = scratch("stream-cap");
+    let config = ServeConfig { max_streams: 2, ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    let meta = StreamMeta::default();
+
+    let mut a = Client::connect(&endpoint).unwrap();
+    let mut b = Client::connect(&endpoint).unwrap();
+    assert!(matches!(a.stream_open("a", &meta).unwrap(), Reply::Ok(_)));
+    assert!(matches!(b.stream_open("b", &meta).unwrap(), Reply::Ok(_)));
+
+    // Both slots held: a third session is refused, typed, and the
+    // daemon keeps answering on that same connection.
+    let mut c = Client::connect(&endpoint).unwrap();
+    match c.stream_open("c", &meta).unwrap() {
+        Reply::Busy(m) => assert!(m.contains("capacity"), "{m}"),
+        other => panic!("expected BUSY at the stream cap, got {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap().into_text().unwrap(), "pong\n");
+
+    // `a` dies mid-stream with a split record on the wire.
+    let bytes = weak_stream_bytes(&catalog::fig1a().program, 3);
+    assert!(matches!(a.stream_feed(&bytes[..10]).unwrap(), Reply::Ok(_)));
+    drop(a);
+
+    // The daemon notices the disconnect asynchronously; the freed slot
+    // lets `c` in.
+    let mut freed = false;
+    for _ in 0..400 {
+        match c.stream_open("c", &meta).unwrap() {
+            Reply::Ok(_) => {
+                freed = true;
+                break;
+            }
+            Reply::Busy(_) => std::thread::sleep(Duration::from_millis(10)),
+            Reply::Err { code, message } => panic!("({code:?}): {message}"),
+        }
+    }
+    assert!(freed, "a dead client's stream slot must be reclaimed");
+
+    // `b`'s session was never disturbed: it completes and cross-checks.
+    for part in bytes.chunks(64) {
+        assert!(matches!(b.stream_feed(part).unwrap(), Reply::Ok(_)));
+    }
+    let verdict = loop {
+        match b.stream_close().unwrap() {
+            Reply::Ok(payload) => break String::from_utf8(payload).unwrap(),
+            Reply::Busy(_) => std::thread::sleep(Duration::from_millis(5)),
+            Reply::Err { code, message } => panic!("close rejected ({code:?}): {message}"),
+        }
+    };
+    assert!(verdict.contains("match=yes"), "{verdict}");
+
+    drop(b);
+    drop(c);
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.stream_sessions, 3, "{summary}");
+    assert_eq!(summary.stream_crosscheck_failures, 0, "{summary}");
     let _ = std::fs::remove_dir_all(&dir);
 }
