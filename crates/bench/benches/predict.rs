@@ -1,0 +1,86 @@
+//! Predictive-analysis cost: `predict()` over single weak-memory
+//! traces, SHB (≡ hb1 + section recovery) against the WCP-style
+//! weaker order. The WCP path adds the commutativity check and the
+//! chain-wide release rule on top of SHB's graph, so the SHB/WCP gap
+//! isolates what the weakening itself costs; the generated-workload
+//! series shows how that cost scales with the number of critical
+//! sections (the so1-edge count drives both the pairwise scan and the
+//! full-hb1 reachability pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wmrd_bench::weak_run;
+use wmrd_core::PairingPolicy;
+use wmrd_predict::{predict, PredictOrder};
+use wmrd_progs::{catalog, generate};
+use wmrd_sim::{Fidelity, MemoryModel};
+use wmrd_trace::TraceSet;
+
+/// One WO trace per catalog entry, at the fixed bench seed.
+fn catalog_traces() -> Vec<(String, TraceSet)> {
+    catalog::all()
+        .into_iter()
+        .map(|e| {
+            let run = weak_run(&e.program, MemoryModel::Wo, Fidelity::Conditioned, 3);
+            (e.name.to_string(), run.events)
+        })
+        .collect()
+}
+
+/// A sectioned workload traced on WO: lock-disciplined sections are
+/// what the section-recovery pass and the so1 scan chew on.
+fn sectioned_trace(sections: usize) -> TraceSet {
+    let cfg = generate::GenConfig {
+        procs: 4,
+        shared_locations: 16,
+        sections_per_proc: sections,
+        ops_per_section: 6,
+        rogue_fraction: 0.4,
+        seed: 42,
+    };
+    weak_run(&generate::sectioned(&cfg), MemoryModel::Wo, Fidelity::Conditioned, 7).events
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let traces = catalog_traces();
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    for order in [PredictOrder::Shb, PredictOrder::Wcp] {
+        group.bench_with_input(BenchmarkId::new("catalog", order), &traces, |b, ts| {
+            b.iter(|| {
+                ts.iter()
+                    .map(|(name, t)| {
+                        predict(t, name, PairingPolicy::ByRole, order)
+                            .expect("catalog traces analyze cleanly")
+                            .keys
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+
+    for sections in [5usize, 15, 45] {
+        let trace = sectioned_trace(sections);
+        group.throughput(Throughput::Elements(trace.num_events() as u64));
+        for order in [PredictOrder::Shb, PredictOrder::Wcp] {
+            let id = BenchmarkId::new(format!("sectioned-{order}"), sections);
+            group.bench_with_input(id, &trace, |b, t| {
+                b.iter(|| {
+                    predict(t, "gen-sectioned", PairingPolicy::ByRole, order)
+                        .expect("generated traces analyze cleanly")
+                        .keys
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -205,7 +205,12 @@ fn synthetic_catalog(n: usize) -> Catalog {
             model: Some("WO".into()),
             seed: Some(i as u64),
             events: 100,
-            races: vec![RaceObservation { key, first_partition: i % 2 == 0 }],
+            races: vec![RaceObservation {
+                key,
+                first_partition: i % 2 == 0,
+                provenance: wmrd_catalog::Provenance::OBSERVED,
+            }],
+            amend: false,
         };
         cat.ingest(&record).unwrap();
     }

@@ -23,6 +23,9 @@
 //! u32     CRC-32 over marker + length + payload
 //! ```
 
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
 use serde::{Deserialize, Serialize};
 use wmrd_core::RaceKey;
 use wmrd_trace::crc32;
@@ -40,6 +43,77 @@ pub const MAX_RECORD_BYTES: usize = 1 << 24;
 /// Bytes in the file header (magic + version + CRC).
 pub const HEADER_BYTES: usize = 10;
 
+/// How a race identity entered the catalog: witnessed in an executed
+/// trace, derived by the predictive engine, or both.
+///
+/// A bitflag rather than an enum because the two sources *accumulate*:
+/// a key first predicted and later observed (or vice versa) carries
+/// both bits, and `|` is the commutative fold the catalog's
+/// order-independence invariant requires. Serialized transparently as
+/// the underlying `u8`, and absent fields in old journals default to
+/// [`Provenance::OBSERVED`] — every pre-provenance record described an
+/// executed trace.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Provenance(u8);
+
+impl Provenance {
+    /// Witnessed by the post-mortem/streaming analysis of an executed
+    /// trace.
+    pub const OBSERVED: Provenance = Provenance(1);
+    /// Derived from a recorded trace by the predictive engine
+    /// (`wmrd-predict`) without being witnessed in that execution.
+    pub const PREDICTED: Provenance = Provenance(1 << 1);
+
+    /// The serde default for journals written before provenance
+    /// existed: those records all came from executed traces.
+    pub const fn observed_default() -> Provenance {
+        Provenance::OBSERVED
+    }
+
+    /// `true` if the observed bit is set.
+    pub const fn observed(self) -> bool {
+        self.0 & Provenance::OBSERVED.0 != 0
+    }
+
+    /// `true` if the predicted bit is set.
+    pub const fn predicted(self) -> bool {
+        self.0 & Provenance::PREDICTED.0 != 0
+    }
+
+    /// `true` if no source bit is set (only possible for
+    /// hand-constructed values; the catalog never stores one).
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Provenance {
+    type Output = Provenance;
+    fn bitor(self, rhs: Provenance) -> Provenance {
+        Provenance(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Provenance {
+    fn bitor_assign(&mut self, rhs: Provenance) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.observed(), self.predicted()) {
+            (true, true) => f.write_str("observed+predicted"),
+            (true, false) => f.write_str("observed"),
+            (false, true) => f.write_str("predicted"),
+            (false, false) => f.write_str("-"),
+        }
+    }
+}
+
 /// One race observed in one analyzed trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaceObservation {
@@ -48,6 +122,10 @@ pub struct RaceObservation {
     /// `true` if the race sits in a first partition of its execution
     /// (Theorem 4.1: the races the evidence fully supports).
     pub first_partition: bool,
+    /// How this identity was established for this trace. Defaults to
+    /// [`Provenance::OBSERVED`] when decoding pre-provenance journals.
+    #[serde(default = "Provenance::observed_default")]
+    pub provenance: Provenance,
 }
 
 /// One committed unit of catalog knowledge: the analysis of one trace.
@@ -69,6 +147,14 @@ pub struct JournalRecord {
     pub events: u64,
     /// The trace's deduplicated race identities, in `RaceKey` order.
     pub races: Vec<RaceObservation>,
+    /// `false` for a trace's first record (the normal case). `true`
+    /// marks an *amendment*: a later re-analysis of an already
+    /// cataloged digest (e.g. the daemon's `PREDICT` verb) whose
+    /// observations are unioned into the existing summary instead of
+    /// being rejected as a duplicate. Absent in pre-amendment journals,
+    /// hence the serde default.
+    #[serde(default)]
+    pub amend: bool,
 }
 
 /// What journal decoding recovered, mirroring the shape of the trace
@@ -252,8 +338,42 @@ mod tests {
             races: vec![RaceObservation {
                 key: RaceKey::new(Location::new(n as u32), a, b),
                 first_partition: true,
+                provenance: Provenance::OBSERVED,
             }],
+            amend: false,
         }
+    }
+
+    #[test]
+    fn provenance_bits_accumulate_and_render() {
+        let mut p = Provenance::OBSERVED;
+        assert!(p.observed() && !p.predicted());
+        assert_eq!(p.to_string(), "observed");
+        p |= Provenance::PREDICTED;
+        assert!(p.observed() && p.predicted());
+        assert_eq!(p.to_string(), "observed+predicted");
+        assert_eq!(Provenance::PREDICTED.to_string(), "predicted");
+        assert_eq!(Provenance::default().to_string(), "-");
+        assert!(Provenance::default().is_empty());
+        assert_eq!(Provenance::OBSERVED | Provenance::PREDICTED, p);
+        assert_eq!(Provenance::observed_default(), Provenance::OBSERVED);
+    }
+
+    #[test]
+    fn pre_provenance_payloads_decode_with_observed_defaults() {
+        // A record as journals wrote it before provenance/amend
+        // existed: both fields absent. Decoding must default them to
+        // observed / non-amendment, keeping old journals readable.
+        let mut modern = record(3);
+        let payload = serde_json::to_string(&modern).unwrap();
+        let legacy = payload
+            .replace(",\"provenance\":1", "")
+            .replace(",\"amend\":false", "");
+        assert_ne!(legacy, payload, "the modern encoding carries both fields");
+        let back: JournalRecord = serde_json::from_str(&legacy).unwrap();
+        modern.races[0].provenance = Provenance::OBSERVED;
+        modern.amend = false;
+        assert_eq!(back, modern);
     }
 
     #[test]

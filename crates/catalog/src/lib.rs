@@ -32,7 +32,7 @@ use std::fmt;
 pub mod journal;
 mod store;
 
-pub use journal::{JournalRecord, JournalSalvage, RaceObservation};
+pub use journal::{JournalRecord, JournalSalvage, Provenance, RaceObservation};
 pub use store::{
     format_key, parse_key_spec, Catalog, CatalogStats, IngestOutcome, Query, RaceEntry,
     TraceSummary,
@@ -107,7 +107,30 @@ mod tests {
             model: Some("wo".into()),
             seed: Some(digest),
             events: 8,
-            races: keys.iter().map(|&key| RaceObservation { key, first_partition: true }).collect(),
+            races: keys
+                .iter()
+                .map(|&key| RaceObservation {
+                    key,
+                    first_partition: true,
+                    provenance: Provenance::OBSERVED,
+                })
+                .collect(),
+            amend: false,
+        }
+    }
+
+    fn amendment(digest: u64, keys: &[RaceKey]) -> JournalRecord {
+        JournalRecord {
+            races: keys
+                .iter()
+                .map(|&key| RaceObservation {
+                    key,
+                    first_partition: false,
+                    provenance: Provenance::PREDICTED,
+                })
+                .collect(),
+            amend: true,
+            ..record(digest, &[])
         }
     }
 
@@ -233,6 +256,114 @@ mod tests {
         assert_eq!(cat.trace_count(), 6);
         assert!(cat.salvage().unwrap().complete);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn amendments_union_predictions_into_a_cataloged_trace() {
+        let mut cat = Catalog::in_memory();
+        let observed = key(2, 0, 1);
+        let predicted = key(7, 0, 1);
+        cat.ingest(&record(1, &[observed])).unwrap();
+
+        // An amendment for an unknown digest has no base record.
+        assert!(matches!(
+            cat.ingest(&amendment(99, &[predicted])),
+            Err(CatalogError::Record(_))
+        ));
+
+        // The prediction covers the observed key plus one new key.
+        let out = cat.ingest(&amendment(1, &[observed, predicted])).unwrap();
+        assert!(!out.duplicate);
+        assert_eq!(out.new_races, 1, "only the predicted-only key is new");
+        assert_eq!(cat.trace_count(), 1, "an amendment is not a new trace");
+        assert_eq!(cat.race_count(), 2);
+
+        let races = cat.query(&Query::Races).unwrap();
+        assert!(races.contains("provenance=observed+predicted"), "{races}");
+        assert!(races.contains("provenance=predicted"), "{races}");
+        // Predicted-only evidence never inflates witnessed hit counts.
+        let entry = cat.query(&Query::Key(predicted)).unwrap();
+        assert!(entry.contains("hits=0"), "{entry}");
+
+        // Re-amending with the same knowledge is a duplicate and adds
+        // nothing — the journal-growth bound for repeated re-analyses.
+        let again = cat.ingest(&amendment(1, &[observed, predicted])).unwrap();
+        assert!(again.duplicate);
+        assert_eq!(cat.query(&Query::Races).unwrap(), races);
+    }
+
+    #[test]
+    fn amendments_survive_reopen_and_compaction() {
+        let dir = tmpdir("amend");
+        let path = dir.join("catalog.journal");
+        let k_obs = key(2, 0, 1);
+        let k_pred = key(7, 0, 1);
+        let before;
+        {
+            let mut cat = Catalog::open(&path).unwrap();
+            cat.ingest(&record(1, &[k_obs])).unwrap();
+            cat.ingest(&amendment(1, &[k_obs, k_pred])).unwrap();
+            before = cat.query(&Query::Races).unwrap();
+        }
+        {
+            // Replay folds the amendment back in.
+            let mut cat = Catalog::open(&path).unwrap();
+            assert!(cat.salvage().unwrap().complete);
+            assert_eq!(cat.query(&Query::Races).unwrap(), before);
+            // Compaction collapses base + amendment into one record…
+            cat.compact().unwrap();
+            assert_eq!(cat.query(&Query::Races).unwrap(), before);
+        }
+        // …which still replays to the same table.
+        let cat = Catalog::open(&path).unwrap();
+        assert_eq!(cat.query(&Query::Races).unwrap(), before);
+        assert_eq!(cat.stats().observations, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_queries_mirror_the_text_renderings() {
+        let mut cat = Catalog::in_memory();
+        cat.ingest(&record(1, &[key(2, 0, 1)])).unwrap();
+        cat.ingest(&amendment(1, &[key(7, 0, 1)])).unwrap();
+
+        let races = cat.query_json(&Query::Races).unwrap();
+        assert!(races.starts_with("{\"races\":["), "{races}");
+        assert!(races.contains("\"provenance\":\"observed\""), "{races}");
+        assert!(races.contains("\"provenance\":\"predicted\""), "{races}");
+        assert!(races.ends_with("\"observations\":2}"), "{races}");
+
+        let traces = cat.query_json(&Query::Traces).unwrap();
+        assert!(traces.contains("\"program\":\"fig1a\""), "{traces}");
+        assert!(traces.contains("\"first_partition\":false"), "{traces}");
+
+        let hit = cat.query_json(&Query::Key(key(2, 0, 1))).unwrap();
+        assert!(hit.contains(&format!("{:016x}", 1)), "{hit}");
+        let miss = cat.query_json(&Query::Key(key(9, 0, 1))).unwrap();
+        assert_eq!(miss, "{\"races\":[],\"traces\":[]}");
+
+        let since = cat.query_json(&Query::Since(format!("{:016x}", 1))).unwrap();
+        assert!(since.contains("\"new_keys\":[]"), "{since}");
+        assert!(matches!(
+            cat.query_json(&Query::Since("ffffffffffffffff".into())),
+            Err(CatalogError::Query(_))
+        ));
+        assert_eq!(
+            cat.query_json(&Query::Program("fig1a".into())).unwrap(),
+            cat.query_json(&Query::Model("wo".into())).unwrap(),
+            "both filters keep every entry here"
+        );
+    }
+
+    #[test]
+    fn parse_spec_routes_json_prefixed_queries() {
+        assert_eq!(Query::parse_spec("races").unwrap(), (Query::Races, false));
+        assert_eq!(Query::parse_spec("json:races").unwrap(), (Query::Races, true));
+        assert_eq!(
+            Query::parse_spec(" json:program=fig1a ").unwrap(),
+            (Query::Program("fig1a".into()), true)
+        );
+        assert!(Query::parse_spec("json:bogus").is_err());
     }
 
     #[test]

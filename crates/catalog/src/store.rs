@@ -10,7 +10,7 @@ use std::str::FromStr;
 use wmrd_core::{event_race_keys, one_event_race_keys, RaceKey, RaceReport, SideKey};
 use wmrd_trace::{metric_keys, AccessKind, Location, Metrics, ProcId, TraceDigest, TraceSet};
 
-use crate::journal::{self, JournalRecord, JournalSalvage, RaceObservation};
+use crate::journal::{self, JournalRecord, JournalSalvage, Provenance, RaceObservation};
 use crate::CatalogError;
 
 /// Everything the catalog remembers about one ingested trace.
@@ -50,6 +50,10 @@ pub struct RaceEntry {
     pub models: BTreeSet<String>,
     /// Digests of the traces that exhibited it.
     pub traces: BTreeSet<String>,
+    /// Union of the sources that established this identity: observed
+    /// in an executed trace, predicted from one, or both. A bitwise-or
+    /// fold, so it shares the order-independence of every other field.
+    pub provenance: Provenance,
 }
 
 /// What one [`Catalog::ingest`] call did.
@@ -118,6 +122,26 @@ impl Query {
             "traces" => return Ok(Query::Traces),
             _ => {}
         }
+        Self::parse_inner(spec)
+    }
+
+    /// Parses a query spec that may carry a `json:` rendering prefix.
+    /// Returns the query and `true` when JSON output was requested —
+    /// the routing the daemon's `QUERY` verb uses to pick between
+    /// [`Catalog::query`] and [`Catalog::query_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Query`] describing the malformed spec.
+    pub fn parse_spec(spec: &str) -> Result<(Self, bool), CatalogError> {
+        let spec = spec.trim();
+        match spec.strip_prefix("json:") {
+            Some(rest) => Ok((Query::parse(rest)?, true)),
+            None => Ok((Query::parse(spec)?, false)),
+        }
+    }
+
+    fn parse_inner(spec: &str) -> Result<Self, CatalogError> {
         let Some((what, value)) = spec.split_once('=') else {
             return Err(CatalogError::Query(format!(
                 "unknown query `{spec}` (want races|traces|key=|program=|model=|since=)"
@@ -309,23 +333,50 @@ impl Catalog {
             events: trace.processors().iter().map(|p| p.events().len() as u64).sum(),
             races: keys
                 .into_iter()
-                .map(|key| RaceObservation { key, first_partition: first.contains(&key) })
+                .map(|key| RaceObservation {
+                    key,
+                    first_partition: first.contains(&key),
+                    provenance: Provenance::OBSERVED,
+                })
                 .collect(),
+            amend: false,
         }
     }
 
     /// Ingests one record: journals it (when durable), then folds it
     /// into the race table. A digest the catalog already holds is a
     /// duplicate — deduplicated for free by content addressing, with
-    /// nothing journaled.
+    /// nothing journaled — unless the record is an *amendment*
+    /// (`record.amend`), which unions a re-analysis of a cataloged
+    /// trace into its summary. An amendment that adds neither a new
+    /// key nor a new provenance bit is itself reported as a duplicate
+    /// without journaling, so repeated re-analyses leave the journal
+    /// untouched.
     ///
     /// # Errors
     ///
     /// Returns [`CatalogError::Io`] if the journal append fails (the
     /// in-memory state is left unchanged — unjournaled knowledge is
-    /// never reported).
+    /// never reported), and [`CatalogError::Record`] for an amendment
+    /// naming a digest the catalog does not hold: an amendment without
+    /// a base record would be unreplayable evidence.
     pub fn ingest(&mut self, record: &JournalRecord) -> Result<IngestOutcome, CatalogError> {
-        if self.traces.contains_key(&record.digest) {
+        let known = self.traces.contains_key(&record.digest);
+        if known && !record.amend {
+            return Ok(IngestOutcome {
+                digest: record.digest.clone(),
+                duplicate: true,
+                new_races: 0,
+                races: record.races.len() as u64,
+            });
+        }
+        if !known && record.amend {
+            return Err(CatalogError::Record(format!(
+                "amendment for unknown digest `{}` (ingest the trace first)",
+                record.digest
+            )));
+        }
+        if record.amend && !self.amendment_adds_knowledge(record) {
             return Ok(IngestOutcome {
                 digest: record.digest.clone(),
                 duplicate: true,
@@ -349,19 +400,46 @@ impl Catalog {
         })
     }
 
+    /// `true` if `record` (an amendment for a known digest) would add
+    /// a new race key or a new provenance bit to the trace's summary —
+    /// the test that keeps no-op re-analyses out of the journal.
+    fn amendment_adds_knowledge(&self, record: &JournalRecord) -> bool {
+        let Some(summary) = self.traces.get(&record.digest) else {
+            return false;
+        };
+        record.races.iter().any(|obs| {
+            match summary.races.binary_search_by(|o| o.key.cmp(&obs.key)) {
+                Ok(i) => {
+                    let have = summary.races[i].provenance;
+                    (have | obs.provenance) != have
+                }
+                Err(_) => true,
+            }
+        })
+    }
+
     /// Folds a record into the in-memory state; returns how many race
     /// identities it introduced.
     fn apply(&mut self, record: &JournalRecord) -> u64 {
+        if record.amend {
+            return self.apply_amend(record);
+        }
         let mut new_races = 0;
         for obs in &record.races {
             let entry = self.races.entry(obs.key).or_insert_with(|| {
                 new_races += 1;
                 RaceEntry::default()
             });
-            entry.hits += 1;
-            if obs.first_partition {
-                entry.first_partition_hits += 1;
+            // Hit counts report *witnessed* evidence only; predicted
+            // observations contribute their provenance bit and the
+            // set-valued aggregates but never inflate hits.
+            if obs.provenance.observed() {
+                entry.hits += 1;
+                if obs.first_partition {
+                    entry.first_partition_hits += 1;
+                }
             }
+            entry.provenance |= obs.provenance;
             if let Some(p) = &record.program {
                 entry.programs.insert(p.clone());
             }
@@ -383,6 +461,67 @@ impl Catalog {
                 races: record.races.clone(),
             },
         );
+        new_races
+    }
+
+    /// Folds an amendment into the race table and the base trace's
+    /// summary; returns how many race identities it introduced. Every
+    /// step is a union or a sorted insert, so amendments commute with
+    /// each other exactly like base records do. A stray amendment whose
+    /// base record is missing (possible only when replaying a journal
+    /// whose base frame was lost) is ignored.
+    fn apply_amend(&mut self, record: &JournalRecord) -> u64 {
+        // Merge into the base summary first, noting per key whether the
+        // *observed* bit is new. The race table must end up exactly as
+        // if the compacted (merged) record had been applied fresh —
+        // that is what makes compaction a pure rewrite — so hit counts
+        // follow the merged observation, and the set aggregates use the
+        // base trace's program/model, not the amendment's.
+        let mut merged: Vec<(RaceObservation, bool)> = Vec::with_capacity(record.races.len());
+        let mut added_observations = 0u64;
+        let (program, model) = {
+            let Some(summary) = self.traces.get_mut(&record.digest) else {
+                return 0;
+            };
+            for obs in &record.races {
+                match summary.races.binary_search_by(|o| o.key.cmp(&obs.key)) {
+                    Ok(i) => {
+                        let had_observed = summary.races[i].provenance.observed();
+                        summary.races[i].provenance |= obs.provenance;
+                        let gained = !had_observed && summary.races[i].provenance.observed();
+                        merged.push((summary.races[i], gained));
+                    }
+                    Err(i) => {
+                        summary.races.insert(i, *obs);
+                        added_observations += 1;
+                        merged.push((*obs, obs.provenance.observed()));
+                    }
+                }
+            }
+            (summary.program.clone(), summary.model.clone())
+        };
+        self.observations += added_observations;
+        let mut new_races = 0;
+        for (obs, observed_gain) in merged {
+            let entry = self.races.entry(obs.key).or_insert_with(|| {
+                new_races += 1;
+                RaceEntry::default()
+            });
+            if observed_gain {
+                entry.hits += 1;
+                if obs.first_partition {
+                    entry.first_partition_hits += 1;
+                }
+            }
+            entry.provenance |= obs.provenance;
+            if let Some(p) = &program {
+                entry.programs.insert(p.clone());
+            }
+            if let Some(m) = &model {
+                entry.models.insert(m.clone());
+            }
+            entry.traces.insert(record.digest.clone());
+        }
         new_races
     }
 
@@ -411,7 +550,10 @@ impl Catalog {
         Ok(())
     }
 
-    /// Reconstructs the journal record for a cataloged digest.
+    /// Reconstructs the journal record for a cataloged digest. The
+    /// summary already carries any amendments folded in, so compaction
+    /// collapses a base record plus its amendments into one record
+    /// while preserving every provenance bit.
     fn record_of(&self, digest: &str) -> JournalRecord {
         let t = &self.traces[digest];
         JournalRecord {
@@ -421,6 +563,7 @@ impl Catalog {
             seed: t.seed,
             events: t.events,
             races: t.races.clone(),
+            amend: false,
         }
     }
 
@@ -567,15 +710,191 @@ impl Catalog {
         };
         let _ = writeln!(
             out,
-            "{}  hits={} first={} traces={} programs={} models={}",
+            "{}  hits={} first={} traces={} programs={} models={} provenance={}",
             format_key(key),
             entry.hits,
             entry.first_partition_hits,
             entry.traces.len(),
             join(&entry.programs),
             join(&entry.models),
+            entry.provenance,
         );
     }
+
+    /// Answers a query as a single line of JSON.
+    ///
+    /// Hand-rendered rather than serde-derived so the shape is fixed by
+    /// this crate alone: object keys appear in declaration order, lists
+    /// carry the same sort as the text rendering, and the output is
+    /// byte-stable under ingest reordering for every selector except
+    /// `since=` (the same determinism contract as [`Catalog::query`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Query`] for a `since=` digest the
+    /// catalog does not hold.
+    pub fn query_json(&self, query: &Query) -> Result<String, CatalogError> {
+        let mut out = String::new();
+        match query {
+            Query::Races => {
+                out.push_str("{\"races\":[");
+                for (i, (key, entry)) in self.races.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_race(key, entry));
+                }
+                let _ = write!(out, "],\"observations\":{}}}", self.observations);
+            }
+            Query::Traces => {
+                out.push_str("{\"traces\":[");
+                for (i, t) in self.traces.values().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_trace(t));
+                }
+                out.push_str("]}");
+            }
+            Query::Key(key) => {
+                out.push_str("{\"races\":[");
+                if let Some(entry) = self.races.get(key) {
+                    out.push_str(&json_race(key, entry));
+                }
+                out.push_str("],\"traces\":[");
+                if let Some(entry) = self.races.get(key) {
+                    for (i, digest) in entry.traces.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_string(digest));
+                    }
+                }
+                out.push_str("]}");
+            }
+            Query::Program(p) => self.json_filtered(&mut out, |e| e.programs.contains(p)),
+            Query::Model(m) => self.json_filtered(&mut out, |e| e.models.contains(m)),
+            Query::Since(digest) => {
+                let Some(pos) = self.order.iter().position(|d| d == digest) else {
+                    return Err(CatalogError::Query(format!("unknown digest `{digest}`")));
+                };
+                let newer = &self.order[pos + 1..];
+                let _ = write!(out, "{{\"since\":{},\"traces\":[", json_string(digest));
+                for (i, d) in newer.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_trace(&self.traces[d]));
+                }
+                out.push_str("],\"new_keys\":[");
+                let seen_before: BTreeSet<&RaceKey> = self.order[..=pos]
+                    .iter()
+                    .flat_map(|d| self.traces[d].races.iter().map(|o| &o.key))
+                    .collect();
+                let new_keys: BTreeSet<&RaceKey> = newer
+                    .iter()
+                    .flat_map(|d| self.traces[d].races.iter().map(|o| &o.key))
+                    .filter(|k| !seen_before.contains(k))
+                    .collect();
+                for (i, key) in new_keys.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(&format_key(key)));
+                }
+                out.push_str("]}");
+            }
+        }
+        Ok(out)
+    }
+
+    fn json_filtered(&self, out: &mut String, keep: impl Fn(&RaceEntry) -> bool) {
+        out.push_str("{\"races\":[");
+        for (i, (key, entry)) in self.races.iter().filter(|(_, e)| keep(e)).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_race(key, entry));
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `s` as a JSON string, or `null` when absent.
+fn json_opt_string(s: Option<&str>) -> String {
+    s.map_or_else(|| "null".to_string(), json_string)
+}
+
+/// A sorted string set as a JSON array.
+fn json_string_list(items: &BTreeSet<String>) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(s));
+    }
+    out.push(']');
+    out
+}
+
+/// One race-table entry as a JSON object.
+fn json_race(key: &RaceKey, entry: &RaceEntry) -> String {
+    format!(
+        "{{\"key\":{},\"hits\":{},\"first\":{},\"traces\":{},\"programs\":{},\"models\":{},\"provenance\":{}}}",
+        json_string(&format_key(key)),
+        entry.hits,
+        entry.first_partition_hits,
+        entry.traces.len(),
+        json_string_list(&entry.programs),
+        json_string_list(&entry.models),
+        json_string(&entry.provenance.to_string()),
+    )
+}
+
+/// One trace summary as a JSON object.
+fn json_trace(t: &TraceSummary) -> String {
+    let mut races = String::from("[");
+    for (i, o) in t.races.iter().enumerate() {
+        if i > 0 {
+            races.push(',');
+        }
+        let _ = write!(
+            races,
+            "{{\"key\":{},\"first_partition\":{},\"provenance\":{}}}",
+            json_string(&format_key(&o.key)),
+            o.first_partition,
+            json_string(&o.provenance.to_string()),
+        );
+    }
+    races.push(']');
+    format!(
+        "{{\"digest\":{},\"program\":{},\"model\":{},\"seed\":{},\"events\":{},\"races\":{}}}",
+        json_string(&t.digest),
+        json_opt_string(t.program.as_deref()),
+        json_opt_string(t.model.as_deref()),
+        t.seed.map_or_else(|| "null".to_string(), |s| s.to_string()),
+        t.events,
+        races,
+    )
 }
 
 fn render_trace(out: &mut String, t: &TraceSummary) {

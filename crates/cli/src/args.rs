@@ -1,6 +1,7 @@
 //! Argument parsing (hand-rolled; the CLI surface is small).
 
 use wmrd_core::PairingPolicy;
+use wmrd_predict::PredictOrder;
 use wmrd_sim::{Fidelity, HwImpl, MemoryModel};
 
 use crate::CliError;
@@ -103,6 +104,10 @@ pub struct ExploreOpts {
     /// race-free, and cross-check dynamic findings against the static
     /// may-race set otherwise.
     pub prune_static: bool,
+    /// Predict races from the campaign's first execution point and use
+    /// the campaign as a soundness oracle: every predicted key must be
+    /// reached by some seed.
+    pub predict: bool,
     /// Run the full post-mortem on every execution, not just fast-path
     /// hits.
     pub always_analyze: bool,
@@ -131,6 +136,33 @@ pub struct LintOpts {
     /// Emit JSON instead of text (`--format json`).
     pub json: bool,
     /// Where to write the lint `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
+}
+
+/// Options for `wmrd predict`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictOpts {
+    /// Catalog names, program files (JSON or `.wmrd` assembly), trace
+    /// files (binary or JSON), or the single word `all` (the whole
+    /// catalog).
+    pub targets: Vec<String>,
+    /// Predictive partial order (`--order shb|wcp`).
+    pub order: PredictOrder,
+    /// Memory model when a program target must be executed first.
+    pub model: MemoryModel,
+    /// Conditioned (default) or raw hardware.
+    pub fidelity: Fidelity,
+    /// Weak-hardware implementation style.
+    pub hw: HwImpl,
+    /// Scheduler seed for the recorded execution.
+    pub seed: u64,
+    /// Pairing policy for so1 recovery.
+    pub pairing: PairingPolicy,
+    /// Emit JSON instead of text (`--format json`).
+    pub json: bool,
+    /// Where to write the predict `RunMetrics` report (JSON).
     pub metrics_out: Option<String>,
     /// Print a human-readable metrics summary.
     pub stats: bool,
@@ -194,6 +226,9 @@ pub struct QueryOpts {
     /// `since=…`) or a daemon control word (`stats`, `ping`, `compact`,
     /// `shutdown`).
     pub spec: String,
+    /// Re-render race rows as JSON objects (`--format json`), with
+    /// predicted-vs-observed provenance spelled out per key.
+    pub json: bool,
 }
 
 /// A parsed invocation.
@@ -220,6 +255,8 @@ pub enum Command {
     Explore(ExploreOpts),
     /// Static may-race analysis over program text.
     Lint(LintOpts),
+    /// Predictive race detection from a single recorded trace.
+    Predict(PredictOpts),
     /// Run the race-analysis daemon over a persistent catalog.
     Serve(ServeOpts),
     /// Submit recorded traces to a running daemon.
@@ -290,6 +327,11 @@ fn parse_seed_range(s: &str) -> Result<(u64, u64), CliError> {
 /// Parses a comma-separated list with a per-item parser.
 fn parse_list<T>(s: &str, item: impl Fn(&str) -> Result<T, CliError>) -> Result<Vec<T>, CliError> {
     s.split(',').map(|part| item(part.trim())).collect()
+}
+
+fn parse_order(s: &str) -> Result<PredictOrder, CliError> {
+    PredictOrder::parse(s)
+        .ok_or_else(|| CliError::Usage(format!("unknown order `{s}` (expected shb|wcp)")))
 }
 
 fn parse_pairing(s: &str) -> Result<PairingPolicy, CliError> {
@@ -456,6 +498,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 fidelity: Fidelity::Conditioned,
                 pairing: PairingPolicy::ByRole,
                 prune_static: false,
+                predict: false,
                 always_analyze: false,
                 repro: None,
                 sink: None,
@@ -497,6 +540,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(flag)?)?,
                     "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
                     "--prune-static" => opts.prune_static = true,
+                    "--predict" => opts.predict = true,
                     "--always-analyze" => opts.always_analyze = true,
                     "--repro" => {
                         opts.repro =
@@ -544,6 +588,58 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 ));
             }
             Ok(Command::Lint(opts))
+        }
+        "predict" => {
+            let mut opts = PredictOpts {
+                targets: Vec::new(),
+                order: PredictOrder::Wcp,
+                model: MemoryModel::Wo,
+                fidelity: Fidelity::Conditioned,
+                hw: HwImpl::StoreBuffer,
+                seed: 0,
+                pairing: PairingPolicy::ByRole,
+                json: false,
+                metrics_out: None,
+                stats: false,
+            };
+            while let Some(arg) = cur.next() {
+                match arg {
+                    "--order" => opts.order = parse_order(cur.value_for(arg)?)?,
+                    "--format" => match cur.value_for(arg)? {
+                        "text" => opts.json = false,
+                        "json" => opts.json = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (expected text|json)"
+                            )))
+                        }
+                    },
+                    "--model" => opts.model = parse_model(cur.value_for(arg)?)?,
+                    "--fidelity" => opts.fidelity = parse_fidelity(cur.value_for(arg)?)?,
+                    "--hw" => opts.hw = parse_hw(cur.value_for(arg)?)?,
+                    "--seed" => {
+                        opts.seed = cur
+                            .value_for(arg)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed wants an integer".into()))?
+                    }
+                    "--pairing" => opts.pairing = parse_pairing(cur.value_for(arg)?)?,
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(arg)?.to_string()),
+                    "--stats" => opts.stats = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}` for predict")))
+                    }
+                    target => opts.targets.push(target.to_string()),
+                }
+            }
+            if opts.targets.is_empty() {
+                return Err(CliError::Usage(
+                    "predict wants at least one target (catalog name, program or trace file, \
+                     or `all`)"
+                        .into(),
+                ));
+            }
+            Ok(Command::Predict(opts))
         }
         "serve" => {
             let mut opts = ServeOpts {
@@ -654,9 +750,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "query" => {
             let mut to = None;
             let mut spec = None;
+            let mut json = false;
             while let Some(arg) = cur.next() {
                 match arg {
                     "--to" => to = Some(cur.value_for(arg)?.to_string()),
+                    "--format" => match cur.value_for(arg)? {
+                        "text" => json = false,
+                        "json" => json = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (expected text|json)"
+                            )))
+                        }
+                    },
                     flag if flag.starts_with("--") => {
                         return Err(CliError::Usage(format!("unknown flag `{flag}` for query")))
                     }
@@ -675,7 +781,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             };
-            Ok(Command::Query(QueryOpts { to, spec }))
+            Ok(Command::Query(QueryOpts { to, spec, json }))
         }
         other => Err(CliError::Usage(format!("unknown command `{other}` (try `wmrd help`)"))),
     }
@@ -725,6 +831,9 @@ USAGE:
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --prune-static                     lint first: skip statically race-free
                                          programs, cross-check findings otherwise
+      --predict                          predict races from the first execution
+                                         point and check every predicted key is
+                                         reached by some campaign seed
       --always-analyze                   post-mortem every execution, not just hits
       --repro <seed>                     replay one seed in full detail
       --sink <addr|unix:path>            stream racy traces to a running daemon
@@ -738,6 +847,20 @@ USAGE:
                                        assembly (.wmrd) files, or `all` (the whole
                                        catalog); exits non-zero on findings
       --format text|json                 output format (default text)
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
+  wmrd predict <target>... [flags]     sound predictive race detection from a
+                                       single recorded trace (SHB/WCP orders)
+                                       targets: catalog names, program files,
+                                       trace files, or `all` (the whole catalog);
+                                       exits non-zero on predicted races
+      --order shb|wcp                    predictive partial order (default wcp)
+      --format text|json                 output format (default text)
+      --model sc|wo|rcsc|drf0|drf1       model when executing a program (default wo)
+      --fidelity conditioned|raw         honour Condition 3.4 (default) or not
+      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --seed <n>                         scheduler seed for the one trace (default 0)
+      --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
   wmrd serve [flags]                   race-analysis daemon over a persistent catalog
@@ -766,6 +889,8 @@ USAGE:
                                          races | traces | key=<addr>:P<a><R|W>[s]:P<b><R|W>[s]
                                          program=<name> | model=<name> | since=<digest>
                                          and control words stats|ping|compact|shutdown
+      --format text|json                 race rows as JSON objects with
+                                         observed/predicted provenance (default text)
   wmrd demo                            the paper's Figure 2/3 walkthrough
 
 Metrics reports follow the schema documented in OBSERVABILITY.md.
@@ -921,6 +1046,48 @@ mod tests {
             panic!("expected explore")
         };
         assert!(opts.prune_static);
+        assert!(!opts.predict);
+    }
+
+    #[test]
+    fn parses_explore_predict() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a --predict")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert!(opts.predict);
+    }
+
+    #[test]
+    fn parses_predict() {
+        let Command::Predict(opts) = parse(&argv("predict fig1a")).unwrap() else {
+            panic!("expected predict")
+        };
+        assert_eq!(opts.targets, vec!["fig1a".to_string()]);
+        assert_eq!(opts.order, PredictOrder::Wcp, "wcp is the default order");
+        assert_eq!(opts.model, MemoryModel::Wo);
+        assert_eq!(opts.seed, 0);
+        assert!(!opts.json && !opts.stats && opts.metrics_out.is_none());
+
+        let cmd = parse(&argv(
+            "predict all t.bin --order shb --format json --model rcsc --fidelity raw \
+             --hw inval-queue --seed 7 --pairing all-sync --metrics m.json --stats",
+        ))
+        .unwrap();
+        let Command::Predict(opts) = cmd else { panic!("expected predict") };
+        assert_eq!(opts.targets, vec!["all".to_string(), "t.bin".to_string()]);
+        assert_eq!(opts.order, PredictOrder::Shb);
+        assert!(opts.json && opts.stats);
+        assert_eq!(opts.model, MemoryModel::RCsc);
+        assert_eq!(opts.fidelity, Fidelity::Raw);
+        assert_eq!(opts.hw, HwImpl::InvalQueue);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.pairing, PairingPolicy::AllSync);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+
+        assert!(matches!(parse(&argv("predict")), Err(CliError::Usage(_))), "target required");
+        assert!(matches!(parse(&argv("predict x --order hb3")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("predict x --format yaml")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("predict x --bogus")), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -1046,6 +1213,18 @@ mod tests {
         };
         assert_eq!(opts.to, "unix:/tmp/w.sock");
         assert_eq!(opts.spec, "races");
+        assert!(!opts.json, "text is the default");
+
+        let Command::Query(opts) =
+            parse(&argv("query --to x:1 races --format json")).unwrap()
+        else {
+            panic!("expected query")
+        };
+        assert!(opts.json);
+        assert!(matches!(
+            parse(&argv("query --to x:1 races --format yaml")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -9,12 +9,17 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        // Lint findings are a verdict, not a malfunction: the report
-        // goes to stdout like a clean run's would, and the non-zero
-        // exit status is what scripts gate on.
+        // Lint and predict findings are verdicts, not malfunctions: the
+        // report goes to stdout like a clean run's would, and the
+        // non-zero exit status is what scripts gate on.
         Err(wmrd_cli::CliError::LintFindings { output, findings }) => {
             print!("{output}");
             eprintln!("wmrd: lint found {findings} may-race key(s)");
+            ExitCode::FAILURE
+        }
+        Err(wmrd_cli::CliError::PredictFindings { output, findings }) => {
+            print!("{output}");
+            eprintln!("wmrd: predicted {findings} race key(s)");
             ExitCode::FAILURE
         }
         Err(e) => {

@@ -20,8 +20,8 @@ use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
 use crate::args::{
-    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, QueryOpts, RunOpts, ServeOpts,
-    StreamOpts, SubmitOpts, USAGE,
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, PredictOpts, QueryOpts, RunOpts,
+    ServeOpts, StreamOpts, SubmitOpts, USAGE,
 };
 use crate::CliError;
 
@@ -79,6 +79,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Check(opts) => cmd_check(&opts),
         Command::Explore(opts) => cmd_explore(&opts),
         Command::Lint(opts) => cmd_lint(&opts),
+        Command::Predict(opts) => cmd_predict(&opts),
         Command::Serve(opts) => cmd_serve(&opts),
         Command::Submit(opts) => cmd_submit(&opts),
         Command::Stream(opts) => cmd_stream(&opts),
@@ -434,6 +435,111 @@ fn cmd_lint(opts: &LintOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves one `predict` target to a trace: an existing trace file
+/// (binary `WMRD` or trace JSON) is decoded as-is; anything else goes
+/// through [`load_program`] and is executed once under the seeded
+/// scheduler, exactly like `wmrd run`.
+fn predict_input(target: &str, opts: &PredictOpts) -> Result<TraceSet, CliError> {
+    let is_catalog = catalog::all().into_iter().any(|e| e.name == target);
+    if !is_catalog && std::path::Path::new(target).exists() {
+        let bytes = std::fs::read(target).map_err(file_err(target))?;
+        if bytes.starts_with(b"WMRD") {
+            return Ok(TraceSet::from_binary(&bytes)?);
+        }
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            // A JSON file can hold either a trace or a program; traces
+            // win, and programs fall through to `load_program`.
+            if let Ok(trace) = TraceSet::from_json(text) {
+                return Ok(trace);
+            }
+        }
+    }
+    let program = load_program(target)?;
+    let mut builder = TraceBuilder::new(program.num_procs());
+    if opts.model == MemoryModel::Sc {
+        run_sc(&program, &mut RandomSched::new(opts.seed), &mut builder, RunConfig::default())?;
+    } else {
+        let mut sched = RandomWeakSched::new(opts.seed, 0.3);
+        run_weak_hw(
+            opts.hw,
+            &program,
+            opts.model,
+            opts.fidelity,
+            &mut sched,
+            &mut builder,
+            RunConfig::default(),
+        )?;
+    }
+    let mut trace = builder.finish();
+    trace.meta.program = Some(program.name().to_string());
+    trace.meta.model = Some(opts.model.to_string());
+    trace.meta.seed = Some(opts.seed);
+    Ok(trace)
+}
+
+fn cmd_predict(opts: &PredictOpts) -> Result<String, CliError> {
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "predict");
+    metrics.context("order", opts.order);
+    // Expand targets: the word `all` means every catalog entry.
+    let mut targets: Vec<String> = Vec::new();
+    for t in &opts.targets {
+        if t == "all" {
+            targets.extend(catalog::all().into_iter().map(|e| e.name.to_string()));
+        } else {
+            targets.push(t.clone());
+        }
+    }
+    let mut reports = Vec::new();
+    for target in &targets {
+        let trace = predict_input(target, opts)?;
+        let name = trace.meta.program.clone().unwrap_or_else(|| target.clone());
+        reports.push(wmrd_predict::predict_with_metrics(
+            &trace,
+            &name,
+            opts.pairing,
+            opts.order,
+            &metrics,
+        )?);
+    }
+    let findings: u64 = reports.iter().map(|r| r.keys.len() as u64).sum();
+    let mut out = String::new();
+    if opts.json {
+        if let [only] = reports.as_slice() {
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(only)?);
+        } else {
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(&reports)?);
+        }
+    } else {
+        for (i, report) in reports.iter().enumerate() {
+            if i > 0 {
+                let _ = writeln!(out);
+            }
+            let _ = write!(out, "{}", report.render());
+        }
+        if reports.len() > 1 {
+            let racy = reports.iter().filter(|r| !r.is_race_free()).count();
+            let beyond: usize = reports.iter().map(|r| r.predicted_only().count()).sum();
+            let _ = writeln!(
+                out,
+                "\npredicted over {} trace(s): {} with predicted races, {} predictively \
+                 race-free, {} key(s) beyond the observed schedule",
+                reports.len(),
+                racy,
+                reports.len() - racy,
+                beyond
+            );
+        }
+    }
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+    if findings > 0 {
+        // A verdict, not a malfunction — mirror `lint`'s typed non-zero
+        // exit so scripts can gate on predicted races.
+        return Err(CliError::PredictFindings { output: out, findings });
+    }
+    Ok(out)
+}
+
 /// Builds the campaign spec an `explore` invocation describes.
 fn campaign_spec(opts: &ExploreOpts) -> Result<CampaignSpec, CliError> {
     let mut config = RunConfig::default();
@@ -457,6 +563,29 @@ fn campaign_spec(opts: &ExploreOpts) -> Result<CampaignSpec, CliError> {
         spec = spec.with_faults(parse_fault_plan(plan)?);
     }
     Ok(spec)
+}
+
+/// Executes one campaign point into a finished trace, using the same
+/// scheduler construction the campaign workers (and `--sink`
+/// re-execution) use, so the recorded schedule is one the campaign
+/// itself covers.
+fn exec_trace(program: &Program, exec: &ExecSpec, config: RunConfig) -> Result<TraceSet, CliError> {
+    let mut builder = TraceBuilder::new(program.num_procs());
+    if exec.model == MemoryModel::Sc {
+        run_sc(program, &mut RandomSched::new(exec.seed), &mut builder, config)?;
+    } else {
+        let mut sched = RandomWeakSched::new(exec.seed, exec.drain_prob);
+        run_weak_hw(
+            exec.hw,
+            program,
+            exec.model,
+            exec.fidelity,
+            &mut sched,
+            &mut builder,
+            config,
+        )?;
+    }
+    Ok(builder.finish())
 }
 
 fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
@@ -539,6 +668,30 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
         }
     }
 
+    // With --predict, run the campaign's first execution point once and
+    // predict races from that single trace; the campaign then serves as
+    // the soundness oracle below.
+    let predicted = opts
+        .predict
+        .then(|| -> Result<wmrd_predict::PredictReport, CliError> {
+            let exec = ExecSpec {
+                hw: spec.hws[0],
+                model: spec.models[0],
+                fidelity: spec.fidelity,
+                drain_prob: spec.drain_probs[0],
+                seed: opts.seeds.0,
+            };
+            let trace = exec_trace(&program, &exec, spec.config)?;
+            Ok(wmrd_predict::predict_with_metrics(
+                &trace,
+                program.name(),
+                spec.pairing,
+                wmrd_predict::PredictOrder::Wcp,
+                &metrics,
+            )?)
+        })
+        .transpose()?;
+
     let jobs = if opts.jobs == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -575,6 +728,37 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
                     out,
                     "WARNING: dynamic race m[{}] {}:{:?} × {}:{:?} escaped the static \
                      may-race set — lint soundness violation",
+                    key.loc.addr(),
+                    key.a.proc,
+                    key.a.kind,
+                    key.b.proc,
+                    key.b.kind
+                );
+            }
+        }
+    }
+    if let Some(pred) = &predicted {
+        // Soundness oracle: every predicted race identity must be
+        // reached by some seed of the campaign.
+        let reached: std::collections::BTreeSet<_> = report.keys().copied().collect();
+        let escaped: Vec<_> = pred.keys.iter().filter(|k| !reached.contains(k)).collect();
+        metrics.add(wmrd_trace::metric_keys::PREDICT_CROSSCHECK_VIOLATIONS, escaped.len() as u64);
+        if escaped.is_empty() {
+            let _ = writeln!(
+                out,
+                "predictive cross-check ({} order, seed {}): {} predicted key(s), {} beyond \
+                 single-seed hb1, all reached by the campaign",
+                pred.order,
+                opts.seeds.0,
+                pred.keys.len(),
+                pred.predicted_only().count()
+            );
+        } else {
+            for key in &escaped {
+                let _ = writeln!(
+                    out,
+                    "WARNING: predicted race m[{}] {}:{:?} × {}:{:?} was reached by no campaign \
+                     seed — prediction soundness violation",
                     key.loc.addr(),
                     key.a.proc,
                     key.a.kind,
@@ -737,6 +921,7 @@ fn cmd_serve(opts: &ServeOpts) -> Result<String, CliError> {
         catalog: opts.catalog.as_ref().map(std::path::PathBuf::from),
         pairing: opts.pairing,
         max_streams: opts.max_streams,
+        ..ServeConfig::default()
     };
     let server = Server::bind(&endpoint, config)?;
     // The readiness banner goes out immediately — scripts wait on it —
@@ -859,10 +1044,19 @@ fn cmd_query(opts: &QueryOpts) -> Result<String, CliError> {
     let endpoint = Endpoint::parse(&opts.to)?;
     let mut client = Client::connect(&endpoint)?;
     let reply = match opts.spec.as_str() {
+        // `stats` is already JSON; the other control words have no
+        // row-structured payload for `--format json` to re-render.
         "stats" => client.stats()?,
+        "ping" | "compact" | "shutdown" if opts.json => {
+            return Err(CliError::Usage(format!(
+                "`--format json` does not apply to `{}`",
+                opts.spec
+            )));
+        }
         "ping" => client.ping()?,
         "compact" => client.compact()?,
         "shutdown" => client.shutdown()?,
+        spec if opts.json => client.query(&format!("json:{spec}"))?,
         spec => client.query(spec)?,
     };
     Ok(reply.into_text()?)
@@ -1361,6 +1555,120 @@ mod tests {
         assert_eq!(report.counter("lint.race_free"), Some(1));
         assert!(report.phase_ns("lint.analysis").is_some());
         std::fs::remove_file(&m_path).ok();
+    }
+
+    #[test]
+    fn predict_flags_predicted_races_with_nonzero_exit() {
+        let err = run_cli(&argv("predict fig1a --model wo --seed 2")).unwrap_err();
+        let CliError::PredictFindings { output, findings } = err else {
+            panic!("expected predicted races")
+        };
+        assert!(findings > 0);
+        assert!(output.contains("RACES PREDICTED"), "{output}");
+        assert!(output.contains("predictive race report for 'fig1a'"), "{output}");
+    }
+
+    #[test]
+    fn predict_passes_race_free_programs() {
+        let out = run_cli(&argv("predict counter-locked")).unwrap();
+        assert!(out.contains("verdict: predictively race-free"), "{out}");
+    }
+
+    #[test]
+    fn predict_reads_trace_files_both_formats() {
+        let bin_path = tmp("predict-t.bin");
+        let json_path = tmp("predict-t.json");
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {bin_path} --binary")))
+            .unwrap();
+        run_cli(&argv(&format!("run fig1a --model wo --seed 2 --trace {json_path}"))).unwrap();
+        let CliError::PredictFindings { output: from_bin, .. } =
+            run_cli(&argv(&format!("predict {bin_path}"))).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        assert!(from_bin.contains("predictive race report for 'fig1a'"), "{from_bin}");
+        let CliError::PredictFindings { output: from_json, .. } =
+            run_cli(&argv(&format!("predict {json_path}"))).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        assert_eq!(from_bin, from_json, "trace formats agree");
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn predict_shb_matches_the_observed_analysis() {
+        // SHB is the hb1 baseline: predicted == observed, so nothing is
+        // marked predicted-only.
+        let CliError::PredictFindings { output, .. } =
+            run_cli(&argv("predict fig1a --order shb --model wo --seed 2")).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        assert!(output.contains("order shb"), "{output}");
+        assert!(!output.contains("predicted-only"), "{output}");
+    }
+
+    #[test]
+    fn predict_json_and_multi_target_summary() {
+        let CliError::PredictFindings { output, .. } =
+            run_cli(&argv("predict fig1a --format json --model wo --seed 2")).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        let report: wmrd_predict::PredictReport = serde_json::from_str(&output).unwrap();
+        assert_eq!(report.program, "fig1a");
+        assert!(!report.keys.is_empty());
+
+        let CliError::PredictFindings { output, .. } =
+            run_cli(&argv("predict all")).unwrap_err()
+        else {
+            panic!("the catalog has racy entries")
+        };
+        assert!(output.contains("predicted over"), "{output}");
+        for entry in catalog::all() {
+            assert!(output.contains(entry.name), "missing {}:\n{output}", entry.name);
+        }
+    }
+
+    #[test]
+    fn predict_metrics_and_stats() {
+        let m_path = tmp("m-predict.json");
+        let out = run_cli(&argv(&format!("predict counter-locked --metrics {m_path} --stats")))
+            .unwrap();
+        assert!(out.contains("predict.traces"), "{out}");
+        let report: wmrd_trace::RunMetrics =
+            serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
+        assert_eq!(report.context.get("command").map(String::as_str), Some("predict"));
+        assert_eq!(report.context.get("order").map(String::as_str), Some("wcp"));
+        assert_eq!(report.counter("predict.traces"), Some(1));
+        assert_eq!(report.counter("predict.race_free"), Some(1));
+        assert!(report.phase_ns("predict.analysis").is_some());
+        std::fs::remove_file(&m_path).ok();
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let CliError::PredictFindings { output: first, .. } =
+            run_cli(&argv("predict fig1a --model wo --seed 2")).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        let CliError::PredictFindings { output: second, .. } =
+            run_cli(&argv("predict fig1a --model wo --seed 2")).unwrap_err()
+        else {
+            panic!("expected predicted races")
+        };
+        assert_eq!(first, second, "same trace, same report, byte for byte");
+    }
+
+    #[test]
+    fn explore_predict_cross_checks_the_campaign() {
+        let out = run_cli(&argv("explore fig1a --seeds 0..12 --jobs 2 --predict")).unwrap();
+        assert!(out.contains("predictive cross-check"), "{out}");
+        assert!(out.contains("all reached by the campaign"), "{out}");
+        assert!(!out.contains("soundness violation"), "{out}");
     }
 
     #[test]

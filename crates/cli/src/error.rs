@@ -49,6 +49,15 @@ pub enum CliError {
         /// Total may-race keys across the linted programs.
         findings: u64,
     },
+    /// `wmrd predict` predicted races. Same shape as `LintFindings`:
+    /// a verdict carried with the rendered report so the binary can
+    /// print it and exit non-zero for scripts.
+    PredictFindings {
+        /// The rendered report(s), exactly as a clean run would print.
+        output: String,
+        /// Total predicted race keys across the analyzed traces.
+        findings: u64,
+    },
     /// The serve layer (daemon, client, or endpoint) failed.
     Serve(wmrd_serve::ServeError),
     /// The race catalog refused an operation.
@@ -71,6 +80,9 @@ impl fmt::Display for CliError {
             CliError::Asm { path, source } => write!(f, "{path}: {source}"),
             CliError::LintFindings { findings, .. } => {
                 write!(f, "lint found {findings} may-race key(s)")
+            }
+            CliError::PredictFindings { findings, .. } => {
+                write!(f, "predicted {findings} race key(s)")
             }
             CliError::Serve(e) => write!(f, "serve error: {e}"),
             CliError::Catalog(e) => write!(f, "catalog error: {e}"),
@@ -181,6 +193,14 @@ mod tests {
     fn lint_findings_carry_the_count() {
         let e = CliError::LintFindings { output: "report text".into(), findings: 3 };
         assert!(e.to_string().contains("3 may-race key(s)"), "{e}");
+        use std::error::Error as _;
+        assert!(e.source().is_none(), "a verdict has no underlying fault");
+    }
+
+    #[test]
+    fn predict_findings_carry_the_count() {
+        let e = CliError::PredictFindings { output: "report text".into(), findings: 2 };
+        assert!(e.to_string().contains("predicted 2 race key(s)"), "{e}");
         use std::error::Error as _;
         assert!(e.source().is_none(), "a verdict has no underlying fault");
     }

@@ -13,7 +13,8 @@
 //! wmrd analyze t.json --timeline --dot g.dot
 //! wmrd check producer-consumer --model rcsc --seeds 8
 //! wmrd lint all                                 # static may-race analysis
-//! wmrd explore fig1a --seeds 0..500 --prune-static
+//! wmrd predict fig1a --order wcp                # predictive races from one trace
+//! wmrd explore fig1a --seeds 0..500 --prune-static --predict
 //! wmrd serve --listen unix:/tmp/wmrd.sock --catalog races.journal &
 //! wmrd submit --to unix:/tmp/wmrd.sock t.json   # analyze into the catalog
 //! wmrd query --to unix:/tmp/wmrd.sock races     # the deduplicated race table
@@ -32,8 +33,8 @@ mod commands;
 mod error;
 
 pub use args::{
-    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, QueryOpts, RunOpts, ServeOpts,
-    SubmitOpts,
+    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, PredictOpts, QueryOpts, RunOpts,
+    ServeOpts, SubmitOpts,
 };
 pub use commands::run_cli;
 pub use error::CliError;

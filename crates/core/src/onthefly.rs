@@ -507,6 +507,47 @@ mod tests {
     }
 
     #[test]
+    fn reset_detector_reports_byte_identical_to_fresh_on_a_second_trace() {
+        // The regression this pins: reset() must return the detector to
+        // its just-constructed state, so analyzing trace B after
+        // (trace A, reset) renders exactly what a fresh detector
+        // renders on B — operation ids, race order, drop counters, all
+        // of it. Trace A deliberately touches every piece of state:
+        // sync clocks, read history, a dropped read, pending races.
+        let trace_a = |d: &mut OnTheFly| {
+            d.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+            d.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+            d.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+            d.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+            d.data_access(p(1), l(1), AccessKind::Read, Value::ZERO, None);
+            d.data_access(p(0), l(1), AccessKind::Read, Value::ZERO, None);
+            d.data_access(p(0), l(2), AccessKind::Write, Value::new(2), None);
+        };
+        let trace_b = |d: &mut OnTheFly| {
+            d.data_access(p(1), l(2), AccessKind::Write, Value::new(7), None);
+            d.data_access(p(0), l(2), AccessKind::Read, Value::ZERO, None);
+            d.sync_access(p(1), l(8), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+            d.data_access(p(0), l(0), AccessKind::Write, Value::new(3), None);
+            d.sync_access(p(0), l(8), AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+            d.data_access(p(1), l(0), AccessKind::Write, Value::new(4), None);
+        };
+        let config = OnTheFlyConfig { read_history_limit: Some(1), ..OnTheFlyConfig::default() };
+
+        let mut fresh = OnTheFly::new(2, config.clone());
+        trace_b(&mut fresh);
+        let expected = (format!("{:?}", fresh.finish()), fresh.dropped_reads());
+
+        let mut reused = OnTheFly::new(2, config);
+        trace_a(&mut reused);
+        assert!(!reused.races().is_empty(), "trace A must dirty the race buffer");
+        assert!(reused.dropped_reads() > 0, "trace A must dirty the drop counter");
+        reused.reset();
+        trace_b(&mut reused);
+        let actual = (format!("{:?}", reused.finish()), reused.dropped_reads());
+        assert_eq!(actual, expected, "reset must be indistinguishable from construction");
+    }
+
+    #[test]
     fn ordered_reads_are_pruned_on_write() {
         let mut d = detector();
         // P1 reads; P1 releases; P0 acquires and writes: the read is

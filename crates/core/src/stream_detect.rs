@@ -586,6 +586,58 @@ mod tests {
     }
 
     #[test]
+    fn reset_detector_reports_byte_identical_to_fresh_on_a_second_trace() {
+        // The reuse contract: a session recycled with reset() must be
+        // indistinguishable from a fresh detector on the next trace —
+        // same race keys, same per-chunk witnesses, same event and
+        // promotion counts. Trace A dirties every piece of session
+        // state: epoch promotions, release clocks, pending pairing,
+        // reported keys.
+        let trace_a = |d: &mut StreamDetector| {
+            d.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);
+            d.data_access(p(1), l(0), AccessKind::Read, Value::ZERO, None);
+            let rel =
+                d.sync_access(p(0), l(9), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+            d.sync_access(p(1), l(9), AccessKind::Read, SyncRole::Acquire, Value::ZERO, Some(rel));
+            d.data_access(p(1), l(1), AccessKind::Write, Value::new(2), None);
+            d.data_access(p(0), l(1), AccessKind::Write, Value::new(3), None);
+        };
+        let trace_b = |d: &mut StreamDetector| {
+            d.data_access(p(1), l(1), AccessKind::Write, Value::new(5), None);
+            d.data_access(p(0), l(1), AccessKind::Read, Value::ZERO, None);
+            d.sync_access(p(1), l(8), AccessKind::Write, SyncRole::Release, Value::ZERO, None);
+            d.sync_access(p(0), l(8), AccessKind::Read, SyncRole::Acquire, Value::ZERO, None);
+            d.data_access(p(0), l(0), AccessKind::Write, Value::new(6), None);
+            d.data_access(p(1), l(0), AccessKind::Write, Value::new(7), None);
+        };
+        let render = |d: &mut StreamDetector| {
+            let races = d.take_races();
+            format!(
+                "keys={:?} races={races:?} events={} promotions={}",
+                d.race_keys(),
+                d.events(),
+                d.promotions()
+            )
+        };
+
+        let mut fresh = detector();
+        trace_b(&mut fresh);
+        let expected = render(&mut fresh);
+
+        let mut reused = detector();
+        trace_a(&mut reused);
+        assert!(!reused.race_keys().is_empty(), "trace A must report races");
+        assert!(reused.promotions() > 0, "trace A must promote epochs");
+        reused.reset();
+        trace_b(&mut reused);
+        assert_eq!(
+            render(&mut reused),
+            expected,
+            "reset must be indistinguishable from construction"
+        );
+    }
+
+    #[test]
     fn memory_is_bounded_by_locations_not_accesses() {
         let mut d = detector();
         d.data_access(p(0), l(0), AccessKind::Write, Value::new(1), None);

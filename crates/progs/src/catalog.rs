@@ -758,6 +758,141 @@ pub fn work_queue_weak_script() -> Vec<wmrd_sim::WeakAction> {
     ]
 }
 
+/// Memory layout shared by the lock-courier entries: a spin lock and
+/// per-processor slots each critical section touches privately, plus an
+/// unprotected datum `x` outside the sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CourierLayout {
+    /// The `Test&Set`/`Unset` spin lock.
+    pub lock: Location,
+    /// Slot written only inside P0's critical section.
+    pub a: Location,
+    /// Slot written only inside P1's critical section.
+    pub b: Location,
+    /// Slot written only inside P2's critical section (chain variant).
+    pub c: Location,
+    /// The datum accessed *outside* any critical section.
+    pub x: Location,
+}
+
+/// The lock-courier layout: `lock`, `a`, `b`, `c`, `x` at words 0-4.
+pub fn courier_layout() -> CourierLayout {
+    CourierLayout {
+        lock: Location::new(0),
+        a: Location::new(1),
+        b: Location::new(2),
+        c: Location::new(3),
+        x: Location::new(4),
+    }
+}
+
+/// P0 publishes `x` before entering a critical section; P1 reads `x`
+/// after leaving its own. The two sections touch disjoint slots, so the
+/// lock orders the `x` accesses only by scheduling accident: when P1
+/// happens to acquire after P0's release, an ≡hb1 detector sees the
+/// pair as ordered and stays silent, while a weaker sound order (WCP)
+/// drops the incidental release→acquire edge and predicts the race from
+/// that same trace. The opposite handoff order exhibits it directly.
+pub fn lazy_publish_racy() -> CatalogEntry {
+    let lay = courier_layout();
+    let mut program = Program::new("lazy-publish-racy", 5);
+
+    let mut p0 = ProcBuilder::new();
+    p0.st(1, lay.x)
+        .lock(r(0), lay.lock)
+        .st(1, lay.a)
+        .unset(lay.lock)
+        .halt();
+    program.push_proc(p0.assemble().expect("static program assembles"));
+
+    let mut p1 = ProcBuilder::new();
+    p1.lock(r(0), lay.lock)
+        .st(1, lay.b)
+        .unset(lay.lock)
+        .ld(r(1), lay.x)
+        .halt();
+    program.push_proc(p1.assemble().expect("static program assembles"));
+
+    CatalogEntry {
+        name: "lazy-publish-racy",
+        program,
+        racy: true,
+        description: "unprotected publish/read around disjoint critical sections (WCP-predictable)",
+    }
+}
+
+/// The write/write sibling of [`lazy_publish_racy`]: P0 stores `x`
+/// before its critical section, P1 stores `x` after its own. Same
+/// structure — disjoint section bodies, so the only hb1 order between
+/// the conflicting stores is the incidental lock handoff.
+pub fn disjoint_update_racy() -> CatalogEntry {
+    let lay = courier_layout();
+    let mut program = Program::new("disjoint-update-racy", 5);
+
+    let mut p0 = ProcBuilder::new();
+    p0.st(1, lay.x)
+        .lock(r(0), lay.lock)
+        .st(1, lay.a)
+        .unset(lay.lock)
+        .halt();
+    program.push_proc(p0.assemble().expect("static program assembles"));
+
+    let mut p1 = ProcBuilder::new();
+    p1.lock(r(0), lay.lock)
+        .st(1, lay.b)
+        .unset(lay.lock)
+        .st(2, lay.x)
+        .halt();
+    program.push_proc(p1.assemble().expect("static program assembles"));
+
+    CatalogEntry {
+        name: "disjoint-update-racy",
+        program,
+        racy: true,
+        description: "conflicting stores around disjoint critical sections (WCP-predictable)",
+    }
+}
+
+/// Three processors take the same lock for disjoint section bodies;
+/// P0 publishes `x` before its section and P2 reads `x` after its own.
+/// When the sections happen to run P0 → P1 → P2, hb1 orders the `x`
+/// pair only through a *chain* of two incidental release→acquire edges
+/// — both dropped by WCP, so the race is predicted across the chain.
+pub fn section_chain_racy() -> CatalogEntry {
+    let lay = courier_layout();
+    let mut program = Program::new("section-chain-racy", 5);
+
+    let mut p0 = ProcBuilder::new();
+    p0.st(1, lay.x)
+        .lock(r(0), lay.lock)
+        .st(1, lay.a)
+        .unset(lay.lock)
+        .halt();
+    program.push_proc(p0.assemble().expect("static program assembles"));
+
+    let mut p1 = ProcBuilder::new();
+    p1.lock(r(0), lay.lock)
+        .st(1, lay.b)
+        .unset(lay.lock)
+        .halt();
+    program.push_proc(p1.assemble().expect("static program assembles"));
+
+    let mut p2 = ProcBuilder::new();
+    p2.lock(r(0), lay.lock)
+        .st(1, lay.c)
+        .unset(lay.lock)
+        .ld(r(1), lay.x)
+        .halt();
+    program.push_proc(p2.assemble().expect("static program assembles"));
+
+    CatalogEntry {
+        name: "section-chain-racy",
+        program,
+        racy: true,
+        description: "publish/read ordered only via a chain of disjoint critical sections",
+    }
+}
+
 /// Every catalog entry, with small default sizes for parameterized
 /// workloads.
 pub fn all() -> Vec<CatalogEntry> {
@@ -779,6 +914,9 @@ pub fn all() -> Vec<CatalogEntry> {
         double_checked_init(),
         double_checked_init_racy(),
         ping_pong(),
+        lazy_publish_racy(),
+        disjoint_update_racy(),
+        section_chain_racy(),
     ]
 }
 
@@ -964,6 +1102,9 @@ mod tests {
                 "counter-racy",
                 "peterson-racy",
                 "double-checked-init-racy",
+                "lazy-publish-racy",
+                "disjoint-update-racy",
+                "section-chain-racy",
             ]
         );
     }

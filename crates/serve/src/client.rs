@@ -171,6 +171,36 @@ impl Client {
         self.request_line("CLOSE\n")
     }
 
+    /// Asks the daemon to predictively re-analyze the retained trace
+    /// with digest token `digest`, amending its catalog entry with the
+    /// predicted race identities. `order` selects the partial order
+    /// (`"shb"` or `"wcp"`); `None` uses the daemon default (`wcp`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] if `digest` cannot be carried
+    /// on a request line and [`ServeError::Io`] for transport
+    /// failures. A trace the daemon no longer retains comes back as a
+    /// typed `ERR query` [`Reply`], not an `Err`.
+    pub fn predict(&mut self, digest: &str, order: Option<&str>) -> Result<Reply, ServeError> {
+        if digest.is_empty() || digest.contains(['=', ' ', '\n']) {
+            return Err(ServeError::Protocol(format!(
+                "digest `{digest}` must be non-empty and free of `=`, spaces, and newlines"
+            )));
+        }
+        let mut line = format!("PREDICT {digest}");
+        if let Some(order) = order {
+            if order.contains([' ', '=', '\n']) {
+                return Err(ServeError::Protocol(format!(
+                    "order `{order}` must be free of spaces, `=`, and newlines"
+                )));
+            }
+            line.push_str(&format!(" order={order}"));
+        }
+        line.push('\n');
+        self.request_line(&line)
+    }
+
     fn request_line(&mut self, line: &str) -> Result<Reply, ServeError> {
         self.stream.write_all(line.as_bytes())?;
         self.stream.flush()?;

@@ -19,6 +19,9 @@
 //! client: SUBMIT 12\n<12 garbage bytes>
 //! server: ERR decode 31\n<why the trace failed to decode>\n
 //!
+//! client: PREDICT 0123456789abcdef order=wcp\n
+//! server: OK 71\npredicted 0123456789abcdef order=wcp keys=2 observed=1 ...\n
+//!
 //! client: STREAM fig1a program=fig1a model=WO seed=7\n
 //! server: OK 13\nopened fig1a\n
 //! client: FEED 1024\n<1024 stream bytes>
@@ -82,6 +85,15 @@ pub enum Request {
     },
     /// End the open session: post-mortem analyze, ingest, cross-check.
     Close,
+    /// Predictively re-analyze a retained trace by digest, amending
+    /// its catalog entry with the predicted race identities.
+    Predict {
+        /// Digest token of a previously submitted trace.
+        digest: String,
+        /// Partial-order selector (`order=shb|wcp`); the daemon
+        /// defaults to `wcp` when absent.
+        order: Option<String>,
+    },
 }
 
 /// Trace provenance carried on a `STREAM` line as `key=value` tokens.
@@ -181,6 +193,39 @@ impl Request {
                 Ok(Request::Feed { len })
             }
             ("CLOSE", None) => Ok(Request::Close),
+            ("PREDICT", Some(rest)) if !rest.trim().is_empty() => {
+                let mut tokens = rest.trim().split(' ');
+                let digest = tokens.next().unwrap_or("").to_string();
+                if digest.contains('=') {
+                    return Err(ServeError::Protocol(format!(
+                        "PREDICT needs a digest before options, got `{digest}`"
+                    )));
+                }
+                let mut order = None;
+                for token in tokens {
+                    match token.split_once('=') {
+                        Some(("order", value)) if order.is_none() => {
+                            order = Some(value.to_string());
+                        }
+                        Some(("order", _)) => {
+                            return Err(ServeError::Protocol(
+                                "duplicate PREDICT key `order`".into(),
+                            ))
+                        }
+                        Some((other, _)) => {
+                            return Err(ServeError::Protocol(format!(
+                                "unknown PREDICT key `{other}`"
+                            )))
+                        }
+                        None => {
+                            return Err(ServeError::Protocol(format!(
+                                "bad PREDICT option token `{token}` (want key=value)"
+                            )))
+                        }
+                    }
+                }
+                Ok(Request::Predict { digest, order })
+            }
             _ => Err(ServeError::Protocol(format!("unrecognized request line `{line}`"))),
         }
     }
@@ -445,6 +490,28 @@ mod tests {
         );
         assert_eq!(Request::parse("FEED 512\n").unwrap(), Request::Feed { len: 512 });
         assert_eq!(Request::parse("CLOSE").unwrap(), Request::Close);
+        assert_eq!(
+            Request::parse("PREDICT 0123456789abcdef\n").unwrap(),
+            Request::Predict { digest: "0123456789abcdef".into(), order: None }
+        );
+        assert_eq!(
+            Request::parse("PREDICT 0123456789abcdef order=shb").unwrap(),
+            Request::Predict { digest: "0123456789abcdef".into(), order: Some("shb".into()) }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_predict_lines() {
+        for bad in [
+            "PREDICT",                   // missing digest
+            "PREDICT ",                  // blank digest
+            "PREDICT order=wcp",         // option where the digest belongs
+            "PREDICT d order=a order=b", // duplicate key
+            "PREDICT d color=red",       // unknown key
+            "PREDICT d wcp",             // bare token after the digest
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

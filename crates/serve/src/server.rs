@@ -30,7 +30,7 @@
 //! lets workers finish the backlog, and joins every thread before
 //! [`Server::run`] returns its summary.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -38,8 +38,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use wmrd_catalog::{Catalog, CatalogStats, IngestOutcome, Query};
+use wmrd_catalog::{
+    format_key, Catalog, CatalogStats, IngestOutcome, JournalRecord, Provenance, Query,
+    RaceObservation,
+};
 use wmrd_core::{event_race_keys, PairingPolicy, PostMortem, RaceKey, StreamDetector};
+use wmrd_predict::{predict, PredictOrder};
 use wmrd_trace::{metric_keys, Metrics, StreamDecoder, TraceBuilder, TraceMeta, TraceSet};
 
 use crate::endpoint::{Endpoint, Listener, Stream};
@@ -75,6 +79,10 @@ pub struct ServeConfig {
     /// `STREAM` beyond this cap is refused with `BUSY`. Zero disables
     /// streaming entirely.
     pub max_streams: usize,
+    /// Analyzed traces kept in memory (FIFO) so `PREDICT` can
+    /// re-analyze them without resubmission. Zero disables retention
+    /// (every `PREDICT` answers "not retained").
+    pub retain_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +93,7 @@ impl Default for ServeConfig {
             catalog: None,
             pairing: PairingPolicy::ByRole,
             max_streams: 4,
+            retain_cap: 128,
         }
     }
 }
@@ -116,6 +125,8 @@ pub struct ServeSummary {
     /// Sessions whose streamed race keys disagreed with the
     /// post-mortem cross-check at `CLOSE` (must stay zero).
     pub stream_crosscheck_failures: u64,
+    /// `PREDICT` requests that completed a predictive re-analysis.
+    pub predictions: u64,
     /// Final catalog counters.
     pub catalog: CatalogStats,
 }
@@ -137,6 +148,7 @@ impl fmt::Display for ServeSummary {
             self.stream_races,
             self.stream_crosscheck_failures
         )?;
+        writeln!(f, "predictions: {}", self.predictions)?;
         write!(
             f,
             "catalog: {} traces, {} race identities, {} observations",
@@ -158,6 +170,47 @@ struct Job {
     reply: mpsc::Sender<AnalysisResult>,
 }
 
+/// A bounded FIFO of analyzed traces, keyed by digest token, kept so
+/// `PREDICT <digest>` can re-analyze a submission without the client
+/// resending it. Retention is best-effort working-set state, not
+/// durable: a restarted daemon answers `PREDICT` for old digests with
+/// a typed "resubmit it" error (documented in SERVING.md).
+struct RetainedTraces {
+    map: BTreeMap<String, TraceSet>,
+    /// Digests in insertion order; the front is evicted at capacity.
+    order: VecDeque<String>,
+    cap: usize,
+}
+
+impl RetainedTraces {
+    fn new(cap: usize) -> Self {
+        RetainedTraces { map: BTreeMap::new(), order: VecDeque::new(), cap }
+    }
+
+    /// Retains `trace` under `digest`, evicting the oldest entry at
+    /// capacity. Re-retaining a known digest refreshes nothing — the
+    /// trace is content-addressed, so the bytes are identical.
+    fn retain(&mut self, digest: String, trace: &TraceSet) {
+        if self.cap == 0 || self.map.contains_key(&digest) {
+            return;
+        }
+        while self.map.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(digest.clone());
+        self.map.insert(digest, trace.clone());
+    }
+
+    fn get(&self, digest: &str) -> Option<&TraceSet> {
+        self.map.get(digest)
+    }
+}
+
 /// State shared by the accept loop, handlers, and workers.
 struct Shared {
     queue: JobQueue<Job>,
@@ -167,6 +220,8 @@ struct Shared {
     /// Streaming sessions currently open, bounded by
     /// [`ServeConfig::max_streams`].
     stream_open: AtomicUsize,
+    /// Recently analyzed traces available to `PREDICT`.
+    retained: Mutex<RetainedTraces>,
     endpoint: Endpoint,
     config: ServeConfig,
 }
@@ -234,6 +289,7 @@ impl Server {
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             stream_open: AtomicUsize::new(0),
+            retained: Mutex::new(RetainedTraces::new(config.retain_cap)),
             endpoint: resolved,
             config,
         });
@@ -306,6 +362,7 @@ impl Server {
                 stream_crosscheck_failures: ServeStats::get(
                     &shared.stats.stream_crosscheck_failures,
                 ),
+                predictions: ServeStats::get(&shared.stats.predictions),
                 catalog: catalog.stats(),
             })
         });
@@ -344,8 +401,17 @@ fn analyze_and_ingest(shared: &Shared, trace: &TraceSet, pairing: PairingPolicy)
         .map_err(|e| (ErrorCode::Analysis, e.to_string()))?;
     let keys = event_race_keys(&report.races, trace);
     let record = Catalog::record_for(trace, &report);
-    let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
-    let outcome = catalog.ingest(&record).map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+    let outcome = {
+        let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+        catalog.ingest(&record).map_err(|e| (ErrorCode::Internal, e.to_string()))?
+    };
+    // Retain the trace for PREDICT — duplicates included, so
+    // resubmitting an evicted trace makes it predictable again.
+    shared
+        .retained
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(outcome.digest.clone(), trace);
     Ok((outcome, keys))
 }
 
@@ -433,10 +499,12 @@ fn dispatch(
         Request::Close => close_stream(shared, session),
         Request::Query(spec) => {
             ServeStats::incr(&shared.stats.queries);
-            match Query::parse(&spec) {
-                Ok(query) => {
+            match Query::parse_spec(&spec) {
+                Ok((query, json)) => {
                     let catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
-                    match catalog.query(&query) {
+                    let answer =
+                        if json { catalog.query_json(&query) } else { catalog.query(&query) };
+                    match answer {
                         Ok(text) => Reply::Ok(text.into_bytes()),
                         Err(e) => Reply::Err { code: ErrorCode::Query, message: e.to_string() },
                     }
@@ -444,6 +512,7 @@ fn dispatch(
                 Err(e) => Reply::Err { code: ErrorCode::Query, message: e.to_string() },
             }
         }
+        Request::Predict { digest, order } => predict_retained(shared, &digest, order.as_deref()),
         Request::Stats => match stats_payload(shared) {
             Ok(json) => Reply::Ok(json.into_bytes()),
             Err(message) => Reply::Err { code: ErrorCode::Internal, message },
@@ -716,6 +785,90 @@ fn close_stream(shared: &Shared, session: &mut Option<StreamSession>) -> Reply {
     }
 }
 
+/// Handles `PREDICT`: looks up the retained trace, runs the predictive
+/// engine over it, amends the catalog entry with the predicted race
+/// identities, and reports the predicted-only keys. Prediction runs on
+/// the handler thread — it is one graph pass over an already decoded
+/// trace, cheap next to a post-mortem enumeration — with the same
+/// panic containment as the worker path.
+fn predict_retained(shared: &Shared, digest: &str, order: Option<&str>) -> Reply {
+    let order = match order {
+        None => PredictOrder::default(),
+        Some(tok) => match PredictOrder::parse(tok) {
+            Some(order) => order,
+            None => {
+                return Reply::Err {
+                    code: ErrorCode::Query,
+                    message: format!("unknown order `{tok}` (expected shb|wcp)"),
+                }
+            }
+        },
+    };
+    let trace = {
+        let retained = shared.retained.lock().unwrap_or_else(|e| e.into_inner());
+        retained.get(digest).cloned()
+    };
+    let Some(trace) = trace else {
+        return Reply::Err {
+            code: ErrorCode::Query,
+            message: format!(
+                "trace `{digest}` is not retained (resubmit it, then PREDICT again)"
+            ),
+        };
+    };
+    let program = trace.meta.program.clone().unwrap_or_else(|| digest.to_string());
+    let pairing = shared.config.pairing;
+    let report = match catch_unwind(AssertUnwindSafe(|| predict(&trace, &program, pairing, order)))
+    {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => return Reply::Err { code: ErrorCode::Analysis, message: e.to_string() },
+        Err(_) => {
+            return Reply::Err {
+                code: ErrorCode::Internal,
+                message: "prediction panicked; request contained".into(),
+            }
+        }
+    };
+    let record = JournalRecord {
+        digest: digest.to_string(),
+        program: trace.meta.program.clone(),
+        model: trace.meta.model.clone(),
+        seed: trace.meta.seed,
+        events: trace.processors().iter().map(|p| p.events().len() as u64).sum(),
+        races: report
+            .keys
+            .iter()
+            .map(|&key| RaceObservation {
+                key,
+                first_partition: false,
+                provenance: Provenance::PREDICTED,
+            })
+            .collect(),
+        amend: true,
+    };
+    let outcome = {
+        let mut catalog = shared.catalog.lock().unwrap_or_else(|e| e.into_inner());
+        match catalog.ingest(&record) {
+            Ok(outcome) => outcome,
+            Err(e) => return Reply::Err { code: ErrorCode::Internal, message: e.to_string() },
+        }
+    };
+    ServeStats::incr(&shared.stats.predictions);
+    let mut payload = format!(
+        "predicted {digest} order={order} keys={} observed={} predicted_only={} new={}\n",
+        report.keys.len(),
+        report.observed.len(),
+        report.predicted_only().count(),
+        outcome.new_races,
+    );
+    for key in report.predicted_only() {
+        payload.push_str("  ");
+        payload.push_str(&format_key(key));
+        payload.push('\n');
+    }
+    Reply::Ok(payload.into_bytes())
+}
+
 /// Decodes a submission body: binary traces by magic, otherwise JSON.
 fn decode_trace(bytes: &[u8]) -> Result<TraceSet, String> {
     if bytes.starts_with(b"WMRD") {
@@ -744,6 +897,7 @@ fn stats_payload(shared: &Shared) -> Result<String, String> {
     let (p50, p99) = stats.latency_percentiles();
     metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P50_NS, p50);
     metrics.set_gauge(metric_keys::SERVE_ANALYSIS_P99_NS, p99);
+    metrics.add(metric_keys::SERVE_PREDICTIONS, ServeStats::get(&stats.predictions));
     metrics.add(metric_keys::STREAM_SESSIONS, ServeStats::get(&stats.stream_sessions));
     metrics.add(metric_keys::STREAM_SESSIONS_REJECTED, ServeStats::get(&stats.stream_rejected));
     metrics.add(metric_keys::STREAM_EVENTS, ServeStats::get(&stats.stream_events));

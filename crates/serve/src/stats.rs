@@ -72,6 +72,8 @@ pub struct ServeStats {
     /// Sessions whose streamed race keys disagreed with the post-mortem
     /// analysis at `CLOSE` — any non-zero value is a detector bug.
     pub stream_crosscheck_failures: AtomicU64,
+    /// `PREDICT` requests that completed a predictive re-analysis.
+    pub predictions: AtomicU64,
     /// Recent end-to-end analysis latencies.
     pub latency: Mutex<LatencyWindow>,
     /// Recent per-`FEED` ingest-to-detection latencies.

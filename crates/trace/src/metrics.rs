@@ -440,6 +440,9 @@ pub mod keys {
     /// Gauge: p99 end-to-end analysis latency, in nanoseconds, over
     /// the recent-latency window.
     pub const SERVE_ANALYSIS_P99_NS: &str = "serve.analysis_p99_ns";
+    /// Counter: `PREDICT` requests that completed a predictive
+    /// re-analysis of a retained trace.
+    pub const SERVE_PREDICTIONS: &str = "serve.predictions";
     /// Counter: streaming sessions opened (`STREAM` accepted).
     pub const STREAM_SESSIONS: &str = "stream.sessions";
     /// Counter: streaming sessions refused with `BUSY` because every
@@ -503,6 +506,29 @@ pub mod keys {
     pub const LINT_CROSSCHECK_VIOLATIONS: &str = "lint.crosscheck_violations";
     /// Phase: wall-clock time spent in static analysis.
     pub const LINT_ANALYSIS: &str = "lint.analysis";
+    /// Counter: traces the predictive analyzer processed.
+    pub const PREDICT_TRACES: &str = "predict.traces";
+    /// Counter: predicted race identities (`RaceKey`s) across analyzed
+    /// traces (observed ∪ predicted-only).
+    pub const PREDICT_KEYS: &str = "predict.keys";
+    /// Counter: predicted identities also reported by the hb1 analysis
+    /// of the same trace.
+    pub const PREDICT_OBSERVED_KEYS: &str = "predict.observed_keys";
+    /// Counter: identities predicted but NOT observed in the analyzed
+    /// trace — the yield the weakened order added over hb1.
+    pub const PREDICT_ONLY_KEYS: &str = "predict.only_keys";
+    /// Counter: critical sections recovered from sync skeletons.
+    pub const PREDICT_SECTIONS: &str = "predict.sections";
+    /// Counter: `so1` edges the weakened order dropped.
+    pub const PREDICT_DROPPED_EDGES: &str = "predict.dropped_edges";
+    /// Counter: analyzed traces with an empty predicted set.
+    pub const PREDICT_RACE_FREE: &str = "predict.race_free";
+    /// Counter: predicted identities NOT reached by any seed of an
+    /// oracle campaign (`explore --predict`) — a soundness violation;
+    /// must stay zero.
+    pub const PREDICT_CROSSCHECK_VIOLATIONS: &str = "predict.crosscheck_violations";
+    /// Phase: wall-clock time spent in predictive analysis.
+    pub const PREDICT_ANALYSIS: &str = "predict.analysis";
 }
 
 #[cfg(test)]
@@ -551,6 +577,7 @@ mod tests {
             keys::SERVE_WORKERS,
             keys::SERVE_ANALYSIS_P50_NS,
             keys::SERVE_ANALYSIS_P99_NS,
+            keys::SERVE_PREDICTIONS,
         ] {
             assert!(key.starts_with("serve."), "{key}");
             assert!(key
@@ -596,6 +623,20 @@ mod tests {
             keys::LINT_ANALYSIS,
         ] {
             assert!(key.starts_with("lint."), "{key}");
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+        }
+        for key in [
+            keys::PREDICT_TRACES,
+            keys::PREDICT_KEYS,
+            keys::PREDICT_OBSERVED_KEYS,
+            keys::PREDICT_ONLY_KEYS,
+            keys::PREDICT_SECTIONS,
+            keys::PREDICT_DROPPED_EDGES,
+            keys::PREDICT_RACE_FREE,
+            keys::PREDICT_CROSSCHECK_VIOLATIONS,
+            keys::PREDICT_ANALYSIS,
+        ] {
+            assert!(key.starts_with("predict."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
         }
     }

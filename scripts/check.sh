@@ -82,6 +82,43 @@ if cargo run -q -p wmrd-cli --bin wmrd -- lint fig1a > /dev/null 2>&1; then
     exit 1
 fi
 
+echo "== predict smoke (predictive engine + soundness gate)"
+# The predictive engine's unit suite, the golden/soundness xtest (every
+# WCP prediction from the committed catalog traces must be reached by a
+# real 64-seed campaign; >= 3 entries must show predicted-only yield —
+# the E15 domination claim), and the CLI exit-status contract.
+cargo test -q -p wmrd-predict
+cargo test -q -p wmrd-xtests --test predict
+cargo run -q -p wmrd-cli --bin wmrd -- predict counter-locked --model wo > /dev/null
+if cargo run -q -p wmrd-cli --bin wmrd -- predict lazy-publish-racy --model wo --seed 2 --order wcp > /dev/null 2>&1; then
+    echo "check.sh: wmrd predict lazy-publish-racy must exit non-zero (it predicts a race)" >&2
+    exit 1
+fi
+
+echo "== predict documentation gates"
+# The predict CLI surface must stay documented in the help text, E15 in
+# EXPERIMENTS.md, and every predict.* metric key the code defines must
+# appear in OBSERVABILITY.md (same discipline as the protocol gate).
+if ! cargo run -q -p wmrd-cli --bin wmrd -- help | grep -q "wmrd predict"; then
+    echo "check.sh: wmrd help does not document the predict command" >&2
+    exit 1
+fi
+if ! grep -q "^## E15" EXPERIMENTS.md; then
+    echo "check.sh: EXPERIMENTS.md is missing the E15 section" >&2
+    exit 1
+fi
+predict_keys=$(sed -n 's/^.*"\(predict\.[a-z_][a-z_]*\)".*$/\1/p' crates/trace/src/metrics.rs | sort -u)
+if [ -z "$predict_keys" ]; then
+    echo "check.sh: could not extract predict.* keys from crates/trace/src/metrics.rs" >&2
+    exit 1
+fi
+for key in $predict_keys serve.predictions; do
+    if ! grep -q "$key" OBSERVABILITY.md; then
+        echo "check.sh: metric key $key is not documented in OBSERVABILITY.md" >&2
+        exit 1
+    fi
+done
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

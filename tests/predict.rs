@@ -1,0 +1,184 @@
+//! Cross-crate contracts of the predictive race engine: golden SHB and
+//! WCP reports over committed traces of the whole program catalog, the
+//! SHB ≡ hb1 baseline identity, and the soundness gate — every
+//! predicted race identity must be reached by a real 64-seed explore
+//! campaign of the same program, and the weakening must add detection
+//! power (predicted-only yield) on several entries without a single
+//! false prediction on the race-free ones.
+//!
+//! Each catalog entry has a committed single-execution trace in
+//! `tests/data/predict/<entry>.bin` (binary `WMRD` format, recorded
+//! under WO at a fixed seed) and two golden report files,
+//! `<entry>.shb.txt` / `<entry>.wcp.txt`, holding the exact
+//! `PredictReport::render()` text. The analysis is pure and
+//! deterministic, so the files are stable across platforms.
+//! Regenerate the *reports* after an intentional engine change with:
+//!
+//! ```text
+//! WMRD_REGOLD=1 cargo test -p wmrd-xtests --test predict
+//! ```
+//!
+//! The traces themselves are fixtures, not regenerated: the three
+//! `lock-courier` entries were recorded at seeds where the lock handoff
+//! hides the race from hb1, which is exactly the situation the WCP
+//! goldens pin.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use wmrd_cli::{run_cli, CliError};
+use wmrd_core::{PairingPolicy, RaceKey};
+use wmrd_explore::{run_campaign, CampaignSpec};
+use wmrd_predict::{predict, PredictOrder};
+use wmrd_progs::catalog;
+use wmrd_trace::{Metrics, TraceSet};
+
+fn data_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/predict"))
+}
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+/// Loads the committed execution trace of a catalog entry.
+fn committed_trace(name: &str) -> TraceSet {
+    let path = data_dir().join(format!("{name}.bin"));
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing committed trace {} ({e})", path.display()));
+    TraceSet::from_binary(&bytes).expect("committed traces decode")
+}
+
+/// Every catalog entry's rendered predictive report — under both
+/// orders — matches its checked-in golden file: stats, kept/dropped
+/// edge counts, the full key set with provenance marks, and the
+/// verdict are all pinned byte-for-byte.
+#[test]
+fn catalog_reports_match_goldens() {
+    let regold = std::env::var("WMRD_REGOLD").is_ok();
+    let dir = data_dir();
+    let mut mismatches = Vec::new();
+    for entry in catalog::all() {
+        let trace = committed_trace(entry.name);
+        for order in [PredictOrder::Shb, PredictOrder::Wcp] {
+            let report = predict(&trace, entry.name, PairingPolicy::ByRole, order).unwrap();
+            let rendered = report.render();
+            let path = dir.join(format!("{}.{order}.txt", entry.name));
+            if regold {
+                std::fs::write(&path, &rendered).unwrap();
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing golden {}.{order} ({e}); run with WMRD_REGOLD=1", entry.name)
+            });
+            if rendered != expected {
+                mismatches.push(format!(
+                    "== {}.{order}\n-- expected:\n{expected}\n-- got:\n{rendered}",
+                    entry.name
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "predict goldens diverged (WMRD_REGOLD=1 regenerates):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The SHB order is the hb1 baseline by construction: on every
+/// committed trace it predicts exactly the observed identities and
+/// nothing more.
+#[test]
+fn shb_predicts_exactly_the_observed_races() {
+    for entry in catalog::all() {
+        let trace = committed_trace(entry.name);
+        let report = predict(&trace, entry.name, PairingPolicy::ByRole, PredictOrder::Shb).unwrap();
+        assert_eq!(
+            report.keys, report.observed,
+            "{}: SHB must equal hb1 on the same trace",
+            entry.name
+        );
+        assert_eq!(report.predicted_only().count(), 0, "{}", entry.name);
+    }
+}
+
+/// The soundness gate, enforced against real executions: every identity
+/// the WCP order predicts from one committed trace must be observed by
+/// some seed of a real 64-seed explore campaign over the same program.
+/// A prediction no schedule can reach is a false positive, and a single
+/// one fails the build.
+#[test]
+fn predictions_are_campaign_reachable() {
+    let metrics = Metrics::disabled();
+    let mut violations = Vec::new();
+    for entry in catalog::all() {
+        let trace = committed_trace(entry.name);
+        let report = predict(&trace, entry.name, PairingPolicy::ByRole, PredictOrder::Wcp).unwrap();
+        if report.keys.is_empty() {
+            continue;
+        }
+        let campaign =
+            run_campaign(&entry.program, &CampaignSpec::new(0, 64), 2, &metrics).unwrap();
+        let reached: BTreeSet<RaceKey> = campaign.keys().copied().collect();
+        for key in &report.keys {
+            if !reached.contains(key) {
+                violations.push(format!(
+                    "program {}: predicted {key:?} was not reached by any campaign seed",
+                    entry.name
+                ));
+            }
+        }
+    }
+    assert!(violations.is_empty(), "prediction soundness violations:\n{}", violations.join("\n"));
+}
+
+/// The weakening pays for itself and never lies: on the race-free
+/// entries WCP predicts nothing (zero false predictions over the full
+/// catalog), while at least three racy entries yield a race hb1 misses
+/// on the same trace (`predicted-only` — the E15 domination claim).
+#[test]
+fn weakening_dominates_hb1_without_false_predictions() {
+    let mut dominated = Vec::new();
+    for entry in catalog::all() {
+        let trace = committed_trace(entry.name);
+        let report = predict(&trace, entry.name, PairingPolicy::ByRole, PredictOrder::Wcp).unwrap();
+        if !entry.racy {
+            assert!(
+                report.is_race_free(),
+                "{} is race-free but WCP predicted {:?}",
+                entry.name,
+                report.keys
+            );
+        }
+        if report.predicted_only().count() > 0 {
+            dominated.push(entry.name);
+        }
+    }
+    assert!(
+        dominated.len() >= 3,
+        "predicted ∪ observed must strictly dominate single-seed hb1 on ≥ 3 entries, got {dominated:?}"
+    );
+}
+
+/// The CLI surface over a committed trace file: `wmrd predict` decodes
+/// the binary trace, exits with findings, and marks the yield that goes
+/// beyond hb1 as `predicted-only`.
+#[test]
+fn cli_predicts_from_committed_trace_files() {
+    let path = data_dir().join("lazy-publish-racy.bin");
+    let err = run_cli(&argv(&format!("predict {} --order wcp", path.display()))).unwrap_err();
+    let CliError::PredictFindings { output, findings } = err else {
+        panic!("the committed lazy-publish-racy trace must predict a race")
+    };
+    assert_eq!(findings, 1, "{output}");
+    assert!(output.contains("[predicted-only]"), "{output}");
+    assert!(output.contains("verdict: RACES PREDICTED"), "{output}");
+
+    let clean = run_cli(&argv(&format!(
+        "predict {} --order wcp",
+        data_dir().join("counter-locked.bin").display()
+    )))
+    .unwrap();
+    assert!(clean.contains("verdict: predictively race-free"), "{clean}");
+}

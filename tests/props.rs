@@ -4,7 +4,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use wmrd_catalog::journal::{self, JournalRecord, RaceObservation};
+use wmrd_catalog::journal::{self, JournalRecord, Provenance, RaceObservation};
 use wmrd_catalog::{Catalog, Query};
 use wmrd_core::{
     event_race_keys, PairingPolicy, PostMortem, RaceKey, SideKey, StreamDetector, VectorClock,
@@ -31,6 +31,13 @@ fn observation_from(x: u64) -> RaceObservation {
     RaceObservation {
         key: RaceKey::new(Location::new((x % 8) as u32), side(x >> 3), side(x >> 7)),
         first_partition: x & 1 != 0,
+        // Bits 1-2 of the input pick the provenance so the generators
+        // cover observed, predicted, and both (never empty).
+        provenance: match (x >> 1) & 3 {
+            0 => Provenance::OBSERVED,
+            1 => Provenance::PREDICTED,
+            _ => Provenance::OBSERVED | Provenance::PREDICTED,
+        },
     }
 }
 
@@ -47,11 +54,22 @@ fn records_from(seeds: &[u64]) -> Vec<JournalRecord> {
             model: Some(["WO", "RCsc", "SC"][(s % 3) as usize].to_string()),
             seed: Some(s),
             events: (s % 100) + 1,
-            races: (0..s % 5)
-                .map(|j| observation_from(s.wrapping_mul(2_654_435_761).wrapping_add(j * 97)))
-                .collect(),
+            races: sorted_races(
+                (0..s % 5)
+                    .map(|j| observation_from(s.wrapping_mul(2_654_435_761).wrapping_add(j * 97)))
+                    .collect(),
+            ),
+            amend: false,
         })
         .collect()
+}
+
+/// Restores the documented `JournalRecord.races` invariant (sorted by
+/// key, deduplicated) over generator output.
+fn sorted_races(mut races: Vec<RaceObservation>) -> Vec<RaceObservation> {
+    races.sort_by(|a, b| a.key.cmp(&b.key));
+    races.dedup_by(|a, b| a.key == b.key);
+    races
 }
 
 proptest! {
@@ -550,6 +568,75 @@ proptest! {
         for r in &records {
             let outcome = forward.ingest(r).unwrap();
             prop_assert!(outcome.duplicate);
+            prop_assert_eq!(outcome.new_races, 0);
+        }
+        prop_assert_eq!(forward.query(&Query::Races).unwrap(), before);
+    }
+
+    /// Amendment records (the `PREDICT` verb's journal form) round-trip
+    /// through the journal encoding, commute with each other, and are
+    /// idempotent: re-applying an amendment is a duplicate that changes
+    /// nothing. Text and JSON renderings must agree on the invariance.
+    #[test]
+    fn catalog_amendments_commute_and_roundtrip(seeds in vec(0u64..1_000_000, 1..8)) {
+        let records = records_from(&seeds);
+        let amendments: Vec<JournalRecord> = records
+            .iter()
+            .zip(&seeds)
+            .map(|(r, &s)| JournalRecord {
+                races: sorted_races(
+                    (0..s % 4)
+                        .map(|j| {
+                            let mut o = observation_from(
+                                s.wrapping_mul(1_640_531_527).wrapping_add(j * 131),
+                            );
+                            o.provenance = Provenance::PREDICTED;
+                            o.first_partition = false;
+                            o
+                        })
+                        .collect(),
+                ),
+                amend: true,
+                ..r.clone()
+            })
+            .collect();
+
+        // Journal round-trip preserves the amend flag and provenance.
+        let all: Vec<JournalRecord> =
+            records.iter().chain(&amendments).cloned().collect();
+        let bytes = journal::encode(&all).unwrap();
+        let (back, salvage) = journal::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &all);
+        prop_assert!(salvage.complete);
+
+        // Amendments commute: forward vs reversed amendment order
+        // yields byte-identical text and JSON renderings.
+        let mut forward = Catalog::in_memory();
+        let mut reversed = Catalog::in_memory();
+        for r in &records {
+            forward.ingest(r).unwrap();
+            reversed.ingest(r).unwrap();
+        }
+        for a in &amendments {
+            forward.ingest(a).unwrap();
+        }
+        for a in amendments.iter().rev() {
+            reversed.ingest(a).unwrap();
+        }
+        for q in [Query::Races, Query::Traces] {
+            prop_assert_eq!(forward.query(&q).unwrap(), reversed.query(&q).unwrap());
+            prop_assert_eq!(
+                forward.query_json(&q).unwrap(),
+                reversed.query_json(&q).unwrap()
+            );
+        }
+
+        // Idempotence: re-amending adds no knowledge and is reported
+        // as a duplicate.
+        let before = forward.query(&Query::Races).unwrap();
+        for a in &amendments {
+            let outcome = forward.ingest(a).unwrap();
+            prop_assert!(outcome.duplicate || a.races.is_empty());
             prop_assert_eq!(outcome.new_races, 0);
         }
         prop_assert_eq!(forward.query(&Query::Races).unwrap(), before);

@@ -449,6 +449,111 @@ fn streams_and_submissions_interleave_into_one_catalog() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `PREDICT` re-analyzes a retained submission predictively and amends
+/// the cataloged entry with the predicted identities: provenance shows
+/// up in both text and JSON query renderings, re-prediction is an
+/// idempotent no-op, and bad orders or forgotten digests come back as
+/// typed query errors.
+#[test]
+fn predict_amends_retained_traces_with_typed_errors() {
+    let dir = scratch("predict");
+    let (endpoint, join) = start(&dir, ServeConfig::default());
+
+    let mut client = Client::connect(&endpoint).unwrap();
+    let body = weak_trace(&catalog::fig1a().program, "fig1a", 1).to_binary();
+    let verdict = submit_until_accepted(&mut client, &body);
+    assert!(verdict.starts_with("ingested"), "{verdict}");
+    let digest = verdict.split_whitespace().nth(1).unwrap().to_string();
+
+    // A bad order token is a typed query error, not a dropped line.
+    match client.predict(&digest, Some("hb9")).unwrap() {
+        Reply::Err { code, message } => {
+            assert_eq!(code, wmrd_serve::ErrorCode::Query);
+            assert!(message.contains("shb|wcp"), "{message}");
+        }
+        other => panic!("expected a typed error for a bad order, got {other:?}"),
+    }
+
+    // Default order is wcp; the reply names the digest and tallies.
+    let payload = match client.predict(&digest, None).unwrap() {
+        Reply::Ok(payload) => String::from_utf8(payload).unwrap(),
+        other => panic!("PREDICT failed: {other:?}"),
+    };
+    assert!(payload.starts_with(&format!("predicted {digest} order=wcp keys=")), "{payload}");
+
+    // Predicting again adds no knowledge: the amendment dedups.
+    let repeat = match client.predict(&digest, Some("wcp")).unwrap() {
+        Reply::Ok(payload) => String::from_utf8(payload).unwrap(),
+        other => panic!("repeat PREDICT failed: {other:?}"),
+    };
+    assert!(repeat.contains("new=0"), "{repeat}");
+
+    // Provenance reaches both query renderings.
+    let races = query_text(&endpoint, "races");
+    assert!(races.contains("provenance=observed"), "{races}");
+    let json = query_text(&endpoint, "json:races");
+    assert!(json.contains("\"provenance\":"), "{json}");
+    assert!(json.starts_with("{\"races\":["), "{json}");
+
+    // An unknown digest is a typed query error.
+    match client.predict("deadbeef", None).unwrap() {
+        Reply::Err { code, message } => {
+            assert_eq!(code, wmrd_serve::ErrorCode::Query);
+            assert!(message.contains("not retained"), "{message}");
+        }
+        other => panic!("expected a typed error for an unknown digest, got {other:?}"),
+    }
+
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.predictions, 2, "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention is working-set state, not durable: a restarted daemon
+/// answers `PREDICT` for an old digest with a typed "resubmit" error,
+/// while the amended provenance replays from the journal — and
+/// resubmitting the same bytes re-retains the trace, after which a
+/// replayed prediction adds nothing.
+#[test]
+fn predict_retention_is_not_durable_but_amendments_are() {
+    let dir = scratch("predict-restart");
+    let journal = dir.join("races.journal");
+    let config = ServeConfig { catalog: Some(journal.clone()), ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    let body = weak_trace(&catalog::fig1a().program, "fig1a", 1).to_binary();
+    let verdict = submit_until_accepted(&mut client, &body);
+    let digest = verdict.split_whitespace().nth(1).unwrap().to_string();
+    match client.predict(&digest, None).unwrap() {
+        Reply::Ok(_) => {}
+        other => panic!("PREDICT failed: {other:?}"),
+    }
+    let races = query_text(&endpoint, "races");
+    drain(&endpoint, join);
+
+    let config = ServeConfig { catalog: Some(journal.clone()), ..ServeConfig::default() };
+    let (endpoint, join) = start(&dir, config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    match client.predict(&digest, None).unwrap() {
+        Reply::Err { code, message } => {
+            assert_eq!(code, wmrd_serve::ErrorCode::Query);
+            assert!(message.contains("resubmit"), "{message}");
+        }
+        other => panic!("expected a typed error after restart, got {other:?}"),
+    }
+    assert_eq!(query_text(&endpoint, "races"), races, "amendments must survive the restart");
+    let verdict = submit_until_accepted(&mut client, &body);
+    assert!(verdict.starts_with("duplicate"), "{verdict}");
+    let payload = match client.predict(&digest, None).unwrap() {
+        Reply::Ok(payload) => String::from_utf8(payload).unwrap(),
+        other => panic!("PREDICT after resubmission failed: {other:?}"),
+    };
+    assert!(payload.contains("new=0"), "a replayed prediction adds nothing: {payload}");
+    let summary = drain(&endpoint, join);
+    assert_eq!(summary.predictions, 1, "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The session-slot bound is a typed `BUSY`, and a client that
 /// vanishes mid-stream (half a record in flight) has its slot
 /// reclaimed — no leak, no wedged daemon.
