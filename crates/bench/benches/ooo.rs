@@ -1,0 +1,93 @@
+//! Cost of the out-of-order pipeline backend relative to the two
+//! existing weak machines. Three axes: the per-run surcharge of the
+//! ROB/renaming/fill machinery on a fixed workload (`backends`), what
+//! the conditioned drain rules cost against raw speculation
+//! (`fidelity`), and the campaign-scale path — machine reuse across a
+//! seed sweep — that `wmrd explore --hw ooo` exercises (`campaign`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wmrd_progs::catalog;
+use wmrd_sim::{
+    run_weak_hw, CampaignRunner, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched,
+    RunConfig,
+};
+use wmrd_trace::NullSink;
+
+fn one_run(program: &Program, hw: HwImpl, fidelity: Fidelity, seed: u64) -> u64 {
+    let mut sched = RandomWeakSched::new(seed, 0.3);
+    let mut sink = NullSink::new();
+    run_weak_hw(
+        hw,
+        program,
+        MemoryModel::Wo,
+        fidelity,
+        &mut sched,
+        &mut sink,
+        RunConfig::default(),
+    )
+    .expect("bench programs run to completion")
+    .steps
+}
+
+fn bench_ooo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ooo");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // The same workload on all three backends: the gap between `ooo`
+    // and the other two is the pipeline's bookkeeping surcharge.
+    let entry = catalog::work_queue_buggy();
+    for hw in HwImpl::ALL {
+        group.bench_with_input(BenchmarkId::new("backends", hw), &entry.program, |b, p| {
+            b.iter(|| one_run(p, hw, Fidelity::Conditioned, 3));
+        });
+    }
+
+    // Conditioned vs raw on the pipeline: what the Condition 3.4 drain
+    // rules cost (full pipeline drains at every sync operation).
+    let ping = catalog::ping_pong();
+    for fidelity in [Fidelity::Conditioned, Fidelity::Raw] {
+        let tag = match fidelity {
+            Fidelity::Conditioned => "conditioned",
+            Fidelity::Raw => "raw",
+        };
+        group.bench_with_input(BenchmarkId::new("fidelity", tag), &ping.program, |b, p| {
+            b.iter(|| one_run(p, HwImpl::Ooo, fidelity, 3));
+        });
+    }
+
+    // The explore path: one reused machine across a seed sweep.
+    const SEEDS: u64 = 16;
+    group.throughput(Throughput::Elements(SEEDS));
+    for hw in [HwImpl::StoreBuffer, HwImpl::Ooo] {
+        group.bench_with_input(BenchmarkId::new("campaign", hw), &entry.program, |b, p| {
+            b.iter(|| {
+                let mut runner = CampaignRunner::new(
+                    Arc::new(p.clone()),
+                    hw,
+                    MemoryModel::Wo,
+                    Fidelity::Conditioned,
+                    RunConfig::default(),
+                )
+                .expect("catalog programs validate");
+                let mut steps = 0;
+                for seed in 0..SEEDS {
+                    let mut sched = RandomWeakSched::new(seed, 0.3);
+                    steps += runner
+                        .run(&mut sched, &mut NullSink::new())
+                        .expect("bench programs run to completion")
+                        .steps;
+                }
+                steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ooo);
+criterion_main!(benches);

@@ -298,8 +298,9 @@ fn parse_hw(s: &str) -> Result<HwImpl, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "store-buffer" => Ok(HwImpl::StoreBuffer),
         "inval-queue" => Ok(HwImpl::InvalQueue),
+        "ooo" => Ok(HwImpl::Ooo),
         other => Err(CliError::Usage(format!(
-            "unknown hardware `{other}` (expected store-buffer|inval-queue)"
+            "unknown hardware `{other}` (expected store-buffer|inval-queue|ooo)"
         ))),
     }
 }
@@ -798,7 +799,7 @@ USAGE:
   wmrd run <name|file.json> [flags]    execute and optionally record traces
       --model sc|wo|rcsc|drf0|drf1       memory model (default sc)
       --fidelity conditioned|raw         honour Condition 3.4 (default) or not
-      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --hw store-buffer|inval-queue|ooo  weak hardware style (default store-buffer)
       --seed <n>                         scheduler seed (default 0)
       --trace <file>                     write the event trace (JSON)
       --binary                           ...in the compact binary format
@@ -825,7 +826,8 @@ USAGE:
       --budget <n>                       per-execution step budget
       --cycle-budget <n>                 per-execution cycle budget
       --model m1,m2                      memory models to cross (default wo)
-      --hw h1,h2                         hardware styles to cross (default store-buffer)
+      --hw h1,h2                         hardware styles to cross (default
+                                         store-buffer; ooo = out-of-order pipeline)
       --drain p1,p2                      drain probabilities to cross (default 0.3)
       --fidelity conditioned|raw         honour Condition 3.4 (default) or not
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
@@ -858,7 +860,7 @@ USAGE:
       --format text|json                 output format (default text)
       --model sc|wo|rcsc|drf0|drf1       model when executing a program (default wo)
       --fidelity conditioned|raw         honour Condition 3.4 (default) or not
-      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --hw store-buffer|inval-queue|ooo  weak hardware style (default store-buffer)
       --seed <n>                         scheduler seed for the one trace (default 0)
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
       --metrics <file>                   write a RunMetrics report (JSON)
@@ -880,7 +882,7 @@ USAGE:
                                        see SERVING.md)
       --model sc|wo|rcsc|drf0|drf1       memory model (default wo)
       --fidelity conditioned|raw         honour Condition 3.4 (default) or not
-      --hw store-buffer|inval-queue      weak hardware style (default store-buffer)
+      --hw store-buffer|inval-queue|ooo  weak hardware style (default store-buffer)
       --seed <n>                         scheduler seed (default 0)
       --chunk <bytes>                    FEED chunk size (default 4096)
       --session <name>                   session name (default <program>-<seed>)
@@ -1262,5 +1264,57 @@ mod tests {
         assert!(matches!(parse(&argv("explore x --drain 0.3,high")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("explore x --jobs many")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("explore x --bogus")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn every_hw_variant_parses_on_every_surface() {
+        // A new backend must reach every `--hw` surface; a variant that
+        // parses on `run` but silently falls back to the default on
+        // `explore --prune-static`/`--predict` would skew campaigns.
+        for hw in HwImpl::ALL {
+            let name = hw.to_string();
+
+            let Command::Run(opts) = parse(&argv(&format!("run fig1a --hw {name}"))).unwrap()
+            else {
+                panic!("expected run")
+            };
+            assert_eq!(opts.hw, hw, "run --hw {name}");
+
+            let Command::Check(opts) = parse(&argv(&format!("check fig1a --hw {name}"))).unwrap()
+            else {
+                panic!("expected check")
+            };
+            assert_eq!(opts.hw, hw, "check --hw {name}");
+
+            let Command::Explore(opts) = parse(&argv(&format!(
+                "explore fig1a --hw {name} --prune-static --predict"
+            )))
+            .unwrap() else {
+                panic!("expected explore")
+            };
+            assert_eq!(opts.hws, vec![hw], "explore --hw {name}");
+            assert!(opts.prune_static && opts.predict, "flags survive --hw {name}");
+
+            let Command::Predict(opts) =
+                parse(&argv(&format!("predict fig1a --hw {name}"))).unwrap()
+            else {
+                panic!("expected predict")
+            };
+            assert_eq!(opts.hw, hw, "predict --hw {name}");
+
+            let Command::Stream(opts) =
+                parse(&argv(&format!("stream fig1a --to unix:/tmp/w.sock --hw {name}"))).unwrap()
+            else {
+                panic!("expected stream")
+            };
+            assert_eq!(opts.hw, hw, "stream --hw {name}");
+        }
+        // The list parser used by explore accepts every variant at once.
+        let all = HwImpl::ALL.map(|h| h.to_string()).join(",");
+        let Command::Explore(opts) = parse(&argv(&format!("explore fig1a --hw {all}"))).unwrap()
+        else {
+            panic!("expected explore")
+        };
+        assert_eq!(opts.hws, HwImpl::ALL.to_vec());
     }
 }

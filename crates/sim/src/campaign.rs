@@ -19,15 +19,16 @@ use wmrd_trace::TraceSink;
 
 use crate::run::{drive_weak, WeakExec};
 use crate::{
-    Fidelity, HwImpl, InvalMachine, MemoryModel, Program, RunConfig, RunOutcome, SimError,
-    WeakMachine, WeakScheduler,
+    Fidelity, HwImpl, InvalMachine, MemoryModel, OooMachine, Program, RunConfig, RunOutcome,
+    SimError, WeakMachine, WeakScheduler,
 };
 
-/// Either weak machine, behind one face.
+/// Any weak machine, behind one face.
 #[derive(Debug, Clone)]
 enum Machine {
     Weak(WeakMachine),
     Inval(InvalMachine),
+    Ooo(OooMachine),
 }
 
 /// Runs one program repeatedly on one hardware configuration, reusing
@@ -102,6 +103,9 @@ impl CampaignRunner {
                 fidelity,
                 config.timing,
             )?),
+            HwImpl::Ooo => {
+                Machine::Ooo(OooMachine::new(Arc::clone(&program), model, fidelity, config.timing)?)
+            }
         };
         Ok(CampaignRunner { program, hw, config, machine })
     }
@@ -121,6 +125,7 @@ impl CampaignRunner {
         match &self.machine {
             Machine::Weak(m) => m.model(),
             Machine::Inval(m) => m.model(),
+            Machine::Ooo(m) => m.model(),
         }
     }
 
@@ -158,6 +163,10 @@ impl CampaignRunner {
                 drive_weak(m, scheduler, sink, &self.config)
             }
             Machine::Inval(m) => {
+                m.exec_reset();
+                drive_weak(m, scheduler, sink, &self.config)
+            }
+            Machine::Ooo(m) => {
                 m.exec_reset();
                 drive_weak(m, scheduler, sink, &self.config)
             }
@@ -200,7 +209,7 @@ mod tests {
 
     #[test]
     fn reused_machine_matches_fresh_machine() {
-        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+        for hw in HwImpl::ALL {
             for model in [MemoryModel::Sc, MemoryModel::Wo, MemoryModel::RCsc] {
                 let mut runner = CampaignRunner::new(
                     Arc::new(racy_program()),

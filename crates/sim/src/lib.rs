@@ -83,6 +83,7 @@ mod inval;
 mod isa;
 mod machine;
 mod model;
+mod ooo;
 mod program;
 mod run;
 mod sched;
@@ -98,8 +99,11 @@ pub use inval::{InvalMachine, PendingInval};
 pub use isa::{Addr, Instr, Operand, Reg};
 pub use machine::{MemCell, ScMachine, StepEvent};
 pub use model::{Fidelity, MemoryModel};
+pub use ooo::OooMachine;
 pub use program::Program;
-pub use run::{run_inval, run_sc, run_sc_on, run_weak, run_weak_hw, HwImpl, RunConfig, RunOutcome};
+pub use run::{
+    run_inval, run_ooo, run_sc, run_sc_on, run_weak, run_weak_hw, HwImpl, RunConfig, RunOutcome,
+};
 pub use sched::{
     DrainView, FixedScript, RandomSched, RandomWeakSched, RoundRobin, Scheduler, WeakAction,
     WeakRoundRobin, WeakScheduler, WeakScript,

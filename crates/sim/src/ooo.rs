@@ -1,0 +1,1552 @@
+//! The out-of-order machine: a speculative pipelined core per processor.
+//!
+//! [`OooMachine`] is the workspace's third weak-hardware backend and its
+//! most realistic one. Where [`WeakMachine`](crate::WeakMachine) models
+//! only writer-side reordering (store buffers) and
+//! [`InvalMachine`](crate::InvalMachine) only reader-side staleness
+//! (invalidation queues), this machine models the place real weak
+//! behaviour originates: a speculative out-of-order pipeline. Each core
+//! has
+//!
+//! * a **reorder buffer** (ROB) holding in-flight memory operations in
+//!   program order, retired strictly in order;
+//! * **register renaming via an alias table** (RAT): each register
+//!   tracks its newest in-flight producer, so younger independent
+//!   instructions proceed while older loads are still waiting on memory;
+//! * **reservation stations** holding register-only instructions whose
+//!   operands are not ready yet; they execute the moment the last
+//!   operand arrives on the bypass network;
+//! * a **store buffer** fed by retired stores, drained to shared memory
+//!   out of order (per-location program order preserved), forwarding to
+//!   younger loads of the same core; and
+//! * **load-fill slots**: an issued load occupies its ROB slot with no
+//!   value until a scheduler-chosen *fill* binds it from memory (or from
+//!   an older in-flight store) — so loads complete out of program order,
+//!   the reader-side reordering neither other backend can exhibit.
+//!
+//! All nondeterminism stays in the scheduler, exactly as for the other
+//! weak machines: `Step(p)` issues (or, for a stalled pipeline, forces
+//! one fill), and `Drain(p, i)` completes one pending entry — a load
+//! fill or a store-buffer drain. The machine itself has no randomness,
+//! so a fixed program and scheduler seed produce byte-identical traces
+//! and statistics at any worker count.
+//!
+//! With [`Fidelity::Conditioned`] (the default) the machine honours the
+//! paper's Condition 3.4: fences and synchronization *writes* drain the
+//! ROB and store buffer before executing strongly (retirement
+//! atomicity — slightly more conservative than the store-buffer machine,
+//! which lets RCsc `Test&Set` writes bypass a full flush), and
+//! synchronization *reads* drain according to
+//! [`MemoryModel::sync_read_drains`] — so under RCsc/DRF1 an acquire may
+//! still overlap older pending data loads, the reordering release
+//! consistency permits. Every execution therefore has a sequentially
+//! consistent completion per partition. With [`Fidelity::Raw`],
+//! synchronization operations enter the speculative window like data
+//! operations and nothing drains implicitly (explicit `Fence` still
+//! does); that hypothetical hardware violates Condition 3.4 and exists
+//! for the same ablation as the raw store-buffer machine.
+//!
+//! Traces stay exact: every memory operation is reported to the
+//! [`TraceSink`] at *retirement*, which is in program order per
+//! processor, so operation identities, pairing, and the v2 trace format
+//! are unchanged and the whole analysis pipeline (analyze, serve,
+//! stream, predict) consumes OoO traces without modification. Values and
+//! observed writers are captured at fill time; forwards from a
+//! not-yet-retired store are resolved to the store's operation id when
+//! the store retires, which in-order retirement guarantees happens
+//! before the forwarded load retires.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use wmrd_trace::{AccessKind, Location, OpId, ProcId, SyncRole, TraceSink, Value};
+
+use crate::cpu::LocalOutcome;
+use crate::machine::MemCell;
+use crate::weak::BufferedWrite;
+use crate::{
+    CoreState, Fidelity, Instr, MemoryModel, Operand, Program, Reg, SimError, SimStats, StepEvent,
+    Timing,
+};
+
+/// Reorder-buffer capacity per core: the speculation window. A core
+/// whose ROB is full stalls until the scheduler fills the load at its
+/// head.
+const ROB_CAPACITY: usize = 16;
+
+/// Reservation-station capacity per core.
+const STATION_CAPACITY: usize = 8;
+
+/// Where a load's value (or a sync read's observed write) came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FillSrc {
+    /// Forwarded from an older in-flight store still in the ROB,
+    /// identified by its serial; rewritten to [`FillSrc::Resolved`] when
+    /// that store retires and receives its operation id.
+    Rob { serial: u64, sync: bool },
+    /// A resolved writer identity: from the store buffer, from global
+    /// memory, or a patched ROB forward.
+    Resolved { writer: Option<OpId>, writer_sync: bool },
+}
+
+impl FillSrc {
+    fn resolved(self) -> (Option<OpId>, bool) {
+        match self {
+            // In-order retirement resolves every ROB forward before the
+            // consuming entry retires.
+            FillSrc::Rob { .. } => unreachable!("unresolved ROB forward at retirement"),
+            FillSrc::Resolved { writer, writer_sync } => (writer, writer_sync),
+        }
+    }
+}
+
+/// A bound load value: what was read, from where, and whether it was a
+/// store forward (for timing and statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Fill {
+    value: Value,
+    src: FillSrc,
+    from_forward: bool,
+}
+
+/// Data access or hardware-recognized synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AccessClass {
+    Data,
+    Sync(SyncRole),
+}
+
+/// One in-flight memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RobOp {
+    /// A load. `fill` is `None` until the scheduler (or a pipeline
+    /// drain) binds its value; `tag` is its rename tag in the RAT.
+    Read { dst: Reg, tag: u64, loc: Location, class: AccessClass, fill: Option<Fill> },
+    /// A store. Non-strong stores enter the store buffer at retirement;
+    /// strong stores (SC model, conditioned sync writes — only ever
+    /// pushed onto an empty ROB) write shared memory at retirement.
+    Write { loc: Location, value: Value, class: AccessClass, strong: bool },
+    /// A `Test&Set`: the read bound at issue, the write completing at
+    /// retirement (strongly when conditioned, else into the store
+    /// buffer).
+    TestSet { loc: Location, old: Value, observed: FillSrc, strong: bool },
+}
+
+/// One reorder-buffer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RobEntry {
+    serial: u64,
+    op: RobOp,
+}
+
+impl RobEntry {
+    fn complete(&self) -> bool {
+        match self.op {
+            RobOp::Read { fill, .. } => fill.is_some(),
+            RobOp::Write { .. } | RobOp::TestSet { .. } => true,
+        }
+    }
+}
+
+/// A reservation-station operand: a captured value or a wait on the
+/// bypass tag of an in-flight producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Src {
+    Val(i64),
+    Tag(u64),
+}
+
+/// Register-only operations a reservation station can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AluKind {
+    Mov,
+    Add,
+    Sub,
+    Mul,
+    CmpEq,
+    CmpLt,
+}
+
+/// A deferred register-only instruction waiting for operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Station {
+    tag: u64,
+    dst: Reg,
+    kind: AluKind,
+    a: Src,
+    b: Src,
+}
+
+impl Station {
+    fn ready(&self) -> bool {
+        matches!(self.a, Src::Val(_)) && matches!(self.b, Src::Val(_))
+    }
+
+    fn subst(&mut self, tag: u64, value: i64) {
+        if self.a == Src::Tag(tag) {
+            self.a = Src::Val(value);
+        }
+        if self.b == Src::Tag(tag) {
+            self.b = Src::Val(value);
+        }
+    }
+
+    fn compute(&self) -> i64 {
+        let (Src::Val(a), Src::Val(b)) = (self.a, self.b) else {
+            unreachable!("station executed before operands arrived")
+        };
+        match self.kind {
+            AluKind::Mov => a,
+            AluKind::Add => a.wrapping_add(b),
+            AluKind::Sub => a.wrapping_sub(b),
+            AluKind::Mul => a.wrapping_mul(b),
+            AluKind::CmpEq => i64::from(a == b),
+            AluKind::CmpLt => i64::from(a < b),
+        }
+    }
+}
+
+/// Register alias table: each architectural register is `Ready` (its
+/// value is in the register file) or `Pending` on the bypass tag of its
+/// newest in-flight producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RegStatus {
+    Ready,
+    Pending(u64),
+}
+
+/// A pending pipeline entry the scheduler can complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingRef {
+    /// ROB position of an unfilled load.
+    Fill(usize),
+    /// Store-buffer index.
+    Buf(usize),
+}
+
+/// A multiprocessor of speculative out-of-order pipelined cores,
+/// parameterized by weak memory model and fidelity to Condition 3.4.
+#[derive(Debug, Clone)]
+pub struct OooMachine {
+    program: Arc<Program>,
+    cores: Vec<CoreState>,
+    mem: Vec<MemCell>,
+    robs: Vec<Vec<RobEntry>>,
+    stations: Vec<Vec<Station>>,
+    rats: Vec<[RegStatus; crate::NUM_REGS]>,
+    bufs: Vec<Vec<BufferedWrite>>,
+    serials: Vec<u64>,
+    model: MemoryModel,
+    fidelity: Fidelity,
+    cycles: Vec<u64>,
+    timing: Timing,
+    steps: u64,
+    stats: SimStats,
+}
+
+impl OooMachine {
+    /// Creates a machine at the program's initial state.
+    ///
+    /// Passing [`MemoryModel::Sc`] disables speculation entirely — every
+    /// operation executes strongly at issue and retires immediately —
+    /// mirroring the bufferless SC mode of the other weak machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// [`Program::validate`].
+    pub fn new(
+        program: Arc<Program>,
+        model: MemoryModel,
+        fidelity: Fidelity,
+        timing: Timing,
+    ) -> Result<Self, SimError> {
+        program.validate()?;
+        let n = program.num_procs();
+        let cores = (0..n).map(|i| CoreState::new(ProcId::new(i as u16))).collect();
+        let mem = program.initial_memory().into_iter().map(MemCell::initial).collect();
+        Ok(OooMachine {
+            program,
+            cores,
+            mem,
+            robs: vec![Vec::new(); n],
+            stations: vec![Vec::new(); n],
+            rats: vec![[RegStatus::Ready; crate::NUM_REGS]; n],
+            bufs: vec![Vec::new(); n],
+            serials: vec![0; n],
+            model,
+            fidelity,
+            cycles: vec![0; n],
+            timing,
+            steps: 0,
+            stats: SimStats::default(),
+        })
+    }
+
+    /// The memory model this machine implements.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Whether the machine honours Condition 3.4.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Restores the machine to the program's initial state without
+    /// re-validating or re-cloning the program. In-flight state is
+    /// discarded, not drained — the caller is abandoning the previous
+    /// execution.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            *core = CoreState::new(core.proc);
+        }
+        self.mem.clear();
+        self.mem.extend(self.program.initial_memory().into_iter().map(MemCell::initial));
+        self.robs.iter_mut().for_each(Vec::clear);
+        self.stations.iter_mut().for_each(Vec::clear);
+        self.rats.iter_mut().for_each(|r| r.fill(RegStatus::Ready));
+        self.bufs.iter_mut().for_each(Vec::clear);
+        self.serials.iter_mut().for_each(|s| *s = 0);
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.steps = 0;
+        self.stats = SimStats::default();
+    }
+
+    /// The state of one core.
+    pub fn core(&self, proc: ProcId) -> Option<&CoreState> {
+        self.cores.get(proc.index())
+    }
+
+    /// Per-processor accumulated cycles.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Deterministic execution statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Globally visible memory values (speculative and buffered writes
+    /// excluded).
+    pub fn memory_values(&self) -> Vec<Value> {
+        self.mem.iter().map(|c| c.value).collect()
+    }
+
+    /// Memory values as every write *will* land once the pipelines and
+    /// store buffers drain: global memory overlaid with the store
+    /// buffers, then with in-flight ROB stores (youngest last).
+    pub fn settled_memory_values(&self) -> Vec<Value> {
+        let mut mem = self.memory_values();
+        for (buf, rob) in self.bufs.iter().zip(&self.robs) {
+            for w in buf {
+                mem[w.loc.index()] = w.value;
+            }
+            for e in rob {
+                match e.op {
+                    RobOp::Write { loc, value, .. } => mem[loc.index()] = value,
+                    RobOp::TestSet { loc, .. } => mem[loc.index()] = Value::new(1),
+                    RobOp::Read { .. } => {}
+                }
+            }
+        }
+        mem
+    }
+
+    /// Processors that can issue an instruction right now: not halted
+    /// and not stalled on a pending operand, a full ROB, or full
+    /// reservation stations.
+    pub fn runnable(&self) -> Vec<ProcId> {
+        self.cores
+            .iter()
+            .filter(|c| !c.is_halted() && self.can_issue(c.proc))
+            .map(|c| c.proc)
+            .collect()
+    }
+
+    /// `true` once every processor has halted (pipelines may still hold
+    /// in-flight work; see [`pipelines_empty`](Self::pipelines_empty)).
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// `true` iff no ROB entry, reservation station, or buffered write
+    /// is pending anywhere.
+    pub fn pipelines_empty(&self) -> bool {
+        self.robs.iter().all(Vec::is_empty)
+            && self.stations.iter().all(Vec::is_empty)
+            && self.bufs.iter().all(Vec::is_empty)
+    }
+
+    /// The next instruction a processor would issue (`None` if halted).
+    pub fn next_instr(&self, proc: ProcId) -> Option<Instr> {
+        let core = self.cores.get(proc.index())?;
+        if core.is_halted() {
+            return None;
+        }
+        self.program.proc_code(proc)?.get(core.pc()).copied()
+    }
+
+    /// The retired-but-undrained writes of one processor, oldest first.
+    pub fn store_buffer(&self, proc: ProcId) -> &[BufferedWrite] {
+        self.bufs.get(proc.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of in-flight ROB entries for one processor.
+    pub fn rob_len(&self, proc: ProcId) -> usize {
+        self.robs.get(proc.index()).map_or(0, Vec::len)
+    }
+
+    /// Number of issued loads still waiting for their fill.
+    pub fn pending_fills(&self, proc: ProcId) -> usize {
+        self.robs
+            .get(proc.index())
+            .map_or(0, |rob| rob.iter().filter(|e| !e.complete()).count())
+    }
+
+    /// Convenience: the value currently in a register of a core (test
+    /// helper; returns 0 for unknown processors).
+    pub fn reg(&self, proc: ProcId, r: Reg) -> i64 {
+        self.cores.get(proc.index()).map_or(0, |c| c.reg(r))
+    }
+
+    /// A hash of the architectural + microarchitectural state.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cores.hash(&mut h);
+        self.mem.hash(&mut h);
+        self.robs.hash(&mut h);
+        self.stations.hash(&mut h);
+        self.rats.hash(&mut h);
+        self.bufs.hash(&mut h);
+        h.finish()
+    }
+
+    /// The pending pipeline entries of `proc`: unfilled loads in ROB
+    /// order, then store-buffer entries oldest first.
+    fn pending(&self, proc: ProcId) -> Vec<PendingRef> {
+        let mut refs = Vec::new();
+        if let Some(rob) = self.robs.get(proc.index()) {
+            for (i, e) in rob.iter().enumerate() {
+                if !e.complete() {
+                    refs.push(PendingRef::Fill(i));
+                }
+            }
+        }
+        if let Some(buf) = self.bufs.get(proc.index()) {
+            for i in 0..buf.len() {
+                refs.push(PendingRef::Buf(i));
+            }
+        }
+        refs
+    }
+
+    /// Pending entries of `proc` that may legally complete *now*: every
+    /// unfilled load (fills carry no ordering constraint — the
+    /// speculative window is what reorders them), and every store-buffer
+    /// entry with no older same-location entry (coherence).
+    pub fn drainable_indices(&self, proc: ProcId) -> Vec<usize> {
+        let Some(buf) = self.bufs.get(proc.index()) else { return Vec::new() };
+        let fills = self.pending_fills(proc);
+        let mut out: Vec<usize> = (0..fills).collect();
+        for (i, w) in buf.iter().enumerate() {
+            if buf[..i].iter().all(|e| e.loc != w.loc) {
+                out.push(fills + i);
+            }
+        }
+        out
+    }
+
+    /// Whether `proc` can issue its next instruction: every operand the
+    /// front end needs (branch conditions, address bases, store data)
+    /// is rename-table ready, and the pipeline has space.
+    fn can_issue(&self, proc: ProcId) -> bool {
+        let Some(instr) = self.next_instr(proc) else { return true };
+        let pi = proc.index();
+        let ready = |r: Reg| self.rats[pi][r.index()] == RegStatus::Ready;
+        let op_ready = |o: Operand| match o {
+            Operand::Reg(r) => ready(r),
+            Operand::Imm(_) => true,
+        };
+        let addr_ready = |a: crate::Addr| match a {
+            crate::Addr::Abs(_) => true,
+            crate::Addr::Ind { base, .. } => ready(base),
+        };
+        let rob_space = self.robs[pi].len() < ROB_CAPACITY;
+        let station_space = self.stations[pi].len() < STATION_CAPACITY;
+        match instr {
+            Instr::Li { .. } | Instr::Jmp { .. } | Instr::Nop | Instr::Halt | Instr::Fence => true,
+            Instr::Mov { src, .. } => ready(src) || station_space,
+            Instr::Add { a, b, .. }
+            | Instr::Sub { a, b, .. }
+            | Instr::Mul { a, b, .. }
+            | Instr::CmpEq { a, b, .. }
+            | Instr::CmpLt { a, b, .. } => (ready(a) && op_ready(b)) || station_space,
+            Instr::Bz { cond, .. } | Instr::Bnz { cond, .. } => ready(cond),
+            Instr::Ld { addr, .. } | Instr::LdAcq { addr, .. } | Instr::LdSync { addr, .. } => {
+                addr_ready(addr) && rob_space
+            }
+            Instr::St { src, addr }
+            | Instr::StRel { src, addr }
+            | Instr::StSync { src, addr } => op_ready(src) && addr_ready(addr) && rob_space,
+            Instr::TestSet { addr, .. } | Instr::Unset { addr } => addr_ready(addr) && rob_space,
+        }
+    }
+
+    /// The value `proc` would read from `loc`, forwarding from the
+    /// newest older in-flight or buffered store: ROB stores with serial
+    /// below `before` (youngest first), then the store buffer (youngest
+    /// first), then global memory.
+    fn visible_before(&self, proc: ProcId, loc: Location, before: u64) -> (Value, FillSrc, bool) {
+        let pi = proc.index();
+        for e in self.robs[pi].iter().rev() {
+            if e.serial >= before {
+                continue;
+            }
+            match e.op {
+                RobOp::Write { loc: l, value, class, strong: false } if l == loc => {
+                    let sync = matches!(class, AccessClass::Sync(_));
+                    return (value, FillSrc::Rob { serial: e.serial, sync }, true);
+                }
+                RobOp::TestSet { loc: l, strong: false, .. } if l == loc => {
+                    return (Value::new(1), FillSrc::Rob { serial: e.serial, sync: true }, true);
+                }
+                _ => {}
+            }
+        }
+        if let Some(w) = self.bufs[pi].iter().rev().find(|w| w.loc == loc) {
+            return (w.value, FillSrc::Resolved { writer: Some(w.op), writer_sync: w.sync }, true);
+        }
+        let cell = &self.mem[loc.index()];
+        (cell.value, FillSrc::Resolved { writer: cell.writer, writer_sync: cell.writer_sync }, false)
+    }
+
+    fn strong_write(&mut self, loc: Location, value: Value, op: OpId, sync: bool) {
+        self.mem[loc.index()] = MemCell { value, writer: Some(op), writer_sync: sync };
+    }
+
+    /// Delivers a bypass value: wakes reservation stations waiting on
+    /// `tag`, executes every station that becomes ready (in allocation
+    /// order), and cascades their results.
+    fn deliver(&mut self, pi: usize, tag: u64, value: i64) {
+        let mut worklist = vec![(tag, value)];
+        while let Some((t, v)) = worklist.pop() {
+            for st in &mut self.stations[pi] {
+                st.subst(t, v);
+            }
+            let mut i = 0;
+            while i < self.stations[pi].len() {
+                if self.stations[pi][i].ready() {
+                    let st = self.stations[pi].remove(i);
+                    let result = st.compute();
+                    if self.rats[pi][st.dst.index()] == RegStatus::Pending(st.tag) {
+                        self.cores[pi].set_reg(st.dst, result);
+                        self.rats[pi][st.dst.index()] = RegStatus::Ready;
+                    }
+                    worklist.push((st.tag, result));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Binds the value of the unfilled load at ROB position `pos`.
+    fn fill_load(&mut self, proc: ProcId, pos: usize) {
+        let pi = proc.index();
+        let entry = self.robs[pi][pos];
+        let RobOp::Read { dst, tag, loc, class, fill: None } = entry.op else {
+            unreachable!("fill target is not an unfilled load")
+        };
+        let (value, src, from_forward) = self.visible_before(proc, loc, entry.serial);
+        if let RobOp::Read { fill, .. } = &mut self.robs[pi][pos].op {
+            *fill = Some(Fill { value, src, from_forward });
+        }
+        if self.rats[pi][dst.index()] == RegStatus::Pending(tag) {
+            self.cores[pi].complete_load(dst, value);
+            self.rats[pi][dst.index()] = RegStatus::Ready;
+        }
+        self.deliver(pi, tag, value.get());
+        self.cycles[pi] +=
+            if from_forward { self.timing.buffer_hit } else { self.timing.mem_access };
+        self.stats.ooo_load_fills += 1;
+        if from_forward {
+            self.stats.ooo_forwards += 1;
+            if matches!(class, AccessClass::Data) {
+                self.stats.buffer_forwards += 1;
+            }
+        } else if matches!(class, AccessClass::Data) && self.remote_pending_store(pi, loc) {
+            self.stats.stale_reads += 1;
+        }
+        if matches!(class, AccessClass::Data) {
+            self.stats.data_reads += 1;
+        }
+    }
+
+    /// `true` iff a processor other than `pi` holds an in-flight or
+    /// buffered write to `loc` (the read just performed is already
+    /// outdated).
+    fn remote_pending_store(&self, pi: usize, loc: Location) -> bool {
+        self.bufs.iter().enumerate().any(|(i, b)| i != pi && b.iter().any(|w| w.loc == loc))
+            || self.robs.iter().enumerate().any(|(i, rob)| {
+                i != pi
+                    && rob.iter().any(|e| {
+                        matches!(e.op, RobOp::Write { loc: l, .. } if l == loc)
+                            || matches!(e.op, RobOp::TestSet { loc: l, .. } if l == loc)
+                    })
+            })
+    }
+
+    /// Rewrites every unresolved forward reference to store serial
+    /// `serial` of processor `pi` to the resolved operation id.
+    fn patch_forwards(&mut self, pi: usize, serial: u64, op: OpId, sync: bool) {
+        for e in &mut self.robs[pi] {
+            match &mut e.op {
+                RobOp::Read { fill: Some(f), .. } => {
+                    if f.src == (FillSrc::Rob { serial, sync }) {
+                        f.src = FillSrc::Resolved { writer: Some(op), writer_sync: sync };
+                    }
+                }
+                RobOp::TestSet { observed, .. } => {
+                    if *observed == (FillSrc::Rob { serial, sync }) {
+                        *observed = FillSrc::Resolved { writer: Some(op), writer_sync: sync };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Retires every complete entry at the head of `proc`'s ROB, in
+    /// program order, reporting each operation to the sink. This is the
+    /// only place operations are recorded, so the per-processor trace
+    /// order is always program order.
+    fn retire_ready(&mut self, proc: ProcId, sink: &mut dyn TraceSink) {
+        let pi = proc.index();
+        while self.robs[pi].first().is_some_and(RobEntry::complete) {
+            let entry = self.robs[pi].remove(0);
+            self.stats.ooo_retired += 1;
+            match entry.op {
+                RobOp::Read { loc, class, fill, .. } => {
+                    let fill = fill.expect("complete load has a fill");
+                    let (writer, writer_sync) = fill.src.resolved();
+                    match class {
+                        AccessClass::Data => {
+                            sink.data_access(proc, loc, AccessKind::Read, fill.value, writer);
+                        }
+                        AccessClass::Sync(role) => {
+                            let observed = writer.filter(|_| writer_sync);
+                            sink.sync_access(
+                                proc,
+                                loc,
+                                AccessKind::Read,
+                                role,
+                                fill.value,
+                                observed,
+                            );
+                        }
+                    }
+                }
+                RobOp::Write { loc, value, class, strong } => {
+                    let sync = matches!(class, AccessClass::Sync(_));
+                    let id = match class {
+                        AccessClass::Data => {
+                            sink.data_access(proc, loc, AccessKind::Write, value, None)
+                        }
+                        AccessClass::Sync(role) => {
+                            sink.sync_access(proc, loc, AccessKind::Write, role, value, None)
+                        }
+                    };
+                    self.patch_forwards(pi, entry.serial, id, sync);
+                    if strong {
+                        self.strong_write(loc, value, id, sync);
+                    } else {
+                        self.bufs[pi].push(BufferedWrite { loc, value, op: id, sync });
+                        self.stats.buffered_writes += 1;
+                    }
+                }
+                RobOp::TestSet { loc, old, observed, strong } => {
+                    let (writer, writer_sync) = observed.resolved();
+                    let seen = writer.filter(|_| writer_sync);
+                    sink.sync_access(proc, loc, AccessKind::Read, SyncRole::Acquire, old, seen);
+                    let set = Value::new(1);
+                    let wid =
+                        sink.sync_access(proc, loc, AccessKind::Write, SyncRole::None, set, None);
+                    self.patch_forwards(pi, entry.serial, wid, true);
+                    if strong {
+                        self.strong_write(loc, set, wid, true);
+                    } else {
+                        self.bufs[pi].push(BufferedWrite { loc, value: set, op: wid, sync: true });
+                        self.stats.buffered_writes += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes one pending pipeline entry of `proc`: a load fill
+    /// (binding the load's value from memory or a forwarded store,
+    /// possibly out of program order) or a store-buffer drain. Indices
+    /// address the concatenation of unfilled loads (ROB order) and
+    /// store-buffer entries — see
+    /// [`drainable_indices`](Self::drainable_indices).
+    ///
+    /// Background completions model the memory system working in
+    /// parallel with the cores; load fills charge the load's memory
+    /// latency, store drains charge nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownProcessor`] for a bad `proc`.
+    /// * [`SimError::BadDrain`] if `index` is out of range or draining
+    ///   it would reorder same-location buffered writes.
+    pub fn complete_one(
+        &mut self,
+        proc: ProcId,
+        index: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), SimError> {
+        if proc.index() >= self.cores.len() {
+            return Err(SimError::UnknownProcessor(proc));
+        }
+        let pending = self.pending(proc);
+        let Some(entry) = pending.get(index).copied() else {
+            return Err(SimError::BadDrain { proc, index, len: pending.len() });
+        };
+        match entry {
+            PendingRef::Fill(pos) => {
+                self.fill_load(proc, pos);
+                self.retire_ready(proc, sink);
+            }
+            PendingRef::Buf(bi) => {
+                let pi = proc.index();
+                let w = self.bufs[pi][bi];
+                if self.bufs[pi][..bi].iter().any(|e| e.loc == w.loc) {
+                    return Err(SimError::BadDrain { proc, index, len: pending.len() });
+                }
+                self.bufs[pi].remove(bi);
+                self.mem[w.loc.index()] =
+                    MemCell { value: w.value, writer: Some(w.op), writer_sync: w.sync };
+                self.stats.background_drains += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains `proc`'s entire pipeline: fills every pending load in ROB
+    /// order, retires everything, then drains the store buffer in
+    /// program order — the stall at a fence or synchronization point.
+    /// Store-buffer entries charge `drain_per_entry` cycles each (load
+    /// fills charge their ordinary memory latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcessor`] for a bad `proc`.
+    pub fn drain_pipeline(
+        &mut self,
+        proc: ProcId,
+        sink: &mut dyn TraceSink,
+    ) -> Result<usize, SimError> {
+        let pi = proc.index();
+        if pi >= self.cores.len() {
+            return Err(SimError::UnknownProcessor(proc));
+        }
+        loop {
+            let Some(pos) = self.robs[pi].iter().position(|e| !e.complete()) else { break };
+            self.fill_load(proc, pos);
+            self.retire_ready(proc, sink);
+        }
+        self.retire_ready(proc, sink);
+        debug_assert!(self.robs[pi].is_empty(), "drained ROB must be empty");
+        debug_assert!(self.stations[pi].is_empty(), "drained stations must be empty");
+        let n = self.bufs[pi].len();
+        for w in self.bufs[pi].drain(..) {
+            self.mem[w.loc.index()] =
+                MemCell { value: w.value, writer: Some(w.op), writer_sync: w.sync };
+        }
+        self.cycles[pi] += self.timing.drain_per_entry * n as u64;
+        self.stats.sync_flushes += 1;
+        self.stats.ooo_flushes += 1;
+        self.stats.flushed_entries += n as u64;
+        self.stats.flush_stall_cycles += self.timing.drain_per_entry * n as u64;
+        Ok(n)
+    }
+
+    /// Pushes a ROB entry for `proc` and returns its serial.
+    fn push_rob(&mut self, pi: usize, op: RobOp) -> u64 {
+        let serial = self.serials[pi];
+        self.serials[pi] += 1;
+        self.robs[pi].push(RobEntry { serial, op });
+        serial
+    }
+
+    fn next_serial(&mut self, pi: usize) -> u64 {
+        let serial = self.serials[pi];
+        self.serials[pi] += 1;
+        serial
+    }
+
+    /// Issues one instruction on `proc` (or, if the front end is
+    /// stalled on a pending operand or a full pipeline, forces the
+    /// oldest pending load fill instead — a stalled pipeline's step is
+    /// progress, never an error).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownProcessor`] for a bad `proc`.
+    /// * [`SimError::Halted`] if the processor already halted.
+    /// * Address-resolution errors ([`SimError::BadAddress`] /
+    ///   [`SimError::BadLocation`]).
+    pub fn step<S: TraceSink>(
+        &mut self,
+        proc: ProcId,
+        sink: &mut S,
+    ) -> Result<StepEvent, SimError> {
+        let pi = proc.index();
+        let core = self.cores.get(pi).ok_or(SimError::UnknownProcessor(proc))?;
+        if core.is_halted() {
+            return Err(SimError::Halted(proc));
+        }
+        self.steps += 1;
+        if !self.can_issue(proc) {
+            // Stalled front end: the step becomes pipeline progress.
+            let pos = self.robs[pi]
+                .iter()
+                .position(|e| !e.complete())
+                .expect("a stalled pipeline has a pending load");
+            self.fill_load(proc, pos);
+            self.retire_ready(proc, sink);
+            return Ok(StepEvent::Local);
+        }
+        let instr = self
+            .program
+            .proc_code(proc)
+            .and_then(|code| code.get(self.cores[pi].pc()))
+            .copied()
+            .unwrap_or(Instr::Halt);
+        let conditioned = self.fidelity == Fidelity::Conditioned;
+        let strong = self.model == MemoryModel::Sc;
+        let ready = |rats: &[RegStatus; crate::NUM_REGS], r: Reg| rats[r.index()] == RegStatus::Ready;
+        let event = match instr {
+            // Register-only instructions: execute immediately when
+            // operands are ready, else rename the destination and wait
+            // in a reservation station.
+            Instr::Li { .. } | Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Bnz { .. }
+            | Instr::Nop | Instr::Halt => {
+                let was_halt = matches!(instr, Instr::Halt);
+                match self.cores[pi].exec_local(&instr) {
+                    LocalOutcome::Done => {}
+                    _ => unreachable!("local instruction must complete locally"),
+                }
+                if let Instr::Li { dst, .. } = instr {
+                    self.rats[pi][dst.index()] = RegStatus::Ready;
+                }
+                self.cycles[pi] += self.timing.local_op;
+                return Ok(if was_halt { StepEvent::Halt } else { StepEvent::Local });
+            }
+            Instr::Mov { dst, src } => {
+                self.issue_alu(pi, dst, AluKind::Mov, Operand::Reg(src), Operand::Imm(0));
+                return Ok(StepEvent::Local);
+            }
+            Instr::Add { dst, a, b } => {
+                self.issue_alu(pi, dst, AluKind::Add, Operand::Reg(a), b);
+                return Ok(StepEvent::Local);
+            }
+            Instr::Sub { dst, a, b } => {
+                self.issue_alu(pi, dst, AluKind::Sub, Operand::Reg(a), b);
+                return Ok(StepEvent::Local);
+            }
+            Instr::Mul { dst, a, b } => {
+                self.issue_alu(pi, dst, AluKind::Mul, Operand::Reg(a), b);
+                return Ok(StepEvent::Local);
+            }
+            Instr::CmpEq { dst, a, b } => {
+                self.issue_alu(pi, dst, AluKind::CmpEq, Operand::Reg(a), b);
+                return Ok(StepEvent::Local);
+            }
+            Instr::CmpLt { dst, a, b } => {
+                self.issue_alu(pi, dst, AluKind::CmpLt, Operand::Reg(a), b);
+                return Ok(StepEvent::Local);
+            }
+            Instr::Ld { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, self.program.num_locations())?;
+                if strong {
+                    let serial = self.serials[pi];
+                    let (value, src, from_forward) = self.visible_before(proc, loc, u64::MAX);
+                    self.push_rob(
+                        pi,
+                        RobOp::Read {
+                            dst,
+                            tag: serial,
+                            loc,
+                            class: AccessClass::Data,
+                            fill: Some(Fill { value, src, from_forward }),
+                        },
+                    );
+                    self.cores[pi].complete_load(dst, value);
+                    self.rats[pi][dst.index()] = RegStatus::Ready;
+                    self.cycles[pi] += self.timing.mem_access;
+                    self.stats.data_reads += 1;
+                } else {
+                    let serial = self.serials[pi];
+                    self.push_rob(
+                        pi,
+                        RobOp::Read { dst, tag: serial, loc, class: AccessClass::Data, fill: None },
+                    );
+                    self.rats[pi][dst.index()] = RegStatus::Pending(serial);
+                    self.cycles[pi] += self.timing.local_op;
+                }
+                StepEvent::Data
+            }
+            Instr::St { src, addr } => {
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, self.program.num_locations())?;
+                debug_assert!(match src {
+                    Operand::Reg(r) => ready(&self.rats[pi], r),
+                    Operand::Imm(_) => true,
+                });
+                let value = Value::new(core.operand(src));
+                self.push_rob(pi, RobOp::Write { loc, value, class: AccessClass::Data, strong });
+                self.cycles[pi] +=
+                    if strong { self.timing.mem_access } else { self.timing.buffered_write };
+                self.stats.data_writes += 1;
+                StepEvent::Data
+            }
+            Instr::LdAcq { dst, addr } | Instr::LdSync { dst, addr } => {
+                let role = if matches!(instr, Instr::LdAcq { .. }) {
+                    SyncRole::Acquire
+                } else {
+                    SyncRole::None
+                };
+                let loc = self.cores[pi].resolve_addr(addr, self.program.num_locations())?;
+                if conditioned || strong {
+                    if strong || self.model.sync_read_drains(role) {
+                        self.drain_pipeline(proc, sink)?;
+                    }
+                    let serial = self.serials[pi];
+                    let (value, src, from_forward) = self.visible_before(proc, loc, u64::MAX);
+                    self.push_rob(
+                        pi,
+                        RobOp::Read {
+                            dst,
+                            tag: serial,
+                            loc,
+                            class: AccessClass::Sync(role),
+                            fill: Some(Fill { value, src, from_forward }),
+                        },
+                    );
+                    self.cores[pi].complete_load(dst, value);
+                    self.rats[pi][dst.index()] = RegStatus::Ready;
+                } else {
+                    let serial = self.serials[pi];
+                    self.push_rob(
+                        pi,
+                        RobOp::Read {
+                            dst,
+                            tag: serial,
+                            loc,
+                            class: AccessClass::Sync(role),
+                            fill: None,
+                        },
+                    );
+                    self.rats[pi][dst.index()] = RegStatus::Pending(serial);
+                }
+                self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
+                StepEvent::Sync
+            }
+            Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
+                let role = if matches!(instr, Instr::StRel { .. }) {
+                    SyncRole::Release
+                } else {
+                    SyncRole::None
+                };
+                let core = &self.cores[pi];
+                let loc = core.resolve_addr(addr, self.program.num_locations())?;
+                let value = Value::new(core.operand(src));
+                if conditioned || strong {
+                    // Retirement atomicity: a strong synchronization
+                    // write requires an empty pipeline so it is
+                    // globally ordered the moment it executes.
+                    self.drain_pipeline(proc, sink)?;
+                    self.push_rob(
+                        pi,
+                        RobOp::Write { loc, value, class: AccessClass::Sync(role), strong: true },
+                    );
+                } else {
+                    self.push_rob(
+                        pi,
+                        RobOp::Write { loc, value, class: AccessClass::Sync(role), strong: false },
+                    );
+                }
+                self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
+                StepEvent::Sync
+            }
+            Instr::TestSet { dst, addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, self.program.num_locations())?;
+                if conditioned || strong {
+                    // The read-modify-write must be atomic against
+                    // shared memory: drain so the write lands with the
+                    // read.
+                    self.drain_pipeline(proc, sink)?;
+                }
+                let (old, observed, _) = self.visible_before(proc, loc, u64::MAX);
+                self.push_rob(
+                    pi,
+                    RobOp::TestSet { loc, old, observed, strong: conditioned || strong },
+                );
+                self.cores[pi].complete_load(dst, old);
+                self.rats[pi][dst.index()] = RegStatus::Ready;
+                self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 2;
+                StepEvent::Sync
+            }
+            Instr::Unset { addr } => {
+                let loc = self.cores[pi].resolve_addr(addr, self.program.num_locations())?;
+                let value = Value::ZERO;
+                if conditioned || strong {
+                    self.drain_pipeline(proc, sink)?;
+                    self.push_rob(
+                        pi,
+                        RobOp::Write {
+                            loc,
+                            value,
+                            class: AccessClass::Sync(SyncRole::Release),
+                            strong: true,
+                        },
+                    );
+                } else {
+                    self.push_rob(
+                        pi,
+                        RobOp::Write {
+                            loc,
+                            value,
+                            class: AccessClass::Sync(SyncRole::Release),
+                            strong: false,
+                        },
+                    );
+                }
+                self.cycles[pi] += self.timing.mem_access;
+                self.stats.sync_ops += 1;
+                StepEvent::Sync
+            }
+            Instr::Fence => {
+                // An explicit fence drains in both fidelities, exactly
+                // like the store-buffer machine.
+                self.drain_pipeline(proc, sink)?;
+                self.cycles[pi] += self.timing.local_op;
+                self.cores[pi].advance_pc();
+                self.retire_ready(proc, sink);
+                return Ok(StepEvent::Local);
+            }
+        };
+        self.cores[pi].advance_pc();
+        self.retire_ready(proc, sink);
+        Ok(event)
+    }
+
+    /// Issues a register-only instruction: direct execution when every
+    /// operand is ready, else a reservation-station entry with the
+    /// destination renamed in the alias table.
+    fn issue_alu(&mut self, pi: usize, dst: Reg, kind: AluKind, a: Operand, b: Operand) {
+        let src_of = |rats: &[RegStatus; crate::NUM_REGS], core: &CoreState, o: Operand| match o {
+            Operand::Imm(v) => Src::Val(v),
+            Operand::Reg(r) => match rats[r.index()] {
+                RegStatus::Ready => Src::Val(core.reg(r)),
+                RegStatus::Pending(t) => Src::Tag(t),
+            },
+        };
+        let sa = src_of(&self.rats[pi], &self.cores[pi], a);
+        let sb = src_of(&self.rats[pi], &self.cores[pi], b);
+        self.cycles[pi] += self.timing.local_op;
+        if let (Src::Val(va), Src::Val(vb)) = (sa, sb) {
+            let st = Station { tag: 0, dst, kind, a: Src::Val(va), b: Src::Val(vb) };
+            self.cores[pi].set_reg(dst, st.compute());
+            self.rats[pi][dst.index()] = RegStatus::Ready;
+        } else {
+            let tag = self.next_serial(pi);
+            self.stations[pi].push(Station { tag, dst, kind, a: sa, b: sb });
+            self.rats[pi][dst.index()] = RegStatus::Pending(tag);
+        }
+        self.cores[pi].advance_pc();
+    }
+}
+
+impl crate::DrainView for OooMachine {
+    fn runnable_procs(&self) -> Vec<ProcId> {
+        self.runnable()
+    }
+
+    fn drainable(&self, proc: ProcId) -> Vec<usize> {
+        self.drainable_indices(proc)
+    }
+
+    fn pending_len(&self, proc: ProcId) -> usize {
+        self.pending(proc).len()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.program.num_procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, DrainView, NUM_REGS};
+    use wmrd_trace::{NullSink, OpRecorder};
+
+    fn l(a: u32) -> Location {
+        Location::new(a)
+    }
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn wo(prog: Program) -> OooMachine {
+        OooMachine::new(Arc::new(prog), MemoryModel::Wo, Fidelity::Conditioned, Timing::uniform())
+            .unwrap()
+    }
+
+    fn store(imm: i64, loc: u32) -> Instr {
+        Instr::St { src: Operand::Imm(imm), addr: Addr::Abs(l(loc)) }
+    }
+
+    fn load(r: u8, loc: u32) -> Instr {
+        Instr::Ld { dst: Reg::new(r), addr: Addr::Abs(l(loc)) }
+    }
+
+    #[test]
+    fn loads_fill_out_of_program_order() {
+        // Ld A then Ld B: filling B first lets the younger load read
+        // memory before the older one — the reordering this backend
+        // exists for.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![load(0, 0), load(1, 1), Instr::Halt]);
+        prog.push_proc(vec![store(7, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap(); // issue Ld A
+        m.step(p(0), &mut sink).unwrap(); // issue Ld B
+        assert_eq!(m.pending_fills(p(0)), 2);
+        // Fill the *younger* load first: it reads B=0.
+        m.complete_one(p(0), 1, &mut sink).unwrap();
+        assert_eq!(m.pending_fills(p(0)), 1);
+        // P1's store lands in memory before the older load fills.
+        m.step(p(1), &mut sink).unwrap();
+        m.complete_one(p(1), 0, &mut sink).unwrap(); // drain the store
+        m.complete_one(p(0), 0, &mut sink).unwrap(); // now fill Ld A
+        assert_eq!(m.reg(p(0), Reg::new(0)), 7, "older load read memory later");
+        assert_eq!(m.reg(p(0), Reg::new(1)), 0, "younger load read memory earlier");
+    }
+
+    #[test]
+    fn retirement_keeps_trace_in_program_order() {
+        // Even when the younger load fills first, the recorded trace
+        // lists operations in program order per processor.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![load(0, 0), load(1, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut rec = OpRecorder::new(2);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(0), &mut rec).unwrap();
+        m.complete_one(p(0), 1, &mut rec).unwrap(); // younger fills first
+        m.complete_one(p(0), 0, &mut rec).unwrap();
+        let ops = rec.finish();
+        let p0 = ops.proc_ops(p(0)).unwrap();
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p0[0].loc, l(0), "first recorded op is the older load");
+        assert_eq!(p0[1].loc, l(1));
+    }
+
+    #[test]
+    fn store_forwards_to_younger_load() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(5, 0), load(0, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        m.complete_one(p(0), 0, &mut sink).unwrap(); // fill forwards
+        assert_eq!(m.reg(p(0), Reg::new(0)), 5, "forwarded from in-flight store");
+        assert_eq!(m.stats().ooo_forwards, 1);
+        assert_eq!(m.memory_values()[0], Value::ZERO, "store still speculative/buffered");
+    }
+
+    #[test]
+    fn forwarded_op_identity_resolves_at_retirement() {
+        // A load forwarded from a not-yet-retired store must record the
+        // store's operation id once both retire.
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(5, 0), load(0, 0), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut rec = OpRecorder::new(1);
+        m.step(p(0), &mut rec).unwrap();
+        m.step(p(0), &mut rec).unwrap();
+        m.complete_one(p(0), 0, &mut rec).unwrap();
+        let ops = rec.finish();
+        let p0 = ops.proc_ops(p(0)).unwrap();
+        assert_eq!(p0[1].observed_write, Some(p0[0].id), "read observes the forwarded store");
+    }
+
+    #[test]
+    fn renaming_lets_independent_work_proceed() {
+        // r0 <- Ld A (pending); r1 <- Li 3 — the Li must not wait, and
+        // the dependent Add waits in a reservation station.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::Li { dst: Reg::new(1), imm: 3 },
+            Instr::Add { dst: Reg::new(2), a: Reg::new(0), b: Operand::Reg(Reg::new(1)) },
+            Instr::Halt,
+        ]);
+        prog.set_init(l(0), Value::new(4));
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap(); // Ld issues, r0 pending
+        m.step(p(0), &mut sink).unwrap(); // Li executes immediately
+        assert_eq!(m.reg(p(0), Reg::new(1)), 3);
+        m.step(p(0), &mut sink).unwrap(); // Add defers to a station
+        assert_eq!(m.reg(p(0), Reg::new(2)), 0, "Add still waiting");
+        m.complete_one(p(0), 0, &mut sink).unwrap(); // fill wakes the station
+        assert_eq!(m.reg(p(0), Reg::new(0)), 4);
+        assert_eq!(m.reg(p(0), Reg::new(2)), 7, "station executed on the bypass value");
+    }
+
+    #[test]
+    fn waw_hazard_respects_newest_producer() {
+        // r0 <- Ld A (pending), then r0 <- Li 9: when the load finally
+        // fills it must NOT clobber the younger write.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![load(0, 0), Instr::Li { dst: Reg::new(0), imm: 9 }, Instr::Halt]);
+        prog.set_init(l(0), Value::new(4));
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 9);
+        m.complete_one(p(0), 0, &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 9, "stale fill suppressed by the alias table");
+    }
+
+    #[test]
+    fn branches_stall_until_condition_resolves() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::Bnz { cond: Reg::new(0), target: 0 },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(!m.runnable().contains(&p(0)), "branch waits on the load");
+        assert_eq!(m.drainable_indices(p(0)), vec![0]);
+        m.complete_one(p(0), 0, &mut sink).unwrap();
+        assert!(m.runnable().contains(&p(0)), "condition ready, branch may issue");
+        m.step(p(0), &mut sink).unwrap(); // Bnz: r0 == 0, falls through
+        m.step(p(0), &mut sink).unwrap(); // Halt
+        assert!(m.all_halted());
+    }
+
+    #[test]
+    fn stalled_step_forces_progress() {
+        // Stepping a stalled processor is defined: it fills the oldest
+        // pending load instead of issuing.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::Bnz { cond: Reg::new(0), target: 0 },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // stalled: forces the fill
+        assert_eq!(m.pending_fills(p(0)), 0);
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.all_halted());
+    }
+
+    #[test]
+    fn conditioned_sync_write_drains_the_pipeline() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            store(7, 0),
+            load(0, 0),
+            Instr::Unset { addr: Addr::Abs(l(1)) },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.rob_len(p(0)) > 0);
+        m.step(p(0), &mut sink).unwrap(); // Unset drains ROB + buffer
+        assert_eq!(m.rob_len(p(0)), 0);
+        assert!(m.store_buffer(p(0)).is_empty());
+        assert_eq!(m.memory_values()[0], Value::new(7));
+        assert_eq!(m.memory_values()[1], Value::ZERO);
+        assert_eq!(m.reg(p(0), Reg::new(0)), 7, "drain filled the load by forwarding");
+    }
+
+    #[test]
+    fn rcsc_acquire_leaves_older_loads_pending() {
+        // Under RCsc an acquire read does not drain: an older data load
+        // may still fill after it — reordering RC permits.
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::LdAcq { dst: Reg::new(1), addr: Addr::Abs(l(1)) },
+            Instr::Halt,
+        ]);
+        let mut m = OooMachine::new(
+            Arc::new(prog),
+            MemoryModel::RCsc,
+            Fidelity::Conditioned,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // acquire executes at issue
+        assert_eq!(m.pending_fills(p(0)), 1, "older data load still pending");
+        m.complete_one(p(0), 0, &mut sink).unwrap();
+        assert_eq!(m.rob_len(p(0)), 0);
+    }
+
+    #[test]
+    fn wo_sync_read_drains() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![
+            load(0, 0),
+            Instr::LdSync { dst: Reg::new(1), addr: Addr::Abs(l(1)) },
+            Instr::Halt,
+        ]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // WO: sync read drains first
+        assert_eq!(m.pending_fills(p(0)), 0);
+        assert_eq!(m.rob_len(p(0)), 0);
+    }
+
+    #[test]
+    fn conditioned_test_set_is_atomic() {
+        let mut prog = Program::new("t", 1);
+        let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
+        prog.push_proc(vec![ts, Instr::Halt]);
+        prog.push_proc(vec![ts, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 1, "second test&set must fail");
+    }
+
+    #[test]
+    fn raw_fidelity_breaks_mutual_exclusion() {
+        let mut prog = Program::new("t", 1);
+        let ts = Instr::TestSet { dst: Reg::new(0), addr: Addr::Abs(l(0)) };
+        prog.push_proc(vec![ts, Instr::Halt]);
+        prog.push_proc(vec![ts, Instr::Halt]);
+        let mut m =
+            OooMachine::new(Arc::new(prog), MemoryModel::Wo, Fidelity::Raw, Timing::uniform())
+                .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(1), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 0);
+        assert_eq!(m.reg(p(1), Reg::new(0)), 0, "both acquired: Condition 3.4 violated");
+    }
+
+    #[test]
+    fn fence_drains_in_both_fidelities() {
+        for fidelity in [Fidelity::Conditioned, Fidelity::Raw] {
+            let mut prog = Program::new("t", 1);
+            prog.push_proc(vec![store(1, 0), Instr::Fence, Instr::Halt]);
+            let mut m =
+                OooMachine::new(Arc::new(prog), MemoryModel::Wo, fidelity, Timing::uniform())
+                    .unwrap();
+            let mut sink = NullSink::new();
+            m.step(p(0), &mut sink).unwrap();
+            m.step(p(0), &mut sink).unwrap();
+            assert!(m.pipelines_empty(), "{fidelity:?}");
+            assert_eq!(m.memory_values()[0], Value::new(1), "{fidelity:?}");
+        }
+    }
+
+    #[test]
+    fn sc_model_disables_speculation() {
+        let mut prog = Program::new("t", 1);
+        prog.push_proc(vec![store(9, 0), load(0, 0), Instr::Halt]);
+        let mut m = OooMachine::new(
+            Arc::new(prog),
+            MemoryModel::Sc,
+            Fidelity::Conditioned,
+            Timing::uniform(),
+        )
+        .unwrap();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        assert!(m.pipelines_empty(), "strong store retires immediately");
+        assert_eq!(m.memory_values()[0], Value::new(9));
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.reg(p(0), Reg::new(0)), 9);
+    }
+
+    #[test]
+    fn rob_capacity_stalls_issue() {
+        let mut prog = Program::new("t", 2);
+        let mut code: Vec<Instr> = (0..ROB_CAPACITY + 2)
+            .map(|i| Instr::Ld { dst: Reg::new((i % NUM_REGS) as u8), addr: Addr::Abs(l(0)) })
+            .collect();
+        code.push(Instr::Halt);
+        prog.push_proc(code);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        for _ in 0..ROB_CAPACITY {
+            m.step(p(0), &mut sink).unwrap();
+        }
+        assert_eq!(m.rob_len(p(0)), ROB_CAPACITY);
+        assert!(!m.runnable().contains(&p(0)), "full ROB stalls the front end");
+        m.complete_one(p(0), 0, &mut sink).unwrap(); // head fill retires it
+        assert!(m.runnable().contains(&p(0)));
+    }
+
+    #[test]
+    fn buffered_stores_drain_out_of_order_with_coherence() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), store(9, 1), store(2, 0), Instr::Fence, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        for _ in 0..3 {
+            m.step(p(0), &mut sink).unwrap();
+        }
+        // Stores are complete: they retire straight into the buffer.
+        assert_eq!(m.store_buffer(p(0)).len(), 3);
+        assert_eq!(m.drainable_indices(p(0)), vec![0, 1], "same-location order preserved");
+        assert!(matches!(
+            m.complete_one(p(0), 2, &mut sink),
+            Err(SimError::BadDrain { .. })
+        ));
+        m.complete_one(p(0), 1, &mut sink).unwrap();
+        assert_eq!(m.memory_values()[1], Value::new(9), "out-of-order drain of loc 1");
+        m.complete_one(p(0), 0, &mut sink).unwrap();
+        m.complete_one(p(0), 0, &mut sink).unwrap();
+        assert_eq!(m.memory_values()[0], Value::new(2));
+    }
+
+    #[test]
+    fn quiescence_and_runner_contract() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), load(0, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // Halt issues even with pending work
+        assert!(m.all_halted());
+        assert!(!m.pipelines_empty());
+        m.drain_pipeline(p(0), &mut sink).unwrap();
+        assert!(m.pipelines_empty());
+        assert_eq!(m.memory_values()[0], Value::new(3));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), load(0, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let before = m.fingerprint();
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_ne!(m.fingerprint(), before);
+        m.reset();
+        assert_eq!(m.fingerprint(), before);
+        assert_eq!(m.steps(), 0);
+        assert_eq!(*m.stats(), SimStats::default());
+    }
+
+    #[test]
+    fn drain_errors() {
+        let prog = {
+            let mut p_ = Program::new("t", 1);
+            p_.push_proc(vec![Instr::Halt]);
+            p_
+        };
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        assert!(matches!(
+            m.complete_one(p(0), 0, &mut sink),
+            Err(SimError::BadDrain { .. })
+        ));
+        assert!(matches!(
+            m.complete_one(p(9), 0, &mut sink),
+            Err(SimError::UnknownProcessor(_))
+        ));
+        assert!(m.drainable_indices(p(9)).is_empty());
+    }
+
+    #[test]
+    fn stats_count_pipeline_work() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), load(0, 0), Instr::Fence, Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap(); // fence drains: fill + retire + flush
+        let s = m.stats();
+        assert_eq!(s.data_writes, 1);
+        assert_eq!(s.data_reads, 1);
+        assert_eq!(s.ooo_load_fills, 1);
+        assert_eq!(s.ooo_forwards, 1);
+        assert!(s.ooo_retired >= 2, "store and load retired");
+        assert_eq!(s.ooo_flushes, 1);
+        assert_eq!(s.buffered_writes, 1);
+        assert_eq!(s.background_drains + s.flushed_entries, s.buffered_writes);
+    }
+
+    #[test]
+    fn settled_memory_includes_speculative_stores() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(3, 0), store(4, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap();
+        m.step(p(0), &mut sink).unwrap();
+        assert_eq!(m.memory_values(), vec![Value::ZERO, Value::ZERO]);
+        assert_eq!(m.settled_memory_values(), vec![Value::new(3), Value::new(4)]);
+    }
+
+    #[test]
+    fn drain_view_exposes_fills_and_buffer_entries() {
+        let mut prog = Program::new("t", 2);
+        prog.push_proc(vec![store(1, 0), load(0, 1), Instr::Halt]);
+        let mut m = wo(prog);
+        let mut sink = NullSink::new();
+        m.step(p(0), &mut sink).unwrap(); // store retires straight to the buffer
+        m.step(p(0), &mut sink).unwrap(); // load stays pending
+        assert_eq!(DrainView::pending_len(&m, p(0)), 2, "one fill + one buffered write");
+        assert_eq!(m.drainable_indices(p(0)), vec![0, 1]);
+        assert_eq!(DrainView::num_procs(&m), 1);
+    }
+}

@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 use wmrd_trace::{ProcId, TraceSink, Value};
 
 use crate::{
-    DrainView, Fidelity, InvalMachine, MemoryModel, Program, ScMachine, Scheduler, SimError,
-    SimStats, Timing, WeakAction, WeakMachine, WeakScheduler,
+    DrainView, Fidelity, InvalMachine, MemoryModel, OooMachine, Program, ScMachine, Scheduler,
+    SimError, SimStats, Timing, WeakAction, WeakMachine, WeakScheduler,
 };
 
 /// Which weak-hardware implementation style to simulate.
@@ -21,6 +21,16 @@ pub enum HwImpl {
     /// Per-core caches with invalidation queues; readers see stale
     /// copies until invalidations apply ([`InvalMachine`]).
     InvalQueue,
+    /// Speculative out-of-order pipelines: reorder buffers, register
+    /// renaming, store-to-load forwarding, and loads completing out of
+    /// program order ([`OooMachine`]).
+    Ooo,
+}
+
+impl HwImpl {
+    /// Every implemented hardware style, in the order campaign specs
+    /// enumerate them.
+    pub const ALL: [HwImpl; 3] = [HwImpl::StoreBuffer, HwImpl::InvalQueue, HwImpl::Ooo];
 }
 
 impl fmt::Display for HwImpl {
@@ -28,6 +38,7 @@ impl fmt::Display for HwImpl {
         f.write_str(match self {
             HwImpl::StoreBuffer => "store-buffer",
             HwImpl::InvalQueue => "inval-queue",
+            HwImpl::Ooo => "ooo",
         })
     }
 }
@@ -162,16 +173,26 @@ pub fn run_sc_on<S: TraceSink>(
     })
 }
 
-/// Internal abstraction over the two weak machines so a single driver
-/// loop serves both hardware styles (and campaign engines can reuse a
+/// Internal abstraction over the weak machines so a single driver
+/// loop serves every hardware style (and campaign engines can reuse a
 /// machine across seeds via [`WeakExec::exec_reset`]).
+///
+/// Drain and flush take the sink because on the out-of-order machine
+/// completing a pending entry can retire reorder-buffer heads, which is
+/// where operations are recorded; the buffer-only machines ignore it.
 pub(crate) trait WeakExec: DrainView {
     /// Executes one instruction on `proc`.
     fn exec_step(&mut self, proc: ProcId, sink: &mut dyn TraceSink) -> Result<(), SimError>;
-    /// Completes one pending entry (buffered write / invalidation).
-    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError>;
+    /// Completes one pending entry (buffered write / invalidation /
+    /// load fill).
+    fn exec_drain(
+        &mut self,
+        proc: ProcId,
+        index: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), SimError>;
     /// Force-completes every pending entry of `proc`.
-    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError>;
+    fn exec_flush(&mut self, proc: ProcId, sink: &mut dyn TraceSink) -> Result<(), SimError>;
     /// `true` once every processor halted and nothing is pending.
     fn quiescent(&self) -> bool;
     /// `true` once every processor halted (buffers may still be full).
@@ -191,11 +212,16 @@ impl WeakExec for WeakMachine {
         self.step(proc, &mut sink).map(|_| ())
     }
 
-    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError> {
+    fn exec_drain(
+        &mut self,
+        proc: ProcId,
+        index: usize,
+        _sink: &mut dyn TraceSink,
+    ) -> Result<(), SimError> {
         self.drain_one(proc, index).map(|_| ())
     }
 
-    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError> {
+    fn exec_flush(&mut self, proc: ProcId, _sink: &mut dyn TraceSink) -> Result<(), SimError> {
         self.flush(proc).map(|_| ())
     }
 
@@ -229,16 +255,64 @@ impl WeakExec for InvalMachine {
         self.step(proc, &mut sink).map(|_| ())
     }
 
-    fn exec_drain(&mut self, proc: ProcId, index: usize) -> Result<(), SimError> {
+    fn exec_drain(
+        &mut self,
+        proc: ProcId,
+        index: usize,
+        _sink: &mut dyn TraceSink,
+    ) -> Result<(), SimError> {
         self.apply_one(proc, index).map(|_| ())
     }
 
-    fn exec_flush(&mut self, proc: ProcId) -> Result<(), SimError> {
+    fn exec_flush(&mut self, proc: ProcId, _sink: &mut dyn TraceSink) -> Result<(), SimError> {
         self.flush(proc).map(|_| ())
     }
 
     fn quiescent(&self) -> bool {
         self.all_halted() && self.queues_empty()
+    }
+
+    fn exec_all_halted(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn exec_cycles(&self) -> &[u64] {
+        self.cycles()
+    }
+
+    fn exec_memory_values(&self) -> Vec<Value> {
+        self.memory_values()
+    }
+
+    fn exec_stats(&self) -> SimStats {
+        *self.stats()
+    }
+
+    fn exec_reset(&mut self) {
+        self.reset();
+    }
+}
+
+impl WeakExec for OooMachine {
+    fn exec_step(&mut self, proc: ProcId, mut sink: &mut dyn TraceSink) -> Result<(), SimError> {
+        self.step(proc, &mut sink).map(|_| ())
+    }
+
+    fn exec_drain(
+        &mut self,
+        proc: ProcId,
+        index: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), SimError> {
+        self.complete_one(proc, index, sink)
+    }
+
+    fn exec_flush(&mut self, proc: ProcId, sink: &mut dyn TraceSink) -> Result<(), SimError> {
+        self.drain_pipeline(proc, sink).map(|_| ())
+    }
+
+    fn quiescent(&self) -> bool {
+        self.all_halted() && self.pipelines_empty()
     }
 
     fn exec_all_halted(&self) -> bool {
@@ -279,11 +353,11 @@ pub(crate) fn drive_weak<M: WeakExec, S: TraceSink>(
                 machine.exec_step(proc, sink)?;
             }
             Some(WeakAction::Drain(proc, idx)) => {
-                machine.exec_drain(proc, idx)?;
+                machine.exec_drain(proc, idx, sink)?;
             }
             None => {
                 for i in 0..DrainView::num_procs(machine) {
-                    machine.exec_flush(ProcId::new(i as u16))?;
+                    machine.exec_flush(ProcId::new(i as u16), sink)?;
                 }
                 break;
             }
@@ -341,7 +415,28 @@ pub fn run_inval<S: TraceSink>(
     drive_weak(&mut machine, scheduler, sink, &config)
 }
 
-/// Dispatches to [`run_weak`] or [`run_inval`] by implementation style.
+/// Runs `program` to quiescence on the speculative out-of-order
+/// pipeline machine ([`OooMachine`]); the weak scheduler's drain actions
+/// complete pending load fills and store-buffer entries.
+///
+/// # Errors
+///
+/// Propagates machine errors and returns [`SimError::StepLimit`] if the
+/// program does not quiesce within `config.max_steps` actions.
+pub fn run_ooo<S: TraceSink>(
+    program: &Program,
+    model: MemoryModel,
+    fidelity: Fidelity,
+    scheduler: &mut dyn WeakScheduler,
+    sink: &mut S,
+    config: RunConfig,
+) -> Result<RunOutcome, SimError> {
+    let mut machine = OooMachine::new(Arc::new(program.clone()), model, fidelity, config.timing)?;
+    drive_weak(&mut machine, scheduler, sink, &config)
+}
+
+/// Dispatches to [`run_weak`], [`run_inval`], or [`run_ooo`] by
+/// implementation style.
 ///
 /// # Errors
 ///
@@ -358,6 +453,7 @@ pub fn run_weak_hw<S: TraceSink>(
     match hw {
         HwImpl::StoreBuffer => run_weak(program, model, fidelity, scheduler, sink, config),
         HwImpl::InvalQueue => run_inval(program, model, fidelity, scheduler, sink, config),
+        HwImpl::Ooo => run_ooo(program, model, fidelity, scheduler, sink, config),
     }
 }
 
@@ -416,28 +512,32 @@ mod tests {
 
     #[test]
     fn weak_run_handoff_is_sc_for_drf_program() {
-        // The handoff program is data-race-free, so every weak model must
-        // deliver the released value (Condition 3.4(1) / SC for DRF).
-        for model in MemoryModel::WEAK {
-            for seed in 0..20 {
-                let prog = handoff_program();
-                let mut sink = NullSink::new();
-                let mut sched = RandomWeakSched::new(seed, 0.3);
-                let out = run_weak(
-                    &prog,
-                    model,
-                    Fidelity::Conditioned,
-                    &mut sched,
-                    &mut sink,
-                    RunConfig::uniform(),
-                )
-                .unwrap();
-                assert!(out.halted, "model {model} seed {seed}");
-                assert_eq!(
-                    out.final_memory[0],
-                    Value::new(7),
-                    "model {model} seed {seed}: x must be written"
-                );
+        // The handoff program is data-race-free, so every weak model on
+        // every hardware style must deliver the released value
+        // (Condition 3.4(1) / SC for DRF).
+        for hw in HwImpl::ALL {
+            for model in MemoryModel::WEAK {
+                for seed in 0..20 {
+                    let prog = handoff_program();
+                    let mut sink = NullSink::new();
+                    let mut sched = RandomWeakSched::new(seed, 0.3);
+                    let out = run_weak_hw(
+                        hw,
+                        &prog,
+                        model,
+                        Fidelity::Conditioned,
+                        &mut sched,
+                        &mut sink,
+                        RunConfig::uniform(),
+                    )
+                    .unwrap();
+                    assert!(out.halted, "{hw} model {model} seed {seed}");
+                    assert_eq!(
+                        out.final_memory[0],
+                        Value::new(7),
+                        "{hw} model {model} seed {seed}: x must be written"
+                    );
+                }
             }
         }
     }
@@ -500,7 +600,7 @@ mod tests {
         let err = run_sc(&prog, &mut RoundRobin::new(), &mut sink, config);
         assert!(matches!(err, Err(SimError::CycleLimit(3))));
         // The same budget trips the weak runners too.
-        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+        for hw in HwImpl::ALL {
             let mut sink = NullSink::new();
             let err = run_weak_hw(
                 hw,
@@ -627,11 +727,12 @@ mod tests {
 
     #[test]
     fn stats_are_deterministic_for_fixed_seed() {
-        let run = |seed: u64| {
+        let run = |hw: HwImpl, seed: u64| {
             let prog = handoff_program();
             let mut sink = NullSink::new();
             let mut sched = RandomWeakSched::new(seed, 0.3);
-            run_weak(
+            run_weak_hw(
+                hw,
                 &prog,
                 MemoryModel::RCsc,
                 Fidelity::Conditioned,
@@ -642,7 +743,29 @@ mod tests {
             .unwrap()
             .stats
         };
-        assert_eq!(run(42), run(42), "same seed, same counters");
+        for hw in HwImpl::ALL {
+            assert_eq!(run(hw, 42), run(hw, 42), "{hw}: same seed, same counters");
+        }
+    }
+
+    #[test]
+    fn ooo_run_counts_pipeline_work() {
+        let prog = handoff_program();
+        let mut sink = NullSink::new();
+        let out = run_ooo(
+            &prog,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut WeakRoundRobin::new(),
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        let s = out.stats;
+        assert!(s.ooo_retired >= 3, "St x, Ld x, and sync ops all retire");
+        assert!(s.ooo_flushes >= 1, "WO drains at the Unset");
+        assert_eq!(out.final_memory[0], Value::new(7));
+        assert_eq!(s.background_drains + s.flushed_entries, s.buffered_writes);
     }
 
     #[test]

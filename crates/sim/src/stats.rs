@@ -60,6 +60,19 @@ pub struct SimStats {
     /// Invalidation-queue entries enqueued at remote processors by
     /// completing writes (invalidation-queue machine only).
     pub invalidations_queued: u64,
+    /// Reorder-buffer entries retired in program order
+    /// ([`OooMachine`](crate::OooMachine) only).
+    pub ooo_retired: u64,
+    /// Full pipeline drains — ROB plus store buffer — at fences and
+    /// synchronization points (out-of-order machine only).
+    pub ooo_flushes: u64,
+    /// Load fills forwarded from an older in-flight or buffered store of
+    /// the same core instead of shared memory (out-of-order machine
+    /// only; counts sync reads too, unlike `buffer_forwards`).
+    pub ooo_forwards: u64,
+    /// Load-fill completions: issued loads bound to a value, in any
+    /// order the speculation window permits (out-of-order machine only).
+    pub ooo_load_fills: u64,
 }
 
 impl SimStats {
@@ -78,11 +91,16 @@ impl SimStats {
         self.flushed_entries += other.flushed_entries;
         self.flush_stall_cycles += other.flush_stall_cycles;
         self.invalidations_queued += other.invalidations_queued;
+        self.ooo_retired += other.ooo_retired;
+        self.ooo_flushes += other.ooo_flushes;
+        self.ooo_forwards += other.ooo_forwards;
+        self.ooo_load_fills += other.ooo_load_fills;
     }
 
-    /// Records every counter into `metrics` under the `sim.` namespace
-    /// (e.g. `sim.data_reads`, `sim.sync_flushes`). No-op when `metrics`
-    /// is disabled.
+    /// Records every counter into `metrics`: the machine-agnostic
+    /// counters under the `sim.` namespace (e.g. `sim.data_reads`,
+    /// `sim.sync_flushes`) and the pipeline counters under `ooo.*`.
+    /// No-op when `metrics` is disabled.
     pub fn record_into(&self, metrics: &Metrics) {
         metrics.add("sim.data_reads", self.data_reads);
         metrics.add("sim.data_writes", self.data_writes);
@@ -96,6 +114,10 @@ impl SimStats {
         metrics.add("sim.flushed_entries", self.flushed_entries);
         metrics.add("sim.flush_stall_cycles", self.flush_stall_cycles);
         metrics.add("sim.invalidations_queued", self.invalidations_queued);
+        metrics.add(wmrd_trace::metric_keys::OOO_RETIRED, self.ooo_retired);
+        metrics.add(wmrd_trace::metric_keys::OOO_FLUSHES, self.ooo_flushes);
+        metrics.add(wmrd_trace::metric_keys::OOO_FORWARDS, self.ooo_forwards);
+        metrics.add(wmrd_trace::metric_keys::OOO_LOAD_FILLS, self.ooo_load_fills);
     }
 }
 
@@ -121,6 +143,17 @@ mod tests {
         assert_eq!(m.counter("sim.data_reads"), Some(4));
         assert_eq!(m.counter("sim.stale_reads"), Some(1));
         assert_eq!(m.counter("sim.invalidations_queued"), Some(0));
+    }
+
+    #[test]
+    fn record_into_includes_ooo_namespace() {
+        let stats = SimStats { ooo_retired: 6, ooo_forwards: 2, ..SimStats::default() };
+        let m = Metrics::enabled();
+        stats.record_into(&m);
+        assert_eq!(m.counter("ooo.retired"), Some(6));
+        assert_eq!(m.counter("ooo.forwards"), Some(2));
+        assert_eq!(m.counter("ooo.flushes"), Some(0));
+        assert_eq!(m.counter("ooo.load_fills"), Some(0));
     }
 
     #[test]

@@ -529,6 +529,18 @@ pub mod keys {
     pub const PREDICT_CROSSCHECK_VIOLATIONS: &str = "predict.crosscheck_violations";
     /// Phase: wall-clock time spent in predictive analysis.
     pub const PREDICT_ANALYSIS: &str = "predict.analysis";
+    /// Counter: reorder-buffer entries retired in program order by the
+    /// out-of-order machine.
+    pub const OOO_RETIRED: &str = "ooo.retired";
+    /// Counter: full pipeline drains (ROB + store buffer) at fences and
+    /// synchronization points on the out-of-order machine.
+    pub const OOO_FLUSHES: &str = "ooo.flushes";
+    /// Counter: load fills served by store-to-load forwarding from the
+    /// issuing core's own in-flight or buffered stores.
+    pub const OOO_FORWARDS: &str = "ooo.forwards";
+    /// Counter: load-fill completions — issued loads bound to a value,
+    /// in any order the speculation window permits.
+    pub const OOO_LOAD_FILLS: &str = "ooo.load_fills";
 }
 
 #[cfg(test)]
@@ -637,6 +649,12 @@ mod tests {
             keys::PREDICT_ANALYSIS,
         ] {
             assert!(key.starts_with("predict."), "{key}");
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+        }
+        for key in
+            [keys::OOO_RETIRED, keys::OOO_FLUSHES, keys::OOO_FORWARDS, keys::OOO_LOAD_FILLS]
+        {
+            assert!(key.starts_with("ooo."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
         }
     }

@@ -119,6 +119,44 @@ for key in $predict_keys serve.predictions; do
     fi
 done
 
+echo "== ooo smoke (out-of-order pipeline backend)"
+# The pipeline's in-module suite, the three-backend differential xtest
+# (catalog sweep, enumeration subset, fenced/SC final-memory parity,
+# raw-witness golden), and the CLI surface: every hardware style must
+# parse on every command that takes --hw.
+cargo test -q -p wmrd-sim ooo
+cargo test -q -p wmrd-xtests --test ooo
+cargo run -q -p wmrd-cli --bin wmrd -- run fig1a --hw ooo --model wo > /dev/null
+cargo run -q -p wmrd-cli --bin wmrd -- check fig1b --hw ooo --seeds 4 > /dev/null
+if cargo run -q -p wmrd-cli --bin wmrd -- run fig1a --hw rob --model wo > /dev/null 2>&1; then
+    echo "check.sh: wmrd run --hw rob must exit non-zero (unknown hardware style)" >&2
+    exit 1
+fi
+
+echo "== ooo documentation gates"
+# The ooo hardware style must stay documented in the help text, E16 in
+# EXPERIMENTS.md, and every ooo.* metric key the code defines must
+# appear in OBSERVABILITY.md (same discipline as the predict gate).
+if ! cargo run -q -p wmrd-cli --bin wmrd -- help | grep -q -- "--hw store-buffer|inval-queue|ooo"; then
+    echo "check.sh: wmrd help does not document --hw ooo" >&2
+    exit 1
+fi
+if ! grep -q "^## E16" EXPERIMENTS.md; then
+    echo "check.sh: EXPERIMENTS.md is missing the E16 section" >&2
+    exit 1
+fi
+ooo_keys=$(sed -n 's/^.*"\(ooo\.[a-z_][a-z_]*\)".*$/\1/p' crates/trace/src/metrics.rs | sort -u)
+if [ -z "$ooo_keys" ]; then
+    echo "check.sh: could not extract ooo.* keys from crates/trace/src/metrics.rs" >&2
+    exit 1
+fi
+for key in $ooo_keys; do
+    if ! grep -q "$key" OBSERVABILITY.md; then
+        echo "check.sh: metric key $key is not documented in OBSERVABILITY.md" >&2
+        exit 1
+    fi
+done
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

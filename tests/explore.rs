@@ -54,7 +54,7 @@ fn seeded_schedulers_replay_byte_identically() {
         let b = sc_trace(&program, seed);
         assert_eq!(a, b, "RandomSched seed {seed}");
         assert_eq!(a.to_binary(), b.to_binary(), "RandomSched seed {seed}: bytes");
-        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+        for hw in HwImpl::ALL {
             let a = weak_trace(&program, hw, seed);
             let b = weak_trace(&program, hw, seed);
             assert_eq!(a, b, "RandomWeakSched seed {seed} on {hw}");
@@ -74,7 +74,7 @@ fn seeded_schedulers_replay_byte_identically() {
 fn campaign_report_is_independent_of_worker_count() {
     let program = catalog::work_queue_buggy().program;
     let spec = CampaignSpec::new(0, 24)
-        .with_hws(vec![HwImpl::StoreBuffer, HwImpl::InvalQueue])
+        .with_hws(HwImpl::ALL.to_vec())
         .with_models(vec![MemoryModel::Wo, MemoryModel::RCsc]);
     let serial = run_campaign(&program, &spec, 1, &Metrics::disabled()).unwrap();
     for jobs in [2, 4, 8] {

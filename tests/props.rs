@@ -642,3 +642,79 @@ proptest! {
         prop_assert_eq!(forward.query(&Query::Races).unwrap(), before);
     }
 }
+
+// --- Out-of-order pipeline: Condition 3.4 in property form ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Condition 3.4 for the speculative pipeline, property form:
+    /// random *locked* (data-race-free) programs run through the
+    /// conditioned OoO backend always linearize — out-of-order load
+    /// completion, store forwarding, and renaming never escape the SC
+    /// envelope when the program is properly synchronized.
+    #[test]
+    fn ooo_locked_runs_match_sc_outcomes(prog_seed in 0u64..60, sched_seed in 0u64..10) {
+        let cfg = generate::GenConfig {
+            procs: 2,
+            sections_per_proc: 2,
+            ops_per_section: 3,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::locked(&cfg);
+        let mut sink = wmrd_trace::OpRecorder::new(program.num_procs());
+        let mut sched = wmrd_sim::RandomWeakSched::new(sched_seed, 0.4);
+        wmrd_sim::run_weak_hw(
+            wmrd_sim::HwImpl::Ooo,
+            &program,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            &mut sched,
+            &mut sink,
+            RunConfig::uniform(),
+        )
+        .unwrap();
+        prop_assert!(is_sequentially_consistent(
+            &sink.finish(),
+            &program.initial_memory()
+        ));
+    }
+
+    /// The racy half of the same property: random programs *with*
+    /// races still satisfy Condition 3.4 on the conditioned pipeline —
+    /// racy executions' first partitions contain races the SC
+    /// enumeration also exhibits, and the race-free prefix linearizes.
+    /// Reuses the verify crate's full decision procedure.
+    #[test]
+    fn ooo_random_programs_satisfy_condition_3_4(prog_seed in 0u64..16) {
+        use std::collections::HashSet;
+        use wmrd_core::PairingPolicy;
+        use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
+        use wmrd_verify::{enumerate_sc, EnumConfig};
+
+        let cfg = generate::GenConfig {
+            procs: 2,
+            sections_per_proc: 1,
+            ops_per_section: 3,
+            rogue_fraction: 0.6,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = generate::racy(&cfg);
+        let sc = enumerate_sc(&program, &EnumConfig::default()).unwrap();
+        let sigs: HashSet<_> =
+            sc_race_signatures(&sc.executions, PairingPolicy::ByRole).unwrap();
+        let outcomes = check_condition_3_4_hw(
+            wmrd_sim::HwImpl::Ooo,
+            &program,
+            MemoryModel::Wo,
+            Fidelity::Conditioned,
+            0..4,
+            &sigs,
+            PairingPolicy::ByRole,
+        )
+        .unwrap();
+        for o in &outcomes {
+            prop_assert!(o.holds(), "seed {}: Condition 3.4 violated on OoO: {o:?}", o.seed);
+        }
+    }
+}

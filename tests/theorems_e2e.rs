@@ -27,7 +27,7 @@ fn sampled_sigs(program: &wmrd_sim::Program) -> HashSet<RaceSignature> {
 fn condition_3_4_holds_across_catalog_and_models() {
     for entry in catalog::all() {
         let sigs = if entry.racy { sampled_sigs(&entry.program) } else { HashSet::new() };
-        for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+        for hw in HwImpl::ALL {
             for model in MemoryModel::WEAK {
                 let outcomes = check_condition_3_4_hw(
                     hw,
@@ -102,9 +102,10 @@ fn drf_programs_appear_sequentially_consistent_on_weak_hardware() {
 fn raw_hardware_breaks_the_guarantee() {
     // Store buffers go wrong on the writer side (the second data write
     // still buffered when its flag is observed); invalidation queues on
-    // the reader side (a cached copy from round one never invalidated).
-    // The ping-pong workload exposes both.
-    for hw in [HwImpl::StoreBuffer, HwImpl::InvalQueue] {
+    // the reader side (a cached copy from round one never invalidated);
+    // the raw pipeline on both, plus speculated synchronization. The
+    // ping-pong workload exposes all three.
+    for hw in HwImpl::ALL {
         let entry = catalog::ping_pong();
         let mut violation = false;
         for seed in 0..80 {
