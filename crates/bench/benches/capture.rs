@@ -1,0 +1,98 @@
+//! Capture-layer cost: what instrumentation adds to the atomics a
+//! workload already performs, and what a captured run costs end to end.
+//!
+//! Two questions matter for a tracing frontend. First, per-event
+//! overhead: an instrumented atomic op pays the packed-word CAS plus a
+//! thread-local log push, and a data-cell access pays only the log
+//! push — both measured against the raw `std::sync::atomic` op they
+//! wrap. Second, capture-to-analyze latency: the full journey from
+//! "run the workload" through merge, trace build, and hb1 race
+//! detection, which bounds how fast a capture-based CI gate can spin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wmrd_capture::{workloads, CaptureSession};
+use wmrd_core::{detect_races, event_race_keys, HbGraph, PairingPolicy};
+
+const OPS: u64 = 1_000;
+
+fn bench_collector_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture-overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS));
+
+    // Baseline: the uninstrumented ops the wrappers stand in for.
+    group.bench_function("raw-atomic-store-load", |b| {
+        let word = AtomicU64::new(0);
+        b.iter(|| {
+            for i in 0..OPS {
+                word.store(i, Ordering::Release);
+                std::hint::black_box(word.load(Ordering::Acquire));
+            }
+        })
+    });
+
+    // Instrumented, on a registered thread: packed-word op + stamp +
+    // thread-local push per event. One session per iteration so log
+    // growth is part of the measured cost, as it is in a real run.
+    group.bench_function("cap-atomic-store-load", |b| {
+        b.iter(|| {
+            let mut session = CaptureSession::new("bench", 0);
+            let atom = session.atomic(0u32);
+            session.run(|scope| {
+                scope.spawn(|| {
+                    for i in 0..OPS {
+                        atom.store(i as u32, Ordering::Release);
+                        std::hint::black_box(atom.load(Ordering::Acquire));
+                    }
+                });
+            });
+            session.finish().stats().ops()
+        })
+    });
+
+    // Data-cell accesses skip the stamp counter entirely: the log push
+    // and nudge-plan decision are the whole per-event cost.
+    group.bench_function("cap-cell-set-get", |b| {
+        b.iter(|| {
+            let mut session = CaptureSession::new("bench", 0);
+            let cell = session.cell(0u32);
+            session.run(|scope| {
+                scope.spawn(|| {
+                    for i in 0..OPS {
+                        cell.set(i as u32);
+                        std::hint::black_box(cell.get());
+                    }
+                });
+            });
+            session.finish().stats().ops()
+        })
+    });
+    group.finish();
+}
+
+fn bench_capture_to_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture-to-analyze");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // The full pipeline per registry workload: spawn real threads, run,
+    // merge, build the event trace, detect races. This is the unit a
+    // capture-based smoke gate pays per seed.
+    for w in workloads::all() {
+        group.bench_with_input(BenchmarkId::new("workload", w.name), w, |b, w| {
+            b.iter(|| {
+                let trace = w.capture(7).to_traceset();
+                let hb = HbGraph::build(&trace, PairingPolicy::ByRole)
+                    .expect("captured traces validate");
+                event_race_keys(&detect_races(&trace, &hb), &trace).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collector_overhead, bench_capture_to_analyze);
+criterion_main!(benches);

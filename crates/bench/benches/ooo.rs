@@ -11,25 +11,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use wmrd_progs::catalog;
 use wmrd_sim::{
-    run_weak_hw, CampaignRunner, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched,
-    RunConfig,
+    run_weak_hw, CampaignRunner, Fidelity, HwImpl, MemoryModel, Program, RandomWeakSched, RunConfig,
 };
 use wmrd_trace::NullSink;
 
 fn one_run(program: &Program, hw: HwImpl, fidelity: Fidelity, seed: u64) -> u64 {
     let mut sched = RandomWeakSched::new(seed, 0.3);
     let mut sink = NullSink::new();
-    run_weak_hw(
-        hw,
-        program,
-        MemoryModel::Wo,
-        fidelity,
-        &mut sched,
-        &mut sink,
-        RunConfig::default(),
-    )
-    .expect("bench programs run to completion")
-    .steps
+    run_weak_hw(hw, program, MemoryModel::Wo, fidelity, &mut sched, &mut sink, RunConfig::default())
+        .expect("bench programs run to completion")
+        .steps
 }
 
 fn bench_ooo(c: &mut Criterion) {

@@ -1,0 +1,554 @@
+//! Instrumented atomic and plain-data cells.
+//!
+//! [`CapAtomic`] packs the user value and the identity of the last
+//! release write into one `AtomicU64` (low 32 bits value, high 32 bits
+//! release stamp, 0 = "last write was not a release"). Every real
+//! memory operation is a single atomic access on that word, so the
+//! wrapper observes value and writer identity together — the
+//! `observed_release` field of the logged sync read is exact, with no
+//! second-load window. The cost is that captured atomics hold 32-bit
+//! payloads; [`CapValue`] enumerates the supported types.
+//!
+//! Ordering mapping (DESIGN.md §10): `Relaxed` accesses log as *data*
+//! operations — they order nothing, which is exactly the paper's data
+//! class — and a relaxed store packs stamp 0, erasing the release
+//! identity just as it breaks the synchronizes-with chain in Rust.
+//! `Acquire`-class loads log a sync read with [`SyncRole::Acquire`];
+//! `Release`-class stores log a sync write with [`SyncRole::Release`].
+//! Read-modify-writes log the paper's Test&Set shape — a sync read
+//! micro-op followed by a sync write micro-op — with each half's role
+//! determined by whether the ordering acquires / releases. This
+//! follows the paper's model, not C++ release sequences: only a read
+//! that directly observes a release write gets an `observed_release`.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wmrd_trace::{AccessKind, Location, SyncRole};
+
+use crate::collector::{self, CapOp};
+
+/// Values storable in a [`CapAtomic`] / [`CapCell`]: anything with a
+/// faithful 32-bit encoding.
+pub trait CapValue: Copy {
+    /// Encodes the value into 32 bits.
+    fn to_bits(self) -> u32;
+    /// Decodes a value from 32 bits (truncating to the type's range).
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl CapValue for u32 {
+    fn to_bits(self) -> u32 {
+        self
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl CapValue for i32 {
+    fn to_bits(self) -> u32 {
+        self as u32
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+impl CapValue for u16 {
+    fn to_bits(self) -> u32 {
+        u32::from(self)
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits as u16
+    }
+}
+
+impl CapValue for u8 {
+    fn to_bits(self) -> u32 {
+        u32::from(self)
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits as u8
+    }
+}
+
+impl CapValue for bool {
+    fn to_bits(self) -> u32 {
+        u32::from(self)
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits & 1 != 0
+    }
+}
+
+fn pack(stamp: u64, bits: u32) -> u64 {
+    (stamp << 32) | u64::from(bits)
+}
+
+fn unpack(word: u64) -> (u64, u32) {
+    (word >> 32, word as u32)
+}
+
+fn observed_from(stamp: u64) -> Option<u64> {
+    (stamp != 0).then_some(stamp)
+}
+
+/// The sync role of a load under `order`, or `None` for a data-class
+/// (relaxed) load. Panics on store-only orderings, mirroring std.
+fn load_role(order: Ordering) -> Option<SyncRole> {
+    match order {
+        Ordering::Relaxed => None,
+        Ordering::Acquire | Ordering::SeqCst => Some(SyncRole::Acquire),
+        Ordering::Release | Ordering::AcqRel => {
+            panic!("there is no such thing as a release/acq_rel load")
+        }
+        _ => Some(SyncRole::Acquire),
+    }
+}
+
+/// The sync role of a store under `order`, or `None` for a data-class
+/// (relaxed) store. Panics on load-only orderings, mirroring std.
+fn store_role(order: Ordering) -> Option<SyncRole> {
+    match order {
+        Ordering::Relaxed => None,
+        Ordering::Release | Ordering::SeqCst => Some(SyncRole::Release),
+        Ordering::Acquire | Ordering::AcqRel => {
+            panic!("there is no such thing as an acquire/acq_rel store")
+        }
+        _ => Some(SyncRole::Release),
+    }
+}
+
+/// The (read-half, write-half) roles of a read-modify-write, or `None`
+/// when `Relaxed` makes both halves data operations.
+fn rmw_roles(order: Ordering) -> Option<(SyncRole, SyncRole)> {
+    match order {
+        Ordering::Relaxed => None,
+        Ordering::Acquire => Some((SyncRole::Acquire, SyncRole::None)),
+        Ordering::Release => Some((SyncRole::None, SyncRole::Release)),
+        _ => Some((SyncRole::Acquire, SyncRole::Release)),
+    }
+}
+
+/// An instrumented atomic cell with the full
+/// [`Ordering`](std::sync::atomic::Ordering) menu. Create one with
+/// [`CaptureSession::atomic`](crate::CaptureSession::atomic).
+#[derive(Debug)]
+pub struct CapAtomic<T> {
+    word: AtomicU64,
+    loc: Location,
+    _value: PhantomData<T>,
+}
+
+impl<T: CapValue> CapAtomic<T> {
+    pub(crate) fn new(loc: Location, init: T) -> Self {
+        CapAtomic { word: AtomicU64::new(pack(0, init.to_bits())), loc, _value: PhantomData }
+    }
+
+    /// The trace location this cell logs under.
+    pub fn location(&self) -> Location {
+        self.loc
+    }
+
+    /// Atomically loads the value; `Relaxed` logs a data read,
+    /// acquire-class orderings log a sync read whose
+    /// `observed_release` identifies the release write it returned.
+    pub fn load(&self, order: Ordering) -> T {
+        let role = load_role(order);
+        collector::prologue();
+        let (stamp, bits) = unpack(self.word.load(order));
+        match role {
+            None => collector::log(CapOp::Data {
+                loc: self.loc,
+                kind: AccessKind::Read,
+                value: i64::from(bits),
+            }),
+            Some(role) => {
+                let own = collector::take_stamp();
+                collector::log(CapOp::Sync {
+                    loc: self.loc,
+                    kind: AccessKind::Read,
+                    role,
+                    value: i64::from(bits),
+                    stamp: own,
+                    observed: observed_from(stamp),
+                    pair: false,
+                });
+            }
+        }
+        T::from_bits(bits)
+    }
+
+    /// Atomically stores `value`; `Relaxed` logs a data write (and
+    /// erases the release identity), release-class orderings log a
+    /// sync write and publish its stamp for future acquire loads.
+    pub fn store(&self, value: T, order: Ordering) {
+        let role = store_role(order);
+        collector::prologue();
+        let bits = value.to_bits();
+        match role {
+            None => {
+                self.word.store(pack(0, bits), order);
+                collector::log(CapOp::Data {
+                    loc: self.loc,
+                    kind: AccessKind::Write,
+                    value: i64::from(bits),
+                });
+            }
+            Some(role) => {
+                let stamp = collector::take_stamp();
+                self.word.store(pack(stamp, bits), order);
+                collector::log(CapOp::Sync {
+                    loc: self.loc,
+                    kind: AccessKind::Write,
+                    role,
+                    value: i64::from(bits),
+                    stamp,
+                    observed: None,
+                    pair: false,
+                });
+            }
+        }
+    }
+
+    /// Atomically swaps in `value`, returning the previous value.
+    /// Logs the Test&Set micro-op pair (or a data read + data write
+    /// for `Relaxed`).
+    pub fn swap(&self, value: T, order: Ordering) -> T {
+        collector::prologue();
+        let new_bits = value.to_bits();
+        match rmw_roles(order) {
+            None => {
+                let (_, old_bits) = unpack(self.word.swap(pack(0, new_bits), order));
+                collector::log(CapOp::Data {
+                    loc: self.loc,
+                    kind: AccessKind::Read,
+                    value: i64::from(old_bits),
+                });
+                collector::log(CapOp::Data {
+                    loc: self.loc,
+                    kind: AccessKind::Write,
+                    value: i64::from(new_bits),
+                });
+                T::from_bits(old_bits)
+            }
+            Some((read_role, write_role)) => {
+                let read_stamp = collector::take_stamp();
+                let write_stamp = collector::take_stamp();
+                let packed = if write_role == SyncRole::Release { write_stamp } else { 0 };
+                let (old_stamp, old_bits) = unpack(self.word.swap(pack(packed, new_bits), order));
+                self.log_rmw(
+                    read_role,
+                    write_role,
+                    old_bits,
+                    new_bits,
+                    read_stamp,
+                    write_stamp,
+                    old_stamp,
+                );
+                T::from_bits(old_bits)
+            }
+        }
+    }
+
+    /// Atomically compares-and-exchanges, logging a successful
+    /// exchange as the Test&Set micro-op pair and a failed one as the
+    /// lone (sync or data) read that refuted `current`.
+    pub fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T> {
+        collector::prologue();
+        let cur_bits = current.to_bits();
+        let new_bits = new.to_bits();
+        loop {
+            let old_word = self.word.load(Ordering::Relaxed);
+            let (old_stamp, old_bits) = unpack(old_word);
+            if old_bits != cur_bits {
+                // Failed exchange: one load with the failure ordering.
+                let (seen_stamp, seen_bits) = unpack(self.word.load(failure));
+                match load_role(failure) {
+                    None => collector::log(CapOp::Data {
+                        loc: self.loc,
+                        kind: AccessKind::Read,
+                        value: i64::from(seen_bits),
+                    }),
+                    Some(role) => {
+                        let own = collector::take_stamp();
+                        collector::log(CapOp::Sync {
+                            loc: self.loc,
+                            kind: AccessKind::Read,
+                            role,
+                            value: i64::from(seen_bits),
+                            stamp: own,
+                            observed: observed_from(seen_stamp),
+                            pair: false,
+                        });
+                    }
+                }
+                return Err(T::from_bits(seen_bits));
+            }
+            match rmw_roles(success) {
+                None => {
+                    if self
+                        .word
+                        .compare_exchange_weak(
+                            old_word,
+                            pack(0, new_bits),
+                            success,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        collector::log(CapOp::Data {
+                            loc: self.loc,
+                            kind: AccessKind::Read,
+                            value: i64::from(old_bits),
+                        });
+                        collector::log(CapOp::Data {
+                            loc: self.loc,
+                            kind: AccessKind::Write,
+                            value: i64::from(new_bits),
+                        });
+                        return Ok(T::from_bits(old_bits));
+                    }
+                }
+                Some((read_role, write_role)) => {
+                    let read_stamp = collector::take_stamp();
+                    let write_stamp = collector::take_stamp();
+                    let packed = if write_role == SyncRole::Release { write_stamp } else { 0 };
+                    if self
+                        .word
+                        .compare_exchange_weak(
+                            old_word,
+                            pack(packed, new_bits),
+                            success,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        self.log_rmw(
+                            read_role,
+                            write_role,
+                            old_bits,
+                            new_bits,
+                            read_stamp,
+                            write_stamp,
+                            old_stamp,
+                        );
+                        return Ok(T::from_bits(old_bits));
+                    }
+                    // Lost the race for the word: stamps are discarded
+                    // (uniqueness is all that matters) and we retry.
+                }
+            }
+        }
+    }
+
+    /// Atomically adds to the value (wrapping), returning the previous
+    /// value; logged like [`CapAtomic::swap`].
+    pub fn fetch_add(&self, delta: T, order: Ordering) -> T {
+        self.fetch_update_bits(order, |bits| bits.wrapping_add(delta.to_bits()))
+    }
+
+    /// Atomically ORs into the value, returning the previous value;
+    /// logged like [`CapAtomic::swap`].
+    pub fn fetch_or(&self, mask: T, order: Ordering) -> T {
+        self.fetch_update_bits(order, |bits| bits | mask.to_bits())
+    }
+
+    fn fetch_update_bits(&self, order: Ordering, f: impl Fn(u32) -> u32) -> T {
+        collector::prologue();
+        let roles = rmw_roles(order);
+        loop {
+            let old_word = self.word.load(Ordering::Relaxed);
+            let (old_stamp, old_bits) = unpack(old_word);
+            let new_bits = T::from_bits(f(old_bits)).to_bits();
+            match roles {
+                None => {
+                    if self
+                        .word
+                        .compare_exchange_weak(
+                            old_word,
+                            pack(0, new_bits),
+                            order,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        collector::log(CapOp::Data {
+                            loc: self.loc,
+                            kind: AccessKind::Read,
+                            value: i64::from(old_bits),
+                        });
+                        collector::log(CapOp::Data {
+                            loc: self.loc,
+                            kind: AccessKind::Write,
+                            value: i64::from(new_bits),
+                        });
+                        return T::from_bits(old_bits);
+                    }
+                }
+                Some((read_role, write_role)) => {
+                    let read_stamp = collector::take_stamp();
+                    let write_stamp = collector::take_stamp();
+                    let packed = if write_role == SyncRole::Release { write_stamp } else { 0 };
+                    if self
+                        .word
+                        .compare_exchange_weak(
+                            old_word,
+                            pack(packed, new_bits),
+                            order,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        self.log_rmw(
+                            read_role,
+                            write_role,
+                            old_bits,
+                            new_bits,
+                            read_stamp,
+                            write_stamp,
+                            old_stamp,
+                        );
+                        return T::from_bits(old_bits);
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn log_rmw(
+        &self,
+        read_role: SyncRole,
+        write_role: SyncRole,
+        old_bits: u32,
+        new_bits: u32,
+        read_stamp: u64,
+        write_stamp: u64,
+        old_stamp: u64,
+    ) {
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Read,
+            role: read_role,
+            value: i64::from(old_bits),
+            stamp: read_stamp,
+            observed: observed_from(old_stamp),
+            pair: true,
+        });
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Write,
+            role: write_role,
+            value: i64::from(new_bits),
+            stamp: write_stamp,
+            observed: None,
+            pair: false,
+        });
+    }
+}
+
+/// A plain shared variable: every access logs a *data* operation.
+///
+/// Internally a relaxed atomic, so deliberately racy workloads remain
+/// well-defined Rust — the hardware does an atomic access, the log
+/// says data, and the detector is what flags the race.
+#[derive(Debug)]
+pub struct CapCell<T> {
+    bits: AtomicU64,
+    loc: Location,
+    _value: PhantomData<T>,
+}
+
+impl<T: CapValue> CapCell<T> {
+    pub(crate) fn new(loc: Location, init: T) -> Self {
+        CapCell { bits: AtomicU64::new(u64::from(init.to_bits())), loc, _value: PhantomData }
+    }
+
+    /// The trace location this cell logs under.
+    pub fn location(&self) -> Location {
+        self.loc
+    }
+
+    /// Reads the value, logging a data read.
+    pub fn get(&self) -> T {
+        collector::prologue();
+        let bits = self.bits.load(Ordering::Relaxed) as u32;
+        collector::log(CapOp::Data {
+            loc: self.loc,
+            kind: AccessKind::Read,
+            value: i64::from(bits),
+        });
+        T::from_bits(bits)
+    }
+
+    /// Writes the value, logging a data write.
+    pub fn set(&self, value: T) {
+        collector::prologue();
+        let bits = value.to_bits();
+        self.bits.store(u64::from(bits), Ordering::Relaxed);
+        collector::log(CapOp::Data {
+            loc: self.loc,
+            kind: AccessKind::Write,
+            value: i64::from(bits),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        let word = pack(0xdead_beef, 0x1234_5678);
+        assert_eq!(unpack(word), (0xdead_beef, 0x1234_5678));
+    }
+
+    #[test]
+    fn cap_value_round_trips() {
+        assert_eq!(i32::from_bits((-7i32).to_bits()), -7);
+        assert_eq!(u8::from_bits(0x1ff), 0xff);
+        assert!(bool::from_bits(true.to_bits()));
+        assert!(!bool::from_bits(false.to_bits()));
+        assert_eq!(u16::from_bits(0x1_0002), 2);
+    }
+
+    // Wrappers on an unregistered thread still perform the real
+    // memory operation (and log nothing).
+    #[test]
+    fn unregistered_threads_still_compute() {
+        let a: CapAtomic<u32> = CapAtomic::new(Location::new(0), 5);
+        assert_eq!(a.load(Ordering::Acquire), 5);
+        a.store(9, Ordering::Release);
+        assert_eq!(a.swap(11, Ordering::AcqRel), 9);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 11);
+        assert_eq!(a.compare_exchange(12, 20, Ordering::AcqRel, Ordering::Acquire), Ok(12));
+        assert_eq!(a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire), Err(20));
+        let c: CapCell<i32> = CapCell::new(Location::new(1), -3);
+        assert_eq!(c.get(), -3);
+        c.set(4);
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "release/acq_rel load")]
+    fn release_load_panics() {
+        let a: CapAtomic<u32> = CapAtomic::new(Location::new(0), 0);
+        let _ = a.load(Ordering::Release);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire/acq_rel store")]
+    fn acquire_store_panics() {
+        let a: CapAtomic<u32> = CapAtomic::new(Location::new(0), 0);
+        a.store(1, Ordering::Acquire);
+    }
+}

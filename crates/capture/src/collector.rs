@@ -1,0 +1,262 @@
+//! The sharded in-process collector behind a capture session.
+//!
+//! Every instrumented wrapper logs into a **thread-local** buffer — no
+//! lock, no cross-thread cache traffic on the hot path — and the only
+//! shared mutable state touched per operation is one `fetch_add` on
+//! the global stamp counter, taken by sync operations alone. A
+//! thread's buffer is committed into the collector when the thread
+//! finishes, including by panic unwind: the registration guard's
+//! `Drop` runs either way, so a crashing workload still yields the
+//! committed prefix of everything it logged (the same contract the
+//! trace layer's `StreamWriter` documents for files).
+//!
+//! Buffers are bounded: past [`Collector::MAX_OPS_PER_THREAD`]
+//! operations a thread's further accesses still *execute* (capture
+//! must never change program behavior) but are dropped from the log
+//! and counted, so a runaway spin loop cannot exhaust memory.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wmrd_trace::{AccessKind, Location, ProcId, SyncRole};
+
+use crate::nudge::NudgePlan;
+
+/// One logged operation, before the post-run merge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CapOp {
+    /// A data-class access (paper Section 2: orders nothing).
+    Data {
+        /// Location accessed.
+        loc: Location,
+        /// Read or write.
+        kind: AccessKind,
+        /// Value read or written.
+        value: i64,
+    },
+    /// A synchronization access, stamped into the global sync order.
+    Sync {
+        /// Location accessed.
+        loc: Location,
+        /// Read or write.
+        kind: AccessKind,
+        /// Acquire/release/plain role.
+        role: SyncRole,
+        /// Value read or written.
+        value: i64,
+        /// This operation's global stamp (unique, monotone per thread).
+        stamp: u64,
+        /// For sync reads: the stamp of the release write whose value
+        /// was returned, if any — resolved to an `OpId` at replay.
+        observed: Option<u64>,
+        /// True for the read half of an atomic read-modify-write
+        /// (Test&Set): the next op in this thread's log is the paired
+        /// write half and must stay adjacent in the merged schedule.
+        pair: bool,
+    },
+}
+
+/// Aggregate statistics of one capture run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Data operations logged.
+    pub data_ops: u64,
+    /// Synchronization operations logged.
+    pub sync_ops: u64,
+    /// Threads registered as processors.
+    pub threads: u64,
+    /// Schedule nudges (yields/spins) injected by the plan.
+    pub nudges: u64,
+    /// Operations dropped by the per-thread log bound.
+    pub dropped_ops: u64,
+    /// Worker closures that panicked (their logged prefix is kept).
+    pub panics: u64,
+    /// Sync reads whose observed release write never made it into any
+    /// committed log (unregistered writer, or dropped by the bound);
+    /// they replay with `observed_release = None`.
+    pub unresolved_observed: u64,
+}
+
+impl CaptureStats {
+    /// Total operations logged.
+    pub fn ops(&self) -> u64 {
+        self.data_ops + self.sync_ops
+    }
+}
+
+/// Shared collector state: the stamp counter plus one committed-log
+/// slot per registered processor.
+#[derive(Debug)]
+pub(crate) struct Collector {
+    /// Next stamp; stamp 0 means "no release", so the counter starts
+    /// at 1.
+    stamp: AtomicU64,
+    /// Next processor id to assign to a spawned thread.
+    next_proc: AtomicU16,
+    logs: Mutex<Vec<Option<Vec<CapOp>>>>,
+    nudges: AtomicU64,
+    dropped: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Collector {
+    /// Per-thread log bound; accesses beyond it execute unlogged.
+    pub(crate) const MAX_OPS_PER_THREAD: usize = 1 << 20;
+
+    pub(crate) fn new() -> Self {
+        Collector {
+            stamp: AtomicU64::new(1),
+            next_proc: AtomicU16::new(0),
+            logs: Mutex::new(Vec::new()),
+            nudges: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    fn take_stamp(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Assigns the next processor id (spawn order).
+    pub(crate) fn assign_proc(&self) -> ProcId {
+        ProcId::new(self.next_proc.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Number of processors assigned so far.
+    pub(crate) fn procs(&self) -> usize {
+        usize::from(self.next_proc.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn commit(&self, proc: ProcId, log: Vec<CapOp>, nudges: u64, dropped: u64) {
+        self.nudges.fetch_add(nudges, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+        if logs.len() <= proc.index() {
+            logs.resize_with(proc.index() + 1, || None);
+        }
+        logs[proc.index()] = Some(log);
+    }
+
+    /// Drains the committed per-processor logs (missing slots become
+    /// empty logs) and the run's aggregate statistics.
+    pub(crate) fn drain(&self) -> (Vec<Vec<CapOp>>, CaptureStats) {
+        let procs = self.procs();
+        let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+        let len = procs.max(logs.len());
+        logs.resize_with(len, || None);
+        let logs: Vec<Vec<CapOp>> = logs.drain(..).map(Option::unwrap_or_default).collect();
+        let mut stats = CaptureStats {
+            threads: logs.len() as u64,
+            nudges: self.nudges.load(Ordering::Relaxed),
+            dropped_ops: self.dropped.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            ..CaptureStats::default()
+        };
+        for op in logs.iter().flatten() {
+            match op {
+                CapOp::Data { .. } => stats.data_ops += 1,
+                CapOp::Sync { .. } => stats.sync_ops += 1,
+            }
+        }
+        (logs, stats)
+    }
+}
+
+/// The per-thread capture context installed by thread registration.
+struct ThreadCtx {
+    proc: ProcId,
+    collector: Arc<Collector>,
+    plan: NudgePlan,
+    log: Vec<CapOp>,
+    op_index: u64,
+    nudges: u64,
+    dropped: u64,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// Commits the thread's log on drop — including during panic unwind,
+/// which is what preserves a crashing workload's logged prefix.
+pub(crate) struct Registration {
+    _private: (),
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        CTX.with(|slot| {
+            if let Some(ctx) = slot.borrow_mut().take() {
+                ctx.collector.commit(ctx.proc, ctx.log, ctx.nudges, ctx.dropped);
+            }
+        });
+    }
+}
+
+/// Installs the capture context for the current thread. The returned
+/// guard commits the log when dropped.
+pub(crate) fn register(proc: ProcId, collector: Arc<Collector>, plan: NudgePlan) -> Registration {
+    CTX.with(|slot| {
+        *slot.borrow_mut() = Some(ThreadCtx {
+            proc,
+            collector,
+            plan,
+            log: Vec::new(),
+            op_index: 0,
+            nudges: 0,
+            dropped: 0,
+        });
+    });
+    Registration { _private: () }
+}
+
+fn push(ctx: &mut ThreadCtx, op: CapOp) {
+    if ctx.log.len() >= Collector::MAX_OPS_PER_THREAD {
+        ctx.dropped += 1;
+    } else {
+        ctx.log.push(op);
+    }
+}
+
+/// Applies this operation's schedule nudge and advances the per-thread
+/// operation index. Wrappers call this exactly once per user-visible
+/// operation, before touching memory; a no-op on unregistered threads.
+pub(crate) fn prologue() {
+    // The nudge is decided inside the borrow but *applied* outside it,
+    // keeping the RefCell borrow scope minimal.
+    let nudge = CTX.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ctx = slot.as_mut()?;
+        let nudge = ctx.plan.decide(ctx.proc, ctx.op_index);
+        ctx.op_index += 1;
+        if !nudge.is_none() {
+            ctx.nudges += 1;
+        }
+        Some(nudge)
+    });
+    if let Some(nudge) = nudge {
+        nudge.apply();
+    }
+}
+
+/// Takes a fresh global stamp, or 0 on unregistered threads (0 is the
+/// "no release" sentinel, so unregistered writes publish nothing).
+pub(crate) fn take_stamp() -> u64 {
+    CTX.with(|slot| slot.borrow().as_ref().map(|ctx| ctx.collector.take_stamp()).unwrap_or(0))
+}
+
+/// Appends an operation to the current thread's log; a no-op on
+/// unregistered threads (the memory operation itself still executed).
+pub(crate) fn log(op: CapOp) {
+    CTX.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            push(ctx, op);
+        }
+    });
+}

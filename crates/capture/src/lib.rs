@@ -1,0 +1,99 @@
+//! Instrumented execution of *real* Rust workloads into the trace
+//! pipeline.
+//!
+//! Everything else in this workspace analyzes traces of the toy ISA —
+//! `.wmrd` assembly or the built-in catalog — while the paper's point
+//! is detecting races in real programs on weak hardware, traced by "a
+//! trusted facility (such as a compiler) that adds instrumentation".
+//! This crate plays that trusted facility for native Rust code: a set
+//! of drop-in wrappers over `std::sync` primitives that perform the
+//! *real* concurrent operation and log it as the paper's event
+//! vocabulary on the way through.
+//!
+//! * [`CapAtomic`] wraps an atomic cell with the full
+//!   [`Ordering`](std::sync::atomic::Ordering) menu. `Relaxed`
+//!   accesses are **data** operations (they order nothing, exactly the
+//!   paper's data class); `Acquire` loads are sync reads with
+//!   [`SyncRole::Acquire`], `Release` stores sync writes with
+//!   [`SyncRole::Release`]; read-modify-writes log the paper's
+//!   Test&Set shape, a sync read + sync write micro-op pair.
+//! * [`CapCell`] is a plain shared variable: every access is a data
+//!   operation. (Internally it is a relaxed atomic, so a deliberately
+//!   racy workload is still well-defined Rust — the *log* says data,
+//!   the hardware does an atomic access.)
+//! * [`CapMutex`] / [`CapCondvar`] wrap `std::sync::Mutex` and
+//!   `Condvar`, logging lock acquisition as the paper's Test&Set
+//!   (acquire read observing the previous holder's release, plus a
+//!   plain sync write) and unlock as Unset (release write).
+//! * [`CaptureSession`] owns locations, registers scoped threads as
+//!   processors, perturbs schedules with a seed-keyed [`NudgePlan`],
+//!   and merges the per-thread logs into one deterministic replayable
+//!   operation sequence — [`CaptureTrace`] — that feeds any
+//!   [`TraceSink`](wmrd_trace::TraceSink): the in-memory v2
+//!   [`TraceSet`](wmrd_trace::TraceSet) builder, the operation-granular
+//!   `WMRS` stream writer, or an on-the-fly detector.
+//!
+//! The captured runs flow unchanged through `wmrd analyze`, the serve
+//! daemon (`SUBMIT` and live `STREAM`/`FEED`), `wmrd predict`, and the
+//! content-addressed catalog; `wmrd capture` is the CLI entry point.
+//!
+//! # How `observed_release` is exact
+//!
+//! so1 pairing (Definition 2.1(3)) needs to know *which* release write
+//! an acquire read returned the value of. Asking the thread after the
+//! fact races with other writers, so [`CapAtomic`] packs the writer's
+//! identity next to the value in one 64-bit atomic word: the low half
+//! is the stored value, the high half the global *stamp* of the
+//! release write that stored it (0 for non-release writes). A single
+//! atomic load observes value and writer identity together — no
+//! window. Stamps come from one global counter; every sync operation
+//! takes one, and the post-run merge emits operations in a
+//! topological order of *program order ∪ observed-edges* (both respect
+//! real time, so the union is acyclic), using stamps as the priority
+//! and as the write identity that resolves `observed` references to
+//! operation ids. The result is one legal interleaving consistent
+//! with what the hardware actually did.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::Ordering;
+//! use wmrd_capture::CaptureSession;
+//!
+//! let mut session = CaptureSession::new("publish", 7);
+//! let data = session.cell(0u32);
+//! let flag = session.atomic(0u32);
+//! session.run(|scope| {
+//!     scope.spawn(|| {
+//!         data.set(42);
+//!         flag.store(1, Ordering::Release);
+//!     });
+//!     scope.spawn(|| {
+//!         while flag.load(Ordering::Acquire) == 0 {
+//!             std::thread::yield_now();
+//!         }
+//!         assert_eq!(data.get(), 42);
+//!     });
+//! });
+//! let capture = session.finish();
+//! let trace = capture.to_traceset();
+//! assert!(trace.num_events() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod atomic;
+mod collector;
+mod nudge;
+mod session;
+mod sync;
+pub mod workloads;
+
+pub use atomic::{CapAtomic, CapCell, CapValue};
+pub use collector::CaptureStats;
+pub use nudge::{Nudge, NudgePlan};
+pub use session::{CaptureScope, CaptureSession, CaptureTrace};
+pub use sync::{CapCondvar, CapMutex, CapMutexGuard};
+
+pub use wmrd_trace::SyncRole;

@@ -1,0 +1,130 @@
+//! Seed-keyed schedule perturbation.
+//!
+//! A capture run only witnesses one interleaving, so deliberately racy
+//! workloads need schedule *diversity* to reach interesting windows
+//! within a bounded run budget. The nudge plan injects a deterministic
+//! function of `(seed, processor, per-thread operation index)` — no
+//! global state, no RNG object to share — deciding before each
+//! instrumented operation whether the thread proceeds immediately,
+//! yields, or burns a short spin. Different seeds therefore produce
+//! genuinely different schedules while one seed stays reproducible
+//! *in distribution* (the OS still owns true timing).
+//!
+//! The mix function is splitmix64, the same finalizer the faults layer
+//! uses for deterministic per-site decisions.
+
+use wmrd_trace::ProcId;
+
+/// What an instrumented operation does before touching memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nudge {
+    /// Proceed immediately (the common case).
+    None,
+    /// Call [`std::thread::yield_now`] once.
+    Yield,
+    /// Spin for the given number of hint iterations.
+    Spin(u32),
+}
+
+impl Nudge {
+    /// True for [`Nudge::None`].
+    pub fn is_none(self) -> bool {
+        self == Nudge::None
+    }
+
+    /// Performs the perturbation (no-op for `None`).
+    pub fn apply(self) {
+        match self {
+            Nudge::None => {}
+            Nudge::Yield => std::thread::yield_now(),
+            Nudge::Spin(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic per-operation schedule-perturbation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NudgePlan {
+    seed: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl NudgePlan {
+    /// Creates a plan keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        NudgePlan { seed }
+    }
+
+    /// The seed this plan was keyed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decides the nudge for operation `op_index` on processor `proc`.
+    ///
+    /// Distribution: 1/8 of operations yield, 1/16 spin 1–64 hint
+    /// iterations, the rest proceed untouched — enough perturbation to
+    /// move race windows around without turning capture into a
+    /// scheduler stress test.
+    pub fn decide(&self, proc: ProcId, op_index: u64) -> Nudge {
+        let h = splitmix64(
+            self.seed
+                ^ (proc.index() as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)
+                ^ op_index.wrapping_mul(0xa076_1d64_78bd_642f),
+        );
+        match h & 0xf {
+            0 | 1 => Nudge::Yield,
+            2 => Nudge::Spin((h >> 8) as u32 % 64 + 1),
+            _ => Nudge::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = NudgePlan::new(42);
+        for proc in 0..4u16 {
+            for i in 0..256u64 {
+                assert_eq!(plan.decide(ProcId::new(proc), i), plan.decide(ProcId::new(proc), i));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = NudgePlan::new(1);
+        let b = NudgePlan::new(2);
+        let differs =
+            (0..256u64).any(|i| a.decide(ProcId::new(0), i) != b.decide(ProcId::new(0), i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn most_operations_are_untouched() {
+        let plan = NudgePlan::new(7);
+        let nudged = (0..1024u64).filter(|&i| !plan.decide(ProcId::new(0), i).is_none()).count();
+        // Expected ~3/16 ≈ 192; allow a generous band.
+        assert!(nudged > 64 && nudged < 448, "nudged {nudged} of 1024");
+    }
+
+    #[test]
+    fn apply_is_safe_for_all_variants() {
+        Nudge::None.apply();
+        Nudge::Yield.apply();
+        Nudge::Spin(8).apply();
+    }
+}

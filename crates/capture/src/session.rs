@@ -1,0 +1,464 @@
+//! Capture sessions: location allocation, scoped-thread registration,
+//! and the post-run merge into a replayable operation schedule.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::ScopedJoinHandle;
+
+use wmrd_trace::{
+    AccessKind, Location, OpId, ProcId, StreamWriter, TraceBuilder, TraceError, TraceSet,
+    TraceSink, Value,
+};
+
+use crate::atomic::{CapAtomic, CapCell, CapValue};
+use crate::collector::{self, CapOp, Collector};
+use crate::nudge::NudgePlan;
+use crate::sync::{CapCondvar, CapMutex};
+use crate::CaptureStats;
+
+/// One capture of a real multithreaded run.
+///
+/// A session allocates trace [`Location`]s for instrumented cells,
+/// runs the workload under [`CaptureSession::run`] (threads spawned
+/// through the [`CaptureScope`] become processors, in spawn order),
+/// and [`CaptureSession::finish`] merges the per-thread logs into a
+/// [`CaptureTrace`].
+///
+/// Accesses made *outside* `run` (or on threads not spawned through
+/// the scope) still execute normally but are not logged; cell initial
+/// values are simply the trace's initial memory contents.
+#[derive(Debug)]
+pub struct CaptureSession {
+    name: String,
+    seed: u64,
+    collector: Arc<Collector>,
+    next_loc: u32,
+}
+
+impl CaptureSession {
+    /// Creates a session for workload `name`, with `seed` keying the
+    /// schedule-perturbation [`NudgePlan`].
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        CaptureSession {
+            name: name.into(),
+            seed,
+            collector: Arc::new(Collector::new()),
+            next_loc: 0,
+        }
+    }
+
+    fn alloc_loc(&mut self) -> Location {
+        let loc = Location::new(self.next_loc);
+        self.next_loc += 1;
+        loc
+    }
+
+    /// Allocates an instrumented atomic cell.
+    pub fn atomic<T: CapValue>(&mut self, init: T) -> CapAtomic<T> {
+        let loc = self.alloc_loc();
+        CapAtomic::new(loc, init)
+    }
+
+    /// Allocates a plain-data cell (every access logs a data op).
+    pub fn cell<T: CapValue>(&mut self, init: T) -> CapCell<T> {
+        let loc = self.alloc_loc();
+        CapCell::new(loc, init)
+    }
+
+    /// Allocates an instrumented mutex protecting `value`.
+    pub fn mutex<T>(&mut self, value: T) -> CapMutex<T> {
+        let loc = self.alloc_loc();
+        CapMutex::new(loc, value)
+    }
+
+    /// Allocates an instrumented condition variable.
+    pub fn condvar(&mut self) -> CapCondvar {
+        let loc = self.alloc_loc();
+        CapCondvar::new(loc)
+    }
+
+    /// Runs a workload under a scoped-thread capture: every
+    /// [`CaptureScope::spawn`] registers the new thread as the next
+    /// processor. Panics from workload threads propagate (after the
+    /// panicking thread's log has been committed — the flush-on-drop
+    /// guarantee); call `run` inside
+    /// [`catch_unwind`](std::panic::catch_unwind) and then
+    /// [`finish`](CaptureSession::finish) to salvage the prefix.
+    pub fn run<'env, F>(&mut self, f: F)
+    where
+        F: for<'scope> FnOnce(&CaptureScope<'scope, 'env>),
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let cap = CaptureScope {
+                    scope,
+                    collector: Arc::clone(&self.collector),
+                    plan: NudgePlan::new(self.seed),
+                };
+                f(&cap);
+            });
+        }));
+        if let Err(panic) = result {
+            resume_unwind(panic);
+        }
+    }
+
+    /// Merges the committed per-thread logs into a [`CaptureTrace`].
+    pub fn finish(self) -> CaptureTrace {
+        let (logs, mut stats) = self.collector.drain();
+        let (schedule, unresolved) = merge(&logs);
+        stats.unresolved_observed = unresolved;
+        CaptureTrace { name: self.name, seed: self.seed, num_procs: logs.len(), schedule, stats }
+    }
+}
+
+/// The scope handed to a [`CaptureSession::run`] closure; its
+/// [`spawn`](CaptureScope::spawn) registers threads as processors.
+pub struct CaptureScope<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    collector: Arc<Collector>,
+    plan: NudgePlan,
+}
+
+impl<'scope, 'env> CaptureScope<'scope, 'env> {
+    /// Spawns a workload thread, assigning it the next processor id.
+    /// The thread's log is committed when it exits — including by
+    /// panic, in which case the panic is re-thrown after counting.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let proc = self.collector.assign_proc();
+        let collector = Arc::clone(&self.collector);
+        let plan = self.plan;
+        self.scope.spawn(move || {
+            let panic_witness = Arc::clone(&collector);
+            let _registration = collector::register(proc, collector, plan);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(value) => value,
+                Err(panic) => {
+                    panic_witness.note_panic();
+                    resume_unwind(panic);
+                }
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for CaptureScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptureScope").field("plan", &self.plan).finish_non_exhaustive()
+    }
+}
+
+/// One operation of the merged schedule, with its observed reference
+/// already resolved to the positional [`OpId`] every
+/// [`TraceSink`] will assign.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledOp {
+    proc: ProcId,
+    op: CapOp,
+    observed: Option<OpId>,
+}
+
+/// A merged, replayable capture.
+///
+/// The schedule is one legal interleaving of the run: a topological
+/// order of *program order ∪ observed-edges* (both respect real time,
+/// so the union is acyclic), with global stamps as the priority.
+/// Test&Set micro-op pairs stay adjacent. Replaying the schedule into
+/// any [`TraceSink`] yields identical operation ids, so the v2 trace,
+/// the WMRS stream, and an on-the-fly detector all agree.
+#[derive(Debug, Clone)]
+pub struct CaptureTrace {
+    name: String,
+    seed: u64,
+    num_procs: usize,
+    schedule: Vec<ScheduledOp>,
+    stats: CaptureStats,
+}
+
+impl CaptureTrace {
+    /// The workload name the session was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schedule seed the session was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of registered processors.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Aggregate statistics of the run.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    /// Replays the merged schedule into `sink`, returning the number
+    /// of operations delivered.
+    pub fn replay<S: TraceSink>(&self, sink: &mut S) -> u64 {
+        let mut ops = 0;
+        for s in &self.schedule {
+            match s.op {
+                CapOp::Data { loc, kind, value } => {
+                    sink.data_access(s.proc, loc, kind, Value::new(value), None);
+                }
+                CapOp::Sync { loc, kind, role, value, .. } => {
+                    sink.sync_access(s.proc, loc, kind, role, Value::new(value), s.observed);
+                }
+            }
+            ops += 1;
+        }
+        ops
+    }
+
+    /// Builds the event-level v2 [`TraceSet`], stamped with
+    /// provenance metadata (`program` = workload name, `model` =
+    /// `"capture"`, `seed`).
+    pub fn to_traceset(&self) -> TraceSet {
+        let mut builder = TraceBuilder::new(self.num_procs);
+        self.replay(&mut builder);
+        let mut trace = builder.finish();
+        trace.meta.program = Some(self.name.clone());
+        trace.meta.model = Some("capture".to_string());
+        trace.meta.seed = Some(self.seed);
+        trace
+    }
+
+    /// Encodes the capture as an operation-granular WMRS stream.
+    pub fn to_wmrs(&self) -> Result<Vec<u8>, TraceError> {
+        let mut writer = StreamWriter::new(Vec::new(), self.num_procs);
+        self.replay(&mut writer);
+        writer.finish()
+    }
+}
+
+/// Merges per-processor logs into one legal interleaving.
+///
+/// Kahn's algorithm over program order ∪ observed-edges: repeatedly
+/// emit, from the processors whose next sync op is *ready* (its
+/// observed write already emitted, or not observable at all), the one
+/// with the minimal stamp — preceded by the data ops before it in its
+/// log, and followed immediately by its paired Test&Set write half if
+/// it has one. Reads whose observed write never made it into any log
+/// (an unregistered thread, or an op dropped by the log bound) are
+/// counted and replayed with `observed_release = None`.
+fn merge(logs: &[Vec<CapOp>]) -> (Vec<ScheduledOp>, u64) {
+    let known_writes: HashSet<u64> = logs
+        .iter()
+        .flatten()
+        .filter_map(|op| match op {
+            CapOp::Sync { kind: AccessKind::Write, stamp, .. } => Some(*stamp),
+            _ => None,
+        })
+        .collect();
+    let mut schedule = Vec::with_capacity(logs.iter().map(Vec::len).sum());
+    let mut cursors = vec![0usize; logs.len()];
+    let mut emitted = vec![0u32; logs.len()];
+    let mut stamp_to_op: HashMap<u64, OpId> = HashMap::new();
+    let mut unresolved = 0u64;
+
+    // Index of the next sync op at-or-after the cursor, if any.
+    let next_sync = |log: &[CapOp], from: usize| -> Option<usize> {
+        (from..log.len()).find(|&i| matches!(log[i], CapOp::Sync { .. }))
+    };
+
+    loop {
+        // Candidates: (proc, sync index, stamp, ready?).
+        let mut best: Option<(usize, usize, u64)> = None;
+        let mut best_blocked: Option<(usize, usize, u64)> = None;
+        for (p, log) in logs.iter().enumerate() {
+            let Some(idx) = next_sync(log, cursors[p]) else { continue };
+            let CapOp::Sync { stamp, observed, .. } = log[idx] else { unreachable!() };
+            let ready = match observed {
+                Some(s) => stamp_to_op.contains_key(&s) || !known_writes.contains(&s),
+                None => true,
+            };
+            let slot = if ready { &mut best } else { &mut best_blocked };
+            if slot.map_or(true, |(_, _, s)| stamp < s) {
+                *slot = Some((p, idx, stamp));
+            }
+        }
+        // All remaining sync ops blocked would mean a cycle in
+        // po ∪ observed — impossible for a real run, but a defensive
+        // fallback beats an infinite loop on a corrupted log.
+        let Some((p, idx, _)) = best.or(best_blocked) else { break };
+        let mut end = idx;
+        if let CapOp::Sync { pair: true, .. } = logs[p][idx] {
+            // The paired Test&Set write half is the next *logged* op.
+            if idx + 1 < logs[p].len() {
+                end = idx + 1;
+            }
+        }
+        for i in cursors[p]..=end {
+            let op = logs[p][i];
+            let proc = ProcId::new(p as u16);
+            let id = OpId::new(proc, emitted[p]);
+            emitted[p] += 1;
+            let observed = match op {
+                CapOp::Sync { kind: AccessKind::Write, stamp, .. } => {
+                    stamp_to_op.insert(stamp, id);
+                    None
+                }
+                CapOp::Sync { kind: AccessKind::Read, observed: Some(s), .. } => {
+                    let resolved = stamp_to_op.get(&s).copied();
+                    if resolved.is_none() {
+                        unresolved += 1;
+                    }
+                    resolved
+                }
+                _ => None,
+            };
+            schedule.push(ScheduledOp { proc, op, observed });
+        }
+        cursors[p] = end + 1;
+    }
+
+    // Sync ops are exhausted; flush the pure-data tails.
+    for (p, log) in logs.iter().enumerate() {
+        let proc = ProcId::new(p as u16);
+        for &op in &log[cursors[p]..] {
+            schedule.push(ScheduledOp { proc, op, observed: None });
+        }
+    }
+    (schedule, unresolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering as AtomicOrdering;
+
+    #[test]
+    fn publication_capture_builds_a_valid_trace() {
+        let mut session = CaptureSession::new("publish", 1);
+        let data = session.cell(0u32);
+        let flag = session.atomic(0u32);
+        session.run(|scope| {
+            scope.spawn(|| {
+                data.set(42);
+                flag.store(1, AtomicOrdering::Release);
+            });
+            scope.spawn(|| {
+                while flag.load(AtomicOrdering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                assert_eq!(data.get(), 42);
+            });
+        });
+        let capture = session.finish();
+        assert_eq!(capture.num_procs(), 2);
+        let stats = capture.stats();
+        assert!(stats.sync_ops >= 2, "release store + at least one acquire load");
+        assert!(stats.data_ops >= 2, "data write + data read");
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.unresolved_observed, 0);
+        let trace = capture.to_traceset();
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.meta.program.as_deref(), Some("publish"));
+        assert_eq!(trace.meta.model.as_deref(), Some("capture"));
+        assert_eq!(trace.meta.seed, Some(1));
+        // The acquire load that saw 1 must have an observed_release
+        // pointing at the release store.
+        let saw_release = trace.events().any(|e| {
+            e.as_sync()
+                .is_some_and(|s| s.role == crate::SyncRole::Acquire && s.observed_release.is_some())
+        });
+        assert!(saw_release, "acquire observed the release write");
+    }
+
+    #[test]
+    fn wmrs_round_trip_matches_traceset() {
+        let mut session = CaptureSession::new("rt", 3);
+        let flag = session.atomic(false);
+        session.run(|scope| {
+            scope.spawn(|| flag.store(true, AtomicOrdering::Release));
+            scope.spawn(|| {
+                let _ = flag.load(AtomicOrdering::Acquire);
+            });
+        });
+        let capture = session.finish();
+        let direct = capture.to_traceset();
+        let bytes = capture.to_wmrs().expect("in-memory stream write");
+        let decoded = wmrd_trace::read_stream(bytes.as_slice()).expect("well-formed stream");
+        assert_eq!(decoded.num_events(), direct.num_events());
+        assert_eq!(decoded.sync_order().len(), direct.sync_order().len());
+    }
+
+    #[test]
+    fn panicking_thread_still_commits_its_prefix() {
+        let mut session = CaptureSession::new("crash", 5);
+        let x = session.cell(0u32);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            session.run(|scope| {
+                scope.spawn(|| {
+                    x.set(1);
+                    x.set(2);
+                    panic!("workload bug");
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic propagates out of run");
+        let capture = session.finish();
+        let stats = capture.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.data_ops, 2, "both writes before the panic survived");
+        assert!(capture.to_traceset().validate().is_ok());
+    }
+
+    #[test]
+    fn rmw_halves_stay_adjacent() {
+        let mut session = CaptureSession::new("rmw", 2);
+        let counter = session.atomic(0u32);
+        session.run(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, AtomicOrdering::AcqRel);
+                });
+            }
+        });
+        let capture = session.finish();
+        // Each fetch_add is read+write; the merged schedule must keep
+        // each pair adjacent and same-processor.
+        let mut i = 0;
+        while i < capture.schedule.len() {
+            match capture.schedule[i].op {
+                CapOp::Sync { pair: true, .. } => {
+                    let next = capture.schedule.get(i + 1).expect("write half follows");
+                    assert_eq!(next.proc, capture.schedule[i].proc);
+                    assert!(matches!(next.op, CapOp::Sync { kind: AccessKind::Write, .. }));
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        assert_eq!(capture.stats().sync_ops, 4);
+        let trace = capture.to_traceset();
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.sync_order().len(), 4);
+    }
+
+    #[test]
+    fn sessions_are_reusable_across_runs() {
+        let mut session = CaptureSession::new("two-phase", 9);
+        let a = session.atomic(0u32);
+        session.run(|scope| {
+            scope.spawn(|| a.store(1, AtomicOrdering::Release));
+        });
+        session.run(|scope| {
+            scope.spawn(|| {
+                let _ = a.load(AtomicOrdering::Acquire);
+            });
+        });
+        let capture = session.finish();
+        assert_eq!(capture.num_procs(), 2, "processor ids continue across runs");
+        assert!(capture.to_traceset().validate().is_ok());
+    }
+}

@@ -1,0 +1,280 @@
+//! Instrumented mutex and condition variable.
+//!
+//! A lock acquisition logs the paper's Test&Set shape — a sync read
+//! with [`SyncRole::Acquire`] observing the previous holder's release,
+//! immediately paired with a plain sync write — and an unlock logs
+//! Unset, a sync write with [`SyncRole::Release`]. The release stamp
+//! is recorded in the mutex *while still holding it*, so the next
+//! acquirer reads the correct predecessor with no window; the real
+//! `std::sync::Mutex` provides the actual mutual exclusion and
+//! ordering. Condition-variable waits log the full protocol: the
+//! mutex release, a plain sync read on the condvar's own location when
+//! woken, and the mutex re-acquisition.
+//!
+//! Lock values follow the paper's flag convention: an acquisition
+//! reads 0 (free) and writes 1 (held); a release writes 0.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use wmrd_trace::{AccessKind, Location, SyncRole};
+
+use crate::collector::{self, CapOp};
+
+/// An instrumented mutex. Create one with
+/// [`CaptureSession::mutex`](crate::CaptureSession::mutex).
+///
+/// Lock poisoning is ignored (the protected value is handed out
+/// anyway): capture exists to record what a buggy workload did, and a
+/// panicking thread is part of the record, not a reason to stop.
+#[derive(Debug)]
+pub struct CapMutex<T> {
+    inner: Mutex<T>,
+    loc: Location,
+    /// Stamp of the most recent release (unlock); 0 before the first.
+    /// Written while holding the lock, so reads after acquisition are
+    /// exact.
+    last_release: AtomicU64,
+}
+
+impl<T> CapMutex<T> {
+    pub(crate) fn new(loc: Location, value: T) -> Self {
+        CapMutex { inner: Mutex::new(value), loc, last_release: AtomicU64::new(0) }
+    }
+
+    /// The trace location this mutex logs under.
+    pub fn location(&self) -> Location {
+        self.loc
+    }
+
+    /// Acquires the lock, logging the Test&Set micro-op pair.
+    pub fn lock(&self) -> CapMutexGuard<'_, T> {
+        collector::prologue();
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.log_acquisition();
+        CapMutexGuard { mutex: self, guard: Some(guard) }
+    }
+
+    /// Logs the Test&Set pair for an acquisition that just succeeded
+    /// (caller holds the real lock).
+    fn log_acquisition(&self) {
+        let observed = self.last_release.load(Ordering::Relaxed);
+        let read_stamp = collector::take_stamp();
+        let write_stamp = collector::take_stamp();
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Read,
+            role: SyncRole::Acquire,
+            value: 0,
+            stamp: read_stamp,
+            observed: (observed != 0).then_some(observed),
+            pair: true,
+        });
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Write,
+            role: SyncRole::None,
+            value: 1,
+            stamp: write_stamp,
+            observed: None,
+            pair: false,
+        });
+    }
+
+    /// Logs the Unset for a release the caller is about to perform
+    /// (caller still holds the real lock).
+    fn log_release(&self) {
+        let stamp = collector::take_stamp();
+        if stamp != 0 {
+            self.last_release.store(stamp, Ordering::Relaxed);
+        }
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Write,
+            role: SyncRole::Release,
+            value: 0,
+            stamp,
+            observed: None,
+            pair: false,
+        });
+    }
+}
+
+/// RAII guard returned by [`CapMutex::lock`]; logs the Unset release
+/// event when dropped.
+#[derive(Debug)]
+pub struct CapMutexGuard<'a, T> {
+    mutex: &'a CapMutex<T>,
+    /// `None` only transiently, when a condvar wait takes the real
+    /// guard out.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for CapMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T> DerefMut for CapMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T> Drop for CapMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(guard) = self.guard.take() {
+            // Log (and record last_release) while still holding, then
+            // let the real guard drop perform the unlock.
+            self.mutex.log_release();
+            drop(guard);
+        }
+    }
+}
+
+/// An instrumented condition variable. Create one with
+/// [`CaptureSession::condvar`](crate::CaptureSession::condvar).
+#[derive(Debug)]
+pub struct CapCondvar {
+    inner: Condvar,
+    loc: Location,
+}
+
+impl CapCondvar {
+    pub(crate) fn new(loc: Location) -> Self {
+        CapCondvar { inner: Condvar::new(), loc }
+    }
+
+    /// The trace location this condvar logs under.
+    pub fn location(&self) -> Location {
+        self.loc
+    }
+
+    /// Releases the guard's mutex, blocks until notified, and
+    /// re-acquires — logging release, wakeup, and re-acquisition.
+    pub fn wait<'a, T>(&self, mut guard: CapMutexGuard<'a, T>) -> CapMutexGuard<'a, T> {
+        collector::prologue();
+        let mutex = guard.mutex;
+        let real = guard.guard.take().expect("guard present outside condvar wait");
+        // `wait` releases the real mutex; log that release while we
+        // still hold it (CapMutexGuard::drop will see `None` and log
+        // nothing itself).
+        mutex.log_release();
+        let real = self.inner.wait(real).unwrap_or_else(|e| e.into_inner());
+        // Woken, holding the mutex again: a plain sync read on the
+        // condvar's location (ordering comes from the mutex, so no
+        // acquire role — notify/wait pairs must not fabricate hb
+        // edges), then the mutex re-acquisition.
+        let stamp = collector::take_stamp();
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Read,
+            role: SyncRole::None,
+            value: 0,
+            stamp,
+            observed: None,
+            pair: false,
+        });
+        mutex.log_acquisition();
+        CapMutexGuard { mutex, guard: Some(real) }
+    }
+
+    /// Wakes one waiter, logging a plain sync write on the condvar's
+    /// location.
+    pub fn notify_one(&self) {
+        self.log_notify();
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters, logging a plain sync write on the condvar's
+    /// location.
+    pub fn notify_all(&self) {
+        self.log_notify();
+        self.inner.notify_all();
+    }
+
+    fn log_notify(&self) {
+        collector::prologue();
+        let stamp = collector::take_stamp();
+        collector::log(CapOp::Sync {
+            loc: self.loc,
+            kind: AccessKind::Write,
+            role: SyncRole::None,
+            value: 1,
+            stamp,
+            observed: None,
+            pair: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CaptureSession;
+
+    #[test]
+    fn mutex_works_unregistered() {
+        let m: CapMutex<i32> = CapMutex::new(Location::new(0), 5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn mutex_chain_produces_paired_sync_events() {
+        let mut session = CaptureSession::new("mutex", 3);
+        let m = session.mutex(0u32);
+        session.run(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut g = m.lock();
+                    *g += 1;
+                });
+            }
+        });
+        let capture = session.finish();
+        // Each thread: acquire read + set write + release write = 3.
+        assert_eq!(capture.stats().sync_ops, 6);
+        let trace = capture.to_traceset();
+        assert!(trace.validate().is_ok());
+        // The second acquisition observed the first release.
+        let observed_chain = trace.events().any(|e| {
+            e.as_sync().is_some_and(|s| s.role == SyncRole::Acquire && s.observed_release.is_some())
+        });
+        assert!(observed_chain, "lock hand-off recorded an observed release");
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_protocol_logs_wait_and_notify() {
+        let mut session = CaptureSession::new("condvar", 11);
+        let m = session.mutex(false);
+        let cv = session.condvar();
+        session.run(|scope| {
+            scope.spawn(|| {
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            });
+            scope.spawn(|| {
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_one();
+            });
+        });
+        let capture = session.finish();
+        let trace = capture.to_traceset();
+        assert!(trace.validate().is_ok());
+        // Waiter: lock (2) [+ per wait: release + wakeup read + re-acquire (2)]
+        // Signaler: lock (2) + notify (1) + unlock (1); waiter final unlock (1).
+        assert!(capture.stats().sync_ops >= 7, "full protocol logged");
+        assert_eq!(capture.stats().panics, 0);
+    }
+}

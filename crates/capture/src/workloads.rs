@@ -1,0 +1,426 @@
+//! The ported classic workloads.
+//!
+//! Four clean/racy pairs, each a textbook concurrency idiom written
+//! against the instrumented wrappers and run on real scoped threads:
+//!
+//! | pair | clean discipline | racy variant breaks it by |
+//! |---|---|---|
+//! | `publish` | release store / acquire load flag | `Relaxed` flag (no hb edge) |
+//! | `lazy-init` | double-checked locking + release flag | `Relaxed` flag, readers skip the lock |
+//! | `actor` | mutex + condvar mailbox | `Relaxed` count, lock-free slot reads |
+//! | `seqlock` | all accesses rel/acq atomics | `Relaxed` seq, plain-data payload |
+//!
+//! The racy variants are *structurally* racy: the broken accesses are
+//! `Relaxed`, so they log as data operations and no hb1 edge ever
+//! orders them — the expected [`RaceKey`]s appear in **every**
+//! interleaving, which is what makes seed-matrix tests deterministic
+//! even though the schedules are real. The seed (via
+//! [`NudgePlan`](crate::NudgePlan)) perturbs schedules, not verdicts.
+//!
+//! Clean variants are structurally race-free for the dual reason:
+//! every cross-thread data access is ordered by an acquire-gated read,
+//! a mutex chain, or is itself a sync operation.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+
+use wmrd_core::{RaceKey, SideKey};
+use wmrd_trace::{AccessKind, Location, ProcId};
+
+use crate::session::{CaptureSession, CaptureTrace};
+
+/// A runnable, registered capture workload.
+pub struct Workload {
+    /// Registry name (`wmrd capture <name>`).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Number of threads the workload spawns.
+    pub threads: u16,
+    /// True for the deliberately racy variants.
+    pub racy: bool,
+    run: fn(&mut CaptureSession),
+    expected: fn() -> Vec<RaceKey>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .field("racy", &self.racy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Runs the workload once under `seed` and returns the capture.
+    pub fn capture(&self, seed: u64) -> CaptureTrace {
+        let mut session = CaptureSession::new(self.name, seed);
+        (self.run)(&mut session);
+        session.finish()
+    }
+
+    /// The data-race keys this workload is guaranteed to exhibit in
+    /// every interleaving (empty for the clean variants).
+    pub fn expected_race_keys(&self) -> BTreeSet<RaceKey> {
+        (self.expected)().into_iter().collect()
+    }
+}
+
+/// All registered workloads, clean variant before its racy twin.
+pub fn all() -> &'static [Workload] {
+    &WORKLOADS
+}
+
+/// Looks a workload up by registry name.
+pub fn find(name: &str) -> Option<&'static Workload> {
+    WORKLOADS.iter().find(|w| w.name == name)
+}
+
+fn no_races() -> Vec<RaceKey> {
+    Vec::new()
+}
+
+/// A write-vs-read data-race key between two plain (data) accesses.
+fn wr_key(loc: u32, writer: u16, reader: u16) -> RaceKey {
+    RaceKey::new(
+        Location::new(loc),
+        SideKey { proc: ProcId::new(writer), kind: AccessKind::Write, sync: false },
+        SideKey { proc: ProcId::new(reader), kind: AccessKind::Read, sync: false },
+    )
+}
+
+// --- publish: release/acquire publication --------------------------
+// Locations: 0 = payload (cell), 1 = flag.
+
+fn run_publish(s: &mut CaptureSession) {
+    let data = s.cell(0u32);
+    let flag = s.atomic(0u32);
+    s.run(|scope| {
+        scope.spawn(|| {
+            data.set(42);
+            flag.store(1, Ordering::Release);
+        });
+        scope.spawn(|| {
+            while flag.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let _ = data.get();
+        });
+    });
+}
+
+fn run_publish_racy(s: &mut CaptureSession) {
+    let data = s.cell(0u32);
+    let flag = s.atomic(0u32);
+    s.run(|scope| {
+        scope.spawn(|| {
+            data.set(42);
+            flag.store(1, Ordering::Relaxed);
+        });
+        scope.spawn(|| {
+            while flag.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+            let _ = data.get();
+        });
+    });
+}
+
+fn publish_racy_keys() -> Vec<RaceKey> {
+    vec![wr_key(0, 0, 1), wr_key(1, 0, 1)]
+}
+
+// --- lazy-init: double-checked locking -----------------------------
+// Locations: 0 = value (cell), 1 = ready flag, 2 = init mutex.
+
+fn run_lazy_init(s: &mut CaptureSession) {
+    let value = s.cell(0u32);
+    let ready = s.atomic(0u32);
+    let init_lock = s.mutex(());
+    s.run(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                if ready.load(Ordering::Acquire) == 0 {
+                    let _g = init_lock.lock();
+                    if ready.load(Ordering::Acquire) == 0 {
+                        value.set(7);
+                        ready.store(1, Ordering::Release);
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            while ready.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let _ = value.get();
+        });
+    });
+}
+
+fn run_lazy_init_racy(s: &mut CaptureSession) {
+    let value = s.cell(0u32);
+    let ready = s.atomic(0u32);
+    let init_lock = s.mutex(());
+    s.run(|scope| {
+        // One initializer (so the writer processor is deterministic):
+        // it takes the lock like the clean variant, but publishes with
+        // a Relaxed flag store.
+        scope.spawn(|| {
+            let _g = init_lock.lock();
+            value.set(7);
+            ready.store(1, Ordering::Relaxed);
+        });
+        // Two readers that skip the lock and spin on the relaxed flag
+        // — threads with *zero sync events*, which is what the
+        // analyze/predict hardening satellite is about.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while ready.load(Ordering::Relaxed) == 0 {
+                    std::thread::yield_now();
+                }
+                let _ = value.get();
+            });
+        }
+    });
+}
+
+fn lazy_init_racy_keys() -> Vec<RaceKey> {
+    vec![wr_key(0, 0, 1), wr_key(0, 0, 2), wr_key(1, 0, 1), wr_key(1, 0, 2)]
+}
+
+// --- actor: message-passing mailbox --------------------------------
+// Clean locations: 0 = mailbox mutex, 1 = condvar, 2 = payload (cell).
+// Racy locations: 0 = count, 1..=4 = slots (cells).
+
+fn run_actor(s: &mut CaptureSession) {
+    let mailbox = s.mutex(false);
+    let signal = s.condvar();
+    let payload = s.cell(0u32);
+    s.run(|scope| {
+        scope.spawn(|| {
+            let mut pending = mailbox.lock();
+            payload.set(99);
+            *pending = true;
+            signal.notify_one();
+        });
+        scope.spawn(|| {
+            let mut pending = mailbox.lock();
+            while !*pending {
+                pending = signal.wait(pending);
+            }
+            let _ = payload.get();
+        });
+    });
+}
+
+fn run_actor_racy(s: &mut CaptureSession) {
+    let count = s.atomic(0u32);
+    let slots: Vec<_> = (0..4).map(|_| s.cell(0u32)).collect();
+    s.run(|scope| {
+        scope.spawn(|| {
+            for (i, slot) in slots.iter().enumerate() {
+                slot.set(i as u32 * 10);
+                count.store(i as u32 + 1, Ordering::Relaxed);
+            }
+        });
+        scope.spawn(|| {
+            for (i, slot) in slots.iter().enumerate() {
+                while count.load(Ordering::Relaxed) < i as u32 + 1 {
+                    std::thread::yield_now();
+                }
+                let _ = slot.get();
+            }
+        });
+    });
+}
+
+fn actor_racy_keys() -> Vec<RaceKey> {
+    (0..=4).map(|loc| wr_key(loc, 0, 1)).collect()
+}
+
+// --- seqlock: sequence-guarded snapshot ----------------------------
+// Locations: 0 = seq, 1 = word one, 2 = word two.
+
+fn run_seqlock(s: &mut CaptureSession) {
+    let seq = s.atomic(0u32);
+    let word_one = s.atomic(0u32);
+    let word_two = s.atomic(0u32);
+    s.run(|scope| {
+        scope.spawn(|| {
+            seq.store(1, Ordering::Release);
+            word_one.store(10, Ordering::Release);
+            word_two.store(20, Ordering::Release);
+            seq.store(2, Ordering::Release);
+        });
+        scope.spawn(|| loop {
+            let before = seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let _ = word_one.load(Ordering::Acquire);
+            let _ = word_two.load(Ordering::Acquire);
+            if seq.load(Ordering::Acquire) == before {
+                break;
+            }
+        });
+    });
+}
+
+fn run_seqlock_racy(s: &mut CaptureSession) {
+    let seq = s.atomic(0u32);
+    let word_one = s.cell(0u32);
+    let word_two = s.cell(0u32);
+    s.run(|scope| {
+        scope.spawn(|| {
+            seq.store(1, Ordering::Relaxed);
+            word_one.set(10);
+            word_two.set(20);
+            seq.store(2, Ordering::Relaxed);
+        });
+        scope.spawn(|| loop {
+            let before = seq.load(Ordering::Relaxed);
+            if before % 2 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let _ = word_one.get();
+            let _ = word_two.get();
+            if seq.load(Ordering::Relaxed) == before {
+                break;
+            }
+        });
+    });
+}
+
+fn seqlock_racy_keys() -> Vec<RaceKey> {
+    vec![wr_key(0, 0, 1), wr_key(1, 0, 1), wr_key(2, 0, 1)]
+}
+
+static WORKLOADS: [Workload; 8] = [
+    Workload {
+        name: "publish",
+        description: "release/acquire publication of a plain payload",
+        threads: 2,
+        racy: false,
+        run: run_publish,
+        expected: no_races,
+    },
+    Workload {
+        name: "publish-racy",
+        description: "publication with a Relaxed flag: no hb edge guards the payload",
+        threads: 2,
+        racy: true,
+        run: run_publish_racy,
+        expected: publish_racy_keys,
+    },
+    Workload {
+        name: "lazy-init",
+        description: "double-checked locking with an acquire-gated ready flag",
+        threads: 3,
+        racy: false,
+        run: run_lazy_init,
+        expected: no_races,
+    },
+    Workload {
+        name: "lazy-init-racy",
+        description: "lazy init published via a Relaxed flag to lock-free readers",
+        threads: 3,
+        racy: true,
+        run: run_lazy_init_racy,
+        expected: lazy_init_racy_keys,
+    },
+    Workload {
+        name: "actor",
+        description: "mutex + condvar mailbox handing a payload between actors",
+        threads: 2,
+        racy: false,
+        run: run_actor,
+        expected: no_races,
+    },
+    Workload {
+        name: "actor-racy",
+        description: "mailbox with a Relaxed count and lock-free slot reads",
+        threads: 2,
+        racy: true,
+        run: run_actor_racy,
+        expected: actor_racy_keys,
+    },
+    Workload {
+        name: "seqlock",
+        description: "sequence-guarded snapshot, every access a rel/acq atomic",
+        threads: 2,
+        racy: false,
+        run: run_seqlock,
+        expected: no_races,
+    },
+    Workload {
+        name: "seqlock-racy",
+        description: "seqlock with a Relaxed sequence word and plain-data payload",
+        threads: 2,
+        racy: true,
+        run: run_seqlock_racy,
+        expected: seqlock_racy_keys,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmrd_core::{detect_races, event_race_keys, HbGraph, PairingPolicy};
+    use wmrd_trace::TraceSet;
+
+    fn detected_keys(trace: &TraceSet) -> BTreeSet<RaceKey> {
+        let hb = HbGraph::build(trace, PairingPolicy::ByRole).expect("captured trace is valid");
+        event_race_keys(&detect_races(trace, &hb), trace)
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        assert_eq!(all().len(), 8);
+        for w in all() {
+            assert_eq!(find(w.name).map(|f| f.name), Some(w.name));
+            assert_eq!(w.racy, w.name.ends_with("-racy"));
+            assert_eq!(w.racy, !w.expected_race_keys().is_empty());
+        }
+        assert!(find("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn every_workload_captures_a_valid_trace() {
+        for w in all() {
+            let capture = w.capture(1);
+            assert_eq!(capture.num_procs(), usize::from(w.threads), "{}", w.name);
+            let trace = capture.to_traceset();
+            assert!(trace.validate().is_ok(), "{}", w.name);
+            assert!(trace.num_events() > 0, "{}", w.name);
+            assert_eq!(capture.stats().panics, 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn racy_workloads_reach_their_expected_keys() {
+        for w in all().iter().filter(|w| w.racy) {
+            let trace = w.capture(7).to_traceset();
+            let detected = detected_keys(&trace);
+            for key in w.expected_race_keys() {
+                assert!(detected.contains(&key), "{}: expected {key:?} in {detected:?}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_workloads_have_no_data_races() {
+        for w in all().iter().filter(|w| !w.racy) {
+            let trace = w.capture(3).to_traceset();
+            assert!(
+                detected_keys(&trace).is_empty(),
+                "{}: clean workload must be data-race-free",
+                w.name
+            );
+        }
+    }
+}

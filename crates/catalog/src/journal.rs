@@ -366,9 +366,7 @@ mod tests {
         // observed / non-amendment, keeping old journals readable.
         let mut modern = record(3);
         let payload = serde_json::to_string(&modern).unwrap();
-        let legacy = payload
-            .replace(",\"provenance\":1", "")
-            .replace(",\"amend\":false", "");
+        let legacy = payload.replace(",\"provenance\":1", "").replace(",\"amend\":false", "");
         assert_ne!(legacy, payload, "the modern encoding carries both fields");
         let back: JournalRecord = serde_json::from_str(&legacy).unwrap();
         modern.races[0].provenance = Provenance::OBSERVED;

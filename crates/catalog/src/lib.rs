@@ -266,10 +266,7 @@ mod tests {
         cat.ingest(&record(1, &[observed])).unwrap();
 
         // An amendment for an unknown digest has no base record.
-        assert!(matches!(
-            cat.ingest(&amendment(99, &[predicted])),
-            Err(CatalogError::Record(_))
-        ));
+        assert!(matches!(cat.ingest(&amendment(99, &[predicted])), Err(CatalogError::Record(_))));
 
         // The prediction covers the observed key plus one new key.
         let out = cat.ingest(&amendment(1, &[observed, predicted])).unwrap();

@@ -168,6 +168,32 @@ pub struct PredictOpts {
     pub stats: bool,
 }
 
+/// Options for `wmrd capture`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureOpts {
+    /// Capture workload name (see `wmrd capture list`) or `all`.
+    pub workload: String,
+    /// Captured runs per workload; seeds are `seed..seed+runs`.
+    pub runs: u64,
+    /// Base nudge-plan seed.
+    pub seed: u64,
+    /// Emit the operation-granular `WMRS` stream format instead of the
+    /// event-level v2 binary (`--format v2|wmrs`).
+    pub wmrs: bool,
+    /// Write each run's trace to `<prefix>-<workload>-<seed>.<ext>`.
+    pub out: Option<String>,
+    /// Deliver each run to a live daemon: `SUBMIT` for v2 traces, a
+    /// `STREAM`/`FEED`/`CLOSE` session for `WMRS` streams.
+    pub sink: Option<String>,
+    /// Chunk size in bytes for `FEED` frames when streaming to
+    /// `--sink` in `WMRS` format.
+    pub chunk: usize,
+    /// Where to write the capture `RunMetrics` report (JSON).
+    pub metrics_out: Option<String>,
+    /// Print a human-readable metrics summary.
+    pub stats: bool,
+}
+
 /// Options for `wmrd serve`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOpts {
@@ -257,6 +283,9 @@ pub enum Command {
     Lint(LintOpts),
     /// Predictive race detection from a single recorded trace.
     Predict(PredictOpts),
+    /// Run instrumented multithreaded workloads and capture their
+    /// executions as traces.
+    Capture(CaptureOpts),
     /// Run the race-analysis daemon over a persistent catalog.
     Serve(ServeOpts),
     /// Submit recorded traces to a running daemon.
@@ -642,6 +671,72 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Predict(opts))
         }
+        "capture" => {
+            let mut opts = CaptureOpts {
+                workload: String::new(),
+                runs: 1,
+                seed: 0,
+                wmrs: false,
+                out: None,
+                sink: None,
+                chunk: 4096,
+                metrics_out: None,
+                stats: false,
+            };
+            while let Some(arg) = cur.next() {
+                match arg {
+                    "--runs" => {
+                        opts.runs = cur
+                            .value_for(arg)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--runs wants an integer".into()))?
+                    }
+                    "--seed" => {
+                        opts.seed = cur
+                            .value_for(arg)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed wants an integer".into()))?
+                    }
+                    "--format" => match cur.value_for(arg)? {
+                        "v2" => opts.wmrs = false,
+                        "wmrs" => opts.wmrs = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (expected v2|wmrs)"
+                            )))
+                        }
+                    },
+                    "--out" => opts.out = Some(cur.value_for(arg)?.to_string()),
+                    "--sink" => opts.sink = Some(cur.value_for(arg)?.to_string()),
+                    "--chunk" => {
+                        opts.chunk = cur
+                            .value_for(arg)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--chunk wants an integer".into()))?
+                    }
+                    "--metrics" => opts.metrics_out = Some(cur.value_for(arg)?.to_string()),
+                    "--stats" => opts.stats = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}` for capture")))
+                    }
+                    name if opts.workload.is_empty() => opts.workload = name.to_string(),
+                    extra => {
+                        return Err(CliError::Usage(format!(
+                            "unexpected capture argument `{extra}`"
+                        )))
+                    }
+                }
+            }
+            if opts.workload.is_empty() {
+                return Err(CliError::Usage(
+                    "capture wants a workload name, `all`, or `list`".into(),
+                ));
+            }
+            if opts.runs == 0 {
+                return Err(CliError::Usage("--runs wants at least 1".into()));
+            }
+            Ok(Command::Capture(opts))
+        }
         "serve" => {
             let mut opts = ServeOpts {
                 listen: String::new(),
@@ -863,6 +958,21 @@ USAGE:
       --hw store-buffer|inval-queue|ooo  weak hardware style (default store-buffer)
       --seed <n>                         scheduler seed for the one trace (default 0)
       --pairing by-role|all-sync         so1 pairing policy (default by-role)
+      --metrics <file>                   write a RunMetrics report (JSON)
+      --stats                            print a metrics summary
+  wmrd capture <workload|all|list> [flags]
+                                       run an instrumented multithreaded workload
+                                       (real std::thread + atomics) and capture
+                                       its execution as an analyzable trace;
+                                       `list` prints the workload registry
+      --runs <n>                         captured runs (default 1), one seed each
+      --seed <n>                         base nudge-plan seed (default 0)
+      --format v2|wmrs                   event-level binary trace (default) or the
+                                         operation-granular WMRS stream format
+      --out <prefix>                     write <prefix>-<workload>-<seed>.trace|.wmrs
+      --sink <addr|unix:path>            deliver to a daemon: SUBMIT (v2) or a
+                                         STREAM/FEED/CLOSE session (wmrs)
+      --chunk <bytes>                    FEED chunk size for wmrs sinks (default 4096)
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
   wmrd serve [flags]                   race-analysis daemon over a persistent catalog
@@ -1093,6 +1203,40 @@ mod tests {
     }
 
     #[test]
+    fn parses_capture() {
+        let Command::Capture(opts) = parse(&argv("capture publish")).unwrap() else {
+            panic!("expected capture")
+        };
+        assert_eq!(opts.workload, "publish");
+        assert_eq!(opts.runs, 1);
+        assert_eq!(opts.seed, 0);
+        assert!(!opts.wmrs && !opts.stats);
+        assert!(opts.out.is_none() && opts.sink.is_none() && opts.metrics_out.is_none());
+        assert_eq!(opts.chunk, 4096);
+
+        let cmd = parse(&argv(
+            "capture all --runs 5 --seed 11 --format wmrs --out /tmp/cap --sink 127.0.0.1:900 \
+             --chunk 64 --metrics m.json --stats",
+        ))
+        .unwrap();
+        let Command::Capture(opts) = cmd else { panic!("expected capture") };
+        assert_eq!(opts.workload, "all");
+        assert_eq!(opts.runs, 5);
+        assert_eq!(opts.seed, 11);
+        assert!(opts.wmrs && opts.stats);
+        assert_eq!(opts.out.as_deref(), Some("/tmp/cap"));
+        assert_eq!(opts.sink.as_deref(), Some("127.0.0.1:900"));
+        assert_eq!(opts.chunk, 64);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+
+        assert!(matches!(parse(&argv("capture")), Err(CliError::Usage(_))), "workload required");
+        assert!(matches!(parse(&argv("capture a b")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("capture x --runs 0")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("capture x --format json")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("capture x --bogus")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
     fn parses_explore_flags() {
         let cmd = parse(&argv(
             "explore fig1a --seeds 5..25 --jobs 8 --budget 500 --cycle-budget 9000 \
@@ -1217,8 +1361,7 @@ mod tests {
         assert_eq!(opts.spec, "races");
         assert!(!opts.json, "text is the default");
 
-        let Command::Query(opts) =
-            parse(&argv("query --to x:1 races --format json")).unwrap()
+        let Command::Query(opts) = parse(&argv("query --to x:1 races --format json")).unwrap()
         else {
             panic!("expected query")
         };
@@ -1286,10 +1429,10 @@ mod tests {
             };
             assert_eq!(opts.hw, hw, "check --hw {name}");
 
-            let Command::Explore(opts) = parse(&argv(&format!(
-                "explore fig1a --hw {name} --prune-static --predict"
-            )))
-            .unwrap() else {
+            let Command::Explore(opts) =
+                parse(&argv(&format!("explore fig1a --hw {name} --prune-static --predict")))
+                    .unwrap()
+            else {
                 panic!("expected explore")
             };
             assert_eq!(opts.hws, vec![hw], "explore --hw {name}");

@@ -20,8 +20,8 @@ use wmrd_verify::sample_sc;
 use wmrd_verify::theorems::{check_condition_3_4_hw, sc_race_signatures};
 
 use crate::args::{
-    parse, AnalyzeOpts, CheckOpts, Command, ExploreOpts, LintOpts, PredictOpts, QueryOpts, RunOpts,
-    ServeOpts, StreamOpts, SubmitOpts, USAGE,
+    parse, AnalyzeOpts, CaptureOpts, CheckOpts, Command, ExploreOpts, LintOpts, PredictOpts,
+    QueryOpts, RunOpts, ServeOpts, StreamOpts, SubmitOpts, USAGE,
 };
 use crate::CliError;
 
@@ -80,6 +80,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Command::Explore(opts) => cmd_explore(&opts),
         Command::Lint(opts) => cmd_lint(&opts),
         Command::Predict(opts) => cmd_predict(&opts),
+        Command::Capture(opts) => cmd_capture(&opts),
         Command::Serve(opts) => cmd_serve(&opts),
         Command::Submit(opts) => cmd_submit(&opts),
         Command::Stream(opts) => cmd_stream(&opts),
@@ -540,6 +541,177 @@ fn cmd_predict(opts: &PredictOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `wmrd capture`: run instrumented multithreaded workloads — real
+/// `std::thread` workers on real atomics, instrumented by
+/// `wmrd-capture` — and pipe the captured executions into the
+/// analysis pipeline: inline hb1 analysis by default, trace files with
+/// `--out`, a live daemon with `--sink` (`SUBMIT` for v2 traces, a
+/// `STREAM`/`FEED`/`CLOSE` session for `WMRS` streams).
+fn cmd_capture(opts: &CaptureOpts) -> Result<String, CliError> {
+    use std::collections::BTreeSet;
+    use wmrd_capture::workloads;
+    use wmrd_core::{detect_races, event_race_keys, HbGraph};
+    use wmrd_trace::metric_keys;
+
+    if opts.workload == "list" {
+        let mut out = String::new();
+        for w in workloads::all() {
+            let _ = writeln!(
+                out,
+                "{:<16} {} thread(s)  {}  {}",
+                w.name,
+                w.threads,
+                if w.racy { "racy " } else { "clean" },
+                w.description
+            );
+        }
+        return Ok(out);
+    }
+    let selected: Vec<&workloads::Workload> = if opts.workload == "all" {
+        workloads::all().iter().collect()
+    } else {
+        vec![workloads::find(&opts.workload).ok_or_else(|| {
+            CliError::NotFound(format!(
+                "`{}` is not a capture workload (try `wmrd capture list`)",
+                opts.workload
+            ))
+        })?]
+    };
+
+    let metrics = metrics_for(&opts.metrics_out, opts.stats);
+    metrics.context("command", "capture");
+    let mut out = String::new();
+    let mut delivered = 0u64;
+    let mut runs_done = 0u64;
+    let mut unique: BTreeSet<wmrd_core::RaceKey> = BTreeSet::new();
+    metrics.time(metric_keys::CAPTURE_TOTAL, || -> Result<(), CliError> {
+        let mut client = match &opts.sink {
+            Some(to) => Some(Client::connect(&Endpoint::parse(to)?)?),
+            None => None,
+        };
+        for w in selected {
+            for run in 0..opts.runs {
+                let seed = opts.seed + run;
+                let capture = w.capture(seed);
+                let stats = capture.stats();
+                runs_done += 1;
+                metrics.incr(metric_keys::CAPTURE_RUNS);
+                metrics.add(metric_keys::CAPTURE_DATA_OPS, stats.data_ops);
+                metrics.add(metric_keys::CAPTURE_SYNC_OPS, stats.sync_ops);
+                metrics.add(metric_keys::CAPTURE_THREADS, stats.threads);
+                metrics.add(metric_keys::CAPTURE_NUDGES, stats.nudges);
+                metrics.add(metric_keys::CAPTURE_DROPPED_OPS, stats.dropped_ops);
+                metrics.add(metric_keys::CAPTURE_PANICS, stats.panics);
+                metrics.add(metric_keys::CAPTURE_UNRESOLVED_OBSERVED, stats.unresolved_observed);
+
+                let trace = capture.to_traceset();
+                let hb = HbGraph::build(&trace, PairingPolicy::ByRole)?;
+                let keys = event_race_keys(&detect_races(&trace, &hb), &trace);
+                let _ = write!(
+                    out,
+                    "{} seed={seed}: {} thread(s), {} op(s) ({} sync), {} race key(s)",
+                    w.name,
+                    stats.threads,
+                    stats.ops(),
+                    stats.sync_ops,
+                    keys.len()
+                );
+                if stats.panics > 0 || stats.dropped_ops > 0 {
+                    let _ = write!(
+                        out,
+                        " [{} panic(s), {} dropped op(s)]",
+                        stats.panics, stats.dropped_ops
+                    );
+                }
+                let _ = writeln!(out);
+                for key in &keys {
+                    let _ = writeln!(out, "  race {}", wmrd_catalog::format_key(key));
+                }
+                unique.extend(keys);
+
+                if let Some(prefix) = &opts.out {
+                    let ext = if opts.wmrs { "wmrs" } else { "trace" };
+                    let path = format!("{prefix}-{}-{seed}.{ext}", w.name);
+                    let bytes = if opts.wmrs { capture.to_wmrs()? } else { trace.to_binary() };
+                    std::fs::write(&path, bytes).map_err(file_err(&path))?;
+                    let _ = writeln!(out, "  wrote {path}");
+                }
+                if let Some(client) = client.as_mut() {
+                    let delivery = if opts.wmrs {
+                        let summary = deliver_wmrs(client, &capture, opts.chunk)?;
+                        delivered += 1;
+                        metrics.incr(metric_keys::CAPTURE_SUBMITTED);
+                        summary
+                    } else {
+                        match client.submit(&trace.to_binary())? {
+                            Reply::Ok(payload) => {
+                                delivered += 1;
+                                metrics.incr(metric_keys::CAPTURE_SUBMITTED);
+                                String::from_utf8_lossy(&payload).trim_end().to_string()
+                            }
+                            Reply::Busy(message) => format!("BUSY ({message})"),
+                            Reply::Err { code, message } => {
+                                format!("REJECTED ({}: {message})", code.as_str())
+                            }
+                        }
+                    };
+                    let _ = writeln!(out, "  sink: {delivery}");
+                }
+            }
+        }
+        Ok(())
+    })?;
+    metrics.set_gauge(metric_keys::CAPTURE_UNIQUE_RACES, unique.len() as u64);
+    let _ = writeln!(
+        out,
+        "captured {runs_done} run(s): {} distinct race key(s){}",
+        unique.len(),
+        if opts.sink.is_some() {
+            format!(", {delivered} delivered to sink")
+        } else {
+            String::new()
+        }
+    );
+    emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
+    Ok(out)
+}
+
+/// Streams one captured run to a daemon as a `STREAM`/`FEED`/`CLOSE`
+/// session of `WMRS` frames, returning the session's closing summary.
+fn deliver_wmrs(
+    client: &mut Client,
+    capture: &wmrd_capture::CaptureTrace,
+    chunk: usize,
+) -> Result<String, CliError> {
+    let bytes = capture.to_wmrs()?;
+    let session = session_token(&format!("capture-{}-{}", capture.name(), capture.seed()));
+    let meta = StreamMeta {
+        program: Some(capture.name().to_string()),
+        model: Some("capture".to_string()),
+        seed: Some(capture.seed()),
+    };
+    let mut summary = String::new();
+    let _ = write!(summary, "{}", client.stream_open(&session, &meta)?.into_text()?.trim_end());
+    for frame in bytes.chunks(chunk.max(1)) {
+        let ack = client.stream_feed(frame)?.into_text()?;
+        if !ack.trim_end().ends_with("new=0") {
+            let _ = write!(summary, "; {}", ack.trim_end());
+        }
+    }
+    let mut attempts = 0;
+    let closed = loop {
+        match client.stream_close()? {
+            Reply::Busy(_) if attempts < CLOSE_RETRIES => {
+                attempts += 1;
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            reply => break reply.into_text()?,
+        }
+    };
+    let _ = write!(summary, "; {}", closed.trim_end());
+    Ok(summary)
+}
+
 /// Builds the campaign spec an `explore` invocation describes.
 fn campaign_spec(opts: &ExploreOpts) -> Result<CampaignSpec, CliError> {
     let mut config = RunConfig::default();
@@ -575,15 +747,7 @@ fn exec_trace(program: &Program, exec: &ExecSpec, config: RunConfig) -> Result<T
         run_sc(program, &mut RandomSched::new(exec.seed), &mut builder, config)?;
     } else {
         let mut sched = RandomWeakSched::new(exec.seed, exec.drain_prob);
-        run_weak_hw(
-            exec.hw,
-            program,
-            exec.model,
-            exec.fidelity,
-            &mut sched,
-            &mut builder,
-            config,
-        )?;
+        run_weak_hw(exec.hw, program, exec.model, exec.fidelity, &mut sched, &mut builder, config)?;
     }
     Ok(builder.finish())
 }
@@ -1621,8 +1785,7 @@ mod tests {
         assert_eq!(report.program, "fig1a");
         assert!(!report.keys.is_empty());
 
-        let CliError::PredictFindings { output, .. } =
-            run_cli(&argv("predict all")).unwrap_err()
+        let CliError::PredictFindings { output, .. } = run_cli(&argv("predict all")).unwrap_err()
         else {
             panic!("the catalog has racy entries")
         };
@@ -1635,8 +1798,8 @@ mod tests {
     #[test]
     fn predict_metrics_and_stats() {
         let m_path = tmp("m-predict.json");
-        let out = run_cli(&argv(&format!("predict counter-locked --metrics {m_path} --stats")))
-            .unwrap();
+        let out =
+            run_cli(&argv(&format!("predict counter-locked --metrics {m_path} --stats"))).unwrap();
         assert!(out.contains("predict.traces"), "{out}");
         let report: wmrd_trace::RunMetrics =
             serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
@@ -1701,5 +1864,81 @@ mod tests {
     fn missing_program_is_not_found() {
         assert!(matches!(run_cli(&argv("run no-such-thing")), Err(CliError::NotFound(_))));
         assert!(matches!(run_cli(&argv("show nope")), Err(CliError::NotFound(_))));
+    }
+
+    #[test]
+    fn capture_list_names_every_workload() {
+        let listing = run_cli(&argv("capture list")).unwrap();
+        for w in wmrd_capture::workloads::all() {
+            assert!(listing.contains(w.name), "{listing}");
+        }
+        assert!(listing.contains("racy"), "{listing}");
+        assert!(listing.contains("clean"), "{listing}");
+    }
+
+    #[test]
+    fn capture_unknown_workload_is_not_found() {
+        assert!(matches!(run_cli(&argv("capture no-such-workload")), Err(CliError::NotFound(_))));
+    }
+
+    #[test]
+    fn capture_racy_workload_reports_races_inline() {
+        let out = run_cli(&argv("capture publish-racy --runs 2 --seed 5")).unwrap();
+        assert!(out.contains("publish-racy seed=5:"), "{out}");
+        assert!(out.contains("publish-racy seed=6:"), "{out}");
+        assert!(out.contains("race "), "expected inline race keys:\n{out}");
+        assert!(out.contains("captured 2 run(s)"), "{out}");
+    }
+
+    #[test]
+    fn capture_clean_workload_is_race_free() {
+        let out = run_cli(&argv("capture publish")).unwrap();
+        assert!(out.contains("0 race key(s)"), "{out}");
+        assert!(out.contains("captured 1 run(s): 0 distinct race key(s)"), "{out}");
+    }
+
+    #[test]
+    fn capture_out_writes_analyzable_trace_files() {
+        let prefix = tmp("cap");
+        run_cli(&argv(&format!("capture seqlock-racy --seed 3 --out {prefix}"))).unwrap();
+        let path = format!("{prefix}-seqlock-racy-3.trace");
+        // The captured file round-trips through the stock analyzer.
+        let report = run_cli(&argv(&format!("analyze {path}"))).unwrap();
+        assert!(report.contains("race"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capture_submits_v2_traces_to_a_live_daemon() {
+        let server =
+            Server::bind(&Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let out = run_cli(&argv(&format!("capture lazy-init-racy --sink {addr}"))).unwrap();
+        assert!(out.contains("sink: "), "{out}");
+        assert!(out.contains("1 delivered to sink"), "{out}");
+
+        run_cli(&argv(&format!("query --to {addr} shutdown"))).unwrap();
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.ingested, 1);
+    }
+
+    #[test]
+    fn capture_streams_wmrs_to_a_live_daemon() {
+        let server =
+            Server::bind(&Endpoint::parse("127.0.0.1:0").unwrap(), ServeConfig::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let out =
+            run_cli(&argv(&format!("capture actor-racy --format wmrs --chunk 32 --sink {addr}")))
+                .unwrap();
+        assert!(out.contains("sink: "), "{out}");
+        assert!(out.contains("1 delivered to sink"), "{out}");
+
+        run_cli(&argv(&format!("query --to {addr} shutdown"))).unwrap();
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.ingested, 1, "the CLOSEd stream was ingested");
     }
 }

@@ -155,9 +155,7 @@ impl PredictGraph {
                         // recovered critical sections on this lock. The
                         // edge is a program constraint only if their
                         // bodies conflict.
-                        (Some(&src), Some(&dst)) => {
-                            sections[src].conflicts_with(&sections[dst])
-                        }
+                        (Some(&src), Some(&dst)) => sections[src].conflicts_with(&sections[dst]),
                         // Bare release and/or bare acquire: a flag
                         // handoff, kept unconditionally.
                         _ => true,

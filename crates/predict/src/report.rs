@@ -110,7 +110,8 @@ impl PredictReport {
                 mark
             );
         }
-        let verdict = if self.is_race_free() { "predictively race-free" } else { "RACES PREDICTED" };
+        let verdict =
+            if self.is_race_free() { "predictively race-free" } else { "RACES PREDICTED" };
         let _ = writeln!(out, "  verdict: {verdict}");
         out
     }
@@ -208,7 +209,14 @@ pub fn predict(
         candidate_pairs: candidates,
         predicted_pairs: races.len() as u64,
     };
-    Ok(PredictReport { program: program.to_string(), order, pairing: policy, stats, keys, observed })
+    Ok(PredictReport {
+        program: program.to_string(),
+        order,
+        pairing: policy,
+        stats,
+        keys,
+        observed,
+    })
 }
 
 /// [`predict`], timed under the `predict.analysis` phase with

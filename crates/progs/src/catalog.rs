@@ -798,19 +798,11 @@ pub fn lazy_publish_racy() -> CatalogEntry {
     let mut program = Program::new("lazy-publish-racy", 5);
 
     let mut p0 = ProcBuilder::new();
-    p0.st(1, lay.x)
-        .lock(r(0), lay.lock)
-        .st(1, lay.a)
-        .unset(lay.lock)
-        .halt();
+    p0.st(1, lay.x).lock(r(0), lay.lock).st(1, lay.a).unset(lay.lock).halt();
     program.push_proc(p0.assemble().expect("static program assembles"));
 
     let mut p1 = ProcBuilder::new();
-    p1.lock(r(0), lay.lock)
-        .st(1, lay.b)
-        .unset(lay.lock)
-        .ld(r(1), lay.x)
-        .halt();
+    p1.lock(r(0), lay.lock).st(1, lay.b).unset(lay.lock).ld(r(1), lay.x).halt();
     program.push_proc(p1.assemble().expect("static program assembles"));
 
     CatalogEntry {
@@ -830,19 +822,11 @@ pub fn disjoint_update_racy() -> CatalogEntry {
     let mut program = Program::new("disjoint-update-racy", 5);
 
     let mut p0 = ProcBuilder::new();
-    p0.st(1, lay.x)
-        .lock(r(0), lay.lock)
-        .st(1, lay.a)
-        .unset(lay.lock)
-        .halt();
+    p0.st(1, lay.x).lock(r(0), lay.lock).st(1, lay.a).unset(lay.lock).halt();
     program.push_proc(p0.assemble().expect("static program assembles"));
 
     let mut p1 = ProcBuilder::new();
-    p1.lock(r(0), lay.lock)
-        .st(1, lay.b)
-        .unset(lay.lock)
-        .st(2, lay.x)
-        .halt();
+    p1.lock(r(0), lay.lock).st(1, lay.b).unset(lay.lock).st(2, lay.x).halt();
     program.push_proc(p1.assemble().expect("static program assembles"));
 
     CatalogEntry {
@@ -863,26 +847,15 @@ pub fn section_chain_racy() -> CatalogEntry {
     let mut program = Program::new("section-chain-racy", 5);
 
     let mut p0 = ProcBuilder::new();
-    p0.st(1, lay.x)
-        .lock(r(0), lay.lock)
-        .st(1, lay.a)
-        .unset(lay.lock)
-        .halt();
+    p0.st(1, lay.x).lock(r(0), lay.lock).st(1, lay.a).unset(lay.lock).halt();
     program.push_proc(p0.assemble().expect("static program assembles"));
 
     let mut p1 = ProcBuilder::new();
-    p1.lock(r(0), lay.lock)
-        .st(1, lay.b)
-        .unset(lay.lock)
-        .halt();
+    p1.lock(r(0), lay.lock).st(1, lay.b).unset(lay.lock).halt();
     program.push_proc(p1.assemble().expect("static program assembles"));
 
     let mut p2 = ProcBuilder::new();
-    p2.lock(r(0), lay.lock)
-        .st(1, lay.c)
-        .unset(lay.lock)
-        .ld(r(1), lay.x)
-        .halt();
+    p2.lock(r(0), lay.lock).st(1, lay.c).unset(lay.lock).ld(r(1), lay.x).halt();
     program.push_proc(p2.assemble().expect("static program assembles"));
 
     CatalogEntry {

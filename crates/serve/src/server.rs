@@ -407,11 +407,7 @@ fn analyze_and_ingest(shared: &Shared, trace: &TraceSet, pairing: PairingPolicy)
     };
     // Retain the trace for PREDICT — duplicates included, so
     // resubmitting an evicted trace makes it predictable again.
-    shared
-        .retained
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .retain(outcome.digest.clone(), trace);
+    shared.retained.lock().unwrap_or_else(|e| e.into_inner()).retain(outcome.digest.clone(), trace);
     Ok((outcome, keys))
 }
 
@@ -811,9 +807,7 @@ fn predict_retained(shared: &Shared, digest: &str, order: Option<&str>) -> Reply
     let Some(trace) = trace else {
         return Reply::Err {
             code: ErrorCode::Query,
-            message: format!(
-                "trace `{digest}` is not retained (resubmit it, then PREDICT again)"
-            ),
+            message: format!("trace `{digest}` is not retained (resubmit it, then PREDICT again)"),
         };
     };
     let program = trace.meta.program.clone().unwrap_or_else(|| digest.to_string());

@@ -411,9 +411,7 @@ impl OooMachine {
 
     /// Number of issued loads still waiting for their fill.
     pub fn pending_fills(&self, proc: ProcId) -> usize {
-        self.robs
-            .get(proc.index())
-            .map_or(0, |rob| rob.iter().filter(|e| !e.complete()).count())
+        self.robs.get(proc.index()).map_or(0, |rob| rob.iter().filter(|e| !e.complete()).count())
     }
 
     /// Convenience: the value currently in a register of a core (test
@@ -498,9 +496,9 @@ impl OooMachine {
             Instr::Ld { addr, .. } | Instr::LdAcq { addr, .. } | Instr::LdSync { addr, .. } => {
                 addr_ready(addr) && rob_space
             }
-            Instr::St { src, addr }
-            | Instr::StRel { src, addr }
-            | Instr::StSync { src, addr } => op_ready(src) && addr_ready(addr) && rob_space,
+            Instr::St { src, addr } | Instr::StRel { src, addr } | Instr::StSync { src, addr } => {
+                op_ready(src) && addr_ready(addr) && rob_space
+            }
             Instr::TestSet { addr, .. } | Instr::Unset { addr } => addr_ready(addr) && rob_space,
         }
     }
@@ -530,7 +528,11 @@ impl OooMachine {
             return (w.value, FillSrc::Resolved { writer: Some(w.op), writer_sync: w.sync }, true);
         }
         let cell = &self.mem[loc.index()];
-        (cell.value, FillSrc::Resolved { writer: cell.writer, writer_sync: cell.writer_sync }, false)
+        (
+            cell.value,
+            FillSrc::Resolved { writer: cell.writer, writer_sync: cell.writer_sync },
+            false,
+        )
     }
 
     fn strong_write(&mut self, loc: Location, value: Value, op: OpId, sync: bool) {
@@ -838,13 +840,18 @@ impl OooMachine {
             .unwrap_or(Instr::Halt);
         let conditioned = self.fidelity == Fidelity::Conditioned;
         let strong = self.model == MemoryModel::Sc;
-        let ready = |rats: &[RegStatus; crate::NUM_REGS], r: Reg| rats[r.index()] == RegStatus::Ready;
+        let ready =
+            |rats: &[RegStatus; crate::NUM_REGS], r: Reg| rats[r.index()] == RegStatus::Ready;
         let event = match instr {
             // Register-only instructions: execute immediately when
             // operands are ready, else rename the destination and wait
             // in a reservation station.
-            Instr::Li { .. } | Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Bnz { .. }
-            | Instr::Nop | Instr::Halt => {
+            Instr::Li { .. }
+            | Instr::Jmp { .. }
+            | Instr::Bz { .. }
+            | Instr::Bnz { .. }
+            | Instr::Nop
+            | Instr::Halt => {
                 let was_halt = matches!(instr, Instr::Halt);
                 match self.cores[pi].exec_local(&instr) {
                     LocalOutcome::Done => {}
@@ -1246,11 +1253,7 @@ mod tests {
     #[test]
     fn branches_stall_until_condition_resolves() {
         let mut prog = Program::new("t", 2);
-        prog.push_proc(vec![
-            load(0, 0),
-            Instr::Bnz { cond: Reg::new(0), target: 0 },
-            Instr::Halt,
-        ]);
+        prog.push_proc(vec![load(0, 0), Instr::Bnz { cond: Reg::new(0), target: 0 }, Instr::Halt]);
         let mut m = wo(prog);
         let mut sink = NullSink::new();
         m.step(p(0), &mut sink).unwrap();
@@ -1268,11 +1271,7 @@ mod tests {
         // Stepping a stalled processor is defined: it fills the oldest
         // pending load instead of issuing.
         let mut prog = Program::new("t", 2);
-        prog.push_proc(vec![
-            load(0, 0),
-            Instr::Bnz { cond: Reg::new(0), target: 0 },
-            Instr::Halt,
-        ]);
+        prog.push_proc(vec![load(0, 0), Instr::Bnz { cond: Reg::new(0), target: 0 }, Instr::Halt]);
         let mut m = wo(prog);
         let mut sink = NullSink::new();
         m.step(p(0), &mut sink).unwrap();
@@ -1442,10 +1441,7 @@ mod tests {
         // Stores are complete: they retire straight into the buffer.
         assert_eq!(m.store_buffer(p(0)).len(), 3);
         assert_eq!(m.drainable_indices(p(0)), vec![0, 1], "same-location order preserved");
-        assert!(matches!(
-            m.complete_one(p(0), 2, &mut sink),
-            Err(SimError::BadDrain { .. })
-        ));
+        assert!(matches!(m.complete_one(p(0), 2, &mut sink), Err(SimError::BadDrain { .. })));
         m.complete_one(p(0), 1, &mut sink).unwrap();
         assert_eq!(m.memory_values()[1], Value::new(9), "out-of-order drain of loc 1");
         m.complete_one(p(0), 0, &mut sink).unwrap();
@@ -1494,14 +1490,8 @@ mod tests {
         };
         let mut m = wo(prog);
         let mut sink = NullSink::new();
-        assert!(matches!(
-            m.complete_one(p(0), 0, &mut sink),
-            Err(SimError::BadDrain { .. })
-        ));
-        assert!(matches!(
-            m.complete_one(p(9), 0, &mut sink),
-            Err(SimError::UnknownProcessor(_))
-        ));
+        assert!(matches!(m.complete_one(p(0), 0, &mut sink), Err(SimError::BadDrain { .. })));
+        assert!(matches!(m.complete_one(p(9), 0, &mut sink), Err(SimError::UnknownProcessor(_))));
         assert!(m.drainable_indices(p(9)).is_empty());
     }
 

@@ -541,6 +541,34 @@ pub mod keys {
     /// Counter: load-fill completions — issued loads bound to a value,
     /// in any order the speculation window permits.
     pub const OOO_LOAD_FILLS: &str = "ooo.load_fills";
+    /// Counter: capture runs performed (one per seed).
+    pub const CAPTURE_RUNS: &str = "capture.runs";
+    /// Counter: data operations logged across capture runs.
+    pub const CAPTURE_DATA_OPS: &str = "capture.data_ops";
+    /// Counter: synchronization operations logged across capture runs.
+    pub const CAPTURE_SYNC_OPS: &str = "capture.sync_ops";
+    /// Counter: workload threads registered as processors.
+    pub const CAPTURE_THREADS: &str = "capture.threads";
+    /// Counter: schedule nudges (yields/spins) injected by the seeded
+    /// plans.
+    pub const CAPTURE_NUDGES: &str = "capture.nudges";
+    /// Counter: operations dropped by the per-thread log bound — any
+    /// non-zero value means the trace is a prefix of the run.
+    pub const CAPTURE_DROPPED_OPS: &str = "capture.dropped_ops";
+    /// Counter: workload threads that panicked mid-run (their
+    /// committed prefix is still captured).
+    pub const CAPTURE_PANICS: &str = "capture.panics";
+    /// Counter: sync reads whose observed release write was not in any
+    /// committed log; they replay without an observed-release edge.
+    pub const CAPTURE_UNRESOLVED_OBSERVED: &str = "capture.unresolved_observed";
+    /// Counter: distinct data-race identities (`RaceKey`s) detected
+    /// across a capture batch's runs.
+    pub const CAPTURE_UNIQUE_RACES: &str = "capture.unique_races";
+    /// Counter: captured traces submitted to a live daemon (`--sink`).
+    pub const CAPTURE_SUBMITTED: &str = "capture.submitted";
+    /// Phase: wall-clock time spent running and analyzing captured
+    /// workloads.
+    pub const CAPTURE_TOTAL: &str = "capture.total";
 }
 
 #[cfg(test)]
@@ -651,10 +679,25 @@ mod tests {
             assert!(key.starts_with("predict."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
         }
-        for key in
-            [keys::OOO_RETIRED, keys::OOO_FLUSHES, keys::OOO_FORWARDS, keys::OOO_LOAD_FILLS]
+        for key in [keys::OOO_RETIRED, keys::OOO_FLUSHES, keys::OOO_FORWARDS, keys::OOO_LOAD_FILLS]
         {
             assert!(key.starts_with("ooo."), "{key}");
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+        }
+        for key in [
+            keys::CAPTURE_RUNS,
+            keys::CAPTURE_DATA_OPS,
+            keys::CAPTURE_SYNC_OPS,
+            keys::CAPTURE_THREADS,
+            keys::CAPTURE_NUDGES,
+            keys::CAPTURE_DROPPED_OPS,
+            keys::CAPTURE_PANICS,
+            keys::CAPTURE_UNRESOLVED_OBSERVED,
+            keys::CAPTURE_UNIQUE_RACES,
+            keys::CAPTURE_SUBMITTED,
+            keys::CAPTURE_TOTAL,
+        ] {
+            assert!(key.starts_with("capture."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
         }
     }

@@ -25,6 +25,19 @@ use crate::{
 /// callbacks of different processors may interleave arbitrarily (they
 /// reflect the execution's issue order). Both callbacks return the
 /// [`OpId`] assigned to the operation.
+///
+/// # Flush-on-drop
+///
+/// Sinks that own an external resource (a file, a socket) must not
+/// hold committed operations hostage in internal buffers across a
+/// drop: a workload that panics mid-run still needs its committed
+/// prefix to be recoverable. The contract is that each callback either
+/// hands the operation to the underlying resource before returning or
+/// the sink's `Drop` makes a best-effort flush of whatever is pending;
+/// only an explicit terminal call (like
+/// [`StreamWriter::finish`](crate::StreamWriter::finish)) may *report*
+/// errors. [`StreamWriter`](crate::StreamWriter) implements exactly
+/// this; purely in-memory sinks satisfy it trivially.
 pub trait TraceSink {
     /// A data operation executed.
     ///

@@ -52,6 +52,19 @@ pub const STREAM_FORMAT_VERSION: u16 = 2;
 /// operation identities stay correct) and the first error is reported by
 /// [`finish`](StreamWriter::finish) — a sink callback cannot fail.
 ///
+/// # Flush-on-drop guarantee
+///
+/// Every record is handed to the underlying writer as soon as its sink
+/// callback returns — the `StreamWriter` buffers nothing itself — and
+/// dropping the writer without calling [`finish`](StreamWriter::finish)
+/// performs a best-effort flush of the underlying writer. A workload
+/// that panics mid-capture therefore leaves a stream holding every
+/// record committed before the panic; the torn tail (at most one
+/// partial record, if the process died inside a `write`) is exactly
+/// what [`salvage_stream`] recovers from. Only `finish` can *report*
+/// flush or deferred write errors — the drop path swallows them, so
+/// the clean shutdown path should always prefer `finish`.
+///
 /// # Example
 ///
 /// ```
@@ -69,7 +82,9 @@ pub const STREAM_FORMAT_VERSION: u16 = 2;
 /// ```
 #[derive(Debug)]
 pub struct StreamWriter<W: Write> {
-    writer: W,
+    /// `None` only after [`finish`](StreamWriter::finish) has taken the
+    /// writer out (the `Drop` impl then has nothing left to flush).
+    writer: Option<W>,
     counters: Vec<u32>,
     records: u64,
     deferred_error: Option<std::io::Error>,
@@ -80,20 +95,32 @@ impl<W: Write> StreamWriter<W> {
     /// the stream header (any I/O error is deferred to
     /// [`finish`](StreamWriter::finish), like record writes).
     pub fn new(writer: W, num_procs: usize) -> Self {
-        let mut w =
-            StreamWriter { writer, counters: vec![0; num_procs], records: 0, deferred_error: None };
+        let mut w = StreamWriter {
+            writer: Some(writer),
+            counters: vec![0; num_procs],
+            records: 0,
+            deferred_error: None,
+        };
         let mut hdr = Vec::with_capacity(6);
         hdr.put_slice(STREAM_MAGIC);
         hdr.put_u16(STREAM_FORMAT_VERSION);
-        if let Err(e) = w.writer.write_all(&hdr) {
-            w.deferred_error = Some(e);
-        }
+        w.write_bytes(&hdr);
         w
     }
 
     /// Number of records emitted.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        if self.deferred_error.is_some() {
+            return;
+        }
+        let Some(writer) = self.writer.as_mut() else { return };
+        if let Err(e) = writer.write_all(bytes) {
+            self.deferred_error = Some(e);
+        }
     }
 
     /// Flushes and returns the underlying writer, surfacing any deferred
@@ -106,8 +133,12 @@ impl<W: Write> StreamWriter<W> {
         if let Some(e) = self.deferred_error.take() {
             return Err(TraceError::Io(e));
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self
+            .writer
+            .take()
+            .unwrap_or_else(|| unreachable!("writer present until finish takes it"));
+        writer.flush()?;
+        Ok(writer)
     }
 
     fn assign(&mut self, proc: ProcId) -> OpId {
@@ -137,10 +168,21 @@ impl<W: Write> StreamWriter<W> {
         let mut rec = encode_record_body(tag, proc, loc, kind, role, value, observed);
         let crc = crc32(&rec);
         rec.put_u32(crc);
-        if let Err(e) = self.writer.write_all(&rec) {
-            self.deferred_error = Some(e);
-        }
+        self.write_bytes(&rec);
         self.records += 1;
+    }
+}
+
+impl<W: Write> Drop for StreamWriter<W> {
+    /// Best-effort flush of the underlying writer when the stream is
+    /// dropped without [`finish`](StreamWriter::finish) — the
+    /// flush-on-drop half of the salvage contract. Errors are
+    /// swallowed here (a `Drop` cannot report them); `finish` is the
+    /// path that surfaces them.
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 

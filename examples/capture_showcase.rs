@@ -1,0 +1,74 @@
+//! Capture showcase: instrument real `std::thread` workers with
+//! `wmrd-capture`, run the classic release/acquire publication idiom —
+//! once correct, once deliberately broken — and analyze both captured
+//! executions with the stock post-mortem pipeline. No simulator, no
+//! assembly: the traces come from an actual multithreaded execution of
+//! this process.
+//!
+//! ```text
+//! cargo run -p wmrd-xtests --example capture_showcase
+//! ```
+
+use std::sync::atomic::Ordering;
+
+use wmrd_capture::CaptureSession;
+use wmrd_core::{detect_races, event_race_keys, HbGraph, PairingPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The correct idiom: Release store / Acquire load. ---
+    let mut session = CaptureSession::new("publish", 1);
+    let cell = session.cell(0u32);
+    let flag = session.atomic(false);
+    session.run(|scope| {
+        scope.spawn(|| {
+            cell.set(42);
+            flag.store(true, Ordering::Release); // publish
+        });
+        scope.spawn(|| {
+            while !flag.load(Ordering::Acquire) {} // observe
+            let _ = cell.get();
+        });
+    });
+    let clean = session.finish();
+    report("release/acquire publication", &clean);
+
+    // --- The broken variant: Relaxed everywhere. ---
+    let mut session = CaptureSession::new("publish-racy", 1);
+    let cell = session.cell(0u32);
+    let flag = session.atomic(false);
+    session.run(|scope| {
+        scope.spawn(|| {
+            cell.set(42);
+            flag.store(true, Ordering::Relaxed); // no release: orders nothing
+        });
+        scope.spawn(|| {
+            while !flag.load(Ordering::Relaxed) {}
+            let _ = cell.get();
+        });
+    });
+    let racy = session.finish();
+    report("relaxed (broken) publication", &racy);
+
+    // The prepackaged registry drives the same workloads from the CLI:
+    // `wmrd capture list`, `wmrd capture publish-racy --runs 5`.
+    println!("registry: {} workloads", wmrd_capture::workloads::all().len());
+    Ok(())
+}
+
+/// Builds the captured run's event trace and prints its hb1 data races.
+fn report(label: &str, capture: &wmrd_capture::CaptureTrace) {
+    let trace = capture.to_traceset();
+    let hb = HbGraph::build(&trace, PairingPolicy::ByRole).expect("captured traces validate");
+    let keys = event_race_keys(&detect_races(&trace, &hb), &trace);
+    let stats = capture.stats();
+    println!(
+        "{label}: {} ops ({} sync) on {} threads -> {} race key(s)",
+        stats.ops(),
+        stats.sync_ops,
+        stats.threads,
+        keys.len()
+    );
+    for key in &keys {
+        println!("  race at location {} between {:?} and {:?}", key.loc.addr(), key.a, key.b);
+    }
+}

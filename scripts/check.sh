@@ -157,6 +157,45 @@ for key in $ooo_keys; do
     fi
 done
 
+echo "== capture smoke (real-thread tracing frontend)"
+# The capture crate's unit suite, the e2e xtest (every registry
+# workload analyzes across a seed matrix, racy workloads reach their
+# expected RaceKeys from capture alone, clean workloads stay race-free
+# under hb1 AND WCP prediction, zero-sync-event threads salvage, and a
+# live daemon ingests captured traces over SUBMIT and STREAM), and the
+# CLI surface: a racy capture must report its races inline.
+cargo test -q -p wmrd-capture
+cargo test -q -p wmrd-xtests --test capture
+cargo run -q -p wmrd-cli --bin wmrd -- capture list > /dev/null
+if ! cargo run -q -p wmrd-cli --bin wmrd -- capture publish-racy --seed 0 | grep -q "race "; then
+    echo "check.sh: wmrd capture publish-racy must report at least one race key" >&2
+    exit 1
+fi
+
+echo "== capture documentation gates"
+# The capture CLI surface must stay documented in the help text, E17 in
+# EXPERIMENTS.md, and every capture.* metric key the code defines must
+# appear in OBSERVABILITY.md (same discipline as the predict gate).
+if ! cargo run -q -p wmrd-cli --bin wmrd -- help | grep -q "wmrd capture"; then
+    echo "check.sh: wmrd help does not document the capture command" >&2
+    exit 1
+fi
+if ! grep -q "^## E17" EXPERIMENTS.md; then
+    echo "check.sh: EXPERIMENTS.md is missing the E17 section" >&2
+    exit 1
+fi
+capture_keys=$(sed -n 's/^.*"\(capture\.[a-z_][a-z_]*\)".*$/\1/p' crates/trace/src/metrics.rs | sort -u)
+if [ -z "$capture_keys" ]; then
+    echo "check.sh: could not extract capture.* keys from crates/trace/src/metrics.rs" >&2
+    exit 1
+fi
+for key in $capture_keys; do
+    if ! grep -q "$key" OBSERVABILITY.md; then
+        echo "check.sh: metric key $key is not documented in OBSERVABILITY.md" >&2
+        exit 1
+    fi
+done
+
 echo "== explore crate hygiene"
 # An #[ignore]d test in the exploration crate must carry its reason
 # inline (`#[ignore = "..."]`); a bare #[ignore] silently shrinks the

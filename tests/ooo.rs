@@ -30,8 +30,16 @@ use wmrd_verify::{enumerate_weak, EnumConfig};
 fn weak_trace(program: &Program, hw: HwImpl, model: MemoryModel, seed: u64) -> TraceSet {
     let mut sched = RandomWeakSched::new(seed, 0.3);
     let mut sink = TraceBuilder::new(program.num_procs());
-    run_weak_hw(hw, program, model, Fidelity::Conditioned, &mut sched, &mut sink, RunConfig::uniform())
-        .unwrap();
+    run_weak_hw(
+        hw,
+        program,
+        model,
+        Fidelity::Conditioned,
+        &mut sched,
+        &mut sink,
+        RunConfig::uniform(),
+    )
+    .unwrap();
     sink.finish()
 }
 
@@ -86,8 +94,7 @@ fn three_backends_sweep_every_catalog_entry() {
 /// access pair outside the enumerated race universe.
 #[test]
 fn ooo_races_lie_within_the_weak_enumeration() {
-    let cfg =
-        EnumConfig { max_executions: 50_000, max_steps_per_path: 300, spin_unroll_limit: 1 };
+    let cfg = EnumConfig { max_executions: 50_000, max_steps_per_path: 300, spin_unroll_limit: 1 };
     for entry in [catalog::fig1a(), catalog::producer_consumer_racy(), catalog::fig1b()] {
         let mut admitted = BTreeSet::new();
         for model in [MemoryModel::Wo, MemoryModel::RCsc] {
@@ -165,9 +172,10 @@ fn fully_fenced_programs_agree_on_final_memory() {
         ),
     ];
     for program in programs {
-        let reference = run_sc(&program, &mut RandomSched::new(0), &mut NullSink::new(), RunConfig::uniform())
-            .unwrap()
-            .final_memory;
+        let reference =
+            run_sc(&program, &mut RandomSched::new(0), &mut NullSink::new(), RunConfig::uniform())
+                .unwrap()
+                .final_memory;
         for hw in HwImpl::ALL {
             for seed in 0..6 {
                 let mut sched = RandomWeakSched::new(seed, 0.3);
@@ -199,11 +207,8 @@ fn fully_fenced_programs_agree_on_final_memory() {
 /// three backends at every seed.
 #[test]
 fn sc_model_final_memory_is_backend_independent() {
-    for entry in [
-        catalog::counter_locked(2, 3),
-        catalog::producer_consumer(),
-        catalog::ping_pong(),
-    ] {
+    for entry in [catalog::counter_locked(2, 3), catalog::producer_consumer(), catalog::ping_pong()]
+    {
         let mut reference: Option<Vec<Value>> = None;
         for hw in HwImpl::ALL {
             for seed in 0..6 {
@@ -293,8 +298,8 @@ impl wmrd_sim::WeakScheduler for SplitMixSched {
         if runnable.is_empty() && drains.is_empty() {
             return None;
         }
-        let drain_first = !drains.is_empty()
-            && (runnable.is_empty() || self.next_u64() % 100 < self.drain_pct);
+        let drain_first =
+            !drains.is_empty() && (runnable.is_empty() || self.next_u64() % 100 < self.drain_pct);
         if drain_first {
             let pick = self.next_u64() as usize % drains.len();
             Some(drains[pick])
@@ -342,11 +347,8 @@ fn fig1b_relacq() -> Program {
 fn ooo_raw_fidelity_yields_non_sc_witnesses_with_golden_table() {
     let mut lines = Vec::new();
     let mut raw_violations = 0usize;
-    let programs = vec![
-        fig1b_relacq(),
-        catalog::producer_consumer().program,
-        catalog::ping_pong().program,
-    ];
+    let programs =
+        vec![fig1b_relacq(), catalog::producer_consumer().program, catalog::ping_pong().program];
     for program in &programs {
         for fidelity in [Fidelity::Conditioned, Fidelity::Raw] {
             for seed in 0..12u64 {
@@ -387,10 +389,7 @@ fn ooo_raw_fidelity_yields_non_sc_witnesses_with_golden_table() {
             }
         }
     }
-    assert!(
-        raw_violations >= 1,
-        "raw OoO produced no race-free-but-non-SC witness over the sweep"
-    );
+    assert!(raw_violations >= 1, "raw OoO produced no race-free-but-non-SC witness over the sweep");
     let rendered = format!("{}\n", lines.join("\n"));
     let path = std::path::PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -405,4 +404,3 @@ fn ooo_raw_fidelity_yields_non_sc_witnesses_with_golden_table() {
         .unwrap_or_else(|e| panic!("missing golden {path:?} ({e}); run with WMRD_REGOLD=1"));
     assert_eq!(rendered, expected, "raw-witness table diverged (WMRD_REGOLD=1 regenerates)");
 }
-
