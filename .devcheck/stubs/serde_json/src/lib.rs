@@ -49,6 +49,45 @@ pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> 
     Err(unsupported())
 }
 
+/// Stand-in for `serde_json::Map` (object key order is irrelevant to
+/// the stub — nothing ever serializes).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// Minimal stand-in for `serde_json::Value`: just enough shape for
+/// code that builds JSON envelopes (`to_value` + `as_object_mut` +
+/// `insert`) to compile. `to_value` errors at runtime like every other
+/// stubbed entry point, so no `Value` is ever actually constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The only variant the `json!` stub macro produces.
+    Null,
+    /// An object, for `as_object_mut`-style envelope edits.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Mutable object access, mirroring the real API.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            Value::Null => None,
+        }
+    }
+}
+
+/// Stand-in for `serde_json::json!`: type-checks, produces `Null`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)*) => {
+        $crate::Value::Null
+    };
+}
+
+#[allow(clippy::missing_errors_doc)]
+pub fn to_value<T: serde::Serialize>(_value: T) -> Result<Value, Error> {
+    Err(unsupported())
+}
+
 #[allow(clippy::missing_errors_doc)]
 pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T, Error> {
     Err(unsupported())

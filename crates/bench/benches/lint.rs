@@ -2,6 +2,9 @@
 //! the catalog and over generated workloads of growing size. The
 //! analysis is a fixpoint per processor plus a quadratic pair scan, so
 //! the generated-workload series shows how cost scales with code size.
+//! The `cycles`/`repair` groups measure the delay-set layer on top:
+//! critical-cycle enumeration + classification, and the full
+//! strengthen-plus-fence-cover synthesis (DESIGN.md §11, E18).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -53,5 +56,44 @@ fn bench_lint(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lint);
+fn bench_cycles_and_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint_cycles");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // Reports are reused across iterations: the benched cost is the
+    // delay-set layer alone, not the underlying abstract interpretation
+    // (that's the `lint` group above).
+    let cat: Vec<(Program, wmrd_lint::LintReport)> = catalog::all()
+        .into_iter()
+        .map(|e| {
+            let report = wmrd_lint::analyze(&e.program);
+            (e.program, report)
+        })
+        .collect();
+
+    group.throughput(Throughput::Elements(cat.len() as u64));
+    group.bench_function("classify/catalog", |b| {
+        b.iter(|| cat.iter().map(|(p, r)| wmrd_lint::analyze_cycles(p, r).cycles).sum::<usize>())
+    });
+    group.bench_function("repair/catalog", |b| {
+        b.iter(|| cat.iter().map(|(p, r)| wmrd_lint::repair(p, r).plan.fences.len()).sum::<usize>())
+    });
+
+    // ticket-lock is the MAX_CYCLES-capped worst case; fig1a the
+    // smallest repairable one — the two ends of the cost range.
+    for name in ["ticket-lock", "fig1a"] {
+        let entry = catalog::all().into_iter().find(|e| e.name == name).unwrap();
+        let report = wmrd_lint::analyze(&entry.program);
+        group.bench_with_input(
+            BenchmarkId::new("classify", name),
+            &(&entry.program, &report),
+            |b, (p, r)| b.iter(|| wmrd_lint::analyze_cycles(p, r).cycles),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint, bench_cycles_and_repair);
 criterion_main!(benches);

@@ -125,6 +125,12 @@ pub struct ExploreOpts {
     pub metrics_out: Option<String>,
     /// Print a human-readable metrics summary.
     pub stats: bool,
+    /// Synthesize a fence/strengthening repair first, then verify it:
+    /// the repaired program must run race-free and satisfy Condition
+    /// 3.4 on every hardware backend over the seed range, and the
+    /// *unrepaired* program is run under raw out-of-order hardware as
+    /// an ablation.
+    pub verify_repair: bool,
 }
 
 /// Options for `wmrd lint`.
@@ -135,6 +141,15 @@ pub struct LintOpts {
     pub targets: Vec<String>,
     /// Emit JSON instead of text (`--format json`).
     pub json: bool,
+    /// Run the critical-cycle delay-set analysis on top of the
+    /// may-race report: classify every key as `sc-also` or
+    /// `weak-only`, list the delay set, and show the synthesized
+    /// repair plan. JSON output switches to the versioned v2 envelope.
+    pub cycles: bool,
+    /// Write the repaired program (fences inserted, sync ops
+    /// strengthened) as `.wmrd` assembly to this path. Implies the
+    /// cycle analysis and wants exactly one target.
+    pub repair_out: Option<String>,
     /// Where to write the lint `RunMetrics` report (JSON).
     pub metrics_out: Option<String>,
     /// Print a human-readable metrics summary.
@@ -536,6 +551,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 report_out: None,
                 metrics_out: None,
                 stats: false,
+                verify_repair: false,
             };
             while let Some(flag) = cur.next() {
                 match flag {
@@ -571,6 +587,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--pairing" => opts.pairing = parse_pairing(cur.value_for(flag)?)?,
                     "--prune-static" => opts.prune_static = true,
                     "--predict" => opts.predict = true,
+                    "--verify-repair" => opts.verify_repair = true,
                     "--always-analyze" => opts.always_analyze = true,
                     "--repro" => {
                         opts.repro =
@@ -591,8 +608,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Explore(opts))
         }
         "lint" => {
-            let mut opts =
-                LintOpts { targets: Vec::new(), json: false, metrics_out: None, stats: false };
+            let mut opts = LintOpts {
+                targets: Vec::new(),
+                json: false,
+                cycles: false,
+                repair_out: None,
+                metrics_out: None,
+                stats: false,
+            };
             while let Some(arg) = cur.next() {
                 match arg {
                     "--format" => match cur.value_for(arg)? {
@@ -604,6 +627,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             )))
                         }
                     },
+                    "--cycles" => opts.cycles = true,
+                    "--repair" => opts.repair_out = Some(cur.value_for(arg)?.to_string()),
                     "--metrics" => opts.metrics_out = Some(cur.value_for(arg)?.to_string()),
                     "--stats" => opts.stats = true,
                     flag if flag.starts_with("--") => {
@@ -615,6 +640,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if opts.targets.is_empty() {
                 return Err(CliError::Usage(
                     "lint wants at least one target (catalog name, file, or `all`)".into(),
+                ));
+            }
+            if opts.repair_out.is_some() && opts.targets.len() != 1 {
+                return Err(CliError::Usage(
+                    "lint --repair wants exactly one target (it writes one repaired program)"
+                        .into(),
                 ));
             }
             Ok(Command::Lint(opts))
@@ -932,6 +963,11 @@ USAGE:
                                          point and check every predicted key is
                                          reached by some campaign seed
       --always-analyze                   post-mortem every execution, not just hits
+      --verify-repair                    synthesize a fence repair, then verify it:
+                                         the repaired program must be race-free and
+                                         Condition-3.4-clean on every backend over
+                                         the seed range; the unrepaired program is
+                                         run under raw ooo hardware as an ablation
       --repro <seed>                     replay one seed in full detail
       --sink <addr|unix:path>            stream racy traces to a running daemon
       --inject <plan>                    inject deterministic worker faults
@@ -944,6 +980,12 @@ USAGE:
                                        assembly (.wmrd) files, or `all` (the whole
                                        catalog); exits non-zero on findings
       --format text|json                 output format (default text)
+      --cycles                           critical-cycle delay-set analysis: classify
+                                         each finding sc-also|weak-only, list the
+                                         delay set and the synthesized repair plan
+                                         (JSON switches to the versioned v2 envelope)
+      --repair <file.wmrd>               write the repaired program (fences inserted,
+                                         sync strengthened) as assembly; one target
       --metrics <file>                   write a RunMetrics report (JSON)
       --stats                            print a metrics summary
   wmrd predict <target>... [flags]     sound predictive race detection from a
@@ -1146,10 +1188,34 @@ mod tests {
             panic!("expected lint")
         };
         assert!(!opts.json);
+        assert!(!opts.cycles && opts.repair_out.is_none(), "cycle analysis is opt-in");
 
         assert!(matches!(parse(&argv("lint")), Err(CliError::Usage(_))), "a target is required");
         assert!(matches!(parse(&argv("lint x --format yaml")), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv("lint x --bogus")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_lint_cycles_and_repair() {
+        let Command::Lint(opts) = parse(&argv("lint fig1a --cycles")).unwrap() else {
+            panic!("expected lint")
+        };
+        assert!(opts.cycles);
+        assert!(opts.repair_out.is_none());
+
+        let Command::Lint(opts) =
+            parse(&argv("lint fig1a --cycles --repair out.wmrd --format json")).unwrap()
+        else {
+            panic!("expected lint")
+        };
+        assert!(opts.cycles && opts.json);
+        assert_eq!(opts.repair_out.as_deref(), Some("out.wmrd"));
+
+        assert!(
+            matches!(parse(&argv("lint a b --repair out.wmrd")), Err(CliError::Usage(_))),
+            "--repair wants exactly one target"
+        );
+        assert!(matches!(parse(&argv("lint x --repair")), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -1167,6 +1233,18 @@ mod tests {
             panic!("expected explore")
         };
         assert!(opts.predict);
+    }
+
+    #[test]
+    fn parses_explore_verify_repair() {
+        let Command::Explore(opts) = parse(&argv("explore fig1a --verify-repair")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert!(opts.verify_repair);
+        let Command::Explore(opts) = parse(&argv("explore fig1a")).unwrap() else {
+            panic!("expected explore")
+        };
+        assert!(!opts.verify_repair, "repair verification is opt-in");
     }
 
     #[test]

@@ -22,6 +22,11 @@ fn main() -> ExitCode {
             eprintln!("wmrd: predicted {findings} race key(s)");
             ExitCode::FAILURE
         }
+        Err(wmrd_cli::CliError::RepairUnverified { output, reason }) => {
+            print!("{output}");
+            eprintln!("wmrd: repair verification failed: {reason}");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("wmrd: {e}");
             ExitCode::FAILURE

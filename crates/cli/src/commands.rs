@@ -12,8 +12,8 @@ use wmrd_faults::FaultPlan;
 use wmrd_progs::catalog;
 use wmrd_serve::{Client, Endpoint, Reply, ServeConfig, Server, StreamMeta};
 use wmrd_sim::{
-    run_sc, run_weak, run_weak_hw, MemoryModel, Program, RandomSched, RandomWeakSched, RunConfig,
-    WeakScript,
+    run_sc, run_weak, run_weak_hw, write_asm, Fidelity, HwImpl, MemoryModel, Program, RandomSched,
+    RandomWeakSched, RunConfig, WeakScript,
 };
 use wmrd_trace::{Metrics, MultiSink, OpRecorder, StreamWriter, TraceBuilder, TraceSet};
 use wmrd_verify::sample_sc;
@@ -384,9 +384,37 @@ fn cmd_check(opts: &CheckOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One lint target's full analysis: the may-race report plus, when the
+/// invocation asked for them, the cycle classification and the repair.
+struct LintedTarget {
+    report: wmrd_lint::LintReport,
+    cycles: Option<wmrd_lint::CycleReport>,
+    repair: Option<wmrd_lint::Repair>,
+}
+
+/// Serializes one linted target for `--format json`.
+///
+/// Without `--cycles` this is the bare [`LintReport`] — the v1 schema,
+/// byte-identical to what earlier releases emitted. With `--cycles` the
+/// report is wrapped in the v2 envelope: the same report fields at the
+/// top level plus `version: 2`, the `cycles` classification, and the
+/// `repair` plan.
+fn lint_json(t: &LintedTarget) -> Result<serde_json::Value, CliError> {
+    let mut value = serde_json::to_value(&t.report)?;
+    let (Some(cycles), Some(repair)) = (&t.cycles, &t.repair) else {
+        return Ok(value);
+    };
+    let obj = value.as_object_mut().expect("a LintReport serializes as an object");
+    obj.insert("version".into(), serde_json::json!(2));
+    obj.insert("cycles".into(), serde_json::to_value(cycles)?);
+    obj.insert("repair".into(), serde_json::to_value(&repair.plan)?);
+    Ok(value)
+}
+
 fn cmd_lint(opts: &LintOpts) -> Result<String, CliError> {
     let metrics = metrics_for(&opts.metrics_out, opts.stats);
     metrics.context("command", "lint");
+    let run_cycles = opts.cycles || opts.repair_out.is_some();
     // Expand targets: the word `all` means every catalog entry.
     let mut targets: Vec<String> = Vec::new();
     for t in &opts.targets {
@@ -396,36 +424,66 @@ fn cmd_lint(opts: &LintOpts) -> Result<String, CliError> {
             targets.push(t.clone());
         }
     }
-    let mut reports = Vec::new();
+    if opts.repair_out.is_some() && targets.len() != 1 {
+        return Err(CliError::Usage(
+            "lint --repair wants exactly one target (it writes one repaired program)".into(),
+        ));
+    }
+    let mut linted = Vec::new();
     for target in &targets {
         let program = load_program(target)?;
-        reports.push(wmrd_lint::analyze_with_metrics(&program, &metrics));
+        let report = wmrd_lint::analyze_with_metrics(&program, &metrics);
+        let (cycles, repair) = if run_cycles {
+            let cycles = wmrd_lint::analyze_cycles_with_metrics(&program, &report, &metrics);
+            let repair = wmrd_lint::repair_with_metrics(&program, &report, &metrics);
+            (Some(cycles), Some(repair))
+        } else {
+            (None, None)
+        };
+        linted.push(LintedTarget { report, cycles, repair });
     }
-    let findings: u64 = reports.iter().map(|r| r.keys.len() as u64).sum();
+    let findings: u64 = linted.iter().map(|t| t.report.keys.len() as u64).sum();
     let mut out = String::new();
     if opts.json {
-        if let [only] = reports.as_slice() {
-            let _ = writeln!(out, "{}", serde_json::to_string_pretty(only)?);
+        if let [only] = linted.as_slice() {
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(&lint_json(only)?)?);
         } else {
-            let _ = writeln!(out, "{}", serde_json::to_string_pretty(&reports)?);
+            let values: Vec<_> = linted.iter().map(lint_json).collect::<Result<_, CliError>>()?;
+            let _ = writeln!(out, "{}", serde_json::to_string_pretty(&values)?);
         }
     } else {
-        for (i, report) in reports.iter().enumerate() {
+        for (i, t) in linted.iter().enumerate() {
             if i > 0 {
                 let _ = writeln!(out);
             }
-            let _ = write!(out, "{}", report.render());
+            let _ = write!(out, "{}", t.report.render());
+            if let Some(cycles) = &t.cycles {
+                let _ = write!(out, "{}", cycles.render());
+            }
+            if let Some(repair) = &t.repair {
+                let _ = write!(out, "{}", repair.plan.render());
+            }
         }
-        if reports.len() > 1 {
-            let racy = reports.iter().filter(|r| !r.is_race_free()).count();
+        if linted.len() > 1 {
+            let racy = linted.iter().filter(|t| !t.report.is_race_free()).count();
             let _ = writeln!(
                 out,
                 "\nlinted {} program(s): {} with may-race findings, {} statically race-free",
-                reports.len(),
+                linted.len(),
                 racy,
-                reports.len() - racy
+                linted.len() - racy
             );
         }
+    }
+    if let (Some(path), [only]) = (&opts.repair_out, linted.as_slice()) {
+        let repair = only.repair.as_ref().expect("--repair implies the cycle analysis");
+        std::fs::write(path, write_asm(&repair.repaired)).map_err(file_err(path))?;
+        let _ = writeln!(
+            out,
+            "repaired program written to {path} ({} fence(s), {} strengthened location(s))",
+            repair.plan.fences.len(),
+            repair.plan.strengthened.len()
+        );
     }
     emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     if findings > 0 {
@@ -802,6 +860,10 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
         return Ok(out);
     }
 
+    if opts.verify_repair {
+        return cmd_verify_repair(&program, opts, &spec, &metrics);
+    }
+
     // With --prune-static, lint before simulating: a statically
     // race-free program cannot produce findings (lint over-approximates
     // the dynamic detector), so its campaign is skipped outright.
@@ -948,6 +1010,148 @@ fn cmd_explore(opts: &ExploreOpts) -> Result<String, CliError> {
     }
     emit_metrics(&metrics, &opts.metrics_out, opts.stats, &mut out)?;
     Ok(out)
+}
+
+/// Raw out-of-order hardware can livelock a spin loop (no sync drains
+/// means a release can stay buffered arbitrarily long), so the
+/// `--verify-repair` ablation caps each raw execution at this many
+/// steps; truncated runs count as quiesced, exactly like `--budget`.
+const ABLATION_MAX_STEPS: u64 = 4_000;
+
+/// `wmrd explore --verify-repair`: synthesize the critical-cycle repair
+/// for the program, then verify it dynamically —
+///
+/// 1. the **repaired** program must reach zero race identities in a
+///    campaign over *every* hardware backend and the requested seed
+///    range, and must satisfy Condition 3.4 on each backend;
+/// 2. the **unrepaired** program is run under raw out-of-order hardware
+///    (the one configuration outside the static contract) as an
+///    ablation, reporting how many of its dynamic races the cycle
+///    analysis classified `weak-only` — evidence the classification,
+///    not just the fence insertion, carries information.
+///
+/// A verification failure is a verdict ([`CliError::RepairUnverified`]):
+/// the report still prints, and the exit status is what scripts gate on.
+fn cmd_verify_repair(
+    program: &Program,
+    opts: &ExploreOpts,
+    spec: &CampaignSpec,
+    metrics: &Metrics,
+) -> Result<String, CliError> {
+    let report = wmrd_lint::analyze_with_metrics(program, metrics);
+    let cycles = wmrd_lint::analyze_cycles_with_metrics(program, &report, metrics);
+    let repair = wmrd_lint::repair_with_metrics(program, &report, metrics);
+    let mut out = String::new();
+    let _ = writeln!(out, "repair verification for {}", program.name());
+    let _ = write!(out, "{}", cycles.render());
+    let _ = write!(out, "{}", repair.plan.render());
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.jobs
+    };
+    let mut failure: Option<String> = None;
+
+    // 1a. The repaired program races on no backend.
+    let mut verify_spec = spec.clone();
+    verify_spec.hws = HwImpl::ALL.to_vec();
+    verify_spec.fidelity = Fidelity::Conditioned;
+    let campaign = run_campaign(&repair.repaired, &verify_spec, jobs, metrics)?;
+    campaign.record_into(metrics);
+    let dynamic: Vec<_> = campaign.keys().copied().collect();
+    let _ = writeln!(
+        out,
+        "repaired campaign: {} point(s) across {} backend(s): {} race identit{}",
+        campaign.points,
+        verify_spec.hws.len(),
+        dynamic.len(),
+        if dynamic.len() == 1 { "y" } else { "ies" }
+    );
+    for key in &dynamic {
+        let _ = writeln!(
+            out,
+            "  STILL RACES: m[{}] {}:{:?} × {}:{:?}",
+            key.loc.addr(),
+            key.a.proc,
+            key.a.kind,
+            key.b.proc,
+            key.b.kind
+        );
+    }
+    if !dynamic.is_empty() {
+        failure = Some(format!(
+            "repaired program still reached {} race identit{}",
+            dynamic.len(),
+            if dynamic.len() == 1 { "y" } else { "ies" }
+        ));
+    }
+
+    // 1b. The repaired program satisfies Condition 3.4 on each backend.
+    let samples = sample_sc(&repair.repaired, 0..60, spec.config)?;
+    let sigs = sc_race_signatures(&samples, spec.pairing)?;
+    for hw in HwImpl::ALL {
+        let outcomes = check_condition_3_4_hw(
+            hw,
+            &repair.repaired,
+            verify_spec.models[0],
+            Fidelity::Conditioned,
+            opts.seeds.0..opts.seeds.1,
+            &sigs,
+            spec.pairing,
+        )?;
+        let bad = outcomes.iter().filter(|o| !o.holds()).count();
+        let _ = writeln!(
+            out,
+            "condition 3.4 on {hw}: {}/{} seed(s) clean",
+            outcomes.len() - bad,
+            outcomes.len()
+        );
+        if bad > 0 && failure.is_none() {
+            failure = Some(format!("Condition 3.4 violated on {hw} ({bad} seed(s))"));
+        }
+    }
+
+    // 2. Ablation: the unrepaired program under raw out-of-order
+    // hardware, step-capped because raw spin loops can livelock.
+    let mut ablation = spec.clone();
+    ablation.hws = vec![HwImpl::Ooo];
+    ablation.fidelity = Fidelity::Raw;
+    ablation.config = ablation.config.with_max_steps(spec.config.max_steps.min(ABLATION_MAX_STEPS));
+    let raw = run_campaign(program, &ablation, jobs, metrics)?;
+    let raw_keys = raw.keys().count();
+    let weak_hits =
+        raw.keys().filter(|k| cycles.class_of(k) == Some(wmrd_lint::RaceClass::WeakOnly)).count();
+    if raw_keys > 0 {
+        let _ = writeln!(
+            out,
+            "ablation (unrepaired, ooo raw): {raw_keys} race identit{}, {weak_hits} classified \
+             weak-only by the cycle analysis",
+            if raw_keys == 1 { "y" } else { "ies" }
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "ablation (unrepaired, ooo raw): no races reached over this seed range (inconclusive)"
+        );
+    }
+
+    match failure {
+        Some(reason) => {
+            let _ = writeln!(out, "REPAIR UNVERIFIED: {reason}");
+            emit_metrics(metrics, &opts.metrics_out, opts.stats, &mut out)?;
+            Err(CliError::RepairUnverified { output: out, reason })
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "repair verified: race-free and Condition-3.4-clean on every backend \
+                 (seeds {}..{})",
+                opts.seeds.0, opts.seeds.1
+            );
+            emit_metrics(metrics, &opts.metrics_out, opts.stats, &mut out)?;
+            Ok(out)
+        }
+    }
 }
 
 /// Bytes per `FEED` frame when `--sink` streams a racy execution.
@@ -1669,6 +1873,70 @@ mod tests {
         };
         let reports: Vec<wmrd_lint::LintReport> = serde_json::from_str(&output).unwrap();
         assert_eq!(reports.len(), 2, "multiple targets serialize as an array");
+    }
+
+    #[test]
+    fn lint_cycles_classifies_and_plans_repair() {
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1a --cycles")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        assert!(output.contains("cycle classification for 'fig1a'"), "{output}");
+        assert!(output.contains("sc-also"), "{output}");
+        assert!(output.contains("delay set:"), "{output}");
+        assert!(output.contains("repair for 'fig1a'"), "{output}");
+        assert!(output.contains("fence P0 before @1"), "{output}");
+
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1b --cycles")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        assert!(output.contains("weak-only (sync chain via m[2])"), "{output}");
+        assert!(output.contains("no-op (nothing to fix)"), "{output}");
+    }
+
+    #[test]
+    fn lint_cycles_json_uses_the_v2_envelope() {
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1a --cycles --format json")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        assert!(output.contains("\"version\": 2"), "{output}");
+        assert!(output.contains("\"cycles\""), "{output}");
+        assert!(output.contains("\"repair\""), "{output}");
+        assert!(output.contains("\"program\": \"fig1a\""), "report fields stay flat:\n{output}");
+        assert!(output.contains("\"sc-also\""), "{output}");
+
+        // Without --cycles the v1 schema is untouched — no version
+        // field, no envelope; existing consumers keep parsing.
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv("lint fig1a --format json")).unwrap_err()
+        else {
+            panic!("expected findings")
+        };
+        assert!(!output.contains("\"version\""), "{output}");
+        assert!(!output.contains("\"cycles\""), "{output}");
+    }
+
+    #[test]
+    fn lint_repair_writes_a_reparseable_race_free_program() {
+        let path = tmp("fig1a-repaired.wmrd");
+        let CliError::LintFindings { output, .. } =
+            run_cli(&argv(&format!("lint fig1a --repair {path}"))).unwrap_err()
+        else {
+            panic!("fig1a itself still has findings")
+        };
+        assert!(output.contains("repaired program written to"), "{output}");
+        let repaired = wmrd_sim::parse_asm(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(repaired.name(), "fig1a", "repair keeps the program name");
+        // The written file is itself clean: every access became sync
+        // or fence-separated, so re-linting it finds nothing.
+        let relint = run_cli(&argv(&format!("lint {path}"))).unwrap();
+        assert!(relint.contains("verdict: statically race-free"), "{relint}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

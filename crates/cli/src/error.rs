@@ -49,6 +49,18 @@ pub enum CliError {
         /// Total may-race keys across the linted programs.
         findings: u64,
     },
+    /// `wmrd explore --verify-repair` could not verify the synthesized
+    /// repair: the repaired program still raced, or violated Condition
+    /// 3.4, on some backend. Same shape as `LintFindings`: a verdict
+    /// carried with the rendered report so the binary can print it and
+    /// exit non-zero for scripts.
+    RepairUnverified {
+        /// The rendered verification report, exactly as a clean run
+        /// would print.
+        output: String,
+        /// One-line reason (which backend / which check failed).
+        reason: String,
+    },
     /// `wmrd predict` predicted races. Same shape as `LintFindings`:
     /// a verdict carried with the rendered report so the binary can
     /// print it and exit non-zero for scripts.
@@ -83,6 +95,9 @@ impl fmt::Display for CliError {
             }
             CliError::PredictFindings { findings, .. } => {
                 write!(f, "predicted {findings} race key(s)")
+            }
+            CliError::RepairUnverified { reason, .. } => {
+                write!(f, "repair verification failed: {reason}")
             }
             CliError::Serve(e) => write!(f, "serve error: {e}"),
             CliError::Catalog(e) => write!(f, "catalog error: {e}"),
@@ -193,6 +208,17 @@ mod tests {
     fn lint_findings_carry_the_count() {
         let e = CliError::LintFindings { output: "report text".into(), findings: 3 };
         assert!(e.to_string().contains("3 may-race key(s)"), "{e}");
+        use std::error::Error as _;
+        assert!(e.source().is_none(), "a verdict has no underlying fault");
+    }
+
+    #[test]
+    fn repair_unverified_carries_the_reason() {
+        let e = CliError::RepairUnverified {
+            output: "report text".into(),
+            reason: "repaired program still races on ooo".into(),
+        };
+        assert!(e.to_string().contains("still races on ooo"), "{e}");
         use std::error::Error as _;
         assert!(e.source().is_none(), "a verdict has no underlying fault");
     }

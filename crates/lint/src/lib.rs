@@ -76,14 +76,18 @@
 
 pub mod absint;
 pub mod cfg;
+pub mod cycles;
 pub mod domain;
+pub mod repair;
 pub mod report;
 
 use wmrd_sim::Program;
 use wmrd_trace::{metric_keys, Metrics, ProcId};
 
 pub use absint::{Access, LockOp};
+pub use cycles::{analyze_cycles, CycleReport, DelayPair, KeyClass, RaceClass, Witness};
 pub use domain::{AbsState, Interval};
+pub use repair::{repair, FenceSite, Repair, RepairPlan, RewriteSite};
 pub use report::{LintReport, MayRacePair, PairSide};
 
 /// Statically analyzes a program and returns its may-race report.
@@ -110,6 +114,38 @@ pub fn analyze_with_metrics(program: &Program, metrics: &Metrics) -> LintReport 
     let report = metrics.time(metric_keys::LINT_ANALYSIS, || analyze(program));
     report.record_into(metrics);
     report
+}
+
+/// [`analyze_cycles`], timed under the `lint.cycles.analysis` phase
+/// with `lint.cycles.*` counters recorded into `metrics`.
+pub fn analyze_cycles_with_metrics(
+    program: &Program,
+    report: &LintReport,
+    metrics: &Metrics,
+) -> CycleReport {
+    let cycles =
+        metrics.time(metric_keys::LINT_CYCLES_ANALYSIS, || analyze_cycles(program, report));
+    metrics.add(metric_keys::LINT_CYCLES_FOUND, cycles.cycles as u64);
+    metrics.add(metric_keys::LINT_CYCLES_SC_ALSO, cycles.sc_also as u64);
+    metrics.add(metric_keys::LINT_CYCLES_WEAK_ONLY, cycles.weak_only as u64);
+    metrics.add(metric_keys::LINT_CYCLES_DELAYS, cycles.delays.len() as u64);
+    if cycles.capped {
+        metrics.add(metric_keys::LINT_CYCLES_CAPPED, 1);
+    }
+    cycles
+}
+
+/// [`repair`], timed under the `lint.repair.synthesis` phase with
+/// `lint.repair.*` counters recorded into `metrics`.
+pub fn repair_with_metrics(program: &Program, report: &LintReport, metrics: &Metrics) -> Repair {
+    let result = metrics.time(metric_keys::LINT_REPAIR_SYNTHESIS, || repair(program, report));
+    metrics.add(metric_keys::LINT_REPAIR_FENCES, result.plan.fences.len() as u64);
+    metrics.add(metric_keys::LINT_REPAIR_STRENGTHENED, result.plan.strengthened.len() as u64);
+    metrics.add(metric_keys::LINT_REPAIR_REWRITES, result.plan.rewrites.len() as u64);
+    if result.plan.is_noop() {
+        metrics.add(metric_keys::LINT_REPAIR_NOOP, 1);
+    }
+    result
 }
 
 #[cfg(test)]

@@ -506,6 +506,33 @@ pub mod keys {
     pub const LINT_CROSSCHECK_VIOLATIONS: &str = "lint.crosscheck_violations";
     /// Phase: wall-clock time spent in static analysis.
     pub const LINT_ANALYSIS: &str = "lint.analysis";
+    /// Counter: critical cycles enumerated by delay-set analysis.
+    pub const LINT_CYCLES_FOUND: &str = "lint.cycles.found";
+    /// Counter: may-race identities classified `sc-also` (visible under
+    /// sequential consistency; fences cannot remove them).
+    pub const LINT_CYCLES_SC_ALSO: &str = "lint.cycles.sc_also";
+    /// Counter: may-race identities classified `weak-only` (a static
+    /// witness orders or excludes the pair on conforming hardware).
+    pub const LINT_CYCLES_WEAK_ONLY: &str = "lint.cycles.weak_only";
+    /// Counter: delay-set entries (program-order edges of enumerated
+    /// cycles).
+    pub const LINT_CYCLES_DELAYS: &str = "lint.cycles.delays";
+    /// Counter: programs whose cycle enumeration hit the cap.
+    pub const LINT_CYCLES_CAPPED: &str = "lint.cycles.capped";
+    /// Phase: wall-clock time spent in cycle/classification analysis.
+    pub const LINT_CYCLES_ANALYSIS: &str = "lint.cycles.analysis";
+    /// Counter: fences inserted by static repair.
+    pub const LINT_REPAIR_FENCES: &str = "lint.repair.fences";
+    /// Counter: locations strengthened into synchronization accesses by
+    /// static repair.
+    pub const LINT_REPAIR_STRENGTHENED: &str = "lint.repair.strengthened";
+    /// Counter: data instructions rewritten (`ld → ld.acq`,
+    /// `st → st.rel`) by static repair.
+    pub const LINT_REPAIR_REWRITES: &str = "lint.repair.rewrites";
+    /// Counter: repairs that changed nothing (already race-free input).
+    pub const LINT_REPAIR_NOOP: &str = "lint.repair.noop";
+    /// Phase: wall-clock time spent synthesizing repairs.
+    pub const LINT_REPAIR_SYNTHESIS: &str = "lint.repair.synthesis";
     /// Counter: traces the predictive analyzer processed.
     pub const PREDICT_TRACES: &str = "predict.traces";
     /// Counter: predicted race identities (`RaceKey`s) across analyzed
@@ -661,6 +688,17 @@ mod tests {
             keys::LINT_PRUNED_CAMPAIGNS,
             keys::LINT_CROSSCHECK_VIOLATIONS,
             keys::LINT_ANALYSIS,
+            keys::LINT_CYCLES_FOUND,
+            keys::LINT_CYCLES_SC_ALSO,
+            keys::LINT_CYCLES_WEAK_ONLY,
+            keys::LINT_CYCLES_DELAYS,
+            keys::LINT_CYCLES_CAPPED,
+            keys::LINT_CYCLES_ANALYSIS,
+            keys::LINT_REPAIR_FENCES,
+            keys::LINT_REPAIR_STRENGTHENED,
+            keys::LINT_REPAIR_REWRITES,
+            keys::LINT_REPAIR_NOOP,
+            keys::LINT_REPAIR_SYNTHESIS,
         ] {
             assert!(key.starts_with("lint."), "{key}");
             assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));

@@ -82,6 +82,61 @@ if cargo run -q -p wmrd-cli --bin wmrd -- lint fig1a > /dev/null 2>&1; then
     exit 1
 fi
 
+echo "== fence smoke (delay-set classification + verified repair)"
+# The delay-set layer end to end: the whole catalog classifies under
+# --cycles without panicking (findings exit 1 — `all` includes racy
+# entries), fig1b classifies weak-only with a no-op repair (the
+# canonical false positive explained, not fenced), and a repaired
+# racy entry verifies dynamically — race-free and Condition-3.4-clean
+# on every backend, with the raw-ooo ablation still racing unrepaired.
+rc=0
+cargo run -q -p wmrd-cli --bin wmrd -- lint all --cycles > /dev/null 2>&1 || rc=$?
+if [ "$rc" -gt 1 ]; then
+    echo "check.sh: wmrd lint all --cycles crashed (exit $rc)" >&2
+    exit 1
+fi
+fig1b_out=$(cargo run -q -p wmrd-cli --bin wmrd -- lint examples/fig1b.wmrd --cycles 2>/dev/null || true)
+if ! echo "$fig1b_out" | grep -q "weak-only (sync chain via m\[2\])"; then
+    echo "check.sh: fig1b must classify weak-only via the m[2] sync chain" >&2
+    exit 1
+fi
+if ! echo "$fig1b_out" | grep -q "no-op (nothing to fix)"; then
+    echo "check.sh: fig1b's repair must be a no-op (no fences on a race-free program)" >&2
+    exit 1
+fi
+cargo run -q -p wmrd-cli --bin wmrd -- explore fig1a --verify-repair --seeds 0..16 --jobs 2 | grep -q "repair verified"
+cargo run -q -p wmrd-cli --bin wmrd -- explore peterson-sync --verify-repair --seeds 0..24 --jobs 2 | grep -q "repair verified"
+
+echo "== fence documentation gates"
+# The --cycles/--repair surface must stay documented in the help text,
+# DESIGN.md must keep §11 (delay-set analysis), E18 in EXPERIMENTS.md,
+# and every lint.cycles.*/lint.repair.* metric key the code defines
+# must appear in OBSERVABILITY.md (same discipline as the other gates).
+if ! cargo run -q -p wmrd-cli --bin wmrd -- help | grep -q -- "--cycles"; then
+    echo "check.sh: wmrd help does not document lint --cycles" >&2
+    exit 1
+fi
+if ! grep -q "^## 11\. Delay-set" DESIGN.md; then
+    echo "check.sh: DESIGN.md is missing the §11 delay-set section" >&2
+    exit 1
+fi
+if ! grep -q "^## E18" EXPERIMENTS.md; then
+    echo "check.sh: EXPERIMENTS.md is missing the E18 section" >&2
+    exit 1
+fi
+fence_keys=$(sed -n 's/^.*"\(lint\.cycles\.[a-z_][a-z_]*\)".*$/\1/p
+s/^.*"\(lint\.repair\.[a-z_][a-z_]*\)".*$/\1/p' crates/trace/src/metrics.rs | sort -u)
+if [ -z "$fence_keys" ]; then
+    echo "check.sh: could not extract lint.cycles.*/lint.repair.* keys from crates/trace/src/metrics.rs" >&2
+    exit 1
+fi
+for key in $fence_keys; do
+    if ! grep -q "$key" OBSERVABILITY.md; then
+        echo "check.sh: metric key $key is not documented in OBSERVABILITY.md" >&2
+        exit 1
+    fi
+done
+
 echo "== predict smoke (predictive engine + soundness gate)"
 # The predictive engine's unit suite, the golden/soundness xtest (every
 # WCP prediction from the committed catalog traces must be reached by a

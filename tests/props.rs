@@ -884,3 +884,40 @@ fn panicking_writer_thread_leaves_salvageable_stream() {
     assert_eq!(trace.num_procs(), 2);
     assert!(trace.validate().is_ok());
 }
+
+// --- Assembly writer: parse ∘ write == id (fence-repair satellite) ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `.wmrd` assembly layer is a faithful codec: for random
+    /// generated programs — locked and racy alike — writing the
+    /// program as assembly and parsing it back is the identity, and
+    /// the same holds after the fence synthesizer has edited the
+    /// program (inserted `fence`s, strengthened `ld`/`st` to
+    /// `ld.acq`/`st.rel`, remapped branch targets). This is what makes
+    /// `wmrd lint --repair out.wmrd` trustworthy: the file on disk IS
+    /// the verified program.
+    #[test]
+    fn asm_write_parse_round_trips_generated_and_repaired_programs(
+        prog_seed in 0u64..120,
+        racy in any::<bool>(),
+    ) {
+        let cfg = generate::GenConfig {
+            procs: 3,
+            sections_per_proc: 2,
+            ops_per_section: 3,
+            ..generate::GenConfig::default().with_seed(prog_seed)
+        };
+        let program = if racy { generate::racy(&cfg) } else { generate::locked(&cfg) };
+        let text = wmrd_sim::write_asm(&program);
+        let again = wmrd_sim::parse_asm(&text).unwrap();
+        prop_assert_eq!(&program, &again, "parse(write_asm(p)) == p:\n{}", text);
+
+        let report = wmrd_lint::analyze(&program);
+        let rep = wmrd_lint::repair(&program, &report);
+        let text = wmrd_sim::write_asm(&rep.repaired);
+        let again = wmrd_sim::parse_asm(&text).unwrap();
+        prop_assert_eq!(&rep.repaired, &again, "repaired round-trip:\n{}", text);
+    }
+}
